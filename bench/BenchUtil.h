@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches.
+ *
+ * DarthSystem derives chip-level throughput and energy for the three
+ * workloads from the simulator itself: AES runs end-to-end through
+ * AesPum (functional + timed), CNN/LLM use the KernelModel oracle
+ * (each distinct MVM shape measured once on a real HCT). Chip scaling
+ * multiplies per-tile rates by the iso-area tile count (Table 3),
+ * which is exact for the independent work units evaluated.
+ */
+
+#ifndef DARTH_BENCH_BENCHUTIL_H
+#define DARTH_BENCH_BENCHUTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/aes/AesPum.h"
+#include "apps/cnn/CnnMapper.h"
+#include "apps/cnn/Resnet20.h"
+#include "apps/llm/Encoder.h"
+#include "apps/llm/LlmMapper.h"
+#include "baselines/Systems.h"
+#include "model/Params.h"
+
+namespace darth
+{
+namespace bench
+{
+
+/** Clock in Hz (Table 2: 1 GHz). */
+constexpr double kHz = 1e9;
+
+/** Per-application throughput/energy of one system. */
+struct AppNumbers
+{
+    double throughput = 0.0;     //!< work items per second
+    double joulesPerItem = 0.0;
+};
+
+/** AES state bytes per pipeline batch: 64 elements / 16 B blocks. */
+constexpr double kAesBlocksPerPipelineBatch = 4.0;
+
+/** DigitalPUM baseline: active pipelines per 64-pipeline cluster
+ *  (§6: "two pipelines active per cluster to stay within thermal
+ *  limits"). */
+constexpr double kDigitalActivePipes = 2.0;
+constexpr double kDigitalTotalPipes = 64.0;
+
+/** Full HCT configuration for an ADC kind, with AES early-exit. */
+inline hct::HctConfig
+paperHct(analog::AdcKind adc, bool aes_ramp_early = false)
+{
+    hct::HctConfig cfg = hct::HctConfig::paperDefault(adc);
+    if (adc == analog::AdcKind::Ramp && aes_ramp_early)
+        cfg.ace.rampStates = 4;
+    return cfg;
+}
+
+/** Iso-area tile count for an ADC kind (Table 3 derivation). */
+inline std::size_t
+isoHcts(analog::AdcKind adc)
+{
+    model::ChipModel chip;
+    chip.adc = adc;
+    return chip.hctCount();
+}
+
+/** DARTH-PUM chip-level numbers, derived from the simulator. */
+class DarthSystem
+{
+  public:
+    explicit DarthSystem(analog::AdcKind adc = analog::AdcKind::Sar)
+        : adc_(adc), hcts_(isoHcts(adc))
+    {}
+
+    analog::AdcKind adc() const { return adc_; }
+    std::size_t hctCount() const { return hcts_; }
+
+    /** AES: runs blocks through AesPum and scales by streams x HCTs. */
+    AppNumbers
+    aes(aes::AesKernelBreakdown *breakdown = nullptr) const
+    {
+        hct::HctConfig cfg = paperHct(adc_, /*aes_ramp_early=*/true);
+        aes::AesPum engine(cfg);
+        const std::vector<u8> key = {0x2b, 0x7e, 0x15, 0x16, 0x28,
+                                     0xae, 0xd2, 0xa6, 0xab, 0xf7,
+                                     0x15, 0x88, 0x09, 0xcf, 0x4f,
+                                     0x3c};
+        engine.initArrays(key);
+        const PicoJoule init_energy = engine.tally().totalEnergy();
+        engine.encrypt(aes::Block{});
+        if (breakdown != nullptr)
+            *breakdown = engine.breakdown();
+        const Cycle latency = engine.lastLatency();
+        const PicoJoule block_energy =
+            engine.tally().totalEnergy() - init_energy;
+        const Cycle adc_occ = engine.tally().get("ace.adc").cycles;
+
+        // Streams per HCT share the table pipeline and the ADCs; the
+        // per-HCT rate is the tighter of the pipeline-latency bound
+        // (each stream turns a 4-block batch around per `latency`)
+        // and the ADC-occupancy bound.
+        // Thermal envelope: like the RACER chip (§6), only ~2 of the
+        // 64 DCE pipelines can run flat-out, capping concurrent AES
+        // streams per tile.
+        const double streams = std::min(
+            static_cast<double>(aes::AesPum::streamsPerHct(cfg)),
+            kDigitalActivePipes);
+        const double pipe_rate = streams * kAesBlocksPerPipelineBatch /
+                                 static_cast<double>(latency);
+        const double adc_rate =
+            kAesBlocksPerPipelineBatch /
+            static_cast<double>(adc_occ);
+        const double per_hct = std::min(pipe_rate, adc_rate);
+
+        AppNumbers out;
+        out.throughput = per_hct * static_cast<double>(hcts_) * kHz;
+        model::PowerModel power;
+        out.joulesPerItem =
+            (block_energy / kAesBlocksPerPipelineBatch +
+             power.frontEndEnergyPJ(latency) /
+                 kAesBlocksPerPipelineBatch) *
+            1e-12;
+        return out;
+    }
+
+    /** ResNet-20 via the CNN mapper. */
+    AppNumbers
+    cnn(const std::vector<darth::cnn::LayerStats> &layers) const
+    {
+        darth::cnn::CnnMapper mapper(paperHct(adc_));
+        const auto cost = mapper.networkCost(layers);
+        const double copies =
+            std::max<double>(1.0, static_cast<double>(hcts_) /
+                                      static_cast<double>(
+                                          std::max<std::size_t>(
+                                              cost.hctsUsed, 1)));
+        // Per-layer distribution (§5.1): successive inferences
+        // pipeline through the layers, so throughput is bound by the
+        // slowest layer, not the serialized latency.
+        AppNumbers out;
+        out.throughput =
+            copies /
+            (static_cast<double>(cost.maxLayerLatency) / kHz);
+        model::PowerModel power;
+        out.joulesPerItem =
+            (cost.energy + power.frontEndEnergyPJ(cost.latency)) *
+            1e-12;
+        return out;
+    }
+
+    /** LLM encoder (BERT-base geometry) via the LLM mapper. */
+    AppNumbers
+    llm(const darth::llm::EncoderStats &stats,
+        double *non_mvm_fraction = nullptr) const
+    {
+        darth::llm::LlmMapper mapper(paperHct(adc_));
+        const auto cost = mapper.hybridCost(stats);
+        if (non_mvm_fraction != nullptr)
+            *non_mvm_fraction = cost.nonMvmFraction;
+        const double copies =
+            std::max<double>(1.0, static_cast<double>(hcts_) /
+                                      static_cast<double>(
+                                          std::max<std::size_t>(
+                                              cost.hctsUsed, 1)));
+        AppNumbers out;
+        out.throughput = copies /
+                         (static_cast<double>(cost.latency) / kHz);
+        model::PowerModel power;
+        out.joulesPerItem =
+            (cost.energy + power.frontEndEnergyPJ(cost.latency)) *
+            1e-12;
+        return out;
+    }
+
+  private:
+    analog::AdcKind adc_;
+    std::size_t hcts_;
+};
+
+/** DigitalPUM (RACER-style iso-area chip) numbers. */
+class DigitalPumSystem
+{
+  public:
+    DigitalPumSystem()
+    {
+        // Iso-area RACER chip: DCE-like clusters only (no ACE), so
+        // more clusters fit; thermal limits keep 2/64 pipelines live.
+        model::AreaModel area;
+        const double cluster_area =
+            area.dceArea() + area.frontEnd / area.hctsPerFrontEnd;
+        clusters_ = static_cast<std::size_t>(model::kIsoAreaBudget /
+                                             cluster_area);
+    }
+
+    std::size_t clusters() const { return clusters_; }
+
+    double
+    activePipelines() const
+    {
+        return static_cast<double>(clusters_) * kDigitalActivePipes;
+    }
+
+    /** AES on digital PUM only (per-pipeline cycles supplied). */
+    AppNumbers
+    aes(Cycle cycles_per_batch, PicoJoule pj_per_batch) const
+    {
+        AppNumbers out;
+        out.throughput = activePipelines() *
+                         kAesBlocksPerPipelineBatch /
+                         static_cast<double>(cycles_per_batch) * kHz;
+        out.joulesPerItem =
+            pj_per_batch / kAesBlocksPerPipelineBatch * 1e-12;
+        return out;
+    }
+
+    /** CNN on digital PUM via the mapper's digital cost (which
+     *  already includes the thermal throttle). */
+    AppNumbers
+    cnn(const std::vector<darth::cnn::LayerStats> &layers) const
+    {
+        darth::cnn::CnnMapper mapper(
+            paperHct(analog::AdcKind::Sar));
+        const auto cost = mapper.digitalNetworkCost(layers);
+        AppNumbers out;
+        out.throughput =
+            static_cast<double>(clusters_) /
+            (static_cast<double>(cost.maxLayerLatency) / kHz);
+        out.joulesPerItem = cost.energy * 1e-12;
+        return out;
+    }
+
+    AppNumbers
+    llm(const darth::llm::EncoderStats &stats) const
+    {
+        darth::llm::LlmMapper mapper(paperHct(analog::AdcKind::Sar));
+        const auto cost = mapper.digitalCost(stats);
+        AppNumbers out;
+        out.throughput = static_cast<double>(clusters_) /
+                         (static_cast<double>(cost.latency) / kHz);
+        out.joulesPerItem = cost.energy * 1e-12;
+        return out;
+    }
+
+  private:
+    std::size_t clusters_ = 0;
+};
+
+/** Print one normalized-bar row. */
+inline void
+printRow(const std::string &label, double value, const char *unit = "x")
+{
+    std::printf("  %-28s %10.2f %s\n", label.c_str(), value, unit);
+}
+
+/** Print a section header. */
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+} // namespace bench
+} // namespace darth
+
+#endif // DARTH_BENCH_BENCHUTIL_H

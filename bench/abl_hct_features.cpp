@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation bench: the DESIGN.md-called-out HCT design choices —
+ * shift units (Figure 10), instruction injection unit, transpose
+ * unit, and logic family — measured on the hybrid MVM path.
+ */
+
+#include <cstdio>
+
+#include "BenchUtil.h"
+#include "common/Random.h"
+
+namespace
+{
+
+using namespace darth;
+
+hct::HctConfig
+mediumHct()
+{
+    hct::HctConfig cfg;
+    cfg.dce.numPipelines = 8;
+    cfg.dce.pipeline.depth = 32;
+    cfg.dce.pipeline.width = 32;
+    cfg.dce.pipeline.numRegs = 16;
+    cfg.ace.numArrays = 32;
+    cfg.ace.arrayRows = 64;
+    cfg.ace.arrayCols = 32;
+    return cfg;
+}
+
+Cycle
+mvmLatency(const hct::HctConfig &cfg)
+{
+    Rng rng(31);
+    MatrixI m(32, 32);
+    for (std::size_t r = 0; r < 32; ++r)
+        for (std::size_t c = 0; c < 32; ++c)
+            m(r, c) = rng.uniformInt(i64{-7}, i64{7});
+    std::vector<i64> x(32);
+    for (auto &v : x)
+        v = rng.uniformInt(i64{0}, i64{15});
+    hct::Hct hct(cfg);
+    hct.setMatrix(m, 3, 1);
+    return hct.execMvm(x, 4, 0).done;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace darth::bench;
+
+    printHeader("Ablation: HCT coordination hardware "
+                "(32x32 8-slice MVM latency)");
+
+    const hct::HctConfig base = mediumHct();
+    const Cycle full = mvmLatency(base);
+
+    hct::HctConfig no_shift = base;
+    no_shift.shiftUnits = false;
+    hct::HctConfig no_iiu = base;
+    no_iiu.iiu.enabled = false;
+    hct::HctConfig no_transpose = base;
+    no_transpose.transpose.enabled = false;
+    hct::HctConfig ideal_family = base;
+    ideal_family.dce.pipeline.family = digital::LogicFamilyKind::Ideal;
+    hct::HctConfig nothing = base;
+    nothing.shiftUnits = false;
+    nothing.iiu.enabled = false;
+    nothing.transpose.enabled = false;
+
+    std::printf("\n  %-26s %10s %10s\n", "configuration", "cycles",
+                "vs full");
+    auto row = [full](const char *name, Cycle cycles) {
+        std::printf("  %-26s %10llu %9.2fx\n", name,
+                    static_cast<unsigned long long>(cycles),
+                    static_cast<double>(cycles) /
+                        static_cast<double>(full));
+    };
+    row("full DARTH-PUM HCT", full);
+    row("- shift units (Fig 10a)", mvmLatency(no_shift));
+    row("- instruction injection", mvmLatency(no_iiu));
+    row("- transpose unit", mvmLatency(no_transpose));
+    row("- all three", mvmLatency(nothing));
+    row("+ ideal logic family", mvmLatency(ideal_family));
+    return 0;
+}

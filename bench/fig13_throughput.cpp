@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 13 reproduction: iso-area throughput of DigitalPUM,
+ * DARTH-PUM, and AppAccel across AES / ResNet-20 / LLMEnc,
+ * normalized to Baseline (CPU + analog PUM accelerator).
+ *
+ * Paper headline: DARTH-PUM = 59.4x (AES), 14.8x (ResNet-20),
+ * 40.8x (LLMEnc), geomean 31.4x over Baseline.
+ */
+
+#include <cstdio>
+
+#include "BenchUtil.h"
+#include "common/Stats.h"
+
+int
+main()
+{
+    using namespace darth;
+    using namespace darth::bench;
+
+    printHeader("Figure 13: Throughput normalized to Baseline");
+
+    // Workload definitions.
+    cnn::Resnet20 net(42);
+    const auto layers = net.layerStats();
+    llm::Encoder enc(llm::EncoderConfig::bertBase(), 7);
+    const auto enc_stats = enc.stats();
+
+    // Systems.
+    baselines::BaselineSystem baseline(
+        baselines::CpuParams::i7_13700(),
+        baselines::AnalogAccelParams{}, baselines::LinkParams{});
+    baselines::AppAccelModels appaccel(
+        baselines::CpuParams::i7_13700(),
+        baselines::AnalogAccelParams{});
+    DarthSystem darth(analog::AdcKind::Sar);
+    DigitalPumSystem digital;
+
+    // --- AES ----------------------------------------------------------
+    const double base_aes = baseline.aesBlocksPerSec();
+    const auto darth_aes = darth.aes();
+    // DigitalPUM AES: per-pipeline batch cost measured on the same
+    // DCE kernels: SubBytes/ShiftRows/AddRoundKey plus the Boolean
+    // MixColumns network (see fig07 for the derivation).
+    const Cycle digital_batch_cycles = 10 * (192 + 240) + 11 * 55 +
+                                       9 * 4 * 88 * 5;
+    const auto digital_aes =
+        digital.aes(digital_batch_cycles,
+                    static_cast<double>(digital_batch_cycles) * 8.0);
+
+    // --- ResNet-20 ----------------------------------------------------
+    const double base_cnn = baseline.cnnInfersPerSec(layers);
+    const auto darth_cnn = darth.cnn(layers);
+    const auto digital_cnn = digital.cnn(layers);
+    const double appaccel_cnn = appaccel.cnnInfersPerSec(layers);
+
+    // --- LLM encoder ---------------------------------------------------
+    const double base_llm = baseline.llmEncodesPerSec(enc_stats);
+    const auto darth_llm = darth.llm(enc_stats);
+    const auto digital_llm = digital.llm(enc_stats);
+    const double appaccel_llm = appaccel.llmEncodesPerSec(enc_stats);
+
+    const double d_aes = darth_aes.throughput / base_aes;
+    const double d_cnn = darth_cnn.throughput / base_cnn;
+    const double d_llm = darth_llm.throughput / base_llm;
+
+    std::printf("\n  %-10s %12s %12s %12s\n", "app", "DigitalPUM",
+                "DARTH-PUM", "AppAccel");
+    std::printf("  %-10s %12.2f %12.2f %12.2f\n", "AES",
+                digital_aes.throughput / base_aes, d_aes,
+                appaccel.aesBlocksPerSec() / base_aes);
+    std::printf("  %-10s %12.2f %12.2f %12.2f\n", "ResNet-20",
+                digital_cnn.throughput / base_cnn, d_cnn,
+                appaccel_cnn / base_cnn);
+    std::printf("  %-10s %12.2f %12.2f %12.2f\n", "LLMEnc",
+                digital_llm.throughput / base_llm, d_llm,
+                appaccel_llm / base_llm);
+    std::printf("  %-10s %12.2f %12.2f %12.2f\n", "GeoMean",
+                geoMean({digital_aes.throughput / base_aes,
+                         digital_cnn.throughput / base_cnn,
+                         digital_llm.throughput / base_llm}),
+                geoMean({d_aes, d_cnn, d_llm}),
+                geoMean({appaccel.aesBlocksPerSec() / base_aes,
+                         appaccel_cnn / base_cnn,
+                         appaccel_llm / base_llm}));
+
+    std::printf("\n  paper DARTH-PUM:  AES 59.4x  ResNet 14.8x  "
+                "LLMEnc 40.8x  geomean 31.4x\n");
+    std::printf("  absolute DARTH throughputs: AES %.3g blocks/s, "
+                "ResNet %.3g inf/s, LLMEnc %.3g enc/s\n",
+                darth_aes.throughput, darth_cnn.throughput,
+                darth_llm.throughput);
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 14 reproduction: per-kernel AES latency breakdown for
+ * Baseline, DigitalPUM, and DARTH-PUM, normalized to Baseline's
+ * total (the y-axis of the paper's figure is "percent of Baseline
+ * execution time").
+ *
+ * Paper observations: DARTH-PUM improves single-encryption latency by
+ * 53.7% over Baseline, mostly by (1) removing inter-kernel data
+ * movement and (2) an 11.5x faster MixColumns than DigitalPUM.
+ */
+
+#include <cstdio>
+
+#include "BenchUtil.h"
+
+int
+main()
+{
+    using namespace darth;
+    using namespace darth::bench;
+
+    printHeader("Figure 14: AES kernel latency breakdown "
+                "(% of Baseline total)");
+
+    // Baseline (ns domain).
+    baselines::BaselineSystem baseline(
+        baselines::CpuParams::i7_13700(),
+        baselines::AnalogAccelParams{}, baselines::LinkParams{});
+    const auto base = baseline.aesBreakdownNs();
+
+    // DARTH-PUM (cycles at 1 GHz = ns), measured through the real
+    // datapath, amortized over the 4-block pipeline batch.
+    DarthSystem darth(analog::AdcKind::Sar);
+    aes::AesKernelBreakdown darth_bd;
+    darth.aes(&darth_bd);
+    const double batch = kAesBlocksPerPipelineBatch;
+
+    // DigitalPUM: same DCE kernels for SubBytes/ShiftRows/ARK; the
+    // MixColumns GF(2^8) network in Boolean PUM (fig07 derivation),
+    // data movement limited to plaintext/ciphertext I/O.
+    const double dig_mc = 9.0 * 4.0 * 88.0 * 5.0 / batch;
+    const double dig_dm = 32.0 / batch;
+    const double dig_sb = static_cast<double>(darth_bd.subBytes) / batch;
+    const double dig_sr =
+        static_cast<double>(darth_bd.shiftRows) / batch;
+    const double dig_ark =
+        static_cast<double>(darth_bd.addRoundKey) / batch;
+
+    const double base_total = base.total();
+    auto pct = [base_total](double ns) {
+        return ns / base_total * 100.0;
+    };
+
+    std::printf("\n  %-14s %10s %10s %10s %12s %12s %10s\n", "system",
+                "DataMov", "SubBytes", "ShiftRows", "MixColumns",
+                "AddRoundKey", "total");
+    std::printf("  %-14s %9.1f%% %9.1f%% %9.1f%% %11.1f%% %11.1f%% "
+                "%9.1f%%\n",
+                "Baseline", pct(base.dataMovement), pct(base.subBytes),
+                pct(base.shiftRows), pct(base.mixColumns),
+                pct(base.addRoundKey), 100.0);
+    std::printf("  %-14s %9.1f%% %9.1f%% %9.1f%% %11.1f%% %11.1f%% "
+                "%9.1f%%\n",
+                "DigitalPUM", pct(dig_dm), pct(dig_sb), pct(dig_sr),
+                pct(dig_mc), pct(dig_ark),
+                pct(dig_dm + dig_sb + dig_sr + dig_mc + dig_ark));
+    std::printf("  %-14s %9.1f%% %9.1f%% %9.1f%% %11.1f%% %11.1f%% "
+                "%9.1f%%\n",
+                "DARTH-PUM",
+                pct(darth_bd.dataMovement / batch),
+                pct(darth_bd.subBytes / batch),
+                pct(darth_bd.shiftRows / batch),
+                pct(darth_bd.mixColumns / batch),
+                pct(darth_bd.addRoundKey / batch),
+                pct(darth_bd.total() / batch));
+
+    std::printf("\n  DARTH-PUM latency vs Baseline: %+.1f%%   (paper: "
+                "-53.7%%)\n",
+                (darth_bd.total() / batch - base_total) / base_total *
+                    100.0);
+    std::printf("  MixColumns, DigitalPUM / DARTH-PUM: %.1fx   "
+                "(paper: 11.5x)\n",
+                dig_mc / (darth_bd.mixColumns / batch));
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 16 reproduction: energy savings normalized to Baseline
+ * (paper: DARTH-PUM 39.6x / 51.2x / 110.7x for AES / ResNet-20 /
+ * LLMEnc, geomean 66.8x; 2.0x vs DigitalPUM).
+ */
+
+#include <cstdio>
+
+#include "BenchUtil.h"
+#include "common/Stats.h"
+
+int
+main()
+{
+    using namespace darth;
+    using namespace darth::bench;
+
+    printHeader("Figure 16: Energy savings normalized to Baseline");
+
+    cnn::Resnet20 net(42);
+    const auto layers = net.layerStats();
+    llm::Encoder enc(llm::EncoderConfig::bertBase(), 7);
+    const auto enc_stats = enc.stats();
+
+    baselines::BaselineSystem baseline(
+        baselines::CpuParams::i7_13700(),
+        baselines::AnalogAccelParams{}, baselines::LinkParams{});
+    baselines::AppAccelModels appaccel(
+        baselines::CpuParams::i7_13700(),
+        baselines::AnalogAccelParams{});
+    DarthSystem darth(analog::AdcKind::Sar);
+    DigitalPumSystem digital;
+
+    // Joules per work item.
+    const double base_aes = baseline.aesJoulesPerBlock();
+    const double base_cnn = baseline.cnnJoulesPerInfer(layers);
+    const double base_llm = baseline.llmJoulesPerEncode(enc_stats);
+
+    const auto darth_aes = darth.aes();
+    const auto darth_cnn = darth.cnn(layers);
+    const auto darth_llm = darth.llm(enc_stats);
+
+    const Cycle digital_batch_cycles = 10 * (192 + 240) + 11 * 55 +
+                                       9 * 4 * 88 * 5;
+    const auto digital_aes =
+        digital.aes(digital_batch_cycles,
+                    static_cast<double>(digital_batch_cycles) * 8.0);
+    const auto digital_cnn = digital.cnn(layers);
+    const auto digital_llm = digital.llm(enc_stats);
+
+    auto row = [](const char *name, double dig, double dar,
+                  double acc) {
+        std::printf("  %-10s %12.2f %12.2f %12.2f\n", name, dig, dar,
+                    acc);
+    };
+
+    const double d_aes = base_aes / darth_aes.joulesPerItem;
+    const double d_cnn = base_cnn / darth_cnn.joulesPerItem;
+    const double d_llm = base_llm / darth_llm.joulesPerItem;
+    const double g_aes = base_aes / digital_aes.joulesPerItem;
+    const double g_cnn = base_cnn / digital_cnn.joulesPerItem;
+    const double g_llm = base_llm / digital_llm.joulesPerItem;
+
+    std::printf("\n  %-10s %12s %12s %12s\n", "app", "DigitalPUM",
+                "DARTH-PUM", "AppAccel");
+    row("AES", g_aes, d_aes,
+        base_aes / appaccel.aesJoulesPerBlock());
+    row("ResNet-20", g_cnn, d_cnn,
+        base_cnn / appaccel.cnnJoulesPerInfer(layers));
+    row("LLMEnc", g_llm, d_llm,
+        base_llm / appaccel.llmJoulesPerEncode(enc_stats));
+    row("GeoMean", geoMean({g_aes, g_cnn, g_llm}),
+        geoMean({d_aes, d_cnn, d_llm}),
+        geoMean({base_aes / appaccel.aesJoulesPerBlock(),
+                 base_cnn / appaccel.cnnJoulesPerInfer(layers),
+                 base_llm / appaccel.llmJoulesPerEncode(enc_stats)}));
+
+    std::printf("\n  paper DARTH-PUM: AES 39.6x  ResNet 51.2x  LLMEnc "
+                "110.7x  geomean 66.8x; 2.0x vs DigitalPUM\n");
+    std::printf("  DARTH-PUM vs DigitalPUM energy: %.2fx\n",
+                geoMean({d_aes / g_aes, d_cnn / g_cnn, d_llm / g_llm}));
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 17 reproduction: SAR vs ramp ADCs, throughput and energy
+ * savings normalized to Baseline-with-SAR (paper: SAR wins 1.5x on
+ * throughput at ~99% of the ramp's energy savings; AES is the one
+ * workload where the early-terminated ramp competes).
+ */
+
+#include <cstdio>
+
+#include "BenchUtil.h"
+#include "common/Stats.h"
+
+int
+main()
+{
+    using namespace darth;
+    using namespace darth::bench;
+
+    printHeader("Figure 17: SAR vs ramp ADC (DARTH-PUM, normalized to "
+                "Baseline)");
+
+    cnn::Resnet20 net(42);
+    const auto layers = net.layerStats();
+    llm::Encoder enc(llm::EncoderConfig::bertBase(), 7);
+    const auto enc_stats = enc.stats();
+
+    baselines::BaselineSystem baseline(
+        baselines::CpuParams::i7_13700(),
+        baselines::AnalogAccelParams{}, baselines::LinkParams{});
+    const double base_aes_t = baseline.aesBlocksPerSec();
+    const double base_cnn_t = baseline.cnnInfersPerSec(layers);
+    const double base_llm_t = baseline.llmEncodesPerSec(enc_stats);
+    const double base_aes_e = baseline.aesJoulesPerBlock();
+    const double base_cnn_e = baseline.cnnJoulesPerInfer(layers);
+    const double base_llm_e = baseline.llmJoulesPerEncode(enc_stats);
+
+    DarthSystem sar(analog::AdcKind::Sar);
+    DarthSystem ramp(analog::AdcKind::Ramp);
+
+    const auto sar_aes = sar.aes();
+    const auto sar_cnn = sar.cnn(layers);
+    const auto sar_llm = sar.llm(enc_stats);
+    const auto ramp_aes = ramp.aes();
+    const auto ramp_cnn = ramp.cnn(layers);
+    const auto ramp_llm = ramp.llm(enc_stats);
+
+    std::printf("\n  (a) throughput vs Baseline\n");
+    std::printf("  %-10s %14s %14s\n", "app", "DARTH: SAR",
+                "DARTH: Ramp");
+    std::printf("  %-10s %14.2f %14.2f\n", "AES",
+                sar_aes.throughput / base_aes_t,
+                ramp_aes.throughput / base_aes_t);
+    std::printf("  %-10s %14.2f %14.2f\n", "ResNet-20",
+                sar_cnn.throughput / base_cnn_t,
+                ramp_cnn.throughput / base_cnn_t);
+    std::printf("  %-10s %14.2f %14.2f\n", "LLMEnc",
+                sar_llm.throughput / base_llm_t,
+                ramp_llm.throughput / base_llm_t);
+    const double sar_geo = geoMean({sar_aes.throughput / base_aes_t,
+                                    sar_cnn.throughput / base_cnn_t,
+                                    sar_llm.throughput / base_llm_t});
+    const double ramp_geo = geoMean({ramp_aes.throughput / base_aes_t,
+                                     ramp_cnn.throughput / base_cnn_t,
+                                     ramp_llm.throughput /
+                                         base_llm_t});
+    std::printf("  %-10s %14.2f %14.2f\n", "GeoMean", sar_geo,
+                ramp_geo);
+
+    std::printf("\n  (b) energy savings vs Baseline\n");
+    std::printf("  %-10s %14s %14s\n", "app", "DARTH: SAR",
+                "DARTH: Ramp");
+    std::printf("  %-10s %14.2f %14.2f\n", "AES",
+                base_aes_e / sar_aes.joulesPerItem,
+                base_aes_e / ramp_aes.joulesPerItem);
+    std::printf("  %-10s %14.2f %14.2f\n", "ResNet-20",
+                base_cnn_e / sar_cnn.joulesPerItem,
+                base_cnn_e / ramp_cnn.joulesPerItem);
+    std::printf("  %-10s %14.2f %14.2f\n", "LLMEnc",
+                base_llm_e / sar_llm.joulesPerItem,
+                base_llm_e / ramp_llm.joulesPerItem);
+
+    std::printf("\n  SAR / ramp throughput: %.2fx   (paper: 1.5x)\n",
+                sar_geo / ramp_geo);
+    const double sar_energy_geo =
+        geoMean({base_aes_e / sar_aes.joulesPerItem,
+                 base_cnn_e / sar_cnn.joulesPerItem,
+                 base_llm_e / sar_llm.joulesPerItem});
+    const double ramp_energy_geo =
+        geoMean({base_aes_e / ramp_aes.joulesPerItem,
+                 base_cnn_e / ramp_cnn.joulesPerItem,
+                 base_llm_e / ramp_llm.joulesPerItem});
+    std::printf("  SAR energy savings as %% of ramp's: %.1f%%   "
+                "(paper: 99%%)\n",
+                sar_energy_geo / ramp_energy_geo * 100.0);
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 18 reproduction: iso-area comparison of DigitalPUM and
+ * DARTH-PUM against an RTX 4090-class GPU (paper: DARTH-PUM 11.8x
+ * throughput and 7.5x energy on average; AES benefits least because
+ * the GPU keeps the T-tables cache-resident).
+ */
+
+#include <cstdio>
+
+#include "BenchUtil.h"
+#include "common/Stats.h"
+
+int
+main()
+{
+    using namespace darth;
+    using namespace darth::bench;
+
+    printHeader("Figure 18: Iso-area comparison with an RTX 4090");
+
+    cnn::Resnet20 net(42);
+    const auto layers = net.layerStats();
+    llm::Encoder enc(llm::EncoderConfig::bertBase(), 7);
+    const auto enc_stats = enc.stats();
+
+    baselines::GpuModel gpu{baselines::GpuParams{}};
+    DarthSystem darth(analog::AdcKind::Sar);
+    DigitalPumSystem digital;
+
+    // Iso-area scaling: normalize DARTH/Digital chips to the GPU die.
+    const double area_scale =
+        gpu.params().dieAreaMm2 * 1e6 / model::kIsoAreaBudget;
+
+    const auto darth_aes = darth.aes();
+    const auto darth_cnn = darth.cnn(layers);
+    const auto darth_llm = darth.llm(enc_stats);
+    const Cycle digital_batch_cycles = 10 * (192 + 240) + 11 * 55 +
+                                       9 * 4 * 88 * 5;
+    const auto digital_aes =
+        digital.aes(digital_batch_cycles,
+                    static_cast<double>(digital_batch_cycles) * 8.0);
+    const auto digital_cnn = digital.cnn(layers);
+    const auto digital_llm = digital.llm(enc_stats);
+
+    const double t_aes =
+        darth_aes.throughput * area_scale / gpu.aesBlocksPerSec();
+    const double t_cnn = darth_cnn.throughput * area_scale /
+                         gpu.cnnInfersPerSec(layers);
+    const double t_llm = darth_llm.throughput * area_scale /
+                         gpu.llmEncodesPerSec(enc_stats);
+    const double e_aes =
+        gpu.aesJoulesPerBlock() / darth_aes.joulesPerItem;
+    const double e_cnn =
+        gpu.cnnJoulesPerInfer(layers) / darth_cnn.joulesPerItem;
+    const double e_llm = gpu.llmJoulesPerEncode(enc_stats) /
+                         darth_llm.joulesPerItem;
+
+    std::printf("\n  (a) speedup over GPU\n");
+    std::printf("  %-10s %12s %12s\n", "app", "DigitalPUM",
+                "DARTH-PUM");
+    std::printf("  %-10s %12.2f %12.2f\n", "AES",
+                digital_aes.throughput * area_scale /
+                    gpu.aesBlocksPerSec(),
+                t_aes);
+    std::printf("  %-10s %12.2f %12.2f\n", "ResNet-20",
+                digital_cnn.throughput * area_scale /
+                    gpu.cnnInfersPerSec(layers),
+                t_cnn);
+    std::printf("  %-10s %12.2f %12.2f\n", "LLMEnc",
+                digital_llm.throughput * area_scale /
+                    gpu.llmEncodesPerSec(enc_stats),
+                t_llm);
+    std::printf("  %-10s %12.2f %12.2f\n", "GeoMean",
+                geoMean({digital_aes.throughput * area_scale /
+                             gpu.aesBlocksPerSec(),
+                         digital_cnn.throughput * area_scale /
+                             gpu.cnnInfersPerSec(layers),
+                         digital_llm.throughput * area_scale /
+                             gpu.llmEncodesPerSec(enc_stats)}),
+                geoMean({t_aes, t_cnn, t_llm}));
+
+    std::printf("\n  (b) energy savings over GPU\n");
+    std::printf("  %-10s %12s %12s\n", "app", "DigitalPUM",
+                "DARTH-PUM");
+    std::printf("  %-10s %12.2f %12.2f\n", "AES",
+                gpu.aesJoulesPerBlock() / digital_aes.joulesPerItem,
+                e_aes);
+    std::printf("  %-10s %12.2f %12.2f\n", "ResNet-20",
+                gpu.cnnJoulesPerInfer(layers) /
+                    digital_cnn.joulesPerItem,
+                e_cnn);
+    std::printf("  %-10s %12.2f %12.2f\n", "LLMEnc",
+                gpu.llmEncodesPerSec(enc_stats) > 0
+                    ? gpu.llmJoulesPerEncode(enc_stats) /
+                          digital_llm.joulesPerItem
+                    : 0.0,
+                e_llm);
+    std::printf("  %-10s %12s %12.2f\n", "GeoMean", "",
+                geoMean({e_aes, e_cnn, e_llm}));
+
+    std::printf("\n  paper: DARTH-PUM averages 11.8x throughput and "
+                "7.5x energy over the GPU; AES benefits least\n");
+    return 0;
+}

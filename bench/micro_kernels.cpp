@@ -1,0 +1,122 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrate kernels: NOR
+ * synthesis, pipeline macros, crossbar MVM, ADC conversion, and the
+ * end-to-end hybrid MVM. These measure *simulator* performance (how
+ * fast the model runs on the host), useful for keeping the repo's own
+ * performance honest.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analog/Crossbar.h"
+#include "apps/aes/AesPum.h"
+#include "common/Random.h"
+#include "digital/Pipeline.h"
+#include "hct/Hct.h"
+
+namespace
+{
+
+using namespace darth;
+
+void
+BM_SynthesizeAdd(benchmark::State &state)
+{
+    const digital::LogicFamily oscar(digital::LogicFamilyKind::Oscar);
+    for (auto _ : state) {
+        auto program =
+            digital::synthesizeMacro(digital::MacroKind::Add, oscar);
+        benchmark::DoNotOptimize(program);
+    }
+}
+BENCHMARK(BM_SynthesizeAdd);
+
+void
+BM_PipelineAdd64(benchmark::State &state)
+{
+    digital::PipelineConfig cfg;
+    digital::Pipeline pipe(cfg);
+    for (std::size_t e = 0; e < 64; ++e) {
+        pipe.setElement(0, e, e * 123);
+        pipe.setElement(1, e, e * 7 + 1);
+    }
+    Cycle t = 0;
+    for (auto _ : state)
+        t = pipe.execMacro(digital::MacroKind::Add, 2, 0, 1, 64, t);
+    benchmark::DoNotOptimize(t);
+}
+BENCHMARK(BM_PipelineAdd64);
+
+void
+BM_CrossbarMvm(benchmark::State &state)
+{
+    analog::Crossbar xb(64, 64, 2);
+    Rng rng(5);
+    MatrixI m(32, 64);
+    for (std::size_t r = 0; r < 32; ++r)
+        for (std::size_t c = 0; c < 64; ++c)
+            m(r, c) = rng.uniformInt(i64{-3}, i64{3});
+    xb.programSigned(m);
+    std::vector<int> bits(32, 1);
+    for (auto _ : state) {
+        auto out = xb.mvmBitInput(bits);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_CrossbarMvm);
+
+void
+BM_HybridMvm32x32(benchmark::State &state)
+{
+    hct::HctConfig cfg;
+    cfg.dce.numPipelines = 2;
+    cfg.dce.pipeline.depth = 32;
+    cfg.dce.pipeline.width = 32;
+    cfg.dce.pipeline.numRegs = 8;
+    cfg.ace.numArrays = 16;
+    cfg.ace.arrayRows = 64;
+    cfg.ace.arrayCols = 32;
+    hct::Hct hct(cfg);
+    Rng rng(6);
+    MatrixI m(32, 32);
+    for (std::size_t r = 0; r < 32; ++r)
+        for (std::size_t c = 0; c < 32; ++c)
+            m(r, c) = rng.uniformInt(i64{-7}, i64{7});
+    hct.setMatrix(m, 3, 1);
+    std::vector<i64> x(32, 3);
+    Cycle t = 0;
+    for (auto _ : state) {
+        auto result = hct.execMvm(x, 4, t);
+        t = result.done;
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_HybridMvm32x32);
+
+void
+BM_AesEncryptBlock(benchmark::State &state)
+{
+    hct::HctConfig cfg;
+    cfg.dce.numPipelines = 2;
+    cfg.dce.pipeline.depth = 16;
+    cfg.dce.pipeline.width = 64;
+    cfg.dce.pipeline.numRegs = 24;
+    cfg.ace.numArrays = 1;
+    cfg.ace.arrayRows = 64;
+    cfg.ace.arrayCols = 32;
+    aes::AesPum engine(cfg);
+    engine.initArrays({0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                       0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+                       0x3c});
+    aes::Block block{};
+    for (auto _ : state) {
+        block = engine.encrypt(block);
+        benchmark::DoNotOptimize(block);
+    }
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+} // namespace
+
+BENCHMARK_MAIN();

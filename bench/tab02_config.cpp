@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table 2 reproduction: the hybrid compute tile configuration, as
+ * actually instantiated by the simulator.
+ */
+
+#include <cstdio>
+
+#include "BenchUtil.h"
+
+int
+main()
+{
+    using namespace darth;
+    using namespace darth::bench;
+
+    printHeader("Table 2: Hybrid compute tile configuration");
+
+    const hct::HctConfig sar = paperHct(analog::AdcKind::Sar);
+    const hct::HctConfig ramp = paperHct(analog::AdcKind::Ramp);
+    const analog::Adc sar_adc(sar.ace.adc);
+    analog::AdcParams ramp_params = ramp.ace.adc;
+    ramp_params.kind = analog::AdcKind::Ramp;
+    const analog::Adc ramp_adc(ramp_params);
+
+    std::printf("\n  1 Digital Compute Element\n");
+    std::printf("    Number of Pipelines      %zu\n",
+                sar.dce.numPipelines);
+    std::printf("    Pipeline Depth           %zu arrays\n",
+                sar.dce.pipeline.depth);
+    std::printf("    ReRAM Array Size         %zux%zu\n",
+                sar.dce.pipeline.width, sar.dce.pipeline.numRegs);
+
+    std::printf("\n  1 Analog Compute Element\n");
+    std::printf("    Number of Arrays         %zu\n", sar.ace.numArrays);
+    std::printf("    ReRAM Array Size         %zux%zu\n",
+                sar.ace.arrayRows, sar.ace.arrayCols);
+    std::printf("    Number of ADCs           SAR: %zu; Ramp: %zu\n",
+                sar.ace.numAdcs, ramp.ace.numAdcs);
+    std::printf("    (paper's Table 2 lists 2 SAR converters; we use\n"
+                "     8 conversion lanes to honor the 8 B/cycle\n"
+                "     rate-matched network of Section 4)\n");
+    std::printf("    ADC Latency              SAR: %llu cycle; "
+                "Ramp: %llu cycles\n",
+                static_cast<unsigned long long>(
+                    sar_adc.conversionLatency(1, 1)),
+                static_cast<unsigned long long>(
+                    ramp_adc.conversionLatency(64, 1)));
+
+    std::printf("\n  Chip (iso-area, %.2f cm^2)\n",
+                model::kIsoAreaBudget / 1e8);
+    model::ChipModel chip_sar;
+    chip_sar.adc = analog::AdcKind::Sar;
+    model::ChipModel chip_ramp;
+    chip_ramp.adc = analog::AdcKind::Ramp;
+    std::printf("    HCTs (SAR)               %zu   (paper: 1860)\n",
+                chip_sar.hctCount());
+    std::printf("    HCTs (ramp)              %zu   (paper: 1660)\n",
+                chip_ramp.hctCount());
+    std::printf("    Capacity (SAR)           %.2f GB (paper: 4.1)\n",
+                chip_sar.capacityBytes() / 1e9);
+    std::printf("    Capacity (ramp)          %.2f GB (paper: 3.7)\n",
+                chip_ramp.capacityBytes() / 1e9);
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Table 3 reproduction: HCT area and power breakdown.
+ */
+
+#include <cstdio>
+
+#include "BenchUtil.h"
+
+int
+main()
+{
+    using namespace darth;
+    using namespace darth::bench;
+
+    model::AreaModel a;
+    model::PowerModel p;
+    model::HctGeometry g;
+
+    printHeader("Table 3: Area and power for HCT hardware");
+
+    std::printf("\n  DCE area (um^2)\n");
+    std::printf("    ReRAM Array              %8.1f\n", a.dceReramArray);
+    std::printf("    Pipeline Control         %8.1f\n",
+                a.pipelineControl);
+    std::printf("    IO Ctrl                  %8.1f\n", a.ioCtrl);
+    std::printf("    Decode & Drive           %8.1f\n",
+                a.decodeAndDrive);
+    std::printf("    Pipeline Select          %8.1f\n",
+                a.pipelineSelect);
+    std::printf("    DCE total                %8.1f\n", a.dceArea());
+
+    std::printf("\n  ACE area (um^2)\n");
+    std::printf("    ReRAM Array              %8.1f\n", a.aceReramArray);
+    std::printf("    Input Buffers            %8.1f\n", a.inputBuffers);
+    std::printf("    Row Periphery            %8.1f\n", a.rowPeriphery);
+    std::printf("    SAR / Ramp ADC           %8.1f / %8.1f\n",
+                a.sarAdc, a.rampAdc);
+    std::printf("    Sample & Hold            %8.1f\n", a.sampleHold);
+    std::printf("    ACE total (SAR x%zu)     %8.1f\n",
+                g.numAdcs(analog::AdcKind::Sar),
+                a.aceArea(analog::AdcKind::Sar,
+                          g.numAdcs(analog::AdcKind::Sar)));
+    std::printf("    ACE total (ramp x%zu)     %8.1f\n",
+                g.numAdcs(analog::AdcKind::Ramp),
+                a.aceArea(analog::AdcKind::Ramp,
+                          g.numAdcs(analog::AdcKind::Ramp)));
+
+    std::printf("\n  HCT coordination area (um^2)\n");
+    std::printf("    Shift Unit               %8.1f\n", a.shiftUnit);
+    std::printf("    A/D Arbiter              %8.1f\n", a.adArbiter);
+    std::printf("    Transpose Unit           %8.1f\n", a.transposeUnit);
+    std::printf("    Instr. Injection Unit    %8.1f\n",
+                a.instrInjectionUnit);
+    std::printf("    Front End (per %zu HCTs)  %8.1f\n",
+                a.hctsPerFrontEnd, a.frontEnd);
+
+    std::printf("\n  HCT total (um^2)\n");
+    std::printf("    SAR                      %8.1f\n",
+                a.hctArea(analog::AdcKind::Sar,
+                          g.numAdcs(analog::AdcKind::Sar)));
+    std::printf("    Ramp                     %8.1f\n",
+                a.hctArea(analog::AdcKind::Ramp,
+                          g.numAdcs(analog::AdcKind::Ramp)));
+
+    std::printf("\n  Power (pJ/cycle at 1 GHz)\n");
+    std::printf("    Array (Bool Ops)         %8.2f\n", p.arrayBoolOpPJ);
+    std::printf("    Pipeline Ctrl            %8.2f\n",
+                p.pipelineCtrlPJ);
+    std::printf("    Row Periphery            %8.2f\n",
+                p.rowPeripheryPJ);
+    std::printf("    SAR ADC                  %8.2f\n", p.sarAdcPJ);
+    std::printf("    Ramp ADC                 %8.2f\n",
+                p.rampAdcPerCyclePJ);
+    std::printf("    S&H (Analog)             %8.2e\n",
+                p.sampleHoldPJ);
+    std::printf("    Front End (per 8 HCTs)   %8.2f mW\n",
+                p.frontEndMw);
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * AES-128 on DARTH-PUM (Section 5.3): encrypt a message block by
+ * block through the hybrid datapath — SubBytes via element-wise
+ * loads, ShiftRows via the permutation gather, MixColumns on the
+ * analog arrays with the §4.3 compensation scheme, AddRoundKey as a
+ * vector XOR — and verify against the FIPS-197 reference.
+ *
+ *   $ ./aes_demo
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/aes/AesPum.h"
+
+int
+main()
+{
+    using namespace darth;
+    using namespace darth::aes;
+
+    hct::HctConfig cfg;
+    cfg.dce.numPipelines = 2;
+    cfg.dce.pipeline.depth = 16;
+    cfg.dce.pipeline.width = 64;
+    cfg.dce.pipeline.numRegs = 24;
+    cfg.ace.numArrays = 1;
+    cfg.ace.arrayRows = 64;
+    cfg.ace.arrayCols = 32;
+
+    const std::vector<u8> key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                                 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                                 0x09, 0xcf, 0x4f, 0x3c};
+    AesPum engine(cfg);
+    engine.initArrays(key);
+
+    const std::string message =
+        "Processing-using-memory says hi!";   // 32 bytes = 2 blocks
+    std::printf("plaintext : %s\n", message.c_str());
+
+    std::printf("ciphertext:");
+    bool ok = true;
+    for (std::size_t off = 0; off + 16 <= message.size(); off += 16) {
+        Block block{};
+        std::memcpy(block.data(), message.data() + off, 16);
+        const Block ct = engine.encrypt(block);
+        for (u8 b : ct)
+            std::printf(" %02x", b);
+        ok = ok && ct == encrypt(block, key);
+    }
+    std::printf("\n");
+
+    const auto &bd = engine.breakdown();
+    std::printf("\nlast block kernel breakdown (cycles @ 1 GHz):\n");
+    std::printf("  data movement %6llu\n",
+                static_cast<unsigned long long>(bd.dataMovement));
+    std::printf("  SubBytes      %6llu\n",
+                static_cast<unsigned long long>(bd.subBytes));
+    std::printf("  ShiftRows     %6llu\n",
+                static_cast<unsigned long long>(bd.shiftRows));
+    std::printf("  MixColumns    %6llu\n",
+                static_cast<unsigned long long>(bd.mixColumns));
+    std::printf("  AddRoundKey   %6llu\n",
+                static_cast<unsigned long long>(bd.addRoundKey));
+    std::printf("matches FIPS-197 reference: %s\n", ok ? "yes" : "NO");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * ResNet-20 inference mapped to DARTH-PUM (Section 5.1): run an
+ * integer inference, inject calibrated analog noise, and report the
+ * per-layer DARTH cost from the mapper.
+ *
+ *   $ ./cnn_inference
+ */
+
+#include <cstdio>
+
+#include "apps/cnn/CnnMapper.h"
+#include "apps/cnn/Resnet20.h"
+#include "hct/Hct.h"
+
+int
+main()
+{
+    using namespace darth;
+    using namespace darth::cnn;
+
+    Resnet20 net(42);
+    const Tensor input = syntheticInput(7);
+
+    // Exact integer inference (what the DCE computes bit-exactly).
+    const auto logits = net.infer(input);
+    std::printf("logits:");
+    for (i64 v : logits)
+        std::printf(" %lld", static_cast<long long>(v));
+    std::printf("\npredicted class: %zu\n", Resnet20::argmax(logits));
+
+    // Noisy analog inference (§7.5): mild crossbar noise.
+    Rng rng(99);
+    MvmNoise noise;
+    noise.sigmaPerSqrtK = 0.2;
+    noise.rng = &rng;
+    const auto noisy = net.infer(input, noise);
+    std::printf("noisy class:     %zu (%s)\n", Resnet20::argmax(noisy),
+                Resnet20::argmax(noisy) == Resnet20::argmax(logits)
+                    ? "agrees"
+                    : "DISAGREES");
+
+    // Map the network onto paper-configuration HCTs and cost it.
+    CnnMapper mapper(hct::HctConfig::paperDefault(analog::AdcKind::Sar));
+    const auto layers = net.layerStats();
+    const auto cost = mapper.networkCost(layers);
+    std::printf("\nDARTH-PUM mapping (Table 2 tiles):\n");
+    std::printf("  HCTs used           %zu\n", cost.hctsUsed);
+    std::printf("  inference latency   %.3f ms\n",
+                static_cast<double>(cost.latency) / 1e6);
+    std::printf("  slowest layer       %.3f ms (pipelined bound)\n",
+                static_cast<double>(cost.maxLayerLatency) / 1e6);
+    std::printf("  energy              %.3f mJ\n", cost.energy / 1e9);
+
+    std::printf("\nper-layer costs (first 5):\n");
+    for (std::size_t i = 0; i < 5 && i < layers.size(); ++i) {
+        const auto lc = mapper.layerCost(layers[i]);
+        std::printf("  %-14s %8.1f us on %zu HCT(s)\n",
+                    lc.name.c_str(),
+                    static_cast<double>(lc.latency) / 1e3,
+                    lc.hctsUsed);
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: program a matrix into a DARTH-PUM chip through the
+ * Table 1 runtime API and run a hybrid MVM.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "runtime/Runtime.h"
+
+int
+main()
+{
+    using namespace darth;
+
+    // A small chip: two hybrid compute tiles with modest geometry.
+    runtime::ChipConfig cfg;
+    cfg.hct.dce.numPipelines = 4;
+    cfg.hct.dce.pipeline.depth = 32;
+    cfg.hct.dce.pipeline.width = 16;
+    cfg.hct.dce.pipeline.numRegs = 8;
+    cfg.hct.ace.numArrays = 8;
+    cfg.hct.ace.arrayRows = 32;   // 16 signed rows per crossbar
+    cfg.hct.ace.arrayCols = 16;
+    cfg.numHcts = 2;
+    runtime::Chip chip(cfg);
+    runtime::Runtime rt(chip);
+
+    // A signed 8x8 matrix with 3-bit elements at SLC precision
+    // (precision scale 0 -> 1 bit per cell, Table 1 setMatrix()).
+    MatrixI m(8, 8);
+    for (std::size_t r = 0; r < 8; ++r)
+        for (std::size_t c = 0; c < 8; ++c)
+            m(r, c) = static_cast<i64>((r * 3 + c * 5) % 7) - 3;
+    const int handle = rt.setMatrix(m, /*element_size=*/3,
+                                    /*precision=*/0);
+    std::printf("matrix planned over %zu HCT part(s)\n",
+                rt.plan(handle).parts.size());
+
+    // Hybrid MVM: bit-serial analog multiply, shift units place the
+    // ADC outputs, the DCE reduces with pipelined ADDs.
+    const std::vector<i64> x = {1, -2, 3, 0, 2, -1, 1, 2};
+    const auto result = rt.execMVM(handle, x, /*input_bits=*/4);
+
+    std::printf("y = M x = [");
+    for (std::size_t c = 0; c < result.values.size(); ++c)
+        std::printf("%s%lld", c ? ", " : "",
+                    static_cast<long long>(result.values[c]));
+    std::printf("]\n");
+    std::printf("completed at cycle %llu (1 GHz -> %.1f ns)\n",
+                static_cast<unsigned long long>(result.done),
+                static_cast<double>(result.done));
+
+    // Cross-check against plain integer math.
+    bool ok = true;
+    for (std::size_t c = 0; c < 8; ++c) {
+        i64 acc = 0;
+        for (std::size_t r = 0; r < 8; ++r)
+            acc += m(r, c) * x[r];
+        ok = ok && acc == result.values[c];
+    }
+    std::printf("bit-exact vs reference: %s\n", ok ? "yes" : "NO");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,259 @@
+#include "analog/Ace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace analog
+{
+
+Ace::Ace(const AceConfig &config, CostTally *tally, u64 seed)
+    : cfg_(config), tally_(tally), seed_(seed), adc_(config.adc)
+{
+    if (cfg_.numArrays == 0)
+        darth_fatal("Ace: at least one array is required");
+    if (cfg_.adc.kind == AdcKind::Ramp && cfg_.numAdcs != 1)
+        darth_warn("Ace: ramp ADCs share one reference generator; "
+                   "numAdcs is treated as 1");
+}
+
+Crossbar &
+Ace::xbar(int s, std::size_t rt, std::size_t ct)
+{
+    const std::size_t index =
+        (static_cast<std::size_t>(s) * rowTiles_ + rt) * colTiles_ + ct;
+    return *xbars_[index];
+}
+
+void
+Ace::setMatrix(const MatrixI &m, int element_bits, int bits_per_cell)
+{
+    if (m.rows() == 0 || m.cols() == 0)
+        darth_fatal("Ace::setMatrix: empty matrix");
+    matrix_ = m;
+    elementBits_ = element_bits;
+    bitsPerCell_ = bits_per_cell;
+    slices_ = numSlices(element_bits, bits_per_cell);
+    rowsPerTile_ = cfg_.arrayRows / 2;   // differential pairs
+    colsPerTile_ = cfg_.arrayCols;
+    rowTiles_ = (m.rows() + rowsPerTile_ - 1) / rowsPerTile_;
+    colTiles_ = (m.cols() + colsPerTile_ - 1) / colsPerTile_;
+
+    const std::size_t needed =
+        static_cast<std::size_t>(slices_) * rowTiles_ * colTiles_;
+    if (needed > cfg_.numArrays)
+        darth_fatal("Ace::setMatrix: matrix needs ", needed,
+                    " arrays but the ACE has ", cfg_.numArrays,
+                    "; split across HCTs via the runtime");
+
+    // Row-group split when the accumulation range exceeds the ADC.
+    const i64 max_cell = (i64{1} << bits_per_cell) - 1;
+    const i64 adc_max = adc_.maxCode();
+    if (max_cell > adc_max)
+        darth_fatal("Ace::setMatrix: a single ", bits_per_cell,
+                    "-bit cell (code ", max_cell, ") exceeds the ",
+                    cfg_.adc.bits, "-bit ADC range; no row grouping "
+                    "can compensate");
+    rowsPerGroup_ = std::max<std::size_t>(
+        1, static_cast<std::size_t>(adc_max / std::max<i64>(max_cell, 1)));
+    rowsPerGroup_ = std::min(rowsPerGroup_, rowsPerTile_);
+    rowGroups_ = (rowsPerTile_ + rowsPerGroup_ - 1) / rowsPerGroup_;
+
+    reprogramAll();
+}
+
+void
+Ace::reprogramAll()
+{
+    xbars_.clear();
+    const std::size_t needed =
+        static_cast<std::size_t>(slices_) * rowTiles_ * colTiles_;
+    xbars_.reserve(needed);
+
+    const auto slices = sliceSignedMatrix(matrix_, elementBits_,
+                                          bitsPerCell_);
+    u64 cells_written = 0;
+    for (int s = 0; s < slices_; ++s) {
+        for (std::size_t rt = 0; rt < rowTiles_; ++rt) {
+            for (std::size_t ct = 0; ct < colTiles_; ++ct) {
+                const std::size_t r0 = rt * rowsPerTile_;
+                const std::size_t c0 = ct * colsPerTile_;
+                const std::size_t nr =
+                    std::min(rowsPerTile_, matrix_.rows() - r0);
+                const std::size_t nc =
+                    std::min(colsPerTile_, matrix_.cols() - c0);
+                MatrixI sub(nr, nc);
+                for (std::size_t r = 0; r < nr; ++r)
+                    for (std::size_t c = 0; c < nc; ++c)
+                        sub(r, c) = slices[static_cast<std::size_t>(s)](
+                            r0 + r, c0 + c);
+                auto xb = std::make_unique<Crossbar>(
+                    cfg_.arrayRows, cfg_.arrayCols, bitsPerCell_,
+                    cfg_.noise,
+                    seed_ + xbars_.size() * 7919 + 13);
+                xb->programSigned(sub);
+                cells_written += 2 * nr * nc;
+                xbars_.push_back(std::move(xb));
+            }
+        }
+    }
+    if (tally_ != nullptr)
+        tally_->add("ace.program",
+                    cells_written * cfg_.cellProgramCycles,
+                    static_cast<double>(cells_written) *
+                        cfg_.cellProgramEnergyPJ,
+                    cells_written);
+}
+
+void
+Ace::updateRow(std::size_t row, const std::vector<i64> &values)
+{
+    if (!hasMatrix())
+        darth_fatal("Ace::updateRow: no matrix programmed");
+    matrix_.setRow(row, values);
+    // Analog updates rewrite the affected differential pairs in every
+    // slice; we re-program the owning row tile's arrays.
+    reprogramAll();
+}
+
+void
+Ace::updateCol(std::size_t col, const std::vector<i64> &values)
+{
+    if (!hasMatrix())
+        darth_fatal("Ace::updateCol: no matrix programmed");
+    matrix_.setCol(col, values);
+    reprogramAll();
+}
+
+std::vector<PartialProduct>
+Ace::execMvm(const std::vector<i64> &x, int input_bits, Cycle start)
+{
+    if (!hasMatrix())
+        darth_fatal("Ace::execMvm: no matrix programmed");
+    if (x.size() != matrix_.rows())
+        darth_fatal("Ace::execMvm: input length ", x.size(),
+                    " != matrix rows ", matrix_.rows());
+
+    const auto planes = sliceInput(x, input_bits);
+    std::vector<PartialProduct> stream;
+    stream.reserve(planes.size() * static_cast<std::size_t>(slices_) *
+                   rowTiles_ * rowGroups_);
+
+    Cycle array_free = start;
+    Cycle adc_free = start;
+    for (const auto &plane : planes) {
+        // Drive the wordlines with this bit plane; all arrays of all
+        // slices sample concurrently.
+        const Cycle sampled =
+            array_free + cfg_.dacApplyCycles + cfg_.settleCycles;
+        array_free = sampled;
+
+        std::size_t active_rows = 0;
+        for (int b : plane.bits)
+            active_rows += static_cast<std::size_t>(b != 0);
+        if (tally_ != nullptr) {
+            const double arrays =
+                static_cast<double>(slices_ * rowTiles_ * colTiles_);
+            tally_->add("ace.dac", cfg_.dacApplyCycles,
+                        static_cast<double>(active_rows) *
+                            cfg_.rowDriveEnergyPJ * arrays);
+            tally_->add("ace.array", cfg_.settleCycles,
+                        cfg_.arrayActivationEnergyPJ * arrays);
+            tally_->add("ace.sh", 0,
+                        static_cast<double>(matrix_.cols()) *
+                            cfg_.sampleHoldEnergyPJ *
+                            static_cast<double>(slices_ * rowTiles_));
+        }
+
+        for (int s = 0; s < slices_; ++s) {
+            for (std::size_t rt = 0; rt < rowTiles_; ++rt) {
+                const std::size_t r0 = rt * rowsPerTile_;
+                const std::size_t nr =
+                    std::min(rowsPerTile_, matrix_.rows() - r0);
+                for (std::size_t g = 0; g < rowGroups_; ++g) {
+                    const std::size_t gr0 = g * rowsPerGroup_;
+                    if (gr0 >= nr)
+                        continue;
+                    const std::size_t gnr =
+                        std::min(rowsPerGroup_, nr - gr0);
+
+                    PartialProduct pp;
+                    pp.shift = plane.bit +
+                               s * bitsPerCell_;
+                    pp.negate = plane.negate;
+                    pp.values.assign(matrix_.cols(), 0);
+
+                    bool any_active = false;
+                    for (std::size_t ct = 0; ct < colTiles_; ++ct) {
+                        Crossbar &xb = xbar(s, rt, ct);
+                        std::vector<int> bits(xb.logicalRows(), 0);
+                        for (std::size_t r = 0; r < gnr; ++r) {
+                            const int bit = plane.bits[r0 + gr0 + r];
+                            bits[gr0 + r] = bit;
+                            any_active |= bit != 0;
+                        }
+                        const auto analog = xb.mvmBitInput(bits);
+                        const std::size_t c0 = ct * colsPerTile_;
+                        for (std::size_t c = 0; c < analog.size(); ++c)
+                            pp.values[c0 + c] = adc_.convert(analog[c]);
+                    }
+
+                    // Conversions serialize on the shared ADCs.
+                    const Cycle conv_start = std::max(adc_free, sampled);
+                    const Cycle conv_done =
+                        conv_start +
+                        adc_.conversionLatency(matrix_.cols(),
+                                               cfg_.numAdcs,
+                                               cfg_.rampStates);
+                    adc_free = conv_done;
+                    pp.convStart = conv_start;
+                    pp.readyAt = conv_done;
+                    if (tally_ != nullptr)
+                        tally_->add("ace.adc", conv_done - conv_start,
+                                    adc_.conversionEnergy(
+                                        matrix_.cols(), cfg_.numAdcs,
+                                        cfg_.rampStates));
+                    (void)any_active;
+                    stream.push_back(std::move(pp));
+                }
+            }
+        }
+    }
+    return stream;
+}
+
+std::vector<i64>
+Ace::referenceMvm(const std::vector<i64> &x) const
+{
+    if (x.size() != matrix_.rows())
+        darth_fatal("Ace::referenceMvm: input length mismatch");
+    std::vector<i64> out(matrix_.cols(), 0);
+    for (std::size_t c = 0; c < matrix_.cols(); ++c) {
+        i64 acc = 0;
+        for (std::size_t r = 0; r < matrix_.rows(); ++r)
+            acc += x[r] * matrix_(r, c);
+        out[c] = acc;
+    }
+    return out;
+}
+
+std::vector<i64>
+Ace::reduceStream(const std::vector<PartialProduct> &stream,
+                  std::size_t cols)
+{
+    std::vector<i64> out(cols, 0);
+    for (const auto &pp : stream) {
+        if (pp.values.size() != cols)
+            darth_fatal("Ace::reduceStream: width mismatch");
+        const i64 sign = pp.negate ? -1 : 1;
+        for (std::size_t c = 0; c < cols; ++c)
+            out[c] += sign * (pp.values[c] << pp.shift);
+    }
+    return out;
+}
+
+} // namespace analog
+} // namespace darth

@@ -1,0 +1,57 @@
+#include "analog/Adc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace analog
+{
+
+const char *
+adcKindName(AdcKind kind)
+{
+    return kind == AdcKind::Sar ? "SAR" : "Ramp";
+}
+
+i64
+Adc::convert(double value_lsb) const
+{
+    const double rounded = std::nearbyint(value_lsb);
+    const i64 code = static_cast<i64>(rounded);
+    return std::clamp(code, minCode(), maxCode());
+}
+
+Cycle
+Adc::conversionLatency(std::size_t lanes, std::size_t count,
+                       Cycle ramp_states) const
+{
+    if (count == 0)
+        darth_fatal("Adc: at least one ADC instance is required");
+    if (params_.kind == AdcKind::Sar) {
+        const std::size_t rounds = (lanes + count - 1) / count;
+        return static_cast<Cycle>(rounds) * params_.sarLatency;
+    }
+    // Ramp: all lanes share the sweep; early termination caps the
+    // number of reference steps.
+    const Cycle sweep = ramp_states == 0
+                            ? params_.rampFullLatency
+                            : std::min(ramp_states,
+                                       params_.rampFullLatency);
+    return sweep;
+}
+
+double
+Adc::conversionEnergy(std::size_t lanes, std::size_t count,
+                      Cycle ramp_states) const
+{
+    if (params_.kind == AdcKind::Sar)
+        return static_cast<double>(lanes) * params_.sarEnergyPJ;
+    const Cycle sweep = conversionLatency(lanes, count, ramp_states);
+    return static_cast<double>(sweep) * params_.rampEnergyPerCyclePJ;
+}
+
+} // namespace analog
+} // namespace darth

@@ -1,0 +1,61 @@
+#include "analog/Compensation.h"
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace analog
+{
+
+MatrixI
+Compensation::remapBinary(const MatrixI &m01)
+{
+    MatrixI out(m01.rows(), m01.cols());
+    for (std::size_t r = 0; r < m01.rows(); ++r) {
+        for (std::size_t c = 0; c < m01.cols(); ++c) {
+            const i64 v = m01(r, c);
+            if (v != 0 && v != 1)
+                darth_fatal("Compensation::remapBinary: entry ", v,
+                            " is not binary");
+            out(r, c) = 2 * v - 1;
+        }
+    }
+    return out;
+}
+
+i64
+Compensation::compensationFactor(const std::vector<i64> &x_bits)
+{
+    i64 pop = 0;
+    for (i64 b : x_bits) {
+        if (b != 0 && b != 1)
+            darth_fatal("Compensation::compensationFactor: input ", b,
+                        " is not a bit");
+        pop += b;
+    }
+    return pop;
+}
+
+i64
+Compensation::recover(i64 raw, i64 factor)
+{
+    const i64 doubled = raw + factor;
+    if (doubled % 2 != 0)
+        darth_fatal("Compensation::recover: raw + factor = ", doubled,
+                    " is odd; remapping invariant violated");
+    return doubled / 2;
+}
+
+int
+Compensation::recoverParity(i64 raw_mod4, i64 factor)
+{
+    // (raw + P) mod 4 is 0 or 2; bit 1 is y mod 2.
+    const i64 m = ((raw_mod4 + factor) % 4 + 4) % 4;
+    if (m % 2 != 0)
+        darth_fatal("Compensation::recoverParity: parity invariant "
+                    "violated");
+    return static_cast<int>((m >> 1) & 1);
+}
+
+} // namespace analog
+} // namespace darth

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Parasitic compensation scheme (Section 4.3, Figure 11).
+ *
+ * For strictly positive binary matrices (like AES MixColumns over
+ * GF(2)), naive differential storage leaves every negative device at
+ * code 0, so the positive bitline carries all the current and suffers
+ * large IR drop. The scheme:
+ *
+ *  1. Remaps bits 0/1 to -1/+1 (both devices of each pair active),
+ *     which halves and partially cancels the bitline current —
+ *     bringing the IR-drop error under one ADC LSB.
+ *  2. Because sum_r x_r * (2*m - 1) = 2*y - popcount(x), the DCE adds
+ *     a *compensation factor* (popcount(x), known from the kernel or
+ *     computed with one vector reduction) and halves, recovering y.
+ *     In the paper's normalized units this is the "add 0.5 per input
+ *     one" factor (4 x 0.5 = 2 for AES).
+ *
+ * For the AES use (§5.3), only the parity of y is needed (the GF(2)
+ * XOR), so 2 bits of raw ADC output suffice: (raw + P) mod 4 is
+ * always even and its bit 1 equals y mod 2.
+ */
+
+#ifndef DARTH_ANALOG_COMPENSATION_H
+#define DARTH_ANALOG_COMPENSATION_H
+
+#include <vector>
+
+#include "common/Matrix.h"
+#include "common/Types.h"
+
+namespace darth
+{
+namespace analog
+{
+
+/** Static helpers implementing the §4.3 compensation maths. */
+class Compensation
+{
+  public:
+    /** Remap a {0,1} matrix to {-1,+1}: m' = 2m - 1. */
+    static MatrixI remapBinary(const MatrixI &m01);
+
+    /** Compensation factor P = popcount of the (0/1) input vector. */
+    static i64 compensationFactor(const std::vector<i64> &x_bits);
+
+    /** Recover y from the remapped raw output: y = (raw + P) / 2. */
+    static i64 recover(i64 raw, i64 factor);
+
+    /**
+     * Recover the GF(2) parity of y from only the two LSBs of the raw
+     * output (the 2-bit-ADC / early-terminated-ramp trick of §5.3).
+     */
+    static int recoverParity(i64 raw_mod4, i64 factor);
+};
+
+} // namespace analog
+} // namespace darth
+
+#endif // DARTH_ANALOG_COMPENSATION_H

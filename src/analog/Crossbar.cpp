@@ -1,0 +1,213 @@
+#include "analog/Crossbar.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace analog
+{
+
+namespace
+{
+
+reram::DeviceParams
+deviceFor(int bits_per_cell)
+{
+    if (bits_per_cell < 1 || bits_per_cell > 8)
+        darth_fatal("Crossbar: bits per cell must be in [1, 8], got ",
+                    bits_per_cell);
+    reram::DeviceParams params;
+    params.levels = 1 << bits_per_cell;
+    return params;
+}
+
+} // namespace
+
+Crossbar::Crossbar(std::size_t rows, std::size_t cols,
+                   int bits_per_cell, const reram::NoiseModel &noise,
+                   u64 seed)
+    : cells_(rows, cols, deviceFor(bits_per_cell), noise, seed),
+      bitsPerCell_(bits_per_cell)
+{
+    if (rows % 2 != 0)
+        darth_fatal("Crossbar: differential pairs need an even number "
+                    "of wordlines");
+}
+
+void
+Crossbar::programSigned(const MatrixI &matrix)
+{
+    if (matrix.rows() > maxLogicalRows())
+        darth_fatal("Crossbar: ", matrix.rows(),
+                    " signed rows exceed capacity ", maxLogicalRows());
+    if (matrix.cols() > cols())
+        darth_fatal("Crossbar: ", matrix.cols(),
+                    " columns exceed capacity ", cols());
+    mapping_ = NumberMapping::DifferentialPair;
+    logical_ = matrix;
+    logicalRows_ = matrix.rows();
+    logicalCols_ = matrix.cols();
+    for (std::size_t k = 0; k < matrix.rows(); ++k) {
+        for (std::size_t c = 0; c < matrix.cols(); ++c) {
+            const i64 v = matrix(k, c);
+            if (std::abs(v) > maxCellCode())
+                darth_fatal("Crossbar: |", v, "| exceeds cell code ",
+                            maxCellCode());
+            cells_.program(2 * k, c,
+                           static_cast<int>(std::max<i64>(v, 0)));
+            cells_.program(2 * k + 1, c,
+                           static_cast<int>(std::max<i64>(-v, 0)));
+        }
+    }
+}
+
+void
+Crossbar::programOffset(const MatrixI &matrix)
+{
+    if (matrix.rows() > rows())
+        darth_fatal("Crossbar: ", matrix.rows(),
+                    " rows exceed wordlines ", rows());
+    if (matrix.cols() > cols())
+        darth_fatal("Crossbar: ", matrix.cols(),
+                    " columns exceed capacity ", cols());
+    mapping_ = NumberMapping::OffsetSubtraction;
+    logical_ = matrix;
+    logicalRows_ = matrix.rows();
+    logicalCols_ = matrix.cols();
+    const i64 offset = i64{1} << (bitsPerCell_ - 1);
+    for (std::size_t k = 0; k < matrix.rows(); ++k) {
+        for (std::size_t c = 0; c < matrix.cols(); ++c) {
+            const i64 code = matrix(k, c) + offset;
+            if (code < 0 || code > maxCellCode())
+                darth_fatal("Crossbar: value ", matrix(k, c),
+                            " outside offset range");
+            cells_.program(k, c, static_cast<int>(code));
+        }
+    }
+}
+
+std::vector<double>
+Crossbar::solve(const std::vector<double> &row_voltages) const
+{
+    const std::size_t n_rows = rows();
+    const reram::DeviceParams &dev = cells_.params();
+    const double step = dev.levelStep();
+    const double r_wire =
+        cells_.noise().wireResistance / dev.gMax;
+
+    std::vector<double> out(logicalCols_, 0.0);
+    std::vector<double> currents(n_rows, 0.0);
+    for (std::size_t c = 0; c < logicalCols_; ++c) {
+        // Pass 1: ideal per-device currents with the noisy
+        // conductance snapshot.
+        std::vector<double> g(n_rows, 0.0);
+        double zero_baseline = 0.0;
+        for (std::size_t r = 0; r < n_rows; ++r) {
+            if (row_voltages[r] == 0.0) {
+                g[r] = 0.0;
+                currents[r] = 0.0;
+                continue;
+            }
+            g[r] = cells_.readConductance(r, c);
+            currents[r] = row_voltages[r] * g[r];
+            zero_baseline += row_voltages[r] * dev.gMin;
+        }
+
+        if (r_wire > 0.0) {
+            // Pass 2: first-order bitline IR drop. The sense amp sits
+            // at the bottom (r = n_rows - 1, virtual ground). The
+            // segment below row k carries the *signed* sum of all
+            // currents injected at or above k, so opposite-polarity
+            // differential currents cancel in the wire — the effect
+            // the §4.3 remapping exploits. The accumulated resistive
+            // drop raises the bitline node potential at row r, which
+            // shrinks the effective voltage across that device.
+            std::vector<double> seg(n_rows, 0.0);
+            double above = 0.0;
+            for (std::size_t k = 0; k < n_rows; ++k) {
+                above += currents[k];
+                seg[k] = above;
+            }
+            std::vector<double> node_drop(n_rows, 0.0);
+            for (std::size_t ri = n_rows - 1; ri-- > 0;)
+                node_drop[ri] = node_drop[ri + 1] + seg[ri] * r_wire;
+            for (std::size_t r = 0; r < n_rows; ++r) {
+                if (row_voltages[r] == 0.0)
+                    continue;
+                const double v_eff = row_voltages[r] - node_drop[r];
+                currents[r] = v_eff * g[r];
+            }
+        }
+
+        double total = 0.0;
+        for (std::size_t r = 0; r < n_rows; ++r)
+            total += currents[r];
+        // Reference-column zero calibration removes the G_min
+        // baseline; with differential pairs it is already ~0.
+        out[c] = (total - zero_baseline) / step;
+    }
+    return out;
+}
+
+std::vector<double>
+Crossbar::mvmBitInput(const std::vector<int> &x_bits) const
+{
+    if (x_bits.size() != logicalRows_)
+        darth_fatal("Crossbar: input length ", x_bits.size(),
+                    " != logical rows ", logicalRows_);
+    std::vector<double> v(rows(), 0.0);
+    for (std::size_t k = 0; k < logicalRows_; ++k) {
+        if (x_bits[k] != 0 && x_bits[k] != 1)
+            darth_fatal("Crossbar: bit-serial input must be 0/1");
+        if (mapping_ == NumberMapping::DifferentialPair) {
+            v[2 * k] = static_cast<double>(x_bits[k]);
+            v[2 * k + 1] = -static_cast<double>(x_bits[k]);
+        } else {
+            v[k] = static_cast<double>(x_bits[k]);
+        }
+    }
+    return solve(v);
+}
+
+std::vector<double>
+Crossbar::mvm(const std::vector<double> &x) const
+{
+    if (x.size() != logicalRows_)
+        darth_fatal("Crossbar: input length ", x.size(),
+                    " != logical rows ", logicalRows_);
+    std::vector<double> v(rows(), 0.0);
+    for (std::size_t k = 0; k < logicalRows_; ++k) {
+        if (mapping_ == NumberMapping::DifferentialPair) {
+            v[2 * k] = x[k];
+            v[2 * k + 1] = -x[k];
+        } else {
+            if (x[k] < 0.0)
+                darth_fatal("Crossbar: offset mapping needs "
+                            "non-negative inputs");
+            v[k] = x[k];
+        }
+    }
+    return solve(v);
+}
+
+std::vector<i64>
+Crossbar::referenceMvm(const std::vector<i64> &x) const
+{
+    if (x.size() != logicalRows_)
+        darth_fatal("Crossbar: input length ", x.size(),
+                    " != logical rows ", logicalRows_);
+    std::vector<i64> out(logicalCols_, 0);
+    for (std::size_t c = 0; c < logicalCols_; ++c) {
+        i64 acc = 0;
+        for (std::size_t k = 0; k < logicalRows_; ++k)
+            acc += x[k] * logical_(k, c);
+        out[c] = acc;
+    }
+    return out;
+}
+
+} // namespace analog
+} // namespace darth

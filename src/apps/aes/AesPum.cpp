@@ -1,0 +1,253 @@
+#include "apps/aes/AesPum.h"
+
+#include <algorithm>
+
+#include "analog/Compensation.h"
+#include "apps/aes/Gf256.h"
+#include "apps/aes/MixColumnsGf2.h"
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace aes
+{
+
+namespace
+{
+
+// Register allocation in the compute pipeline (p0). VR0/VR1 are the
+// MVM reduction registers reserved by the HCT.
+constexpr std::size_t kStateVr = 4;
+constexpr std::size_t kTmpVr = 5;
+constexpr std::size_t kAddrVr = 6;
+constexpr std::size_t kCompVr = 7;       // compensation factor
+constexpr std::size_t kParityVr = 3;     // recovered parities
+constexpr std::size_t kKeyVr0 = 8;       // 11 round keys: VR8..VR18
+constexpr std::size_t kPermVr = 20;      // ShiftRows addresses
+
+// Table pipeline (p1) registers.
+constexpr std::size_t kSboxBaseVr = 0;   // 256 entries
+constexpr std::size_t kGatherVr = 8;     // state copy for ShiftRows
+
+constexpr std::size_t kComputePipe = 0;
+constexpr std::size_t kTablePipe = 1;
+
+} // namespace
+
+AesPum::AesPum(const hct::HctConfig &cfg, u64 seed)
+    : hct_(cfg, &tally_, seed)
+{
+    checkConfig();
+}
+
+void
+AesPum::checkConfig() const
+{
+    const auto &cfg = hct_.config();
+    if (cfg.dce.pipeline.width < 16)
+        darth_fatal("AesPum: DCE pipelines need >= 16 elements for "
+                    "the 16 state bytes");
+    if (cfg.dce.pipeline.numRegs < 24)
+        darth_fatal("AesPum: need >= 24 vector registers");
+    if (cfg.dce.numPipelines < 2)
+        darth_fatal("AesPum: need a compute and a table pipeline");
+    if (cfg.ace.arrayRows < 64 || cfg.ace.arrayCols < 32)
+        darth_fatal("AesPum: the MixColumns matrix needs a 64x32 "
+                    "analog array (differential 32x32)");
+    const std::size_t sbox_regs =
+        (256 + cfg.dce.pipeline.width - 1) / cfg.dce.pipeline.width;
+    if (kSboxBaseVr + sbox_regs > cfg.dce.pipeline.numRegs)
+        darth_fatal("AesPum: S-box does not fit the table pipeline");
+}
+
+std::size_t
+AesPum::streamsPerHct(const hct::HctConfig &cfg)
+{
+    // One MixColumns matrix copy occupies one analog array; each AES
+    // stream also needs one compute pipeline (the table pipeline is
+    // shared). Keys/S-box cost one pipeline total.
+    const std::size_t by_arrays = cfg.ace.numArrays;
+    const std::size_t by_pipes = cfg.dce.numPipelines - 1;
+    return std::min(by_arrays, by_pipes);
+}
+
+void
+AesPum::initArrays(const std::vector<u8> &key)
+{
+    roundKeys_ = expandKey(key, KeySize::Aes128);
+    const std::size_t width = hct_.config().dce.pipeline.width;
+    Cycle t = now_;
+
+    // S-box into the table pipeline (256 row writes through the I/O
+    // port).
+    digital::Pipeline &table = hct_.dce().pipeline(kTablePipe);
+    for (std::size_t i = 0; i < 256; ++i) {
+        table.setElement(kSboxBaseVr + i / width, i % width,
+                         sbox()[i]);
+        t += 1;
+    }
+
+    // ShiftRows permutation addresses: dst element e takes state byte
+    // perm[e]; state[r + 4c] <- state[r + 4((c + r) % 4)].
+    digital::Pipeline &compute = hct_.dce().pipeline(kComputePipe);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            compute.setElement(kPermVr, r + 4 * c,
+                               r + 4 * ((c + r) % 4));
+    t += 1;
+
+    // Round keys (11 x 16 bytes).
+    for (std::size_t rk = 0; rk < roundKeys_.size(); ++rk) {
+        for (std::size_t i = 0; i < 16; ++i)
+            compute.setElement(kKeyVr0 + rk, i, roundKeys_[rk][i]);
+        t += 16;
+    }
+
+    // MixColumns matrix, remapped 0/1 -> -1/+1 (§4.3), into the ACE
+    // with 1-bit cells. The compensation constant is data dependent
+    // (popcount of the input column) and is loaded per MVM.
+    const MatrixI remapped =
+        analog::Compensation::remapBinary(mixColumnsGf2Matrix());
+    hct_.setMatrix(remapped, 1, 1);
+
+    now_ = t;
+    initialized_ = true;
+}
+
+Cycle
+AesPum::copyElements(std::size_t src_pipe, std::size_t src_vr,
+                     std::size_t dst_pipe, std::size_t dst_vr,
+                     std::size_t count, std::size_t bits, Cycle start)
+{
+    digital::Pipeline &src = hct_.dce().pipeline(src_pipe);
+    digital::Pipeline &dst = hct_.dce().pipeline(dst_pipe);
+    Cycle t = start;
+    for (std::size_t e = 0; e < count; ++e) {
+        const u64 value = src.readRow(src_vr, e, t);
+        t = dst.writeRow(dst_vr, e, value, 0, bits, t + 1);
+    }
+    return t;
+}
+
+Block
+AesPum::encrypt(const Block &plaintext)
+{
+    if (!initialized_)
+        darth_fatal("AesPum::encrypt: call initArrays() first");
+
+    breakdown_ = AesKernelBreakdown{};
+    digital::Pipeline &compute = hct_.dce().pipeline(kComputePipe);
+    const Cycle start = now_;
+    Cycle t = start;
+
+    // ---- Load the plaintext (16 row writes). -------------------------
+    for (std::size_t i = 0; i < 16; ++i)
+        t = compute.writeRow(kStateVr, i, plaintext[i], 0, 8, t);
+    breakdown_.dataMovement += t - start;
+
+    auto add_round_key = [&](std::size_t round) {
+        const Cycle begin = t;
+        t = hct_.digitalMacro(kComputePipe, digital::MacroKind::Xor,
+                              kStateVr, kStateVr, kKeyVr0 + round, 8, t);
+        breakdown_.addRoundKey += t - begin;
+    };
+
+    auto sub_bytes = [&] {
+        const Cycle begin = t;
+        t = hct_.elementLoad(kComputePipe, kTmpVr, kStateVr, kTablePipe,
+                             kSboxBaseVr, 8, t);
+        t = hct_.digitalMacro(kComputePipe, digital::MacroKind::Copy,
+                              kStateVr, kTmpVr, kTmpVr, 8, t);
+        breakdown_.subBytes += t - begin;
+    };
+
+    auto shift_rows = [&] {
+        const Cycle begin = t;
+        // Stage the state into the table pipeline, then gather back
+        // with the constant permutation addresses.
+        t = copyElements(kComputePipe, kStateVr, kTablePipe, kGatherVr,
+                         16, 8, t);
+        t = hct_.elementLoad(kComputePipe, kStateVr, kPermVr,
+                             kTablePipe, kGatherVr, 8, t);
+        breakdown_.shiftRows += t - begin;
+    };
+
+    auto mix_columns = [&] {
+        for (std::size_t c = 0; c < 4; ++c) {
+            // Bit extraction: 4 state rows stream through the
+            // transpose unit into the ACE input buffers.
+            Cycle begin = t;
+            Block mirror;
+            for (std::size_t i = 0; i < 16; ++i)
+                mirror[i] = static_cast<u8>(
+                    compute.element(kStateVr, i, 8));
+            const auto x = columnBits(mirror, c);
+            t += 4;                                  // 4 row reads
+            t += hct_.transposer().transposeCost(4, 8, 1);
+            breakdown_.dataMovement += t - begin;
+
+            // Analog MVM over the remapped matrix: raw = 2y - P.
+            begin = t;
+            const auto mvm = hct_.execMvm(x, 1, t);
+            t = mvm.done;
+
+            // Compensation (§4.3): add P = popcount(x), halve; bit 0
+            // of each element is the recovered GF(2) parity.
+            const i64 factor =
+                analog::Compensation::compensationFactor(x);
+            for (std::size_t e = 0; e < 32; ++e)
+                compute.setElement(kCompVr, e,
+                                   static_cast<u64>(factor));
+            t += 1;                                  // broadcast write
+            t = hct_.digitalMacro(kComputePipe,
+                                  digital::MacroKind::Add, kParityVr,
+                                  0 /* MVM accumulator */, kCompVr, 8,
+                                  t);
+            t = hct_.digitalShift(kComputePipe, kParityVr, kParityVr,
+                                  1, false, 8, t);
+            breakdown_.mixColumns += t - begin;
+
+            // Write the 4 result bytes back into the state column.
+            begin = t;
+            std::vector<i64> out_bits(32);
+            for (std::size_t i = 0; i < 32; ++i)
+                out_bits[i] = static_cast<i64>(
+                    compute.element(kParityVr, i, 8) & 1ULL);
+            setColumnBits(mirror, c, out_bits);
+            for (std::size_t r = 0; r < 4; ++r)
+                t = compute.writeRow(kStateVr, r + 4 * c,
+                                     mirror[r + 4 * c], 0, 8, t);
+            t += hct_.transposer().transposeCost(4, 8, 1);
+            breakdown_.dataMovement += t - begin;
+        }
+    };
+
+    // ---- AES-128 rounds. ---------------------------------------------
+    add_round_key(0);
+    for (std::size_t round = 1; round < 10; ++round) {
+        sub_bytes();
+        shift_rows();
+        mix_columns();
+        add_round_key(round);
+    }
+    sub_bytes();
+    shift_rows();
+    add_round_key(10);
+
+    // ---- Read the ciphertext. -----------------------------------------
+    const Cycle read_begin = t;
+    Block ciphertext;
+    for (std::size_t i = 0; i < 16; ++i) {
+        ciphertext[i] =
+            static_cast<u8>(compute.readRow(kStateVr, i, t));
+        t += 1;
+    }
+    breakdown_.dataMovement += t - read_begin;
+
+    lastLatency_ = t - start;
+    now_ = t;
+    return ciphertext;
+}
+
+} // namespace aes
+} // namespace darth

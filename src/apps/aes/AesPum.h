@@ -1,0 +1,126 @@
+/**
+ * @file
+ * AES on DARTH-PUM (Section 5.3, Figure 12).
+ *
+ * Kernel mapping:
+ *  - SubBytes: the S-box lives in a table pipeline; one element-wise
+ *    load (§4.2) substitutes all state bytes.
+ *  - ShiftRows: an element-wise gather with a constant permutation
+ *    address vector (the byte-element layout makes the cyclic row
+ *    shifts a pure element permutation).
+ *  - MixColumns: the 32x32 GF(2) matrix, remapped to ±1 with the
+ *    §4.3 parasitic compensation scheme, is pre-stored in the ACE
+ *    with 1-bit cells; each bitline's integer sum is reduced to the
+ *    GF(2) parity with the compensation factor in the DCE (only 2
+ *    ADC bits carry information — the early-termination trick).
+ *  - AddRoundKey: a vector XOR against the pre-loaded round keys.
+ *
+ * The class runs *functionally correct* encryption through the real
+ * simulator datapaths (verified against the FIPS-197 reference) while
+ * accumulating the per-kernel cycle breakdown of Figure 14.
+ */
+
+#ifndef DARTH_APPS_AES_AESPUM_H
+#define DARTH_APPS_AES_AESPUM_H
+
+#include <vector>
+
+#include "apps/aes/AesReference.h"
+#include "common/Stats.h"
+#include "hct/Hct.h"
+
+namespace darth
+{
+namespace aes
+{
+
+/** Per-kernel cycle accounting (Figure 14 categories). */
+struct AesKernelBreakdown
+{
+    Cycle dataMovement = 0;
+    Cycle subBytes = 0;
+    Cycle shiftRows = 0;
+    Cycle mixColumns = 0;
+    Cycle addRoundKey = 0;
+
+    Cycle
+    total() const
+    {
+        return dataMovement + subBytes + shiftRows + mixColumns +
+               addRoundKey;
+    }
+
+    AesKernelBreakdown &
+    operator+=(const AesKernelBreakdown &o)
+    {
+        dataMovement += o.dataMovement;
+        subBytes += o.subBytes;
+        shiftRows += o.shiftRows;
+        mixColumns += o.mixColumns;
+        addRoundKey += o.addRoundKey;
+        return *this;
+    }
+};
+
+/** AES-128 encryption engine mapped onto one HCT. */
+class AesPum
+{
+  public:
+    /**
+     * @param cfg   HCT configuration; needs a DCE width >= 16
+     *              elements, >= 24 registers, and an ACE array of at
+     *              least 64x32.
+     * @param seed  Noise seed for the analog arrays.
+     */
+    explicit AesPum(const hct::HctConfig &cfg, u64 seed = 1);
+
+    /**
+     * AES_initArrays(): reserve pipelines, copy the S-box and the
+     * ShiftRows permutation into the table pipeline, pre-load the
+     * round keys, and program the remapped MixColumns matrix into
+     * the analog arrays.
+     */
+    void initArrays(const std::vector<u8> &key);
+
+    /** AES_encrypt(): encrypt one block through the PUM datapath. */
+    Block encrypt(const Block &plaintext);
+
+    /** Cycle breakdown of the last encrypt() call. */
+    const AesKernelBreakdown &breakdown() const { return breakdown_; }
+
+    /** End-to-end latency of the last encrypt() call. */
+    Cycle lastLatency() const { return lastLatency_; }
+
+    /** Energy tally across all activity. */
+    const CostTally &tally() const { return tally_; }
+
+    hct::Hct &hct() { return hct_; }
+
+    /**
+     * Independent AES streams one full-size HCT sustains: limited by
+     * how many MixColumns matrix copies fit the ACE and how many
+     * state pipelines the DCE offers.
+     */
+    static std::size_t streamsPerHct(const hct::HctConfig &cfg);
+
+  private:
+    void checkConfig() const;
+
+    /** Cross-pipeline element copy through the row I/O ports. */
+    Cycle copyElements(std::size_t src_pipe, std::size_t src_vr,
+                       std::size_t dst_pipe, std::size_t dst_vr,
+                       std::size_t count, std::size_t bits, Cycle start);
+
+    CostTally tally_;
+    hct::Hct hct_;
+    std::vector<Block> roundKeys_;
+    bool initialized_ = false;
+    AesKernelBreakdown breakdown_;
+    Cycle lastLatency_ = 0;
+    Cycle now_ = 0;
+};
+
+} // namespace aes
+} // namespace darth
+
+#endif // DARTH_APPS_AES_AESPUM_H

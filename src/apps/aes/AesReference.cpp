@@ -1,0 +1,196 @@
+#include "apps/aes/AesReference.h"
+
+#include "apps/aes/Gf256.h"
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace aes
+{
+
+int
+numRounds(KeySize size)
+{
+    switch (size) {
+      case KeySize::Aes128: return 10;
+      case KeySize::Aes192: return 12;
+      case KeySize::Aes256: return 14;
+    }
+    darth_panic("numRounds: bad key size");
+}
+
+std::size_t
+keyBytes(KeySize size)
+{
+    switch (size) {
+      case KeySize::Aes128: return 16;
+      case KeySize::Aes192: return 24;
+      case KeySize::Aes256: return 32;
+    }
+    darth_panic("keyBytes: bad key size");
+}
+
+std::vector<Block>
+expandKey(const std::vector<u8> &key, KeySize size)
+{
+    if (key.size() != keyBytes(size))
+        darth_fatal("expandKey: key must be ", keyBytes(size),
+                    " bytes, got ", key.size());
+    const std::size_t nk = key.size() / 4;        // words in key
+    const int rounds = numRounds(size);
+    const std::size_t total_words =
+        4 * (static_cast<std::size_t>(rounds) + 1);
+
+    std::vector<std::array<u8, 4>> w(total_words);
+    for (std::size_t i = 0; i < nk; ++i)
+        w[i] = {key[4 * i], key[4 * i + 1], key[4 * i + 2],
+                key[4 * i + 3]};
+
+    u8 rcon = 0x01;
+    for (std::size_t i = nk; i < total_words; ++i) {
+        std::array<u8, 4> temp = w[i - 1];
+        if (i % nk == 0) {
+            // RotWord + SubWord + Rcon.
+            const u8 t0 = temp[0];
+            temp = {sbox()[temp[1]], sbox()[temp[2]], sbox()[temp[3]],
+                    sbox()[t0]};
+            temp[0] ^= rcon;
+            rcon = xtime(rcon);
+        } else if (nk > 6 && i % nk == 4) {
+            // AES-256 extra SubWord.
+            for (auto &b : temp)
+                b = sbox()[b];
+        }
+        for (int j = 0; j < 4; ++j)
+            w[i][static_cast<std::size_t>(j)] =
+                w[i - nk][static_cast<std::size_t>(j)] ^
+                temp[static_cast<std::size_t>(j)];
+    }
+
+    std::vector<Block> round_keys(static_cast<std::size_t>(rounds) + 1);
+    for (std::size_t rk = 0; rk < round_keys.size(); ++rk)
+        for (std::size_t c = 0; c < 4; ++c)
+            for (std::size_t r = 0; r < 4; ++r)
+                round_keys[rk][r + 4 * c] = w[4 * rk + c][r];
+    return round_keys;
+}
+
+void
+subBytes(Block &state)
+{
+    for (auto &b : state)
+        b = sbox()[b];
+}
+
+void
+invSubBytes(Block &state)
+{
+    for (auto &b : state)
+        b = invSbox()[b];
+}
+
+void
+shiftRows(Block &state)
+{
+    Block out;
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            out[r + 4 * c] = state[r + 4 * ((c + r) % 4)];
+    state = out;
+}
+
+void
+invShiftRows(Block &state)
+{
+    Block out;
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            out[r + 4 * ((c + r) % 4)] = state[r + 4 * c];
+    state = out;
+}
+
+void
+mixColumns(Block &state)
+{
+    for (std::size_t c = 0; c < 4; ++c) {
+        const u8 a0 = state[0 + 4 * c];
+        const u8 a1 = state[1 + 4 * c];
+        const u8 a2 = state[2 + 4 * c];
+        const u8 a3 = state[3 + 4 * c];
+        state[0 + 4 * c] = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3;
+        state[1 + 4 * c] = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3;
+        state[2 + 4 * c] = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3);
+        state[3 + 4 * c] = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2);
+    }
+}
+
+void
+invMixColumns(Block &state)
+{
+    for (std::size_t c = 0; c < 4; ++c) {
+        const u8 a0 = state[0 + 4 * c];
+        const u8 a1 = state[1 + 4 * c];
+        const u8 a2 = state[2 + 4 * c];
+        const u8 a3 = state[3 + 4 * c];
+        state[0 + 4 * c] = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^
+                           gmul(a3, 9);
+        state[1 + 4 * c] = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^
+                           gmul(a3, 13);
+        state[2 + 4 * c] = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^
+                           gmul(a3, 11);
+        state[3 + 4 * c] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^
+                           gmul(a3, 14);
+    }
+}
+
+void
+addRoundKey(Block &state, const Block &round_key)
+{
+    for (std::size_t i = 0; i < 16; ++i)
+        state[i] ^= round_key[i];
+}
+
+Block
+encrypt(const Block &plaintext, const std::vector<u8> &key,
+        KeySize size)
+{
+    const auto round_keys = expandKey(key, size);
+    const int rounds = numRounds(size);
+
+    Block state = plaintext;
+    addRoundKey(state, round_keys[0]);
+    for (int round = 1; round < rounds; ++round) {
+        subBytes(state);
+        shiftRows(state);
+        mixColumns(state);
+        addRoundKey(state, round_keys[static_cast<std::size_t>(round)]);
+    }
+    subBytes(state);
+    shiftRows(state);
+    addRoundKey(state, round_keys[static_cast<std::size_t>(rounds)]);
+    return state;
+}
+
+Block
+decrypt(const Block &ciphertext, const std::vector<u8> &key,
+        KeySize size)
+{
+    const auto round_keys = expandKey(key, size);
+    const int rounds = numRounds(size);
+
+    Block state = ciphertext;
+    addRoundKey(state, round_keys[static_cast<std::size_t>(rounds)]);
+    invShiftRows(state);
+    invSubBytes(state);
+    for (int round = rounds - 1; round >= 1; --round) {
+        addRoundKey(state, round_keys[static_cast<std::size_t>(round)]);
+        invMixColumns(state);
+        invShiftRows(state);
+        invSubBytes(state);
+    }
+    addRoundKey(state, round_keys[0]);
+    return state;
+}
+
+} // namespace aes
+} // namespace darth

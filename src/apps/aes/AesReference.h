@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reference AES (FIPS-197): AES-128/192/256 encryption and
+ * decryption. This is the golden model the PUM mapping is verified
+ * against, and the software kernel the CPU baseline costs.
+ */
+
+#ifndef DARTH_APPS_AES_AESREFERENCE_H
+#define DARTH_APPS_AES_AESREFERENCE_H
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/Types.h"
+
+namespace darth
+{
+namespace aes
+{
+
+/** One 16-byte AES state/block. */
+using Block = std::array<u8, 16>;
+
+/** Supported key sizes. */
+enum class KeySize { Aes128, Aes192, Aes256 };
+
+/** Rounds for a key size (10/12/14). */
+int numRounds(KeySize size);
+
+/** Key length in bytes (16/24/32). */
+std::size_t keyBytes(KeySize size);
+
+/**
+ * Expanded key schedule: (rounds + 1) round keys of 16 bytes.
+ */
+std::vector<Block> expandKey(const std::vector<u8> &key, KeySize size);
+
+// Individual round steps, exposed for the PUM mapping and its tests.
+// The state is column-major as in FIPS-197: state[r + 4c].
+void subBytes(Block &state);
+void invSubBytes(Block &state);
+void shiftRows(Block &state);
+void invShiftRows(Block &state);
+void mixColumns(Block &state);
+void invMixColumns(Block &state);
+void addRoundKey(Block &state, const Block &round_key);
+
+/** Encrypt one block. */
+Block encrypt(const Block &plaintext, const std::vector<u8> &key,
+              KeySize size = KeySize::Aes128);
+
+/** Decrypt one block. */
+Block decrypt(const Block &ciphertext, const std::vector<u8> &key,
+              KeySize size = KeySize::Aes128);
+
+} // namespace aes
+} // namespace darth
+
+#endif // DARTH_APPS_AES_AESREFERENCE_H

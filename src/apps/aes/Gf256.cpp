@@ -1,0 +1,100 @@
+#include "apps/aes/Gf256.h"
+
+namespace darth
+{
+namespace aes
+{
+
+u8
+xtime(u8 a)
+{
+    const u8 shifted = static_cast<u8>(a << 1);
+    return (a & 0x80) ? static_cast<u8>(shifted ^ 0x1B) : shifted;
+}
+
+u8
+gmul(u8 a, u8 b)
+{
+    u8 result = 0;
+    while (b != 0) {
+        if (b & 1)
+            result ^= a;
+        a = xtime(a);
+        b >>= 1;
+    }
+    return result;
+}
+
+u8
+ginv(u8 a)
+{
+    if (a == 0)
+        return 0;
+    // a^254 = a^-1 in GF(2^8): square-and-multiply over the exponent
+    // 254 = 0b11111110.
+    u8 result = 1;
+    u8 base = a;
+    int exp = 254;
+    while (exp != 0) {
+        if (exp & 1)
+            result = gmul(result, base);
+        base = gmul(base, base);
+        exp >>= 1;
+    }
+    return result;
+}
+
+namespace
+{
+
+std::array<u8, 256>
+buildSbox()
+{
+    std::array<u8, 256> box{};
+    for (int i = 0; i < 256; ++i) {
+        const u8 inv = ginv(static_cast<u8>(i));
+        u8 s = 0;
+        for (int bit = 0; bit < 8; ++bit) {
+            // FIPS-197 affine transform: b'_i = b_i ^ b_(i+4) ^
+            // b_(i+5) ^ b_(i+6) ^ b_(i+7) ^ c_i, c = 0x63.
+            const int b = ((inv >> bit) & 1) ^
+                          ((inv >> ((bit + 4) % 8)) & 1) ^
+                          ((inv >> ((bit + 5) % 8)) & 1) ^
+                          ((inv >> ((bit + 6) % 8)) & 1) ^
+                          ((inv >> ((bit + 7) % 8)) & 1) ^
+                          ((0x63 >> bit) & 1);
+            s |= static_cast<u8>(b << bit);
+        }
+        box[static_cast<std::size_t>(i)] = s;
+    }
+    return box;
+}
+
+std::array<u8, 256>
+buildInvSbox()
+{
+    const auto &fwd = sbox();
+    std::array<u8, 256> inv{};
+    for (int i = 0; i < 256; ++i)
+        inv[fwd[static_cast<std::size_t>(i)]] = static_cast<u8>(i);
+    return inv;
+}
+
+} // namespace
+
+const std::array<u8, 256> &
+sbox()
+{
+    static const std::array<u8, 256> box = buildSbox();
+    return box;
+}
+
+const std::array<u8, 256> &
+invSbox()
+{
+    static const std::array<u8, 256> box = buildInvSbox();
+    return box;
+}
+
+} // namespace aes
+} // namespace darth

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * GF(2^8) arithmetic for AES (FIPS-197), including programmatic
+ * construction of the S-box (multiplicative inverse followed by the
+ * affine transform) and of the MixColumns matrices.
+ */
+
+#ifndef DARTH_APPS_AES_GF256_H
+#define DARTH_APPS_AES_GF256_H
+
+#include <array>
+
+#include "common/Types.h"
+
+namespace darth
+{
+namespace aes
+{
+
+/** Multiply two GF(2^8) elements modulo x^8 + x^4 + x^3 + x + 1. */
+u8 gmul(u8 a, u8 b);
+
+/** xtime: multiply by x (i.e. by 0x02). */
+u8 xtime(u8 a);
+
+/** Multiplicative inverse in GF(2^8); inverse(0) = 0 by convention. */
+u8 ginv(u8 a);
+
+/** The AES S-box, constructed from ginv + affine transform. */
+const std::array<u8, 256> &sbox();
+
+/** The inverse S-box. */
+const std::array<u8, 256> &invSbox();
+
+} // namespace aes
+} // namespace darth
+
+#endif // DARTH_APPS_AES_GF256_H

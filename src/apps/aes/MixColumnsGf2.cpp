@@ -1,0 +1,92 @@
+#include "apps/aes/MixColumnsGf2.h"
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace aes
+{
+
+namespace
+{
+
+/** Build the GF(2) matrix of a linear column transform. */
+MatrixI
+linearColumnMatrix(void (*transform)(Block &))
+{
+    MatrixI m(32, 32);
+    for (std::size_t j = 0; j < 32; ++j) {
+        // Apply the transform to the unit vector e_j (in column 0)
+        // and read the output bits: GF(2) linearity makes the result
+        // column j of the matrix.
+        Block state{};
+        state[j / 8] = static_cast<u8>(1u << (j % 8));
+        transform(state);
+        for (std::size_t i = 0; i < 32; ++i)
+            m(j, i) = (state[i / 8] >> (i % 8)) & 1;
+    }
+    return m;
+}
+
+} // namespace
+
+MatrixI
+mixColumnsGf2Matrix()
+{
+    static const MatrixI m = linearColumnMatrix(&mixColumns);
+    return m;
+}
+
+MatrixI
+invMixColumnsGf2Matrix()
+{
+    static const MatrixI m = linearColumnMatrix(&invMixColumns);
+    return m;
+}
+
+std::vector<i64>
+columnBits(const Block &state, std::size_t c)
+{
+    if (c >= 4)
+        darth_panic("columnBits: column ", c, " out of range");
+    std::vector<i64> bits(32);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t b = 0; b < 8; ++b)
+            bits[r * 8 + b] = (state[r + 4 * c] >> b) & 1;
+    return bits;
+}
+
+void
+setColumnBits(Block &state, std::size_t c, const std::vector<i64> &bits)
+{
+    if (c >= 4)
+        darth_panic("setColumnBits: column ", c, " out of range");
+    if (bits.size() != 32)
+        darth_panic("setColumnBits: need 32 bits, got ", bits.size());
+    for (std::size_t r = 0; r < 4; ++r) {
+        u8 byte = 0;
+        for (std::size_t b = 0; b < 8; ++b)
+            byte |= static_cast<u8>((bits[r * 8 + b] & 1) << b);
+        state[r + 4 * c] = byte;
+    }
+}
+
+void
+mixColumnsViaGf2(Block &state)
+{
+    const MatrixI m = mixColumnsGf2Matrix();
+    for (std::size_t c = 0; c < 4; ++c) {
+        const auto x = columnBits(state, c);
+        std::vector<i64> out(32);
+        for (std::size_t i = 0; i < 32; ++i) {
+            i64 sum = 0;
+            for (std::size_t j = 0; j < 32; ++j)
+                sum += m(j, i) * x[j];
+            out[i] = sum & 1;     // parity = GF(2) XOR
+        }
+        setColumnBits(state, c, out);
+    }
+}
+
+} // namespace aes
+} // namespace darth

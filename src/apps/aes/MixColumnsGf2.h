@@ -1,0 +1,52 @@
+/**
+ * @file
+ * GF(2) binary-matrix formulation of MixColumns (Section 5.3).
+ *
+ * MixColumns is linear over GF(2): xtime and XOR are both GF(2)-linear
+ * maps on the 32 bits of a state column. It can therefore be written
+ * as a 32x32 binary matrix M with output bit i = XOR_j M[j][i] & x[j]
+ * = parity(sum_j M[j][i] * x[j]) — and the integer sum is exactly what
+ * an analog bitline computes, so the PUM mapping stores M in 1-bit
+ * cells, reads only the parity of each bitline (2 ADC bits after the
+ * §4.3 remap), and gets MixColumns for free.
+ */
+
+#ifndef DARTH_APPS_AES_MIXCOLUMNSGF2_H
+#define DARTH_APPS_AES_MIXCOLUMNSGF2_H
+
+#include "apps/aes/AesReference.h"
+#include "common/Matrix.h"
+
+namespace darth
+{
+namespace aes
+{
+
+/**
+ * The 32x32 MixColumns matrix over GF(2), stored with rows = input
+ * bits and cols = output bits (matching the crossbar layout: inputs
+ * on wordlines, outputs on bitlines). Bit b of byte r of a column maps
+ * to index r * 8 + b.
+ */
+MatrixI mixColumnsGf2Matrix();
+
+/** Inverse-MixColumns binary matrix (for decryption mappings). */
+MatrixI invMixColumnsGf2Matrix();
+
+/** Extract the 32 bits of state column c (index r*8 + b). */
+std::vector<i64> columnBits(const Block &state, std::size_t c);
+
+/** Write 32 bits back into state column c. */
+void setColumnBits(Block &state, std::size_t c,
+                   const std::vector<i64> &bits);
+
+/**
+ * Reference MixColumns through the GF(2) matrix (integer MVM +
+ * parity), used to validate the formulation against FIPS-197.
+ */
+void mixColumnsViaGf2(Block &state);
+
+} // namespace aes
+} // namespace darth
+
+#endif // DARTH_APPS_AES_MIXCOLUMNSGF2_H

@@ -1,0 +1,147 @@
+#include "apps/cnn/CnnMapper.h"
+
+#include <algorithm>
+
+namespace darth
+{
+namespace cnn
+{
+
+CnnMapper::CnnMapper(const hct::HctConfig &cfg, int element_bits,
+                     int bits_per_cell, int input_bits)
+    : cfg_(cfg), elementBits_(element_bits), bitsPerCell_(bits_per_cell),
+      inputBits_(input_bits), kernels_(cfg)
+{
+}
+
+void
+CnnMapper::addElementwise(const LayerStats &stats, LayerCost *cost)
+{
+    if (stats.elementOps == 0)
+        return;
+    const std::size_t width = cfg_.dce.pipeline.width;
+    const std::size_t vectors =
+        (stats.elementOps + width - 1) / width;
+    // Bias add, requant shift, and ReLU select per output vector; the
+    // DCE's pipelines run these back-to-back (amortized rates).
+    const auto add =
+        kernels_.macro(digital::MacroKind::Add, 2 * inputBits_);
+    const auto select =
+        kernels_.macro(digital::MacroKind::Mux, inputBits_);
+    const Cycle per_vector = add.amortized + select.amortized + 2;
+    // 64 pipelines work in parallel on independent vectors.
+    const std::size_t pipes = cfg_.dce.numPipelines;
+    cost->latency += vectors * per_vector / std::max<std::size_t>(
+        pipes, 1);
+    cost->energy += static_cast<double>(vectors) *
+                    (add.energy + select.energy);
+}
+
+LayerCost
+CnnMapper::layerCost(const LayerStats &stats)
+{
+    LayerCost cost;
+    cost.name = stats.name;
+
+    const auto plan = runtime::Runtime::planMatrix(
+        cfg_, stats.mvmRows, stats.mvmCols, elementBits_, bitsPerCell_);
+    cost.hctsUsed = plan.parts.size();
+
+    // Cost one part's MVM shape (parts run concurrently on their own
+    // HCTs; the widest part dominates).
+    runtime::MvmShape shape;
+    shape.elementBits = elementBits_;
+    shape.bitsPerCell = bitsPerCell_;
+    shape.inputBits = inputBits_;
+    Cycle worst_latency = 0;
+    Cycle worst_amortized = 0;
+    PicoJoule per_mvm_energy = 0.0;
+    for (const auto &part : plan.parts) {
+        shape.rows = part.numRows;
+        shape.cols = part.numCols;
+        const auto mvm = kernels_.mvm(shape);
+        worst_latency = std::max(worst_latency, mvm.latency);
+        worst_amortized = std::max(worst_amortized, mvm.amortized);
+        per_mvm_energy += mvm.energy;
+    }
+    if (plan.rowSplit) {
+        const auto add = kernels_.macro(digital::MacroKind::Add, 32);
+        worst_amortized += add.amortized;
+        worst_latency += add.latency;
+        per_mvm_energy += add.energy *
+                          static_cast<double>(plan.parts.size() - 1);
+    }
+
+    // The layer streams mvmCount patches through the placement.
+    cost.latency = worst_latency +
+                   (stats.mvmCount > 0 ? stats.mvmCount - 1 : 0) *
+                       worst_amortized;
+    cost.energy =
+        static_cast<double>(stats.mvmCount) * per_mvm_energy;
+
+    addElementwise(stats, &cost);
+    return cost;
+}
+
+LayerCost
+CnnMapper::digitalLayerCost(const LayerStats &stats)
+{
+    LayerCost cost;
+    cost.name = stats.name;
+    cost.hctsUsed = 1;
+
+    // Every MAC becomes a DCE shift-and-add multiply; each vector
+    // multiply covers `width` lanes, and the DCE's pipelines work in
+    // parallel.
+    const std::size_t width = cfg_.dce.pipeline.width;
+    const std::size_t pipes = cfg_.dce.numPipelines;
+    const auto mult = kernels_.multiply(
+        static_cast<std::size_t>(inputBits_));
+    const auto add =
+        kernels_.macro(digital::MacroKind::Add, 2 * inputBits_);
+    const u64 vector_macs = (stats.macs + width - 1) / width;
+    const Cycle per_mac = mult.amortized + add.amortized;
+    const double active_pipes =
+        std::max(1.0, static_cast<double>(pipes) *
+                          kDigitalThermalFraction);
+    cost.latency = static_cast<Cycle>(
+        static_cast<double>(vector_macs * per_mac) / active_pipes);
+    cost.energy = static_cast<double>(vector_macs) *
+                  (mult.energy + add.energy);
+
+    addElementwise(stats, &cost);
+    return cost;
+}
+
+NetworkCost
+CnnMapper::networkCost(const std::vector<LayerStats> &layers)
+{
+    NetworkCost total;
+    for (const auto &layer : layers) {
+        const LayerCost cost = layerCost(layer);
+        total.latency += cost.latency;
+        total.maxLayerLatency =
+            std::max(total.maxLayerLatency, cost.latency);
+        total.energy += cost.energy;
+        total.hctsUsed += cost.hctsUsed;
+    }
+    return total;
+}
+
+NetworkCost
+CnnMapper::digitalNetworkCost(const std::vector<LayerStats> &layers)
+{
+    NetworkCost total;
+    for (const auto &layer : layers) {
+        const LayerCost cost = digitalLayerCost(layer);
+        total.latency += cost.latency;
+        total.maxLayerLatency =
+            std::max(total.maxLayerLatency, cost.latency);
+        total.energy += cost.energy;
+        total.hctsUsed = std::max(total.hctsUsed, cost.hctsUsed);
+    }
+    return total;
+}
+
+} // namespace cnn
+} // namespace darth

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * CNN_setModel() mapping: per-layer distribution of a CNN onto
+ * DARTH-PUM HCTs (Section 5.1) and the corresponding cost model.
+ *
+ * Convolution / FC weights go to analog arrays (one placement plan per
+ * layer); auxiliary work (bias, requant, ReLU, pooling, residual)
+ * stays in the digital pipelines. Costs come from the KernelModel
+ * oracle, i.e. from real simulator measurements of each distinct MVM
+ * shape, with successive MVMs of a layer pipelined at the measured
+ * amortized rate. A digital-only variant costs every MAC as DCE
+ * shift-and-add multiplication (the DigitalPUM comparison).
+ */
+
+#ifndef DARTH_APPS_CNN_CNNMAPPER_H
+#define DARTH_APPS_CNN_CNNMAPPER_H
+
+#include <vector>
+
+#include "apps/cnn/Layers.h"
+#include "runtime/KernelModel.h"
+#include "runtime/Runtime.h"
+
+namespace darth
+{
+namespace cnn
+{
+
+/** Cost of one layer on one HCT-set. */
+struct LayerCost
+{
+    std::string name;
+    /** Latency of the layer's full MVM stream + element-wise work. */
+    Cycle latency = 0;
+    PicoJoule energy = 0.0;
+    /** HCTs the placement occupies. */
+    std::size_t hctsUsed = 0;
+};
+
+/** Whole-network cost. */
+struct NetworkCost
+{
+    /** Serialized single-inference latency. */
+    Cycle latency = 0;
+    /** Slowest layer (the pipelined-throughput bound when layers of
+     *  successive inferences overlap, §5.1 per-layer distribution). */
+    Cycle maxLayerLatency = 0;
+    PicoJoule energy = 0.0;
+    std::size_t hctsUsed = 0;
+};
+
+/**
+ * Thermal limit of an all-digital PUM chip (§6: the RACER comparison
+ * runs "two pipelines active per cluster to stay within thermal
+ * limits"). Applied inside the digital*Cost() variants.
+ */
+constexpr double kDigitalThermalFraction = 2.0 / 64.0;
+
+/** Maps CNN layers onto HCTs and costs them. */
+class CnnMapper
+{
+  public:
+    /**
+     * @param cfg            HCT configuration.
+     * @param element_bits   Weight precision.
+     * @param bits_per_cell  Analog cell capacity.
+     * @param input_bits     Activation precision.
+     */
+    CnnMapper(const hct::HctConfig &cfg, int element_bits = 8,
+              int bits_per_cell = 2, int input_bits = 8);
+
+    /** Hybrid (DARTH-PUM) cost of one layer. */
+    LayerCost layerCost(const LayerStats &stats);
+
+    /** Digital-PUM-only cost of the same layer (shift-and-add MACs). */
+    LayerCost digitalLayerCost(const LayerStats &stats);
+
+    /** Serialized whole-network hybrid cost. */
+    NetworkCost networkCost(const std::vector<LayerStats> &layers);
+
+    /** Serialized whole-network digital-only cost. */
+    NetworkCost digitalNetworkCost(const std::vector<LayerStats> &layers);
+
+    runtime::KernelModel &kernels() { return kernels_; }
+
+  private:
+    /** Element-wise (DCE) cost shared by both variants. */
+    void addElementwise(const LayerStats &stats, LayerCost *cost);
+
+    hct::HctConfig cfg_;
+    int elementBits_;
+    int bitsPerCell_;
+    int inputBits_;
+    runtime::KernelModel kernels_;
+};
+
+} // namespace cnn
+} // namespace darth
+
+#endif // DARTH_APPS_CNN_CNNMAPPER_H

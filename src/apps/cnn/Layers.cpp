@@ -1,0 +1,196 @@
+#include "apps/cnn/Layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace darth
+{
+namespace cnn
+{
+
+Conv2d::Conv2d(std::string name, std::size_t in_channels,
+               std::size_t out_channels, std::size_t kernel,
+               std::size_t stride, std::size_t pad)
+    : name_(std::move(name)), cin_(in_channels), cout_(out_channels),
+      kernel_(kernel), stride_(stride), pad_(pad),
+      weights_(in_channels * kernel * kernel, out_channels),
+      bias_(out_channels, 0)
+{
+}
+
+void
+Conv2d::initRandom(Rng &rng, i32 weight_range)
+{
+    for (std::size_t r = 0; r < weights_.rows(); ++r)
+        for (std::size_t c = 0; c < weights_.cols(); ++c)
+            weights_(r, c) = rng.uniformInt(
+                static_cast<i64>(-weight_range),
+                static_cast<i64>(weight_range));
+    for (auto &b : bias_)
+        b = static_cast<i32>(rng.uniformInt(i64{-8}, i64{8}));
+}
+
+Tensor
+Conv2d::forward(const Tensor &input, const MvmNoise &noise) const
+{
+    if (input.channels() != cin_)
+        darth_fatal("Conv2d ", name_, ": expected ", cin_,
+                    " input channels, got ", input.channels());
+    const std::size_t out_h =
+        (input.height() + 2 * pad_ - kernel_) / stride_ + 1;
+    const std::size_t out_w =
+        (input.width() + 2 * pad_ - kernel_) / stride_ + 1;
+    Tensor out(cout_, out_h, out_w);
+
+    const std::size_t k_elems = cin_ * kernel_ * kernel_;
+    std::vector<i64> patch(k_elems);
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox) {
+            // im2col: gather the receptive field (Toeplitz row).
+            std::size_t idx = 0;
+            for (std::size_t ic = 0; ic < cin_; ++ic) {
+                for (std::size_t ky = 0; ky < kernel_; ++ky) {
+                    for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                        const i64 y = static_cast<i64>(oy * stride_ +
+                                                       ky) -
+                                      static_cast<i64>(pad_);
+                        const i64 x = static_cast<i64>(ox * stride_ +
+                                                       kx) -
+                                      static_cast<i64>(pad_);
+                        patch[idx++] =
+                            (y < 0 ||
+                             y >= static_cast<i64>(input.height()) ||
+                             x < 0 ||
+                             x >= static_cast<i64>(input.width()))
+                                ? 0
+                                : input.at(ic,
+                                           static_cast<std::size_t>(y),
+                                           static_cast<std::size_t>(x));
+                    }
+                }
+            }
+            // MVM over the weight matrix (what the ACE executes).
+            for (std::size_t oc = 0; oc < cout_; ++oc) {
+                i64 acc = 0;
+                for (std::size_t i = 0; i < k_elems; ++i)
+                    acc += patch[i] * weights_(i, oc);
+                acc = noise.perturb(acc, k_elems);
+                acc += bias_[oc];
+                acc >>= requantShift_;
+                out.at(oc, oy, ox) = static_cast<i32>(
+                    std::clamp<i64>(acc, -127, 127));
+            }
+        }
+    }
+    return out;
+}
+
+LayerStats
+Conv2d::stats(std::size_t in_h, std::size_t in_w) const
+{
+    LayerStats s;
+    s.name = name_;
+    s.mvmRows = cin_ * kernel_ * kernel_;
+    s.mvmCols = cout_;
+    const std::size_t out_h = (in_h + 2 * pad_ - kernel_) / stride_ + 1;
+    const std::size_t out_w = (in_w + 2 * pad_ - kernel_) / stride_ + 1;
+    s.mvmCount = out_h * out_w;
+    s.macs = static_cast<u64>(s.mvmRows) * s.mvmCols * s.mvmCount;
+    s.outputElems = static_cast<u64>(cout_) * out_h * out_w;
+    // Bias add + requant + ReLU per output element.
+    s.elementOps = 3 * s.outputElems;
+    return s;
+}
+
+FullyConnected::FullyConnected(std::string name, std::size_t in_features,
+                               std::size_t out_features)
+    : name_(std::move(name)), in_(in_features), out_(out_features),
+      weights_(in_features, out_features), bias_(out_features, 0)
+{
+}
+
+void
+FullyConnected::initRandom(Rng &rng, i32 weight_range)
+{
+    for (std::size_t r = 0; r < weights_.rows(); ++r)
+        for (std::size_t c = 0; c < weights_.cols(); ++c)
+            weights_(r, c) = rng.uniformInt(
+                static_cast<i64>(-weight_range),
+                static_cast<i64>(weight_range));
+    for (auto &b : bias_)
+        b = static_cast<i32>(rng.uniformInt(i64{-8}, i64{8}));
+}
+
+std::vector<i64>
+FullyConnected::forward(const std::vector<i64> &input,
+                        const MvmNoise &noise) const
+{
+    if (input.size() != in_)
+        darth_fatal("FullyConnected ", name_, ": expected ", in_,
+                    " inputs, got ", input.size());
+    std::vector<i64> out(out_);
+    for (std::size_t oc = 0; oc < out_; ++oc) {
+        i64 acc = 0;
+        for (std::size_t i = 0; i < in_; ++i)
+            acc += input[i] * weights_(i, oc);
+        acc = noise.perturb(acc, in_);
+        out[oc] = acc + bias_[oc];
+    }
+    return out;
+}
+
+LayerStats
+FullyConnected::stats() const
+{
+    LayerStats s;
+    s.name = name_;
+    s.mvmRows = in_;
+    s.mvmCols = out_;
+    s.mvmCount = 1;
+    s.macs = static_cast<u64>(in_) * out_;
+    s.outputElems = out_;
+    s.elementOps = s.outputElems;
+    return s;
+}
+
+void
+relu(Tensor &t)
+{
+    for (auto &v : t.data())
+        v = std::max(v, 0);
+}
+
+void
+addResidual(Tensor &a, const Tensor &b)
+{
+    if (!a.sameShape(b))
+        darth_fatal("addResidual: shape mismatch");
+    for (std::size_t i = 0; i < a.data().size(); ++i)
+        a.data()[i] = std::clamp(a.data()[i] + b.data()[i], -127, 127);
+}
+
+std::vector<i64>
+globalAvgPool(const Tensor &t)
+{
+    std::vector<i64> out(t.channels());
+    const i64 count =
+        static_cast<i64>(t.height()) * static_cast<i64>(t.width());
+    for (std::size_t c = 0; c < t.channels(); ++c) {
+        i64 sum = 0;
+        for (std::size_t y = 0; y < t.height(); ++y)
+            for (std::size_t x = 0; x < t.width(); ++x)
+                sum += t.at(c, y, x);
+        out[c] = sum / count;
+    }
+    return out;
+}
+
+void
+clampActivations(Tensor &t, i32 limit)
+{
+    for (auto &v : t.data())
+        v = std::clamp(v, -limit, limit);
+}
+
+} // namespace cnn
+} // namespace darth

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal CHW tensor used by the integer-quantized CNN and LLM
+ * applications.
+ */
+
+#ifndef DARTH_APPS_CNN_TENSOR_H
+#define DARTH_APPS_CNN_TENSOR_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/Logging.h"
+#include "common/Types.h"
+
+namespace darth
+{
+namespace cnn
+{
+
+/** Dense channel-major (C, H, W) tensor of i32 activations. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    Tensor(std::size_t channels, std::size_t height, std::size_t width,
+           i32 init = 0)
+        : c_(channels), h_(height), w_(width),
+          data_(channels * height * width, init)
+    {}
+
+    std::size_t channels() const { return c_; }
+    std::size_t height() const { return h_; }
+    std::size_t width() const { return w_; }
+    std::size_t size() const { return data_.size(); }
+
+    i32 &
+    at(std::size_t c, std::size_t y, std::size_t x)
+    {
+        checkBounds(c, y, x);
+        return data_[(c * h_ + y) * w_ + x];
+    }
+
+    i32
+    at(std::size_t c, std::size_t y, std::size_t x) const
+    {
+        checkBounds(c, y, x);
+        return data_[(c * h_ + y) * w_ + x];
+    }
+
+    std::vector<i32> &data() { return data_; }
+    const std::vector<i32> &data() const { return data_; }
+
+    bool
+    sameShape(const Tensor &other) const
+    {
+        return c_ == other.c_ && h_ == other.h_ && w_ == other.w_;
+    }
+
+  private:
+    void
+    checkBounds(std::size_t c, std::size_t y, std::size_t x) const
+    {
+        if (c >= c_ || y >= h_ || x >= w_)
+            darth_panic("Tensor index (", c, ", ", y, ", ", x,
+                        ") out of range (", c_, ", ", h_, ", ", w_,
+                        ")");
+    }
+
+    std::size_t c_ = 0;
+    std::size_t h_ = 0;
+    std::size_t w_ = 0;
+    std::vector<i32> data_;
+};
+
+} // namespace cnn
+} // namespace darth
+
+#endif // DARTH_APPS_CNN_TENSOR_H

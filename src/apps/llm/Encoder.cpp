@@ -1,0 +1,184 @@
+#include "apps/llm/Encoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/FixedPoint.h"
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace llm
+{
+
+namespace
+{
+
+MatrixI
+randomWeights(std::size_t rows, std::size_t cols, i64 range, Rng &rng)
+{
+    MatrixI w(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            w(r, c) = rng.uniformInt(-range, range);
+    return w;
+}
+
+/** Requantize a row of accumulators back to int8-ish range. */
+void
+requantRow(std::vector<i64> *row, int shift)
+{
+    for (auto &v : *row)
+        v = std::clamp<i64>(v >> shift, -127, 127);
+}
+
+} // namespace
+
+Encoder::Encoder(const EncoderConfig &config, u64 seed) : cfg_(config)
+{
+    if (cfg_.dModel % cfg_.numHeads != 0)
+        darth_fatal("Encoder: dModel must be divisible by numHeads");
+    Rng rng(seed);
+    wq_ = randomWeights(cfg_.dModel, cfg_.dModel, cfg_.weightRange, rng);
+    wk_ = randomWeights(cfg_.dModel, cfg_.dModel, cfg_.weightRange, rng);
+    wv_ = randomWeights(cfg_.dModel, cfg_.dModel, cfg_.weightRange, rng);
+    wo_ = randomWeights(cfg_.dModel, cfg_.dModel, cfg_.weightRange, rng);
+    w1_ = randomWeights(cfg_.dModel, cfg_.dFf, cfg_.weightRange, rng);
+    w2_ = randomWeights(cfg_.dFf, cfg_.dModel, cfg_.weightRange, rng);
+}
+
+MatrixI
+Encoder::project(const MatrixI &x, const MatrixI &w) const
+{
+    MatrixI out(x.rows(), w.cols());
+    for (std::size_t t = 0; t < x.rows(); ++t) {
+        for (std::size_t c = 0; c < w.cols(); ++c) {
+            i64 acc = 0;
+            for (std::size_t k = 0; k < w.rows(); ++k)
+                acc += x(t, k) * w(k, c);
+            out(t, c) = acc;
+        }
+    }
+    return out;
+}
+
+MatrixI
+Encoder::forward(const MatrixI &input) const
+{
+    if (input.rows() != cfg_.seqLen || input.cols() != cfg_.dModel)
+        darth_fatal("Encoder::forward: input must be seqLen x dModel");
+
+    const std::size_t s = cfg_.seqLen;
+    const std::size_t d = cfg_.dModel;
+    const std::size_t h = cfg_.numHeads;
+    const std::size_t hd = cfg_.headDim();
+
+    // Projections (static weights -> ACE in the mapping).
+    MatrixI q = project(input, wq_);
+    MatrixI k = project(input, wk_);
+    MatrixI v = project(input, wv_);
+    for (std::size_t t = 0; t < s; ++t) {
+        auto qr = q.row(t), kr = k.row(t), vr = v.row(t);
+        requantRow(&qr, 7);
+        requantRow(&kr, 7);
+        requantRow(&vr, 7);
+        q.setRow(t, qr);
+        k.setRow(t, kr);
+        v.setRow(t, vr);
+    }
+
+    // Attention per head (dynamic matmuls -> DCE in the mapping).
+    MatrixI context(s, d);
+    const double score_scale =
+        1.0 / (16.0 * std::sqrt(static_cast<double>(hd)));
+    for (std::size_t head = 0; head < h; ++head) {
+        const std::size_t off = head * hd;
+        for (std::size_t ti = 0; ti < s; ++ti) {
+            // scores = q_ti . k_tj / sqrt(hd)
+            std::vector<i64> scores(s);
+            for (std::size_t tj = 0; tj < s; ++tj) {
+                i64 acc = 0;
+                for (std::size_t e = 0; e < hd; ++e)
+                    acc += q(ti, off + e) * k(tj, off + e);
+                scores[tj] = acc >> 4;
+            }
+            const auto probs = iSoftmax(scores, score_scale, 15);
+            for (std::size_t e = 0; e < hd; ++e) {
+                i64 acc = 0;
+                for (std::size_t tj = 0; tj < s; ++tj)
+                    acc += probs[tj] * v(tj, off + e);
+                context(ti, off + e) =
+                    std::clamp<i64>(acc >> 15, -127, 127);
+            }
+        }
+    }
+
+    // Output projection + residual + LayerNorm.
+    MatrixI attn_out = project(context, wo_);
+    MatrixI x1(s, d);
+    for (std::size_t t = 0; t < s; ++t) {
+        std::vector<i64> row(d);
+        for (std::size_t c = 0; c < d; ++c)
+            row[c] = (attn_out(t, c) >> 7) + input(t, c);
+        x1.setRow(t, iLayerNorm(row, 6));
+    }
+
+    // FFN: W1 -> GELU -> W2 (static weights -> ACE).
+    MatrixI ff1 = project(x1, w1_);
+    const double gelu_scale = 1.0 / 64.0;
+    MatrixI ff1a(s, cfg_.dFf);
+    for (std::size_t t = 0; t < s; ++t)
+        for (std::size_t c = 0; c < cfg_.dFf; ++c)
+            ff1a(t, c) = std::clamp<i64>(
+                iGelu(ff1(t, c) >> 7, gelu_scale), -127, 127);
+    MatrixI ff2 = project(ff1a, w2_);
+
+    MatrixI out(s, d);
+    for (std::size_t t = 0; t < s; ++t) {
+        std::vector<i64> row(d);
+        for (std::size_t c = 0; c < d; ++c)
+            row[c] = (ff2(t, c) >> 7) + x1(t, c);
+        out.setRow(t, iLayerNorm(row, 6));
+    }
+    return out;
+}
+
+EncoderStats
+Encoder::stats() const
+{
+    EncoderStats st;
+    const std::size_t s = cfg_.seqLen;
+    const std::size_t d = cfg_.dModel;
+    const std::size_t f = cfg_.dFf;
+
+    // Static-weight MVMs: Q/K/V/O projections (d x d, one per token
+    // each) and the FFN (d x f and f x d, one per token each).
+    st.staticMvms.push_back({d, d, 4 * s});
+    st.staticMvms.push_back({d, f, s});
+    st.staticMvms.push_back({f, d, s});
+    st.staticMacs = 4ull * s * d * d + 2ull * s * d * f;
+
+    // Dynamic matmuls: QK^T and PV, per head.
+    st.dynamicMacs = 2ull * cfg_.numHeads * s * s * cfg_.headDim();
+
+    // Element ops: softmax (s rows of s), GELU (s x f), two
+    // LayerNorms (s x d each), residuals.
+    st.elementOps = static_cast<u64>(cfg_.numHeads) * s * s * 4 +
+                    static_cast<u64>(s) * f + 2ull * s * d * 4 +
+                    2ull * s * d;
+    return st;
+}
+
+MatrixI
+syntheticTokens(const EncoderConfig &config, u64 seed)
+{
+    Rng rng(seed);
+    MatrixI x(config.seqLen, config.dModel);
+    for (std::size_t t = 0; t < config.seqLen; ++t)
+        for (std::size_t c = 0; c < config.dModel; ++c)
+            x(t, c) = rng.uniformInt(i64{-64}, i64{63});
+    return x;
+}
+
+} // namespace llm
+} // namespace darth

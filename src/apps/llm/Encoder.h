@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Integer transformer encoder layer (Section 5.2).
+ *
+ * Multi-head self-attention + feed-forward network with I-BERT
+ * integer kernels for softmax / GELU / LayerNorm. The DARTH-PUM
+ * mapping (LlmMapper) puts the static weight matrices (Q/K/V/O
+ * projections, FFN) in analog arrays and the *dynamic* attention
+ * matmuls (QK^T, PV) plus all non-MVM kernels in the DCE, because
+ * reprogramming analog cells per token would dominate (§5.2).
+ */
+
+#ifndef DARTH_APPS_LLM_ENCODER_H
+#define DARTH_APPS_LLM_ENCODER_H
+
+#include <vector>
+
+#include "apps/llm/IBert.h"
+#include "common/Matrix.h"
+#include "common/Random.h"
+
+namespace darth
+{
+namespace llm
+{
+
+/** Encoder geometry. */
+struct EncoderConfig
+{
+    std::size_t seqLen = 64;
+    std::size_t dModel = 128;
+    std::size_t numHeads = 4;
+    std::size_t dFf = 512;
+    /** Weight / activation quantization range. */
+    i64 weightRange = 7;
+
+    std::size_t headDim() const { return dModel / numHeads; }
+
+    /**
+     * BERT-base geometry [23] for the cost studies (Figures 13-18).
+     * Functional tests use the smaller default — the stats-driven
+     * mappers do not need a forward pass at this size.
+     */
+    static EncoderConfig
+    bertBase()
+    {
+        EncoderConfig cfg;
+        cfg.seqLen = 512;
+        cfg.dModel = 768;
+        cfg.numHeads = 12;
+        cfg.dFf = 3072;
+        return cfg;
+    }
+};
+
+/** Workload statistics of one encoder layer (for cost models). */
+struct EncoderStats
+{
+    /** Static-weight MVMs (ACE-eligible): shape list + counts. */
+    struct MvmGroup
+    {
+        std::size_t rows;
+        std::size_t cols;
+        std::size_t count;
+    };
+    std::vector<MvmGroup> staticMvms;
+    /** Dynamic matmul MACs (DCE): QK^T and PV. */
+    u64 dynamicMacs = 0;
+    /** Non-MVM element ops: softmax, GELU, LayerNorm, residuals. */
+    u64 elementOps = 0;
+    /** Total static-weight MACs. */
+    u64 staticMacs = 0;
+};
+
+/** One integer transformer encoder layer with random weights. */
+class Encoder
+{
+  public:
+    explicit Encoder(const EncoderConfig &config, u64 seed = 7);
+
+    const EncoderConfig &config() const { return cfg_; }
+
+    /**
+     * Forward pass: input (seqLen x dModel) int8 activations, output
+     * same shape (LayerNorm-scaled integers).
+     */
+    MatrixI forward(const MatrixI &input) const;
+
+    /** Workload statistics. */
+    EncoderStats stats() const;
+
+    const MatrixI &wq() const { return wq_; }
+    const MatrixI &wFf1() const { return w1_; }
+
+  private:
+    MatrixI project(const MatrixI &x, const MatrixI &w) const;
+
+    EncoderConfig cfg_;
+    MatrixI wq_, wk_, wv_, wo_;   // dModel x dModel
+    MatrixI w1_;                  // dModel x dFf
+    MatrixI w2_;                  // dFf x dModel
+};
+
+/** Deterministic synthetic token activations. */
+MatrixI syntheticTokens(const EncoderConfig &config, u64 seed);
+
+} // namespace llm
+} // namespace darth
+
+#endif // DARTH_APPS_LLM_ENCODER_H

@@ -1,0 +1,167 @@
+#include "apps/llm/IBert.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/FixedPoint.h"
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace llm
+{
+
+namespace
+{
+
+constexpr double kLn2 = 0.6931471805599453;
+
+// I-BERT i-exp polynomial constants: exp(p) ~= a*(p + b)^2 + c on
+// p in (-ln2, 0].
+constexpr double kA = 0.3585;
+constexpr double kB = 1.353;
+constexpr double kC = 0.344;
+
+} // namespace
+
+Fixed
+iExp(i64 value, double scale)
+{
+    if (scale <= 0.0)
+        darth_fatal("iExp: scale must be positive");
+    if (value > 0)
+        value = 0;       // i-exp is defined on non-positive inputs
+
+    // Range reduction: x = -z * ln2 + p, z = floor(-x / ln2).
+    const i64 ln2_q = static_cast<i64>(kLn2 / scale);
+    if (ln2_q == 0)
+        darth_fatal("iExp: scale too coarse to represent ln2");
+    const i64 z = (-value) / ln2_q;
+    const i64 p = value + z * ln2_q;      // p in (-ln2/scale, 0]
+
+    // Integer polynomial: exp(p) ~= a*(p + b)^2 + c at the input
+    // scale; the output scale follows from the squaring.
+    const i64 b_q = static_cast<i64>(kB / scale);
+    const i64 c_q = static_cast<i64>(kC / (kA * scale * scale));
+    const i64 t = p + b_q;
+    i64 exp_p = t * t + c_q;               // scale: a * scale^2
+    const double exp_scale = kA * scale * scale;
+
+    // Divide by 2^z (shift) for the range-reduction factor.
+    const int shift = static_cast<int>(std::min<i64>(z, 62));
+    exp_p >>= shift;
+    return Fixed{exp_p, exp_scale};
+}
+
+std::vector<i64>
+iSoftmax(const std::vector<i64> &logits, double scale, int out_bits)
+{
+    if (logits.empty())
+        return {};
+    const i64 max_logit =
+        *std::max_element(logits.begin(), logits.end());
+
+    std::vector<i64> exps(logits.size());
+    i64 sum = 0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        const Fixed e = iExp(logits[i] - max_logit, scale);
+        exps[i] = e.value;
+        sum += e.value;
+    }
+    std::vector<i64> out(logits.size());
+    if (sum <= 0) {
+        // Degenerate row: uniform distribution.
+        const i64 uniform = (i64{1} << out_bits) /
+                            static_cast<i64>(logits.size());
+        std::fill(out.begin(), out.end(), uniform);
+        return out;
+    }
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        out[i] = (exps[i] << out_bits) / sum;
+    return out;
+}
+
+i64
+iGelu(i64 value, double scale)
+{
+    // I-BERT i-GELU: gelu(x) = x/2 * (1 + erf(x / sqrt(2))), with
+    // erf approximated by sgn(q) * (a*(clip(|q|, -b) + b)^2 - 1)
+    // using a = -0.2888, b = -1.769 on q = x / sqrt(2).
+    constexpr double a = -0.2888;
+    constexpr double b = -1.769;
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+
+    const double q_scale = scale * inv_sqrt2;
+    i64 q = value;                        // at q_scale
+    const i64 sgn = q < 0 ? -1 : 1;
+    i64 abs_q = std::min<i64>(std::abs(q),
+                              static_cast<i64>(-b / q_scale));
+    const i64 b_q = static_cast<i64>(b / q_scale);
+    const i64 t = abs_q + b_q;           // clip(|q|,-b) + b, <= 0
+    // erf ~= sgn * (a * t^2 * q_scale^2 - ... ); fold into integer
+    // math at scale (a * q_scale^2).
+    const i64 one_q =
+        static_cast<i64>(1.0 / std::abs(a * q_scale * q_scale));
+    const i64 erf_q = sgn * (one_q - t * t);   // at scale |a|*q_scale^2
+    // gelu = x * (erf + 1) / 2: rescale erf to 2^14 fixed point.
+    const double erf_scale = std::abs(a) * q_scale * q_scale;
+    const i64 erf_fx = static_cast<i64>(
+        std::nearbyint(static_cast<double>(erf_q) * erf_scale *
+                       16384.0));
+    const i64 one_fx = 16384;
+    return (value * (erf_fx + one_fx)) >> 15;   // /2 and /2^14
+}
+
+std::vector<i64>
+iLayerNorm(const std::vector<i64> &x, int out_bits)
+{
+    if (x.empty())
+        return {};
+    const i64 n = static_cast<i64>(x.size());
+    i64 sum = 0;
+    for (i64 v : x)
+        sum += v;
+    const i64 mean = sum / n;
+
+    i64 var_sum = 0;
+    for (i64 v : x) {
+        const i64 d = v - mean;
+        var_sum += d * d;
+    }
+    const i64 var = var_sum / n;
+    const i64 std_dev = std::max<i64>(isqrt(var), 1);
+
+    std::vector<i64> out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] = ((x[static_cast<std::size_t>(i)] - mean)
+                  << out_bits) /
+                 std_dev;
+    return out;
+}
+
+double
+refGelu(double x)
+{
+    return 0.5 * x * (1.0 + std::erf(x / std::sqrt(2.0)));
+}
+
+std::vector<double>
+refSoftmax(const std::vector<double> &logits)
+{
+    if (logits.empty())
+        return {};
+    const double max_logit =
+        *std::max_element(logits.begin(), logits.end());
+    std::vector<double> out(logits.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        out[i] = std::exp(logits[i] - max_logit);
+        sum += out[i];
+    }
+    for (auto &v : out)
+        v /= sum;
+    return out;
+}
+
+} // namespace llm
+} // namespace darth

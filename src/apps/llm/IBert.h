@@ -1,0 +1,67 @@
+/**
+ * @file
+ * I-BERT-style integer-only transformer kernels [65] (Section 5.2).
+ *
+ * The paper's DARTH-PUM LLM mapping runs softmax, GELU, and LayerNorm
+ * entirely in the DCE using I-BERT's integer algorithms: exp via a
+ * second-order polynomial after range reduction by ln2, GELU via a
+ * polynomial erf approximation, and LayerNorm via an integer Newton
+ * square root. All functions here operate on fixed-point integers
+ * with explicit scales and are validated against their floating-point
+ * references in the tests.
+ */
+
+#ifndef DARTH_APPS_LLM_IBERT_H
+#define DARTH_APPS_LLM_IBERT_H
+
+#include <vector>
+
+#include "common/Types.h"
+
+namespace darth
+{
+namespace llm
+{
+
+/** Fixed-point value with its scale: real = value * scale. */
+struct Fixed
+{
+    i64 value = 0;
+    double scale = 1.0;
+
+    double real() const { return static_cast<double>(value) * scale; }
+};
+
+/**
+ * Integer exponential of a non-positive fixed-point input (I-BERT
+ * i-exp): exp(x) for x <= 0, using x = -z*ln2 + p with p in
+ * (-ln2, 0] and a 2nd-order polynomial for exp(p).
+ */
+Fixed iExp(i64 value, double scale);
+
+/**
+ * Integer softmax over a row of logits sharing one scale. Returns
+ * fixed-point probabilities in units of 1 / 2^out_bits (so they sum
+ * to ~2^out_bits).
+ */
+std::vector<i64> iSoftmax(const std::vector<i64> &logits, double scale,
+                          int out_bits = 15);
+
+/** Integer GELU (I-BERT i-GELU, polynomial erf). */
+i64 iGelu(i64 value, double scale);
+
+/**
+ * Integer LayerNorm over one row: (x - mean) / sqrt(var), emitted at
+ * the requested output scale (1 / 2^out_bits).
+ */
+std::vector<i64> iLayerNorm(const std::vector<i64> &x,
+                            int out_bits = 7);
+
+/** Floating-point references for the tests. */
+double refGelu(double x);
+std::vector<double> refSoftmax(const std::vector<double> &logits);
+
+} // namespace llm
+} // namespace darth
+
+#endif // DARTH_APPS_LLM_IBERT_H

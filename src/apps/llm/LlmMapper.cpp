@@ -1,0 +1,119 @@
+#include "apps/llm/LlmMapper.h"
+
+#include <algorithm>
+
+namespace darth
+{
+namespace llm
+{
+
+LlmMapper::LlmMapper(const hct::HctConfig &cfg, int element_bits,
+                     int bits_per_cell, int input_bits)
+    : cfg_(cfg), elementBits_(element_bits), bitsPerCell_(bits_per_cell),
+      inputBits_(input_bits), kernels_(cfg)
+{
+}
+
+Cycle
+LlmMapper::elementWork(u64 element_ops, PicoJoule *energy)
+{
+    // I-BERT kernels decompose into adds, multiplies (for the
+    // polynomials), and selects; cost an average of ~1 multiply +
+    // 2 adds per element op, vectorized across pipeline lanes and
+    // pipelines.
+    const std::size_t width = cfg_.dce.pipeline.width;
+    const std::size_t pipes = cfg_.dce.numPipelines;
+    const auto mult =
+        kernels_.multiply(static_cast<std::size_t>(inputBits_));
+    const auto add =
+        kernels_.macro(digital::MacroKind::Add, 2 * inputBits_);
+    const u64 vectors = (element_ops + width - 1) / width;
+    const Cycle per_vector = mult.amortized + 2 * add.amortized;
+    *energy += static_cast<double>(vectors) *
+               (mult.energy + 2 * add.energy);
+    return vectors * per_vector / std::max<std::size_t>(pipes, 1);
+}
+
+Cycle
+LlmMapper::dynamicMatmulWork(u64 macs, PicoJoule *energy)
+{
+    const std::size_t width = cfg_.dce.pipeline.width;
+    const std::size_t pipes = cfg_.dce.numPipelines;
+    const auto mult =
+        kernels_.multiply(static_cast<std::size_t>(inputBits_));
+    const auto add =
+        kernels_.macro(digital::MacroKind::Add, 2 * inputBits_);
+    const u64 vector_macs = (macs + width - 1) / width;
+    *energy += static_cast<double>(vector_macs) *
+               (mult.energy + add.energy);
+    return vector_macs * (mult.amortized + add.amortized) /
+           std::max<std::size_t>(pipes, 1);
+}
+
+EncoderCost
+LlmMapper::hybridCost(const EncoderStats &stats)
+{
+    EncoderCost cost;
+
+    // Static-weight MVMs on the ACEs.
+    Cycle mvm_cycles = 0;
+    for (const auto &group : stats.staticMvms) {
+        const auto plan = runtime::Runtime::planMatrix(
+            cfg_, group.rows, group.cols, elementBits_, bitsPerCell_);
+        cost.hctsUsed += plan.parts.size();
+        runtime::MvmShape shape;
+        shape.elementBits = elementBits_;
+        shape.bitsPerCell = bitsPerCell_;
+        shape.inputBits = inputBits_;
+        Cycle worst_lat = 0, worst_amort = 0;
+        PicoJoule per_mvm = 0.0;
+        for (const auto &part : plan.parts) {
+            shape.rows = part.numRows;
+            shape.cols = part.numCols;
+            const auto mvm = kernels_.mvm(shape);
+            worst_lat = std::max(worst_lat, mvm.latency);
+            worst_amort = std::max(worst_amort, mvm.amortized);
+            per_mvm += mvm.energy;
+        }
+        mvm_cycles += worst_lat + (group.count - 1) * worst_amort;
+        cost.energy += static_cast<double>(group.count) * per_mvm;
+    }
+
+    // Dynamic attention matmuls + element kernels run in the DCEs of
+    // every tile the placement owns (the encoder instance spans
+    // cost.hctsUsed HCTs whose digital pipelines are otherwise idle).
+    Cycle dce_cycles = dynamicMatmulWork(stats.dynamicMacs,
+                                         &cost.energy);
+    dce_cycles += elementWork(stats.elementOps, &cost.energy);
+    dce_cycles /= std::max<std::size_t>(cost.hctsUsed, 1);
+
+    cost.latency = mvm_cycles + dce_cycles;
+    cost.nonMvmFraction =
+        cost.latency == 0 ? 0.0
+                          : static_cast<double>(dce_cycles) /
+                                static_cast<double>(cost.latency);
+    return cost;
+}
+
+EncoderCost
+LlmMapper::digitalCost(const EncoderStats &stats)
+{
+    EncoderCost cost;
+    cost.hctsUsed = 1;
+    Cycle cycles =
+        dynamicMatmulWork(stats.staticMacs + stats.dynamicMacs,
+                          &cost.energy);
+    Cycle element = elementWork(stats.elementOps, &cost.energy);
+    // Thermal limit of the all-digital chip (§6): 2/64 pipelines.
+    cycles *= 32;
+    element *= 32;
+    cost.latency = cycles + element;
+    cost.nonMvmFraction =
+        cost.latency == 0 ? 0.0
+                          : static_cast<double>(element) /
+                                static_cast<double>(cost.latency);
+    return cost;
+}
+
+} // namespace llm
+} // namespace darth

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * LLM_build<En/De>coder() mapping (Section 5.2): static weight
+ * matrices in analog arrays, dynamic attention matmuls and all
+ * non-MVM kernels (I-BERT softmax/GELU/LayerNorm) in the DCE.
+ */
+
+#ifndef DARTH_APPS_LLM_LLMMAPPER_H
+#define DARTH_APPS_LLM_LLMMAPPER_H
+
+#include "apps/llm/Encoder.h"
+#include "runtime/KernelModel.h"
+#include "runtime/Runtime.h"
+
+namespace darth
+{
+namespace llm
+{
+
+/** Cost of one encoder layer pass. */
+struct EncoderCost
+{
+    Cycle latency = 0;
+    PicoJoule energy = 0.0;
+    std::size_t hctsUsed = 0;
+    /** Share of latency spent on non-MVM (DCE element) work. */
+    double nonMvmFraction = 0.0;
+};
+
+/** Costs an encoder layer on DARTH-PUM or digital-only PUM. */
+class LlmMapper
+{
+  public:
+    LlmMapper(const hct::HctConfig &cfg, int element_bits = 8,
+              int bits_per_cell = 2, int input_bits = 8);
+
+    /** Hybrid (DARTH-PUM) cost: FFN/projections on ACEs. */
+    EncoderCost hybridCost(const EncoderStats &stats);
+
+    /** Digital-only cost: every MAC in the DCE. */
+    EncoderCost digitalCost(const EncoderStats &stats);
+
+    runtime::KernelModel &kernels() { return kernels_; }
+
+  private:
+    Cycle elementWork(u64 element_ops, PicoJoule *energy);
+    Cycle dynamicMatmulWork(u64 macs, PicoJoule *energy);
+
+    hct::HctConfig cfg_;
+    int elementBits_;
+    int bitsPerCell_;
+    int inputBits_;
+    runtime::KernelModel kernels_;
+};
+
+} // namespace llm
+} // namespace darth
+
+#endif // DARTH_APPS_LLM_LLMMAPPER_H

@@ -1,0 +1,438 @@
+#include "baselines/Systems.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace baselines
+{
+
+namespace
+{
+
+/** Energy per byte crossing the offload link, joules. */
+constexpr double kLinkJoulesPerByte = 20e-12;
+
+/** Per-round CPU cycles for the AES software kernels (table-based,
+ *  per block): SubBytes 40, ShiftRows 16, AddRoundKey 16. */
+constexpr double kCpuSubBytesCycles = 40.0;
+constexpr double kCpuShiftRowsCycles = 16.0;
+constexpr double kCpuAddRoundKeyCycles = 16.0;
+constexpr double kCpuMixColumnsCycles = 80.0;
+
+/** SFU throughput of the application-specific accelerators, ops/s. */
+constexpr double kSfuOpsPerSec = 2.0e12;
+
+/** GPU kernel-launch overhead per layer/kernel group, seconds
+ *  (small-batch inference is launch-bound on discrete GPUs). */
+constexpr double kGpuLaunchOverheadS = 5e-6;
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// CpuModel
+// ---------------------------------------------------------------------
+
+double
+CpuModel::aesSwBlocksPerSec() const
+{
+    return p_.cores * p_.freqGHz * 1e9 /
+           (p_.aesSwCyclesPerByte * 16.0);
+}
+
+double
+CpuModel::aesNiBlocksPerSec() const
+{
+    return p_.cores * p_.freqGHz * 1e9 /
+           (p_.aesNiCyclesPerByte * 16.0);
+}
+
+double
+CpuModel::aesSwJoulesPerBlock() const
+{
+    return p_.tdpWatts / aesSwBlocksPerSec();
+}
+
+double
+CpuModel::aesNiJoulesPerBlock() const
+{
+    return p_.tdpWatts / aesNiBlocksPerSec();
+}
+
+double
+CpuModel::vectorOpsPerSec() const
+{
+    // int8 lanes x cores x frequency (one vector op per cycle),
+    // capped by DRAM bandwidth for streaming element-wise kernels
+    // (~2 bytes of traffic per op).
+    const double compute = static_cast<double>(p_.cores) * p_.freqGHz *
+                           1e9 * (p_.simdBits / 8.0);
+    const double memory = p_.dramGBs * 1e9 / 2.0;
+    return std::min(compute, memory);
+}
+
+double
+CpuModel::macsPerSec() const
+{
+    // GEMM-style MACs are cache-blocked and compute-bound: a MAC
+    // needs a multiply + add lane pair at full SIMD rate.
+    return static_cast<double>(p_.cores) * p_.freqGHz * 1e9 *
+           (p_.simdBits / 8.0) / 2.0;
+}
+
+// ---------------------------------------------------------------------
+// AnalogAccelModel
+// ---------------------------------------------------------------------
+
+double
+AnalogAccelModel::mvmSeconds(std::size_t rows, std::size_t cols,
+                             int input_bits) const
+{
+    const std::size_t row_tiles =
+        (rows + p_.arrayRows / 2 - 1) / (p_.arrayRows / 2);
+    const std::size_t col_tiles =
+        (cols + p_.arrayCols - 1) / p_.arrayCols;
+    const double passes = static_cast<double>(row_tiles * col_tiles);
+    return static_cast<double>(input_bits) * passes *
+           p_.cyclesPerPlane / (p_.freqGHz * 1e9);
+}
+
+double
+AnalogAccelModel::mvmJoules(std::size_t rows, std::size_t cols,
+                            int input_bits) const
+{
+    const std::size_t row_tiles =
+        (rows + p_.arrayRows / 2 - 1) / (p_.arrayRows / 2);
+    const std::size_t col_tiles =
+        (cols + p_.arrayCols - 1) / p_.arrayCols;
+    return static_cast<double>(input_bits) *
+           static_cast<double>(row_tiles * col_tiles) *
+           p_.energyPerPlanePJ * 1e-12;
+}
+
+double
+AnalogAccelModel::macsPerSec(int input_bits) const
+{
+    // Each array computes (rows/2 x cols) MACs per input pass.
+    const double macs_per_pass =
+        static_cast<double>(p_.arrayRows / 2) * p_.arrayCols;
+    const double passes_per_sec =
+        p_.freqGHz * 1e9 /
+        (static_cast<double>(input_bits) * p_.cyclesPerPlane);
+    return macs_per_pass * passes_per_sec *
+           static_cast<double>(p_.parallelArrays);
+}
+
+// ---------------------------------------------------------------------
+// BaselineSystem
+// ---------------------------------------------------------------------
+
+AesBreakdownNs
+BaselineSystem::aesBreakdownNs() const
+{
+    // Single-stream latency: each round's MixColumns round-trips the
+    // accelerator link (unbatched), everything else runs on one core.
+    const double cycle_ns = 1.0 / cpu_.params().freqGHz;
+    LinkParams single = link_;
+    single.batch = 1.0;
+
+    AesBreakdownNs bd;
+    bd.subBytes = 10 * kCpuSubBytesCycles * cycle_ns;
+    bd.shiftRows = 10 * kCpuShiftRowsCycles * cycle_ns;
+    bd.addRoundKey = 11 * kCpuAddRoundKeyCycles * cycle_ns;
+    // 9 MixColumns rounds: 16 B out, 32 raw outputs (1 B each) back.
+    bd.dataMovement =
+        9 * (single.transferNs(16) + single.transferNs(32));
+    bd.mixColumns = 9 * accel_.mvmSeconds(32, 32, 1) * 1e9 * 4.0;
+    return bd;
+}
+
+double
+BaselineSystem::aesBlocksPerSec() const
+{
+    // Throughput: every core keeps one block stream in flight, link
+    // transfers batched across streams; the per-block service time is
+    // the non-overlappable CPU + amortized offload time.
+    const double cycle_ns = 1.0 / cpu_.params().freqGHz;
+    const double cpu_ns =
+        (10 * kCpuSubBytesCycles + 10 * kCpuShiftRowsCycles +
+         11 * kCpuAddRoundKeyCycles) *
+        cycle_ns;
+    // AES streams by the thousand, so the offload overhead batches
+    // deeply (unlike the synchronous CNN/LLM layer offloads).
+    LinkParams batched = link_;
+    batched.batch = 256.0;
+    const double link_ns =
+        9 * (batched.transferNs(16) + batched.transferNs(32));
+    // The accelerator's arrays serve the per-round MVMs of all
+    // streams concurrently.
+    const double accel_ns =
+        9 * accel_.mvmSeconds(32, 32, 1) * 1e9 * 4.0 /
+        static_cast<double>(accel_.params().parallelArrays);
+    const double per_block_ns =
+        (cpu_ns + link_ns) / static_cast<double>(cpu_.params().cores) +
+        accel_ns;
+    return 1e9 / per_block_ns;
+}
+
+double
+BaselineSystem::aesJoulesPerBlock() const
+{
+    const double cpu_joules =
+        cpu_.params().tdpWatts / aesBlocksPerSec();
+    const double link_joules = 9 * 48 * kLinkJoulesPerByte;
+    const double accel_joules = 9 * 4 * accel_.mvmJoules(32, 32, 1);
+    return cpu_joules + link_joules + accel_joules;
+}
+
+double
+BaselineSystem::cnnLayerSeconds(const cnn::LayerStats &layer) const
+{
+    const double mvm_s = static_cast<double>(layer.macs) /
+                         accel_.macsPerSec(8);
+    const double element_s = static_cast<double>(layer.elementOps) /
+                             cpu_.vectorOpsPerSec();
+    // Feature maps cross the link twice per layer (1 B per element).
+    const double link_s =
+        2.0 * link_.transferNs(
+                  static_cast<double>(layer.outputElems)) *
+        1e-9;
+    return mvm_s + element_s + link_s;
+}
+
+double
+BaselineSystem::cnnInferSeconds(
+    const std::vector<cnn::LayerStats> &layers) const
+{
+    double total = 0.0;
+    for (const auto &layer : layers)
+        total += cnnLayerSeconds(layer);
+    return total;
+}
+
+double
+BaselineSystem::cnnInfersPerSec(
+    const std::vector<cnn::LayerStats> &layers) const
+{
+    return 1.0 / cnnInferSeconds(layers);
+}
+
+double
+BaselineSystem::cnnJoulesPerInfer(
+    const std::vector<cnn::LayerStats> &layers) const
+{
+    double joules = 0.0;
+    for (const auto &layer : layers) {
+        joules += static_cast<double>(layer.macs) /
+                  accel_.macsPerSec(8) * 1e12 *
+                  (accel_.params().energyPerPlanePJ /
+                   (accel_.params().cyclesPerPlane)) *
+                  1e-12;
+        joules += static_cast<double>(layer.elementOps) /
+                  cpu_.vectorOpsPerSec() * cpu_.params().tdpWatts;
+        joules += 2.0 * static_cast<double>(layer.outputElems) *
+                  kLinkJoulesPerByte;
+        // The CPU busy-waits on the synchronous per-layer offloads.
+        joules += 2.0 *
+                  link_.transferNs(
+                      static_cast<double>(layer.outputElems)) *
+                  1e-9 * cpu_.params().tdpWatts;
+    }
+    return joules;
+}
+
+double
+BaselineSystem::llmEncodeSeconds(const llm::EncoderStats &stats) const
+{
+    const double static_s = static_cast<double>(stats.staticMacs) /
+                            accel_.macsPerSec(8);
+    // Attention matmuls and all element kernels run on the CPU.
+    const double dynamic_s = static_cast<double>(stats.dynamicMacs) /
+                             cpu_.macsPerSec();
+    const double element_s = static_cast<double>(stats.elementOps) /
+                             cpu_.vectorOpsPerSec() * 4.0;
+    // Activations cross the link before and after every ACE matrix.
+    double link_bytes = 0.0;
+    for (const auto &g : stats.staticMvms)
+        link_bytes += static_cast<double>(g.count) *
+                      static_cast<double>(g.rows + g.cols);
+    const double link_s = link_.transferNs(link_bytes) * 1e-9;
+    return static_s + dynamic_s + element_s + link_s;
+}
+
+double
+BaselineSystem::llmEncodesPerSec(const llm::EncoderStats &stats) const
+{
+    return 1.0 / llmEncodeSeconds(stats);
+}
+
+double
+BaselineSystem::llmJoulesPerEncode(const llm::EncoderStats &stats) const
+{
+    const double cpu_share =
+        (static_cast<double>(stats.dynamicMacs) / cpu_.macsPerSec() +
+         static_cast<double>(stats.elementOps) /
+             cpu_.vectorOpsPerSec() * 4.0) *
+        cpu_.params().tdpWatts;
+    const double accel_share =
+        static_cast<double>(stats.staticMacs) / accel_.macsPerSec(8) *
+        accel_.params().energyPerPlanePJ /
+        accel_.params().cyclesPerPlane;
+    double link_bytes = 0.0;
+    for (const auto &g : stats.staticMvms)
+        link_bytes += static_cast<double>(g.count) *
+                      static_cast<double>(g.rows + g.cols);
+    return cpu_share + accel_share +
+           link_bytes * kLinkJoulesPerByte;
+}
+
+// ---------------------------------------------------------------------
+// GpuModel
+// ---------------------------------------------------------------------
+
+double
+GpuModel::gemmSeconds(u64 macs) const
+{
+    return static_cast<double>(macs) /
+           (p_.int8Tops * 1e12 * p_.gemmEfficiency);
+}
+
+double
+GpuModel::elementSeconds(u64 ops) const
+{
+    // Element kernels are memory-bound: ~2 bytes of traffic per op.
+    return static_cast<double>(ops) * 2.0 /
+           (p_.memBwGBs * 1e9 * p_.elementEfficiency);
+}
+
+double
+GpuModel::aesJoulesPerBlock() const
+{
+    return p_.tdpWatts / p_.aesBlocksPerSec;
+}
+
+double
+GpuModel::cnnInfersPerSec(
+    const std::vector<cnn::LayerStats> &layers) const
+{
+    double seconds = 0.0;
+    for (const auto &layer : layers)
+        seconds += gemmSeconds(layer.macs) +
+                   elementSeconds(layer.elementOps) +
+                   kGpuLaunchOverheadS;
+    return 1.0 / seconds;
+}
+
+double
+GpuModel::cnnJoulesPerInfer(
+    const std::vector<cnn::LayerStats> &layers) const
+{
+    return p_.tdpWatts / cnnInfersPerSec(layers);
+}
+
+double
+GpuModel::llmEncodesPerSec(const llm::EncoderStats &stats) const
+{
+    // ~12 kernels per encoder layer (projections, attention ops,
+    // softmax, layernorms, FFN).
+    const double seconds =
+        gemmSeconds(stats.staticMacs + stats.dynamicMacs) +
+        elementSeconds(stats.elementOps) + 12.0 * kGpuLaunchOverheadS;
+    return 1.0 / seconds;
+}
+
+double
+GpuModel::llmJoulesPerEncode(const llm::EncoderStats &stats) const
+{
+    return p_.tdpWatts / llmEncodesPerSec(stats);
+}
+
+// ---------------------------------------------------------------------
+// AppAccelModels
+// ---------------------------------------------------------------------
+
+AppAccelModels::AppAccelModels(const CpuParams &cpu,
+                               const AnalogAccelParams &accel)
+    : cpu_(cpu), accel_(accel)
+{
+}
+
+double
+AppAccelModels::aesBlocksPerSec() const
+{
+    // One AES-NI engine (the "accelerator" of §6), not all cores.
+    return cpu_.aesNiBlocksPerSec() /
+           static_cast<double>(cpu_.params().cores);
+}
+
+double
+AppAccelModels::aesJoulesPerBlock() const
+{
+    // Per-engine energy: one core's share of the package power.
+    return cpu_.aesNiJoulesPerBlock();
+}
+
+double
+AppAccelModels::cnnInfersPerSec(
+    const std::vector<cnn::LayerStats> &layers) const
+{
+    // Ramp-ADC CNN accelerator [150]: arrays + dedicated SFUs; the
+    // SFU area (~45% of the chip) reduces array parallelism, but
+    // non-MVM work runs at SFU rates.
+    double seconds = 0.0;
+    for (const auto &layer : layers) {
+        seconds += static_cast<double>(layer.macs) /
+                   (accel_.macsPerSec(8) *
+                    (1.0 - kSfuAreaFraction));
+        seconds += static_cast<double>(layer.elementOps) /
+                   kSfuOpsPerSec;
+    }
+    return 1.0 / seconds;
+}
+
+double
+AppAccelModels::cnnJoulesPerInfer(
+    const std::vector<cnn::LayerStats> &layers) const
+{
+    double joules = 0.0;
+    for (const auto &layer : layers) {
+        joules += static_cast<double>(layer.macs) /
+                  accel_.macsPerSec(8) *
+                  (accel_.params().energyPerPlanePJ /
+                   accel_.params().cyclesPerPlane);
+        joules += static_cast<double>(layer.elementOps) * 1e-12;
+    }
+    return joules;
+}
+
+double
+AppAccelModels::llmEncodesPerSec(const llm::EncoderStats &stats) const
+{
+    // ISAAC-style chip with transformer SFUs [125]: everything on
+    // chip, arrays reduced by SFU area.
+    const double mvm_s =
+        static_cast<double>(stats.staticMacs + stats.dynamicMacs) /
+        (accel_.macsPerSec(8) * (1.0 - kSfuAreaFraction));
+    const double sfu_s =
+        static_cast<double>(stats.elementOps) / kSfuOpsPerSec;
+    return 1.0 / (mvm_s + sfu_s);
+}
+
+double
+AppAccelModels::llmJoulesPerEncode(const llm::EncoderStats &stats) const
+{
+    const double mvm_j =
+        static_cast<double>(stats.staticMacs + stats.dynamicMacs) /
+        accel_.macsPerSec(8) *
+        (accel_.params().energyPerPlanePJ /
+         accel_.params().cyclesPerPlane);
+    const double sfu_j =
+        static_cast<double>(stats.elementOps) * 1e-12;
+    return mvm_j + sfu_j;
+}
+
+} // namespace baselines
+} // namespace darth

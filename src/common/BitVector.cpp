@@ -1,0 +1,231 @@
+#include "common/BitVector.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/Logging.h"
+
+namespace darth
+{
+
+namespace
+{
+
+constexpr std::size_t kWordBits = 64;
+
+std::size_t
+wordsFor(std::size_t bits)
+{
+    return (bits + kWordBits - 1) / kWordBits;
+}
+
+} // namespace
+
+BitVector::BitVector(std::size_t n, bool value)
+    : size_(n), words_(wordsFor(n), value ? ~0ULL : 0ULL)
+{
+    maskTail();
+}
+
+BitVector
+BitVector::fromString(const std::string &bits)
+{
+    BitVector result(bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        const char c = bits[bits.size() - 1 - i];
+        if (c != '0' && c != '1')
+            darth_panic("BitVector::fromString: bad character '", c, "'");
+        result.set(i, c == '1');
+    }
+    return result;
+}
+
+BitVector
+BitVector::fromInteger(u64 value, std::size_t n)
+{
+    BitVector result(n);
+    for (std::size_t i = 0; i < n && i < kWordBits; ++i)
+        result.set(i, (value >> i) & 1ULL);
+    return result;
+}
+
+void
+BitVector::resize(std::size_t n)
+{
+    size_ = n;
+    words_.resize(wordsFor(n), 0ULL);
+    maskTail();
+}
+
+bool
+BitVector::get(std::size_t i) const
+{
+    if (i >= size_)
+        darth_panic("BitVector::get: index ", i, " out of range ", size_);
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+}
+
+void
+BitVector::set(std::size_t i, bool value)
+{
+    if (i >= size_)
+        darth_panic("BitVector::set: index ", i, " out of range ", size_);
+    const u64 mask = 1ULL << (i % kWordBits);
+    if (value)
+        words_[i / kWordBits] |= mask;
+    else
+        words_[i / kWordBits] &= ~mask;
+}
+
+void
+BitVector::fill(bool value)
+{
+    std::fill(words_.begin(), words_.end(), value ? ~0ULL : 0ULL);
+    maskTail();
+}
+
+std::size_t
+BitVector::popcount() const
+{
+    std::size_t count = 0;
+    for (u64 w : words_)
+        count += static_cast<std::size_t>(std::popcount(w));
+    return count;
+}
+
+u64
+BitVector::toInteger() const
+{
+    if (size_ > kWordBits)
+        darth_panic("BitVector::toInteger: ", size_, " bits > 64");
+    return words_.empty() ? 0ULL : words_[0];
+}
+
+i64
+BitVector::toSigned() const
+{
+    const u64 raw = toInteger();
+    if (size_ == 0 || size_ >= kWordBits)
+        return static_cast<i64>(raw);
+    if (get(size_ - 1)) {
+        // Negative: extend the sign bit.
+        return static_cast<i64>(raw | (~0ULL << size_));
+    }
+    return static_cast<i64>(raw);
+}
+
+std::string
+BitVector::toString() const
+{
+    std::string out(size_, '0');
+    for (std::size_t i = 0; i < size_; ++i)
+        out[size_ - 1 - i] = get(i) ? '1' : '0';
+    return out;
+}
+
+BitVector
+BitVector::nor(const BitVector &other) const
+{
+    return ~(*this | other);
+}
+
+BitVector
+BitVector::operator&(const BitVector &other) const
+{
+    if (size_ != other.size_)
+        darth_panic("BitVector size mismatch: ", size_, " vs ",
+                    other.size_);
+    BitVector result(size_);
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        result.words_[w] = words_[w] & other.words_[w];
+    return result;
+}
+
+BitVector
+BitVector::operator|(const BitVector &other) const
+{
+    if (size_ != other.size_)
+        darth_panic("BitVector size mismatch: ", size_, " vs ",
+                    other.size_);
+    BitVector result(size_);
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        result.words_[w] = words_[w] | other.words_[w];
+    return result;
+}
+
+BitVector
+BitVector::operator^(const BitVector &other) const
+{
+    if (size_ != other.size_)
+        darth_panic("BitVector size mismatch: ", size_, " vs ",
+                    other.size_);
+    BitVector result(size_);
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        result.words_[w] = words_[w] ^ other.words_[w];
+    return result;
+}
+
+BitVector
+BitVector::operator~() const
+{
+    BitVector result(size_);
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        result.words_[w] = ~words_[w];
+    result.maskTail();
+    return result;
+}
+
+bool
+BitVector::operator==(const BitVector &other) const
+{
+    return size_ == other.size_ && words_ == other.words_;
+}
+
+BitVector
+BitVector::shiftedUp(std::size_t k) const
+{
+    BitVector result(size_);
+    for (std::size_t i = k; i < size_; ++i)
+        result.set(i, get(i - k));
+    return result;
+}
+
+BitVector
+BitVector::shiftedDown(std::size_t k) const
+{
+    BitVector result(size_);
+    for (std::size_t i = 0; i + k < size_; ++i)
+        result.set(i, get(i + k));
+    return result;
+}
+
+BitVector
+BitVector::reversed() const
+{
+    BitVector result(size_);
+    for (std::size_t i = 0; i < size_; ++i)
+        result.set(size_ - 1 - i, get(i));
+    return result;
+}
+
+BitVector
+BitVector::slice(std::size_t lo, std::size_t len) const
+{
+    if (lo + len > size_)
+        darth_panic("BitVector::slice: [", lo, ", ", lo + len,
+                    ") out of range ", size_);
+    BitVector result(len);
+    for (std::size_t i = 0; i < len; ++i)
+        result.set(i, get(lo + i));
+    return result;
+}
+
+void
+BitVector::maskTail()
+{
+    const std::size_t rem = size_ % kWordBits;
+    if (rem != 0 && !words_.empty())
+        words_.back() &= (~0ULL >> (kWordBits - rem));
+}
+
+} // namespace darth

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * A dynamic bit vector used to model bit-serial digital PUM state.
+ *
+ * Digital PUM computation in DARTH-PUM is bit-exact: vector-register
+ * contents, array columns, and µop operands are all streams of bits.
+ * BitVector provides compact word-packed storage with the bulk Boolean
+ * operators that the OSCAR logic family realizes in-array.
+ */
+
+#ifndef DARTH_COMMON_BITVECTOR_H
+#define DARTH_COMMON_BITVECTOR_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/Types.h"
+
+namespace darth
+{
+
+/**
+ * Fixed-length (after construction/resize) packed vector of bits.
+ *
+ * Bit i of the vector lives at word i/64, bit i%64. All bulk operators
+ * require equal operand lengths and assert on mismatch.
+ */
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** Construct with n bits, all initialized to the given value. */
+    explicit BitVector(std::size_t n, bool value = false);
+
+    /** Construct from a string of '0'/'1' characters, MSB first. */
+    static BitVector fromString(const std::string &bits);
+
+    /** Construct from the low n bits of an integer (bit 0 = LSB). */
+    static BitVector fromInteger(u64 value, std::size_t n);
+
+    /** Number of bits. */
+    std::size_t size() const { return size_; }
+
+    /** True when the vector holds zero bits. */
+    bool empty() const { return size_ == 0; }
+
+    /** Change the length; new bits are zero. */
+    void resize(std::size_t n);
+
+    /** Read bit i. */
+    bool get(std::size_t i) const;
+
+    /** Write bit i. */
+    void set(std::size_t i, bool value);
+
+    /** Set all bits to the given value. */
+    void fill(bool value);
+
+    /** Population count. */
+    std::size_t popcount() const;
+
+    /** Return the bits as an unsigned integer (size() must be <= 64). */
+    u64 toInteger() const;
+
+    /** Sign-extended interpretation as two's complement. */
+    i64 toSigned() const;
+
+    /** '0'/'1' string, MSB first. */
+    std::string toString() const;
+
+    /** Bitwise NOR (the OSCAR primitive). */
+    BitVector nor(const BitVector &other) const;
+
+    /** Bitwise operators used by the ideal logic family. */
+    BitVector operator&(const BitVector &other) const;
+    BitVector operator|(const BitVector &other) const;
+    BitVector operator^(const BitVector &other) const;
+    BitVector operator~() const;
+
+    bool operator==(const BitVector &other) const;
+    bool operator!=(const BitVector &other) const
+    {
+        return !(*this == other);
+    }
+
+    /**
+     * Logical shift toward higher bit indices by k positions
+     * (multiply-by-2^k for LSB-first integer interpretation).
+     */
+    BitVector shiftedUp(std::size_t k) const;
+
+    /** Logical shift toward lower bit indices by k positions. */
+    BitVector shiftedDown(std::size_t k) const;
+
+    /** Reverse bit order (used by the pipeline-reversal macro). */
+    BitVector reversed() const;
+
+    /** Extract bits [lo, lo+len). */
+    BitVector slice(std::size_t lo, std::size_t len) const;
+
+  private:
+    void maskTail();
+
+    std::size_t size_ = 0;
+    std::vector<u64> words_;
+};
+
+} // namespace darth
+
+#endif // DARTH_COMMON_BITVECTOR_H

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Fixed-point quantization helpers.
+ *
+ * The application layers (CNN, LLM encoder) run integer-quantized: the
+ * analog crossbars store integer weight slices and the digital pipelines
+ * compute integer arithmetic. These helpers convert between real-valued
+ * model parameters and Q-format integers and back.
+ */
+
+#ifndef DARTH_COMMON_FIXEDPOINT_H
+#define DARTH_COMMON_FIXEDPOINT_H
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/Types.h"
+
+namespace darth
+{
+
+/**
+ * Symmetric linear quantizer: real x -> round(x / scale), clamped to
+ * the representable signed range of the given bit width.
+ */
+class Quantizer
+{
+  public:
+    /**
+     * @param bits   Total signed bit width (including sign).
+     * @param scale  Real value represented by one integer step.
+     */
+    Quantizer(int bits, double scale) : bits_(bits), scale_(scale) {}
+
+    /** Build a quantizer whose range covers [-absMax, absMax]. */
+    static Quantizer
+    forRange(int bits, double abs_max)
+    {
+        const double steps = static_cast<double>((1LL << (bits - 1)) - 1);
+        const double scale = abs_max > 0.0 ? abs_max / steps : 1.0;
+        return Quantizer(bits, scale);
+    }
+
+    int bits() const { return bits_; }
+    double scale() const { return scale_; }
+
+    i64 maxCode() const { return (1LL << (bits_ - 1)) - 1; }
+    i64 minCode() const { return -(1LL << (bits_ - 1)); }
+
+    /** Quantize a real value to the integer code. */
+    i64
+    quantize(double x) const
+    {
+        const double q = std::nearbyint(x / scale_);
+        return std::clamp(static_cast<i64>(q), minCode(), maxCode());
+    }
+
+    /** Reconstruct the real value of a code. */
+    double
+    dequantize(i64 code) const
+    {
+        return static_cast<double>(code) * scale_;
+    }
+
+    /** Quantize a whole vector. */
+    std::vector<i64>
+    quantize(const std::vector<double> &xs) const
+    {
+        std::vector<i64> out(xs.size());
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            out[i] = quantize(xs[i]);
+        return out;
+    }
+
+  private:
+    int bits_;
+    double scale_;
+};
+
+/** Largest absolute value in a vector (0 for empty input). */
+inline double
+absMax(const std::vector<double> &xs)
+{
+    double m = 0.0;
+    for (double x : xs)
+        m = std::max(m, std::abs(x));
+    return m;
+}
+
+/**
+ * Integer square root: floor(sqrt(x)) for x >= 0, computed with
+ * Newton's method on integers. This mirrors the I-BERT i-sqrt kernel
+ * that the DCE executes for LayerNorm.
+ */
+inline i64
+isqrt(i64 x)
+{
+    if (x < 0)
+        return 0;
+    if (x < 2)
+        return x;
+    i64 guess = static_cast<i64>(std::sqrt(static_cast<double>(x)));
+    // Correct any floating-point slop to the exact floor value.
+    while (guess > 0 && guess * guess > x)
+        --guess;
+    while ((guess + 1) * (guess + 1) <= x)
+        ++guess;
+    return guess;
+}
+
+} // namespace darth
+
+#endif // DARTH_COMMON_FIXEDPOINT_H

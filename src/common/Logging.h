@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Error-reporting helpers in the style of gem5's logging.hh.
+ *
+ * panic()  — an internal simulator invariant was violated (a bug in
+ *            DARTH-PUM itself); aborts.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments); exits cleanly.
+ * warn()   — something is modelled approximately; simulation continues.
+ * inform() — status information with no negative connotation.
+ */
+
+#ifndef DARTH_COMMON_LOGGING_H
+#define DARTH_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace darth
+{
+
+namespace detail
+{
+
+/** Compose a message from streamable parts. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort with a message: an internal invariant of the simulator broke. */
+#define darth_panic(...)                                                  \
+    ::darth::detail::panicImpl(__FILE__, __LINE__,                        \
+        ::darth::detail::composeMessage(__VA_ARGS__))
+
+/** Exit with a message: the user supplied an impossible configuration. */
+#define darth_fatal(...)                                                  \
+    ::darth::detail::fatalImpl(__FILE__, __LINE__,                        \
+        ::darth::detail::composeMessage(__VA_ARGS__))
+
+/** Warn about approximate or suspicious behaviour; keep running. */
+#define darth_warn(...)                                                   \
+    ::darth::detail::warnImpl(::darth::detail::composeMessage(__VA_ARGS__))
+
+/** Informational status message. */
+#define darth_inform(...)                                                 \
+    ::darth::detail::informImpl(                                          \
+        ::darth::detail::composeMessage(__VA_ARGS__))
+
+} // namespace darth
+
+#endif // DARTH_COMMON_LOGGING_H

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Minimal dense row-major matrix used for weights, crossbar
+ * conductances, and reference linear algebra.
+ */
+
+#ifndef DARTH_COMMON_MATRIX_H
+#define DARTH_COMMON_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/Logging.h"
+#include "common/Types.h"
+
+namespace darth
+{
+
+/** Dense row-major matrix of T. */
+template <typename T>
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    Matrix(std::size_t rows, std::size_t cols, T init = T{})
+        : rows_(rows), cols_(cols), data_(rows * cols, init)
+    {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    T &
+    at(std::size_t r, std::size_t c)
+    {
+        checkBounds(r, c);
+        return data_[r * cols_ + c];
+    }
+
+    const T &
+    at(std::size_t r, std::size_t c) const
+    {
+        checkBounds(r, c);
+        return data_[r * cols_ + c];
+    }
+
+    T &operator()(std::size_t r, std::size_t c) { return at(r, c); }
+    const T &operator()(std::size_t r, std::size_t c) const
+    {
+        return at(r, c);
+    }
+
+    std::vector<T> &data() { return data_; }
+    const std::vector<T> &data() const { return data_; }
+
+    /** Extract row r as a vector. */
+    std::vector<T>
+    row(std::size_t r) const
+    {
+        std::vector<T> out(cols_);
+        for (std::size_t c = 0; c < cols_; ++c)
+            out[c] = at(r, c);
+        return out;
+    }
+
+    /** Extract column c as a vector. */
+    std::vector<T>
+    col(std::size_t c) const
+    {
+        std::vector<T> out(rows_);
+        for (std::size_t r = 0; r < rows_; ++r)
+            out[r] = at(r, c);
+        return out;
+    }
+
+    /** Overwrite row r. */
+    void
+    setRow(std::size_t r, const std::vector<T> &values)
+    {
+        if (values.size() != cols_)
+            darth_panic("Matrix::setRow: got ", values.size(),
+                        " values for ", cols_, " columns");
+        for (std::size_t c = 0; c < cols_; ++c)
+            at(r, c) = values[c];
+    }
+
+    /** Overwrite column c. */
+    void
+    setCol(std::size_t c, const std::vector<T> &values)
+    {
+        if (values.size() != rows_)
+            darth_panic("Matrix::setCol: got ", values.size(),
+                        " values for ", rows_, " rows");
+        for (std::size_t r = 0; r < rows_; ++r)
+            at(r, c) = values[r];
+    }
+
+    /** Transposed copy. */
+    Matrix<T>
+    transposed() const
+    {
+        Matrix<T> out(cols_, rows_);
+        for (std::size_t r = 0; r < rows_; ++r)
+            for (std::size_t c = 0; c < cols_; ++c)
+                out(c, r) = at(r, c);
+        return out;
+    }
+
+    bool
+    operator==(const Matrix<T> &other) const
+    {
+        return rows_ == other.rows_ && cols_ == other.cols_ &&
+               data_ == other.data_;
+    }
+
+    /** y = M x (reference matrix–vector multiply). */
+    std::vector<T>
+    multiply(const std::vector<T> &x) const
+    {
+        if (x.size() != cols_)
+            darth_panic("Matrix::multiply: vector length ", x.size(),
+                        " != cols ", cols_);
+        std::vector<T> y(rows_, T{});
+        for (std::size_t r = 0; r < rows_; ++r) {
+            T acc{};
+            for (std::size_t c = 0; c < cols_; ++c)
+                acc += at(r, c) * x[c];
+            y[r] = acc;
+        }
+        return y;
+    }
+
+  private:
+    void
+    checkBounds(std::size_t r, std::size_t c) const
+    {
+        if (r >= rows_ || c >= cols_)
+            darth_panic("Matrix index (", r, ", ", c,
+                        ") out of range (", rows_, ", ", cols_, ")");
+    }
+
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<T> data_;
+};
+
+using MatrixD = Matrix<double>;
+using MatrixI = Matrix<i64>;
+
+} // namespace darth
+
+#endif // DARTH_COMMON_MATRIX_H

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * Every stochastic model (programming noise, read noise, stuck-at
+ * faults, synthetic workloads) draws from an explicitly seeded Rng so
+ * that tests and benchmarks are reproducible run-to-run.
+ */
+
+#ifndef DARTH_COMMON_RANDOM_H
+#define DARTH_COMMON_RANDOM_H
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/Types.h"
+
+namespace darth
+{
+
+/**
+ * A small, fast xoshiro256** generator with convenience distributions.
+ *
+ * We deliberately avoid std::mt19937 + std::*_distribution because
+ * their outputs are not guaranteed identical across standard library
+ * implementations; reproducibility across toolchains matters for the
+ * recorded experiment outputs.
+ */
+class Rng
+{
+  public:
+    /** Construct with a seed; identical seeds give identical streams. */
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the state from a single 64-bit seed. */
+    void
+    reseed(u64 seed)
+    {
+        // SplitMix64 expansion of the seed into four state words.
+        u64 x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            u64 z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+        haveGauss_ = false;
+    }
+
+    /** Next raw 64-bit value. */
+    u64
+    next()
+    {
+        const u64 result = rotl(state_[1] * 5, 7) * 9;
+        const u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n); n must be > 0. */
+    u64
+    uniformInt(u64 n)
+    {
+        // Simple rejection-free modulo; bias is negligible for the
+        // small ranges used in the simulator.
+        return next() % n;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    i64
+    uniformInt(i64 lo, i64 hi)
+    {
+        return lo + static_cast<i64>(uniformInt(
+            static_cast<u64>(hi - lo + 1)));
+    }
+
+    /** Standard normal via Box–Muller (cached pair). */
+    double
+    gaussian()
+    {
+        if (haveGauss_) {
+            haveGauss_ = false;
+            return cachedGauss_;
+        }
+        double u1 = 0.0;
+        do {
+            u1 = uniform();
+        } while (u1 <= 1e-300);
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * M_PI * u2;
+        cachedGauss_ = r * std::sin(theta);
+        haveGauss_ = true;
+        return r * std::cos(theta);
+    }
+
+    /** Normal with the given mean and standard deviation. */
+    double
+    gaussian(double mean, double sigma)
+    {
+        return mean + sigma * gaussian();
+    }
+
+    /** Log-normal draw: exp(N(mu, sigma)). */
+    double
+    logNormal(double mu, double sigma)
+    {
+        return std::exp(gaussian(mu, sigma));
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static u64
+    rotl(u64 x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    u64 state_[4] = {};
+    bool haveGauss_ = false;
+    double cachedGauss_ = 0.0;
+};
+
+} // namespace darth
+
+#endif // DARTH_COMMON_RANDOM_H

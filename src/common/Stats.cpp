@@ -1,0 +1,19 @@
+#include "common/Stats.h"
+
+#include <cmath>
+
+namespace darth
+{
+
+double
+geoMean(const std::vector<double> &ratios)
+{
+    if (ratios.empty())
+        return 1.0;
+    double log_sum = 0.0;
+    for (double r : ratios)
+        log_sum += std::log(r);
+    return std::exp(log_sum / static_cast<double>(ratios.size()));
+}
+
+} // namespace darth

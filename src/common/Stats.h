@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Cycle/energy/event accounting shared by every simulated component.
+ *
+ * Components accumulate costs into a CostTally under named categories
+ * (e.g. "dce.nor", "ace.adc"). Benchmarks aggregate tallies to produce
+ * the per-kernel breakdowns of Figures 14–18.
+ */
+
+#ifndef DARTH_COMMON_STATS_H
+#define DARTH_COMMON_STATS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/Types.h"
+
+namespace darth
+{
+
+/** One accounting category: event count, cycles, and energy. */
+struct CostEntry
+{
+    u64 events = 0;
+    Cycle cycles = 0;
+    PicoJoule energy = 0.0;
+
+    CostEntry &
+    operator+=(const CostEntry &other)
+    {
+        events += other.events;
+        cycles += other.cycles;
+        energy += other.energy;
+        return *this;
+    }
+};
+
+/**
+ * Named cost accumulator.
+ *
+ * Cycles recorded here are *occupancy* cycles of the component doing
+ * the work; end-to-end latency is tracked separately by the components
+ * that model overlap (e.g. the HCT's ACE/DCE rate matching).
+ */
+class CostTally
+{
+  public:
+    /** Record an event under a category. */
+    void
+    add(const std::string &category, Cycle cycles, PicoJoule energy,
+        u64 events = 1)
+    {
+        auto &e = entries_[category];
+        e.events += events;
+        e.cycles += cycles;
+        e.energy += energy;
+    }
+
+    /** Merge another tally into this one. */
+    void
+    merge(const CostTally &other)
+    {
+        for (const auto &[name, entry] : other.entries_)
+            entries_[name] += entry;
+    }
+
+    /** Merge with every category name prefixed (e.g. "hct0."). */
+    void
+    mergePrefixed(const std::string &prefix, const CostTally &other)
+    {
+        for (const auto &[name, entry] : other.entries_)
+            entries_[prefix + name] += entry;
+    }
+
+    /** Look up a category (zero entry if absent). */
+    CostEntry
+    get(const std::string &category) const
+    {
+        auto it = entries_.find(category);
+        return it == entries_.end() ? CostEntry{} : it->second;
+    }
+
+    /** Sum of cycles across categories matching the given prefix. */
+    Cycle
+    cyclesWithPrefix(const std::string &prefix) const
+    {
+        Cycle total = 0;
+        for (const auto &[name, entry] : entries_)
+            if (name.rfind(prefix, 0) == 0)
+                total += entry.cycles;
+        return total;
+    }
+
+    /** Sum of energy across categories matching the given prefix. */
+    PicoJoule
+    energyWithPrefix(const std::string &prefix = "") const
+    {
+        PicoJoule total = 0.0;
+        for (const auto &[name, entry] : entries_)
+            if (name.rfind(prefix, 0) == 0)
+                total += entry.energy;
+        return total;
+    }
+
+    /** Total energy across all categories. */
+    PicoJoule totalEnergy() const { return energyWithPrefix(""); }
+
+    /** Total cycles across all categories (occupancy, not latency). */
+    Cycle totalCycles() const { return cyclesWithPrefix(""); }
+
+    /** All categories, sorted by name. */
+    const std::map<std::string, CostEntry> &entries() const
+    {
+        return entries_;
+    }
+
+    /** Drop all recorded data. */
+    void clear() { entries_.clear(); }
+
+  private:
+    std::map<std::string, CostEntry> entries_;
+};
+
+/** Geometric mean of a list of positive ratios (1.0 for empty input). */
+double geoMean(const std::vector<double> &ratios);
+
+} // namespace darth
+
+#endif // DARTH_COMMON_STATS_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fundamental scalar type aliases used throughout the DARTH-PUM
+ * simulator.
+ *
+ * The simulator models a chip running at a fixed clock (1 GHz by
+ * default), so time is expressed in integer cycles and energy in
+ * picojoules. Keeping these as strong-ish aliases makes unit mistakes
+ * easier to spot in review.
+ */
+
+#ifndef DARTH_COMMON_TYPES_H
+#define DARTH_COMMON_TYPES_H
+
+#include <cstdint>
+#include <cstddef>
+
+namespace darth
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulated time, in clock cycles of the PUM chip. */
+using Cycle = std::uint64_t;
+
+/** Energy, in picojoules. */
+using PicoJoule = double;
+
+/** Area, in square micrometres. */
+using SquareMicron = double;
+
+/** Power, in milliwatts. */
+using MilliWatt = double;
+
+/** Conductance, in siemens. */
+using Siemens = double;
+
+/** Electrical current, in amperes. */
+using Ampere = double;
+
+/** Voltage, in volts. */
+using Volt = double;
+
+} // namespace darth
+
+#endif // DARTH_COMMON_TYPES_H

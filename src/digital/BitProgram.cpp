@@ -1,0 +1,94 @@
+#include "digital/BitProgram.h"
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace digital
+{
+
+bool
+BitProgram::evaluate(bool a, bool b, bool cin, bool *cout) const
+{
+    std::vector<bool> regs(static_cast<std::size_t>(numRegs), false);
+    regs[kRegA] = a;
+    regs[kRegB] = b;
+    regs[kRegCin] = cin;
+    regs[kRegZero] = false;
+    for (const auto &op : ops)
+        regs[static_cast<std::size_t>(op.dst)] = applyPrim(
+            op.prim, regs[static_cast<std::size_t>(op.srcA)],
+            regs[static_cast<std::size_t>(op.srcB)]);
+    if (cout != nullptr && carryOutReg >= 0)
+        *cout = regs[static_cast<std::size_t>(carryOutReg)];
+    if (resultReg < 0)
+        darth_panic("BitProgram::evaluate: no result register");
+    return regs[static_cast<std::size_t>(resultReg)];
+}
+
+int
+BitProgramBuilder::emit(Prim prim, int a, int b)
+{
+    const int dst = fresh();
+    emitTo(dst, prim, a, b);
+    return dst;
+}
+
+void
+BitProgramBuilder::emitTo(int dst, Prim prim, int a, int b)
+{
+    auto push = [this](Prim p, int d, int sa, int sb) {
+        program_.ops.push_back({p, d, sa, sb});
+    };
+
+    if (family_.isNative(prim)) {
+        push(prim, dst, a, b);
+        return;
+    }
+
+    // NOR-only lowering (OSCAR). OR is native in OSCAR, so the
+    // lowerings below may use both NOR and OR.
+    switch (prim) {
+      case Prim::Not:
+        // NOT(a) = NOR(a, a)
+        push(Prim::Nor, dst, a, a);
+        break;
+      case Prim::And: {
+        // AND(a, b) = NOR(NOT a, NOT b)
+        const int na = emit(Prim::Not, a, a);
+        const int nb = emit(Prim::Not, b, b);
+        push(Prim::Nor, dst, na, nb);
+        break;
+      }
+      case Prim::Nand: {
+        // NAND(a, b) = NOT(AND(a, b)) = OR(NOT a, NOT b)
+        const int na = emit(Prim::Not, a, a);
+        const int nb = emit(Prim::Not, b, b);
+        push(Prim::Or, dst, na, nb);
+        break;
+      }
+      case Prim::Xor: {
+        // XOR(a, b) = NOR(NOR(a, b), AND(a, b))
+        const int nor_ab = emit(Prim::Nor, a, b);
+        const int and_ab = emit(Prim::And, a, b);
+        push(Prim::Nor, dst, nor_ab, and_ab);
+        break;
+      }
+      case Prim::Xnor: {
+        // XNOR(a, b) = OR(NOR(a, b), AND(a, b))
+        const int nor_ab = emit(Prim::Nor, a, b);
+        const int and_ab = emit(Prim::And, a, b);
+        push(Prim::Or, dst, nor_ab, and_ab);
+        break;
+      }
+      case Prim::Copy:
+        // COPY(a) = OR(a, zero)
+        push(Prim::Or, dst, a, kRegZero);
+        break;
+      default:
+        darth_panic("BitProgramBuilder: cannot lower ", primName(prim));
+    }
+}
+
+} // namespace digital
+} // namespace darth

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Per-bit gate programs: the µop sequences a digital PUM array runs.
+ *
+ * A macro instruction (ADD, XOR, ...) executed by a RACER pipeline is
+ * realized bit-serially: array i of the pipeline runs the same short
+ * gate program on bit position i of the operands (Figure 9c shows the
+ * NOR expansion of one ADD step). BitProgram captures that per-bit
+ * program as a straight-line sequence of logic-family primitives over
+ * a small register file of scratch columns.
+ *
+ * Register convention: reg 0 = operand A bit, reg 1 = operand B bit,
+ * reg 2 = carry-in (when the macro is carry-chained), reg 3 = constant
+ * zero. Scratch registers follow. The program names its result register
+ * and, for chained macros, its carry-out register.
+ */
+
+#ifndef DARTH_DIGITAL_BITPROGRAM_H
+#define DARTH_DIGITAL_BITPROGRAM_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/Types.h"
+#include "digital/LogicFamily.h"
+
+namespace darth
+{
+namespace digital
+{
+
+/** Well-known input register slots of a BitProgram. */
+enum : int
+{
+    kRegA = 0,
+    kRegB = 1,
+    kRegCin = 2,
+    kRegZero = 3,
+    kFirstScratch = 4,
+};
+
+/** One primitive applied to two scratch/input registers. */
+struct GateOp
+{
+    Prim prim;
+    int dst;
+    int srcA;
+    int srcB;
+};
+
+/** Straight-line gate program for one bit position of a macro. */
+struct BitProgram
+{
+    std::vector<GateOp> ops;
+    int numRegs = kFirstScratch;
+    int resultReg = -1;
+    /** -1 when the macro has no carry chain. */
+    int carryOutReg = -1;
+
+    /** Number of in-array primitive operations (= cycles at 1/op). */
+    std::size_t opCount() const { return ops.size(); }
+
+    /** True when bit i+1 depends on bit i's carry-out. */
+    bool hasCarryChain() const { return carryOutReg >= 0; }
+
+    /**
+     * Reference evaluation on scalar bits.
+     *
+     * @param a        Operand A bit.
+     * @param b        Operand B bit.
+     * @param cin      Carry-in bit (ignored unless used).
+     * @param cout     Set to the carry-out when the program has one.
+     * @return         The result bit.
+     */
+    bool evaluate(bool a, bool b, bool cin, bool *cout = nullptr) const;
+};
+
+/**
+ * Small builder that lowers generic gates onto a logic family's
+ * native primitives (NOR expansion for OSCAR).
+ */
+class BitProgramBuilder
+{
+  public:
+    explicit BitProgramBuilder(const LogicFamily &family)
+        : family_(family)
+    {}
+
+    /** Allocate a fresh scratch register. */
+    int fresh() { return program_.numRegs++; }
+
+    /** Emit dst = prim(a, b), lowering to native primitives. */
+    int emit(Prim prim, int a, int b);
+
+    /** Emit into a caller-chosen destination register. */
+    void emitTo(int dst, Prim prim, int a, int b);
+
+    /** Finish the program. */
+    BitProgram
+    finish(int result_reg, int carry_out_reg = -1)
+    {
+        program_.resultReg = result_reg;
+        program_.carryOutReg = carry_out_reg;
+        return std::move(program_);
+    }
+
+  private:
+    /** Emit one native op (no lowering). */
+    int
+    native(Prim prim, int a, int b)
+    {
+        const int dst = fresh();
+        program_.ops.push_back({prim, dst, a, b});
+        return dst;
+    }
+
+    const LogicFamily &family_;
+    BitProgram program_;
+};
+
+} // namespace digital
+} // namespace darth
+
+#endif // DARTH_DIGITAL_BITPROGRAM_H

@@ -1,0 +1,71 @@
+#include "digital/DigitalArray.h"
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace digital
+{
+
+DigitalArray::DigitalArray(std::size_t rows, std::size_t cols,
+                           const reram::NoiseModel &noise, u64 seed)
+    : cells_(rows, cols, reram::DeviceParams{}, noise, seed)
+{
+}
+
+void
+DigitalArray::writeColumn(std::size_t col, const BitVector &bits)
+{
+    if (bits.size() != rows())
+        darth_panic("DigitalArray::writeColumn: got ", bits.size(),
+                    " bits for ", rows(), " rows");
+    for (std::size_t r = 0; r < rows(); ++r)
+        cells_.program(r, col, bits.get(r) ? 1 : 0);
+}
+
+BitVector
+DigitalArray::readColumn(std::size_t col) const
+{
+    BitVector out(rows());
+    for (std::size_t r = 0; r < rows(); ++r)
+        out.set(r, cells_.readCode(r, col) != 0);
+    return out;
+}
+
+void
+DigitalArray::writeBit(std::size_t row, std::size_t col, bool value)
+{
+    cells_.program(row, col, value ? 1 : 0);
+}
+
+bool
+DigitalArray::readBit(std::size_t row, std::size_t col) const
+{
+    return cells_.readCode(row, col) != 0;
+}
+
+void
+DigitalArray::columnNor(std::size_t dst, std::size_t a, std::size_t b)
+{
+    // The electrical NOR conditionally switches the (pre-SET) output
+    // device toward RESET when either input conducts; the net effect
+    // per row is dst = !(a || b).
+    for (std::size_t r = 0; r < rows(); ++r) {
+        const bool result = !(readBit(r, a) || readBit(r, b));
+        cells_.program(r, dst, result ? 1 : 0);
+    }
+    ++opCount_;
+}
+
+void
+DigitalArray::columnOr(std::size_t dst, std::size_t a, std::size_t b)
+{
+    for (std::size_t r = 0; r < rows(); ++r) {
+        const bool result = readBit(r, a) || readBit(r, b);
+        cells_.program(r, dst, result ? 1 : 0);
+    }
+    ++opCount_;
+}
+
+} // namespace digital
+} // namespace darth

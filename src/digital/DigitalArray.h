@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Device-backed SLC digital PUM array (one OSCAR-capable ReRAM mat).
+ *
+ * The performance-model pipelines (Pipeline.h) keep state as packed
+ * bit columns for speed; DigitalArray is the device-faithful
+ * counterpart, executing column-parallel NOR on reram::CellArray
+ * devices. It exists to validate that SLC digital PUM is bit-exact
+ * under the noise models (digital read-back snaps to the nearest
+ * level), and to serve as the array primitive in device-level tests.
+ */
+
+#ifndef DARTH_DIGITAL_DIGITALARRAY_H
+#define DARTH_DIGITAL_DIGITALARRAY_H
+
+#include <cstddef>
+
+#include "common/BitVector.h"
+#include "reram/CellArray.h"
+
+namespace darth
+{
+namespace digital
+{
+
+/** SLC ReRAM array executing OSCAR-style column-parallel Boolean ops. */
+class DigitalArray
+{
+  public:
+    /**
+     * @param rows   Wordlines (vector elements).
+     * @param cols   Bitlines (operand columns).
+     * @param noise  Device non-idealities.
+     * @param seed   RNG seed.
+     */
+    DigitalArray(std::size_t rows, std::size_t cols,
+                 const reram::NoiseModel &noise = reram::NoiseModel{},
+                 u64 seed = 1);
+
+    std::size_t rows() const { return cells_.rows(); }
+    std::size_t cols() const { return cells_.cols(); }
+
+    /** Write a full column of bits. */
+    void writeColumn(std::size_t col, const BitVector &bits);
+
+    /** Read a full column of bits (digital read-back). */
+    BitVector readColumn(std::size_t col) const;
+
+    /** Write one bit. */
+    void writeBit(std::size_t row, std::size_t col, bool value);
+
+    /** Read one bit. */
+    bool readBit(std::size_t row, std::size_t col) const;
+
+    /**
+     * Column-parallel OSCAR NOR: for every row r,
+     * dst[r] = NOR(a[r], b[r]). All wordlines float; the output
+     * devices switch according to the input cell states (Figure 4).
+     */
+    void columnNor(std::size_t dst, std::size_t a, std::size_t b);
+
+    /** Column-parallel OSCAR OR. */
+    void columnOr(std::size_t dst, std::size_t a, std::size_t b);
+
+    /** Number of in-array Boolean operations executed. */
+    u64 opCount() const { return opCount_; }
+
+    /** Underlying cell array (fault/wear inspection). */
+    const reram::CellArray &cells() const { return cells_; }
+
+  private:
+    reram::CellArray cells_;
+    u64 opCount_ = 0;
+};
+
+} // namespace digital
+} // namespace darth
+
+#endif // DARTH_DIGITAL_DIGITALARRAY_H

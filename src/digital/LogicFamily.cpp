@@ -1,0 +1,43 @@
+#include "digital/LogicFamily.h"
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace digital
+{
+
+const char *
+primName(Prim prim)
+{
+    switch (prim) {
+      case Prim::Nor: return "NOR";
+      case Prim::Or: return "OR";
+      case Prim::And: return "AND";
+      case Prim::Nand: return "NAND";
+      case Prim::Xor: return "XOR";
+      case Prim::Xnor: return "XNOR";
+      case Prim::Not: return "NOT";
+      case Prim::Copy: return "COPY";
+    }
+    return "?";
+}
+
+bool
+applyPrim(Prim prim, bool a, bool b)
+{
+    switch (prim) {
+      case Prim::Nor: return !(a || b);
+      case Prim::Or: return a || b;
+      case Prim::And: return a && b;
+      case Prim::Nand: return !(a && b);
+      case Prim::Xor: return a != b;
+      case Prim::Xnor: return a == b;
+      case Prim::Not: return !a;
+      case Prim::Copy: return a;
+    }
+    darth_panic("applyPrim: unknown primitive");
+}
+
+} // namespace digital
+} // namespace darth

@@ -1,0 +1,347 @@
+#include "digital/Pipeline.h"
+
+#include <algorithm>
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace digital
+{
+
+Pipeline::Pipeline(const PipelineConfig &config, CostTally *tally)
+    : cfg_(config), family_(config.family), tally_(tally),
+      stageFree_(config.depth, 0)
+{
+    if (cfg_.depth == 0 || cfg_.width == 0 || cfg_.numRegs == 0)
+        darth_fatal("Pipeline: zero-sized configuration");
+    if (cfg_.width > 64)
+        darth_fatal("Pipeline: width > 64 elements per array is not "
+                    "supported by the row I/O model");
+    bits_.resize(cfg_.numRegs);
+    for (auto &reg : bits_)
+        reg.assign(cfg_.depth, BitVector(cfg_.width));
+}
+
+void
+Pipeline::checkReg(std::size_t vr) const
+{
+    if (vr >= cfg_.numRegs)
+        darth_panic("Pipeline: VR ", vr, " out of range ", cfg_.numRegs);
+}
+
+void
+Pipeline::checkElem(std::size_t elem) const
+{
+    if (elem >= cfg_.width)
+        darth_panic("Pipeline: element ", elem, " out of range ",
+                    cfg_.width);
+}
+
+void
+Pipeline::setElement(std::size_t vr, std::size_t elem, u64 value)
+{
+    checkReg(vr);
+    checkElem(elem);
+    for (std::size_t bit = 0; bit < cfg_.depth; ++bit)
+        bits_[vr][bit].set(elem, bit < 64 && ((value >> bit) & 1ULL));
+}
+
+u64
+Pipeline::element(std::size_t vr, std::size_t elem,
+                  std::size_t bits) const
+{
+    checkReg(vr);
+    checkElem(elem);
+    u64 value = 0;
+    const std::size_t n = std::min<std::size_t>({bits, cfg_.depth, 64});
+    for (std::size_t bit = 0; bit < n; ++bit)
+        if (bits_[vr][bit].get(elem))
+            value |= 1ULL << bit;
+    return value;
+}
+
+void
+Pipeline::clearReg(std::size_t vr)
+{
+    checkReg(vr);
+    for (auto &column : bits_[vr])
+        column.fill(false);
+}
+
+const BitVector &
+Pipeline::bitColumn(std::size_t vr, std::size_t bit) const
+{
+    checkReg(vr);
+    if (bit >= cfg_.depth)
+        darth_panic("Pipeline: bit ", bit, " out of range ", cfg_.depth);
+    return bits_[vr][bit];
+}
+
+void
+Pipeline::recordOps(u64 column_ops)
+{
+    opCount_ += column_ops;
+    if (tally_ != nullptr)
+        tally_->add("dce.boolop", column_ops,
+                    static_cast<double>(column_ops) * cfg_.opEnergyPJ,
+                    column_ops);
+}
+
+void
+Pipeline::recordIo(u64 accesses)
+{
+    if (tally_ != nullptr)
+        tally_->add("dce.io", accesses,
+                    static_cast<double>(accesses) * cfg_.ioEnergyPJ,
+                    accesses);
+}
+
+Cycle
+Pipeline::reserveStages(std::size_t bits, Cycle issue,
+                        Cycle ops_per_stage, bool carry_chained)
+{
+    if (bits > cfg_.depth)
+        darth_panic("Pipeline: macro over ", bits,
+                    " bits exceeds depth ", cfg_.depth);
+    // Control hands the macro to successive arrays one cycle apart; a
+    // carry chain additionally forces stage i to wait for stage i-1's
+    // full completion.
+    Cycle prev_start = issue;
+    Cycle prev_done = issue;
+    Cycle completion = issue;
+    for (std::size_t i = 0; i < bits; ++i) {
+        const Cycle ready =
+            carry_chained ? std::max(issue, prev_done)
+                          : std::max(issue, prev_start + (i > 0 ? 1 : 0));
+        const Cycle start = std::max(ready, stageFree_[i]);
+        const Cycle done = start + ops_per_stage;
+        stageFree_[i] = done;
+        prev_start = start;
+        prev_done = done;
+        completion = std::max(completion, done);
+    }
+    return completion;
+}
+
+void
+Pipeline::runProgram(const BitProgram &program, std::size_t dst,
+                     std::size_t a, std::size_t b, std::size_t bits,
+                     BitVector carry, bool chain_carry)
+{
+    std::vector<BitVector> regs(
+        static_cast<std::size_t>(program.numRegs),
+        BitVector(cfg_.width));
+    for (std::size_t bit = 0; bit < bits; ++bit) {
+        regs[kRegA] = bits_[a][bit];
+        regs[kRegB] = bits_[b][bit];
+        regs[kRegCin] = carry;
+        regs[kRegZero].fill(false);
+        for (const auto &op : program.ops) {
+            const BitVector &sa = regs[static_cast<std::size_t>(op.srcA)];
+            const BitVector &sb = regs[static_cast<std::size_t>(op.srcB)];
+            BitVector out(cfg_.width);
+            switch (op.prim) {
+              case Prim::Nor: out = sa.nor(sb); break;
+              case Prim::Or: out = sa | sb; break;
+              case Prim::And: out = sa & sb; break;
+              case Prim::Nand: out = ~(sa & sb); break;
+              case Prim::Xor: out = sa ^ sb; break;
+              case Prim::Xnor: out = ~(sa ^ sb); break;
+              case Prim::Not: out = ~sa; break;
+              case Prim::Copy: out = sa; break;
+            }
+            regs[static_cast<std::size_t>(op.dst)] = out;
+        }
+        bits_[dst][bit] =
+            regs[static_cast<std::size_t>(program.resultReg)];
+        if (chain_carry && program.hasCarryChain())
+            carry = regs[static_cast<std::size_t>(program.carryOutReg)];
+    }
+}
+
+Cycle
+Pipeline::execMacro(MacroKind kind, std::size_t dst, std::size_t a,
+                    std::size_t b, std::size_t bits, Cycle issue)
+{
+    checkReg(dst);
+    checkReg(a);
+    checkReg(b);
+    if (bits > cfg_.depth)
+        darth_panic("Pipeline: macro over ", bits,
+                    " bits exceeds depth ", cfg_.depth);
+    const BitProgram program = synthesizeMacro(kind, family_);
+    runProgram(program, dst, a, b, bits,
+               BitVector(cfg_.width, initialCarry(kind)),
+               program.hasCarryChain());
+    recordOps(static_cast<u64>(program.opCount()) * bits);
+    return reserveStages(bits, issue, program.opCount(),
+                         program.hasCarryChain());
+}
+
+Cycle
+Pipeline::execSelect(std::size_t dst, std::size_t a, std::size_t b,
+                     std::size_t sel_vr, std::size_t sel_bit,
+                     std::size_t bits, Cycle issue)
+{
+    checkReg(dst);
+    checkReg(a);
+    checkReg(b);
+    checkReg(sel_vr);
+    if (bits > cfg_.depth)
+        darth_panic("Pipeline: macro over ", bits,
+                    " bits exceeds depth ", cfg_.depth);
+    const BitProgram program = synthesizeMacro(MacroKind::Mux, family_);
+    runProgram(program, dst, a, b, bits, bits_[sel_vr][sel_bit], false);
+    // +1 op per stage to broadcast the select column into the stage.
+    const Cycle per_stage = program.opCount() + 1;
+    recordOps(per_stage * bits);
+    return reserveStages(bits, issue, per_stage, false);
+}
+
+Cycle
+Pipeline::execShift(std::size_t dst, std::size_t src, std::size_t k,
+                    bool up, std::size_t bits, Cycle issue)
+{
+    checkReg(dst);
+    checkReg(src);
+    if (bits > cfg_.depth)
+        darth_panic("Pipeline: shift over ", bits, " bits exceeds depth");
+
+    // Functional: move bit columns by k positions.
+    std::vector<BitVector> out(cfg_.depth, BitVector(cfg_.width));
+    for (std::size_t bit = 0; bit < bits; ++bit) {
+        if (up) {
+            if (bit + k < cfg_.depth)
+                out[bit + k] = bits_[src][bit];
+        } else {
+            if (bit >= k)
+                out[bit - k] = bits_[src][bit];
+        }
+    }
+    for (std::size_t bit = 0; bit < cfg_.depth; ++bit)
+        bits_[dst][bit] = out[bit];
+
+    // Timing: each stage reads its column into the inter-array buffer
+    // and the receiving stage writes it (2 accesses per hop), flowing
+    // along the pipeline like a non-chained macro.
+    const Cycle per_stage = 2 * std::max<std::size_t>(k, 1);
+    recordOps(per_stage * bits);
+    return reserveStages(bits, issue, per_stage, false);
+}
+
+Cycle
+Pipeline::execRotate(std::size_t vr, std::size_t k, std::size_t bits,
+                     Cycle issue)
+{
+    checkReg(vr);
+    if (bits == 0 || k >= bits)
+        darth_panic("Pipeline: bad rotate k=", k, " bits=", bits);
+
+    // Functional: cyclic rotate of each element's low `bits` bits.
+    std::vector<BitVector> rotated(bits, BitVector(cfg_.width));
+    for (std::size_t bit = 0; bit < bits; ++bit)
+        rotated[(bit + k) % bits] = bits_[vr][bit];
+    for (std::size_t bit = 0; bit < bits; ++bit)
+        bits_[vr][bit] = rotated[bit];
+
+    // Timing (§5.3): drain the whole pipeline, switch to reverse
+    // propagation, right-shift by (bits - k), then restore direction.
+    const Cycle drained = std::max(issue, drainTime());
+    const Cycle shift_cost = 2 * (bits - k);
+    const Cycle done = drained + cfg_.depth + shift_cost + cfg_.depth;
+    for (auto &stage : stageFree_)
+        stage = std::max(stage, done);
+    recordOps(shift_cost * bits + 2 * bits);
+    return done;
+}
+
+Cycle
+Pipeline::writeRow(std::size_t vr, std::size_t elem, u64 value,
+                   std::size_t lo_bit, std::size_t bits, Cycle when)
+{
+    checkReg(vr);
+    checkElem(elem);
+    if (lo_bit + bits > cfg_.depth)
+        darth_panic("Pipeline::writeRow: bits [", lo_bit, ", ",
+                    lo_bit + bits, ") exceed depth ", cfg_.depth);
+    for (std::size_t i = 0; i < bits; ++i)
+        bits_[vr][lo_bit + i].set(elem, (value >> i) & 1ULL);
+    recordIo(1);
+    return when + 1;        // the DCE write port moves one row/cycle
+}
+
+u64
+Pipeline::readRow(std::size_t vr, std::size_t elem, Cycle when)
+{
+    (void)when;
+    recordIo(1);
+    return element(vr, elem, cfg_.depth);
+}
+
+Cycle
+Pipeline::elementLoad(std::size_t dst, std::size_t addr_vr,
+                      const Pipeline &table, std::size_t table_base_vr,
+                      std::size_t bits, Cycle issue)
+{
+    checkReg(dst);
+    checkReg(addr_vr);
+    Cycle t = std::max(issue, drainTime());
+    for (std::size_t elem = 0; elem < cfg_.width; ++elem) {
+        const u64 addr = element(addr_vr, elem, bits);
+        const std::size_t entry_vr =
+            table_base_vr +
+            static_cast<std::size_t>(addr) / table.cfg_.width;
+        const std::size_t entry_row =
+            static_cast<std::size_t>(addr) % table.cfg_.width;
+        if (entry_vr >= table.cfg_.numRegs)
+            darth_panic("Pipeline::elementLoad: address ", addr,
+                        " overflows the table registers");
+        const u64 value = table.element(entry_vr, entry_row, bits);
+        setElement(dst, elem, value);
+        t += 3;              // address read, table read, write-back
+        recordIo(3);
+    }
+    for (auto &stage : stageFree_)
+        stage = std::max(stage, t);
+    return t;
+}
+
+Cycle
+Pipeline::elementStore(std::size_t src, std::size_t addr_vr,
+                       Pipeline &table, std::size_t table_base_vr,
+                       std::size_t bits, Cycle issue)
+{
+    checkReg(src);
+    checkReg(addr_vr);
+    Cycle t = std::max(issue, drainTime());
+    for (std::size_t elem = 0; elem < cfg_.width; ++elem) {
+        const u64 addr = element(addr_vr, elem, bits);
+        const std::size_t entry_vr =
+            table_base_vr +
+            static_cast<std::size_t>(addr) / table.cfg_.width;
+        const std::size_t entry_row =
+            static_cast<std::size_t>(addr) % table.cfg_.width;
+        if (entry_vr >= table.cfg_.numRegs)
+            darth_panic("Pipeline::elementStore: address ", addr,
+                        " overflows the table registers");
+        table.setElement(entry_vr, entry_row, element(src, elem, bits));
+        t += 3;
+        recordIo(3);
+    }
+    for (auto &stage : stageFree_)
+        stage = std::max(stage, t);
+    return t;
+}
+
+Cycle
+Pipeline::drainTime() const
+{
+    Cycle latest = 0;
+    for (Cycle stage : stageFree_)
+        latest = std::max(latest, stage);
+    return latest;
+}
+
+} // namespace digital
+} // namespace darth

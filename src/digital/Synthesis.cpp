@@ -1,0 +1,198 @@
+#include "digital/Synthesis.h"
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace digital
+{
+
+namespace
+{
+
+/**
+ * Hand-optimized OSCAR full adder (11 NOR/OR ops) with shared
+ * sub-expressions; the generic builder lowering would cost 17.
+ *
+ *   and_ab = AND(a, b), x1 = a ^ b,
+ *   and_x1c = AND(x1, cin), sum = x1 ^ cin,
+ *   cout = and_ab | and_x1c.
+ */
+BitProgram
+oscarFullAdder(bool invert_b)
+{
+    BitProgram p;
+    auto reg = [&p]() { return p.numRegs++; };
+    auto op = [&p](Prim prim, int dst, int a, int b) {
+        p.ops.push_back({prim, dst, a, b});
+    };
+
+    int b_in = kRegB;
+    if (invert_b) {
+        b_in = reg();
+        op(Prim::Nor, b_in, kRegB, kRegB);          // ~b
+    }
+
+    const int nor_ab = reg();
+    op(Prim::Nor, nor_ab, kRegA, b_in);
+    const int na = reg();
+    op(Prim::Nor, na, kRegA, kRegA);
+    const int nb = reg();
+    op(Prim::Nor, nb, b_in, b_in);
+    const int and_ab = reg();
+    op(Prim::Nor, and_ab, na, nb);
+    const int x1 = reg();
+    op(Prim::Nor, x1, nor_ab, and_ab);              // a ^ b
+    const int nor_x1c = reg();
+    op(Prim::Nor, nor_x1c, x1, kRegCin);
+    const int nx1 = reg();
+    op(Prim::Nor, nx1, x1, x1);
+    const int nc = reg();
+    op(Prim::Nor, nc, kRegCin, kRegCin);
+    const int and_x1c = reg();
+    op(Prim::Nor, and_x1c, nx1, nc);
+    const int sum = reg();
+    op(Prim::Nor, sum, nor_x1c, and_x1c);           // x1 ^ cin
+    const int cout = reg();
+    op(Prim::Or, cout, and_ab, and_x1c);
+
+    p.resultReg = sum;
+    p.carryOutReg = cout;
+    return p;
+}
+
+/** Ideal-family full adder: 5 single-cycle ops (6 for Sub). */
+BitProgram
+idealFullAdder(bool invert_b)
+{
+    BitProgram p;
+    auto reg = [&p]() { return p.numRegs++; };
+    auto op = [&p](Prim prim, int dst, int a, int b) {
+        p.ops.push_back({prim, dst, a, b});
+    };
+
+    int b_in = kRegB;
+    if (invert_b) {
+        b_in = reg();
+        op(Prim::Not, b_in, kRegB, kRegB);
+    }
+
+    const int x1 = reg();
+    op(Prim::Xor, x1, kRegA, b_in);
+    const int sum = reg();
+    op(Prim::Xor, sum, x1, kRegCin);
+    const int and_ab = reg();
+    op(Prim::And, and_ab, kRegA, b_in);
+    const int and_x1c = reg();
+    op(Prim::And, and_x1c, x1, kRegCin);
+    const int cout = reg();
+    op(Prim::Or, cout, and_ab, and_x1c);
+
+    p.resultReg = sum;
+    p.carryOutReg = cout;
+    return p;
+}
+
+/** Simple two-input macro via the lowering builder. */
+BitProgram
+simpleMacro(Prim prim, const LogicFamily &family)
+{
+    BitProgramBuilder builder(family);
+    const int result = builder.emit(prim, kRegA, kRegB);
+    return builder.finish(result);
+}
+
+/** dst = cin ? b : a, selecting per element with the carry column. */
+BitProgram
+muxMacro(const LogicFamily &family)
+{
+    BitProgramBuilder builder(family);
+    const int not_sel = builder.emit(Prim::Not, kRegCin, kRegCin);
+    const int keep_a = builder.emit(Prim::And, kRegA, not_sel);
+    const int take_b = builder.emit(Prim::And, kRegB, kRegCin);
+    const int result = builder.emit(Prim::Or, keep_a, take_b);
+    return builder.finish(result);
+}
+
+} // namespace
+
+const char *
+macroName(MacroKind kind)
+{
+    switch (kind) {
+      case MacroKind::Not: return "NOT";
+      case MacroKind::Copy: return "COPY";
+      case MacroKind::And: return "AND";
+      case MacroKind::Or: return "OR";
+      case MacroKind::Nor: return "NOR";
+      case MacroKind::Nand: return "NAND";
+      case MacroKind::Xor: return "XOR";
+      case MacroKind::Xnor: return "XNOR";
+      case MacroKind::Add: return "ADD";
+      case MacroKind::Sub: return "SUB";
+      case MacroKind::Mux: return "MUX";
+    }
+    return "?";
+}
+
+BitProgram
+synthesizeMacro(MacroKind kind, const LogicFamily &family)
+{
+    const bool oscar = family.kind() == LogicFamilyKind::Oscar;
+    switch (kind) {
+      case MacroKind::Not: {
+        BitProgramBuilder builder(family);
+        const int result = builder.emit(Prim::Not, kRegA, kRegA);
+        return builder.finish(result);
+      }
+      case MacroKind::Copy: {
+        BitProgramBuilder builder(family);
+        const int result = builder.emit(Prim::Copy, kRegA, kRegA);
+        return builder.finish(result);
+      }
+      case MacroKind::And: return simpleMacro(Prim::And, family);
+      case MacroKind::Or: return simpleMacro(Prim::Or, family);
+      case MacroKind::Nor: return simpleMacro(Prim::Nor, family);
+      case MacroKind::Nand: return simpleMacro(Prim::Nand, family);
+      case MacroKind::Xor: return simpleMacro(Prim::Xor, family);
+      case MacroKind::Xnor: return simpleMacro(Prim::Xnor, family);
+      case MacroKind::Add:
+        return oscar ? oscarFullAdder(false) : idealFullAdder(false);
+      case MacroKind::Sub:
+        return oscar ? oscarFullAdder(true) : idealFullAdder(true);
+      case MacroKind::Mux: return muxMacro(family);
+    }
+    darth_panic("synthesizeMacro: unknown macro");
+}
+
+bool
+initialCarry(MacroKind kind)
+{
+    return kind == MacroKind::Sub;
+}
+
+u64
+referenceMacro(MacroKind kind, u64 a, u64 b, int bits)
+{
+    const u64 mask =
+        bits >= 64 ? ~0ULL : ((1ULL << bits) - 1ULL);
+    u64 result = 0;
+    switch (kind) {
+      case MacroKind::Not: result = ~a; break;
+      case MacroKind::Copy: result = a; break;
+      case MacroKind::And: result = a & b; break;
+      case MacroKind::Or: result = a | b; break;
+      case MacroKind::Nor: result = ~(a | b); break;
+      case MacroKind::Nand: result = ~(a & b); break;
+      case MacroKind::Xor: result = a ^ b; break;
+      case MacroKind::Xnor: result = ~(a ^ b); break;
+      case MacroKind::Add: result = a + b; break;
+      case MacroKind::Sub: result = a - b; break;
+      case MacroKind::Mux:
+        darth_panic("referenceMacro: MUX needs a select operand");
+    }
+    return result & mask;
+}
+
+} // namespace digital
+} // namespace darth

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Macro-operation synthesis: lowering vector macros (ADD, XOR, ...)
+ * onto per-bit gate programs for a given logic family.
+ *
+ * The synthesized programs are both *executed* (the functional
+ * simulator evaluates them column-parallel on vector-register bits,
+ * so arithmetic is correct by construction) and *costed* (their op
+ * counts drive the cycle model, so OSCAR-vs-ideal comparisons like
+ * Figure 7 fall out of real gate counts).
+ */
+
+#ifndef DARTH_DIGITAL_SYNTHESIS_H
+#define DARTH_DIGITAL_SYNTHESIS_H
+
+#include "digital/BitProgram.h"
+#include "digital/LogicFamily.h"
+
+namespace darth
+{
+namespace digital
+{
+
+/** Vector macro operations a pipeline can execute. */
+enum class MacroKind
+{
+    Not,    //!< dst = ~a
+    Copy,   //!< dst = a
+    And,    //!< dst = a & b
+    Or,     //!< dst = a | b
+    Nor,    //!< dst = ~(a | b)
+    Nand,   //!< dst = ~(a & b)
+    Xor,    //!< dst = a ^ b
+    Xnor,   //!< dst = ~(a ^ b)
+    Add,    //!< dst = a + b (carry-chained)
+    Sub,    //!< dst = a - b (carry-chained, two's complement)
+    Mux,    //!< dst = cin ? b : a (per-bit select in carry slot)
+};
+
+/** Printable macro name. */
+const char *macroName(MacroKind kind);
+
+/**
+ * Build the per-bit gate program realizing the macro in the family.
+ *
+ * Programs for Add/Sub consume kRegCin and define a carry-out; the
+ * pipeline chains the carry across bit positions (arrays).
+ */
+BitProgram synthesizeMacro(MacroKind kind, const LogicFamily &family);
+
+/** Initial carry-in value for a carry-chained macro (1 for Sub). */
+bool initialCarry(MacroKind kind);
+
+/**
+ * Reference evaluation of a macro on integers confined to `bits` bits
+ * (two's complement wraparound), used by tests to validate synthesis.
+ */
+u64 referenceMacro(MacroKind kind, u64 a, u64 b, int bits);
+
+} // namespace digital
+} // namespace darth
+
+#endif // DARTH_DIGITAL_SYNTHESIS_H

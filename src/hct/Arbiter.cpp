@@ -1,0 +1,20 @@
+#include "hct/Arbiter.h"
+
+namespace darth
+{
+namespace hct
+{
+
+const char *
+modeName(Mode mode)
+{
+    switch (mode) {
+      case Mode::Idle: return "idle";
+      case Mode::Analog: return "analog";
+      case Mode::Digital: return "digital";
+    }
+    return "?";
+}
+
+} // namespace hct
+} // namespace darth

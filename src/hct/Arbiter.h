@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Analog/digital arbiter (Section 4.2).
+ *
+ * Analog instructions take hundreds of cycles (ADC + I/O) while
+ * digital Boolean primitives take tens; letting them interleave on the
+ * same arrays corrupts the reduction sequence of Figure 9c. The
+ * arbiter grants an HCT's shared resources to one domain at a time,
+ * serializing younger instructions behind older ones and making each
+ * analog MVM appear atomic.
+ */
+
+#ifndef DARTH_HCT_ARBITER_H
+#define DARTH_HCT_ARBITER_H
+
+#include "common/Types.h"
+
+namespace darth
+{
+namespace hct
+{
+
+/** Which domain currently owns the tile's shared datapath. */
+enum class Mode { Idle, Analog, Digital };
+
+/** Printable mode name. */
+const char *modeName(Mode mode);
+
+/** Single-owner arbiter with a small mode-switch penalty. */
+class Arbiter
+{
+  public:
+    explicit Arbiter(Cycle switch_penalty = 1)
+        : switchPenalty_(switch_penalty)
+    {}
+
+    /**
+     * Request the datapath for a domain; returns the granted start
+     * cycle (serialized behind the previous owner, plus the switch
+     * penalty when the domain changes).
+     */
+    Cycle
+    acquire(Mode mode, Cycle earliest)
+    {
+        Cycle start = earliest > busyUntil_ ? earliest : busyUntil_;
+        if (mode_ != Mode::Idle && mode_ != mode) {
+            start += switchPenalty_;
+            ++switches_;
+        }
+        mode_ = mode;
+        return start;
+    }
+
+    /** Mark the datapath busy until `when`. */
+    void
+    release(Cycle when)
+    {
+        if (when > busyUntil_)
+            busyUntil_ = when;
+    }
+
+    Mode mode() const { return mode_; }
+    Cycle busyUntil() const { return busyUntil_; }
+    u64 switchCount() const { return switches_; }
+
+  private:
+    Mode mode_ = Mode::Idle;
+    Cycle busyUntil_ = 0;
+    Cycle switchPenalty_;
+    u64 switches_ = 0;
+};
+
+} // namespace hct
+} // namespace darth
+
+#endif // DARTH_HCT_ARBITER_H

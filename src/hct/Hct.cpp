@@ -1,0 +1,367 @@
+#include "hct/Hct.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace hct
+{
+
+namespace
+{
+
+/** Registers reserved in each reduction pipeline. */
+constexpr std::size_t kAccVr = 0;     //!< running accumulator
+constexpr std::size_t kStageVr = 1;   //!< incoming partial product
+
+int
+ceilLog2(u64 n)
+{
+    int bits = 0;
+    while ((u64{1} << bits) < n)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+HctConfig
+HctConfig::paperDefault(analog::AdcKind adc)
+{
+    HctConfig cfg;
+    // Table 2: 64 pipelines x 64 arrays of 64x64; 64 analog arrays.
+    cfg.dce.numPipelines = 64;
+    cfg.dce.pipeline.depth = 64;
+    cfg.dce.pipeline.width = 64;
+    cfg.dce.pipeline.numRegs = 64;
+    cfg.ace.numArrays = 64;
+    cfg.ace.arrayRows = 64;
+    cfg.ace.arrayCols = 64;
+    cfg.ace.adc.kind = adc;
+    // Table 2 lists "SAR: 2" converters, but §4 also fixes the
+    // ACE->DCE network at 8 B/cycle "chosen to rate-match ADC
+    // throughput with DCE write bandwidth"; with 1-cycle SAR
+    // conversions of 8-bit codes that requires 8 conversion lanes,
+    // which is the value we adopt (see EXPERIMENTS.md).
+    cfg.ace.numAdcs = adc == analog::AdcKind::Sar ? 8 : 1;
+    return cfg;
+}
+
+Hct::Hct(const HctConfig &config, CostTally *tally, u64 seed)
+    : cfg_(config), tally_(tally), ace_(config.ace, tally, seed),
+      dce_(config.dce, tally), arbiter_(config.arbiterSwitchPenalty),
+      iiu_(config.iiu), transpose_(config.transpose)
+{
+}
+
+void
+Hct::allocVACore(int element_bits, int bits_per_cell)
+{
+    if (element_bits <= 0 || bits_per_cell <= 0)
+        darth_fatal("Hct::allocVACore: widths must be positive");
+    vacore_.elementBits = element_bits;
+    vacore_.bitsPerCell = bits_per_cell;
+    vacore_.valid = true;
+    // Allocating the vACore programs the IIU's shift-and-add table;
+    // the cost is the IIU setup charge paid once per MVM sequence.
+}
+
+void
+Hct::setMatrix(const MatrixI &m, int element_bits, int bits_per_cell)
+{
+    allocVACore(element_bits, bits_per_cell);
+    ace_.setMatrix(m, element_bits, bits_per_cell);
+    analogEnabled_ = true;
+    const std::size_t pipes_needed = reductionPipes();
+    if (pipes_needed > dce_.numPipelines())
+        darth_fatal("Hct::setMatrix: reduction needs ", pipes_needed,
+                    " pipelines but the DCE has ", dce_.numPipelines());
+}
+
+std::size_t
+Hct::reductionPipes() const
+{
+    const std::size_t width = cfg_.dce.pipeline.width;
+    return (ace_.matrix().cols() + width - 1) / width;
+}
+
+int
+Hct::accumulatorBits(int input_bits) const
+{
+    if (!vacore_.valid)
+        darth_fatal("Hct::accumulatorBits: no vACore allocated");
+    const int bits = vacore_.elementBits + input_bits +
+                     ceilLog2(std::max<u64>(ace_.matrix().rows(), 1)) +
+                     1;
+    const int depth = static_cast<int>(cfg_.dce.pipeline.depth);
+    return std::min(std::min(bits, depth), 63);
+}
+
+Hct::MvmResult
+Hct::execMvm(const std::vector<i64> &x, int input_bits, Cycle start)
+{
+    if (!analogEnabled_)
+        darth_fatal("Hct::execMvm: the ACE is disabled");
+    if (!vacore_.valid)
+        darth_fatal("Hct::execMvm: no vACore allocated");
+
+    const Cycle analog_start = arbiter_.acquire(Mode::Analog, start);
+    const auto stream = ace_.execMvm(x, input_bits, analog_start);
+    ++mvmCount_;
+
+    const std::size_t cols = ace_.matrix().cols();
+    if (!digitalEnabled_) {
+        // Raw partial products only: legal when no recombination is
+        // needed (single plane, single slice, single group).
+        if (stream.size() != 1)
+            darth_fatal("Hct::execMvm: DCE post-processing disabled "
+                        "but the stream has ", stream.size(),
+                        " partial products");
+        MvmResult result;
+        result.values = stream[0].values;
+        result.done = stream[0].readyAt;
+        arbiter_.release(result.done);
+        return result;
+    }
+
+    const std::size_t width = cfg_.dce.pipeline.width;
+    const std::size_t n_pipes = reductionPipes();
+    const int acc_bits = accumulatorBits(input_bits);
+    const u64 mask = acc_bits >= 64 ? ~0ULL
+                                    : ((u64{1} << acc_bits) - 1);
+
+    // Pipeline reserve: mark the accumulator and staging registers
+    // dead and clear them (Section 4.2's reserve instruction).
+    for (std::size_t p = 0; p < n_pipes; ++p) {
+        dce_.pipeline(p).clearReg(kAccVr);
+        dce_.pipeline(p).clearReg(kStageVr);
+    }
+
+    const Cycle setup = iiu_.sequenceSetup();
+    std::vector<Cycle> port_free(n_pipes, analog_start + setup);
+    Cycle done = analog_start + setup;
+
+    const digital::BitProgram add_program = digital::synthesizeMacro(
+        digital::MacroKind::Add,
+        digital::LogicFamily(cfg_.dce.pipeline.family));
+    const u64 uops_per_add =
+        static_cast<u64>(add_program.opCount()) *
+        static_cast<u64>(acc_bits);
+
+    for (const auto &pp : stream) {
+        for (std::size_t p = 0; p < n_pipes; ++p) {
+            const std::size_t c0 = p * width;
+            if (c0 >= cols)
+                break;
+            const std::size_t n =
+                std::min(width, cols - c0);
+
+            // --- Transfer: ADC outputs stream over the network into
+            // DCE rows, one row per cycle, overlapped with the
+            // conversion window. The transpose unit turns the analog
+            // row vector into column elements on the fly.
+            const Cycle write_begin =
+                std::max(port_free[p], pp.convStart);
+            Cycle write_done =
+                std::max(pp.readyAt,
+                         write_begin + static_cast<Cycle>(n));
+            if (!cfg_.transpose.enabled) {
+                // DCE-emulated transpose: extra element-wise copies.
+                write_done += transpose_.transposeCost(1, n, acc_bits);
+            }
+            port_free[p] = write_done;
+
+            if (tally_ != nullptr) {
+                const u64 bytes =
+                    static_cast<u64>(n) *
+                    ((static_cast<u64>(cfg_.ace.adc.bits) + 7) / 8);
+                tally_->add("hct.network", n,
+                            static_cast<double>(bytes) *
+                                cfg_.networkEnergyPerBytePJ);
+            }
+
+            // --- Placement: with shift units the value lands
+            // pre-shifted; without them the DCE must write, then
+            // shift with Boolean µops (Figure 10a), serializing.
+            digital::Pipeline &pipe = dce_.pipeline(p);
+            Cycle ready = write_done;
+            if (cfg_.shiftUnits) {
+                for (std::size_t e = 0; e < n; ++e) {
+                    const i64 shifted = pp.values[c0 + e]
+                                        << pp.shift;
+                    pipe.setElement(kStageVr, e,
+                                    static_cast<u64>(shifted) & mask);
+                }
+            } else {
+                for (std::size_t e = 0; e < n; ++e)
+                    pipe.setElement(
+                        kStageVr, e,
+                        static_cast<u64>(pp.values[c0 + e]) & mask);
+                ready = pipe.execShift(
+                    kStageVr, kStageVr,
+                    static_cast<std::size_t>(pp.shift), true,
+                    static_cast<std::size_t>(acc_bits), write_done);
+            }
+
+            // --- Reduction: pipelined ADD/SUB into the accumulator,
+            // issued by the IIU (or stalled through the front end).
+            const Cycle issue = ready + iiu_.issueOverhead(uops_per_add);
+            iiu_.recordInjected(cfg_.iiu.enabled ? uops_per_add : 0);
+            const Cycle add_done = pipe.execMacro(
+                pp.negate ? digital::MacroKind::Sub
+                          : digital::MacroKind::Add,
+                kAccVr, kAccVr, kStageVr,
+                static_cast<std::size_t>(acc_bits), issue);
+            done = std::max(done, add_done);
+        }
+    }
+
+    // Read the accumulator back as sign-extended integers.
+    MvmResult result;
+    result.values.resize(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+        const std::size_t p = c / width;
+        const u64 raw = dce_.pipeline(p).element(
+            kAccVr, c % width, static_cast<std::size_t>(acc_bits));
+        i64 value = static_cast<i64>(raw);
+        if (acc_bits < 64 && (raw >> (acc_bits - 1)) & 1ULL)
+            value -= i64{1} << acc_bits;
+        result.values[c] = value;
+    }
+    result.done = done;
+    arbiter_.release(done);
+    return result;
+}
+
+Cycle
+Hct::disableAnalogMode(Cycle start)
+{
+    if (!analogEnabled_)
+        return start;
+    analogEnabled_ = false;
+    if (!ace_.hasMatrix())
+        return start;
+    // Copy the matrix from the analog arrays into DCE registers: one
+    // transpose per column tile plus the row writes.
+    const auto &m = ace_.matrix();
+    const Cycle begin = arbiter_.acquire(Mode::Digital, start);
+    const Cycle cost =
+        transpose_.transposeCost(m.rows(), m.cols(),
+                                 static_cast<std::size_t>(
+                                     vacore_.elementBits)) +
+        static_cast<Cycle>(m.rows());
+    const Cycle done = begin + cost;
+    arbiter_.release(done);
+    return done;
+}
+
+Cycle
+Hct::digitalMacro(std::size_t pipe, digital::MacroKind kind,
+                  std::size_t dst, std::size_t a, std::size_t b,
+                  std::size_t bits, Cycle start)
+{
+    const Cycle begin = arbiter_.acquire(Mode::Digital, start);
+    const Cycle done =
+        dce_.pipeline(pipe).execMacro(kind, dst, a, b, bits, begin);
+    arbiter_.release(done);
+    return done;
+}
+
+Cycle
+Hct::digitalShift(std::size_t pipe, std::size_t dst, std::size_t src,
+                  std::size_t k, bool up, std::size_t bits, Cycle start)
+{
+    const Cycle begin = arbiter_.acquire(Mode::Digital, start);
+    const Cycle done =
+        dce_.pipeline(pipe).execShift(dst, src, k, up, bits, begin);
+    arbiter_.release(done);
+    return done;
+}
+
+Cycle
+Hct::digitalRotate(std::size_t pipe, std::size_t vr, std::size_t k,
+                   std::size_t bits, Cycle start)
+{
+    const Cycle begin = arbiter_.acquire(Mode::Digital, start);
+    const Cycle done =
+        dce_.pipeline(pipe).execRotate(vr, k, bits, begin);
+    arbiter_.release(done);
+    return done;
+}
+
+Cycle
+Hct::digitalSelect(std::size_t pipe, std::size_t dst, std::size_t a,
+                   std::size_t b, std::size_t sel_vr,
+                   std::size_t sel_bit, std::size_t bits, Cycle start)
+{
+    const Cycle begin = arbiter_.acquire(Mode::Digital, start);
+    const Cycle done = dce_.pipeline(pipe).execSelect(
+        dst, a, b, sel_vr, sel_bit, bits, begin);
+    arbiter_.release(done);
+    return done;
+}
+
+Cycle
+Hct::elementLoad(std::size_t pipe, std::size_t dst, std::size_t addr_vr,
+                 std::size_t table_pipe, std::size_t table_base_vr,
+                 std::size_t bits, Cycle start)
+{
+    const Cycle begin = arbiter_.acquire(Mode::Digital, start);
+    const Cycle done = dce_.pipeline(pipe).elementLoad(
+        dst, addr_vr, dce_.pipeline(table_pipe), table_base_vr, bits,
+        begin);
+    arbiter_.release(done);
+    return done;
+}
+
+Cycle
+Hct::elementStore(std::size_t pipe, std::size_t src, std::size_t addr_vr,
+                  std::size_t table_pipe, std::size_t table_base_vr,
+                  std::size_t bits, Cycle start)
+{
+    const Cycle begin = arbiter_.acquire(Mode::Digital, start);
+    const Cycle done = dce_.pipeline(pipe).elementStore(
+        src, addr_vr, dce_.pipeline(table_pipe), table_base_vr, bits,
+        begin);
+    arbiter_.release(done);
+    return done;
+}
+
+Cycle
+Hct::loadVector(std::size_t pipe, std::size_t vr,
+                const std::vector<i64> &values, std::size_t bits,
+                Cycle start)
+{
+    const Cycle begin = arbiter_.acquire(Mode::Digital, start);
+    digital::Pipeline &p = dce_.pipeline(pipe);
+    const u64 mask = bits >= 64 ? ~0ULL : ((u64{1} << bits) - 1);
+    Cycle t = begin;
+    for (std::size_t e = 0; e < values.size(); ++e)
+        t = p.writeRow(vr, e, static_cast<u64>(values[e]) & mask, 0,
+                       bits, t);
+    arbiter_.release(t);
+    return t;
+}
+
+std::vector<i64>
+Hct::readVector(std::size_t pipe, std::size_t vr,
+                std::size_t bits) const
+{
+    const digital::Pipeline &p =
+        static_cast<const digital::Dce &>(dce_).pipeline(pipe);
+    std::vector<i64> out(p.config().width);
+    for (std::size_t e = 0; e < out.size(); ++e) {
+        const u64 raw = p.element(vr, e, bits);
+        i64 value = static_cast<i64>(raw);
+        if (bits < 64 && bits > 0 && ((raw >> (bits - 1)) & 1ULL))
+            value -= i64{1} << bits;
+        out[e] = value;
+    }
+    return out;
+}
+
+} // namespace hct
+} // namespace darth

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Instruction injection unit (Section 4.2).
+ *
+ * The shift-and-add reduction after an MVM repeats the same ADD with
+ * rotating register arguments; expanding it through the shared front
+ * end would stall issue for every HCT behind hundreds of Boolean
+ * µops. The IIU is a small table + counter per HCT that replays the
+ * µop sequence locally. With the IIU the per-macro front-end cost is a
+ * one-time table setup; without it every µop competes for the front
+ * end shared by 8 HCTs.
+ */
+
+#ifndef DARTH_HCT_INJECTIONUNIT_H
+#define DARTH_HCT_INJECTIONUNIT_H
+
+#include "common/Types.h"
+
+namespace darth
+{
+namespace hct
+{
+
+/** Configuration of the per-HCT injection unit. */
+struct IiuConfig
+{
+    bool enabled = true;
+    /** One-time cost to load the µop table for a reduction. */
+    Cycle setupCycles = 4;
+    /** HCTs sharing one front end (issue bandwidth divisor). */
+    std::size_t frontEndShare = 8;
+};
+
+/** Models front-end issue overhead for repetitive µop sequences. */
+class InjectionUnit
+{
+  public:
+    explicit InjectionUnit(const IiuConfig &config) : cfg_(config) {}
+
+    const IiuConfig &config() const { return cfg_; }
+
+    /**
+     * One-time overhead before a reduction sequence starts.
+     */
+    Cycle
+    sequenceSetup() const
+    {
+        return cfg_.enabled ? cfg_.setupCycles : 0;
+    }
+
+    /**
+     * Extra delay added to a macro of `uops` µops when the front end
+     * must expand it. The front end issues one µop per cycle but is
+     * time-shared by frontEndShare HCTs, so each µop effectively waits
+     * (share - 1) extra cycles; the IIU removes this entirely.
+     */
+    Cycle
+    issueOverhead(u64 uops) const
+    {
+        if (cfg_.enabled)
+            return 0;
+        return uops * static_cast<Cycle>(cfg_.frontEndShare - 1);
+    }
+
+    /** Count of µops injected locally (stats). */
+    void recordInjected(u64 uops) { injected_ += uops; }
+    u64 injectedUops() const { return injected_; }
+
+  private:
+    IiuConfig cfg_;
+    u64 injected_ = 0;
+};
+
+} // namespace hct
+} // namespace darth
+
+#endif // DARTH_HCT_INJECTIONUNIT_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Transposition unit (Section 4.2).
+ *
+ * Analog PUM consumes inputs row-wise and produces outputs column-wise;
+ * digital PUM stripes data column-wise and computes row-wise. Every
+ * datum crossing the analog/digital boundary therefore needs a
+ * transpose. The dedicated unit streams 64 bits per cycle; without it
+ * the DCE emulates the transpose with element-wise copies, which costs
+ * roughly one row read + one row write per element.
+ */
+
+#ifndef DARTH_HCT_TRANSPOSEUNIT_H
+#define DARTH_HCT_TRANSPOSEUNIT_H
+
+#include "common/Matrix.h"
+#include "common/Types.h"
+
+namespace darth
+{
+namespace hct
+{
+
+/** Configuration of the transpose unit. */
+struct TransposeConfig
+{
+    bool enabled = true;
+    /** Streaming width of the dedicated unit, bits per cycle. */
+    std::size_t bitsPerCycle = 64;
+};
+
+/** Cost model (and functional helper) for A<->D transpositions. */
+class TransposeUnit
+{
+  public:
+    explicit TransposeUnit(const TransposeConfig &config) : cfg_(config)
+    {}
+
+    const TransposeConfig &config() const { return cfg_; }
+
+    /** Cycles to transpose a rows x cols tile of `bits`-bit values. */
+    Cycle
+    transposeCost(std::size_t rows, std::size_t cols,
+                  std::size_t bits) const
+    {
+        const u64 total_bits = static_cast<u64>(rows) * cols * bits;
+        if (cfg_.enabled)
+            return (total_bits + cfg_.bitsPerCycle - 1) /
+                   cfg_.bitsPerCycle;
+        // DCE emulation: per element, one row read-out and one row
+        // write-back through the single-row I/O port.
+        return static_cast<Cycle>(rows) * cols * 2;
+    }
+
+    /** Functional transpose (the data path is exact either way). */
+    template <typename T>
+    static Matrix<T>
+    transpose(const Matrix<T> &m)
+    {
+        return m.transposed();
+    }
+
+  private:
+    TransposeConfig cfg_;
+};
+
+} // namespace hct
+} // namespace darth
+
+#endif // DARTH_HCT_TRANSPOSEUNIT_H

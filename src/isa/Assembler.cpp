@@ -1,0 +1,269 @@
+#include "isa/Assembler.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace isa
+{
+
+namespace
+{
+
+/** Split a line into tokens, treating commas as whitespace. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::string cleaned;
+    for (char c : line) {
+        if (c == '#')
+            break;
+        cleaned += (c == ',') ? ' ' : c;
+    }
+    std::istringstream iss(cleaned);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (iss >> tok)
+        tokens.push_back(tok);
+    return tokens;
+}
+
+u16
+parseInt(const std::string &tok, int line_no)
+{
+    try {
+        const unsigned long v = std::stoul(tok);
+        if (v > 0xFFFF)
+            darth_fatal("assemble: line ", line_no, ": immediate ", v,
+                        " out of range");
+        return static_cast<u16>(v);
+    } catch (const std::invalid_argument &) {
+        darth_fatal("assemble: line ", line_no, ": expected integer, "
+                    "got '", tok, "'");
+    } catch (const std::out_of_range &) {
+        darth_fatal("assemble: line ", line_no, ": integer '", tok,
+                    "' out of range");
+    }
+}
+
+u8
+parsePrefixed(const std::string &tok, char prefix, int line_no)
+{
+    if (tok.size() < 2 || tok[0] != prefix)
+        darth_fatal("assemble: line ", line_no, ": expected '", prefix,
+                    "N', got '", tok, "'");
+    return static_cast<u8>(parseInt(tok.substr(1), line_no));
+}
+
+/** Parse "hN" or "hN.pM" into (hct, pipe). */
+void
+parseTarget(const std::string &tok, int line_no, u8 *hct, u8 *pipe)
+{
+    const std::size_t dot = tok.find('.');
+    if (dot == std::string::npos) {
+        *hct = parsePrefixed(tok, 'h', line_no);
+        *pipe = 0;
+        return;
+    }
+    *hct = parsePrefixed(tok.substr(0, dot), 'h', line_no);
+    *pipe = parsePrefixed(tok.substr(dot + 1), 'p', line_no);
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    Program program;
+    std::istringstream stream(source);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        const auto tokens = tokenize(line);
+        if (tokens.empty())
+            continue;
+
+        Instruction inst;
+        if (!opcodeFromName(tokens[0], &inst.op))
+            darth_fatal("assemble: line ", line_no,
+                        ": unknown mnemonic '", tokens[0], "'");
+
+        auto need = [&](std::size_t n) {
+            if (tokens.size() != n + 1)
+                darth_fatal("assemble: line ", line_no, ": '",
+                            tokens[0], "' expects ", n, " operands, got ",
+                            tokens.size() - 1);
+        };
+        auto vreg = [&](std::size_t i) {
+            return parsePrefixed(tokens[i], 'v', line_no);
+        };
+
+        switch (inst.op) {
+          case Opcode::Nop:
+          case Opcode::Halt:
+            need(0);
+            break;
+          case Opcode::AModeOff:
+          case Opcode::DModeOff:
+            need(1);
+            parseTarget(tokens[1], line_no, &inst.hct, &inst.pipe);
+            break;
+          case Opcode::Reserve:
+            need(2);
+            parseTarget(tokens[1], line_no, &inst.hct, &inst.pipe);
+            inst.dst = vreg(2);
+            break;
+          case Opcode::VACore:
+            need(3);
+            parseTarget(tokens[1], line_no, &inst.hct, &inst.pipe);
+            inst.bits = parseInt(tokens[2], line_no);
+            inst.imm = parseInt(tokens[3], line_no);
+            break;
+          case Opcode::DNot:
+          case Opcode::DCopy:
+            need(4);
+            parseTarget(tokens[1], line_no, &inst.hct, &inst.pipe);
+            inst.dst = vreg(2);
+            inst.srcA = vreg(3);
+            inst.srcB = inst.srcA;
+            inst.bits = parseInt(tokens[4], line_no);
+            break;
+          case Opcode::DAnd:
+          case Opcode::DOr:
+          case Opcode::DNor:
+          case Opcode::DNand:
+          case Opcode::DXor:
+          case Opcode::DXnor:
+          case Opcode::DAdd:
+          case Opcode::DSub:
+            need(5);
+            parseTarget(tokens[1], line_no, &inst.hct, &inst.pipe);
+            inst.dst = vreg(2);
+            inst.srcA = vreg(3);
+            inst.srcB = vreg(4);
+            inst.bits = parseInt(tokens[5], line_no);
+            break;
+          case Opcode::DShl:
+          case Opcode::DShr:
+          case Opcode::DRot:
+            need(5);
+            parseTarget(tokens[1], line_no, &inst.hct, &inst.pipe);
+            inst.dst = vreg(2);
+            inst.srcA = vreg(3);
+            inst.bits = parseInt(tokens[4], line_no);
+            inst.imm = parseInt(tokens[5], line_no);
+            break;
+          case Opcode::DSelect:
+            // dselect h.p vdst, va, vb, vsel, selbit, bits
+            need(7);
+            parseTarget(tokens[1], line_no, &inst.hct, &inst.pipe);
+            inst.dst = vreg(2);
+            inst.srcA = vreg(3);
+            inst.srcB = vreg(4);
+            inst.imm = static_cast<u16>(
+                vreg(5) | (parseInt(tokens[6], line_no) << 8));
+            inst.bits = parseInt(tokens[7], line_no);
+            break;
+          case Opcode::ELoad:
+          case Opcode::EStore:
+            // eload h.p vdst, vaddr, pT, vbase, bits
+            need(6);
+            parseTarget(tokens[1], line_no, &inst.hct, &inst.pipe);
+            inst.dst = vreg(2);
+            inst.srcA = vreg(3);
+            inst.imm = static_cast<u16>(
+                parsePrefixed(tokens[4], 'p', line_no) |
+                (vreg(5) << 8));
+            inst.bits = parseInt(tokens[6], line_no);
+            break;
+          case Opcode::AMvm:
+            // amvm h.p vinput, input_bits
+            need(3);
+            parseTarget(tokens[1], line_no, &inst.hct, &inst.pipe);
+            inst.srcA = vreg(2);
+            inst.bits = parseInt(tokens[3], line_no);
+            break;
+        }
+        program.push_back(inst);
+    }
+    return program;
+}
+
+std::string
+disassemble(const Program &program)
+{
+    std::ostringstream out;
+    for (const auto &inst : program) {
+        out << opcodeName(inst.op);
+        const std::string target = " h" + std::to_string(inst.hct) +
+                                   ".p" + std::to_string(inst.pipe);
+        switch (inst.op) {
+          case Opcode::Nop:
+          case Opcode::Halt:
+            break;
+          case Opcode::AModeOff:
+          case Opcode::DModeOff:
+            out << " h" << static_cast<int>(inst.hct);
+            break;
+          case Opcode::Reserve:
+            out << target << " v" << static_cast<int>(inst.dst);
+            break;
+          case Opcode::VACore:
+            out << " h" << static_cast<int>(inst.hct) << " "
+                << inst.bits << ", " << inst.imm;
+            break;
+          case Opcode::DNot:
+          case Opcode::DCopy:
+            out << target << " v" << static_cast<int>(inst.dst)
+                << ", v" << static_cast<int>(inst.srcA) << ", "
+                << inst.bits;
+            break;
+          case Opcode::DAnd:
+          case Opcode::DOr:
+          case Opcode::DNor:
+          case Opcode::DNand:
+          case Opcode::DXor:
+          case Opcode::DXnor:
+          case Opcode::DAdd:
+          case Opcode::DSub:
+            out << target << " v" << static_cast<int>(inst.dst)
+                << ", v" << static_cast<int>(inst.srcA) << ", v"
+                << static_cast<int>(inst.srcB) << ", " << inst.bits;
+            break;
+          case Opcode::DShl:
+          case Opcode::DShr:
+          case Opcode::DRot:
+            out << target << " v" << static_cast<int>(inst.dst)
+                << ", v" << static_cast<int>(inst.srcA) << ", "
+                << inst.bits << ", " << inst.imm;
+            break;
+          case Opcode::DSelect:
+            out << target << " v" << static_cast<int>(inst.dst)
+                << ", v" << static_cast<int>(inst.srcA) << ", v"
+                << static_cast<int>(inst.srcB) << ", v"
+                << (inst.imm & 0xFF) << ", " << (inst.imm >> 8)
+                << ", " << inst.bits;
+            break;
+          case Opcode::ELoad:
+          case Opcode::EStore:
+            out << target << " v" << static_cast<int>(inst.dst)
+                << ", v" << static_cast<int>(inst.srcA) << ", p"
+                << (inst.imm & 0xFF) << ", v" << (inst.imm >> 8)
+                << ", " << inst.bits;
+            break;
+          case Opcode::AMvm:
+            out << target << " v" << static_cast<int>(inst.srcA)
+                << ", " << inst.bits;
+            break;
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace isa
+} // namespace darth

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Text assembler for the hybrid ISA.
+ *
+ * Syntax, one instruction per line ('#' starts a comment):
+ *
+ *   dadd   h0.p1 v2, v0, v1, 16      # dst, srcA, srcB, bits
+ *   dshl   h0.p1 v3, v2, 16, 4       # dst, src, bits, imm (shift)
+ *   eload  h0.p1 v4, v0, p2, v8, 8   # dst, addr, table pipe/base, bits
+ *   amvm   h0 v0, 8                  # input vr (in pipe 0), input bits
+ *   reserve h0.p1
+ *   vacore h0 8, 4                   # elementBits, bitsPerCell
+ *   halt
+ */
+
+#ifndef DARTH_ISA_ASSEMBLER_H
+#define DARTH_ISA_ASSEMBLER_H
+
+#include <string>
+
+#include "isa/Isa.h"
+
+namespace darth
+{
+namespace isa
+{
+
+/** Assemble a text program; throws (fatal) on syntax errors. */
+Program assemble(const std::string &source);
+
+/** Disassemble back to canonical text. */
+std::string disassemble(const Program &program);
+
+} // namespace isa
+} // namespace darth
+
+#endif // DARTH_ISA_ASSEMBLER_H

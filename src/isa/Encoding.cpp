@@ -1,0 +1,85 @@
+#include "isa/Encoding.h"
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace isa
+{
+
+namespace
+{
+
+/** Marker in the imm byte that an extension word follows. */
+constexpr u64 kExtendedImm = 0xFF;
+
+u64
+packCommon(const Instruction &inst)
+{
+    return static_cast<u64>(inst.op) | (static_cast<u64>(inst.hct) << 8) |
+           (static_cast<u64>(inst.pipe) << 16) |
+           (static_cast<u64>(inst.dst) << 24) |
+           (static_cast<u64>(inst.srcA) << 32) |
+           (static_cast<u64>(inst.srcB) << 40) |
+           (static_cast<u64>(inst.bits & 0xFF) << 48);
+}
+
+} // namespace
+
+std::vector<u64>
+encodeInstruction(const Instruction &inst)
+{
+    if (inst.bits > 0xFF)
+        darth_fatal("encodeInstruction: operand width ", inst.bits,
+                    " exceeds the 8-bit field");
+    u64 word = packCommon(inst);
+    if (inst.imm < kExtendedImm) {
+        word |= static_cast<u64>(inst.imm) << 56;
+        return {word};
+    }
+    word |= kExtendedImm << 56;
+    return {word, static_cast<u64>(inst.imm)};
+}
+
+std::vector<u64>
+encodeProgram(const Program &program)
+{
+    std::vector<u64> words;
+    words.reserve(program.size());
+    for (const auto &inst : program) {
+        const auto encoded = encodeInstruction(inst);
+        words.insert(words.end(), encoded.begin(), encoded.end());
+    }
+    return words;
+}
+
+Program
+decodeProgram(const std::vector<u64> &words)
+{
+    Program program;
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        const u64 w = words[i];
+        Instruction inst;
+        inst.op = static_cast<Opcode>(w & 0xFF);
+        inst.hct = static_cast<u8>((w >> 8) & 0xFF);
+        inst.pipe = static_cast<u8>((w >> 16) & 0xFF);
+        inst.dst = static_cast<u8>((w >> 24) & 0xFF);
+        inst.srcA = static_cast<u8>((w >> 32) & 0xFF);
+        inst.srcB = static_cast<u8>((w >> 40) & 0xFF);
+        inst.bits = static_cast<u16>((w >> 48) & 0xFF);
+        const u64 imm = (w >> 56) & 0xFF;
+        if (imm == kExtendedImm) {
+            if (i + 1 >= words.size())
+                darth_fatal("decodeProgram: truncated extended "
+                            "instruction");
+            inst.imm = static_cast<u16>(words[++i]);
+        } else {
+            inst.imm = static_cast<u16>(imm);
+        }
+        program.push_back(inst);
+    }
+    return program;
+}
+
+} // namespace isa
+} // namespace darth

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Binary encoding of the hybrid ISA: one 64-bit word per instruction.
+ *
+ * Layout (LSB first):
+ *   [7:0]   opcode
+ *   [15:8]  hct
+ *   [23:16] pipe
+ *   [31:24] dst
+ *   [39:32] srcA
+ *   [47:40] srcB
+ *   [55:48] bits (operand width, 8 bits is enough for depth <= 255)
+ *   [63:56] imm low byte; imm values above 255 are not encodable in
+ *           the compact form and use the extended encoding (two
+ *           words, second word = imm).
+ */
+
+#ifndef DARTH_ISA_ENCODING_H
+#define DARTH_ISA_ENCODING_H
+
+#include <vector>
+
+#include "isa/Isa.h"
+
+namespace darth
+{
+namespace isa
+{
+
+/** Encode a program to instruction words. */
+std::vector<u64> encodeProgram(const Program &program);
+
+/** Decode instruction words back to a program. */
+Program decodeProgram(const std::vector<u64> &words);
+
+/** Encode one instruction (1 or 2 words). */
+std::vector<u64> encodeInstruction(const Instruction &inst);
+
+} // namespace isa
+} // namespace darth
+
+#endif // DARTH_ISA_ENCODING_H

@@ -1,0 +1,166 @@
+#include "isa/FrontEnd.h"
+
+#include <algorithm>
+
+#include "common/Logging.h"
+#include "isa/Encoding.h"
+
+namespace darth
+{
+namespace isa
+{
+
+namespace
+{
+
+digital::MacroKind
+macroFor(Opcode op)
+{
+    switch (op) {
+      case Opcode::DNot: return digital::MacroKind::Not;
+      case Opcode::DCopy: return digital::MacroKind::Copy;
+      case Opcode::DAnd: return digital::MacroKind::And;
+      case Opcode::DOr: return digital::MacroKind::Or;
+      case Opcode::DNor: return digital::MacroKind::Nor;
+      case Opcode::DNand: return digital::MacroKind::Nand;
+      case Opcode::DXor: return digital::MacroKind::Xor;
+      case Opcode::DXnor: return digital::MacroKind::Xnor;
+      case Opcode::DAdd: return digital::MacroKind::Add;
+      case Opcode::DSub: return digital::MacroKind::Sub;
+      default:
+        darth_panic("macroFor: not a digital macro opcode");
+    }
+}
+
+} // namespace
+
+FrontEnd::FrontEnd(std::vector<hct::Hct *> hcts,
+                   std::size_t hcts_per_front_end)
+    : hcts_(std::move(hcts)), hctsPerFrontEnd_(hcts_per_front_end)
+{
+    if (hcts_.empty())
+        darth_fatal("FrontEnd: no HCTs attached");
+}
+
+hct::Hct &
+FrontEnd::target(const Instruction &inst)
+{
+    if (inst.hct >= hcts_.size())
+        darth_fatal("FrontEnd: instruction targets HCT ",
+                    static_cast<int>(inst.hct), " but only ",
+                    hcts_.size(), " are attached");
+    return *hcts_[inst.hct];
+}
+
+ExecStats
+FrontEnd::run(const Program &program, Cycle start)
+{
+    ExecStats stats;
+    // Per-HCT program-order cursor: an HCT's next instruction issues
+    // no earlier than its previous instruction's completion.
+    std::vector<Cycle> hct_last(hcts_.size(), start);
+    // Per-front-end decode cursor (one instruction word per cycle).
+    const std::size_t groups =
+        (hcts_.size() + hctsPerFrontEnd_ - 1) / hctsPerFrontEnd_;
+    std::vector<Cycle> decode_free(groups, start);
+
+    for (const auto &inst : program) {
+        ++stats.instructions;
+        const u64 words =
+            static_cast<u64>(encodeInstruction(inst).size());
+        stats.words += words;
+        if (inst.op == Opcode::Halt)
+            break;
+        if (inst.op == Opcode::Nop)
+            continue;
+
+        hct::Hct &hct = target(inst);
+        const std::size_t group = inst.hct / hctsPerFrontEnd_;
+        const Cycle decoded = decode_free[group] + words;
+        decode_free[group] = decoded;
+
+        const Cycle ready = std::max(decoded, hct_last[inst.hct]);
+        Cycle done = ready;
+        switch (inst.op) {
+          case Opcode::DNot:
+          case Opcode::DCopy:
+          case Opcode::DAnd:
+          case Opcode::DOr:
+          case Opcode::DNor:
+          case Opcode::DNand:
+          case Opcode::DXor:
+          case Opcode::DXnor:
+          case Opcode::DAdd:
+          case Opcode::DSub:
+            done = hct.digitalMacro(inst.pipe, macroFor(inst.op),
+                                    inst.dst, inst.srcA, inst.srcB,
+                                    inst.bits, ready);
+            break;
+          case Opcode::DShl:
+          case Opcode::DShr:
+            done = hct.digitalShift(inst.pipe, inst.dst, inst.srcA,
+                                    inst.imm,
+                                    inst.op == Opcode::DShl, inst.bits,
+                                    ready);
+            break;
+          case Opcode::DRot:
+            done = hct.digitalRotate(inst.pipe, inst.dst, inst.imm,
+                                     inst.bits, ready);
+            break;
+          case Opcode::DSelect:
+            done = hct.digitalSelect(inst.pipe, inst.dst, inst.srcA,
+                                     inst.srcB, inst.imm & 0xFF,
+                                     inst.imm >> 8, inst.bits, ready);
+            break;
+          case Opcode::ELoad:
+            done = hct.elementLoad(inst.pipe, inst.dst, inst.srcA,
+                                   inst.imm & 0xFF, inst.imm >> 8,
+                                   inst.bits, ready);
+            break;
+          case Opcode::EStore:
+            done = hct.elementStore(inst.pipe, inst.dst, inst.srcA,
+                                    inst.imm & 0xFF, inst.imm >> 8,
+                                    inst.bits, ready);
+            break;
+          case Opcode::AMvm: {
+            const auto x = hct.readVector(inst.pipe, inst.srcA,
+                                          inst.bits);
+            const std::size_t rows = hct.ace().matrix().rows();
+            std::vector<i64> input(x.begin(),
+                                   x.begin() +
+                                       std::min(rows, x.size()));
+            const auto result =
+                hct.execMvm(input, inst.bits, ready);
+            done = result.done;
+            break;
+          }
+          case Opcode::Reserve: {
+            // Pipeline reserve: mark the register dead (clear).
+            hct.dce().pipeline(inst.pipe).clearReg(inst.dst);
+            done = ready + 1;
+            break;
+          }
+          case Opcode::VACore:
+            hct.allocVACore(static_cast<int>(inst.bits),
+                            static_cast<int>(inst.imm));
+            done = ready + 1;
+            break;
+          case Opcode::AModeOff:
+            done = hct.disableAnalogMode(ready);
+            break;
+          case Opcode::DModeOff:
+            hct.disableDigitalMode();
+            done = ready + 1;
+            break;
+          case Opcode::Nop:
+          case Opcode::Halt:
+            break;
+        }
+        hct_last[inst.hct] = done;
+        stats.completion = std::max(stats.completion, done);
+    }
+    return stats;
+}
+
+} // namespace isa
+} // namespace darth

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Front-end controller: fetch, decode, and issue for the hybrid ISA
+ * (Figure 8, left).
+ *
+ * One front end serves 8 HCTs (Table 3); it decodes one instruction
+ * word per cycle and dispatches to the target HCT. Per-HCT program
+ * order is preserved (each HCT's arbiter and pipeline reservations
+ * already serialize conflicting work); instructions to different HCTs
+ * proceed independently, which is how DARTH-PUM scales throughput
+ * across tiles.
+ */
+
+#ifndef DARTH_ISA_FRONTEND_H
+#define DARTH_ISA_FRONTEND_H
+
+#include <cstddef>
+#include <vector>
+
+#include "hct/Hct.h"
+#include "isa/Isa.h"
+
+namespace darth
+{
+namespace isa
+{
+
+/** Execution summary returned by FrontEnd::run(). */
+struct ExecStats
+{
+    /** Cycle at which the last instruction completed. */
+    Cycle completion = 0;
+    /** Instructions decoded. */
+    u64 instructions = 0;
+    /** Instruction words fetched (extended encodings count twice). */
+    u64 words = 0;
+};
+
+/** Fetch/decode/issue model driving a set of HCTs. */
+class FrontEnd
+{
+  public:
+    /**
+     * @param hcts                Back-end tiles (not owned).
+     * @param hcts_per_front_end  Issue-bandwidth sharing group size.
+     */
+    explicit FrontEnd(std::vector<hct::Hct *> hcts,
+                      std::size_t hcts_per_front_end = 8);
+
+    /** Execute a program; returns timing statistics. */
+    ExecStats run(const Program &program, Cycle start = 0);
+
+  private:
+    hct::Hct &target(const Instruction &inst);
+
+    std::vector<hct::Hct *> hcts_;
+    std::size_t hctsPerFrontEnd_;
+};
+
+} // namespace isa
+} // namespace darth
+
+#endif // DARTH_ISA_FRONTEND_H

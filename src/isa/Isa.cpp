@@ -1,0 +1,64 @@
+#include "isa/Isa.h"
+
+#include <array>
+#include <utility>
+
+namespace darth
+{
+namespace isa
+{
+
+namespace
+{
+
+constexpr std::array<std::pair<Opcode, const char *>, 23> kNames = {{
+    {Opcode::Nop, "nop"},
+    {Opcode::Halt, "halt"},
+    {Opcode::DNot, "dnot"},
+    {Opcode::DCopy, "dcopy"},
+    {Opcode::DAnd, "dand"},
+    {Opcode::DOr, "dor"},
+    {Opcode::DNor, "dnor"},
+    {Opcode::DNand, "dnand"},
+    {Opcode::DXor, "dxor"},
+    {Opcode::DXnor, "dxnor"},
+    {Opcode::DAdd, "dadd"},
+    {Opcode::DSub, "dsub"},
+    {Opcode::DShl, "dshl"},
+    {Opcode::DShr, "dshr"},
+    {Opcode::DRot, "drot"},
+    {Opcode::DSelect, "dselect"},
+    {Opcode::ELoad, "eload"},
+    {Opcode::EStore, "estore"},
+    {Opcode::AMvm, "amvm"},
+    {Opcode::Reserve, "reserve"},
+    {Opcode::VACore, "vacore"},
+    {Opcode::AModeOff, "amodeoff"},
+    {Opcode::DModeOff, "dmodeoff"},
+}};
+
+} // namespace
+
+const char *
+opcodeName(Opcode op)
+{
+    for (const auto &[code, name] : kNames)
+        if (code == op)
+            return name;
+    return "?";
+}
+
+bool
+opcodeFromName(const std::string &name, Opcode *out)
+{
+    for (const auto &[code, mnemonic] : kNames) {
+        if (name == mnemonic) {
+            *out = code;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace isa
+} // namespace darth

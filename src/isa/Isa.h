@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The DARTH-PUM hybrid instruction set (Section 4.4).
+ *
+ * One instruction stream drives both PUM domains: digital vector
+ * macros execute on DCE pipelines, ELOAD/ESTORE are the element-wise
+ * access extension of §4.2, AMVM triggers an (atomic) analog MVM whose
+ * reduction the IIU expands locally, RESERVE implements the
+ * pipeline-reserve instruction that protects live vector registers,
+ * and VACORE reconfigures the operating point.
+ */
+
+#ifndef DARTH_ISA_ISA_H
+#define DARTH_ISA_ISA_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/Types.h"
+
+namespace darth
+{
+namespace isa
+{
+
+/** Hybrid-ISA opcodes. */
+enum class Opcode : u8
+{
+    Nop = 0,
+    Halt,
+
+    // Digital vector macros (DCE).
+    DNot,
+    DCopy,
+    DAnd,
+    DOr,
+    DNor,
+    DNand,
+    DXor,
+    DXnor,
+    DAdd,
+    DSub,
+    DShl,
+    DShr,
+    DRot,
+    DSelect,
+
+    // Element-wise access extension (§4.2).
+    ELoad,
+    EStore,
+
+    // Analog / hybrid.
+    AMvm,
+
+    // Management.
+    Reserve,
+    VACore,
+    AModeOff,
+    DModeOff,
+};
+
+/** Printable mnemonic. */
+const char *opcodeName(Opcode op);
+
+/** Opcode from mnemonic; returns false when unknown. */
+bool opcodeFromName(const std::string &name, Opcode *out);
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    /** Target HCT. */
+    u8 hct = 0;
+    /** Target pipeline within the HCT (or table pipeline for ELoad). */
+    u8 pipe = 0;
+    /** Destination vector register. */
+    u8 dst = 0;
+    /** Source vector registers. */
+    u8 srcA = 0;
+    u8 srcB = 0;
+    /** Operand bit width. */
+    u16 bits = 0;
+    /** Immediate (shift amount, vACore parameters, input width...). */
+    u16 imm = 0;
+
+    bool operator==(const Instruction &other) const = default;
+};
+
+/** A program is a flat instruction sequence. */
+using Program = std::vector<Instruction>;
+
+} // namespace isa
+} // namespace darth
+
+#endif // DARTH_ISA_ISA_H

@@ -1,0 +1,66 @@
+#include "model/Params.h"
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace model
+{
+
+SquareMicron
+AreaModel::dceArea() const
+{
+    // ReRAM arrays are fabricated above the CMOS periphery; the CMOS
+    // control dominates the footprint.
+    return dceReramArray + pipelineControl + ioCtrl + decodeAndDrive +
+           pipelineSelect;
+}
+
+SquareMicron
+AreaModel::aceArea(analog::AdcKind kind, std::size_t num_adcs) const
+{
+    const SquareMicron adc_area =
+        (kind == analog::AdcKind::Sar ? sarAdc : rampAdc) *
+        static_cast<double>(num_adcs);
+    // A ramp ADC needs a sample-and-hold per bitline (the shared ramp
+    // sweeps all 64 lanes at once); SAR needs one per ADC instance.
+    const double sh_count =
+        kind == analog::AdcKind::Sar ? static_cast<double>(num_adcs)
+                                     : 64.0;
+    return aceReramArray + inputBuffers + rowPeriphery + adc_area +
+           sampleHold * sh_count;
+}
+
+SquareMicron
+AreaModel::hctArea(analog::AdcKind kind, std::size_t num_adcs) const
+{
+    return dceArea() + aceArea(kind, num_adcs) + shiftUnit + adArbiter +
+           transposeUnit + instrInjectionUnit +
+           frontEnd / static_cast<double>(hctsPerFrontEnd);
+}
+
+std::size_t
+AreaModel::isoAreaHctCount(analog::AdcKind kind, std::size_t num_adcs,
+                           SquareMicron budget) const
+{
+    const SquareMicron per_hct = hctArea(kind, num_adcs);
+    if (per_hct <= 0.0)
+        darth_fatal("AreaModel: non-positive HCT area");
+    return static_cast<std::size_t>(budget / per_hct);
+}
+
+std::size_t
+ChipModel::hctCount() const
+{
+    return area.isoAreaHctCount(adc, geometry.numAdcs(adc));
+}
+
+double
+ChipModel::capacityBytes() const
+{
+    return static_cast<double>(hctCount()) *
+           static_cast<double>(geometry.bitsPerHct()) / 8.0;
+}
+
+} // namespace model
+} // namespace darth

@@ -1,0 +1,108 @@
+#include "reram/CellArray.h"
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace reram
+{
+
+CellArray::CellArray(std::size_t rows, std::size_t cols,
+                     const DeviceParams &params, const NoiseModel &noise,
+                     u64 seed)
+    : rows_(rows), cols_(cols), params_(params), noise_(noise),
+      rng_(seed), cells_(rows * cols)
+{
+    if (rows_ == 0 || cols_ == 0)
+        darth_fatal("CellArray: dimensions must be non-zero");
+    for (auto &device : cells_) {
+        StuckState stuck = StuckState::None;
+        if (noise_.stuckAtRate > 0.0 &&
+            rng_.bernoulli(noise_.stuckAtRate)) {
+            stuck = rng_.bernoulli(0.5) ? StuckState::StuckLow
+                                        : StuckState::StuckHigh;
+        }
+        device.init(params_, stuck);
+    }
+}
+
+Device &
+CellArray::cell(std::size_t r, std::size_t c)
+{
+    if (r >= rows_ || c >= cols_)
+        darth_panic("CellArray: cell (", r, ", ", c,
+                    ") out of range (", rows_, ", ", cols_, ")");
+    return cells_[r * cols_ + c];
+}
+
+const Device &
+CellArray::cell(std::size_t r, std::size_t c) const
+{
+    if (r >= rows_ || c >= cols_)
+        darth_panic("CellArray: cell (", r, ", ", c,
+                    ") out of range (", rows_, ", ", cols_, ")");
+    return cells_[r * cols_ + c];
+}
+
+void
+CellArray::program(std::size_t r, std::size_t c, int code)
+{
+    if (code < 0 || code >= params_.levels)
+        darth_panic("CellArray: level code ", code, " outside [0, ",
+                    params_.levels - 1, "]");
+    cell(r, c).program(params_, code, noise_, &rng_);
+    ++programCount_;
+}
+
+void
+CellArray::programMatrix(const MatrixI &codes)
+{
+    if (codes.rows() != rows_ || codes.cols() != cols_)
+        darth_panic("CellArray::programMatrix: shape (", codes.rows(),
+                    ", ", codes.cols(), ") != array (", rows_, ", ",
+                    cols_, ")");
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            program(r, c, static_cast<int>(codes(r, c)));
+}
+
+int
+CellArray::programmedCode(std::size_t r, std::size_t c) const
+{
+    return cell(r, c).programmedCode();
+}
+
+int
+CellArray::readCode(std::size_t r, std::size_t c) const
+{
+    return cell(r, c).readCode(params_, noise_, &rng_);
+}
+
+Siemens
+CellArray::readConductance(std::size_t r, std::size_t c) const
+{
+    return cell(r, c).read(params_, noise_, &rng_);
+}
+
+MatrixD
+CellArray::conductanceMatrix() const
+{
+    MatrixD out(rows_, cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out(r, c) = readConductance(r, c);
+    return out;
+}
+
+std::size_t
+CellArray::stuckCellCount() const
+{
+    std::size_t count = 0;
+    for (const auto &device : cells_)
+        if (device.stuckState() != StuckState::None)
+            ++count;
+    return count;
+}
+
+} // namespace reram
+} // namespace darth

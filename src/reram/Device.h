@@ -1,0 +1,155 @@
+/**
+ * @file
+ * A single ReRAM device (memristor) with multi-level conductance.
+ *
+ * The device stores an integer level code in [0, levels-1] mapped
+ * linearly onto [G_min, G_max]. Both the analog crossbars (multi-bit
+ * cells) and the digital PUM arrays (SLC, 2 levels) are built from this
+ * model; the digital side reads levels back as exact codes, which holds
+ * as long as noise stays below half a level step (asserted by tests).
+ *
+ * Technology parameters are shared per array and passed in by the
+ * owning CellArray rather than stored per cell, keeping a device at
+ * 16 bytes so full-chip instantiations stay tractable.
+ */
+
+#ifndef DARTH_RERAM_DEVICE_H
+#define DARTH_RERAM_DEVICE_H
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/Random.h"
+#include "common/Types.h"
+#include "reram/NoiseModel.h"
+
+namespace darth
+{
+namespace reram
+{
+
+/** Electrical parameters shared by all devices of a technology. */
+struct DeviceParams
+{
+    /** On-state (fully SET) conductance, siemens. */
+    Siemens gMax = 1.0 / 10e3;   // R_on = 10 kOhm
+    /** Off-state (fully RESET) conductance, siemens. */
+    Siemens gMin = 1.0 / 1e6;    // R_off = 1 MOhm
+    /** Number of programmable levels (2 = SLC). */
+    int levels = 2;
+
+    /** Conductance step between adjacent levels. */
+    Siemens
+    levelStep() const
+    {
+        return (gMax - gMin) / static_cast<double>(levels - 1);
+    }
+
+    /** Ideal conductance of a level code. */
+    Siemens
+    levelConductance(int code) const
+    {
+        return gMin + levelStep() * static_cast<double>(code);
+    }
+};
+
+/** How a stuck-at fault pins a device. */
+enum class StuckState : u8 { None, StuckLow, StuckHigh };
+
+/**
+ * One programmable resistive cell.
+ *
+ * program() runs the (modelled) write-verify loop: the stored
+ * conductance equals the target plus programming noise, unless the
+ * device is stuck. read() returns the effective conductance including
+ * read noise and drift.
+ */
+class Device
+{
+  public:
+    Device() = default;
+
+    /** Configure fault state and reset to level 0. */
+    void
+    init(const DeviceParams &params, StuckState stuck)
+    {
+        stuck_ = stuck;
+        program(params, 0, NoiseModel{}, nullptr);
+    }
+
+    /** Program a level code; noise drawn from rng when provided. */
+    void
+    program(const DeviceParams &params, int code,
+            const NoiseModel &noise, Rng *rng)
+    {
+        code_ = code;
+        Siemens g = params.levelConductance(code);
+        if (noise.programSigma > 0.0 && rng != nullptr)
+            g *= rng->logNormal(0.0, noise.programSigma);
+        if (stuck_ == StuckState::StuckLow)
+            g = params.gMin;
+        else if (stuck_ == StuckState::StuckHigh)
+            g = params.gMax;
+        conductance_ = clampConductance(params, g);
+    }
+
+    /**
+     * Effective conductance at read time.
+     *
+     * @param params   Technology parameters of the owning array.
+     * @param noise    Active noise model.
+     * @param rng      Randomness source (may be null when ideal).
+     * @param age      Elapsed time units since programming (drift).
+     */
+    Siemens
+    read(const DeviceParams &params, const NoiseModel &noise, Rng *rng,
+         double age = 1.0) const
+    {
+        Siemens g = conductance_;
+        if (noise.driftNu > 0.0 && age > 1.0)
+            g *= std::pow(age, -noise.driftNu);
+        if (noise.readSigma > 0.0 && rng != nullptr)
+            g += rng->gaussian(0.0, noise.readSigma * params.gMax);
+        return clampConductance(params, g);
+    }
+
+    /** Stored (noise-affected) conductance without read effects. */
+    Siemens conductance() const { return conductance_; }
+
+    /** Last level code requested by program(). */
+    int programmedCode() const { return code_; }
+
+    /** Whether this device is pinned by a fabrication fault. */
+    StuckState stuckState() const { return stuck_; }
+
+    /**
+     * Digital read-back: snap the stored conductance to the nearest
+     * level code. This is how SLC digital PUM arrays recover exact
+     * bits despite analog storage.
+     */
+    int
+    readCode(const DeviceParams &params, const NoiseModel &noise,
+             Rng *rng) const
+    {
+        const Siemens g = read(params, noise, rng);
+        const double idx = (g - params.gMin) / params.levelStep();
+        const int code = static_cast<int>(idx + 0.5);
+        return std::clamp(code, 0, params.levels - 1);
+    }
+
+  private:
+    static Siemens
+    clampConductance(const DeviceParams &params, Siemens g)
+    {
+        return std::clamp(g, 0.0, params.gMax * 1.5);
+    }
+
+    StuckState stuck_ = StuckState::None;
+    int code_ = 0;
+    Siemens conductance_ = 0.0;
+};
+
+} // namespace reram
+} // namespace darth
+
+#endif // DARTH_RERAM_DEVICE_H

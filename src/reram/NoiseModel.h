@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Configuration of ReRAM non-idealities.
+ *
+ * Section 7.5 of the paper lists five error sources for analog PUM:
+ * programming noise, device parasitics (IR drop), read noise,
+ * conductance drift, and stuck-at faults (plus process variation,
+ * folded into programming noise here). This struct carries the knobs
+ * for all of them; a default-constructed NoiseModel is ideal
+ * (noise-free), which the bit-exact digital PUM tests rely on.
+ */
+
+#ifndef DARTH_RERAM_NOISEMODEL_H
+#define DARTH_RERAM_NOISEMODEL_H
+
+#include "common/Types.h"
+
+namespace darth
+{
+namespace reram
+{
+
+/** Knobs for every modelled ReRAM non-ideality. */
+struct NoiseModel
+{
+    /**
+     * Programming noise: after write-verify, the achieved conductance
+     * is G_target * exp(N(0, sigma)). MILO-style multiplicative
+     * lognormal error; 0 disables.
+     */
+    double programSigma = 0.0;
+
+    /**
+     * Read noise: every MVM/read perturbs each device's effective
+     * conductance by N(0, sigma * G_max). 0 disables.
+     */
+    double readSigma = 0.0;
+
+    /**
+     * Probability that a device is stuck (half at G_min, half at
+     * G_max), decided once at array construction.
+     */
+    double stuckAtRate = 0.0;
+
+    /**
+     * Drift exponent nu: G(t) = G_programmed * (t / t0)^(-nu) with
+     * t0 = 1 time unit. 0 disables.
+     */
+    double driftNu = 0.0;
+
+    /**
+     * Wire resistance between adjacent cells along a bitline/wordline,
+     * in units of 1/G_max (i.e. relative to the on-state device
+     * resistance). Drives the IR-drop model in the crossbar. 0
+     * disables parasitics.
+     */
+    double wireResistance = 0.0;
+
+    /** True when every knob is zero. */
+    bool
+    ideal() const
+    {
+        return programSigma == 0.0 && readSigma == 0.0 &&
+               stuckAtRate == 0.0 && driftNu == 0.0 &&
+               wireResistance == 0.0;
+    }
+
+    /** A representative realistic corner used by the noise benches. */
+    static NoiseModel
+    realistic()
+    {
+        NoiseModel nm;
+        nm.programSigma = 0.03;
+        nm.readSigma = 0.01;
+        nm.stuckAtRate = 1e-4;
+        nm.driftNu = 0.0;
+        nm.wireResistance = 0.0015;
+        return nm;
+    }
+};
+
+} // namespace reram
+} // namespace darth
+
+#endif // DARTH_RERAM_NOISEMODEL_H

@@ -1,0 +1,191 @@
+#include "runtime/KernelModel.h"
+
+#include <algorithm>
+
+#include "common/Logging.h"
+#include "common/Random.h"
+
+namespace darth
+{
+namespace runtime
+{
+
+KernelModel::KernelModel(const hct::HctConfig &config, u64 seed)
+    : cfg_(config), seed_(seed)
+{
+}
+
+hct::Hct &
+KernelModel::scratchHct()
+{
+    if (!hct_)
+        hct_ = std::make_unique<hct::Hct>(cfg_, &hctTally_, seed_);
+    return *hct_;
+}
+
+digital::Pipeline &
+KernelModel::scratchPipe()
+{
+    if (!pipe_)
+        pipe_ = std::make_unique<digital::Pipeline>(cfg_.dce.pipeline,
+                                                    &pipeTally_);
+    return *pipe_;
+}
+
+KernelCost
+KernelModel::mvm(const MvmShape &shape)
+{
+    const auto it = mvmCache_.find(shape);
+    if (it != mvmCache_.end())
+        return it->second;
+
+    // Build a worst-case-representative matrix and input (timing is
+    // data-independent; energy varies mildly with active rows, so use
+    // a dense pattern).
+    Rng rng(seed_ ^ 0xC0FFEE);
+    const i64 wmax = (i64{1} << shape.elementBits) - 1;
+    MatrixI m(shape.rows, shape.cols);
+    for (std::size_t r = 0; r < shape.rows; ++r)
+        for (std::size_t c = 0; c < shape.cols; ++c)
+            m(r, c) = rng.uniformInt(-wmax, wmax);
+    std::vector<i64> x(shape.rows);
+    const i64 xmax = (i64{1} << (shape.inputBits - 1)) - 1;
+    for (auto &v : x)
+        v = rng.uniformInt(i64{0}, std::max<i64>(xmax, 1));
+
+    hct::Hct &hct = scratchHct();
+    hctTally_.clear();
+    hct.setMatrix(m, shape.elementBits, shape.bitsPerCell);
+    const PicoJoule program_energy = hctTally_.totalEnergy();
+
+    const Cycle adc_before = hctTally_.get("ace.adc").cycles;
+    const u64 dce_before = hctTally_.get("dce.boolop").events;
+    const u64 net_before = hctTally_.get("hct.network").events;
+    const auto first = hct.execMvm(x, shape.inputBits, 0);
+
+    KernelCost cost;
+    cost.latency = first.done;
+    cost.energy = hctTally_.totalEnergy() - program_energy;
+
+    // Steady-state throughput bound for back-to-back MVMs: successive
+    // MVMs overlap on the tile — the ACE streams the next input while
+    // the DCE reduces the previous one, and reductions rotate across
+    // the DCE's pipelines (input batching, §5.1). The sustainable
+    // inter-MVM interval is the largest per-MVM occupancy among the
+    // shared resources: the ADCs, the DCE pipelines (column-ops
+    // spread over numPipelines), and the 8 B/cycle transfer network.
+    const Cycle adc_occ = hctTally_.get("ace.adc").cycles - adc_before;
+    (void)dce_before;
+    const u64 net_values =
+        hctTally_.get("hct.network").events - net_before;
+    const std::size_t pipes = cfg_.dce.numPipelines;
+    const std::size_t net_bytes_per_cycle =
+        cfg_.networkBytesPerCycle > 0 ? cfg_.networkBytesPerCycle : 8;
+    const u64 adc_bytes = (static_cast<u64>(cfg_.ace.adc.bits) + 7) / 8;
+    // Partial products per MVM (each one costs an ADD whose pipelined
+    // issue interval is the per-bit gate count of the ADD program).
+    const u64 n_partials =
+        net_values / std::max<std::size_t>(shape.cols, 1);
+    const u64 add_ops =
+        digital::synthesizeMacro(
+            digital::MacroKind::Add,
+            digital::LogicFamily(cfg_.dce.pipeline.family))
+            .opCount();
+    const Cycle dce_bound =
+        (n_partials * add_ops + pipes - 1) /
+        std::max<std::size_t>(pipes, 1);
+    const Cycle net_bound =
+        (net_values * adc_bytes + net_bytes_per_cycle - 1) /
+        net_bytes_per_cycle;
+    cost.amortized = std::max<Cycle>(
+        {adc_occ, dce_bound, net_bound, 1});
+    cost.amortized = std::min(cost.amortized, cost.latency);
+    mvmCache_[shape] = cost;
+    return cost;
+}
+
+KernelCost
+KernelModel::macro(digital::MacroKind kind, std::size_t bits)
+{
+    const auto key = std::make_tuple(static_cast<int>(kind), bits);
+    const auto it = macroCache_.find(key);
+    if (it != macroCache_.end())
+        return it->second;
+
+    digital::Pipeline &pipe = scratchPipe();
+    pipeTally_.clear();
+    const Cycle base = pipe.drainTime();
+    const Cycle first = pipe.execMacro(kind, 2, 0, 1, bits, base);
+    const PicoJoule first_energy = pipeTally_.totalEnergy();
+    const Cycle second = pipe.execMacro(kind, 3, 0, 1, bits, first);
+
+    KernelCost cost;
+    cost.latency = first - base;
+    cost.amortized = second - first;
+    cost.energy = first_energy;
+    macroCache_[key] = cost;
+    return cost;
+}
+
+KernelCost
+KernelModel::multiply(std::size_t bits)
+{
+    // Shift-and-add multiplication: per input bit, one masked copy
+    // (AND with the broadcast bit) and one ADD at double width. A
+    // single multiply is an accumulator-dependent chain (full ripple
+    // latency per step), but *independent* multiplies from different
+    // vector registers interleave in the bit-pipeline, so the
+    // sustained rate is the per-stage gate count.
+    const KernelCost and_cost =
+        macro(digital::MacroKind::And, 2 * bits);
+    const KernelCost add_cost =
+        macro(digital::MacroKind::Add, 2 * bits);
+    KernelCost cost;
+    cost.latency = static_cast<Cycle>(bits) *
+                   (and_cost.amortized + add_cost.latency);
+    cost.amortized = static_cast<Cycle>(bits) *
+                     (and_cost.amortized + add_cost.amortized);
+    cost.energy = static_cast<double>(bits) *
+                  (and_cost.energy + add_cost.energy);
+    return cost;
+}
+
+KernelCost
+KernelModel::elementLoad(std::size_t bits)
+{
+    KernelCost cost;
+    const std::size_t elements = cfg_.dce.pipeline.width;
+    cost.latency = 3 * elements;     // §4.2: 3 cycles per element
+    cost.amortized = cost.latency;
+    cost.energy = static_cast<double>(3 * elements) *
+                  cfg_.dce.pipeline.ioEnergyPJ;
+    (void)bits;
+    return cost;
+}
+
+KernelCost
+KernelModel::rotate(std::size_t k, std::size_t bits)
+{
+    digital::Pipeline pipe(cfg_.dce.pipeline);
+    const Cycle done = pipe.execRotate(0, k, bits, 0);
+    KernelCost cost;
+    cost.latency = done;
+    cost.amortized = done;
+    cost.energy = static_cast<double>(2 * (bits - k) * bits) *
+                  cfg_.dce.pipeline.opEnergyPJ;
+    return cost;
+}
+
+KernelCost
+KernelModel::rowIo(std::size_t elements) const
+{
+    KernelCost cost;
+    cost.latency = elements;
+    cost.amortized = elements;
+    cost.energy = static_cast<double>(elements) *
+                  cfg_.dce.pipeline.ioEnergyPJ;
+    return cost;
+}
+
+} // namespace runtime
+} // namespace darth

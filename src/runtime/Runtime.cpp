@@ -1,0 +1,268 @@
+#include "runtime/Runtime.h"
+
+#include <algorithm>
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace runtime
+{
+
+Runtime::Runtime(Chip &chip) : chip_(chip) {}
+
+int
+Runtime::precisionToBitsPerCell(int precision, int device_max_bits)
+{
+    switch (precision) {
+      case 0:
+        return 1;
+      case 1:
+        return std::max(1, device_max_bits / 2);
+      case 2:
+        return device_max_bits;
+      default:
+        darth_fatal("Runtime: precision scale must be 0, 1, or 2; got ",
+                    precision);
+    }
+}
+
+MatrixPlan
+Runtime::planMatrix(const hct::HctConfig &cfg, std::size_t rows,
+                    std::size_t cols, int element_bits,
+                    int bits_per_cell)
+{
+    if (rows == 0 || cols == 0)
+        darth_fatal("Runtime::planMatrix: empty matrix");
+    MatrixPlan plan;
+    plan.rows = rows;
+    plan.cols = cols;
+    plan.elementBits = element_bits;
+    plan.bitsPerCell = bits_per_cell;
+
+    const std::size_t rows_per_tile = cfg.ace.arrayRows / 2;
+    const std::size_t cols_per_tile = cfg.ace.arrayCols;
+    const int slices = analog::numSlices(element_bits, bits_per_cell);
+    const std::size_t cap_tiles =
+        cfg.ace.numArrays / static_cast<std::size_t>(slices);
+    if (cap_tiles == 0)
+        darth_fatal("Runtime::planMatrix: ", slices,
+                    " weight slices exceed the ACE array count");
+
+    const std::size_t row_tiles =
+        (rows + rows_per_tile - 1) / rows_per_tile;
+
+    if (row_tiles <= cap_tiles) {
+        // Column stripes: each part holds all rows and a chunk of
+        // columns; outputs are independent.
+        const std::size_t col_tiles_per_part =
+            std::max<std::size_t>(1, cap_tiles / row_tiles);
+        const std::size_t cols_per_part =
+            col_tiles_per_part * cols_per_tile;
+        for (std::size_t c0 = 0; c0 < cols; c0 += cols_per_part) {
+            MatrixPart part;
+            part.row0 = 0;
+            part.numRows = rows;
+            part.col0 = c0;
+            part.numCols = std::min(cols_per_part, cols - c0);
+            plan.parts.push_back(part);
+        }
+    } else {
+        // Row stripes: each part holds a chunk of rows over one
+        // column tile; partial outputs must be added across parts.
+        plan.rowSplit = true;
+        const std::size_t rows_per_part = cap_tiles * rows_per_tile;
+        for (std::size_t c0 = 0; c0 < cols; c0 += cols_per_tile) {
+            for (std::size_t r0 = 0; r0 < rows; r0 += rows_per_part) {
+                MatrixPart part;
+                part.row0 = r0;
+                part.numRows = std::min(rows_per_part, rows - r0);
+                part.col0 = c0;
+                part.numCols = std::min(cols_per_tile, cols - c0);
+                plan.parts.push_back(part);
+            }
+        }
+    }
+    return plan;
+}
+
+int
+Runtime::setMatrix(const MatrixI &m, int element_size, int precision)
+{
+    const int bits_per_cell = precisionToBitsPerCell(precision);
+    MatrixPlan plan = planMatrix(chip_.config().hct, m.rows(), m.cols(),
+                                 element_size, bits_per_cell);
+    if (occupied_.size() != chip_.numHcts())
+        occupied_.assign(chip_.numHcts(), false);
+    std::size_t free_hcts = 0;
+    for (bool used : occupied_)
+        free_hcts += !used;
+    if (plan.parts.size() > free_hcts)
+        darth_fatal("Runtime::setMatrix: placement needs ",
+                    plan.parts.size(), " HCTs but only ", free_hcts,
+                    " of ", chip_.numHcts(),
+                    " are free; increase ChipConfig::numHcts");
+
+    for (auto &part : plan.parts) {
+        while (occupied_[nextHct_])
+            nextHct_ = (nextHct_ + 1) % chip_.numHcts();
+        part.hctIndex = nextHct_;
+        occupied_[nextHct_] = true;
+        MatrixI sub(part.numRows, part.numCols);
+        for (std::size_t r = 0; r < part.numRows; ++r)
+            for (std::size_t c = 0; c < part.numCols; ++c)
+                sub(r, c) = m(part.row0 + r, part.col0 + c);
+        chip_.hct(part.hctIndex)
+            .setMatrix(sub, element_size, bits_per_cell);
+    }
+
+    Handle handle;
+    handle.matrix = m;
+    handle.plan = std::move(plan);
+    handles_.push_back(std::move(handle));
+    return static_cast<int>(handles_.size()) - 1;
+}
+
+const Runtime::Handle &
+Runtime::handleRef(int handle) const
+{
+    if (handle < 0 ||
+        static_cast<std::size_t>(handle) >= handles_.size())
+        darth_fatal("Runtime: invalid matrix handle ", handle);
+    return handles_[static_cast<std::size_t>(handle)];
+}
+
+Runtime::Handle &
+Runtime::handleRef(int handle)
+{
+    return const_cast<Handle &>(
+        static_cast<const Runtime *>(this)->handleRef(handle));
+}
+
+MvmResult
+Runtime::execMVM(int handle, const std::vector<i64> &x, int input_bits,
+                 Cycle start)
+{
+    Handle &h = handleRef(handle);
+    if (!h.analogEnabled)
+        darth_fatal("Runtime::execMVM: analog mode disabled for this "
+                    "matrix");
+    if (x.size() != h.plan.rows)
+        darth_fatal("Runtime::execMVM: input length ", x.size(),
+                    " != matrix rows ", h.plan.rows);
+
+    MvmResult result;
+    result.values.assign(h.plan.cols, 0);
+    result.done = start;
+
+    // Per-column-stripe partial accumulation; parts on different HCTs
+    // run concurrently.
+    std::vector<Cycle> col_done(h.plan.cols, start);
+    for (const auto &part : h.plan.parts) {
+        std::vector<i64> sub_x(x.begin() + part.row0,
+                               x.begin() + part.row0 + part.numRows);
+        auto part_result = chip_.hct(part.hctIndex)
+                               .execMvm(sub_x, input_bits, start);
+        for (std::size_t c = 0; c < part.numCols; ++c) {
+            result.values[part.col0 + c] += part_result.values[c];
+            col_done[part.col0 + c] =
+                std::max(col_done[part.col0 + c], part_result.done);
+        }
+    }
+
+    Cycle done = start;
+    for (Cycle t : col_done)
+        done = std::max(done, t);
+
+    if (h.plan.rowSplit) {
+        // Cross-part reduction: partial sums are shuffled to the home
+        // tile and added with pipelined DCE ADDs; charge one ADD per
+        // extra part per column stripe plus the row I/O.
+        KernelModel km(chip_.config().hct);
+        std::size_t parts_per_col = 0;
+        for (const auto &part : h.plan.parts)
+            parts_per_col += part.col0 == h.plan.parts[0].col0;
+        const std::size_t extra =
+            parts_per_col > 0 ? parts_per_col - 1 : 0;
+        if (extra > 0) {
+            const auto add = km.macro(digital::MacroKind::Add, 32);
+            const auto io = km.rowIo(
+                std::min<std::size_t>(h.plan.cols, 64));
+            done += static_cast<Cycle>(extra) *
+                    (add.amortized + io.latency);
+        }
+    }
+    result.done = done;
+    return result;
+}
+
+void
+Runtime::updateRow(int handle, std::size_t row,
+                   const std::vector<i64> &values)
+{
+    Handle &h = handleRef(handle);
+    if (values.size() != h.plan.cols)
+        darth_fatal("Runtime::updateRow: expected ", h.plan.cols,
+                    " values");
+    h.matrix.setRow(row, values);
+    for (const auto &part : h.plan.parts) {
+        if (row < part.row0 || row >= part.row0 + part.numRows)
+            continue;
+        std::vector<i64> sub(values.begin() + part.col0,
+                             values.begin() + part.col0 + part.numCols);
+        chip_.hct(part.hctIndex).ace().updateRow(row - part.row0, sub);
+    }
+}
+
+void
+Runtime::updateCol(int handle, std::size_t col,
+                   const std::vector<i64> &values)
+{
+    Handle &h = handleRef(handle);
+    if (values.size() != h.plan.rows)
+        darth_fatal("Runtime::updateCol: expected ", h.plan.rows,
+                    " values");
+    h.matrix.setCol(col, values);
+    for (const auto &part : h.plan.parts) {
+        if (col < part.col0 || col >= part.col0 + part.numCols)
+            continue;
+        std::vector<i64> sub(values.begin() + part.row0,
+                             values.begin() + part.row0 + part.numRows);
+        chip_.hct(part.hctIndex).ace().updateCol(col - part.col0, sub);
+    }
+}
+
+Cycle
+Runtime::disableAnalogMode(int handle, Cycle start)
+{
+    Handle &h = handleRef(handle);
+    h.analogEnabled = false;
+    Cycle done = start;
+    for (const auto &part : h.plan.parts)
+        done = std::max(done, chip_.hct(part.hctIndex)
+                                  .disableAnalogMode(start));
+    return done;
+}
+
+void
+Runtime::disableDigitalMode(int handle)
+{
+    Handle &h = handleRef(handle);
+    for (const auto &part : h.plan.parts)
+        chip_.hct(part.hctIndex).disableDigitalMode();
+}
+
+const MatrixPlan &
+Runtime::plan(int handle) const
+{
+    return handleRef(handle).plan;
+}
+
+const MatrixI &
+Runtime::matrix(int handle) const
+{
+    return handleRef(handle).matrix;
+}
+
+} // namespace runtime
+} // namespace darth

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Application-agnostic runtime library (Table 1).
+ *
+ * The runtime hides the hybrid hardware behind matrix-centric calls:
+ * setMatrix() plans how a matrix spreads over HCTs (column stripes
+ * when possible, row stripes with cross-tile reduction when a single
+ * tile cannot hold all rows), allocVACore() maps the programmer's
+ * 0-2 "precision" scale onto bits/cell, and execMVM() runs the full
+ * hybrid MVM over the planned parts, gathering (and, for row splits,
+ * adding) the partial results.
+ */
+
+#ifndef DARTH_RUNTIME_RUNTIME_H
+#define DARTH_RUNTIME_RUNTIME_H
+
+#include <cstddef>
+#include <vector>
+
+#include "analog/BitSlicing.h"
+#include "runtime/Chip.h"
+#include "runtime/KernelModel.h"
+
+namespace darth
+{
+namespace runtime
+{
+
+/** One part of a matrix placed on one HCT. */
+struct MatrixPart
+{
+    std::size_t hctIndex = 0;
+    std::size_t row0 = 0;
+    std::size_t numRows = 0;
+    std::size_t col0 = 0;
+    std::size_t numCols = 0;
+};
+
+/** Placement plan for a matrix. */
+struct MatrixPlan
+{
+    std::vector<MatrixPart> parts;
+    /** True when parts split rows (outputs need cross-part adds). */
+    bool rowSplit = false;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    int elementBits = 0;
+    int bitsPerCell = 0;
+};
+
+/** Result of an execMVM() call. */
+struct MvmResult
+{
+    std::vector<i64> values;
+    Cycle done = 0;
+};
+
+/** The Table 1 application-agnostic library. */
+class Runtime
+{
+  public:
+    explicit Runtime(Chip &chip);
+
+    /**
+     * Map the programmer's precision scale (0-2) onto bits per cell:
+     * 0 = 1 bit (SLC), 1 = half of the device maximum, 2 = maximum.
+     */
+    static int precisionToBitsPerCell(int precision,
+                                      int device_max_bits = 4);
+
+    /**
+     * Plan a matrix placement without touching hardware. Static so
+     * application mappers can cost large models analytically.
+     */
+    static MatrixPlan planMatrix(const hct::HctConfig &cfg,
+                                 std::size_t rows, std::size_t cols,
+                                 int element_bits, int bits_per_cell);
+
+    /**
+     * Allocate HCTs and program a matrix. Returns a handle used by
+     * the other calls.
+     */
+    int setMatrix(const MatrixI &m, int element_size, int precision);
+
+    /** Hybrid MVM over the planned parts. */
+    MvmResult execMVM(int handle, const std::vector<i64> &x,
+                      int input_bits, Cycle start = 0);
+
+    /** Update one matrix row on the owning HCTs. */
+    void updateRow(int handle, std::size_t row,
+                   const std::vector<i64> &values);
+
+    /** Update one matrix column on the owning HCTs. */
+    void updateCol(int handle, std::size_t col,
+                   const std::vector<i64> &values);
+
+    /** Disable the ACEs backing this matrix (copy to digital). */
+    Cycle disableAnalogMode(int handle, Cycle start);
+
+    /** Disable DCE post-processing on the owning HCTs. */
+    void disableDigitalMode(int handle);
+
+    /** Placement introspection. */
+    const MatrixPlan &plan(int handle) const;
+
+    /** Stored matrix introspection. */
+    const MatrixI &matrix(int handle) const;
+
+    Chip &chip() { return chip_; }
+
+  private:
+    struct Handle
+    {
+        MatrixI matrix;
+        MatrixPlan plan;
+        bool analogEnabled = true;
+    };
+
+    const Handle &handleRef(int handle) const;
+    Handle &handleRef(int handle);
+
+    Chip &chip_;
+    std::vector<Handle> handles_;
+    std::vector<bool> occupied_;
+    std::size_t nextHct_ = 0;
+};
+
+} // namespace runtime
+} // namespace darth
+
+#endif // DARTH_RUNTIME_RUNTIME_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the §4.3 parasitic compensation scheme, including
+ * the Figure 11 walkthrough.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analog/Compensation.h"
+#include "common/Random.h"
+
+namespace darth
+{
+namespace analog
+{
+namespace
+{
+
+TEST(Compensation, RemapBinary)
+{
+    MatrixI m(2, 2);
+    m(0, 0) = 0; m(0, 1) = 1;
+    m(1, 0) = 1; m(1, 1) = 0;
+    const MatrixI r = Compensation::remapBinary(m);
+    EXPECT_EQ(r(0, 0), -1);
+    EXPECT_EQ(r(0, 1), 1);
+    EXPECT_EQ(r(1, 0), 1);
+    EXPECT_EQ(r(1, 1), -1);
+}
+
+TEST(Compensation, FactorIsPopcount)
+{
+    EXPECT_EQ(Compensation::compensationFactor({1, 0, 1, 1}), 3);
+    EXPECT_EQ(Compensation::compensationFactor({0, 0}), 0);
+}
+
+TEST(Compensation, RecoverInvertsRemap)
+{
+    // y = sum m x; raw = sum (2m-1) x = 2y - P.
+    Rng rng(51);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t n = 1 + rng.uniformInt(u64{31});
+        std::vector<i64> m(n), x(n);
+        i64 y = 0, raw = 0, pop = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            m[i] = static_cast<i64>(rng.uniformInt(u64{2}));
+            x[i] = static_cast<i64>(rng.uniformInt(u64{2}));
+            y += m[i] * x[i];
+            raw += (2 * m[i] - 1) * x[i];
+            pop += x[i];
+        }
+        EXPECT_EQ(Compensation::recover(raw, pop), y);
+        EXPECT_EQ(Compensation::recoverParity(((raw % 4) + 4) % 4, pop),
+                  static_cast<int>(y & 1));
+    }
+}
+
+TEST(Compensation, Figure11Walkthrough)
+{
+    // Figure 11: original SLC matrix rows produce results 1,1,2 for
+    // input (1,1,0); after remapping the analog result vector is
+    // (0,0,1)... scaled: raw = 2y - P with P = 2 ones -> compensation
+    // factor 1 (= 2 x 0.5) recovers (1,1,2).
+    MatrixI m(3, 3);
+    // Columns are outputs; matrix from the figure (rows = inputs):
+    // out0 = x0, out1 = x1, out2 = x0 + x1 (weights 0/1).
+    m(0, 0) = 1; m(0, 1) = 0; m(0, 2) = 1;
+    m(1, 0) = 0; m(1, 1) = 1; m(1, 2) = 1;
+    m(2, 0) = 0; m(2, 1) = 0; m(2, 2) = 0;
+    const std::vector<i64> x = {1, 1, 0};
+    const i64 pop = Compensation::compensationFactor(x);
+    EXPECT_EQ(pop, 2);
+
+    const MatrixI remapped = Compensation::remapBinary(m);
+    for (std::size_t c = 0; c < 3; ++c) {
+        i64 y = 0, raw = 0;
+        for (std::size_t r = 0; r < 3; ++r) {
+            y += m(r, c) * x[r];
+            raw += remapped(r, c) * x[r];
+        }
+        EXPECT_EQ(Compensation::recover(raw, pop), y);
+    }
+}
+
+TEST(CompensationDeath, NonBinaryMatrixIsFatal)
+{
+    MatrixI m(1, 1);
+    m(0, 0) = 2;
+    EXPECT_THROW((void)Compensation::remapBinary(m),
+                 std::runtime_error);
+}
+
+TEST(CompensationDeath, NonBitInputIsFatal)
+{
+    EXPECT_THROW((void)Compensation::compensationFactor({3}),
+                 std::runtime_error);
+}
+
+TEST(CompensationDeath, OddInvariantIsFatal)
+{
+    EXPECT_THROW((void)Compensation::recover(2, 1),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace analog
+} // namespace darth

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the analog crossbar: ideal MVM exactness, both
+ * number mappings, and the IR-drop / noise behaviour the compensation
+ * scheme depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/Crossbar.h"
+#include "common/Random.h"
+
+namespace darth
+{
+namespace analog
+{
+namespace
+{
+
+TEST(Crossbar, PaperFigure1Example)
+{
+    // Figure 1: matrix {{5,9},{8,7}} (stored column-major as bitline
+    // outputs), input (2,7) -> (66, 67). Needs 4-bit cells.
+    Crossbar xb(8, 8, 4);
+    MatrixI m(2, 2);
+    m(0, 0) = 5; m(0, 1) = 9;
+    m(1, 0) = 8; m(1, 1) = 7;
+    xb.programSigned(m);
+    const auto out = xb.mvm({2.0, 7.0});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_NEAR(out[0], 2 * 5 + 7 * 8, 1e-6);
+    EXPECT_NEAR(out[1], 2 * 9 + 7 * 7, 1e-6);
+}
+
+TEST(Crossbar, SignedValuesViaDifferentialPairs)
+{
+    Crossbar xb(8, 4, 3);
+    MatrixI m(3, 2);
+    m(0, 0) = -3; m(0, 1) = 7;
+    m(1, 0) = 5;  m(1, 1) = -7;
+    m(2, 0) = 0;  m(2, 1) = 2;
+    xb.programSigned(m);
+    const auto out = xb.mvmBitInput({1, 1, 1});
+    EXPECT_NEAR(out[0], 2.0, 1e-6);
+    EXPECT_NEAR(out[1], 2.0, 1e-6);
+}
+
+TEST(Crossbar, BitInputSubsetActivation)
+{
+    Crossbar xb(8, 4, 3);
+    MatrixI m(3, 1);
+    m(0, 0) = 1;
+    m(1, 0) = 2;
+    m(2, 0) = 4;
+    xb.programSigned(m);
+    EXPECT_NEAR(xb.mvmBitInput({1, 0, 0})[0], 1.0, 1e-6);
+    EXPECT_NEAR(xb.mvmBitInput({0, 1, 0})[0], 2.0, 1e-6);
+    EXPECT_NEAR(xb.mvmBitInput({1, 0, 1})[0], 5.0, 1e-6);
+    EXPECT_NEAR(xb.mvmBitInput({0, 0, 0})[0], 0.0, 1e-6);
+}
+
+TEST(Crossbar, OffsetSubtractionMapping)
+{
+    // Offset mapping: cell = v + 2^(b-1); output retains the offset
+    // which the caller subtracts as offset * sum(x).
+    Crossbar xb(4, 4, 4);
+    MatrixI m(2, 2);
+    m(0, 0) = -3; m(0, 1) = 2;
+    m(1, 0) = 1;  m(1, 1) = -7;
+    xb.programOffset(m);
+    const auto out = xb.mvmBitInput({1, 1});
+    const i64 offset = 8;       // 2^(4-1)
+    const i64 sum_x = 2;
+    EXPECT_NEAR(out[0] - offset * sum_x, -2.0, 1e-6);
+    EXPECT_NEAR(out[1] - offset * sum_x, -5.0, 1e-6);
+}
+
+TEST(Crossbar, ReferenceMvmMatchesIdealAnalog)
+{
+    Rng rng(31);
+    Crossbar xb(64, 64, 2);
+    MatrixI m(32, 64);
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            m(r, c) = rng.uniformInt(i64{-3}, i64{3});
+    xb.programSigned(m);
+    std::vector<int> bits(32);
+    std::vector<i64> x(32);
+    for (std::size_t i = 0; i < 32; ++i) {
+        bits[i] = static_cast<int>(rng.uniformInt(u64{2}));
+        x[i] = bits[i];
+    }
+    const auto analog = xb.mvmBitInput(bits);
+    const auto exact = xb.referenceMvm(x);
+    for (std::size_t c = 0; c < 64; ++c)
+        EXPECT_NEAR(analog[c], static_cast<double>(exact[c]), 1e-6);
+}
+
+TEST(Crossbar, ProgrammingNoisePerturbsOutput)
+{
+    reram::NoiseModel noise;
+    noise.programSigma = 0.05;
+    Crossbar xb(64, 8, 1, noise, 17);
+    MatrixI m(32, 8, 1);
+    xb.programSigned(m);
+    std::vector<int> bits(32, 1);
+    const auto out = xb.mvmBitInput(bits);
+    double err = 0.0;
+    for (double v : out)
+        err += std::abs(v - 32.0);
+    EXPECT_GT(err, 0.0);
+    EXPECT_LT(err / 8.0, 4.0);   // bounded perturbation
+}
+
+TEST(Crossbar, IrDropGrowsWithBitlineCurrent)
+{
+    // All-positive binary matrix: the positive bitline carries all
+    // the current, so IR error rises with the number of active rows.
+    reram::NoiseModel noise;
+    noise.wireResistance = 0.01;
+    auto error_with_rows = [&noise](std::size_t active) {
+        Crossbar xb(64, 1, 1, noise, 3);
+        MatrixI m(32, 1, 1);   // all ones
+        xb.programSigned(m);
+        std::vector<int> bits(32, 0);
+        for (std::size_t i = 0; i < active; ++i)
+            bits[i] = 1;
+        const double out = xb.mvmBitInput(bits)[0];
+        return std::abs(out - static_cast<double>(active));
+    };
+    EXPECT_LT(error_with_rows(2), error_with_rows(16));
+    EXPECT_LT(error_with_rows(16), error_with_rows(32));
+}
+
+TEST(Crossbar, RemappedMatrixSuffersLessIrDrop)
+{
+    // §4.3 premise: storing {-1,+1} instead of {0,1} lets opposite
+    // currents cancel in the wire, shrinking the IR-drop error.
+    reram::NoiseModel noise;
+    noise.wireResistance = 0.01;
+
+    // Binary matrix with ~half ones.
+    MatrixI m01(32, 1);
+    for (std::size_t r = 0; r < 32; ++r)
+        m01(r, 0) = static_cast<i64>(r % 2);
+    std::vector<int> bits(32, 1);
+
+    Crossbar naive(64, 1, 1, noise, 5);
+    naive.programSigned(m01);
+    const double naive_out = naive.mvmBitInput(bits)[0];
+    const double naive_err = std::abs(naive_out - 16.0);
+
+    MatrixI remapped(32, 1);
+    for (std::size_t r = 0; r < 32; ++r)
+        remapped(r, 0) = 2 * m01(r, 0) - 1;
+    Crossbar comp(64, 1, 1, noise, 5);
+    comp.programSigned(remapped);
+    // raw = 2y - popcount(x) = 2*16 - 32 = 0.
+    const double comp_out = comp.mvmBitInput(bits)[0];
+    const double comp_err = std::abs(comp_out - 0.0);
+
+    EXPECT_LT(comp_err, naive_err);
+}
+
+TEST(Crossbar, StuckCellsCorruptMvm)
+{
+    reram::NoiseModel noise;
+    noise.stuckAtRate = 0.3;
+    Crossbar xb(64, 16, 1, noise, 777);
+    MatrixI m(32, 16, 1);
+    xb.programSigned(m);
+    std::vector<int> bits(32, 1);
+    const auto out = xb.mvmBitInput(bits);
+    double err = 0.0;
+    for (double v : out)
+        err += std::abs(v - 32.0);
+    EXPECT_GT(err, 1.0);
+}
+
+TEST(CrossbarDeath, OverflowingCellCodeIsFatal)
+{
+    Crossbar xb(4, 4, 2);
+    MatrixI m(1, 1);
+    m(0, 0) = 4;    // > 2^2 - 1
+    EXPECT_THROW(xb.programSigned(m), std::runtime_error);
+}
+
+TEST(CrossbarDeath, TooManyRowsIsFatal)
+{
+    Crossbar xb(4, 4, 1);
+    MatrixI m(3, 1, 1);   // capacity is 4/2 = 2 signed rows
+    EXPECT_THROW(xb.programSigned(m), std::runtime_error);
+}
+
+TEST(CrossbarDeath, NonBitInputIsFatal)
+{
+    Crossbar xb(4, 4, 1);
+    MatrixI m(2, 1, 1);
+    xb.programSigned(m);
+    EXPECT_THROW((void)xb.mvmBitInput({2, 0}), std::runtime_error);
+}
+
+TEST(CrossbarDeath, OddRowCountIsFatal)
+{
+    EXPECT_THROW(Crossbar(5, 4, 1), std::runtime_error);
+}
+
+} // namespace
+} // namespace analog
+} // namespace darth

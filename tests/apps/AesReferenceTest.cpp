@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for GF(2^8) arithmetic, the FIPS-197 reference AES, and the
+ * GF(2) MixColumns formulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/aes/AesReference.h"
+#include "apps/aes/Gf256.h"
+#include "apps/aes/MixColumnsGf2.h"
+#include "common/Random.h"
+
+namespace darth
+{
+namespace aes
+{
+namespace
+{
+
+TEST(Gf256, XtimeKnownValues)
+{
+    EXPECT_EQ(xtime(0x57), 0xAE);
+    EXPECT_EQ(xtime(0xAE), 0x47);
+    EXPECT_EQ(xtime(0x47), 0x8E);
+    EXPECT_EQ(xtime(0x8E), 0x07);
+}
+
+TEST(Gf256, GmulKnownValues)
+{
+    // FIPS-197 example: 0x57 * 0x13 = 0xFE.
+    EXPECT_EQ(gmul(0x57, 0x13), 0xFE);
+    EXPECT_EQ(gmul(0x57, 0x01), 0x57);
+    EXPECT_EQ(gmul(0x57, 0x02), 0xAE);
+    EXPECT_EQ(gmul(0x00, 0x13), 0x00);
+}
+
+TEST(Gf256, GmulCommutative)
+{
+    Rng rng(301);
+    for (int i = 0; i < 500; ++i) {
+        const u8 a = static_cast<u8>(rng.uniformInt(u64{256}));
+        const u8 b = static_cast<u8>(rng.uniformInt(u64{256}));
+        EXPECT_EQ(gmul(a, b), gmul(b, a));
+    }
+}
+
+TEST(Gf256, InverseIsMultiplicativeInverse)
+{
+    for (int a = 1; a < 256; ++a)
+        EXPECT_EQ(gmul(static_cast<u8>(a), ginv(static_cast<u8>(a))),
+                  0x01)
+            << "a=" << a;
+    EXPECT_EQ(ginv(0), 0);
+}
+
+TEST(Gf256, SboxKnownValues)
+{
+    // Spot checks against the FIPS-197 table.
+    EXPECT_EQ(sbox()[0x00], 0x63);
+    EXPECT_EQ(sbox()[0x01], 0x7C);
+    EXPECT_EQ(sbox()[0x53], 0xED);
+    EXPECT_EQ(sbox()[0xFF], 0x16);
+}
+
+TEST(Gf256, InvSboxInverts)
+{
+    for (int i = 0; i < 256; ++i)
+        EXPECT_EQ(invSbox()[sbox()[static_cast<std::size_t>(i)]], i);
+}
+
+TEST(AesReference, Fips197Appendix)
+{
+    // FIPS-197 Appendix B / C.1 vector.
+    const Block plaintext = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30,
+                             0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+                             0x07, 0x34};
+    const std::vector<u8> key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                                 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                                 0x09, 0xcf, 0x4f, 0x3c};
+    const Block expected = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09,
+                            0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+                            0x0b, 0x32};
+    EXPECT_EQ(encrypt(plaintext, key), expected);
+    EXPECT_EQ(decrypt(expected, key), plaintext);
+}
+
+TEST(AesReference, Fips197C1Aes128)
+{
+    // FIPS-197 C.1: key 000102...0f, plaintext 00112233...ff.
+    Block plaintext;
+    for (std::size_t i = 0; i < 16; ++i)
+        plaintext[i] = static_cast<u8>(0x11 * i);
+    std::vector<u8> key(16);
+    for (std::size_t i = 0; i < 16; ++i)
+        key[i] = static_cast<u8>(i);
+    const Block expected = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04,
+                            0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                            0xc5, 0x5a};
+    EXPECT_EQ(encrypt(plaintext, key, KeySize::Aes128), expected);
+}
+
+TEST(AesReference, Fips197C2Aes192)
+{
+    Block plaintext;
+    for (std::size_t i = 0; i < 16; ++i)
+        plaintext[i] = static_cast<u8>(0x11 * i);
+    std::vector<u8> key(24);
+    for (std::size_t i = 0; i < 24; ++i)
+        key[i] = static_cast<u8>(i);
+    const Block expected = {0xdd, 0xa9, 0x7c, 0xa4, 0x86, 0x4c, 0xdf,
+                            0xe0, 0x6e, 0xaf, 0x70, 0xa0, 0xec, 0x0d,
+                            0x71, 0x91};
+    EXPECT_EQ(encrypt(plaintext, key, KeySize::Aes192), expected);
+    EXPECT_EQ(decrypt(expected, key, KeySize::Aes192), plaintext);
+}
+
+TEST(AesReference, Fips197C3Aes256)
+{
+    Block plaintext;
+    for (std::size_t i = 0; i < 16; ++i)
+        plaintext[i] = static_cast<u8>(0x11 * i);
+    std::vector<u8> key(32);
+    for (std::size_t i = 0; i < 32; ++i)
+        key[i] = static_cast<u8>(i);
+    const Block expected = {0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45,
+                            0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
+                            0x60, 0x89};
+    EXPECT_EQ(encrypt(plaintext, key, KeySize::Aes256), expected);
+    EXPECT_EQ(decrypt(expected, key, KeySize::Aes256), plaintext);
+}
+
+TEST(AesReference, EncryptDecryptRoundTripRandom)
+{
+    Rng rng(302);
+    for (int trial = 0; trial < 50; ++trial) {
+        Block plaintext;
+        for (auto &b : plaintext)
+            b = static_cast<u8>(rng.uniformInt(u64{256}));
+        std::vector<u8> key(16);
+        for (auto &b : key)
+            b = static_cast<u8>(rng.uniformInt(u64{256}));
+        EXPECT_EQ(decrypt(encrypt(plaintext, key), key), plaintext);
+    }
+}
+
+TEST(AesReference, ShiftRowsInverse)
+{
+    Rng rng(303);
+    Block state;
+    for (auto &b : state)
+        b = static_cast<u8>(rng.uniformInt(u64{256}));
+    Block copy = state;
+    shiftRows(copy);
+    invShiftRows(copy);
+    EXPECT_EQ(copy, state);
+}
+
+TEST(AesReference, MixColumnsInverse)
+{
+    Rng rng(304);
+    Block state;
+    for (auto &b : state)
+        b = static_cast<u8>(rng.uniformInt(u64{256}));
+    Block copy = state;
+    mixColumns(copy);
+    invMixColumns(copy);
+    EXPECT_EQ(copy, state);
+}
+
+TEST(AesReference, KeyExpansionFirstAndLast)
+{
+    // FIPS-197 A.1 expansion of 2b7e1516...
+    const std::vector<u8> key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                                 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                                 0x09, 0xcf, 0x4f, 0x3c};
+    const auto rks = expandKey(key, KeySize::Aes128);
+    ASSERT_EQ(rks.size(), 11u);
+    // Round key 0 = the key itself (column-major match).
+    for (std::size_t c = 0; c < 4; ++c)
+        for (std::size_t r = 0; r < 4; ++r)
+            EXPECT_EQ(rks[0][r + 4 * c], key[4 * c + r]);
+    // w[43] = b6:63:0c:a6 -> last column of round key 10.
+    EXPECT_EQ(rks[10][0 + 4 * 3], 0xb6);
+    EXPECT_EQ(rks[10][1 + 4 * 3], 0x63);
+    EXPECT_EQ(rks[10][2 + 4 * 3], 0x0c);
+    EXPECT_EQ(rks[10][3 + 4 * 3], 0xa6);
+}
+
+TEST(MixColumnsGf2, MatrixIsBinary32x32)
+{
+    const MatrixI m = mixColumnsGf2Matrix();
+    EXPECT_EQ(m.rows(), 32u);
+    EXPECT_EQ(m.cols(), 32u);
+    for (std::size_t r = 0; r < 32; ++r)
+        for (std::size_t c = 0; c < 32; ++c)
+            EXPECT_TRUE(m(r, c) == 0 || m(r, c) == 1);
+}
+
+TEST(MixColumnsGf2, MatchesReferenceMixColumns)
+{
+    Rng rng(305);
+    for (int trial = 0; trial < 100; ++trial) {
+        Block state;
+        for (auto &b : state)
+            b = static_cast<u8>(rng.uniformInt(u64{256}));
+        Block via_matrix = state;
+        mixColumnsViaGf2(via_matrix);
+        Block via_reference = state;
+        mixColumns(via_reference);
+        EXPECT_EQ(via_matrix, via_reference);
+    }
+}
+
+TEST(MixColumnsGf2, InverseMatrixMatchesInvMixColumns)
+{
+    const MatrixI m = invMixColumnsGf2Matrix();
+    Rng rng(306);
+    Block state;
+    for (auto &b : state)
+        b = static_cast<u8>(rng.uniformInt(u64{256}));
+    // Parity MVM with the inverse matrix inverts the forward one.
+    Block mixed = state;
+    mixColumns(mixed);
+    for (std::size_t c = 0; c < 4; ++c) {
+        const auto x = columnBits(mixed, c);
+        std::vector<i64> out(32);
+        for (std::size_t i = 0; i < 32; ++i) {
+            i64 sum = 0;
+            for (std::size_t j = 0; j < 32; ++j)
+                sum += m(j, i) * x[j];
+            out[i] = sum & 1;
+        }
+        Block recovered = mixed;
+        setColumnBits(recovered, c, out);
+        for (std::size_t r = 0; r < 4; ++r)
+            EXPECT_EQ(recovered[r + 4 * c], state[r + 4 * c]);
+    }
+}
+
+TEST(MixColumnsGf2, ColumnBitsRoundTrip)
+{
+    Block state{};
+    std::vector<i64> bits(32);
+    for (std::size_t i = 0; i < 32; ++i)
+        bits[i] = static_cast<i64>((i * 7) % 2);
+    setColumnBits(state, 2, bits);
+    EXPECT_EQ(columnBits(state, 2), bits);
+}
+
+} // namespace
+} // namespace aes
+} // namespace darth

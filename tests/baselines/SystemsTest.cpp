@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the comparison-system models: sanity of rates, energy,
+ * and the orderings the paper's evaluation depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/cnn/Resnet20.h"
+#include "apps/llm/Encoder.h"
+#include "baselines/Systems.h"
+
+namespace darth
+{
+namespace baselines
+{
+namespace
+{
+
+BaselineSystem
+makeBaseline()
+{
+    return BaselineSystem(CpuParams::i7_13700(), AnalogAccelParams{},
+                          LinkParams{});
+}
+
+TEST(CpuModel, AesNiMuchFasterThanSoftware)
+{
+    CpuModel cpu(CpuParams::i7_13700());
+    EXPECT_GT(cpu.aesNiBlocksPerSec(), 5.0 * cpu.aesSwBlocksPerSec());
+    EXPECT_LT(cpu.aesNiJoulesPerBlock(), cpu.aesSwJoulesPerBlock());
+}
+
+TEST(CpuModel, RatesArePositiveAndOrdered)
+{
+    CpuModel cpu(CpuParams::i7_13700());
+    // Element-wise kernels are DRAM-bound; GEMMs are compute-bound.
+    EXPECT_GT(cpu.vectorOpsPerSec(), 1e10);
+    EXPECT_GT(cpu.macsPerSec(), 1e11);
+    EXPECT_GT(cpu.macsPerSec(), cpu.vectorOpsPerSec());
+}
+
+TEST(CpuModel, ArmMotivationConfig)
+{
+    CpuModel arm(CpuParams::arm8());
+    CpuModel intel(CpuParams::i7_13700());
+    EXPECT_LT(arm.macsPerSec(), intel.macsPerSec());
+}
+
+TEST(AnalogAccelModel, MvmScalesWithShapeAndBits)
+{
+    AnalogAccelModel accel(AnalogAccelParams{});
+    EXPECT_GT(accel.mvmSeconds(64, 64, 8),
+              accel.mvmSeconds(32, 32, 8));
+    EXPECT_GT(accel.mvmSeconds(32, 32, 8),
+              accel.mvmSeconds(32, 32, 1));
+    EXPECT_GT(accel.macsPerSec(1), accel.macsPerSec(8));
+}
+
+TEST(BaselineSystem, AesBreakdownDominatedByOffload)
+{
+    const auto bd = makeBaseline().aesBreakdownNs();
+    EXPECT_GT(bd.total(), 0.0);
+    // Figure 14: data movement + MixColumns dominate the Baseline.
+    EXPECT_GT(bd.dataMovement + bd.mixColumns, bd.total() * 0.5);
+}
+
+TEST(BaselineSystem, AesThroughputAndEnergyPositive)
+{
+    const auto baseline = makeBaseline();
+    EXPECT_GT(baseline.aesBlocksPerSec(), 1e5);
+    EXPECT_GT(baseline.aesJoulesPerBlock(), 0.0);
+}
+
+TEST(BaselineSystem, CnnLayerCostsAccumulate)
+{
+    const auto baseline = makeBaseline();
+    cnn::Resnet20 net(42);
+    const auto layers = net.layerStats();
+    double sum = 0.0;
+    for (const auto &layer : layers)
+        sum += baseline.cnnLayerSeconds(layer);
+    EXPECT_NEAR(baseline.cnnInferSeconds(layers), sum, 1e-12);
+    EXPECT_GT(baseline.cnnInfersPerSec(layers), 1.0);
+    EXPECT_GT(baseline.cnnJoulesPerInfer(layers), 0.0);
+}
+
+TEST(BaselineSystem, LlmEncodeCosts)
+{
+    const auto baseline = makeBaseline();
+    llm::Encoder enc{llm::EncoderConfig{}};
+    const auto stats = enc.stats();
+    EXPECT_GT(baseline.llmEncodesPerSec(stats), 1.0);
+    EXPECT_GT(baseline.llmJoulesPerEncode(stats), 0.0);
+}
+
+TEST(GpuModel, BeatsBaselineCpuOnMlThroughput)
+{
+    GpuModel gpu{GpuParams{}};
+    const auto baseline = makeBaseline();
+    cnn::Resnet20 net(42);
+    const auto layers = net.layerStats();
+    EXPECT_GT(gpu.cnnInfersPerSec(layers),
+              baseline.cnnInfersPerSec(layers));
+}
+
+TEST(GpuModel, EnergyFollowsTdp)
+{
+    GpuModel gpu{GpuParams{}};
+    cnn::Resnet20 net(42);
+    const auto layers = net.layerStats();
+    EXPECT_NEAR(gpu.cnnJoulesPerInfer(layers) *
+                    gpu.cnnInfersPerSec(layers),
+                gpu.params().tdpWatts, 1e-6);
+}
+
+TEST(AppAccel, AesNiIsOneEngineOfTheCpuNiRate)
+{
+    AppAccelModels accel(CpuParams::i7_13700(), AnalogAccelParams{});
+    CpuModel cpu(CpuParams::i7_13700());
+    EXPECT_DOUBLE_EQ(accel.aesBlocksPerSec(),
+                     cpu.aesNiBlocksPerSec() / 16.0);
+}
+
+TEST(AppAccel, CnnAcceleratorBeatsBaseline)
+{
+    // The dedicated CNN accelerator avoids the CPU round trips.
+    AppAccelModels accel(CpuParams::i7_13700(), AnalogAccelParams{});
+    const auto baseline = makeBaseline();
+    cnn::Resnet20 net(42);
+    const auto layers = net.layerStats();
+    EXPECT_GT(accel.cnnInfersPerSec(layers),
+              baseline.cnnInfersPerSec(layers));
+}
+
+TEST(AppAccel, LlmAcceleratorBeatsBaseline)
+{
+    AppAccelModels accel(CpuParams::i7_13700(), AnalogAccelParams{});
+    const auto baseline = makeBaseline();
+    llm::Encoder enc{llm::EncoderConfig{}};
+    EXPECT_GT(accel.llmEncodesPerSec(enc.stats()),
+              baseline.llmEncodesPerSec(enc.stats()));
+}
+
+TEST(LinkParams, BatchingAmortizesLatency)
+{
+    LinkParams batched;
+    batched.batch = 256.0;
+    LinkParams unbatched;   // default batch = 1 (synchronous offload)
+    EXPECT_LT(batched.transferNs(16), unbatched.transferNs(16));
+}
+
+} // namespace
+} // namespace baselines
+} // namespace darth

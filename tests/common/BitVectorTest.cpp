@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for BitVector: construction, accessors, Boolean ops,
+ * shifts, slices, and round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/BitVector.h"
+
+namespace darth
+{
+namespace
+{
+
+TEST(BitVector, DefaultIsEmpty)
+{
+    BitVector bv;
+    EXPECT_EQ(bv.size(), 0u);
+    EXPECT_TRUE(bv.empty());
+}
+
+TEST(BitVector, ConstructAllZero)
+{
+    BitVector bv(100);
+    EXPECT_EQ(bv.size(), 100u);
+    EXPECT_EQ(bv.popcount(), 0u);
+}
+
+TEST(BitVector, ConstructAllOne)
+{
+    BitVector bv(100, true);
+    EXPECT_EQ(bv.popcount(), 100u);
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_TRUE(bv.get(i));
+}
+
+TEST(BitVector, SetGetRoundTrip)
+{
+    BitVector bv(130);
+    bv.set(0, true);
+    bv.set(63, true);
+    bv.set(64, true);
+    bv.set(129, true);
+    EXPECT_TRUE(bv.get(0));
+    EXPECT_TRUE(bv.get(63));
+    EXPECT_TRUE(bv.get(64));
+    EXPECT_TRUE(bv.get(129));
+    EXPECT_FALSE(bv.get(1));
+    EXPECT_FALSE(bv.get(128));
+    EXPECT_EQ(bv.popcount(), 4u);
+}
+
+TEST(BitVector, FromIntegerToInteger)
+{
+    const u64 value = 0xDEADBEEFCAFE1234ULL;
+    BitVector bv = BitVector::fromInteger(value, 64);
+    EXPECT_EQ(bv.toInteger(), value);
+}
+
+TEST(BitVector, FromIntegerTruncates)
+{
+    BitVector bv = BitVector::fromInteger(0xFF, 4);
+    EXPECT_EQ(bv.toInteger(), 0xFull);
+    EXPECT_EQ(bv.size(), 4u);
+}
+
+TEST(BitVector, FromStringMsbFirst)
+{
+    BitVector bv = BitVector::fromString("1010");
+    EXPECT_EQ(bv.toInteger(), 0b1010ull);
+    EXPECT_EQ(bv.toString(), "1010");
+}
+
+TEST(BitVector, ToSignedNegative)
+{
+    // 4-bit 0b1111 = -1 in two's complement.
+    BitVector bv = BitVector::fromInteger(0xF, 4);
+    EXPECT_EQ(bv.toSigned(), -1);
+}
+
+TEST(BitVector, ToSignedPositive)
+{
+    BitVector bv = BitVector::fromInteger(0x5, 4);
+    EXPECT_EQ(bv.toSigned(), 5);
+}
+
+TEST(BitVector, NorMatchesDefinition)
+{
+    BitVector a = BitVector::fromString("0011");
+    BitVector b = BitVector::fromString("0101");
+    EXPECT_EQ(a.nor(b).toString(), "1000");
+}
+
+TEST(BitVector, AndOrXorNot)
+{
+    BitVector a = BitVector::fromString("0011");
+    BitVector b = BitVector::fromString("0101");
+    EXPECT_EQ((a & b).toString(), "0001");
+    EXPECT_EQ((a | b).toString(), "0111");
+    EXPECT_EQ((a ^ b).toString(), "0110");
+    EXPECT_EQ((~a).toString(), "1100");
+}
+
+TEST(BitVector, NotMasksTailBits)
+{
+    BitVector a(65);
+    BitVector inverted = ~a;
+    EXPECT_EQ(inverted.popcount(), 65u);
+}
+
+TEST(BitVector, ShiftUpMultipliesByTwo)
+{
+    BitVector a = BitVector::fromInteger(0b0101, 8);
+    EXPECT_EQ(a.shiftedUp(1).toInteger(), 0b1010ull);
+    EXPECT_EQ(a.shiftedUp(2).toInteger(), 0b10100ull);
+}
+
+TEST(BitVector, ShiftDownDividesByTwo)
+{
+    BitVector a = BitVector::fromInteger(0b1010, 8);
+    EXPECT_EQ(a.shiftedDown(1).toInteger(), 0b0101ull);
+    EXPECT_EQ(a.shiftedDown(3).toInteger(), 0b0001ull);
+}
+
+TEST(BitVector, ShiftDropsBitsOffTheEnd)
+{
+    BitVector a = BitVector::fromInteger(0b1000, 4);
+    EXPECT_EQ(a.shiftedUp(1).toInteger(), 0ull);
+}
+
+TEST(BitVector, Reversed)
+{
+    BitVector a = BitVector::fromString("1100");
+    EXPECT_EQ(a.reversed().toString(), "0011");
+}
+
+TEST(BitVector, Slice)
+{
+    BitVector a = BitVector::fromInteger(0xAB, 8);
+    EXPECT_EQ(a.slice(0, 4).toInteger(), 0xBull);
+    EXPECT_EQ(a.slice(4, 4).toInteger(), 0xAull);
+}
+
+TEST(BitVector, EqualityComparesContentsAndSize)
+{
+    BitVector a = BitVector::fromInteger(0x3, 4);
+    BitVector b = BitVector::fromInteger(0x3, 4);
+    BitVector c = BitVector::fromInteger(0x3, 5);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(BitVector, FillAndResize)
+{
+    BitVector a(10);
+    a.fill(true);
+    EXPECT_EQ(a.popcount(), 10u);
+    a.resize(20);
+    EXPECT_EQ(a.size(), 20u);
+    EXPECT_EQ(a.popcount(), 10u);
+}
+
+TEST(BitVectorDeath, OutOfRangeGetPanics)
+{
+    BitVector a(4);
+    EXPECT_DEATH((void)a.get(4), "out of range");
+}
+
+/** Property sweep: x | y, x & y, x ^ y match 64-bit integer semantics. */
+class BitVectorPropertyTest : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(BitVectorPropertyTest, OpsMatchWordSemantics)
+{
+    const u64 x = GetParam();
+    const u64 y = x * 0x9E3779B97F4A7C15ULL + 12345;
+    BitVector a = BitVector::fromInteger(x, 64);
+    BitVector b = BitVector::fromInteger(y, 64);
+    EXPECT_EQ((a & b).toInteger(), x & y);
+    EXPECT_EQ((a | b).toInteger(), x | y);
+    EXPECT_EQ((a ^ b).toInteger(), x ^ y);
+    EXPECT_EQ((~a).toInteger(), ~x);
+    EXPECT_EQ(a.nor(b).toInteger(), ~(x | y));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BitVectorPropertyTest,
+                         ::testing::Values(0ull, 1ull, 0xFFull,
+                                           0xDEADBEEFull,
+                                           0x8000000000000000ull,
+                                           0xFFFFFFFFFFFFFFFFull,
+                                           0x5555555555555555ull,
+                                           0xAAAAAAAAAAAAAAAAull));
+
+} // namespace
+} // namespace darth

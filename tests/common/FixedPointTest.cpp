@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for Quantizer and integer helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/FixedPoint.h"
+
+namespace darth
+{
+namespace
+{
+
+TEST(Quantizer, ForRangeCoversAbsMax)
+{
+    const Quantizer q = Quantizer::forRange(8, 1.0);
+    EXPECT_EQ(q.quantize(1.0), 127);
+    EXPECT_EQ(q.quantize(-1.0), -127);
+    EXPECT_EQ(q.quantize(0.0), 0);
+}
+
+TEST(Quantizer, ClampsOutOfRange)
+{
+    const Quantizer q = Quantizer::forRange(8, 1.0);
+    EXPECT_EQ(q.quantize(5.0), 127);
+    EXPECT_EQ(q.quantize(-5.0), -128);
+}
+
+TEST(Quantizer, RoundTripErrorBounded)
+{
+    const Quantizer q = Quantizer::forRange(8, 2.0);
+    for (double x = -2.0; x <= 2.0; x += 0.01) {
+        const double reconstructed = q.dequantize(q.quantize(x));
+        EXPECT_NEAR(reconstructed, x, q.scale() / 2.0 + 1e-12);
+    }
+}
+
+TEST(Quantizer, VectorQuantize)
+{
+    const Quantizer q = Quantizer::forRange(4, 7.0);
+    const auto codes = q.quantize(std::vector<double>{7.0, -7.0, 0.0});
+    ASSERT_EQ(codes.size(), 3u);
+    EXPECT_EQ(codes[0], 7);
+    EXPECT_EQ(codes[1], -7);
+    EXPECT_EQ(codes[2], 0);
+}
+
+TEST(Quantizer, DegenerateRangeDoesNotDivideByZero)
+{
+    const Quantizer q = Quantizer::forRange(8, 0.0);
+    EXPECT_EQ(q.quantize(0.0), 0);
+}
+
+TEST(AbsMax, FindsLargestMagnitude)
+{
+    EXPECT_DOUBLE_EQ(absMax({1.0, -3.5, 2.0}), 3.5);
+    EXPECT_DOUBLE_EQ(absMax({}), 0.0);
+}
+
+TEST(Isqrt, SmallValues)
+{
+    EXPECT_EQ(isqrt(0), 0);
+    EXPECT_EQ(isqrt(1), 1);
+    EXPECT_EQ(isqrt(2), 1);
+    EXPECT_EQ(isqrt(3), 1);
+    EXPECT_EQ(isqrt(4), 2);
+    EXPECT_EQ(isqrt(15), 3);
+    EXPECT_EQ(isqrt(16), 4);
+}
+
+TEST(Isqrt, NegativeClampsToZero)
+{
+    EXPECT_EQ(isqrt(-5), 0);
+}
+
+/** Property: isqrt(x)^2 <= x < (isqrt(x)+1)^2 across a wide sweep. */
+class IsqrtPropertyTest : public ::testing::TestWithParam<i64>
+{
+};
+
+TEST_P(IsqrtPropertyTest, FloorSquareRootInvariant)
+{
+    const i64 x = GetParam();
+    const i64 r = isqrt(x);
+    EXPECT_LE(r * r, x);
+    EXPECT_GT((r + 1) * (r + 1), x);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IsqrtPropertyTest,
+                         ::testing::Values(i64{0}, i64{1}, i64{2},
+                                           i64{99}, i64{100}, i64{101},
+                                           i64{1} << 20,
+                                           (i64{1} << 30) - 1,
+                                           i64{1} << 40,
+                                           i64{999999999999}));
+
+} // namespace
+} // namespace darth

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the dense Matrix container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/Matrix.h"
+
+namespace darth
+{
+namespace
+{
+
+TEST(Matrix, ConstructAndIndex)
+{
+    MatrixI m(2, 3, 7);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m(1, 2), 7);
+    m(1, 2) = 42;
+    EXPECT_EQ(m(1, 2), 42);
+}
+
+TEST(Matrix, RowAndColExtraction)
+{
+    MatrixI m(2, 2);
+    m(0, 0) = 1; m(0, 1) = 2;
+    m(1, 0) = 3; m(1, 1) = 4;
+    EXPECT_EQ(m.row(0), (std::vector<i64>{1, 2}));
+    EXPECT_EQ(m.col(1), (std::vector<i64>{2, 4}));
+}
+
+TEST(Matrix, SetRowSetCol)
+{
+    MatrixI m(2, 2);
+    m.setRow(0, {5, 6});
+    m.setCol(0, {7, 8});
+    EXPECT_EQ(m(0, 0), 7);
+    EXPECT_EQ(m(0, 1), 6);
+    EXPECT_EQ(m(1, 0), 8);
+}
+
+TEST(Matrix, Transposed)
+{
+    MatrixI m(2, 3);
+    int v = 0;
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            m(r, c) = v++;
+    MatrixI t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(t(c, r), m(r, c));
+}
+
+TEST(Matrix, MultiplyMatchesPaperExample)
+{
+    // Figure 1: [5 9; 8 7] * [2; 7] = [66; 67] (column convention of
+    // the figure: out_c = sum_r M(r, c) * x(r); we store transposed).
+    MatrixI m(2, 2);
+    m(0, 0) = 5; m(0, 1) = 9;
+    m(1, 0) = 8; m(1, 1) = 7;
+    const auto y = m.transposed().multiply({2, 7});
+    EXPECT_EQ(y[0], 66);
+    EXPECT_EQ(y[1], 67);
+}
+
+TEST(Matrix, MultiplyIdentity)
+{
+    MatrixD eye(3, 3);
+    for (std::size_t i = 0; i < 3; ++i)
+        eye(i, i) = 1.0;
+    const auto y = eye.multiply({1.5, -2.0, 3.25});
+    EXPECT_DOUBLE_EQ(y[0], 1.5);
+    EXPECT_DOUBLE_EQ(y[1], -2.0);
+    EXPECT_DOUBLE_EQ(y[2], 3.25);
+}
+
+TEST(MatrixDeath, OutOfBoundsPanics)
+{
+    MatrixI m(2, 2);
+    EXPECT_DEATH((void)m.at(2, 0), "out of range");
+    EXPECT_DEATH((void)m.at(0, 2), "out of range");
+}
+
+TEST(MatrixDeath, MultiplyShapeMismatchPanics)
+{
+    MatrixI m(2, 3);
+    EXPECT_DEATH((void)m.multiply({1, 2}), "vector length");
+}
+
+} // namespace
+} // namespace darth

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the deterministic Rng.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/Random.h"
+
+namespace darth
+{
+namespace
+{
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    const u64 first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(4);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(5);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianMeanSigma)
+{
+    Rng rng(6);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, LogNormalAlwaysPositive)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GT(rng.logNormal(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(8);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        const i64 v = rng.uniformInt(i64{-5}, i64{5});
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(10);
+    bool seen[10] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.uniformInt(u64{10})] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+} // namespace
+} // namespace darth

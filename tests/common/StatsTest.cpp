@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for CostTally and geoMean.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/Stats.h"
+
+namespace darth
+{
+namespace
+{
+
+TEST(CostTally, AddAndGet)
+{
+    CostTally tally;
+    tally.add("ace.adc", 10, 2.5);
+    tally.add("ace.adc", 5, 1.5);
+    const CostEntry e = tally.get("ace.adc");
+    EXPECT_EQ(e.events, 2u);
+    EXPECT_EQ(e.cycles, 15u);
+    EXPECT_DOUBLE_EQ(e.energy, 4.0);
+}
+
+TEST(CostTally, MissingCategoryIsZero)
+{
+    CostTally tally;
+    const CostEntry e = tally.get("nope");
+    EXPECT_EQ(e.events, 0u);
+    EXPECT_EQ(e.cycles, 0u);
+    EXPECT_DOUBLE_EQ(e.energy, 0.0);
+}
+
+TEST(CostTally, Merge)
+{
+    CostTally a, b;
+    a.add("x", 1, 1.0);
+    b.add("x", 2, 2.0);
+    b.add("y", 3, 3.0);
+    a.merge(b);
+    EXPECT_EQ(a.get("x").cycles, 3u);
+    EXPECT_EQ(a.get("y").cycles, 3u);
+}
+
+TEST(CostTally, MergePrefixed)
+{
+    CostTally a, b;
+    b.add("dce.boolop", 4, 8.0);
+    a.mergePrefixed("hct0.", b);
+    EXPECT_EQ(a.get("hct0.dce.boolop").cycles, 4u);
+}
+
+TEST(CostTally, PrefixSums)
+{
+    CostTally tally;
+    tally.add("dce.boolop", 10, 1.0);
+    tally.add("dce.io", 5, 2.0);
+    tally.add("ace.adc", 7, 4.0);
+    EXPECT_EQ(tally.cyclesWithPrefix("dce."), 15u);
+    EXPECT_DOUBLE_EQ(tally.energyWithPrefix("dce."), 3.0);
+    EXPECT_DOUBLE_EQ(tally.totalEnergy(), 7.0);
+    EXPECT_EQ(tally.totalCycles(), 22u);
+}
+
+TEST(CostTally, ClearDropsEverything)
+{
+    CostTally tally;
+    tally.add("x", 1, 1.0);
+    tally.clear();
+    EXPECT_EQ(tally.totalCycles(), 0u);
+    EXPECT_TRUE(tally.entries().empty());
+}
+
+TEST(GeoMean, MatchesHandComputation)
+{
+    EXPECT_DOUBLE_EQ(geoMean({4.0, 9.0}), 6.0);
+    EXPECT_DOUBLE_EQ(geoMean({2.0, 2.0, 2.0}), 2.0);
+}
+
+TEST(GeoMean, EmptyIsOne)
+{
+    EXPECT_DOUBLE_EQ(geoMean({}), 1.0);
+}
+
+TEST(GeoMean, PaperHeadline)
+{
+    // Paper: 59.4x, 14.8x, 40.8x -> geomean 31.4x (abstract).
+    const double g = geoMean({59.4, 14.8, 40.8});
+    EXPECT_NEAR(g, 33.0, 2.5);
+}
+
+} // namespace
+} // namespace darth

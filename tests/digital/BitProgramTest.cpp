@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for BitProgram lowering and evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "digital/BitProgram.h"
+
+namespace darth
+{
+namespace digital
+{
+namespace
+{
+
+TEST(LogicFamily, OscarNativePrimitives)
+{
+    LogicFamily oscar(LogicFamilyKind::Oscar);
+    EXPECT_TRUE(oscar.isNative(Prim::Nor));
+    EXPECT_TRUE(oscar.isNative(Prim::Or));
+    EXPECT_FALSE(oscar.isNative(Prim::And));
+    EXPECT_FALSE(oscar.isNative(Prim::Xor));
+    EXPECT_FALSE(oscar.isNative(Prim::Not));
+}
+
+TEST(LogicFamily, IdealSupportsEverything)
+{
+    LogicFamily ideal(LogicFamilyKind::Ideal);
+    for (Prim p : {Prim::Nor, Prim::Or, Prim::And, Prim::Nand,
+                   Prim::Xor, Prim::Xnor, Prim::Not, Prim::Copy})
+        EXPECT_TRUE(ideal.isNative(p));
+}
+
+TEST(ApplyPrim, TruthTables)
+{
+    EXPECT_TRUE(applyPrim(Prim::Nor, false, false));
+    EXPECT_FALSE(applyPrim(Prim::Nor, true, false));
+    EXPECT_TRUE(applyPrim(Prim::Xor, true, false));
+    EXPECT_FALSE(applyPrim(Prim::Xor, true, true));
+    EXPECT_TRUE(applyPrim(Prim::Nand, true, false));
+    EXPECT_FALSE(applyPrim(Prim::Nand, true, true));
+    EXPECT_TRUE(applyPrim(Prim::Not, false, false));
+    EXPECT_TRUE(applyPrim(Prim::Copy, true, false));
+}
+
+/** Lowered programs compute the right truth table for all inputs. */
+class LoweringTest
+    : public ::testing::TestWithParam<std::tuple<LogicFamilyKind, Prim>>
+{
+};
+
+TEST_P(LoweringTest, TruthTableMatches)
+{
+    const auto [kind, prim] = GetParam();
+    LogicFamily family(kind);
+    BitProgramBuilder builder(family);
+    const int result = builder.emit(prim, kRegA, kRegB);
+    const BitProgram program = builder.finish(result);
+    for (int a = 0; a <= 1; ++a)
+        for (int b = 0; b <= 1; ++b)
+            EXPECT_EQ(program.evaluate(a, b, false),
+                      applyPrim(prim, a, b))
+                << primName(prim) << " a=" << a << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamiliesAllPrims, LoweringTest,
+    ::testing::Combine(
+        ::testing::Values(LogicFamilyKind::Oscar, LogicFamilyKind::Ideal),
+        ::testing::Values(Prim::Nor, Prim::Or, Prim::And, Prim::Nand,
+                          Prim::Xor, Prim::Xnor, Prim::Not, Prim::Copy)));
+
+TEST(Lowering, OscarUsesOnlyNativePrims)
+{
+    LogicFamily oscar(LogicFamilyKind::Oscar);
+    BitProgramBuilder builder(oscar);
+    const int result = builder.emit(Prim::Xor, kRegA, kRegB);
+    const BitProgram program = builder.finish(result);
+    for (const auto &op : program.ops)
+        EXPECT_TRUE(op.prim == Prim::Nor || op.prim == Prim::Or)
+            << "non-native " << primName(op.prim);
+}
+
+TEST(Lowering, IdealIsSingleOp)
+{
+    LogicFamily ideal(LogicFamilyKind::Ideal);
+    for (Prim p : {Prim::And, Prim::Xor, Prim::Nand}) {
+        BitProgramBuilder builder(ideal);
+        const int result = builder.emit(p, kRegA, kRegB);
+        EXPECT_EQ(builder.finish(result).opCount(), 1u);
+    }
+}
+
+TEST(Lowering, OscarXorCostsFiveOps)
+{
+    // NOR(a,b), NOT a, NOT b, AND, final NOR.
+    LogicFamily oscar(LogicFamilyKind::Oscar);
+    BitProgramBuilder builder(oscar);
+    const int result = builder.emit(Prim::Xor, kRegA, kRegB);
+    EXPECT_EQ(builder.finish(result).opCount(), 5u);
+}
+
+TEST(BitProgramDeath, EvaluateWithoutResultPanics)
+{
+    BitProgram p;
+    EXPECT_DEATH((void)p.evaluate(false, false, false),
+                 "no result register");
+}
+
+} // namespace
+} // namespace digital
+} // namespace darth

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the Digital Compute Element.
+ */
+
+#include <gtest/gtest.h>
+
+#include "digital/Dce.h"
+
+namespace darth
+{
+namespace digital
+{
+namespace
+{
+
+DceConfig
+smallDce()
+{
+    DceConfig cfg;
+    cfg.numPipelines = 4;
+    cfg.pipeline.depth = 8;
+    cfg.pipeline.width = 8;
+    cfg.pipeline.numRegs = 8;
+    return cfg;
+}
+
+TEST(Dce, ConstructsPipelines)
+{
+    Dce dce(smallDce());
+    EXPECT_EQ(dce.numPipelines(), 4u);
+}
+
+TEST(Dce, PipelinesAreIndependent)
+{
+    Dce dce(smallDce());
+    dce.pipeline(0).setElement(0, 0, 0xAB);
+    EXPECT_EQ(dce.pipeline(0).element(0, 0, 8), 0xABull);
+    EXPECT_EQ(dce.pipeline(1).element(0, 0, 8), 0u);
+}
+
+TEST(Dce, ExecMacroAllRunsConcurrently)
+{
+    Dce dce(smallDce());
+    for (std::size_t p = 0; p < 4; ++p) {
+        dce.pipeline(p).setElement(0, 0, 10 + p);
+        dce.pipeline(p).setElement(1, 0, 1);
+    }
+    const Cycle all_done =
+        dce.execMacroAll(MacroKind::Add, 0, 4, 2, 0, 1, 8, 0);
+    for (std::size_t p = 0; p < 4; ++p)
+        EXPECT_EQ(dce.pipeline(p).element(2, 0, 8), 11 + p);
+    // Concurrent pipelines: total time equals a single pipeline's time.
+    Dce single(smallDce());
+    single.pipeline(0).setElement(0, 0, 10);
+    single.pipeline(0).setElement(1, 0, 1);
+    const Cycle one_done =
+        single.pipeline(0).execMacro(MacroKind::Add, 2, 0, 1, 8, 0);
+    EXPECT_EQ(all_done, one_done);
+}
+
+TEST(Dce, OpCountAggregates)
+{
+    Dce dce(smallDce());
+    dce.execMacroAll(MacroKind::Xor, 0, 4, 2, 0, 1, 8, 0);
+    EXPECT_EQ(dce.opCount(),
+              4u * dce.pipeline(0).opCount());
+}
+
+TEST(Dce, SharedTallyAccumulatesAcrossPipelines)
+{
+    CostTally tally;
+    Dce dce(smallDce(), &tally);
+    dce.execMacroAll(MacroKind::Xor, 0, 4, 2, 0, 1, 8, 0);
+    EXPECT_EQ(tally.get("dce.boolop").events, dce.opCount());
+}
+
+TEST(DceDeath, OutOfRangePipelinePanics)
+{
+    Dce dce(smallDce());
+    EXPECT_DEATH(dce.pipeline(4), "out of range");
+}
+
+} // namespace
+} // namespace digital
+} // namespace darth

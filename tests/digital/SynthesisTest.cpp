@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for macro synthesis: functional correctness of the
+ * full-adder chains and cost relationships between logic families.
+ */
+
+#include <gtest/gtest.h>
+
+#include "digital/Synthesis.h"
+
+namespace darth
+{
+namespace digital
+{
+namespace
+{
+
+/** Evaluate a carry-chained macro over `bits` bit positions. */
+u64
+runChained(const BitProgram &program, u64 a, u64 b, int bits,
+           bool carry_in)
+{
+    u64 result = 0;
+    bool carry = carry_in;
+    for (int i = 0; i < bits; ++i) {
+        bool cout = false;
+        const bool r = program.evaluate((a >> i) & 1, (b >> i) & 1,
+                                        carry, &cout);
+        result |= static_cast<u64>(r) << i;
+        carry = cout;
+    }
+    return result;
+}
+
+class AdderTest : public ::testing::TestWithParam<LogicFamilyKind>
+{
+};
+
+TEST_P(AdderTest, FullAdderTruthTable)
+{
+    LogicFamily family(GetParam());
+    const BitProgram fa = synthesizeMacro(MacroKind::Add, family);
+    ASSERT_TRUE(fa.hasCarryChain());
+    for (int a = 0; a <= 1; ++a)
+        for (int b = 0; b <= 1; ++b)
+            for (int c = 0; c <= 1; ++c) {
+                bool cout = false;
+                const bool sum = fa.evaluate(a, b, c, &cout);
+                EXPECT_EQ(sum, (a + b + c) & 1);
+                EXPECT_EQ(cout, (a + b + c) >= 2);
+            }
+}
+
+TEST_P(AdderTest, EightBitAdditionSweep)
+{
+    LogicFamily family(GetParam());
+    const BitProgram fa = synthesizeMacro(MacroKind::Add, family);
+    for (u64 a = 0; a < 256; a += 7)
+        for (u64 b = 0; b < 256; b += 11)
+            EXPECT_EQ(runChained(fa, a, b, 8, false), (a + b) & 0xFF);
+}
+
+TEST_P(AdderTest, SubtractionSweep)
+{
+    LogicFamily family(GetParam());
+    const BitProgram fs = synthesizeMacro(MacroKind::Sub, family);
+    ASSERT_TRUE(fs.hasCarryChain());
+    EXPECT_TRUE(initialCarry(MacroKind::Sub));
+    for (u64 a = 0; a < 256; a += 13)
+        for (u64 b = 0; b < 256; b += 17)
+            EXPECT_EQ(runChained(fs, a, b, 8, true), (a - b) & 0xFF);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFamilies, AdderTest,
+                         ::testing::Values(LogicFamilyKind::Oscar,
+                                           LogicFamilyKind::Ideal));
+
+TEST(Synthesis, OscarAdderCost)
+{
+    LogicFamily oscar(LogicFamilyKind::Oscar);
+    const BitProgram fa = synthesizeMacro(MacroKind::Add, oscar);
+    EXPECT_EQ(fa.opCount(), 11u);
+}
+
+TEST(Synthesis, IdealAdderCost)
+{
+    LogicFamily ideal(LogicFamilyKind::Ideal);
+    const BitProgram fa = synthesizeMacro(MacroKind::Add, ideal);
+    EXPECT_EQ(fa.opCount(), 5u);
+}
+
+TEST(Synthesis, IdealBeatsOscarOnEveryMacro)
+{
+    LogicFamily oscar(LogicFamilyKind::Oscar);
+    LogicFamily ideal(LogicFamilyKind::Ideal);
+    for (MacroKind kind :
+         {MacroKind::Not, MacroKind::And, MacroKind::Xor, MacroKind::Xnor,
+          MacroKind::Nand, MacroKind::Add, MacroKind::Sub,
+          MacroKind::Mux}) {
+        EXPECT_LE(synthesizeMacro(kind, ideal).opCount(),
+                  synthesizeMacro(kind, oscar).opCount())
+            << macroName(kind);
+    }
+}
+
+TEST(Synthesis, AdderFamilyGapNearPaperRatio)
+{
+    // Figure 7 reports ~2.1x throughput from the ideal logic family
+    // for digital PUM; the ADD gate-count ratio is the dominant term.
+    LogicFamily oscar(LogicFamilyKind::Oscar);
+    LogicFamily ideal(LogicFamilyKind::Ideal);
+    const double ratio =
+        static_cast<double>(
+            synthesizeMacro(MacroKind::Add, oscar).opCount()) /
+        static_cast<double>(
+            synthesizeMacro(MacroKind::Add, ideal).opCount());
+    EXPECT_GT(ratio, 1.8);
+    EXPECT_LT(ratio, 2.6);
+}
+
+TEST(Synthesis, MuxSelectsBetweenOperands)
+{
+    for (LogicFamilyKind kind :
+         {LogicFamilyKind::Oscar, LogicFamilyKind::Ideal}) {
+        LogicFamily family(kind);
+        const BitProgram mux = synthesizeMacro(MacroKind::Mux, family);
+        for (int a = 0; a <= 1; ++a)
+            for (int b = 0; b <= 1; ++b) {
+                EXPECT_EQ(mux.evaluate(a, b, false), a != 0);
+                EXPECT_EQ(mux.evaluate(a, b, true), b != 0);
+            }
+    }
+}
+
+TEST(Synthesis, ReferenceMacroSemantics)
+{
+    EXPECT_EQ(referenceMacro(MacroKind::Add, 200, 100, 8), 44u);
+    EXPECT_EQ(referenceMacro(MacroKind::Sub, 5, 10, 8), 251u);
+    EXPECT_EQ(referenceMacro(MacroKind::Xor, 0xF0, 0xFF, 8), 0x0Fu);
+    EXPECT_EQ(referenceMacro(MacroKind::Not, 0x0F, 0, 8), 0xF0u);
+    EXPECT_EQ(referenceMacro(MacroKind::Copy, 0xAB, 0, 8), 0xABu);
+    EXPECT_EQ(referenceMacro(MacroKind::Nor, 0x0F, 0x33, 8), 0xC0u);
+}
+
+TEST(Synthesis, BitwiseMacrosMatchReferenceViaPrograms)
+{
+    for (LogicFamilyKind kind :
+         {LogicFamilyKind::Oscar, LogicFamilyKind::Ideal}) {
+        LogicFamily family(kind);
+        for (MacroKind macro :
+             {MacroKind::And, MacroKind::Or, MacroKind::Nor,
+              MacroKind::Nand, MacroKind::Xor, MacroKind::Xnor}) {
+            const BitProgram p = synthesizeMacro(macro, family);
+            for (u64 a = 0; a < 16; ++a)
+                for (u64 b = 0; b < 16; ++b) {
+                    u64 result = 0;
+                    for (int i = 0; i < 4; ++i)
+                        result |= static_cast<u64>(p.evaluate(
+                                      (a >> i) & 1, (b >> i) & 1,
+                                      false))
+                                  << i;
+                    EXPECT_EQ(result,
+                              referenceMacro(macro, a, b, 4))
+                        << macroName(macro);
+                }
+        }
+    }
+}
+
+} // namespace
+} // namespace digital
+} // namespace darth

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the analog/digital arbiter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hct/Arbiter.h"
+
+namespace darth
+{
+namespace hct
+{
+namespace
+{
+
+TEST(Arbiter, StartsIdle)
+{
+    Arbiter arb;
+    EXPECT_EQ(arb.mode(), Mode::Idle);
+    EXPECT_EQ(arb.busyUntil(), 0u);
+}
+
+TEST(Arbiter, FirstAcquireHasNoPenalty)
+{
+    Arbiter arb;
+    EXPECT_EQ(arb.acquire(Mode::Analog, 5), 5u);
+    EXPECT_EQ(arb.mode(), Mode::Analog);
+    EXPECT_EQ(arb.switchCount(), 0u);
+}
+
+TEST(Arbiter, SerializesBehindOwner)
+{
+    Arbiter arb;
+    arb.acquire(Mode::Analog, 0);
+    arb.release(100);
+    // Same mode: wait for completion, no penalty.
+    EXPECT_EQ(arb.acquire(Mode::Analog, 10), 100u);
+}
+
+TEST(Arbiter, ModeSwitchAddsPenalty)
+{
+    Arbiter arb(3);
+    arb.acquire(Mode::Analog, 0);
+    arb.release(50);
+    EXPECT_EQ(arb.acquire(Mode::Digital, 0), 53u);
+    EXPECT_EQ(arb.switchCount(), 1u);
+}
+
+TEST(Arbiter, YoungerInstructionWaitsForOlder)
+{
+    // §4.2: a digital instruction dependent on an analog MVM (e.g.
+    // ReLU after MVM) stalls until the MVM completes.
+    Arbiter arb(1);
+    const Cycle mvm_start = arb.acquire(Mode::Analog, 0);
+    const Cycle mvm_done = mvm_start + 400;   // hundreds of cycles
+    arb.release(mvm_done);
+    const Cycle relu_start = arb.acquire(Mode::Digital, 10);
+    EXPECT_GE(relu_start, mvm_done);
+}
+
+TEST(Arbiter, ReleaseNeverMovesBackward)
+{
+    Arbiter arb;
+    arb.acquire(Mode::Analog, 0);
+    arb.release(100);
+    arb.release(50);
+    EXPECT_EQ(arb.busyUntil(), 100u);
+}
+
+TEST(Arbiter, ModeNames)
+{
+    EXPECT_STREQ(modeName(Mode::Idle), "idle");
+    EXPECT_STREQ(modeName(Mode::Analog), "analog");
+    EXPECT_STREQ(modeName(Mode::Digital), "digital");
+}
+
+} // namespace
+} // namespace hct
+} // namespace darth

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Integration tests for the front end: whole assembled programs
+ * executing against real HCTs, including the hybrid MVM path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/Assembler.h"
+#include "isa/FrontEnd.h"
+
+namespace darth
+{
+namespace isa
+{
+namespace
+{
+
+hct::HctConfig
+smallHct()
+{
+    hct::HctConfig cfg;
+    cfg.dce.numPipelines = 4;
+    cfg.dce.pipeline.depth = 32;
+    cfg.dce.pipeline.width = 8;
+    cfg.dce.pipeline.numRegs = 8;
+    cfg.ace.numArrays = 16;
+    cfg.ace.arrayRows = 16;
+    cfg.ace.arrayCols = 8;
+    return cfg;
+}
+
+TEST(FrontEnd, RunsDigitalProgram)
+{
+    hct::Hct hct(smallHct());
+    hct.loadVector(1, 0, {1, 2, 3, 4, 5, 6, 7, 8}, 16, 0);
+    hct.loadVector(1, 1, {10, 20, 30, 40, 50, 60, 70, 80}, 16, 0);
+
+    FrontEnd fe({&hct});
+    const auto stats = fe.run(assemble(R"(
+        dadd h0.p1 v2, v0, v1, 16
+        dsub h0.p1 v3, v1, v0, 16
+        dxor h0.p1 v4, v0, v1, 16
+        halt
+    )"));
+    EXPECT_EQ(stats.instructions, 4u);
+    EXPECT_GT(stats.completion, 0u);
+    EXPECT_EQ(hct.readVector(1, 2, 16),
+              (std::vector<i64>{11, 22, 33, 44, 55, 66, 77, 88}));
+    EXPECT_EQ(hct.readVector(1, 3, 16),
+              (std::vector<i64>{9, 18, 27, 36, 45, 54, 63, 72}));
+}
+
+TEST(FrontEnd, HybridMvmViaIsa)
+{
+    hct::Hct hct(smallHct());
+    MatrixI m(8, 8);
+    for (std::size_t r = 0; r < 8; ++r)
+        for (std::size_t c = 0; c < 8; ++c)
+            m(r, c) = static_cast<i64>((r + c) % 3) - 1;
+    hct.setMatrix(m, 1, 1);
+    hct.loadVector(0, 5, {1, 0, 1, 1, 0, 1, 0, 1}, 4, 0);
+
+    FrontEnd fe({&hct});
+    fe.run(assemble("amvm h0.p0 v5, 4\nhalt\n"));
+
+    const std::vector<i64> x = {1, 0, 1, 1, 0, 1, 0, 1};
+    // MVM results land in the reduction accumulator (VR 0, pipe 0).
+    const int acc_bits = hct.accumulatorBits(4);
+    const auto acc =
+        hct.readVector(0, 0, static_cast<std::size_t>(acc_bits));
+    const auto expected = hct.ace().referenceMvm(x);
+    for (std::size_t c = 0; c < 8; ++c)
+        EXPECT_EQ(acc[c], expected[c]) << "col " << c;
+}
+
+TEST(FrontEnd, ElementLoadProgram)
+{
+    hct::Hct hct(smallHct());
+    // Table in pipeline 2: entry t = 2t across registers 0..1.
+    for (u64 t = 0; t < 16; ++t)
+        hct.dce().pipeline(2).setElement(t / 8, t % 8, 2 * t);
+    hct.loadVector(1, 0, {0, 3, 5, 7, 9, 11, 13, 15}, 8, 0);
+
+    FrontEnd fe({&hct});
+    fe.run(assemble("eload h0.p1 v4, v0, p2, v0, 8\nhalt\n"));
+    EXPECT_EQ(hct.readVector(1, 4, 8),
+              (std::vector<i64>{0, 6, 10, 14, 18, 22, 26, 30}));
+}
+
+TEST(FrontEnd, IndependentHctsOverlap)
+{
+    hct::Hct a(smallHct()), b(smallHct());
+    for (hct::Hct *h : {&a, &b}) {
+        h->loadVector(0, 0, {1, 1, 1, 1, 1, 1, 1, 1}, 16, 0);
+        h->loadVector(0, 1, {2, 2, 2, 2, 2, 2, 2, 2}, 16, 0);
+    }
+    FrontEnd fe({&a, &b});
+    const auto both = fe.run(assemble(R"(
+        dadd h0.p0 v2, v0, v1, 16
+        dadd h1.p0 v2, v0, v1, 16
+        halt
+    )"));
+
+    hct::Hct c(smallHct());
+    c.loadVector(0, 0, {1, 1, 1, 1, 1, 1, 1, 1}, 16, 0);
+    c.loadVector(0, 1, {2, 2, 2, 2, 2, 2, 2, 2}, 16, 0);
+    FrontEnd single({&c});
+    const auto one = single.run(assemble(
+        "dadd h0.p0 v2, v0, v1, 16\nhalt\n"));
+
+    // Two tiles in parallel cost barely more than one (decode only).
+    EXPECT_LT(both.completion, 2 * one.completion);
+    EXPECT_LE(both.completion, one.completion + 4);
+}
+
+TEST(FrontEnd, SameHctSerializesDependentMacros)
+{
+    hct::Hct hct(smallHct());
+    hct.loadVector(0, 0, {5, 5, 5, 5, 5, 5, 5, 5}, 16, 0);
+    hct.loadVector(0, 1, {3, 3, 3, 3, 3, 3, 3, 3}, 16, 0);
+    FrontEnd fe({&hct});
+    fe.run(assemble(R"(
+        dadd h0.p0 v2, v0, v1, 16
+        dadd h0.p0 v3, v2, v2, 16
+        halt
+    )"));
+    EXPECT_EQ(hct.readVector(0, 3, 16),
+              (std::vector<i64>{16, 16, 16, 16, 16, 16, 16, 16}));
+}
+
+TEST(FrontEnd, HaltStopsExecution)
+{
+    hct::Hct hct(smallHct());
+    hct.loadVector(0, 0, {1, 1, 1, 1, 1, 1, 1, 1}, 16, 0);
+    hct.loadVector(0, 1, {1, 1, 1, 1, 1, 1, 1, 1}, 16, 0);
+    FrontEnd fe({&hct});
+    fe.run(assemble(R"(
+        halt
+        dadd h0.p0 v2, v0, v1, 16
+    )"));
+    EXPECT_EQ(hct.readVector(0, 2, 16),
+              (std::vector<i64>{0, 0, 0, 0, 0, 0, 0, 0}));
+}
+
+TEST(FrontEndDeath, MissingHctIsFatal)
+{
+    hct::Hct hct(smallHct());
+    FrontEnd fe({&hct});
+    EXPECT_THROW(fe.run(assemble("dadd h5.p0 v2, v0, v1, 16\n")),
+                 std::runtime_error);
+}
+
+TEST(FrontEndDeath, NoHctsIsFatal)
+{
+    EXPECT_THROW(FrontEnd({}), std::runtime_error);
+}
+
+} // namespace
+} // namespace isa
+} // namespace darth

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the hybrid ISA: mnemonics, binary encoding
+ * round-trips, and assembler/disassembler round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/Assembler.h"
+#include "isa/Encoding.h"
+#include "isa/Isa.h"
+
+namespace darth
+{
+namespace isa
+{
+namespace
+{
+
+TEST(Isa, MnemonicRoundTrip)
+{
+    for (Opcode op :
+         {Opcode::Nop, Opcode::Halt, Opcode::DAdd, Opcode::DXor,
+          Opcode::DRot, Opcode::ELoad, Opcode::AMvm, Opcode::Reserve,
+          Opcode::VACore, Opcode::AModeOff}) {
+        Opcode parsed;
+        ASSERT_TRUE(opcodeFromName(opcodeName(op), &parsed));
+        EXPECT_EQ(parsed, op);
+    }
+}
+
+TEST(Isa, UnknownMnemonicRejected)
+{
+    Opcode parsed;
+    EXPECT_FALSE(opcodeFromName("frobnicate", &parsed));
+}
+
+TEST(Encoding, CompactInstructionIsOneWord)
+{
+    Instruction inst;
+    inst.op = Opcode::DAdd;
+    inst.hct = 3;
+    inst.pipe = 7;
+    inst.dst = 2;
+    inst.srcA = 0;
+    inst.srcB = 1;
+    inst.bits = 16;
+    inst.imm = 5;
+    EXPECT_EQ(encodeInstruction(inst).size(), 1u);
+}
+
+TEST(Encoding, LargeImmediateUsesExtensionWord)
+{
+    Instruction inst;
+    inst.op = Opcode::DShl;
+    inst.imm = 300;
+    EXPECT_EQ(encodeInstruction(inst).size(), 2u);
+}
+
+TEST(Encoding, ProgramRoundTrip)
+{
+    Program program;
+    Instruction a;
+    a.op = Opcode::DXor;
+    a.hct = 1;
+    a.pipe = 2;
+    a.dst = 3;
+    a.srcA = 4;
+    a.srcB = 5;
+    a.bits = 32;
+    a.imm = 9;
+    Instruction b;
+    b.op = Opcode::AMvm;
+    b.hct = 0;
+    b.srcA = 7;
+    b.bits = 8;
+    b.imm = 1000;   // forces extended encoding
+    Instruction c;
+    c.op = Opcode::Halt;
+    program = {a, b, c};
+
+    const auto words = encodeProgram(program);
+    EXPECT_EQ(words.size(), 4u);   // 1 + 2 + 1
+    EXPECT_EQ(decodeProgram(words), program);
+}
+
+TEST(Encoding, TruncatedExtendedWordIsFatal)
+{
+    Instruction inst;
+    inst.op = Opcode::DShl;
+    inst.imm = 400;
+    auto words = encodeInstruction(inst);
+    words.pop_back();
+    EXPECT_THROW((void)decodeProgram(words), std::runtime_error);
+}
+
+TEST(Assembler, ParsesDigitalMacros)
+{
+    const Program p = assemble(R"(
+        # compute v2 = v0 + v1 on HCT 0, pipeline 1
+        dadd h0.p1 v2, v0, v1, 16
+        dxor h2.p3 v4, v5, v6, 8
+        halt
+    )");
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p[0].op, Opcode::DAdd);
+    EXPECT_EQ(p[0].hct, 0);
+    EXPECT_EQ(p[0].pipe, 1);
+    EXPECT_EQ(p[0].dst, 2);
+    EXPECT_EQ(p[0].srcA, 0);
+    EXPECT_EQ(p[0].srcB, 1);
+    EXPECT_EQ(p[0].bits, 16);
+    EXPECT_EQ(p[1].op, Opcode::DXor);
+    EXPECT_EQ(p[1].hct, 2);
+    EXPECT_EQ(p[2].op, Opcode::Halt);
+}
+
+TEST(Assembler, ParsesShiftsAndRotates)
+{
+    const Program p = assemble("dshl h0.p0 v3, v2, 16, 4\n"
+                               "drot h1.p2 v5, v5, 32, 8\n");
+    EXPECT_EQ(p[0].op, Opcode::DShl);
+    EXPECT_EQ(p[0].imm, 4);
+    EXPECT_EQ(p[1].op, Opcode::DRot);
+    EXPECT_EQ(p[1].bits, 32);
+    EXPECT_EQ(p[1].imm, 8);
+}
+
+TEST(Assembler, ParsesElementLoad)
+{
+    const Program p = assemble("eload h0.p1 v4, v0, p2, v8, 8\n");
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_EQ(p[0].op, Opcode::ELoad);
+    EXPECT_EQ(p[0].pipe, 1);
+    EXPECT_EQ(p[0].dst, 4);
+    EXPECT_EQ(p[0].srcA, 0);
+    EXPECT_EQ(p[0].imm & 0xFF, 2);        // table pipeline
+    EXPECT_EQ(p[0].imm >> 8, 8);          // table base register
+    EXPECT_EQ(p[0].bits, 8);
+}
+
+TEST(Assembler, ParsesHybridAndManagement)
+{
+    const Program p = assemble(R"(
+        vacore h0 8, 4
+        reserve h0.p3 v1
+        amvm h0.p0 v5, 8
+        amodeoff h1
+    )");
+    EXPECT_EQ(p[0].op, Opcode::VACore);
+    EXPECT_EQ(p[0].bits, 8);
+    EXPECT_EQ(p[0].imm, 4);
+    EXPECT_EQ(p[1].op, Opcode::Reserve);
+    EXPECT_EQ(p[1].dst, 1);
+    EXPECT_EQ(p[2].op, Opcode::AMvm);
+    EXPECT_EQ(p[2].srcA, 5);
+    EXPECT_EQ(p[2].bits, 8);
+    EXPECT_EQ(p[3].op, Opcode::AModeOff);
+    EXPECT_EQ(p[3].hct, 1);
+}
+
+TEST(Assembler, DisassembleAssembleRoundTrip)
+{
+    const Program original = assemble(R"(
+        vacore h0 4, 2
+        dadd h0.p1 v2, v0, v1, 16
+        dnot h0.p1 v3, v2, 16
+        dshl h0.p1 v4, v3, 16, 2
+        drot h0.p1 v4, v4, 16, 4
+        dselect h0.p1 v5, v4, v3, v2, 15, 16
+        eload h0.p1 v6, v5, p2, v0, 8
+        estore h0.p1 v6, v5, p2, v0, 8
+        amvm h0.p0 v6, 8
+        reserve h0.p2 v0
+        amodeoff h0
+        dmodeoff h0
+        nop
+        halt
+    )");
+    const Program round = assemble(disassemble(original));
+    EXPECT_EQ(round, original);
+}
+
+TEST(AssemblerDeath, SyntaxErrorsAreFatal)
+{
+    EXPECT_THROW((void)assemble("dadd h0.p0 v1, v2\n"),
+                 std::runtime_error);
+    EXPECT_THROW((void)assemble("bogus h0\n"), std::runtime_error);
+    EXPECT_THROW((void)assemble("dadd x0.p0 v1, v2, v3, 8\n"),
+                 std::runtime_error);
+}
+
+TEST(Assembler, IgnoresCommentsAndBlankLines)
+{
+    const Program p = assemble("\n  # just a comment\n\nnop\n");
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_EQ(p[0].op, Opcode::Nop);
+}
+
+} // namespace
+} // namespace isa
+} // namespace darth

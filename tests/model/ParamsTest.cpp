@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the Table 2/3 area, power, and chip models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/Params.h"
+
+namespace darth
+{
+namespace model
+{
+namespace
+{
+
+TEST(HctGeometry, Table2Defaults)
+{
+    HctGeometry g;
+    EXPECT_EQ(g.dcePipelines, 64u);
+    EXPECT_EQ(g.dcePipelineDepth, 64u);
+    EXPECT_EQ(g.aceArrays, 64u);
+    EXPECT_EQ(g.numAdcs(analog::AdcKind::Sar), 8u);
+    EXPECT_EQ(g.numAdcs(analog::AdcKind::Ramp), 1u);
+}
+
+TEST(HctGeometry, StorageBits)
+{
+    HctGeometry g;
+    // DCE: 64 pipelines x 64 arrays x 64x64 bits; ACE: 64 x 64x64.
+    const u64 expected =
+        64ull * 64 * 64 * 64 + 64ull * 64 * 64;
+    EXPECT_EQ(g.bitsPerHct(), expected);
+}
+
+TEST(AreaModel, HctAreaComponentsAddUp)
+{
+    AreaModel a;
+    const double dce = a.dceArea();
+    EXPECT_NEAR(dce, 240 + 74000 + 9600 + 280 + 64, 1e-9);
+    const double ace_sar = a.aceArea(analog::AdcKind::Sar, 8);
+    EXPECT_NEAR(ace_sar, 240 + 27000 + 13000 + 8 * 600 + 8 * 62, 1e-9);
+}
+
+TEST(AreaModel, RampAceLargerThanSar)
+{
+    AreaModel a;
+    EXPECT_GT(a.aceArea(analog::AdcKind::Ramp, 1),
+              a.aceArea(analog::AdcKind::Sar, 8));
+}
+
+TEST(AreaModel, IsoAreaHctCountNearPaper)
+{
+    // Paper: 1860 HCTs with SAR ADCs, 1660 with ramp, in 2.57 cm^2.
+    AreaModel a;
+    const std::size_t sar = a.isoAreaHctCount(analog::AdcKind::Sar, 8);
+    const std::size_t ramp =
+        a.isoAreaHctCount(analog::AdcKind::Ramp, 1);
+    EXPECT_NEAR(static_cast<double>(sar), 1860.0, 120.0);
+    EXPECT_NEAR(static_cast<double>(ramp), 1660.0, 160.0);
+    EXPECT_GT(sar, ramp);
+}
+
+TEST(ChipModel, CapacityNearPaper)
+{
+    // Paper: 4.1 GB (SAR) / 3.7 GB (ramp).
+    ChipModel sar;
+    sar.adc = analog::AdcKind::Sar;
+    EXPECT_NEAR(sar.capacityBytes() / 1e9, 4.1, 0.4);
+    ChipModel ramp;
+    ramp.adc = analog::AdcKind::Ramp;
+    EXPECT_NEAR(ramp.capacityBytes() / 1e9, 3.7, 0.4);
+    EXPECT_GT(sar.capacityBytes(), ramp.capacityBytes());
+}
+
+TEST(PowerModel, FrontEndShare)
+{
+    PowerModel p;
+    // 63 mW shared by 8 HCTs at 1 GHz = 7.875 pJ/cycle/HCT.
+    EXPECT_NEAR(p.frontEndEnergyPJ(1), 7.875, 1e-9);
+    EXPECT_NEAR(p.frontEndEnergyPJ(1000), 7875.0, 1e-6);
+}
+
+TEST(PowerModel, Table3Defaults)
+{
+    PowerModel p;
+    EXPECT_DOUBLE_EQ(p.arrayBoolOpPJ, 8.0);
+    EXPECT_DOUBLE_EQ(p.sarAdcPJ, 1.5);
+    EXPECT_DOUBLE_EQ(p.rampAdcPerCyclePJ, 1.2);
+    EXPECT_DOUBLE_EQ(p.rowPeripheryPJ, 0.7);
+}
+
+} // namespace
+} // namespace model
+} // namespace darth

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for CellArray.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reram/CellArray.h"
+
+namespace darth
+{
+namespace reram
+{
+namespace
+{
+
+TEST(CellArray, Geometry)
+{
+    CellArray arr(64, 64);
+    EXPECT_EQ(arr.rows(), 64u);
+    EXPECT_EQ(arr.cols(), 64u);
+}
+
+TEST(CellArray, ProgramReadRoundTripIdeal)
+{
+    CellArray arr(8, 8);
+    for (std::size_t r = 0; r < 8; ++r)
+        for (std::size_t c = 0; c < 8; ++c)
+            arr.program(r, c, static_cast<int>((r + c) % 2));
+    for (std::size_t r = 0; r < 8; ++r)
+        for (std::size_t c = 0; c < 8; ++c)
+            EXPECT_EQ(arr.readCode(r, c), static_cast<int>((r + c) % 2));
+}
+
+TEST(CellArray, ProgramMatrix)
+{
+    CellArray arr(4, 4);
+    MatrixI codes(4, 4);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            codes(r, c) = static_cast<i64>((r * 4 + c) % 2);
+    arr.programMatrix(codes);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_EQ(arr.programmedCode(r, c),
+                      static_cast<int>(codes(r, c)));
+}
+
+TEST(CellArray, ConductanceMatrixShape)
+{
+    CellArray arr(3, 5);
+    const MatrixD g = arr.conductanceMatrix();
+    EXPECT_EQ(g.rows(), 3u);
+    EXPECT_EQ(g.cols(), 5u);
+}
+
+TEST(CellArray, ProgramCountAccumulates)
+{
+    CellArray arr(2, 2);
+    EXPECT_EQ(arr.programCount(), 0u);
+    arr.program(0, 0, 1);
+    arr.program(1, 1, 0);
+    EXPECT_EQ(arr.programCount(), 2u);
+}
+
+TEST(CellArray, StuckAtFaultsAppearAtConfiguredRate)
+{
+    NoiseModel noisy;
+    noisy.stuckAtRate = 0.05;
+    CellArray arr(128, 128, DeviceParams{}, noisy, 99);
+    const double rate = static_cast<double>(arr.stuckCellCount()) /
+                        static_cast<double>(arr.rows() * arr.cols());
+    EXPECT_NEAR(rate, 0.05, 0.015);
+}
+
+TEST(CellArray, NoStuckCellsWhenIdeal)
+{
+    CellArray arr(64, 64);
+    EXPECT_EQ(arr.stuckCellCount(), 0u);
+}
+
+TEST(CellArray, MlcRoundTripIdeal)
+{
+    DeviceParams p;
+    p.levels = 16;
+    CellArray arr(8, 8, p);
+    for (std::size_t r = 0; r < 8; ++r)
+        for (std::size_t c = 0; c < 8; ++c)
+            arr.program(r, c, static_cast<int>((r * 8 + c) % 16));
+    for (std::size_t r = 0; r < 8; ++r)
+        for (std::size_t c = 0; c < 8; ++c)
+            EXPECT_EQ(arr.readCode(r, c),
+                      static_cast<int>((r * 8 + c) % 16));
+}
+
+TEST(CellArrayDeath, BadLevelCodePanics)
+{
+    CellArray arr(2, 2);
+    EXPECT_DEATH(arr.program(0, 0, 2), "level code");
+    EXPECT_DEATH(arr.program(0, 0, -1), "level code");
+}
+
+TEST(CellArrayDeath, OutOfRangeCellPanics)
+{
+    CellArray arr(2, 2);
+    EXPECT_DEATH(arr.program(2, 0, 1), "out of range");
+}
+
+TEST(CellArrayDeath, ZeroSizeIsFatal)
+{
+    EXPECT_THROW(CellArray(0, 4), std::runtime_error);
+}
+
+TEST(CellArray, DeterministicAcrossSeeds)
+{
+    NoiseModel noisy;
+    noisy.programSigma = 0.05;
+    CellArray a(16, 16, DeviceParams{}, noisy, 7);
+    CellArray b(16, 16, DeviceParams{}, noisy, 7);
+    for (std::size_t r = 0; r < 16; ++r)
+        for (std::size_t c = 0; c < 16; ++c) {
+            a.program(r, c, 1);
+            b.program(r, c, 1);
+        }
+    for (std::size_t r = 0; r < 16; ++r)
+        for (std::size_t c = 0; c < 16; ++c)
+            EXPECT_DOUBLE_EQ(a.readConductance(r, c),
+                             b.readConductance(r, c));
+}
+
+} // namespace
+} // namespace reram
+} // namespace darth

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the ReRAM device model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reram/Device.h"
+
+namespace darth
+{
+namespace reram
+{
+namespace
+{
+
+TEST(DeviceParams, LevelConductances)
+{
+    DeviceParams p;
+    p.gMin = 1e-6;
+    p.gMax = 1e-4;
+    p.levels = 2;
+    EXPECT_DOUBLE_EQ(p.levelConductance(0), 1e-6);
+    EXPECT_DOUBLE_EQ(p.levelConductance(1), 1e-4);
+}
+
+TEST(DeviceParams, MultiLevelStepsAreUniform)
+{
+    DeviceParams p;
+    p.levels = 4;
+    const double step = p.levelStep();
+    for (int code = 0; code < 3; ++code)
+        EXPECT_NEAR(p.levelConductance(code + 1) -
+                        p.levelConductance(code),
+                    step, 1e-15);
+}
+
+TEST(Device, IdealProgramReadRoundTrip)
+{
+    DeviceParams p;
+    p.levels = 4;
+    Device d;
+    d.init(p, StuckState::None);
+    NoiseModel ideal;
+    for (int code = 0; code < 4; ++code) {
+        d.program(p, code, ideal, nullptr);
+        EXPECT_DOUBLE_EQ(d.conductance(), p.levelConductance(code));
+        EXPECT_EQ(d.readCode(p, ideal, nullptr), code);
+    }
+}
+
+TEST(Device, ProgrammingNoisePerturbsConductance)
+{
+    DeviceParams p;
+    Device d;
+    d.init(p, StuckState::None);
+    NoiseModel noisy;
+    noisy.programSigma = 0.1;
+    Rng rng(11);
+    d.program(p, 1, noisy, &rng);
+    EXPECT_NE(d.conductance(), p.levelConductance(1));
+    // Multiplicative noise keeps conductance positive.
+    EXPECT_GT(d.conductance(), 0.0);
+}
+
+TEST(Device, StuckLowIgnoresProgramming)
+{
+    DeviceParams p;
+    Device d;
+    d.init(p, StuckState::StuckLow);
+    NoiseModel ideal;
+    d.program(p, 1, ideal, nullptr);
+    EXPECT_DOUBLE_EQ(d.conductance(), p.gMin);
+}
+
+TEST(Device, StuckHighIgnoresProgramming)
+{
+    DeviceParams p;
+    Device d;
+    d.init(p, StuckState::StuckHigh);
+    NoiseModel ideal;
+    d.program(p, 0, ideal, nullptr);
+    EXPECT_DOUBLE_EQ(d.conductance(), p.gMax);
+}
+
+TEST(Device, ReadNoiseIsZeroMean)
+{
+    DeviceParams p;
+    Device d;
+    d.init(p, StuckState::None);
+    NoiseModel noisy;
+    noisy.readSigma = 0.02;
+    Rng rng(12);
+    d.program(p, 1, NoiseModel{}, nullptr);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += d.read(p, noisy, &rng);
+    EXPECT_NEAR(sum / n, p.gMax, p.gMax * 0.01);
+}
+
+TEST(Device, DriftReducesConductance)
+{
+    DeviceParams p;
+    Device d;
+    d.init(p, StuckState::None);
+    NoiseModel drifty;
+    drifty.driftNu = 0.1;
+    d.program(p, 1, NoiseModel{}, nullptr);
+    const Siemens fresh = d.read(p, drifty, nullptr, 1.0);
+    const Siemens aged = d.read(p, drifty, nullptr, 1000.0);
+    EXPECT_LT(aged, fresh);
+}
+
+TEST(Device, SlcReadCodeRobustToModerateNoise)
+{
+    // SLC digital PUM stays bit-exact as long as noise is far below
+    // half the G_max - G_min gap (the paper's premise for digital
+    // error resilience).
+    DeviceParams p;
+    Device d;
+    d.init(p, StuckState::None);
+    NoiseModel noisy;
+    noisy.programSigma = 0.05;
+    noisy.readSigma = 0.02;
+    Rng rng(13);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const int code = trial % 2;
+        d.program(p, code, noisy, &rng);
+        EXPECT_EQ(d.readCode(p, noisy, &rng), code);
+    }
+}
+
+TEST(NoiseModel, IdealDetection)
+{
+    NoiseModel nm;
+    EXPECT_TRUE(nm.ideal());
+    nm.readSigma = 0.01;
+    EXPECT_FALSE(nm.ideal());
+    EXPECT_FALSE(NoiseModel::realistic().ideal());
+}
+
+} // namespace
+} // namespace reram
+} // namespace darth

@@ -24,6 +24,7 @@
 #include "apps/llm/LlmMapper.h"
 #include "baselines/Systems.h"
 #include "model/Params.h"
+#include "runtime/Runtime.h"
 
 namespace darth
 {
@@ -48,6 +49,22 @@ constexpr double kAesBlocksPerPipelineBatch = 4.0;
  *  limits"). */
 constexpr double kDigitalActivePipes = 2.0;
 constexpr double kDigitalTotalPipes = 64.0;
+
+/** Medium chip used by the scheduler/MVM benches (32x32 shapes). */
+inline runtime::ChipConfig
+mediumMvmChip(std::size_t num_hcts)
+{
+    runtime::ChipConfig cfg;
+    cfg.hct.dce.numPipelines = 2;
+    cfg.hct.dce.pipeline.depth = 32;
+    cfg.hct.dce.pipeline.width = 32;
+    cfg.hct.dce.pipeline.numRegs = 8;
+    cfg.hct.ace.numArrays = 16;
+    cfg.hct.ace.arrayRows = 64;
+    cfg.hct.ace.arrayCols = 32;
+    cfg.numHcts = num_hcts;
+    return cfg;
+}
 
 /** Full HCT configuration for an ADC kind, with AES early-exit. */
 inline hct::HctConfig

@@ -9,6 +9,7 @@
 
 #include "BenchUtil.h"
 #include "common/Random.h"
+#include "runtime/Runtime.h"
 
 namespace
 {
@@ -40,9 +41,14 @@ mvmLatency(const hct::HctConfig &cfg)
     std::vector<i64> x(32);
     for (auto &v : x)
         v = rng.uniformInt(i64{0}, i64{15});
-    hct::Hct hct(cfg);
-    hct.setMatrix(m, 3, 1);
-    return hct.execMvm(x, 4, 0).done;
+    runtime::ChipConfig chip_cfg;
+    chip_cfg.hct = cfg;
+    chip_cfg.numHcts = 1;
+    runtime::Chip chip(chip_cfg);
+    runtime::Runtime rt(chip);
+    runtime::Session session = rt.createSession();
+    const auto handle = session.setMatrixBits(m, 3, 1);
+    return session.execMVM(handle, x, 4).done;
 }
 
 } // namespace

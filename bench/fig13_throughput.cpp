@@ -11,7 +11,9 @@
 #include <cstdio>
 
 #include "BenchUtil.h"
+#include "common/Random.h"
 #include "common/Stats.h"
+#include "runtime/Runtime.h"
 
 int
 main()
@@ -91,5 +93,44 @@ main()
                 "ResNet %.3g inf/s, LLMEnc %.3g enc/s\n",
                 darth_aes.throughput, darth_cnn.throughput,
                 darth_llm.throughput);
+
+    // Scheduler cross-check: the mapper throughputs above assume
+    // back-to-back MVMs stream at the KernelModel amortized rate.
+    // Run a real batch through the submission scheduler and compare
+    // the measured per-MVM spacing against the oracle.
+    const runtime::ChipConfig chip_cfg = mediumMvmChip(1);
+    runtime::Chip chip(chip_cfg);
+    runtime::Runtime rt(chip);
+    runtime::Session session = rt.createSession();
+
+    Rng rng(17);
+    MatrixI m(32, 32);
+    for (std::size_t r = 0; r < 32; ++r)
+        for (std::size_t c = 0; c < 32; ++c)
+            m(r, c) = rng.uniformInt(i64{-7}, i64{7});
+    const auto handle = session.setMatrixBits(m, 3, 1);
+    std::vector<i64> x(32, 3);
+
+    constexpr std::size_t kBatch = 16;
+    std::vector<runtime::MvmFuture> futures;
+    for (std::size_t i = 0; i < kBatch; ++i)
+        futures.push_back(session.submit(handle, x, 4));
+    Cycle first_done = 0, last_done = 0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        const auto result = session.wait(futures[i]);
+        if (i == 0)
+            first_done = result.done;
+        last_done = result.done;
+    }
+    const double measured_amortized =
+        static_cast<double>(last_done - first_done) /
+        static_cast<double>(kBatch - 1);
+    runtime::KernelModel km(chip_cfg.hct);
+    runtime::MvmShape shape{32, 32, 3, 1, 4};
+    std::printf("\n  scheduler cross-check (32x32 stream of %zu): "
+                "%.1f cycles/MVM measured, %llu amortized oracle\n",
+                kBatch, measured_amortized,
+                static_cast<unsigned long long>(
+                    km.mvm(shape).amortized));
     return 0;
 }

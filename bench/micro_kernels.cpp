@@ -9,11 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "BenchUtil.h"
 #include "analog/Crossbar.h"
 #include "apps/aes/AesPum.h"
 #include "common/Random.h"
 #include "digital/Pipeline.h"
-#include "hct/Hct.h"
+#include "runtime/Runtime.h"
 
 namespace
 {
@@ -69,30 +70,57 @@ BENCHMARK(BM_CrossbarMvm);
 void
 BM_HybridMvm32x32(benchmark::State &state)
 {
-    hct::HctConfig cfg;
-    cfg.dce.numPipelines = 2;
-    cfg.dce.pipeline.depth = 32;
-    cfg.dce.pipeline.width = 32;
-    cfg.dce.pipeline.numRegs = 8;
-    cfg.ace.numArrays = 16;
-    cfg.ace.arrayRows = 64;
-    cfg.ace.arrayCols = 32;
-    hct::Hct hct(cfg);
+    runtime::Chip chip(bench::mediumMvmChip(1));
+    runtime::Runtime rt(chip);
+    runtime::Session session = rt.createSession();
     Rng rng(6);
     MatrixI m(32, 32);
     for (std::size_t r = 0; r < 32; ++r)
         for (std::size_t c = 0; c < 32; ++c)
             m(r, c) = rng.uniformInt(i64{-7}, i64{7});
-    hct.setMatrix(m, 3, 1);
+    const auto handle = session.setMatrixBits(m, 3, 1);
     std::vector<i64> x(32, 3);
     Cycle t = 0;
     for (auto _ : state) {
-        auto result = hct.execMvm(x, 4, t);
+        auto result = session.execMVM(handle, x, 4, t);
         t = result.done;
         benchmark::DoNotOptimize(result);
     }
 }
 BENCHMARK(BM_HybridMvm32x32);
+
+void
+BM_SchedulerBatch64(benchmark::State &state)
+{
+    // 64 MVMs across 4 matrices on 4 tiles, all submitted before the
+    // first wait: measures the host-side cost of the submission
+    // queue + greedy packing machinery.
+    runtime::Chip chip(bench::mediumMvmChip(4));
+    runtime::Runtime rt(chip);
+    runtime::Session session = rt.createSession();
+    Rng rng(7);
+    std::vector<runtime::MatrixHandle> handles;
+    for (std::size_t i = 0; i < 4; ++i) {
+        MatrixI m(32, 32);
+        for (std::size_t r = 0; r < 32; ++r)
+            for (std::size_t c = 0; c < 32; ++c)
+                m(r, c) = rng.uniformInt(i64{-7}, i64{7});
+        handles.push_back(session.setMatrixBits(m, 3, 1));
+    }
+    std::vector<i64> x(32, 2);
+    for (auto _ : state) {
+        std::vector<runtime::MvmFuture> futures;
+        futures.reserve(64);
+        for (std::size_t i = 0; i < 64; ++i)
+            futures.push_back(
+                session.submit(handles[i % handles.size()], x, 4));
+        for (const auto &future : futures) {
+            auto result = session.wait(future);
+            benchmark::DoNotOptimize(result);
+        }
+    }
+}
+BENCHMARK(BM_SchedulerBatch64);
 
 void
 BM_AesEncryptBlock(benchmark::State &state)

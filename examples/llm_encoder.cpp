@@ -57,5 +57,39 @@ main()
                 static_cast<double>(digital.latency) / 1e6,
                 static_cast<double>(digital.latency) /
                     static_cast<double>(hybrid.latency));
-    return 0;
+
+    // Functional session stream: place the small encoder's real Q
+    // projection on a chip and push the whole token batch through the
+    // scheduler before waiting (one MVM per token row).
+    runtime::ChipConfig chip_cfg;
+    chip_cfg.hct.dce.numPipelines = 4;
+    chip_cfg.hct.dce.pipeline.depth = 32;
+    chip_cfg.hct.dce.pipeline.width = 32;
+    chip_cfg.hct.dce.pipeline.numRegs = 8;
+    chip_cfg.hct.ace.numArrays = 8;
+    chip_cfg.hct.ace.arrayRows = 128;   // 64 signed rows per crossbar
+    chip_cfg.hct.ace.arrayCols = 32;
+    chip_cfg.numHcts = 2;
+    runtime::Chip chip(chip_cfg);
+    runtime::Runtime rt(chip);
+    runtime::Session session = rt.createSession();
+
+    LlmMapper stream_mapper(chip_cfg.hct);
+    const auto stream =
+        stream_mapper.runProjectionStream(session, enc.wq(), tokens);
+
+    bool exact = true;
+    for (std::size_t r = 0; r < tokens.rows(); ++r)
+        for (std::size_t c = 0; c < enc.wq().cols(); ++c) {
+            i64 acc = 0;
+            for (std::size_t k = 0; k < enc.wq().rows(); ++k)
+                acc += enc.wq()(k, c) * tokens(r, k);
+            exact = exact && acc == stream.output(r, c);
+        }
+    std::printf("\nQ-projection session stream: %zu tokens on %zu "
+                "HCT(s), batch done at cycle %llu, bit-exact: %s\n",
+                tokens.rows(), stream.hctsUsed,
+                static_cast<unsigned long long>(stream.done),
+                exact ? "yes" : "NO");
+    return exact ? 0 : 1;
 }

@@ -1,7 +1,8 @@
 /**
  * @file
- * Quickstart: program a matrix into a DARTH-PUM chip through the
- * Table 1 runtime API and run a hybrid MVM.
+ * Quickstart: open a session on a DARTH-PUM chip, place a matrix, and
+ * keep a batch of MVMs in flight through the submission scheduler
+ * before collecting the results.
  *
  *   $ ./quickstart
  */
@@ -28,39 +29,60 @@ main()
     runtime::Chip chip(cfg);
     runtime::Runtime rt(chip);
 
+    // Each client opens its own session; handles are RAII-owned and
+    // the tiles return to the free pool when a handle goes away.
+    runtime::Session session = rt.createSession();
+
     // A signed 8x8 matrix with 3-bit elements at SLC precision
-    // (precision scale 0 -> 1 bit per cell, Table 1 setMatrix()).
+    // (precision scale 0 -> 1 bit per cell).
     MatrixI m(8, 8);
     for (std::size_t r = 0; r < 8; ++r)
         for (std::size_t c = 0; c < 8; ++c)
             m(r, c) = static_cast<i64>((r * 3 + c * 5) % 7) - 3;
-    const int handle = rt.setMatrix(m, /*element_size=*/3,
-                                    /*precision=*/0);
+    runtime::MatrixHandle handle =
+        session.setMatrix(m, /*element_bits=*/3, /*precision=*/0);
     std::printf("matrix planned over %zu HCT part(s)\n",
-                rt.plan(handle).parts.size());
+                handle.plan().parts.size());
 
-    // Hybrid MVM: bit-serial analog multiply, shift units place the
-    // ADC outputs, the DCE reduces with pipelined ADDs.
-    const std::vector<i64> x = {1, -2, 3, 0, 2, -1, 1, 2};
-    const auto result = rt.execMVM(handle, x, /*input_bits=*/4);
+    // Submit a batch of MVMs — all in flight before the first wait.
+    // The scheduler packs them onto the owning tile back to back.
+    const std::vector<std::vector<i64>> batch = {
+        {1, -2, 3, 0, 2, -1, 1, 2},
+        {0, 1, 1, -1, 0, 2, -2, 1},
+        {3, 0, -1, 2, 1, 1, 0, -2},
+        {-1, -1, 2, 2, 0, 1, 3, 0},
+    };
+    std::vector<runtime::MvmFuture> futures;
+    for (const auto &x : batch)
+        futures.push_back(session.submit(handle, x, /*input_bits=*/4));
+    std::printf("%zu MVMs in flight\n", futures.size());
 
-    std::printf("y = M x = [");
-    for (std::size_t c = 0; c < result.values.size(); ++c)
-        std::printf("%s%lld", c ? ", " : "",
-                    static_cast<long long>(result.values[c]));
-    std::printf("]\n");
-    std::printf("completed at cycle %llu (1 GHz -> %.1f ns)\n",
-                static_cast<unsigned long long>(result.done),
-                static_cast<double>(result.done));
-
-    // Cross-check against plain integer math.
+    // Collect. Results are bit-exact integers; the done stamps show
+    // the back-to-back schedule on the tile.
     bool ok = true;
-    for (std::size_t c = 0; c < 8; ++c) {
-        i64 acc = 0;
-        for (std::size_t r = 0; r < 8; ++r)
-            acc += m(r, c) * x[r];
-        ok = ok && acc == result.values[c];
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        const auto result = session.wait(futures[i]);
+        std::printf("y[%zu] = [", i);
+        for (std::size_t c = 0; c < result.values.size(); ++c)
+            std::printf("%s%lld", c ? ", " : "",
+                        static_cast<long long>(result.values[c]));
+        std::printf("]  (cycles %llu..%llu)\n",
+                    static_cast<unsigned long long>(result.start),
+                    static_cast<unsigned long long>(result.done));
+
+        // Cross-check against plain integer math.
+        for (std::size_t c = 0; c < 8; ++c) {
+            i64 acc = 0;
+            for (std::size_t r = 0; r < 8; ++r)
+                acc += m(r, c) * batch[i][r];
+            ok = ok && acc == result.values[c];
+        }
     }
+
+    // Releasing the handle reclaims the tile for the next placement.
+    handle.release();
+    std::printf("free HCTs after release: %zu of %zu\n", rt.freeHcts(),
+                chip.numHcts());
     std::printf("bit-exact vs reference: %s\n", ok ? "yes" : "NO");
     return ok ? 0 : 1;
 }

@@ -32,18 +32,48 @@ constexpr std::size_t kGatherVr = 8;     // state copy for ShiftRows
 constexpr std::size_t kComputePipe = 0;
 constexpr std::size_t kTablePipe = 1;
 
+runtime::ChipConfig
+singleTileChip(const hct::HctConfig &cfg)
+{
+    runtime::ChipConfig chip;
+    chip.hct = cfg;
+    chip.numHcts = 1;
+    return chip;
+}
+
 } // namespace
 
 AesPum::AesPum(const hct::HctConfig &cfg, u64 seed)
-    : hct_(cfg, &tally_, seed)
+    : ownedChip_(std::make_unique<runtime::Chip>(singleTileChip(cfg),
+                                                 seed)),
+      ownedRuntime_(std::make_unique<runtime::Runtime>(*ownedChip_)),
+      rt_(ownedRuntime_.get()), session_(rt_->createSession())
 {
     checkConfig();
+}
+
+AesPum::AesPum(runtime::Runtime &rt)
+    : rt_(&rt), session_(rt.createSession())
+{
+    checkConfig();
+}
+
+const CostTally &
+AesPum::tally() const
+{
+    return rt_->chip().tally();
+}
+
+hct::Hct &
+AesPum::hct()
+{
+    return rt_->chip().hct(tile_);
 }
 
 void
 AesPum::checkConfig() const
 {
-    const auto &cfg = hct_.config();
+    const auto &cfg = rt_->chip().config().hct;
     if (cfg.dce.pipeline.width < 16)
         darth_fatal("AesPum: DCE pipelines need >= 16 elements for "
                     "the 16 state bytes");
@@ -75,12 +105,27 @@ void
 AesPum::initArrays(const std::vector<u8> &key)
 {
     roundKeys_ = expandKey(key, KeySize::Aes128);
-    const std::size_t width = hct_.config().dce.pipeline.width;
+
+    // MixColumns matrix, remapped 0/1 -> -1/+1 (§4.3), placed through
+    // the session with 1-bit cells (precision scale 0). The placement
+    // decides which tile this engine owns. The compensation constant
+    // is data dependent (popcount of the input column) and is loaded
+    // per MVM.
+    const MatrixI remapped =
+        analog::Compensation::remapBinary(mixColumnsGf2Matrix());
+    // Re-keying re-places the matrix: release the old placement
+    // first so its tile is free (no-op on first init).
+    mixColumns_.release();
+    mixColumns_ = session_.setMatrix(remapped, 1, 0);
+    tile_ = mixColumns_.plan().parts[0].hctIndex;
+
+    const std::size_t width =
+        rt_->chip().config().hct.dce.pipeline.width;
     Cycle t = now_;
 
     // S-box into the table pipeline (256 row writes through the I/O
     // port).
-    digital::Pipeline &table = hct_.dce().pipeline(kTablePipe);
+    digital::Pipeline &table = hct().dce().pipeline(kTablePipe);
     for (std::size_t i = 0; i < 256; ++i) {
         table.setElement(kSboxBaseVr + i / width, i % width,
                          sbox()[i]);
@@ -89,7 +134,7 @@ AesPum::initArrays(const std::vector<u8> &key)
 
     // ShiftRows permutation addresses: dst element e takes state byte
     // perm[e]; state[r + 4c] <- state[r + 4((c + r) % 4)].
-    digital::Pipeline &compute = hct_.dce().pipeline(kComputePipe);
+    digital::Pipeline &compute = hct().dce().pipeline(kComputePipe);
     for (std::size_t r = 0; r < 4; ++r)
         for (std::size_t c = 0; c < 4; ++c)
             compute.setElement(kPermVr, r + 4 * c,
@@ -103,13 +148,6 @@ AesPum::initArrays(const std::vector<u8> &key)
         t += 16;
     }
 
-    // MixColumns matrix, remapped 0/1 -> -1/+1 (§4.3), into the ACE
-    // with 1-bit cells. The compensation constant is data dependent
-    // (popcount of the input column) and is loaded per MVM.
-    const MatrixI remapped =
-        analog::Compensation::remapBinary(mixColumnsGf2Matrix());
-    hct_.setMatrix(remapped, 1, 1);
-
     now_ = t;
     initialized_ = true;
 }
@@ -119,8 +157,8 @@ AesPum::copyElements(std::size_t src_pipe, std::size_t src_vr,
                      std::size_t dst_pipe, std::size_t dst_vr,
                      std::size_t count, std::size_t bits, Cycle start)
 {
-    digital::Pipeline &src = hct_.dce().pipeline(src_pipe);
-    digital::Pipeline &dst = hct_.dce().pipeline(dst_pipe);
+    digital::Pipeline &src = hct().dce().pipeline(src_pipe);
+    digital::Pipeline &dst = hct().dce().pipeline(dst_pipe);
     Cycle t = start;
     for (std::size_t e = 0; e < count; ++e) {
         const u64 value = src.readRow(src_vr, e, t);
@@ -136,7 +174,8 @@ AesPum::encrypt(const Block &plaintext)
         darth_fatal("AesPum::encrypt: call initArrays() first");
 
     breakdown_ = AesKernelBreakdown{};
-    digital::Pipeline &compute = hct_.dce().pipeline(kComputePipe);
+    hct::Hct &tile = hct();
+    digital::Pipeline &compute = tile.dce().pipeline(kComputePipe);
     const Cycle start = now_;
     Cycle t = start;
 
@@ -147,16 +186,16 @@ AesPum::encrypt(const Block &plaintext)
 
     auto add_round_key = [&](std::size_t round) {
         const Cycle begin = t;
-        t = hct_.digitalMacro(kComputePipe, digital::MacroKind::Xor,
+        t = tile.digitalMacro(kComputePipe, digital::MacroKind::Xor,
                               kStateVr, kStateVr, kKeyVr0 + round, 8, t);
         breakdown_.addRoundKey += t - begin;
     };
 
     auto sub_bytes = [&] {
         const Cycle begin = t;
-        t = hct_.elementLoad(kComputePipe, kTmpVr, kStateVr, kTablePipe,
+        t = tile.elementLoad(kComputePipe, kTmpVr, kStateVr, kTablePipe,
                              kSboxBaseVr, 8, t);
-        t = hct_.digitalMacro(kComputePipe, digital::MacroKind::Copy,
+        t = tile.digitalMacro(kComputePipe, digital::MacroKind::Copy,
                               kStateVr, kTmpVr, kTmpVr, 8, t);
         breakdown_.subBytes += t - begin;
     };
@@ -167,7 +206,7 @@ AesPum::encrypt(const Block &plaintext)
         // with the constant permutation addresses.
         t = copyElements(kComputePipe, kStateVr, kTablePipe, kGatherVr,
                          16, 8, t);
-        t = hct_.elementLoad(kComputePipe, kStateVr, kPermVr,
+        t = tile.elementLoad(kComputePipe, kStateVr, kPermVr,
                              kTablePipe, kGatherVr, 8, t);
         breakdown_.shiftRows += t - begin;
     };
@@ -183,12 +222,15 @@ AesPum::encrypt(const Block &plaintext)
                     compute.element(kStateVr, i, 8));
             const auto x = columnBits(mirror, c);
             t += 4;                                  // 4 row reads
-            t += hct_.transposer().transposeCost(4, 8, 1);
+            t += tile.transposer().transposeCost(4, 8, 1);
             breakdown_.dataMovement += t - begin;
 
-            // Analog MVM over the remapped matrix: raw = 2y - P.
+            // Analog MVM over the remapped matrix, submitted through
+            // the session and resolved immediately (the next kernel
+            // consumes the raw sums from the reduction register):
+            // raw = 2y - P.
             begin = t;
-            const auto mvm = hct_.execMvm(x, 1, t);
+            const auto mvm = session_.execMVM(mixColumns_, x, 1, t);
             t = mvm.done;
 
             // Compensation (§4.3): add P = popcount(x), halve; bit 0
@@ -199,11 +241,11 @@ AesPum::encrypt(const Block &plaintext)
                 compute.setElement(kCompVr, e,
                                    static_cast<u64>(factor));
             t += 1;                                  // broadcast write
-            t = hct_.digitalMacro(kComputePipe,
+            t = tile.digitalMacro(kComputePipe,
                                   digital::MacroKind::Add, kParityVr,
                                   0 /* MVM accumulator */, kCompVr, 8,
                                   t);
-            t = hct_.digitalShift(kComputePipe, kParityVr, kParityVr,
+            t = tile.digitalShift(kComputePipe, kParityVr, kParityVr,
                                   1, false, 8, t);
             breakdown_.mixColumns += t - begin;
 
@@ -217,7 +259,7 @@ AesPum::encrypt(const Block &plaintext)
             for (std::size_t r = 0; r < 4; ++r)
                 t = compute.writeRow(kStateVr, r + 4 * c,
                                      mirror[r + 4 * c], 0, 8, t);
-            t += hct_.transposer().transposeCost(4, 8, 1);
+            t += tile.transposer().transposeCost(4, 8, 1);
             breakdown_.dataMovement += t - begin;
         }
     };

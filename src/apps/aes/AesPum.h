@@ -9,8 +9,9 @@
  *    address vector (the byte-element layout makes the cyclic row
  *    shifts a pure element permutation).
  *  - MixColumns: the 32x32 GF(2) matrix, remapped to ±1 with the
- *    §4.3 parasitic compensation scheme, is pre-stored in the ACE
- *    with 1-bit cells; each bitline's integer sum is reduced to the
+ *    §4.3 parasitic compensation scheme, is placed through the
+ *    runtime session API (1-bit cells) and each MVM is submitted to
+ *    the chip scheduler; each bitline's integer sum is reduced to the
  *    GF(2) parity with the compensation factor in the DCE (only 2
  *    ADC bits carry information — the early-termination trick).
  *  - AddRoundKey: a vector XOR against the pre-loaded round keys.
@@ -18,16 +19,24 @@
  * The class runs *functionally correct* encryption through the real
  * simulator datapaths (verified against the FIPS-197 reference) while
  * accumulating the per-kernel cycle breakdown of Figure 14.
+ *
+ * An engine either owns a private single-tile chip (the HctConfig
+ * constructor, unchanged behaviour) or attaches to a shared Runtime
+ * as one tenant among many: each engine opens its own session, places
+ * its MixColumns matrix on a free tile, and releases the tile when
+ * destroyed.
  */
 
 #ifndef DARTH_APPS_AES_AESPUM_H
 #define DARTH_APPS_AES_AESPUM_H
 
+#include <memory>
 #include <vector>
 
 #include "apps/aes/AesReference.h"
 #include "common/Stats.h"
 #include "hct/Hct.h"
+#include "runtime/Runtime.h"
 
 namespace darth
 {
@@ -67,6 +76,8 @@ class AesPum
 {
   public:
     /**
+     * Stand-alone engine on a private single-tile chip.
+     *
      * @param cfg   HCT configuration; needs a DCE width >= 16
      *              elements, >= 24 registers, and an ACE array of at
      *              least 64x32.
@@ -75,10 +86,17 @@ class AesPum
     explicit AesPum(const hct::HctConfig &cfg, u64 seed = 1);
 
     /**
-     * AES_initArrays(): reserve pipelines, copy the S-box and the
-     * ShiftRows permutation into the table pipeline, pre-load the
-     * round keys, and program the remapped MixColumns matrix into
-     * the analog arrays.
+     * Tenant engine on a shared chip: opens a session on the runtime
+     * and claims one free HCT for its MixColumns matrix and state
+     * pipelines (released when the engine is destroyed).
+     */
+    explicit AesPum(runtime::Runtime &rt);
+
+    /**
+     * AES_initArrays(): place the remapped MixColumns matrix through
+     * the session, then reserve pipelines on the owning tile, copy
+     * the S-box and the ShiftRows permutation into the table
+     * pipeline, and pre-load the round keys.
      */
     void initArrays(const std::vector<u8> &key);
 
@@ -91,10 +109,19 @@ class AesPum
     /** End-to-end latency of the last encrypt() call. */
     Cycle lastLatency() const { return lastLatency_; }
 
-    /** Energy tally across all activity. */
-    const CostTally &tally() const { return tally_; }
+    /** Energy tally of the backing chip. For a stand-alone engine
+     *  this is exactly the engine's own activity; for a tenant it is
+     *  chip-wide. */
+    const CostTally &tally() const;
 
-    hct::Hct &hct() { return hct_; }
+    /** The tile owning this engine's state (valid after init). */
+    hct::Hct &hct();
+
+    /** Index of the owning tile on the backing chip. */
+    std::size_t tile() const { return tile_; }
+
+    /** The session this engine submits through. */
+    runtime::Session &session() { return session_; }
 
     /**
      * Independent AES streams one full-size HCT sustains: limited by
@@ -111,8 +138,16 @@ class AesPum
                        std::size_t dst_pipe, std::size_t dst_vr,
                        std::size_t count, std::size_t bits, Cycle start);
 
-    CostTally tally_;
-    hct::Hct hct_;
+    // Owned backing (stand-alone construction only); declared before
+    // the session/handle members so it is destroyed after them.
+    std::unique_ptr<runtime::Chip> ownedChip_;
+    std::unique_ptr<runtime::Runtime> ownedRuntime_;
+
+    runtime::Runtime *rt_;
+    runtime::Session session_;
+    runtime::MatrixHandle mixColumns_;
+    std::size_t tile_ = 0;
+
     std::vector<Block> roundKeys_;
     bool initialized_ = false;
     AesKernelBreakdown breakdown_;

@@ -113,6 +113,32 @@ CnnMapper::digitalLayerCost(const LayerStats &stats)
     return cost;
 }
 
+LayerStream
+CnnMapper::runLayerStream(runtime::Session &session,
+                          const MatrixI &weights,
+                          const std::vector<std::vector<i64>> &inputs)
+{
+    LayerStream stream;
+    runtime::MatrixHandle handle =
+        session.setMatrixBits(weights, elementBits_, bitsPerCell_);
+    stream.hctsUsed = handle.plan().parts.size();
+
+    // Issue the whole batch before waiting: the scheduler packs the
+    // independent MVMs onto the placement's tiles back to back.
+    std::vector<runtime::MvmFuture> futures;
+    futures.reserve(inputs.size());
+    for (const auto &x : inputs)
+        futures.push_back(session.submit(handle, x, inputBits_));
+
+    stream.outputs.reserve(futures.size());
+    for (const auto &future : futures) {
+        auto result = session.wait(future);
+        stream.done = std::max(stream.done, result.done);
+        stream.outputs.push_back(std::move(result.values));
+    }
+    return stream;   // handle released here; tiles reclaimed
+}
+
 NetworkCost
 CnnMapper::networkCost(const std::vector<LayerStats> &layers)
 {

@@ -20,6 +20,7 @@
 #include "apps/cnn/Layers.h"
 #include "runtime/KernelModel.h"
 #include "runtime/Runtime.h"
+#include "runtime/Session.h"
 
 namespace darth
 {
@@ -56,6 +57,17 @@ struct NetworkCost
  */
 constexpr double kDigitalThermalFraction = 2.0 / 64.0;
 
+/** Result of one layer's MVM stream executed through a session. */
+struct LayerStream
+{
+    /** One output vector per submitted input, in submission order. */
+    std::vector<std::vector<i64>> outputs;
+    /** Completion cycle of the whole batch (scheduler makespan). */
+    Cycle done = 0;
+    /** HCTs the placement occupied while the stream ran. */
+    std::size_t hctsUsed = 0;
+};
+
 /** Maps CNN layers onto HCTs and costs them. */
 class CnnMapper
 {
@@ -80,6 +92,21 @@ class CnnMapper
 
     /** Serialized whole-network digital-only cost. */
     NetworkCost digitalNetworkCost(const std::vector<LayerStats> &layers);
+
+    /**
+     * Execute one layer's MVM stream through a session at the
+     * mapper's operating point: places the weight matrix, submits
+     * every input vector (one MVM per im2col patch) before waiting,
+     * and drains the batch. The placement is released on return, so
+     * layers can be streamed one after another on a small chip.
+     *
+     * Inputs are row-indexed: each input must have weights.rows()
+     * elements; each output has weights.cols() elements and is
+     * bit-exact against the integer reference MVM.
+     */
+    LayerStream runLayerStream(
+        runtime::Session &session, const MatrixI &weights,
+        const std::vector<std::vector<i64>> &inputs);
 
     runtime::KernelModel &kernels() { return kernels_; }
 

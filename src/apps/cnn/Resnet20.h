@@ -50,6 +50,9 @@ class Resnet20
     /** Number of conv + fc layers (Figure 15 bars). */
     std::size_t numLayers() const;
 
+    /** The final fully-connected layer (for session-stream demos). */
+    const FullyConnected &fc() const { return *fc_; }
+
   private:
     struct Block
     {

@@ -95,6 +95,31 @@ LlmMapper::hybridCost(const EncoderStats &stats)
     return cost;
 }
 
+ProjectionStream
+LlmMapper::runProjectionStream(runtime::Session &session,
+                               const MatrixI &weights,
+                               const MatrixI &activations)
+{
+    ProjectionStream stream;
+    runtime::MatrixHandle handle =
+        session.setMatrixBits(weights, elementBits_, bitsPerCell_);
+    stream.hctsUsed = handle.plan().parts.size();
+
+    std::vector<runtime::MvmFuture> futures;
+    futures.reserve(activations.rows());
+    for (std::size_t r = 0; r < activations.rows(); ++r)
+        futures.push_back(
+            session.submit(handle, activations.row(r), inputBits_));
+
+    stream.output = MatrixI(activations.rows(), weights.cols());
+    for (std::size_t r = 0; r < futures.size(); ++r) {
+        auto result = session.wait(futures[r]);
+        stream.done = std::max(stream.done, result.done);
+        stream.output.setRow(r, result.values);
+    }
+    return stream;   // handle released here; tiles reclaimed
+}
+
 EncoderCost
 LlmMapper::digitalCost(const EncoderStats &stats)
 {

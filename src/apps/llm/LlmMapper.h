@@ -11,6 +11,7 @@
 #include "apps/llm/Encoder.h"
 #include "runtime/KernelModel.h"
 #include "runtime/Runtime.h"
+#include "runtime/Session.h"
 
 namespace darth
 {
@@ -27,6 +28,17 @@ struct EncoderCost
     double nonMvmFraction = 0.0;
 };
 
+/** Result of a projection batch executed through a session. */
+struct ProjectionStream
+{
+    /** activations x weights, one output row per activation row. */
+    MatrixI output;
+    /** Completion cycle of the whole batch. */
+    Cycle done = 0;
+    /** HCTs the weight placement occupied. */
+    std::size_t hctsUsed = 0;
+};
+
 /** Costs an encoder layer on DARTH-PUM or digital-only PUM. */
 class LlmMapper
 {
@@ -39,6 +51,18 @@ class LlmMapper
 
     /** Digital-only cost: every MAC in the DCE. */
     EncoderCost digitalCost(const EncoderStats &stats);
+
+    /**
+     * Execute one static-weight projection through a session: places
+     * the weight matrix at the mapper's operating point, submits one
+     * MVM per activation row (the whole token batch is in flight
+     * before the first wait), and gathers the output matrix. The
+     * placement is released on return. Bit-exact against the integer
+     * reference activations x weights.
+     */
+    ProjectionStream runProjectionStream(runtime::Session &session,
+                                         const MatrixI &weights,
+                                         const MatrixI &activations);
 
     runtime::KernelModel &kernels() { return kernels_; }
 

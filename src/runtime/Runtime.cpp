@@ -9,7 +9,10 @@ namespace darth
 namespace runtime
 {
 
-Runtime::Runtime(Chip &chip) : chip_(chip) {}
+Runtime::Runtime(Chip &chip)
+    : chip_(chip), scheduler_(chip), occupied_(chip.numHcts(), false)
+{
+}
 
 int
 Runtime::precisionToBitsPerCell(int precision, int device_max_bits)
@@ -86,126 +89,122 @@ Runtime::planMatrix(const hct::HctConfig &cfg, std::size_t rows,
     return plan;
 }
 
-int
-Runtime::setMatrix(const MatrixI &m, int element_size, int precision)
+Session
+Runtime::createSession()
 {
-    const int bits_per_cell = precisionToBitsPerCell(precision);
-    MatrixPlan plan = planMatrix(chip_.config().hct, m.rows(), m.cols(),
-                                 element_size, bits_per_cell);
-    if (occupied_.size() != chip_.numHcts())
-        occupied_.assign(chip_.numHcts(), false);
-    std::size_t free_hcts = 0;
+    return Session(*this, nextSession_++);
+}
+
+std::size_t
+Runtime::freeHcts() const
+{
+    std::size_t free = 0;
     for (bool used : occupied_)
-        free_hcts += !used;
-    if (plan.parts.size() > free_hcts)
-        darth_fatal("Runtime::setMatrix: placement needs ",
-                    plan.parts.size(), " HCTs but only ", free_hcts,
+        free += !used;
+    return free;
+}
+
+int
+Runtime::placeMatrix(const MatrixI &m, int element_bits,
+                     int bits_per_cell, u64 session)
+{
+    MatrixPlan plan = planMatrix(chip_.config().hct, m.rows(), m.cols(),
+                                 element_bits, bits_per_cell);
+    if (plan.parts.size() > freeHcts())
+        darth_fatal("Runtime::placeMatrix: placement needs ",
+                    plan.parts.size(), " HCTs but only ", freeHcts(),
                     " of ", chip_.numHcts(),
-                    " are free; increase ChipConfig::numHcts");
+                    " are free; increase ChipConfig::numHcts or "
+                    "release unused matrices");
 
     for (auto &part : plan.parts) {
-        while (occupied_[nextHct_])
+        // Advance the cursor past fully-allocated HCTs; the free-count
+        // check above bounds the scan.
+        std::size_t scanned = 0;
+        while (occupied_[nextHct_]) {
             nextHct_ = (nextHct_ + 1) % chip_.numHcts();
+            if (++scanned > chip_.numHcts())
+                darth_panic("Runtime::placeMatrix: no free HCT despite "
+                            "the capacity check");
+        }
         part.hctIndex = nextHct_;
         occupied_[nextHct_] = true;
+        nextHct_ = (nextHct_ + 1) % chip_.numHcts();
         MatrixI sub(part.numRows, part.numCols);
         for (std::size_t r = 0; r < part.numRows; ++r)
             for (std::size_t c = 0; c < part.numCols; ++c)
                 sub(r, c) = m(part.row0 + r, part.col0 + c);
         chip_.hct(part.hctIndex)
-            .setMatrix(sub, element_size, bits_per_cell);
+            .setMatrix(sub, element_bits, bits_per_cell);
     }
 
-    Handle handle;
-    handle.matrix = m;
-    handle.plan = std::move(plan);
-    handles_.push_back(std::move(handle));
-    return static_cast<int>(handles_.size()) - 1;
+    int id;
+    if (!freeIds_.empty()) {
+        id = freeIds_.back();
+        freeIds_.pop_back();
+    } else {
+        id = static_cast<int>(placed_.size());
+        placed_.push_back(nullptr);
+    }
+    auto pm = std::make_unique<PlacedMatrix>();
+    pm->matrix = m;
+    pm->plan = std::move(plan);
+    pm->session = session;
+    pm->id = id;
+    pm->uid = nextUid_++;
+    placed_[static_cast<std::size_t>(id)] = std::move(pm);
+    return id;
 }
 
-const Runtime::Handle &
-Runtime::handleRef(int handle) const
+void
+Runtime::freeMatrix(int handle)
+{
+    PlacedMatrix &pm = placedRef(handle);
+    scheduler_.drainMatrix(handle);
+    for (const auto &part : pm.plan.parts)
+        occupied_[part.hctIndex] = false;
+    freeIds_.push_back(handle);
+    placed_[static_cast<std::size_t>(handle)].reset();
+}
+
+const PlacedMatrix &
+Runtime::placedRef(int handle) const
 {
     if (handle < 0 ||
-        static_cast<std::size_t>(handle) >= handles_.size())
-        darth_fatal("Runtime: invalid matrix handle ", handle);
-    return handles_[static_cast<std::size_t>(handle)];
+        static_cast<std::size_t>(handle) >= placed_.size() ||
+        placed_[static_cast<std::size_t>(handle)] == nullptr)
+        darth_fatal("Runtime: invalid or released matrix handle ",
+                    handle);
+    return *placed_[static_cast<std::size_t>(handle)];
 }
 
-Runtime::Handle &
-Runtime::handleRef(int handle)
+PlacedMatrix &
+Runtime::placedRef(int handle)
 {
-    return const_cast<Handle &>(
-        static_cast<const Runtime *>(this)->handleRef(handle));
+    return const_cast<PlacedMatrix &>(
+        static_cast<const Runtime *>(this)->placedRef(handle));
 }
 
 MvmResult
-Runtime::execMVM(int handle, const std::vector<i64> &x, int input_bits,
-                 Cycle start)
+Runtime::execBlocking(int handle, const std::vector<i64> &x,
+                      int input_bits, Cycle start)
 {
-    Handle &h = handleRef(handle);
-    if (!h.analogEnabled)
-        darth_fatal("Runtime::execMVM: analog mode disabled for this "
-                    "matrix");
-    if (x.size() != h.plan.rows)
-        darth_fatal("Runtime::execMVM: input length ", x.size(),
-                    " != matrix rows ", h.plan.rows);
-
-    MvmResult result;
-    result.values.assign(h.plan.cols, 0);
-    result.done = start;
-
-    // Per-column-stripe partial accumulation; parts on different HCTs
-    // run concurrently.
-    std::vector<Cycle> col_done(h.plan.cols, start);
-    for (const auto &part : h.plan.parts) {
-        std::vector<i64> sub_x(x.begin() + part.row0,
-                               x.begin() + part.row0 + part.numRows);
-        auto part_result = chip_.hct(part.hctIndex)
-                               .execMvm(sub_x, input_bits, start);
-        for (std::size_t c = 0; c < part.numCols; ++c) {
-            result.values[part.col0 + c] += part_result.values[c];
-            col_done[part.col0 + c] =
-                std::max(col_done[part.col0 + c], part_result.done);
-        }
-    }
-
-    Cycle done = start;
-    for (Cycle t : col_done)
-        done = std::max(done, t);
-
-    if (h.plan.rowSplit) {
-        // Cross-part reduction: partial sums are shuffled to the home
-        // tile and added with pipelined DCE ADDs; charge one ADD per
-        // extra part per column stripe plus the row I/O.
-        KernelModel km(chip_.config().hct);
-        std::size_t parts_per_col = 0;
-        for (const auto &part : h.plan.parts)
-            parts_per_col += part.col0 == h.plan.parts[0].col0;
-        const std::size_t extra =
-            parts_per_col > 0 ? parts_per_col - 1 : 0;
-        if (extra > 0) {
-            const auto add = km.macro(digital::MacroKind::Add, 32);
-            const auto io = km.rowIo(
-                std::min<std::size_t>(h.plan.cols, 64));
-            done += static_cast<Cycle>(extra) *
-                    (add.amortized + io.latency);
-        }
-    }
-    result.done = done;
-    return result;
+    PlacedMatrix &pm = placedRef(handle);
+    MvmFuture future = scheduler_.submit(pm, x, input_bits, start);
+    return scheduler_.wait(future);
 }
 
 void
 Runtime::updateRow(int handle, std::size_t row,
                    const std::vector<i64> &values)
 {
-    Handle &h = handleRef(handle);
-    if (values.size() != h.plan.cols)
-        darth_fatal("Runtime::updateRow: expected ", h.plan.cols,
+    PlacedMatrix &pm = placedRef(handle);
+    if (values.size() != pm.plan.cols)
+        darth_fatal("Runtime::updateRow: expected ", pm.plan.cols,
                     " values");
-    h.matrix.setRow(row, values);
-    for (const auto &part : h.plan.parts) {
+    scheduler_.drainMatrix(handle);
+    pm.matrix.setRow(row, values);
+    for (const auto &part : pm.plan.parts) {
         if (row < part.row0 || row >= part.row0 + part.numRows)
             continue;
         std::vector<i64> sub(values.begin() + part.col0,
@@ -218,12 +217,13 @@ void
 Runtime::updateCol(int handle, std::size_t col,
                    const std::vector<i64> &values)
 {
-    Handle &h = handleRef(handle);
-    if (values.size() != h.plan.rows)
-        darth_fatal("Runtime::updateCol: expected ", h.plan.rows,
+    PlacedMatrix &pm = placedRef(handle);
+    if (values.size() != pm.plan.rows)
+        darth_fatal("Runtime::updateCol: expected ", pm.plan.rows,
                     " values");
-    h.matrix.setCol(col, values);
-    for (const auto &part : h.plan.parts) {
+    scheduler_.drainMatrix(handle);
+    pm.matrix.setCol(col, values);
+    for (const auto &part : pm.plan.parts) {
         if (col < part.col0 || col >= part.col0 + part.numCols)
             continue;
         std::vector<i64> sub(values.begin() + part.row0,
@@ -235,10 +235,11 @@ Runtime::updateCol(int handle, std::size_t col,
 Cycle
 Runtime::disableAnalogMode(int handle, Cycle start)
 {
-    Handle &h = handleRef(handle);
-    h.analogEnabled = false;
+    PlacedMatrix &pm = placedRef(handle);
+    scheduler_.drainMatrix(handle);
+    pm.analogEnabled = false;
     Cycle done = start;
-    for (const auto &part : h.plan.parts)
+    for (const auto &part : pm.plan.parts)
         done = std::max(done, chip_.hct(part.hctIndex)
                                   .disableAnalogMode(start));
     return done;
@@ -247,21 +248,38 @@ Runtime::disableAnalogMode(int handle, Cycle start)
 void
 Runtime::disableDigitalMode(int handle)
 {
-    Handle &h = handleRef(handle);
-    for (const auto &part : h.plan.parts)
+    PlacedMatrix &pm = placedRef(handle);
+    scheduler_.drainMatrix(handle);
+    for (const auto &part : pm.plan.parts)
         chip_.hct(part.hctIndex).disableDigitalMode();
 }
 
 const MatrixPlan &
 Runtime::plan(int handle) const
 {
-    return handleRef(handle).plan;
+    return placedRef(handle).plan;
 }
 
 const MatrixI &
 Runtime::matrix(int handle) const
 {
-    return handleRef(handle).matrix;
+    return placedRef(handle).matrix;
+}
+
+int
+Runtime::setMatrix(const MatrixI &m, int element_size, int precision)
+{
+    // Legacy session 0: handles live until freeMatrix() is called
+    // explicitly (the seed's leak, kept for compatibility).
+    return placeMatrix(m, element_size,
+                       precisionToBitsPerCell(precision), 0);
+}
+
+MvmResult
+Runtime::execMVM(int handle, const std::vector<i64> &x, int input_bits,
+                 Cycle start)
+{
+    return execBlocking(handle, x, input_bits, start);
 }
 
 } // namespace runtime

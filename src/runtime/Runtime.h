@@ -1,61 +1,49 @@
 /**
  * @file
- * Application-agnostic runtime library (Table 1).
+ * Application-agnostic runtime library: a thin façade over the chip,
+ * the placement planner, and the asynchronous submission scheduler.
  *
- * The runtime hides the hybrid hardware behind matrix-centric calls:
- * setMatrix() plans how a matrix spreads over HCTs (column stripes
- * when possible, row stripes with cross-tile reduction when a single
- * tile cannot hold all rows), allocVACore() maps the programmer's
- * 0-2 "precision" scale onto bits/cell, and execMVM() runs the full
- * hybrid MVM over the planned parts, gathering (and, for row splits,
- * adding) the partial results.
+ * The runtime serves many concurrent clients. Each client opens a
+ * Session (createSession()), places matrices through it — receiving
+ * move-only RAII MatrixHandles whose placements are reclaimed on
+ * release — and submits MVMs asynchronously: submit() enqueues a
+ * request and returns an MvmFuture, the Scheduler packs queued
+ * requests onto the HCTs that hold their matrices (tracking per-tile
+ * busy-until cycles so independent placements overlap), and wait() /
+ * waitAll() resolve results. See docs/runtime-api.md for the full
+ * session/submission model, handle lifetime rules, and the migration
+ * table from the old blocking calls.
+ *
+ * Placement is unchanged from the Table 1 library: setMatrix-style
+ * placement plans column stripes when one tile holds all rows and row
+ * stripes (with cross-part output adds) otherwise, and the 0-2
+ * precision scale maps onto bits per cell.
+ *
+ * The original blocking entry points — setMatrix() returning a raw
+ * int and the run-to-completion execMVM() — remain as deprecated
+ * shims that delegate to a private legacy session.
  */
 
 #ifndef DARTH_RUNTIME_RUNTIME_H
 #define DARTH_RUNTIME_RUNTIME_H
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "analog/BitSlicing.h"
 #include "runtime/Chip.h"
 #include "runtime/KernelModel.h"
+#include "runtime/Placement.h"
+#include "runtime/Scheduler.h"
+#include "runtime/Session.h"
 
 namespace darth
 {
 namespace runtime
 {
 
-/** One part of a matrix placed on one HCT. */
-struct MatrixPart
-{
-    std::size_t hctIndex = 0;
-    std::size_t row0 = 0;
-    std::size_t numRows = 0;
-    std::size_t col0 = 0;
-    std::size_t numCols = 0;
-};
-
-/** Placement plan for a matrix. */
-struct MatrixPlan
-{
-    std::vector<MatrixPart> parts;
-    /** True when parts split rows (outputs need cross-part adds). */
-    bool rowSplit = false;
-    std::size_t rows = 0;
-    std::size_t cols = 0;
-    int elementBits = 0;
-    int bitsPerCell = 0;
-};
-
-/** Result of an execMVM() call. */
-struct MvmResult
-{
-    std::vector<i64> values;
-    Cycle done = 0;
-};
-
-/** The Table 1 application-agnostic library. */
+/** The application-agnostic runtime façade. */
 class Runtime
 {
   public:
@@ -76,15 +64,38 @@ class Runtime
                                  std::size_t rows, std::size_t cols,
                                  int element_bits, int bits_per_cell);
 
-    /**
-     * Allocate HCTs and program a matrix. Returns a handle used by
-     * the other calls.
-     */
-    int setMatrix(const MatrixI &m, int element_size, int precision);
+    // ------------------------------------------------------------------
+    // Session API (the supported path).
+    // ------------------------------------------------------------------
 
-    /** Hybrid MVM over the planned parts. */
-    MvmResult execMVM(int handle, const std::vector<i64> &x,
-                      int input_bits, Cycle start = 0);
+    /** Open a new client session. */
+    Session createSession();
+
+    /** The shared submission scheduler. */
+    Scheduler &scheduler() { return scheduler_; }
+    const Scheduler &scheduler() const { return scheduler_; }
+
+    /**
+     * Allocate HCTs and program a matrix; the registry id is wrapped
+     * by Session::setMatrix into an RAII MatrixHandle.
+     */
+    int placeMatrix(const MatrixI &m, int element_bits,
+                    int bits_per_cell, u64 session = 0);
+
+    /**
+     * Release a placed matrix: drains its in-flight MVMs and returns
+     * its HCTs to the free pool so later placements can reuse them.
+     */
+    void freeMatrix(int handle);
+
+    /** HCTs not currently owned by any placement. */
+    std::size_t freeHcts() const;
+
+    // ------------------------------------------------------------------
+    // Handle-level operations (valid for session and shim handles).
+    // All of these are barriers: in-flight MVMs against the handle
+    // are drained first.
+    // ------------------------------------------------------------------
 
     /** Update one matrix row on the owning HCTs. */
     void updateRow(int handle, std::size_t row,
@@ -108,21 +119,44 @@ class Runtime
 
     Chip &chip() { return chip_; }
 
-  private:
-    struct Handle
-    {
-        MatrixI matrix;
-        MatrixPlan plan;
-        bool analogEnabled = true;
-    };
+    // ------------------------------------------------------------------
+    // Deprecated blocking API (pre-session shims).
+    // ------------------------------------------------------------------
 
-    const Handle &handleRef(int handle) const;
-    Handle &handleRef(int handle);
+    /**
+     * \deprecated Handles returned here are never reclaimed
+     * automatically; use Session::setMatrix for RAII handles.
+     */
+    [[deprecated("use Session::setMatrix (createSession())")]]
+    int setMatrix(const MatrixI &m, int element_size, int precision);
+
+    /**
+     * \deprecated Runs one MVM to completion; use Session::submit /
+     * wait to keep many MVMs in flight.
+     */
+    [[deprecated("use Session::submit + wait")]]
+    MvmResult execMVM(int handle, const std::vector<i64> &x,
+                      int input_bits, Cycle start = 0);
+
+  private:
+    friend class Session;
+    friend class MatrixHandle;
+
+    const PlacedMatrix &placedRef(int handle) const;
+    PlacedMatrix &placedRef(int handle);
+
+    /** Shared implementation of the blocking shims. */
+    MvmResult execBlocking(int handle, const std::vector<i64> &x,
+                           int input_bits, Cycle start);
 
     Chip &chip_;
-    std::vector<Handle> handles_;
+    Scheduler scheduler_;
+    std::vector<std::unique_ptr<PlacedMatrix>> placed_;
+    std::vector<int> freeIds_;
     std::vector<bool> occupied_;
     std::size_t nextHct_ = 0;
+    u64 nextSession_ = 1;
+    u64 nextUid_ = 1;
 };
 
 } // namespace runtime

@@ -1,0 +1,286 @@
+#include "runtime/Scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace runtime
+{
+
+Scheduler::Scheduler(Chip &chip)
+    : chip_(chip), kernels_(chip.config().hct),
+      busyUntil_(chip.numHcts(), 0), nextIssue_(chip.numHcts(), 0),
+      lastUid_(chip.numHcts(), 0)
+{
+}
+
+MvmFuture
+Scheduler::submit(const PlacedMatrix &pm, std::vector<i64> x,
+                  int input_bits, Cycle earliest)
+{
+    if (!pm.analogEnabled)
+        darth_fatal("Scheduler::submit: analog mode is disabled for "
+                    "matrix handle ", pm.id);
+    if (x.size() != pm.plan.rows)
+        throw std::invalid_argument(
+            "Scheduler::submit: MVM input has " +
+            std::to_string(x.size()) + " elements but matrix handle " +
+            std::to_string(pm.id) + " is planned as " +
+            std::to_string(pm.plan.rows) + " rows x " +
+            std::to_string(pm.plan.cols) +
+            " cols (inputs must have one element per row)");
+    if (input_bits <= 0)
+        throw std::invalid_argument(
+            "Scheduler::submit: input_bits must be positive, got " +
+            std::to_string(input_bits));
+
+    Request req;
+    req.id = nextId_++;
+    req.pm = &pm;
+    req.x = std::move(x);
+    req.inputBits = input_bits;
+    req.earliest = earliest;
+    req.session = pm.session;
+    queue_.push_back(std::move(req));
+    return MvmFuture(queue_.back().id);
+}
+
+Cycle
+Scheduler::tileReady(std::size_t hct, const PlacedMatrix &pm) const
+{
+    // A tile streaming MVMs of one placement accepts the next issue
+    // one amortized period after the previous start; anything else
+    // waits for the tile to finish outright.
+    return lastUid_[hct] == pm.uid ? nextIssue_[hct]
+                                   : busyUntil_[hct];
+}
+
+Cycle
+Scheduler::achievableStart(const Request &req) const
+{
+    Cycle start = req.earliest;
+    for (const auto &part : req.pm->plan.parts)
+        start = std::max(start, tileReady(part.hctIndex, *req.pm));
+    return start;
+}
+
+std::size_t
+Scheduler::pickNext() const
+{
+    std::size_t best = 0;
+    Cycle best_start = achievableStart(queue_[0]);
+    for (std::size_t i = 1; i < queue_.size(); ++i) {
+        const Cycle start = achievableStart(queue_[i]);
+        // Strictly-less keeps submission order as the tiebreak.
+        if (start < best_start) {
+            best = i;
+            best_start = start;
+        }
+    }
+    return best;
+}
+
+void
+Scheduler::executeAt(std::size_t index)
+{
+    Request req = std::move(queue_[index]);
+    queue_.erase(queue_.begin() +
+                 static_cast<std::ptrdiff_t>(index));
+
+    const MatrixPlan &plan = req.pm->plan;
+    MvmResult result;
+    result.values.assign(plan.cols, 0);
+
+    bool first = true;
+    Cycle done = req.earliest;
+    for (const auto &part : plan.parts) {
+        std::vector<i64> sub_x(
+            req.x.begin() + static_cast<std::ptrdiff_t>(part.row0),
+            req.x.begin() +
+                static_cast<std::ptrdiff_t>(part.row0 + part.numRows));
+        const Cycle prev_busy = busyUntil_[part.hctIndex];
+        const Cycle start = std::max(
+            req.earliest, tileReady(part.hctIndex, *req.pm));
+        auto part_result = chip_.hct(part.hctIndex)
+                               .execMvm(sub_x, req.inputBits, start);
+        for (std::size_t c = 0; c < part.numCols; ++c)
+            result.values[part.col0 + c] += part_result.values[c];
+
+        MvmShape shape;
+        shape.rows = part.numRows;
+        shape.cols = part.numCols;
+        shape.elementBits = plan.elementBits;
+        shape.bitsPerCell = plan.bitsPerCell;
+        shape.inputBits = req.inputBits;
+        // Tile idle at issue time: the Hct's own (arbiter-accurate)
+        // completion is exact. Pipelined issue into a still-running
+        // stream: completions space at the KernelModel steady-state
+        // amortized interval (the Hct simulates one MVM at a time
+        // and cannot express the overlap itself) — but never earlier
+        // than one full MVM after this request's own issue cycle,
+        // which matters when `earliest` lands mid-stream.
+        const KernelCost mvm_cost = kernels_.mvm(shape);
+        const Cycle part_done =
+            start >= prev_busy
+                ? part_result.done
+                : std::max(prev_busy + mvm_cost.amortized,
+                           start + mvm_cost.latency);
+        busyUntil_[part.hctIndex] = part_done;
+        nextIssue_[part.hctIndex] = start + mvm_cost.amortized;
+        lastUid_[part.hctIndex] = req.pm->uid;
+
+        done = std::max(done, part_done);
+        result.start = first ? start : std::min(result.start, start);
+        first = false;
+    }
+
+    if (plan.rowSplit) {
+        // Cross-part reduction: partial sums are shuffled to the home
+        // tile and added with pipelined DCE ADDs; charge one ADD per
+        // extra part per column stripe plus the row I/O.
+        std::size_t parts_per_col = 0;
+        for (const auto &part : plan.parts)
+            parts_per_col += part.col0 == plan.parts[0].col0;
+        const std::size_t extra =
+            parts_per_col > 0 ? parts_per_col - 1 : 0;
+        if (extra > 0) {
+            const auto add =
+                kernels_.macro(digital::MacroKind::Add, 32);
+            const auto io =
+                kernels_.rowIo(std::min<std::size_t>(plan.cols, 64));
+            const Cycle penalty = static_cast<Cycle>(extra) *
+                                  (add.amortized + io.latency);
+            done += penalty;
+            const std::size_t home = plan.parts[0].hctIndex;
+            busyUntil_[home] = std::max(busyUntil_[home], done);
+            // The home tile's DCE is doing the cross-part adds, so
+            // the next pipelined issue slips by the same amount.
+            nextIssue_[home] += penalty;
+        }
+    }
+    result.done = done;
+
+    results_.emplace(req.id,
+                     CompletedRequest{std::move(result), req.session});
+    ++completed_;
+}
+
+MvmResult
+Scheduler::wait(const MvmFuture &future)
+{
+    return waitImpl(future, nullptr);
+}
+
+MvmResult
+Scheduler::wait(const MvmFuture &future, u64 session)
+{
+    return waitImpl(future, &session);
+}
+
+MvmResult
+Scheduler::waitImpl(const MvmFuture &future, const u64 *session)
+{
+    if (!future.valid())
+        throw std::invalid_argument(
+            "Scheduler::wait: invalid (default-constructed) future");
+    auto it = results_.find(future.id());
+    if (it == results_.end()) {
+        // Not executed yet: validate once against the queue (ids
+        // never re-enter it), then drain until the result appears.
+        const auto qit = std::find_if(
+            queue_.begin(), queue_.end(),
+            [&](const Request &req) { return req.id == future.id(); });
+        if (qit == queue_.end())
+            throw std::invalid_argument(
+                "Scheduler::wait: future " +
+                std::to_string(future.id()) +
+                " is unknown or was already collected");
+        if (session != nullptr && qit->session != *session)
+            throw std::invalid_argument(
+                "Scheduler::wait: future " +
+                std::to_string(future.id()) + " belongs to session " +
+                std::to_string(qit->session) + ", not to session " +
+                std::to_string(*session));
+        while ((it = results_.find(future.id())) == results_.end())
+            executeAt(pickNext());
+    }
+    if (session != nullptr && it->second.session != *session)
+        throw std::invalid_argument(
+            "Scheduler::wait: future " + std::to_string(future.id()) +
+            " belongs to session " +
+            std::to_string(it->second.session) + ", not to session " +
+            std::to_string(*session));
+    MvmResult result = std::move(it->second.result);
+    results_.erase(it);
+    return result;
+}
+
+Cycle
+Scheduler::waitAll()
+{
+    while (!queue_.empty())
+        executeAt(pickNext());
+    return makespan();
+}
+
+void
+Scheduler::drainSession(u64 session)
+{
+    auto has_pending = [&] {
+        for (const auto &req : queue_)
+            if (req.pm->session == session)
+                return true;
+        return false;
+    };
+    while (has_pending())
+        executeAt(pickNext());
+}
+
+void
+Scheduler::discardSession(u64 session)
+{
+    for (auto it = results_.begin(); it != results_.end();) {
+        if (it->second.session == session)
+            it = results_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+Scheduler::drainMatrix(int handle)
+{
+    auto has_pending = [&] {
+        for (const auto &req : queue_)
+            if (req.pm->id == handle)
+                return true;
+        return false;
+    };
+    while (has_pending())
+        executeAt(pickNext());
+}
+
+Cycle
+Scheduler::busyUntil(std::size_t hct) const
+{
+    if (hct >= busyUntil_.size())
+        darth_panic("Scheduler::busyUntil: HCT ", hct,
+                    " out of range ", busyUntil_.size());
+    return busyUntil_[hct];
+}
+
+Cycle
+Scheduler::makespan() const
+{
+    Cycle max = 0;
+    for (Cycle t : busyUntil_)
+        max = std::max(max, t);
+    return max;
+}
+
+} // namespace runtime
+} // namespace darth

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Asynchronous MVM submission queue and cross-HCT scheduler.
+ *
+ * Sessions (and the deprecated blocking shims) do not execute MVMs
+ * directly: they enqueue MvmRequests and receive MvmFuture tokens.
+ * The scheduler packs queued requests onto the tiles that hold their
+ * matrices, tracking a busy-until cycle per HCT, so requests whose
+ * placements occupy disjoint tiles overlap in simulated time while
+ * requests contending for the same tiles serialize. Back-to-back
+ * MVMs against the same placement pipeline at the KernelModel
+ * amortized rate (the §5.1 streaming discipline the mappers assume):
+ * the tile accepts the next same-matrix issue one amortized period
+ * after the previous start, while other work waits for full
+ * completion. Draining is lazy:
+ * functional execution happens when a future is waited on (or at a
+ * waitAll()/barrier), always in a deterministic greedy order —
+ * earliest achievable start first, submission order as tiebreak — so
+ * results and timings are reproducible regardless of wait order.
+ *
+ * Functional results are bit-exact and independent of scheduling;
+ * only the start/done cycle stamps depend on queue contention.
+ */
+
+#ifndef DARTH_RUNTIME_SCHEDULER_H
+#define DARTH_RUNTIME_SCHEDULER_H
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "runtime/Chip.h"
+#include "runtime/KernelModel.h"
+#include "runtime/Placement.h"
+
+namespace darth
+{
+namespace runtime
+{
+
+/** Monotonic identifier of one submitted MVM request. */
+using RequestId = u64;
+
+/** Token for one in-flight MVM; resolved by Scheduler::wait(). */
+class MvmFuture
+{
+  public:
+    MvmFuture() = default;
+
+    /** False for default-constructed (never-submitted) futures. */
+    bool valid() const { return id_ != 0; }
+
+    RequestId id() const { return id_; }
+
+  private:
+    friend class Scheduler;
+    explicit MvmFuture(RequestId id) : id_(id) {}
+
+    RequestId id_ = 0;
+};
+
+/** Result of one MVM request. */
+struct MvmResult
+{
+    std::vector<i64> values;
+    /** Cycle the first part started executing. */
+    Cycle start = 0;
+    /** Cycle the gathered (and, for row splits, reduced) output is
+     *  complete. */
+    Cycle done = 0;
+};
+
+/** Packs queued MVM requests onto free HCTs. */
+class Scheduler
+{
+  public:
+    explicit Scheduler(Chip &chip);
+
+    /**
+     * Enqueue one MVM against a placed matrix. Validates the input
+     * length against the placement plan (std::invalid_argument on
+     * mismatch) but executes nothing yet.
+     *
+     * @param earliest  Lower bound on the start cycle (e.g. the
+     *                  producing kernel's completion).
+     */
+    MvmFuture submit(const PlacedMatrix &pm, std::vector<i64> x,
+                     int input_bits, Cycle earliest = 0);
+
+    /**
+     * Session-checked resolve: drains the queue (in greedy order)
+     * until the request has executed, then returns and releases its
+     * result. Each future can be waited on exactly once, and only by
+     * the session that submitted it (std::invalid_argument
+     * otherwise).
+     */
+    MvmResult wait(const MvmFuture &future, u64 session);
+
+    /** Drain every queued request; returns the resulting makespan. */
+    Cycle waitAll();
+
+    /** Drain queued requests belonging to one session. */
+    void drainSession(u64 session);
+
+    /**
+     * Drop a session's uncollected results (called on session
+     * teardown so drained-but-never-waited results cannot accumulate
+     * forever).
+     */
+    void discardSession(u64 session);
+
+    /**
+     * Drain queued requests targeting one placed matrix (a barrier
+     * before weight updates, mode switches, or release).
+     */
+    void drainMatrix(int handle);
+
+    /** Queued-but-unexecuted request count. */
+    std::size_t pendingCount() const { return queue_.size(); }
+
+    /** Requests executed over the scheduler's lifetime. */
+    u64 completedCount() const { return completed_; }
+
+    /** Executed results not yet collected by a wait(). */
+    std::size_t uncollectedCount() const { return results_.size(); }
+
+    /** Cycle the given HCT is busy until. */
+    Cycle busyUntil(std::size_t hct) const;
+
+    /** Max busy-until over all HCTs (current schedule makespan). */
+    Cycle makespan() const;
+
+  private:
+    /** Unchecked resolve — reachable only from the legacy blocking
+     *  shim, which predates session ownership. */
+    friend class Runtime;
+    MvmResult wait(const MvmFuture &future);
+
+    struct Request
+    {
+        RequestId id = 0;
+        const PlacedMatrix *pm = nullptr;
+        std::vector<i64> x;
+        int inputBits = 0;
+        Cycle earliest = 0;
+        /** Captured at submit (the placement may be released before
+         *  the result is collected). */
+        u64 session = 0;
+    };
+
+    struct CompletedRequest
+    {
+        MvmResult result;
+        u64 session = 0;
+    };
+
+    /** Shared wait path; `session` null = unchecked (legacy shim). */
+    MvmResult waitImpl(const MvmFuture &future, const u64 *session);
+
+    /** Cycle the tile could accept this request's part. */
+    Cycle tileReady(std::size_t hct, const PlacedMatrix &pm) const;
+
+    /** Earliest start the request could achieve right now. */
+    Cycle achievableStart(const Request &req) const;
+
+    /** Index of the next request to run (greedy min-start). */
+    std::size_t pickNext() const;
+
+    /** Execute queue_[index] and record its result. */
+    void executeAt(std::size_t index);
+
+    Chip &chip_;
+    KernelModel kernels_;
+    std::vector<Request> queue_;
+    std::map<RequestId, CompletedRequest> results_;
+    std::vector<Cycle> busyUntil_;
+    /** Next same-matrix issue slot per tile (pipelined streaming). */
+    std::vector<Cycle> nextIssue_;
+    /** Placement uid of the last MVM each tile ran. */
+    std::vector<u64> lastUid_;
+    RequestId nextId_ = 1;
+    u64 completed_ = 0;
+};
+
+} // namespace runtime
+} // namespace darth
+
+#endif // DARTH_RUNTIME_SCHEDULER_H

@@ -1,0 +1,165 @@
+#include "runtime/Session.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/Logging.h"
+#include "runtime/Runtime.h"
+
+namespace darth
+{
+namespace runtime
+{
+
+// ---------------------------------------------------------------------------
+// MatrixHandle
+// ---------------------------------------------------------------------------
+
+MatrixHandle::MatrixHandle(MatrixHandle &&other) noexcept
+    : rt_(other.rt_), id_(other.id_), session_(other.session_)
+{
+    other.rt_ = nullptr;
+    other.id_ = -1;
+}
+
+MatrixHandle &
+MatrixHandle::operator=(MatrixHandle &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        rt_ = other.rt_;
+        id_ = other.id_;
+        session_ = other.session_;
+        other.rt_ = nullptr;
+        other.id_ = -1;
+    }
+    return *this;
+}
+
+MatrixHandle::~MatrixHandle()
+{
+    release();
+}
+
+void
+MatrixHandle::release()
+{
+    if (rt_ == nullptr)
+        return;
+    rt_->freeMatrix(id_);
+    rt_ = nullptr;
+    id_ = -1;
+}
+
+const MatrixPlan &
+MatrixHandle::plan() const
+{
+    if (rt_ == nullptr)
+        darth_fatal("MatrixHandle::plan: handle is not valid");
+    return rt_->plan(id_);
+}
+
+const MatrixI &
+MatrixHandle::matrix() const
+{
+    if (rt_ == nullptr)
+        darth_fatal("MatrixHandle::matrix: handle is not valid");
+    return rt_->matrix(id_);
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Session::Session(Session &&other) noexcept
+    : rt_(other.rt_), id_(other.id_)
+{
+    other.rt_ = nullptr;
+}
+
+Session &
+Session::operator=(Session &&other) noexcept
+{
+    if (this != &other) {
+        retire();
+        rt_ = other.rt_;
+        id_ = other.id_;
+        other.rt_ = nullptr;
+    }
+    return *this;
+}
+
+Session::~Session()
+{
+    retire();
+}
+
+void
+Session::retire() noexcept
+{
+    if (rt_ == nullptr)
+        return;
+    // Execute anything still queued (handles may outlive the session
+    // object), then drop results nobody collected so they cannot
+    // accumulate across session lifetimes.
+    rt_->scheduler().drainSession(id_);
+    rt_->scheduler().discardSession(id_);
+    rt_ = nullptr;
+}
+
+MatrixHandle
+Session::setMatrix(const MatrixI &m, int element_bits, int precision)
+{
+    return setMatrixBits(
+        m, element_bits, Runtime::precisionToBitsPerCell(precision));
+}
+
+MatrixHandle
+Session::setMatrixBits(const MatrixI &m, int element_bits,
+                       int bits_per_cell)
+{
+    const int handle =
+        rt_->placeMatrix(m, element_bits, bits_per_cell, id_);
+    return MatrixHandle(rt_, handle, id_);
+}
+
+MvmFuture
+Session::submit(const MatrixHandle &handle, std::vector<i64> x,
+                int input_bits, Cycle earliest)
+{
+    if (!handle.valid())
+        throw std::invalid_argument(
+            "Session::submit: handle is not valid (released or "
+            "moved-from)");
+    if (handle.session_ != id_)
+        throw std::invalid_argument(
+            "Session::submit: matrix handle " +
+            std::to_string(handle.id()) + " belongs to session " +
+            std::to_string(handle.session_) + ", not to session " +
+            std::to_string(id_));
+    return rt_->scheduler().submit(rt_->placedRef(handle.id()),
+                                   std::move(x), input_bits, earliest);
+}
+
+MvmResult
+Session::wait(const MvmFuture &future)
+{
+    return rt_->scheduler().wait(future, id_);
+}
+
+void
+Session::waitAll()
+{
+    rt_->scheduler().drainSession(id_);
+}
+
+MvmResult
+Session::execMVM(const MatrixHandle &handle, const std::vector<i64> &x,
+                 int input_bits, Cycle earliest)
+{
+    return wait(submit(handle, x, input_bits, earliest));
+}
+
+} // namespace runtime
+} // namespace darth

@@ -126,6 +126,22 @@ TEST(AesPum, SurvivesModerateAnalogNoise)
     EXPECT_EQ(engine.encrypt(plaintext), encrypt(plaintext, kKey));
 }
 
+TEST(AesPum, ReKeyingReplacesThePlacement)
+{
+    // initArrays() twice (re-keying) must release and re-place the
+    // MixColumns matrix on the single-tile chip, not run out of HCTs.
+    AesPum engine(aesHct());
+    engine.initArrays({0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                       0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e,
+                       0x0f});
+    engine.encrypt(Block{});
+    engine.initArrays(kKey);
+    const Block plaintext = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30,
+                             0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+                             0x07, 0x34};
+    EXPECT_EQ(engine.encrypt(plaintext), encrypt(plaintext, kKey));
+}
+
 TEST(AesPum, EncryptWithoutInitIsFatal)
 {
     AesPum engine(aesHct());

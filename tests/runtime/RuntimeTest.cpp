@@ -1,7 +1,10 @@
 /**
  * @file
- * Tests for the Chip, placement planner, and Table 1 runtime calls.
+ * Tests for the Chip, placement planner, session-based runtime calls,
+ * and the deprecated blocking shims.
  */
+
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -122,13 +125,14 @@ TEST(Runtime, ExecMvmSinglePartExact)
 {
     Chip chip(smallChip());
     Runtime rt(chip);
+    Session session = rt.createSession();
     const MatrixI m = randomMatrix(8, 8, -1, 1, 211);
-    const int handle = rt.setMatrix(m, 1, 0);
+    const MatrixHandle handle = session.setMatrix(m, 1, 0);
     Rng rng(212);
     std::vector<i64> x(8);
     for (auto &v : x)
         v = rng.uniformInt(i64{0}, i64{7});
-    const auto result = rt.execMVM(handle, x, 3);
+    const auto result = session.execMVM(handle, x, 3);
     EXPECT_EQ(result.values, reference(m, x));
     EXPECT_GT(result.done, 0u);
 }
@@ -137,11 +141,12 @@ TEST(Runtime, ExecMvmColumnStripesExact)
 {
     Chip chip(smallChip(4));
     Runtime rt(chip);
+    Session session = rt.createSession();
     // 2 slices halve capacity: 8 rows x 32 cols may need > 1 part.
     const MatrixI m = randomMatrix(8, 32, -3, 3, 213);
-    const int handle = rt.setMatrix(m, 2, 0);
+    const MatrixHandle handle = session.setMatrix(m, 2, 0);
     std::vector<i64> x(8, 1);
-    const auto result = rt.execMVM(handle, x, 2);
+    const auto result = session.execMVM(handle, x, 2);
     EXPECT_EQ(result.values, reference(m, x));
 }
 
@@ -149,49 +154,159 @@ TEST(Runtime, ExecMvmRowSplitExact)
 {
     Chip chip(smallChip(8));
     Runtime rt(chip);
+    Session session = rt.createSession();
     const MatrixI m = randomMatrix(100, 8, -1, 1, 214);
-    const int handle = rt.setMatrix(m, 1, 0);
-    ASSERT_TRUE(rt.plan(handle).rowSplit);
+    const MatrixHandle handle = session.setMatrix(m, 1, 0);
+    ASSERT_TRUE(handle.plan().rowSplit);
     Rng rng(215);
     std::vector<i64> x(100);
     for (auto &v : x)
         v = rng.uniformInt(i64{0}, i64{3});
-    const auto result = rt.execMVM(handle, x, 2);
+    const auto result = session.execMVM(handle, x, 2);
     EXPECT_EQ(result.values, reference(m, x));
+}
+
+TEST(Runtime, RowSplitTallMatrixBitExactAcrossShapes)
+{
+    // A matrix taller than one HCT (64 rows at this geometry) must
+    // produce rowSplit plans whose cross-part adds are bit-exact
+    // against the integer reference, including signed inputs and
+    // multi-column-stripe shapes.
+    for (const std::size_t rows : {65u, 96u, 130u}) {
+        Chip chip(smallChip(16));
+        Runtime rt(chip);
+        Session session = rt.createSession();
+        const MatrixI m = randomMatrix(rows, 16, -3, 3,
+                                       300 + rows);
+        const MatrixHandle handle = session.setMatrix(m, 2, 0);
+        ASSERT_TRUE(handle.plan().rowSplit)
+            << rows << " rows should not fit one HCT";
+        Rng rng(400 + rows);
+        std::vector<i64> x(rows);
+        for (auto &v : x)
+            v = rng.uniformInt(i64{-4}, i64{3});
+        const auto result = session.execMVM(handle, x, 3);
+        EXPECT_EQ(result.values, reference(m, x))
+            << "row-split mismatch at " << rows << " rows";
+    }
 }
 
 TEST(Runtime, TwoMatricesUseDistinctHcts)
 {
     Chip chip(smallChip(4));
     Runtime rt(chip);
-    const int a = rt.setMatrix(randomMatrix(8, 8, 0, 1, 216), 1, 0);
-    const int b = rt.setMatrix(randomMatrix(8, 8, 0, 1, 217), 1, 0);
-    EXPECT_NE(rt.plan(a).parts[0].hctIndex,
-              rt.plan(b).parts[0].hctIndex);
+    Session session = rt.createSession();
+    const MatrixHandle a =
+        session.setMatrix(randomMatrix(8, 8, 0, 1, 216), 1, 0);
+    const MatrixHandle b =
+        session.setMatrix(randomMatrix(8, 8, 0, 1, 217), 1, 0);
+    EXPECT_NE(a.plan().parts[0].hctIndex, b.plan().parts[0].hctIndex);
     // Both matrices stay usable.
     std::vector<i64> x(8, 1);
-    EXPECT_EQ(rt.execMVM(a, x, 1).values, reference(rt.matrix(a), x));
-    EXPECT_EQ(rt.execMVM(b, x, 1).values, reference(rt.matrix(b), x));
+    EXPECT_EQ(session.execMVM(a, x, 1).values,
+              reference(a.matrix(), x));
+    EXPECT_EQ(session.execMVM(b, x, 1).values,
+              reference(b.matrix(), x));
 }
 
 TEST(Runtime, OutOfHctsIsFatal)
 {
     Chip chip(smallChip(1));
     Runtime rt(chip);
-    rt.setMatrix(randomMatrix(8, 8, 0, 1, 218), 1, 0);
-    EXPECT_THROW(rt.setMatrix(randomMatrix(8, 8, 0, 1, 219), 1, 0),
+    Session session = rt.createSession();
+    const MatrixHandle held =
+        session.setMatrix(randomMatrix(8, 8, 0, 1, 218), 1, 0);
+    EXPECT_THROW(session.setMatrix(randomMatrix(8, 8, 0, 1, 219), 1, 0),
                  std::runtime_error);
+    EXPECT_TRUE(held.valid());
+}
+
+TEST(Runtime, FreeMatrixReclaimsHcts)
+{
+    // The seed leaked placements forever; released handles must
+    // return their tiles to the free pool.
+    Chip chip(smallChip(1));
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    EXPECT_EQ(rt.freeHcts(), 1u);
+    {
+        const MatrixHandle handle =
+            session.setMatrix(randomMatrix(8, 8, 0, 1, 220), 1, 0);
+        EXPECT_EQ(rt.freeHcts(), 0u);
+    }
+    EXPECT_EQ(rt.freeHcts(), 1u);
+    // The reclaimed tile is reusable, and the new placement works.
+    const MatrixI m = randomMatrix(8, 8, -1, 1, 221);
+    const MatrixHandle again = session.setMatrix(m, 1, 0);
+    std::vector<i64> x(8, 1);
+    EXPECT_EQ(session.execMVM(again, x, 1).values, reference(m, x));
+}
+
+TEST(Runtime, PlacementCursorSkipsOccupiedHcts)
+{
+    Chip chip(smallChip(3));
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixHandle a =
+        session.setMatrix(randomMatrix(8, 8, 0, 1, 222), 1, 0);
+    MatrixHandle b = session.setMatrix(randomMatrix(8, 8, 0, 1, 223),
+                                       1, 0);
+    const MatrixHandle c =
+        session.setMatrix(randomMatrix(8, 8, 0, 1, 224), 1, 0);
+    EXPECT_EQ(rt.freeHcts(), 0u);
+    // Free the middle tile; the cursor (wrapped back to tile 0,
+    // which is still fully allocated) must skip it and land on the
+    // reclaimed tile.
+    const std::size_t freed = b.plan().parts[0].hctIndex;
+    b.release();
+    const MatrixHandle d =
+        session.setMatrix(randomMatrix(8, 8, 0, 1, 225), 1, 0);
+    EXPECT_EQ(d.plan().parts[0].hctIndex, freed);
+    EXPECT_NE(d.plan().parts[0].hctIndex,
+              a.plan().parts[0].hctIndex);
+    EXPECT_NE(d.plan().parts[0].hctIndex,
+              c.plan().parts[0].hctIndex);
+}
+
+TEST(Runtime, MvmInputLengthMismatchThrowsInvalidArgument)
+{
+    Chip chip(smallChip());
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixHandle handle =
+        session.setMatrix(randomMatrix(8, 8, 0, 1, 226), 1, 0);
+    // Too short and too long both throw std::invalid_argument (not a
+    // silent truncation / out-of-bounds read).
+    EXPECT_THROW(session.submit(handle, std::vector<i64>(7, 1), 1),
+                 std::invalid_argument);
+    EXPECT_THROW(session.submit(handle, std::vector<i64>(9, 1), 1),
+                 std::invalid_argument);
+    try {
+        session.submit(handle, std::vector<i64>(3, 1), 1);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("3 elements"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("8 rows"), std::string::npos) << msg;
+    }
+    EXPECT_THROW(session.submit(handle, std::vector<i64>(8, 1), 0),
+                 std::invalid_argument);
+    // The handle still works after the rejected submissions.
+    std::vector<i64> x(8, 1);
+    EXPECT_EQ(session.execMVM(handle, x, 1).values,
+              reference(handle.matrix(), x));
 }
 
 TEST(Runtime, UpdateRowPropagates)
 {
     Chip chip(smallChip());
     Runtime rt(chip);
+    Session session = rt.createSession();
     MatrixI m(4, 4, 0);
-    const int handle = rt.setMatrix(m, 1, 0);
-    rt.updateRow(handle, 2, {1, 1, 1, 1});
+    const MatrixHandle handle = session.setMatrix(m, 1, 0);
+    rt.updateRow(handle.id(), 2, {1, 1, 1, 1});
     std::vector<i64> x = {0, 0, 1, 0};
-    EXPECT_EQ(rt.execMVM(handle, x, 1).values,
+    EXPECT_EQ(session.execMVM(handle, x, 1).values,
               (std::vector<i64>{1, 1, 1, 1}));
 }
 
@@ -199,11 +314,12 @@ TEST(Runtime, UpdateColPropagates)
 {
     Chip chip(smallChip());
     Runtime rt(chip);
+    Session session = rt.createSession();
     MatrixI m(4, 4, 0);
-    const int handle = rt.setMatrix(m, 1, 0);
-    rt.updateCol(handle, 1, {1, 0, 1, 0});
+    const MatrixHandle handle = session.setMatrix(m, 1, 0);
+    rt.updateCol(handle.id(), 1, {1, 0, 1, 0});
     std::vector<i64> x = {1, 1, 1, 1};
-    EXPECT_EQ(rt.execMVM(handle, x, 1).values,
+    EXPECT_EQ(session.execMVM(handle, x, 1).values,
               (std::vector<i64>{0, 2, 0, 0}));
 }
 
@@ -211,12 +327,60 @@ TEST(Runtime, DisableAnalogModeBlocksMvm)
 {
     Chip chip(smallChip());
     Runtime rt(chip);
-    const int handle =
-        rt.setMatrix(randomMatrix(8, 8, 0, 1, 220), 1, 0);
-    rt.disableAnalogMode(handle, 0);
-    EXPECT_THROW((void)rt.execMVM(handle, std::vector<i64>(8, 1), 1),
+    Session session = rt.createSession();
+    const MatrixHandle handle =
+        session.setMatrix(randomMatrix(8, 8, 0, 1, 227), 1, 0);
+    rt.disableAnalogMode(handle.id(), 0);
+    EXPECT_THROW((void)session.submit(handle, std::vector<i64>(8, 1),
+                                      1),
                  std::runtime_error);
 }
+
+// ---------------------------------------------------------------------------
+// Deprecated blocking shims (kept until every caller has migrated;
+// see docs/runtime-api.md for the migration table).
+// ---------------------------------------------------------------------------
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(RuntimeShim, BlockingCallsMatchSessionPath)
+{
+    const MatrixI m = randomMatrix(8, 8, -2, 2, 228);
+    Rng rng(229);
+    std::vector<i64> x(8);
+    for (auto &v : x)
+        v = rng.uniformInt(i64{-4}, i64{3});
+
+    Chip shim_chip(smallChip());
+    Runtime shim_rt(shim_chip);
+    const int handle = shim_rt.setMatrix(m, 2, 0);
+    const auto shim_result = shim_rt.execMVM(handle, x, 3);
+
+    Chip session_chip(smallChip());
+    Runtime session_rt(session_chip);
+    Session session = session_rt.createSession();
+    const MatrixHandle session_handle = session.setMatrix(m, 2, 0);
+    const auto session_result = session.execMVM(session_handle, x, 3);
+
+    EXPECT_EQ(shim_result.values, session_result.values);
+    EXPECT_EQ(shim_result.done, session_result.done);
+    EXPECT_EQ(shim_result.values, reference(m, x));
+}
+
+TEST(RuntimeShim, LegacyHandlesFreeExplicitly)
+{
+    Chip chip(smallChip(1));
+    Runtime rt(chip);
+    const int handle =
+        rt.setMatrix(randomMatrix(8, 8, 0, 1, 230), 1, 0);
+    EXPECT_EQ(rt.freeHcts(), 0u);
+    rt.freeMatrix(handle);
+    EXPECT_EQ(rt.freeHcts(), 1u);
+    EXPECT_THROW((void)rt.plan(handle), std::runtime_error);
+}
+
+#pragma GCC diagnostic pop
 
 TEST(KernelModel, MvmCostMatchesHct)
 {

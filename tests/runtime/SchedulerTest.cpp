@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Tests for the asynchronous session API: the submission queue,
+ * cross-HCT packing, per-session isolation, RAII handle lifetime,
+ * and bit-identity between interleaved and sequential execution.
+ */
+
+#include <stdexcept>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/Random.h"
+#include "runtime/Runtime.h"
+
+namespace darth
+{
+namespace runtime
+{
+namespace
+{
+
+ChipConfig
+smallChip(std::size_t num_hcts = 4)
+{
+    ChipConfig cfg;
+    cfg.hct.dce.numPipelines = 4;
+    cfg.hct.dce.pipeline.depth = 32;
+    cfg.hct.dce.pipeline.width = 8;
+    cfg.hct.dce.pipeline.numRegs = 8;
+    cfg.hct.ace.numArrays = 8;
+    cfg.hct.ace.arrayRows = 16;   // 8 signed rows per array
+    cfg.hct.ace.arrayCols = 8;
+    cfg.numHcts = num_hcts;
+    return cfg;
+}
+
+MatrixI
+randomMatrix(std::size_t rows, std::size_t cols, i64 lo, i64 hi,
+             u64 seed)
+{
+    Rng rng(seed);
+    MatrixI m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            m(r, c) = rng.uniformInt(lo, hi);
+    return m;
+}
+
+std::vector<i64>
+reference(const MatrixI &m, const std::vector<i64> &x)
+{
+    std::vector<i64> out(m.cols(), 0);
+    for (std::size_t c = 0; c < m.cols(); ++c)
+        for (std::size_t r = 0; r < m.rows(); ++r)
+            out[c] += m(r, c) * x[r];
+    return out;
+}
+
+std::vector<std::vector<i64>>
+randomInputs(std::size_t count, std::size_t len, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<i64>> inputs(count,
+                                         std::vector<i64>(len, 0));
+    for (auto &x : inputs)
+        for (auto &v : x)
+            v = rng.uniformInt(i64{-4}, i64{3});
+    return inputs;
+}
+
+// Acceptance: two sessions interleaving submissions on one chip get
+// isolated handles and results bit-identical to running the same
+// work sequentially, one blocking MVM at a time, on a fresh chip.
+TEST(Scheduler, InterleavedSessionsMatchSequentialExecution)
+{
+    const MatrixI m_a = randomMatrix(8, 8, -2, 2, 501);
+    const MatrixI m_b = randomMatrix(8, 8, -3, 3, 502);
+    const auto inputs_a = randomInputs(6, 8, 503);
+    const auto inputs_b = randomInputs(6, 8, 504);
+
+    // Interleaved: both sessions submit everything before waiting.
+    Chip chip(smallChip(4));
+    Runtime rt(chip);
+    Session tenant_a = rt.createSession();
+    Session tenant_b = rt.createSession();
+    const MatrixHandle handle_a = tenant_a.setMatrix(m_a, 2, 0);
+    const MatrixHandle handle_b = tenant_b.setMatrix(m_b, 2, 0);
+    EXPECT_NE(handle_a.plan().parts[0].hctIndex,
+              handle_b.plan().parts[0].hctIndex);
+
+    std::vector<MvmFuture> futures_a, futures_b;
+    for (std::size_t i = 0; i < inputs_a.size(); ++i) {
+        futures_a.push_back(tenant_a.submit(handle_a, inputs_a[i], 3));
+        futures_b.push_back(tenant_b.submit(handle_b, inputs_b[i], 3));
+    }
+    EXPECT_EQ(rt.scheduler().pendingCount(),
+              inputs_a.size() + inputs_b.size());
+
+    // Sequential: one fresh chip per tenant, strictly blocking.
+    Chip seq_chip_a(smallChip(4));
+    Runtime seq_rt_a(seq_chip_a);
+    Session seq_a = seq_rt_a.createSession();
+    const MatrixHandle seq_handle_a = seq_a.setMatrix(m_a, 2, 0);
+    Chip seq_chip_b(smallChip(4));
+    Runtime seq_rt_b(seq_chip_b);
+    Session seq_b = seq_rt_b.createSession();
+    const MatrixHandle seq_handle_b = seq_b.setMatrix(m_b, 2, 0);
+
+    for (std::size_t i = 0; i < inputs_a.size(); ++i) {
+        const auto got_a = tenant_a.wait(futures_a[i]);
+        const auto got_b = tenant_b.wait(futures_b[i]);
+        const auto want_a = seq_a.execMVM(seq_handle_a, inputs_a[i], 3);
+        const auto want_b = seq_b.execMVM(seq_handle_b, inputs_b[i], 3);
+        EXPECT_EQ(got_a.values, want_a.values) << "tenant A, MVM " << i;
+        EXPECT_EQ(got_b.values, want_b.values) << "tenant B, MVM " << i;
+        EXPECT_EQ(got_a.values, reference(m_a, inputs_a[i]));
+        EXPECT_EQ(got_b.values, reference(m_b, inputs_b[i]));
+    }
+    EXPECT_EQ(rt.scheduler().pendingCount(), 0u);
+}
+
+TEST(Scheduler, SessionsCannotUseForeignHandles)
+{
+    Chip chip(smallChip(4));
+    Runtime rt(chip);
+    Session tenant_a = rt.createSession();
+    Session tenant_b = rt.createSession();
+    const MatrixHandle handle_a =
+        tenant_a.setMatrix(randomMatrix(8, 8, 0, 1, 505), 1, 0);
+    EXPECT_THROW(tenant_b.submit(handle_a, std::vector<i64>(8, 1), 1),
+                 std::invalid_argument);
+    // The rightful owner is unaffected.
+    EXPECT_EQ(tenant_a.execMVM(handle_a, std::vector<i64>(8, 1), 1)
+                  .values,
+              reference(handle_a.matrix(), std::vector<i64>(8, 1)));
+}
+
+TEST(Scheduler, HandleMoveTransfersOwnership)
+{
+    Chip chip(smallChip(2));
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    MatrixHandle a =
+        session.setMatrix(randomMatrix(8, 8, 0, 1, 506), 1, 0);
+    const MatrixI m = a.matrix();
+    MatrixHandle b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    EXPECT_THROW(session.submit(a, std::vector<i64>(8, 1), 1),
+                 std::invalid_argument);
+    EXPECT_EQ(session.execMVM(b, std::vector<i64>(8, 1), 1).values,
+              reference(m, std::vector<i64>(8, 1)));
+    // release() is idempotent and frees the tile.
+    b.release();
+    b.release();
+    EXPECT_EQ(rt.freeHcts(), 2u);
+}
+
+TEST(Scheduler, PendingWorkSurvivesHandleRelease)
+{
+    // Releasing a handle drains its in-flight MVMs; the futures stay
+    // resolvable afterwards.
+    Chip chip(smallChip(2));
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixI m = randomMatrix(8, 8, -1, 1, 507);
+    MatrixHandle handle = session.setMatrix(m, 1, 0);
+    const std::vector<i64> x(8, 1);
+    const MvmFuture future = session.submit(handle, x, 1);
+    handle.release();
+    EXPECT_EQ(rt.freeHcts(), 2u);
+    EXPECT_EQ(session.wait(future).values, reference(m, x));
+}
+
+TEST(Scheduler, DisjointPlacementsOverlapInTime)
+{
+    // Two matrices on different tiles: a batch against each overlaps
+    // in simulated time, so the makespan is far below the serialized
+    // sum.
+    Chip chip(smallChip(2));
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixHandle a =
+        session.setMatrix(randomMatrix(8, 8, -1, 1, 508), 1, 0);
+    const MatrixHandle b =
+        session.setMatrix(randomMatrix(8, 8, -1, 1, 509), 1, 0);
+    const std::vector<i64> x(8, 1);
+    const MvmFuture fa = session.submit(a, x, 2);
+    const MvmFuture fb = session.submit(b, x, 2);
+    const auto ra = session.wait(fa);
+    const auto rb = session.wait(fb);
+    // Both start at cycle 0 on their own tile.
+    EXPECT_EQ(ra.start, 0u);
+    EXPECT_EQ(rb.start, 0u);
+    EXPECT_EQ(rt.scheduler().makespan(),
+              std::max(ra.done, rb.done));
+}
+
+TEST(Scheduler, SameMatrixStreamIssuesAtAmortizedRate)
+{
+    // Back-to-back MVMs against one placement pipeline at the
+    // KernelModel amortized rate (the throughput the mappers and
+    // fig13 assume), not at the full serialized latency.
+    const auto cfg = smallChip(1);
+    Chip chip(cfg);
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixHandle handle =
+        session.setMatrix(randomMatrix(8, 8, -1, 1, 510), 1, 0);
+
+    constexpr std::size_t kBatch = 5;
+    std::vector<MvmFuture> futures;
+    for (std::size_t i = 0; i < kBatch; ++i)
+        futures.push_back(
+            session.submit(handle, std::vector<i64>(8, 1), 2));
+
+    KernelModel km(cfg.hct);
+    const auto oracle = km.mvm(MvmShape{8, 8, 1, 1, 2});
+    Cycle prev_done = 0;
+    for (std::size_t i = 0; i < kBatch; ++i) {
+        const auto result = session.wait(futures[i]);
+        if (i == 0) {
+            EXPECT_EQ(result.done, oracle.latency);
+        } else {
+            EXPECT_EQ(result.done - prev_done, oracle.amortized)
+                << "MVM " << i << " did not pipeline";
+        }
+        prev_done = result.done;
+    }
+}
+
+TEST(Scheduler, WaitAllDrainsEverything)
+{
+    Chip chip(smallChip(2));
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixHandle handle =
+        session.setMatrix(randomMatrix(8, 8, 0, 1, 511), 1, 0);
+    for (int i = 0; i < 4; ++i)
+        (void)session.submit(handle, std::vector<i64>(8, 1), 1);
+    EXPECT_EQ(rt.scheduler().pendingCount(), 4u);
+    session.waitAll();
+    EXPECT_EQ(rt.scheduler().pendingCount(), 0u);
+    EXPECT_EQ(rt.scheduler().completedCount(), 4u);
+    EXPECT_GT(rt.scheduler().makespan(), 0u);
+}
+
+TEST(Scheduler, SessionWaitAllLeavesOtherSessionsQueued)
+{
+    Chip chip(smallChip(2));
+    Runtime rt(chip);
+    Session tenant_a = rt.createSession();
+    Session tenant_b = rt.createSession();
+    const MatrixHandle handle_a =
+        tenant_a.setMatrix(randomMatrix(8, 8, 0, 1, 512), 1, 0);
+    const MatrixHandle handle_b =
+        tenant_b.setMatrix(randomMatrix(8, 8, 0, 1, 513), 1, 0);
+    (void)tenant_a.submit(handle_a, std::vector<i64>(8, 1), 1);
+    const MvmFuture fb =
+        tenant_b.submit(handle_b, std::vector<i64>(8, 1), 1);
+    tenant_a.waitAll();
+    EXPECT_EQ(rt.scheduler().pendingCount(), 1u);
+    EXPECT_EQ(tenant_b.wait(fb).values,
+              reference(handle_b.matrix(), std::vector<i64>(8, 1)));
+}
+
+TEST(Scheduler, CrossSessionWaitIsRejected)
+{
+    // Result isolation: a session cannot resolve (and consume)
+    // another session's future, before or after execution.
+    Chip chip(smallChip(2));
+    Runtime rt(chip);
+    Session tenant_a = rt.createSession();
+    Session tenant_b = rt.createSession();
+    const MatrixI m = randomMatrix(8, 8, -1, 1, 516);
+    const MatrixHandle handle_a = tenant_a.setMatrix(m, 1, 0);
+    const std::vector<i64> x(8, 1);
+    const MvmFuture pending = tenant_a.submit(handle_a, x, 1);
+    EXPECT_THROW((void)tenant_b.wait(pending), std::invalid_argument);
+    const MvmFuture executed = tenant_a.submit(handle_a, x, 1);
+    tenant_a.waitAll();
+    EXPECT_THROW((void)tenant_b.wait(executed),
+                 std::invalid_argument);
+    // The owner still collects both.
+    EXPECT_EQ(tenant_a.wait(pending).values, reference(m, x));
+    EXPECT_EQ(tenant_a.wait(executed).values, reference(m, x));
+}
+
+TEST(Scheduler, MidStreamEarliestStillPaysFullLatency)
+{
+    // A request whose `earliest` lands inside a running same-matrix
+    // stream pipelines, but can never complete sooner than one full
+    // MVM after its own issue cycle.
+    const auto cfg = smallChip(1);
+    Chip chip(cfg);
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixHandle handle =
+        session.setMatrix(randomMatrix(8, 8, -1, 1, 517), 1, 0);
+    KernelModel km(cfg.hct);
+    const auto oracle = km.mvm(MvmShape{8, 8, 1, 1, 2});
+
+    const MvmFuture first =
+        session.submit(handle, std::vector<i64>(8, 1), 2);
+    // Issue just before the first MVM completes.
+    const Cycle mid = oracle.latency - 1;
+    const MvmFuture second =
+        session.submit(handle, std::vector<i64>(8, 1), 2, mid);
+    (void)session.wait(first);
+    const auto result = session.wait(second);
+    EXPECT_GE(result.start, mid);
+    EXPECT_GE(result.done, result.start + oracle.latency);
+}
+
+TEST(Scheduler, FuturesResolveExactlyOnce)
+{
+    Chip chip(smallChip(1));
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixHandle handle =
+        session.setMatrix(randomMatrix(8, 8, 0, 1, 514), 1, 0);
+    const MvmFuture future =
+        session.submit(handle, std::vector<i64>(8, 1), 1);
+    (void)session.wait(future);
+    EXPECT_THROW((void)session.wait(future), std::invalid_argument);
+    EXPECT_THROW((void)session.wait(MvmFuture{}),
+                 std::invalid_argument);
+}
+
+TEST(Scheduler, SessionTeardownDrainsAndDiscards)
+{
+    // A session that dies with queued work executes it (handles may
+    // outlive the session object) but its uncollected results are
+    // dropped rather than retained forever.
+    Chip chip(smallChip(2));
+    Runtime rt(chip);
+    {
+        Session session = rt.createSession();
+        const MatrixHandle handle =
+            session.setMatrix(randomMatrix(8, 8, 0, 1, 518), 1, 0);
+        for (int i = 0; i < 3; ++i)
+            (void)session.submit(handle, std::vector<i64>(8, 1), 1);
+        EXPECT_EQ(rt.scheduler().pendingCount(), 3u);
+    }
+    EXPECT_EQ(rt.scheduler().pendingCount(), 0u);
+    EXPECT_EQ(rt.scheduler().completedCount(), 3u);
+    EXPECT_EQ(rt.scheduler().uncollectedCount(), 0u);
+    // The chip is fully reusable by the next tenant.
+    EXPECT_EQ(rt.freeHcts(), 2u);
+    Session next = rt.createSession();
+    const MatrixI m = randomMatrix(8, 8, -1, 1, 519);
+    const MatrixHandle handle = next.setMatrix(m, 1, 0);
+    EXPECT_EQ(next.execMVM(handle, std::vector<i64>(8, 1), 1).values,
+              reference(m, std::vector<i64>(8, 1)));
+}
+
+TEST(Scheduler, EarliestBoundsTheStartCycle)
+{
+    Chip chip(smallChip(1));
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixHandle handle =
+        session.setMatrix(randomMatrix(8, 8, 0, 1, 515), 1, 0);
+    const auto result = session.execMVM(
+        handle, std::vector<i64>(8, 1), 1, /*earliest=*/1000);
+    EXPECT_GE(result.start, 1000u);
+    EXPECT_GT(result.done, 1000u);
+}
+
+} // namespace
+} // namespace runtime
+} // namespace darth

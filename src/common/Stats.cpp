@@ -1,5 +1,6 @@
 #include "common/Stats.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace darth
@@ -14,6 +15,55 @@ geoMean(const std::vector<double> &ratios)
     for (double r : ratios)
         log_sum += std::log(r);
     return std::exp(log_sum / static_cast<double>(ratios.size()));
+}
+
+namespace
+{
+
+/** Nearest-rank percentile over an already-sorted sample: ceil(p/100
+ *  * N), 1-indexed; p = 0 maps to the minimum. */
+double
+sortedPercentile(const std::vector<double> &sorted, double p)
+{
+    p = std::min(100.0, std::max(0.0, p));
+    const std::size_t n = sorted.size();
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    return sorted[rank - 1];
+}
+
+} // namespace
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    return sortedPercentile(values, p);
+}
+
+SampleSummary
+summarize(const std::vector<double> &values)
+{
+    SampleSummary s;
+    if (values.empty())
+        return s;
+    s.count = values.size();
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    s.min = sorted.front();
+    s.max = sorted.back();
+    double sum = 0.0;
+    for (double v : sorted)
+        sum += v;
+    s.mean = sum / static_cast<double>(sorted.size());
+    s.p50 = sortedPercentile(sorted, 50.0);
+    s.p95 = sortedPercentile(sorted, 95.0);
+    s.p99 = sortedPercentile(sorted, 99.0);
+    return s;
 }
 
 } // namespace darth

@@ -125,6 +125,29 @@ class CostTally
 /** Geometric mean of a list of positive ratios (1.0 for empty input). */
 double geoMean(const std::vector<double> &ratios);
 
+/**
+ * Nearest-rank percentile of a sample: the smallest value such that
+ * at least p percent of the sample is <= it. `p` is clamped to
+ * [0, 100]; an empty sample yields 0. Takes the sample by value (it
+ * is sorted internally).
+ */
+double percentile(std::vector<double> values, double p);
+
+/** Latency-distribution summary used by the serving telemetry. */
+struct SampleSummary
+{
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/** Summarize a sample (all-zero summary for empty input). */
+SampleSummary summarize(const std::vector<double> &values);
+
 } // namespace darth
 
 #endif // DARTH_COMMON_STATS_H

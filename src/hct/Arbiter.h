@@ -59,6 +59,16 @@ class Arbiter
             busyUntil_ = when;
     }
 
+    /**
+     * Overwrite the busy horizon (both directions). The cross-HCT
+     * scheduler uses this after every issue it timed itself: the
+     * functional HCT executes pipelined same-matrix streams
+     * serially, so without a rebase its internal clock drifts
+     * unboundedly ahead of the modeled amortized timeline and a
+     * later idle-tile issue would pay the phantom time.
+     */
+    void rebase(Cycle when) { busyUntil_ = when; }
+
     Mode mode() const { return mode_; }
     Cycle busyUntil() const { return busyUntil_; }
     u64 switchCount() const { return switches_; }

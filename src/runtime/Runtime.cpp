@@ -185,15 +185,6 @@ Runtime::placedRef(int handle)
         static_cast<const Runtime *>(this)->placedRef(handle));
 }
 
-MvmResult
-Runtime::execBlocking(int handle, const std::vector<i64> &x,
-                      int input_bits, Cycle start)
-{
-    PlacedMatrix &pm = placedRef(handle);
-    MvmFuture future = scheduler_.submit(pm, x, input_bits, start);
-    return scheduler_.wait(future);
-}
-
 void
 Runtime::updateRow(int handle, std::size_t row,
                    const std::vector<i64> &values)
@@ -264,22 +255,6 @@ const MatrixI &
 Runtime::matrix(int handle) const
 {
     return placedRef(handle).matrix;
-}
-
-int
-Runtime::setMatrix(const MatrixI &m, int element_size, int precision)
-{
-    // Legacy session 0: handles live until freeMatrix() is called
-    // explicitly (the seed's leak, kept for compatibility).
-    return placeMatrix(m, element_size,
-                       precisionToBitsPerCell(precision), 0);
-}
-
-MvmResult
-Runtime::execMVM(int handle, const std::vector<i64> &x, int input_bits,
-                 Cycle start)
-{
-    return execBlocking(handle, x, input_bits, start);
 }
 
 } // namespace runtime

@@ -19,9 +19,9 @@
  * stripes (with cross-part output adds) otherwise, and the 0-2
  * precision scale maps onto bits per cell.
  *
- * The original blocking entry points — setMatrix() returning a raw
- * int and the run-to-completion execMVM() — remain as deprecated
- * shims that delegate to a private legacy session.
+ * The original blocking entry points (setMatrix() returning a raw
+ * int, run-to-completion execMVM()) are gone; docs/runtime-api.md
+ * keeps the migration table from that surface to sessions.
  */
 
 #ifndef DARTH_RUNTIME_RUNTIME_H
@@ -119,35 +119,12 @@ class Runtime
 
     Chip &chip() { return chip_; }
 
-    // ------------------------------------------------------------------
-    // Deprecated blocking API (pre-session shims).
-    // ------------------------------------------------------------------
-
-    /**
-     * \deprecated Handles returned here are never reclaimed
-     * automatically; use Session::setMatrix for RAII handles.
-     */
-    [[deprecated("use Session::setMatrix (createSession())")]]
-    int setMatrix(const MatrixI &m, int element_size, int precision);
-
-    /**
-     * \deprecated Runs one MVM to completion; use Session::submit /
-     * wait to keep many MVMs in flight.
-     */
-    [[deprecated("use Session::submit + wait")]]
-    MvmResult execMVM(int handle, const std::vector<i64> &x,
-                      int input_bits, Cycle start = 0);
-
   private:
     friend class Session;
     friend class MatrixHandle;
 
     const PlacedMatrix &placedRef(int handle) const;
     PlacedMatrix &placedRef(int handle);
-
-    /** Shared implementation of the blocking shims. */
-    MvmResult execBlocking(int handle, const std::vector<i64> &x,
-                           int input_bits, Cycle start);
 
     Chip &chip_;
     Scheduler scheduler_;

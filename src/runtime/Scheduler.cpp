@@ -71,6 +71,23 @@ Scheduler::achievableStart(const Request &req) const
 std::size_t
 Scheduler::pickNext() const
 {
+    if (dequeueHook_) {
+        std::vector<QueuedRequest> view;
+        view.reserve(queue_.size());
+        for (const auto &req : queue_) {
+            QueuedRequest q;
+            q.id = req.id;
+            q.session = req.session;
+            q.handle = req.pm->id;
+            q.earliest = req.earliest;
+            q.achievableStart = achievableStart(req);
+            view.push_back(q);
+        }
+        const std::size_t picked = dequeueHook_(view);
+        if (picked < queue_.size())
+            return picked;
+        // Out-of-range pick: fall through to the greedy default.
+    }
     std::size_t best = 0;
     Cycle best_start = achievableStart(queue_[0]);
     for (std::size_t i = 1; i < queue_.size(); ++i) {
@@ -82,6 +99,33 @@ Scheduler::pickNext() const
         }
     }
     return best;
+}
+
+void
+Scheduler::setDequeueHook(DequeueHook hook)
+{
+    dequeueHook_ = std::move(hook);
+}
+
+DequeueHook
+Scheduler::submissionOrderHook()
+{
+    return [](const std::vector<QueuedRequest> &queue) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < queue.size(); ++i)
+            if (queue[i].id < queue[best].id)
+                best = i;
+        return best;
+    };
+}
+
+std::size_t
+Scheduler::pendingRequests(u64 session) const
+{
+    std::size_t count = 0;
+    for (const auto &req : queue_)
+        count += req.session == session;
+    return count;
 }
 
 void
@@ -130,6 +174,12 @@ Scheduler::executeAt(std::size_t index)
                 : std::max(prev_busy + mvm_cost.amortized,
                            start + mvm_cost.latency);
         busyUntil_[part.hctIndex] = part_done;
+        // Keep the functional tile's clock on the modeled timeline:
+        // the Hct ran this issue serially, so for pipelined issues
+        // its arbiter would otherwise drift ahead of the amortized
+        // schedule and bill the phantom time to the next idle-tile
+        // issue.
+        chip_.hct(part.hctIndex).arbiter().rebase(part_done);
         nextIssue_[part.hctIndex] = start + mvm_cost.amortized;
         lastUid_[part.hctIndex] = req.pm->uid;
 
@@ -157,6 +207,7 @@ Scheduler::executeAt(std::size_t index)
             done += penalty;
             const std::size_t home = plan.parts[0].hctIndex;
             busyUntil_[home] = std::max(busyUntil_[home], done);
+            chip_.hct(home).arbiter().rebase(busyUntil_[home]);
             // The home tile's DCE is doing the cross-part adds, so
             // the next pipelined issue slips by the same amount.
             nextIssue_[home] += penalty;
@@ -170,19 +221,7 @@ Scheduler::executeAt(std::size_t index)
 }
 
 MvmResult
-Scheduler::wait(const MvmFuture &future)
-{
-    return waitImpl(future, nullptr);
-}
-
-MvmResult
 Scheduler::wait(const MvmFuture &future, u64 session)
-{
-    return waitImpl(future, &session);
-}
-
-MvmResult
-Scheduler::waitImpl(const MvmFuture &future, const u64 *session)
 {
     if (!future.valid())
         throw std::invalid_argument(
@@ -199,21 +238,21 @@ Scheduler::waitImpl(const MvmFuture &future, const u64 *session)
                 "Scheduler::wait: future " +
                 std::to_string(future.id()) +
                 " is unknown or was already collected");
-        if (session != nullptr && qit->session != *session)
+        if (qit->session != session)
             throw std::invalid_argument(
                 "Scheduler::wait: future " +
                 std::to_string(future.id()) + " belongs to session " +
                 std::to_string(qit->session) + ", not to session " +
-                std::to_string(*session));
+                std::to_string(session));
         while ((it = results_.find(future.id())) == results_.end())
             executeAt(pickNext());
     }
-    if (session != nullptr && it->second.session != *session)
+    if (it->second.session != session)
         throw std::invalid_argument(
             "Scheduler::wait: future " + std::to_string(future.id()) +
             " belongs to session " +
             std::to_string(it->second.session) + ", not to session " +
-            std::to_string(*session));
+            std::to_string(session));
     MvmResult result = std::move(it->second.result);
     results_.erase(it);
     return result;

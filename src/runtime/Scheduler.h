@@ -2,7 +2,7 @@
  * @file
  * Asynchronous MVM submission queue and cross-HCT scheduler.
  *
- * Sessions (and the deprecated blocking shims) do not execute MVMs
+ * Sessions do not execute MVMs
  * directly: they enqueue MvmRequests and receive MvmFuture tokens.
  * The scheduler packs queued requests onto the tiles that hold their
  * matrices, tracking a busy-until cycle per HCT, so requests whose
@@ -17,6 +17,9 @@
  * waitAll()/barrier), always in a deterministic greedy order —
  * earliest achievable start first, submission order as tiebreak — so
  * results and timings are reproducible regardless of wait order.
+ * A pluggable dequeue hook (setDequeueHook) lets a serving front end
+ * override the greedy order, e.g. to drain strictly in admission
+ * order (see src/serve/Admission.h).
  *
  * Functional results are bit-exact and independent of scheduling;
  * only the start/done cycle stamps depend on queue contention.
@@ -26,6 +29,7 @@
 #define DARTH_RUNTIME_SCHEDULER_H
 
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -58,6 +62,28 @@ class MvmFuture
 
     RequestId id_ = 0;
 };
+
+/** Public view of one queued request, offered to dequeue hooks. */
+struct QueuedRequest
+{
+    RequestId id = 0;
+    /** Session that submitted the request. */
+    u64 session = 0;
+    /** Registry id of the target placement. */
+    int handle = -1;
+    /** Lower bound on the start cycle given at submit. */
+    Cycle earliest = 0;
+    /** Earliest start the request could achieve right now. */
+    Cycle achievableStart = 0;
+};
+
+/**
+ * Picks the index (into the queue view) of the next request to
+ * execute. Returning an index >= the view size falls back to the
+ * greedy earliest-start default for that pick.
+ */
+using DequeueHook =
+    std::function<std::size_t(const std::vector<QueuedRequest> &)>;
 
 /** Result of one MVM request. */
 struct MvmResult
@@ -118,6 +144,28 @@ class Scheduler
     /** Queued-but-unexecuted request count. */
     std::size_t pendingCount() const { return queue_.size(); }
 
+    /**
+     * Submission-queue depth: synonym of pendingCount(), named for
+     * the admission layer that uses it as its backpressure signal.
+     */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    /** Queued-but-unexecuted requests belonging to one session. */
+    std::size_t pendingRequests(u64 session) const;
+
+    /**
+     * Install (or, with a null hook, remove) a dequeue-order
+     * override. The hook sees a snapshot of the queue and names the
+     * request to execute next; timings still honour per-tile
+     * busy-until packing, so the hook reorders service, it does not
+     * bypass contention. The default (no hook) is the greedy
+     * earliest-achievable-start order.
+     */
+    void setDequeueHook(DequeueHook hook);
+
+    /** A hook that drains strictly in submission (RequestId) order. */
+    static DequeueHook submissionOrderHook();
+
     /** Requests executed over the scheduler's lifetime. */
     u64 completedCount() const { return completed_; }
 
@@ -131,11 +179,6 @@ class Scheduler
     Cycle makespan() const;
 
   private:
-    /** Unchecked resolve — reachable only from the legacy blocking
-     *  shim, which predates session ownership. */
-    friend class Runtime;
-    MvmResult wait(const MvmFuture &future);
-
     struct Request
     {
         RequestId id = 0;
@@ -154,9 +197,6 @@ class Scheduler
         u64 session = 0;
     };
 
-    /** Shared wait path; `session` null = unchecked (legacy shim). */
-    MvmResult waitImpl(const MvmFuture &future, const u64 *session);
-
     /** Cycle the tile could accept this request's part. */
     Cycle tileReady(std::size_t hct, const PlacedMatrix &pm) const;
 
@@ -171,6 +211,7 @@ class Scheduler
 
     Chip &chip_;
     KernelModel kernels_;
+    DequeueHook dequeueHook_;
     std::vector<Request> queue_;
     std::map<RequestId, CompletedRequest> results_;
     std::vector<Cycle> busyUntil_;

@@ -108,6 +108,18 @@ Session::retire() noexcept
     rt_ = nullptr;
 }
 
+void
+Session::requireLive(const char *what) const
+{
+    // A released (moved-from or retired) session must fail loudly at
+    // the call site rather than dereference a null runtime — the
+    // request would otherwise be accepted and only misbehave at wait.
+    if (rt_ == nullptr)
+        throw std::invalid_argument(
+            std::string(what) +
+            ": session has been released (moved-from)");
+}
+
 MatrixHandle
 Session::setMatrix(const MatrixI &m, int element_bits, int precision)
 {
@@ -119,6 +131,7 @@ MatrixHandle
 Session::setMatrixBits(const MatrixI &m, int element_bits,
                        int bits_per_cell)
 {
+    requireLive("Session::setMatrixBits");
     const int handle =
         rt_->placeMatrix(m, element_bits, bits_per_cell, id_);
     return MatrixHandle(rt_, handle, id_);
@@ -128,6 +141,7 @@ MvmFuture
 Session::submit(const MatrixHandle &handle, std::vector<i64> x,
                 int input_bits, Cycle earliest)
 {
+    requireLive("Session::submit");
     if (!handle.valid())
         throw std::invalid_argument(
             "Session::submit: handle is not valid (released or "
@@ -145,12 +159,14 @@ Session::submit(const MatrixHandle &handle, std::vector<i64> x,
 MvmResult
 Session::wait(const MvmFuture &future)
 {
+    requireLive("Session::wait");
     return rt_->scheduler().wait(future, id_);
 }
 
 void
 Session::waitAll()
 {
+    requireLive("Session::waitAll");
     rt_->scheduler().drainSession(id_);
 }
 

@@ -96,8 +96,9 @@ class Session
 
     /**
      * Enqueue one MVM; returns immediately with a future. Throws
-     * std::invalid_argument when the handle belongs to a different
-     * session or the input length does not match the plan.
+     * std::invalid_argument when the session itself has been released
+     * (moved-from), the handle belongs to a different session, or the
+     * input length does not match the plan.
      *
      * @param earliest  Lower bound on the start cycle.
      */
@@ -121,6 +122,9 @@ class Session
 
     /** Drain queued work and drop uncollected results (teardown). */
     void retire() noexcept;
+
+    /** Throw std::invalid_argument if the session was released. */
+    void requireLive(const char *what) const;
 
     Runtime *rt_;
     u64 id_;

@@ -1,0 +1,357 @@
+#include "serve/Admission.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace serve
+{
+
+const char *
+qosPolicyName(QosPolicy policy)
+{
+    switch (policy) {
+      case QosPolicy::Fifo:
+        return "fifo";
+      case QosPolicy::RoundRobin:
+        return "round_robin";
+      case QosPolicy::WeightedFair:
+        return "weighted_fair";
+    }
+    darth_panic("qosPolicyName: unknown policy");
+}
+
+const char *
+overflowPolicyName(OverflowPolicy policy)
+{
+    switch (policy) {
+      case OverflowPolicy::Block:
+        return "block";
+      case OverflowPolicy::Reject:
+        return "reject";
+    }
+    darth_panic("overflowPolicyName: unknown policy");
+}
+
+std::vector<Tenant>
+buildTenants(ChipPool &pool, const TrafficGen &gen,
+             const std::vector<TenantSpec> &specs)
+{
+    std::vector<Tenant> tenants;
+    tenants.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const TenantSpec &spec = specs[i];
+        // A zero modelKey means a private matrix: give the weights a
+        // unique identity (salted by the tenant index) but keep the
+        // placement key 0 so no affinity sharing happens.
+        const u64 weight_key = spec.modelKey != 0
+                                   ? spec.modelKey
+                                   : TrafficGen::privateModelKey(i);
+        const MatrixI m = gen.weights(spec.kind, weight_key);
+        Tenant tenant;
+        tenant.name = spec.name;
+        tenant.weight = spec.weight;
+        tenant.model = pool.placeModel(
+            spec.modelKey, m, TrafficGen::elementBits(spec.kind),
+            TrafficGen::bitsPerCell(spec.kind));
+        tenant.inputBits = TrafficGen::inputBits(spec.kind);
+        tenants.push_back(std::move(tenant));
+    }
+    return tenants;
+}
+
+AdmissionController::AdmissionController(ChipPool &pool,
+                                         std::vector<Tenant> tenants,
+                                         const AdmissionConfig &cfg)
+    : pool_(pool), tenants_(std::move(tenants)), cfg_(cfg)
+{
+    if (cfg.queueDepth == 0)
+        throw std::invalid_argument(
+            "AdmissionController: queueDepth must be at least 1");
+    for (const Tenant &t : tenants_) {
+        if (t.weight <= 0.0)
+            throw std::invalid_argument(
+                "AdmissionController: tenant '" + t.name +
+                "' has non-positive weight");
+        // Resolves the model (panics on an unknown ref) and pins the
+        // chip mapping used by run().
+        (void)pool_.modelChip(t.model);
+    }
+    // Serving drains are strictly admission-ordered: QoS is decided
+    // here, not re-decided by the packer's greedy order.
+    for (std::size_t c = 0; c < pool_.numChips(); ++c)
+        pool_.runtime(c).scheduler().setDequeueHook(
+            runtime::Scheduler::submissionOrderHook());
+}
+
+ServeReport
+AdmissionController::run(const std::vector<ServeRequest> &trace)
+{
+    const std::size_t num_chips = pool_.numChips();
+    const std::size_t num_tenants = tenants_.size();
+
+    ServeReport report;
+    report.tenants.resize(num_tenants);
+    for (std::size_t t = 0; t < num_tenants; ++t) {
+        report.tenants[t].name = tenants_[t].name;
+        report.tenants[t].weight = tenants_[t].weight;
+    }
+    report.chipMakespan.assign(num_chips, 0);
+    // Outputs are kept for the whole run so the checksum can be
+    // computed in trace order (stable across pool sizes/policies),
+    // then dropped unless the caller asked for them.
+    report.outputs.assign(trace.size(), {});
+
+    struct Pending
+    {
+        std::size_t reqIdx;
+        runtime::MvmFuture future;
+    };
+    struct ChipState
+    {
+        /** Admitted, timestamps not yet materialized (these sit in
+         *  the chip scheduler's submission queue). */
+        std::deque<Pending> notWaited;
+        /** Materialized completion cycles still occupying slots. */
+        std::priority_queue<Cycle, std::vector<Cycle>,
+                            std::greater<Cycle>>
+            occupied;
+        /** Tenants placed on this chip (round-robin rotation order). */
+        std::vector<std::size_t> tenants;
+        std::size_t rrCursor = 0;
+        std::size_t waitingCount = 0;
+        /** Start-time-fair-queueing virtual time (start tag of the
+         *  most recently admitted request). */
+        double virtualTime = 0.0;
+    };
+
+    std::vector<ChipState> chips(num_chips);
+    std::vector<std::deque<std::size_t>> waiting(num_tenants);
+    std::vector<std::size_t> tenantChip(num_tenants);
+    for (std::size_t t = 0; t < num_tenants; ++t) {
+        tenantChip[t] = pool_.modelChip(tenants_[t].model);
+        chips[tenantChip[t]].tenants.push_back(t);
+    }
+
+    // Weighted-fair accounting is start-time fair queueing: each
+    // admission of tenant t gets a start tag S = max(chip virtual
+    // time, t's finish tag) and advances t's finish tag by its
+    // *nominal* service (the KernelModel oracle latency of the
+    // tenant's MVM shape — the packet length of WFQ) divided by the
+    // weight. The max() with the chip's virtual time means an idle
+    // tenant banks no credit; charging the oracle cost rather than
+    // measured done-start keeps tile contention and pipelining from
+    // skewing the shares away from the weights.
+    std::vector<double> nominalCost(num_tenants, 0.0);
+    std::vector<double> finishTag(num_tenants, 0.0);
+    for (std::size_t t = 0; t < num_tenants; ++t)
+        nominalCost[t] =
+            static_cast<double>(pool_.nominalServiceCycles(
+                tenants_[t].model, tenants_[t].inputBits));
+
+    auto inflight = [&](const ChipState &cs) {
+        return cs.notWaited.size() + cs.occupied.size();
+    };
+
+    // Resolve the oldest admitted request: record telemetry and turn
+    // its submission-queue slot into a cycle-stamped occupied slot.
+    auto materializeFront = [&](std::size_t c) {
+        ChipState &cs = chips[c];
+        const Pending pending = cs.notWaited.front();
+        cs.notWaited.pop_front();
+        const ServeRequest &req = trace[pending.reqIdx];
+        const Tenant &tenant = tenants_[req.tenant];
+        runtime::MvmResult r =
+            pool_.wait(tenant.model, pending.future);
+
+        TenantStats &stats = report.tenants[req.tenant];
+        stats.completed += 1;
+        stats.latency.push_back(
+            static_cast<double>(r.done - req.arrival));
+        stats.queueing.push_back(
+            static_cast<double>(r.start - req.arrival));
+        stats.service.push_back(static_cast<double>(r.done - r.start));
+        stats.doneCycle.push_back(static_cast<double>(r.done));
+        stats.serviceCycles += static_cast<double>(r.done - r.start);
+
+        report.completed += 1;
+        report.makespan = std::max(report.makespan, r.done);
+        report.chipMakespan[c] = std::max(report.chipMakespan[c],
+                                          r.done);
+        cs.occupied.push(r.done);
+        report.outputs[pending.reqIdx] = std::move(r.values);
+    };
+
+    // Claim a submission slot usable by cycle `upTo`; returns the
+    // cycle the slot became free (0 when the window is not full).
+    auto acquireSlot =
+        [&](std::size_t c, Cycle up_to) -> std::optional<Cycle> {
+        ChipState &cs = chips[c];
+        if (inflight(cs) < cfg_.queueDepth)
+            return Cycle{0};
+        // Window full: the earliest completion frees the next slot.
+        // Materialize the whole submission queue so the earliest
+        // completion is exact, not just the earliest known.
+        while (!cs.notWaited.empty())
+            materializeFront(c);
+        const Cycle freed = cs.occupied.top();
+        if (freed > up_to)
+            return std::nullopt;
+        cs.occupied.pop();
+        return freed;
+    };
+
+    // QoS: pick the waiting tenant a freed slot goes to.
+    auto chooseTenant = [&](std::size_t c) -> std::size_t {
+        ChipState &cs = chips[c];
+        switch (cfg_.qos) {
+          case QosPolicy::Fifo: {
+            std::size_t best = num_tenants;
+            for (std::size_t t : cs.tenants) {
+                if (waiting[t].empty())
+                    continue;
+                if (best == num_tenants ||
+                    waiting[t].front() < waiting[best].front())
+                    best = t;
+            }
+            return best;
+          }
+          case QosPolicy::RoundRobin: {
+            for (std::size_t i = 0; i < cs.tenants.size(); ++i) {
+                const std::size_t pos =
+                    (cs.rrCursor + i) % cs.tenants.size();
+                if (!waiting[cs.tenants[pos]].empty()) {
+                    cs.rrCursor = (pos + 1) % cs.tenants.size();
+                    return cs.tenants[pos];
+                }
+            }
+            return num_tenants;
+          }
+          case QosPolicy::WeightedFair: {
+            // Smallest start tag first, ties to the oldest waiting
+            // request.
+            std::size_t best = num_tenants;
+            double best_start = 0.0;
+            for (std::size_t t : cs.tenants) {
+                if (waiting[t].empty())
+                    continue;
+                const double start =
+                    std::max(cs.virtualTime, finishTag[t]);
+                if (best == num_tenants || start < best_start ||
+                    (start == best_start &&
+                     waiting[t].front() < waiting[best].front())) {
+                    best = t;
+                    best_start = start;
+                }
+            }
+            return best;
+          }
+        }
+        darth_panic("AdmissionController: unknown QoS policy");
+    };
+
+    auto admit = [&](std::size_t c, Cycle slot_cycle) {
+        ChipState &cs = chips[c];
+        const std::size_t t = chooseTenant(c);
+        if (t >= num_tenants)
+            darth_panic("AdmissionController: admit with no waiting "
+                        "tenant on chip ", c);
+        const std::size_t req_idx = waiting[t].front();
+        waiting[t].pop_front();
+        cs.waitingCount -= 1;
+        const double start_tag =
+            std::max(cs.virtualTime, finishTag[t]);
+        cs.virtualTime = start_tag;
+        finishTag[t] = start_tag + nominalCost[t] / tenants_[t].weight;
+        const ServeRequest &req = trace[req_idx];
+        const Cycle at = std::max(slot_cycle, req.arrival);
+        Pending pending;
+        pending.reqIdx = req_idx;
+        pending.future =
+            pool_.submit(tenants_[req.tenant].model, req.input,
+                         tenants_[req.tenant].inputBits, at);
+        cs.notWaited.push_back(pending);
+    };
+
+    // Park a request in its tenant's waiting room.
+    auto enqueueWaiting = [&](std::size_t c, std::size_t tenant,
+                              std::size_t req_idx) {
+        waiting[tenant].push_back(req_idx);
+        chips[c].waitingCount += 1;
+    };
+
+    // Admit waiting requests into every slot freeing by `upTo`.
+    auto drainWaiting = [&](std::size_t c, Cycle up_to) {
+        while (chips[c].waitingCount > 0) {
+            const auto slot = acquireSlot(c, up_to);
+            if (!slot)
+                break;
+            admit(c, *slot);
+        }
+    };
+
+    Cycle prev_arrival = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const ServeRequest &req = trace[i];
+        if (req.tenant >= num_tenants)
+            darth_fatal("AdmissionController::run: request ", i,
+                        " names tenant ", req.tenant, " but only ",
+                        num_tenants, " tenants exist");
+        if (req.arrival < prev_arrival)
+            darth_fatal("AdmissionController::run: trace is not "
+                        "sorted by arrival (request ", i, ")");
+        prev_arrival = req.arrival;
+
+        const std::size_t c = tenantChip[req.tenant];
+        // Catch up: older blocked requests claim any slot that freed
+        // before this arrival.
+        drainWaiting(c, req.arrival);
+
+        if (cfg_.overflow == OverflowPolicy::Block) {
+            enqueueWaiting(c, req.tenant, i);
+            drainWaiting(c, req.arrival);
+        } else {
+            const auto slot = acquireSlot(c, req.arrival);
+            if (slot) {
+                enqueueWaiting(c, req.tenant, i);
+                admit(c, *slot);
+            } else {
+                report.tenants[req.tenant].rejected += 1;
+                report.rejected += 1;
+            }
+        }
+    }
+
+    // Arrivals exhausted: admit every blocked request as slots free,
+    // then resolve the tail of the submission queues.
+    for (std::size_t c = 0; c < num_chips; ++c) {
+        drainWaiting(c, std::numeric_limits<Cycle>::max());
+        while (!chips[c].notWaited.empty())
+            materializeFront(c);
+    }
+
+    // FNV-1a over outputs in trace order: identical traffic must
+    // yield an identical checksum whatever the pool size or policy.
+    u64 hash = 0xcbf29ce484222325ULL;
+    for (const auto &values : report.outputs)
+        for (i64 v : values) {
+            hash ^= static_cast<u64>(v);
+            hash *= 0x100000001b3ULL;
+        }
+    report.outputChecksum = hash;
+    if (!cfg_.collectOutputs)
+        report.outputs.clear();
+    return report;
+}
+
+} // namespace serve
+} // namespace darth

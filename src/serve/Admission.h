@@ -1,0 +1,139 @@
+/**
+ * @file
+ * QoS-aware admission control with per-chip backpressure.
+ *
+ * The AdmissionController is the serving front end above a ChipPool.
+ * Each chip has a bounded submission window of `queueDepth` requests
+ * in flight (admitted but not yet complete) — the model of a front
+ * end with finite ingest bandwidth. When a request arrives and its
+ * chip's window is full, the overflow policy decides:
+ *
+ *  - Block  — the client stalls in a per-tenant waiting room and is
+ *             admitted the cycle a slot frees (never dropped);
+ *  - Reject — the request is dropped and counted against its tenant.
+ *
+ * Which waiting tenant is admitted into a freed slot is the QoS
+ * policy:
+ *
+ *  - Fifo         — global arrival order;
+ *  - RoundRobin   — cycle over tenants with waiting requests
+ *                   (starvation-free by construction);
+ *  - WeightedFair — start-time fair queueing: each admission gets a
+ *                   start tag max(chip virtual time, tenant finish
+ *                   tag), the finish tag advances by the KernelModel
+ *                   oracle latency of the tenant's MVM shape (the
+ *                   packet length of classic WFQ) over the weight,
+ *                   and the smallest start tag wins. Shares converge
+ *                   to the weights under saturation, and a tenant
+ *                   returning from idle re-enters at the current
+ *                   virtual time — idle periods bank no credit.
+ *
+ * Admission order, not scheduler drain order, is what carries QoS:
+ * an admitted request's `earliest` bound is its admission cycle, so
+ * holding a request back delays it in simulated time. The controller
+ * additionally installs the scheduler's submission-order dequeue
+ * hook on every chip so drains service strictly in admission order
+ * instead of the greedy earliest-start order.
+ *
+ * Everything is deterministic: one trace, one config, one report —
+ * and under Block (where every request completes) the functional
+ * outputs are bit-identical across pool sizes and policies; only
+ * the cycle stamps move. Reject runs complete different subsets per
+ * configuration, so their checksums are comparable only between
+ * identical configs.
+ */
+
+#ifndef DARTH_SERVE_ADMISSION_H
+#define DARTH_SERVE_ADMISSION_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "serve/ChipPool.h"
+#include "serve/ServeStats.h"
+#include "serve/TrafficGen.h"
+
+namespace darth
+{
+namespace serve
+{
+
+/** How a freed submission slot picks the next waiting tenant. */
+enum class QosPolicy
+{
+    Fifo,
+    RoundRobin,
+    WeightedFair,
+};
+
+const char *qosPolicyName(QosPolicy policy);
+
+/** What happens to an arrival when its chip's window is full. */
+enum class OverflowPolicy
+{
+    Block,
+    Reject,
+};
+
+const char *overflowPolicyName(OverflowPolicy policy);
+
+/** Admission-layer configuration. */
+struct AdmissionConfig
+{
+    /** Per-chip submission window (in-flight requests); >= 1. */
+    std::size_t queueDepth = 8;
+    QosPolicy qos = QosPolicy::Fifo;
+    OverflowPolicy overflow = OverflowPolicy::Block;
+    /** Keep every request's output vector in the report. */
+    bool collectOutputs = false;
+};
+
+/** One admitted tenant of the serving cluster. */
+struct Tenant
+{
+    std::string name;
+    double weight = 1.0;
+    ModelRef model = 0;
+    int inputBits = 8;
+};
+
+/**
+ * Place every spec's model in the pool (weights from the traffic
+ * generator) and build the admission-layer tenant list. Specs with a
+ * non-zero modelKey share weights — and, under MatrixAffinity
+ * placement, the placement itself.
+ */
+std::vector<Tenant> buildTenants(ChipPool &pool, const TrafficGen &gen,
+                                 const std::vector<TenantSpec> &specs);
+
+/** Serving front end: admission, backpressure, and QoS. */
+class AdmissionController
+{
+  public:
+    /** Throws std::invalid_argument on queueDepth == 0 or a tenant
+     *  with a non-positive weight; a tenant naming a model that does
+     *  not exist in the pool is a panic (programming error). */
+    AdmissionController(ChipPool &pool, std::vector<Tenant> tenants,
+                        const AdmissionConfig &cfg);
+
+    const AdmissionConfig &config() const { return cfg_; }
+    const std::vector<Tenant> &tenants() const { return tenants_; }
+
+    /**
+     * Run one open-loop trace to completion and report. The trace
+     * must be sorted by arrival cycle (TrafficGen::trace emits it
+     * sorted); requests of unknown tenants are fatal.
+     */
+    ServeReport run(const std::vector<ServeRequest> &trace);
+
+  private:
+    ChipPool &pool_;
+    std::vector<Tenant> tenants_;
+    AdmissionConfig cfg_;
+};
+
+} // namespace serve
+} // namespace darth
+
+#endif // DARTH_SERVE_ADMISSION_H

@@ -1,0 +1,237 @@
+#include "serve/ChipPool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace serve
+{
+
+const char *
+placementPolicyName(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::RoundRobin:
+        return "round_robin";
+      case PlacementPolicy::LeastLoaded:
+        return "least_loaded";
+      case PlacementPolicy::MatrixAffinity:
+        return "matrix_affinity";
+    }
+    darth_panic("placementPolicyName: unknown policy");
+}
+
+ChipPool::ChipPool(const PoolConfig &cfg) : cfg_(cfg)
+{
+    if (cfg.numChips == 0)
+        darth_fatal("ChipPool: numChips must be at least 1");
+    chips_.reserve(cfg.numChips);
+    runtimes_.reserve(cfg.numChips);
+    sessions_.reserve(cfg.numChips);
+    for (std::size_t i = 0; i < cfg.numChips; ++i) {
+        chips_.push_back(
+            std::make_unique<runtime::Chip>(cfg.chip, cfg.seed + i));
+        runtimes_.push_back(
+            std::make_unique<runtime::Runtime>(*chips_.back()));
+        sessions_.push_back(runtimes_.back()->createSession());
+    }
+}
+
+runtime::Chip &
+ChipPool::chip(std::size_t i)
+{
+    if (i >= chips_.size())
+        darth_panic("ChipPool::chip: chip ", i, " out of range ",
+                    chips_.size());
+    return *chips_[i];
+}
+
+runtime::Runtime &
+ChipPool::runtime(std::size_t i)
+{
+    if (i >= runtimes_.size())
+        darth_panic("ChipPool::runtime: chip ", i, " out of range ",
+                    runtimes_.size());
+    return *runtimes_[i];
+}
+
+std::size_t
+ChipPool::pickChip(std::size_t parts)
+{
+    const std::size_t n = chips_.size();
+    if (cfg_.placement == PlacementPolicy::RoundRobin) {
+        for (std::size_t scanned = 0; scanned < n; ++scanned) {
+            const std::size_t c = (rrCursor_ + scanned) % n;
+            if (runtimes_[c]->freeHcts() >= parts) {
+                rrCursor_ = (c + 1) % n;
+                return c;
+            }
+        }
+    } else {
+        // LeastLoaded (also the MatrixAffinity fallback for keys the
+        // pool has not seen): most free tiles, then the chip whose
+        // schedule ends soonest, then the lowest index.
+        bool found = false;
+        std::size_t best = 0;
+        for (std::size_t c = 0; c < n; ++c) {
+            const std::size_t free = runtimes_[c]->freeHcts();
+            if (free < parts)
+                continue;
+            if (!found) {
+                found = true;
+                best = c;
+                continue;
+            }
+            const std::size_t best_free = runtimes_[best]->freeHcts();
+            if (free > best_free ||
+                (free == best_free &&
+                 runtimes_[c]->scheduler().makespan() <
+                     runtimes_[best]->scheduler().makespan()))
+                best = c;
+        }
+        if (found)
+            return best;
+    }
+    darth_fatal("ChipPool::placeModel: no chip has ", parts,
+                " free HCTs (", chips_.size(), " chips of ",
+                chips_[0]->numHcts(),
+                " tiles); grow the pool or release models");
+}
+
+ModelRef
+ChipPool::placeModel(u64 key, const MatrixI &m, int element_bits,
+                     int bits_per_cell)
+{
+    if (cfg_.placement == PlacementPolicy::MatrixAffinity && key != 0) {
+        const auto it = affinity_.find(key);
+        if (it != affinity_.end()) {
+            // Sharing silently returns the existing placement; an
+            // offered matrix that differs from what the key names
+            // would make every later MVM silently wrong, so check it
+            // (models are small enough for a full compare).
+            const MatrixI &held =
+                models_[it->second].handle.matrix();
+            bool same = held.rows() == m.rows() &&
+                        held.cols() == m.cols();
+            for (std::size_t r = 0; same && r < m.rows(); ++r)
+                for (std::size_t c = 0; same && c < m.cols(); ++c)
+                    same = held(r, c) == m(r, c);
+            if (!same)
+                darth_fatal("ChipPool::placeModel: model key ", key,
+                            " is already placed with different "
+                            "weights; use a fresh key per distinct "
+                            "matrix");
+            return it->second;
+        }
+    }
+    const auto plan = runtime::Runtime::planMatrix(
+        cfg_.chip.hct, m.rows(), m.cols(), element_bits, bits_per_cell);
+    const std::size_t c = pickChip(plan.parts.size());
+
+    Model model;
+    model.key = key;
+    model.chip = c;
+    model.handle =
+        sessions_[c].setMatrixBits(m, element_bits, bits_per_cell);
+    models_.push_back(std::move(model));
+    const ModelRef ref = models_.size() - 1;
+    if (cfg_.placement == PlacementPolicy::MatrixAffinity && key != 0)
+        affinity_[key] = ref;
+    return ref;
+}
+
+std::size_t
+ChipPool::modelChip(ModelRef model) const
+{
+    if (model >= models_.size())
+        darth_panic("ChipPool::modelChip: model ", model,
+                    " out of range ", models_.size());
+    return models_[model].chip;
+}
+
+const runtime::MatrixPlan &
+ChipPool::modelPlan(ModelRef model) const
+{
+    if (model >= models_.size())
+        darth_panic("ChipPool::modelPlan: model ", model,
+                    " out of range ", models_.size());
+    return models_[model].handle.plan();
+}
+
+std::size_t
+ChipPool::modelRows(ModelRef model) const
+{
+    return modelPlan(model).rows;
+}
+
+Cycle
+ChipPool::nominalServiceCycles(ModelRef model, int input_bits) const
+{
+    const runtime::MatrixPlan &plan = modelPlan(model);
+    runtime::KernelModel kernels(cfg_.chip.hct);
+    Cycle worst = 0;
+    for (const auto &part : plan.parts) {
+        runtime::MvmShape shape;
+        shape.rows = part.numRows;
+        shape.cols = part.numCols;
+        shape.elementBits = plan.elementBits;
+        shape.bitsPerCell = plan.bitsPerCell;
+        shape.inputBits = input_bits;
+        worst = std::max(worst, kernels.mvm(shape).latency);
+    }
+    return worst;
+}
+
+runtime::MvmFuture
+ChipPool::submit(ModelRef model, std::vector<i64> x, int input_bits,
+                 Cycle earliest)
+{
+    if (model >= models_.size())
+        darth_panic("ChipPool::submit: model ", model, " out of range ",
+                    models_.size());
+    Model &m = models_[model];
+    return sessions_[m.chip].submit(m.handle, std::move(x), input_bits,
+                                    earliest);
+}
+
+runtime::MvmResult
+ChipPool::wait(ModelRef model, const runtime::MvmFuture &future)
+{
+    if (model >= models_.size())
+        darth_panic("ChipPool::wait: model ", model, " out of range ",
+                    models_.size());
+    return sessions_[models_[model].chip].wait(future);
+}
+
+std::size_t
+ChipPool::freeHcts(std::size_t chip) const
+{
+    if (chip >= runtimes_.size())
+        darth_panic("ChipPool::freeHcts: chip ", chip,
+                    " out of range ", runtimes_.size());
+    return runtimes_[chip]->freeHcts();
+}
+
+std::size_t
+ChipPool::queueDepth(std::size_t chip) const
+{
+    if (chip >= runtimes_.size())
+        darth_panic("ChipPool::queueDepth: chip ", chip,
+                    " out of range ", runtimes_.size());
+    return runtimes_[chip]->scheduler().queueDepth();
+}
+
+Cycle
+ChipPool::makespan() const
+{
+    Cycle max = 0;
+    for (const auto &rt : runtimes_)
+        max = std::max(max, rt->scheduler().makespan());
+    return max;
+}
+
+} // namespace serve
+} // namespace darth

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Multi-chip serving pool: owns N simulated chips (each with its own
+ * Runtime and Scheduler clock) and shards model placements across
+ * them by a pluggable policy.
+ *
+ * The pool plays the role of a serving daemon: it holds one runtime
+ * session per chip and places tenant weight matrices ("models")
+ * through those sessions, so the serving layer above (Admission)
+ * deals only in ModelRefs. Policies:
+ *
+ *  - RoundRobin     — rotate over chips with enough free tiles.
+ *  - LeastLoaded    — most free tiles, then smallest scheduler
+ *                     makespan, then lowest index.
+ *  - MatrixAffinity — placements that share a non-zero model key
+ *                     share one placement: repeated MVMs against the
+ *                     same weights stay on the chip that already
+ *                     holds them (and keep the same-matrix pipelined
+ *                     issue rate), instead of re-programming tiles.
+ *                     New keys fall back to least-loaded.
+ *
+ * Chips are independent simulated-time domains; functional MVM
+ * results never depend on which chip serves a request (the ideal
+ * noise configuration is bit-exact), which is what makes an N-chip
+ * pool bit-identical to a 1-chip run of the same trace whenever the
+ * same requests complete (always true under Block admission; Reject
+ * runs drop configuration-dependent subsets).
+ */
+
+#ifndef DARTH_SERVE_CHIPPOOL_H
+#define DARTH_SERVE_CHIPPOOL_H
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "runtime/Runtime.h"
+#include "runtime/Session.h"
+
+namespace darth
+{
+namespace serve
+{
+
+/** How the pool shards new placements across chips. */
+enum class PlacementPolicy
+{
+    RoundRobin,
+    LeastLoaded,
+    MatrixAffinity,
+};
+
+/** Short lowercase name (for bench JSON and logs). */
+const char *placementPolicyName(PlacementPolicy policy);
+
+/** Pool-level configuration. */
+struct PoolConfig
+{
+    /** Per-chip configuration (all chips identical silicon). */
+    runtime::ChipConfig chip;
+    std::size_t numChips = 1;
+    PlacementPolicy placement = PlacementPolicy::LeastLoaded;
+    /** Base seed; chip i seeds its noise models with seed + i. */
+    u64 seed = 1;
+};
+
+/** Handle to one model placed somewhere in the pool. */
+using ModelRef = std::size_t;
+
+/** A pool of chips behind one placement front end. */
+class ChipPool
+{
+  public:
+    explicit ChipPool(const PoolConfig &cfg);
+
+    const PoolConfig &config() const { return cfg_; }
+    std::size_t numChips() const { return chips_.size(); }
+
+    runtime::Chip &chip(std::size_t i);
+    runtime::Runtime &runtime(std::size_t i);
+
+    /**
+     * Place a weight matrix on a chip chosen by the placement
+     * policy. Under MatrixAffinity a non-zero `key` already placed
+     * returns the existing ModelRef (shared placement) — fatal if the
+     * offered matrix differs from the one the key already names;
+     * otherwise every call creates a fresh placement. Fatal when no
+     * chip has enough free tiles.
+     */
+    ModelRef placeModel(u64 key, const MatrixI &m, int element_bits,
+                        int bits_per_cell);
+
+    /** Chip that holds a placed model. */
+    std::size_t modelChip(ModelRef model) const;
+
+    /** Placement plan of a placed model. */
+    const runtime::MatrixPlan &modelPlan(ModelRef model) const;
+
+    /** Rows the model's inputs must have. */
+    std::size_t modelRows(ModelRef model) const;
+
+    /**
+     * KernelModel oracle latency of one MVM against the model (worst
+     * part) — the nominal per-request service used for weighted-fair
+     * charging and load calibration.
+     */
+    Cycle nominalServiceCycles(ModelRef model, int input_bits) const;
+
+    /** Submit one MVM against a model through the pool's session on
+     *  the owning chip. */
+    runtime::MvmFuture submit(ModelRef model, std::vector<i64> x,
+                              int input_bits, Cycle earliest = 0);
+
+    /** Resolve a future submitted against a model. */
+    runtime::MvmResult wait(ModelRef model,
+                            const runtime::MvmFuture &future);
+
+    /** Free tiles on one chip. */
+    std::size_t freeHcts(std::size_t chip) const;
+
+    /** Scheduler queue depth of one chip (backpressure signal). */
+    std::size_t queueDepth(std::size_t chip) const;
+
+    /** Max scheduler makespan over all chips. */
+    Cycle makespan() const;
+
+  private:
+    struct Model
+    {
+        u64 key = 0;
+        std::size_t chip = 0;
+        runtime::MatrixHandle handle;
+    };
+
+    /** Chip for a fresh placement needing `parts` free tiles. */
+    std::size_t pickChip(std::size_t parts);
+
+    PoolConfig cfg_;
+    std::vector<std::unique_ptr<runtime::Chip>> chips_;
+    std::vector<std::unique_ptr<runtime::Runtime>> runtimes_;
+    /** One serving session per chip; all models live in these. */
+    std::vector<runtime::Session> sessions_;
+    std::vector<Model> models_;
+    /** key -> ModelRef, consulted under MatrixAffinity. */
+    std::map<u64, ModelRef> affinity_;
+    std::size_t rrCursor_ = 0;
+};
+
+} // namespace serve
+} // namespace darth
+
+#endif // DARTH_SERVE_CHIPPOOL_H

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Serving-cluster telemetry: per-tenant latency/throughput samples
+ * and the report an AdmissionController run produces.
+ *
+ * Latencies are recorded in cycles relative to each request's
+ * open-loop arrival: queueing = start - arrival (admission wait plus
+ * scheduler wait), latency = done - arrival (queueing plus service).
+ * Percentiles come from the common/Stats nearest-rank helper, so
+ * serve_bench JSON and the unit tests agree on the definition.
+ */
+
+#ifndef DARTH_SERVE_SERVESTATS_H
+#define DARTH_SERVE_SERVESTATS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/Stats.h"
+#include "common/Types.h"
+
+namespace darth
+{
+namespace serve
+{
+
+/** Telemetry of one tenant (QoS class) over a trace. */
+struct TenantStats
+{
+    std::string name;
+    double weight = 1.0;
+
+    u64 completed = 0;
+    /** Requests dropped by the Reject overflow policy. */
+    u64 rejected = 0;
+
+    /** done - arrival per completed request, in completion order. */
+    std::vector<double> latency;
+    /** start - arrival per completed request (time not being
+     *  serviced: admission blocking plus tile contention). */
+    std::vector<double> queueing;
+    /** done - start per completed request (pure service). */
+    std::vector<double> service;
+    /** Completion cycle per completed request. */
+    std::vector<double> doneCycle;
+
+    /** Total service cycles delivered to this tenant. */
+    double serviceCycles = 0.0;
+
+    /** Completions with done <= cycle (windowed share under
+     *  saturation, where the end-of-trace drain would otherwise
+     *  flatten every class to its submitted count). */
+    u64
+    completionsBy(Cycle cycle) const
+    {
+        u64 count = 0;
+        for (double d : doneCycle)
+            count += d <= static_cast<double>(cycle);
+        return count;
+    }
+
+    SampleSummary latencySummary() const { return summarize(latency); }
+    SampleSummary queueingSummary() const
+    {
+        return summarize(queueing);
+    }
+};
+
+/** Result of running one trace through an AdmissionController. */
+struct ServeReport
+{
+    std::vector<TenantStats> tenants;
+
+    /** Max completion cycle over all requests (0 if none ran). */
+    Cycle makespan = 0;
+    /** Max completion cycle per chip (index = chip). */
+    std::vector<Cycle> chipMakespan;
+
+    u64 completed = 0;
+    u64 rejected = 0;
+
+    /** FNV-1a over every completed request's output values, in trace
+     *  order — a cheap cross-configuration identity check. */
+    u64 outputChecksum = 0;
+    /** Per-request outputs (trace order; empty vectors for rejected
+     *  requests). Filled only when AdmissionConfig::collectOutputs. */
+    std::vector<std::vector<i64>> outputs;
+
+    /** Aggregate completed requests per kilocycle of makespan. */
+    double throughputPerKcycle() const
+    {
+        if (makespan == 0)
+            return 0.0;
+        return static_cast<double>(completed) * 1000.0 /
+               static_cast<double>(makespan);
+    }
+
+    /** Fraction of delivered service cycles earned by one tenant. */
+    double serviceShare(std::size_t tenant) const
+    {
+        double total = 0.0;
+        for (const auto &t : tenants)
+            total += t.serviceCycles;
+        if (total <= 0.0)
+            return 0.0;
+        return tenants[tenant].serviceCycles / total;
+    }
+};
+
+} // namespace serve
+} // namespace darth
+
+#endif // DARTH_SERVE_SERVESTATS_H

@@ -1,0 +1,155 @@
+#include "serve/TrafficGen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/aes/MixColumnsGf2.h"
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace serve
+{
+
+namespace
+{
+
+/** Mix a stream label into the generator seed (splittable streams). */
+u64
+mixSeed(u64 seed, u64 salt, u64 label)
+{
+    u64 z = seed ^ (salt * 0x9e3779b97f4a7c15ULL) ^
+            (label * 0xbf58476d1ce4e5b9ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+struct Shape
+{
+    std::size_t rows;
+    std::size_t cols;
+    int elementBits;
+    int bitsPerCell;
+    int inputBits;
+    i64 weightLo, weightHi;
+    i64 inputLo, inputHi;
+};
+
+Shape
+shapeOf(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Aes:
+        return {32, 32, 1, 1, 1, 0, 1, 0, 1};
+      case WorkloadKind::Cnn:
+        return {72, 16, 8, 2, 4, -127, 127, -8, 7};
+      case WorkloadKind::Llm:
+        return {64, 64, 8, 2, 4, -127, 127, -8, 7};
+      case WorkloadKind::Micro:
+        return {8, 8, 1, 1, 1, 0, 1, 0, 1};
+    }
+    darth_panic("TrafficGen: unknown workload kind");
+}
+
+} // namespace
+
+const char *
+workloadKindName(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Aes:
+        return "aes";
+      case WorkloadKind::Cnn:
+        return "cnn";
+      case WorkloadKind::Llm:
+        return "llm";
+      case WorkloadKind::Micro:
+        return "micro";
+    }
+    darth_panic("workloadKindName: unknown workload kind");
+}
+
+int
+TrafficGen::elementBits(WorkloadKind kind)
+{
+    return shapeOf(kind).elementBits;
+}
+
+int
+TrafficGen::bitsPerCell(WorkloadKind kind)
+{
+    return shapeOf(kind).bitsPerCell;
+}
+
+int
+TrafficGen::inputBits(WorkloadKind kind)
+{
+    return shapeOf(kind).inputBits;
+}
+
+std::size_t
+TrafficGen::inputRows(WorkloadKind kind)
+{
+    return shapeOf(kind).rows;
+}
+
+MatrixI
+TrafficGen::weights(WorkloadKind kind, u64 key) const
+{
+    if (kind == WorkloadKind::Aes)
+        return aes::mixColumnsGf2Matrix();
+    const Shape shape = shapeOf(kind);
+    Rng rng(mixSeed(seed_, /*salt=*/0xA11, static_cast<u64>(kind) ^
+                                               (key << 8)));
+    MatrixI m(shape.rows, shape.cols);
+    for (std::size_t r = 0; r < shape.rows; ++r)
+        for (std::size_t c = 0; c < shape.cols; ++c)
+            m(r, c) = rng.uniformInt(shape.weightLo, shape.weightHi);
+    return m;
+}
+
+std::vector<ServeRequest>
+TrafficGen::trace(const std::vector<TenantSpec> &tenants,
+                  Cycle horizon) const
+{
+    std::vector<ServeRequest> merged;
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+        const TenantSpec &spec = tenants[t];
+        if (spec.ratePerKcycle <= 0.0)
+            darth_fatal("TrafficGen::trace: tenant '", spec.name,
+                        "' has non-positive arrival rate ",
+                        spec.ratePerKcycle);
+        const Shape shape = shapeOf(spec.kind);
+        // One stream per tenant, salted by the tenant index: adding
+        // or reordering other tenants cannot perturb this stream.
+        Rng rng(mixSeed(seed_, /*salt=*/0x7247, t));
+        const double rate_per_cycle = spec.ratePerKcycle / 1000.0;
+        double at = 0.0;
+        for (;;) {
+            // Exponential inter-arrival; at least one cycle apart so
+            // a tenant's own requests have distinct arrivals.
+            double u = rng.uniform();
+            if (u <= 1e-12)
+                u = 1e-12;
+            at += std::max(1.0, -std::log(u) / rate_per_cycle);
+            if (at >= static_cast<double>(horizon))
+                break;
+            ServeRequest req;
+            req.arrival = static_cast<Cycle>(at);
+            req.tenant = t;
+            req.input.resize(shape.rows);
+            for (auto &v : req.input)
+                v = rng.uniformInt(shape.inputLo, shape.inputHi);
+            merged.push_back(std::move(req));
+        }
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const ServeRequest &a, const ServeRequest &b) {
+                         return a.arrival < b.arrival;
+                     });
+    return merged;
+}
+
+} // namespace serve
+} // namespace darth

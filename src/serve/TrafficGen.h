@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Deterministic open-loop traffic generation for the serving cluster.
+ *
+ * A TenantSpec names a workload kind (request shapes drawn from the
+ * paper's three applications — the AES GF(2) MixColumns matrix, a
+ * CNN im2col layer, an LLM projection — plus a tiny Micro shape for
+ * fast unit tests), a QoS weight, and a mean open-loop arrival rate.
+ * TrafficGen expands specs into weight matrices and a merged arrival
+ * trace: per-tenant Poisson arrivals (exponential inter-arrival
+ * times) and uniformly random inputs, all drawn from seeded
+ * common/Random streams so a scenario replays bit-identically
+ * regardless of pool size or policy.
+ */
+
+#ifndef DARTH_SERVE_TRAFFICGEN_H
+#define DARTH_SERVE_TRAFFICGEN_H
+
+#include <string>
+#include <vector>
+
+#include "common/Matrix.h"
+#include "common/Random.h"
+#include "common/Types.h"
+
+namespace darth
+{
+namespace serve
+{
+
+/** Request shape family a tenant draws from. */
+enum class WorkloadKind
+{
+    /** 32x32 GF(2) MixColumns, 1-bit weights and inputs. */
+    Aes,
+    /** 72x16 im2col conv layer (3x3x8 -> 16), 8-bit. */
+    Cnn,
+    /** 64x64 projection, 8-bit. */
+    Llm,
+    /** 8x8 1-bit toy shape for fast unit tests. */
+    Micro,
+};
+
+const char *workloadKindName(WorkloadKind kind);
+
+/** One serving tenant, as the traffic generator sees it. */
+struct TenantSpec
+{
+    std::string name;
+    WorkloadKind kind = WorkloadKind::Micro;
+    /** Weighted-fair QoS share. */
+    double weight = 1.0;
+    /** Mean open-loop arrivals per 1000 cycles. */
+    double ratePerKcycle = 1.0;
+    /**
+     * Model identity: tenants sharing a non-zero key use the same
+     * weight matrix, and under MatrixAffinity placement share the
+     * placement itself. 0 = a private matrix per tenant.
+     */
+    u64 modelKey = 0;
+};
+
+/** One request of the open-loop trace. */
+struct ServeRequest
+{
+    Cycle arrival = 0;
+    /** Index into the tenant list the trace was generated from. */
+    std::size_t tenant = 0;
+    std::vector<i64> input;
+};
+
+/** Seeded generator of weights, inputs, and arrival traces. */
+class TrafficGen
+{
+  public:
+    explicit TrafficGen(u64 seed = 1) : seed_(seed) {}
+
+    /** Weight element precision of a kind. */
+    static int elementBits(WorkloadKind kind);
+    /** Analog operating point of a kind. */
+    static int bitsPerCell(WorkloadKind kind);
+    /** Input precision of a kind. */
+    static int inputBits(WorkloadKind kind);
+    /** Input vector length of a kind. */
+    static std::size_t inputRows(WorkloadKind kind);
+
+    /**
+     * The weight-identity key of a tenant whose spec left modelKey at
+     * 0 (a private matrix): unique per tenant index, never equal to a
+     * user-chosen shared key by convention. buildTenants() uses this;
+     * exposed so demos/tests can re-derive a tenant's weights.
+     */
+    static u64
+    privateModelKey(std::size_t tenant_index)
+    {
+        return 0x5EED0000ULL + tenant_index;
+    }
+
+    /**
+     * The weight matrix of one tenant: AES is the fixed GF(2)
+     * MixColumns matrix; the others are random but deterministic in
+     * (seed, kind, key) — same key, same weights.
+     */
+    MatrixI weights(WorkloadKind kind, u64 key) const;
+
+    /**
+     * Open-loop arrival trace over [0, horizon): per-tenant Poisson
+     * arrivals at spec.ratePerKcycle, merged and sorted by arrival
+     * cycle (ties keep tenant order). Each request carries a random
+     * input for its tenant's kind. Tenant streams are independent:
+     * adding a tenant never perturbs another tenant's arrivals or
+     * inputs.
+     */
+    std::vector<ServeRequest>
+    trace(const std::vector<TenantSpec> &tenants, Cycle horizon) const;
+
+  private:
+    u64 seed_;
+};
+
+} // namespace serve
+} // namespace darth
+
+#endif // DARTH_SERVE_TRAFFICGEN_H

@@ -1,6 +1,7 @@
 /**
  * @file
- * Unit tests for CostTally and geoMean.
+ * Unit tests for CostTally, geoMean, and the percentile/summary
+ * helpers backing the serving telemetry.
  */
 
 #include <gtest/gtest.h>
@@ -88,6 +89,55 @@ TEST(GeoMean, PaperHeadline)
     // Paper: 59.4x, 14.8x, 40.8x -> geomean 31.4x (abstract).
     const double g = geoMean({59.4, 14.8, 40.8});
     EXPECT_NEAR(g, 33.0, 2.5);
+}
+
+TEST(Percentile, NearestRankDefinition)
+{
+    const std::vector<double> sample = {5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(sample, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(sample, 20.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(sample, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(sample, 90.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(sample, 100.0), 5.0);
+    // Out-of-range p clamps rather than reading out of bounds.
+    EXPECT_DOUBLE_EQ(percentile(sample, 150.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(sample, -5.0), 1.0);
+}
+
+TEST(Percentile, EmptyAndSingleton)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 1.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(Percentile, TailIsExactOnLargeSample)
+{
+    std::vector<double> sample;
+    for (int i = 1; i <= 100; ++i)
+        sample.push_back(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(percentile(sample, 50.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(sample, 95.0), 95.0);
+    EXPECT_DOUBLE_EQ(percentile(sample, 99.0), 99.0);
+}
+
+TEST(SampleSummary, SummarizeMatchesComponents)
+{
+    std::vector<double> sample;
+    for (int i = 10; i >= 1; --i)
+        sample.push_back(static_cast<double>(i));
+    const SampleSummary s = summarize(sample);
+    EXPECT_EQ(s.count, 10u);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 10.0);
+    EXPECT_DOUBLE_EQ(s.mean, 5.5);
+    EXPECT_DOUBLE_EQ(s.p50, percentile(sample, 50.0));
+    EXPECT_DOUBLE_EQ(s.p95, percentile(sample, 95.0));
+    EXPECT_DOUBLE_EQ(s.p99, percentile(sample, 99.0));
+
+    const SampleSummary empty = summarize({});
+    EXPECT_EQ(empty.count, 0u);
+    EXPECT_DOUBLE_EQ(empty.mean, 0.0);
 }
 
 } // namespace

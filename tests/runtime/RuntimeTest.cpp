@@ -1,10 +1,11 @@
 /**
  * @file
- * Tests for the Chip, placement planner, session-based runtime calls,
- * and the deprecated blocking shims.
+ * Tests for the Chip, placement planner, and session-based runtime
+ * calls.
  */
 
 #include <stdexcept>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -336,51 +337,44 @@ TEST(Runtime, DisableAnalogModeBlocksMvm)
                  std::runtime_error);
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated blocking shims (kept until every caller has migrated;
-// see docs/runtime-api.md for the migration table).
-// ---------------------------------------------------------------------------
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(RuntimeShim, BlockingCallsMatchSessionPath)
+TEST(Runtime, PlaceAndFreeMatrixDirectly)
 {
-    const MatrixI m = randomMatrix(8, 8, -2, 2, 228);
-    Rng rng(229);
-    std::vector<i64> x(8);
-    for (auto &v : x)
-        v = rng.uniformInt(i64{-4}, i64{3});
-
-    Chip shim_chip(smallChip());
-    Runtime shim_rt(shim_chip);
-    const int handle = shim_rt.setMatrix(m, 2, 0);
-    const auto shim_result = shim_rt.execMVM(handle, x, 3);
-
-    Chip session_chip(smallChip());
-    Runtime session_rt(session_chip);
-    Session session = session_rt.createSession();
-    const MatrixHandle session_handle = session.setMatrix(m, 2, 0);
-    const auto session_result = session.execMVM(session_handle, x, 3);
-
-    EXPECT_EQ(shim_result.values, session_result.values);
-    EXPECT_EQ(shim_result.done, session_result.done);
-    EXPECT_EQ(shim_result.values, reference(m, x));
-}
-
-TEST(RuntimeShim, LegacyHandlesFreeExplicitly)
-{
+    // The registry-level API (used by the serving layer and by
+    // Session internally) places and reclaims without a session
+    // object.
     Chip chip(smallChip(1));
     Runtime rt(chip);
     const int handle =
-        rt.setMatrix(randomMatrix(8, 8, 0, 1, 230), 1, 0);
+        rt.placeMatrix(randomMatrix(8, 8, 0, 1, 230), 1, 1);
     EXPECT_EQ(rt.freeHcts(), 0u);
     rt.freeMatrix(handle);
     EXPECT_EQ(rt.freeHcts(), 1u);
     EXPECT_THROW((void)rt.plan(handle), std::runtime_error);
 }
 
-#pragma GCC diagnostic pop
+TEST(Runtime, ReleasedSessionRejectsUse)
+{
+    // Submitting through a released (moved-from) session must throw
+    // std::invalid_argument at the call site, not be silently
+    // accepted (or crash) until a wait.
+    Chip chip(smallChip(2));
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixHandle handle =
+        session.setMatrix(randomMatrix(8, 8, 0, 1, 231), 1, 0);
+    const MvmFuture pending =
+        session.submit(handle, std::vector<i64>(8, 1), 1);
+    Session moved = std::move(session);
+    EXPECT_THROW(session.submit(handle, std::vector<i64>(8, 1), 1),
+                 std::invalid_argument);
+    EXPECT_THROW((void)session.wait(pending), std::invalid_argument);
+    EXPECT_THROW(session.waitAll(), std::invalid_argument);
+    EXPECT_THROW(session.setMatrix(randomMatrix(8, 8, 0, 1, 232), 1, 0),
+                 std::invalid_argument);
+    // The moved-to session carries on: same id, same queued work.
+    EXPECT_EQ(moved.wait(pending).values,
+              reference(handle.matrix(), std::vector<i64>(8, 1)));
+}
 
 TEST(KernelModel, MvmCostMatchesHct)
 {

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the multi-chip serving pool: placement sharding policies,
+ * affinity sharing, capacity exhaustion, and request routing.
+ */
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/Random.h"
+#include "serve/ChipPool.h"
+
+namespace darth
+{
+namespace serve
+{
+namespace
+{
+
+runtime::ChipConfig
+smallChip(std::size_t num_hcts = 4)
+{
+    runtime::ChipConfig cfg;
+    cfg.hct.dce.numPipelines = 4;
+    cfg.hct.dce.pipeline.depth = 32;
+    cfg.hct.dce.pipeline.width = 8;
+    cfg.hct.dce.pipeline.numRegs = 8;
+    cfg.hct.ace.numArrays = 8;
+    cfg.hct.ace.arrayRows = 16;   // 8 signed rows per array
+    cfg.hct.ace.arrayCols = 8;
+    cfg.numHcts = num_hcts;
+    return cfg;
+}
+
+PoolConfig
+poolConfig(std::size_t chips, std::size_t hcts_per_chip,
+           PlacementPolicy policy)
+{
+    PoolConfig cfg;
+    cfg.chip = smallChip(hcts_per_chip);
+    cfg.numChips = chips;
+    cfg.placement = policy;
+    return cfg;
+}
+
+MatrixI
+randomMatrix(std::size_t rows, std::size_t cols, u64 seed)
+{
+    Rng rng(seed);
+    MatrixI m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            m(r, c) = rng.uniformInt(i64{0}, i64{1});
+    return m;
+}
+
+std::vector<i64>
+reference(const MatrixI &m, const std::vector<i64> &x)
+{
+    std::vector<i64> out(m.cols(), 0);
+    for (std::size_t c = 0; c < m.cols(); ++c)
+        for (std::size_t r = 0; r < m.rows(); ++r)
+            out[c] += m(r, c) * x[r];
+    return out;
+}
+
+TEST(ChipPool, RoundRobinSpreadsPlacements)
+{
+    ChipPool pool(poolConfig(4, 2, PlacementPolicy::RoundRobin));
+    for (std::size_t i = 0; i < 4; ++i) {
+        const ModelRef m =
+            pool.placeModel(0, randomMatrix(8, 8, 600 + i), 1, 1);
+        EXPECT_EQ(pool.modelChip(m), i);
+    }
+    // Second lap wraps back to chip 0.
+    const ModelRef again =
+        pool.placeModel(0, randomMatrix(8, 8, 610), 1, 1);
+    EXPECT_EQ(pool.modelChip(again), 0u);
+}
+
+TEST(ChipPool, RoundRobinSkipsFullChips)
+{
+    // One tile per chip: a full chip cannot take the next placement,
+    // the rotation walks past it.
+    ChipPool pool(poolConfig(3, 1, PlacementPolicy::RoundRobin));
+    const ModelRef a =
+        pool.placeModel(0, randomMatrix(8, 8, 620), 1, 1);
+    const ModelRef b =
+        pool.placeModel(0, randomMatrix(8, 8, 621), 1, 1);
+    const ModelRef c =
+        pool.placeModel(0, randomMatrix(8, 8, 622), 1, 1);
+    EXPECT_EQ(pool.modelChip(a), 0u);
+    EXPECT_EQ(pool.modelChip(b), 1u);
+    EXPECT_EQ(pool.modelChip(c), 2u);
+    EXPECT_THROW(pool.placeModel(0, randomMatrix(8, 8, 623), 1, 1),
+                 std::runtime_error);
+}
+
+TEST(ChipPool, LeastLoadedPicksEmptiestChip)
+{
+    ChipPool pool(poolConfig(3, 2, PlacementPolicy::LeastLoaded));
+    // All chips empty: ties break to the lowest index.
+    const ModelRef a =
+        pool.placeModel(0, randomMatrix(8, 8, 630), 1, 1);
+    EXPECT_EQ(pool.modelChip(a), 0u);
+    // Chip 0 now has fewer free tiles than chips 1 and 2.
+    const ModelRef b =
+        pool.placeModel(0, randomMatrix(8, 8, 631), 1, 1);
+    EXPECT_EQ(pool.modelChip(b), 1u);
+    const ModelRef c =
+        pool.placeModel(0, randomMatrix(8, 8, 632), 1, 1);
+    EXPECT_EQ(pool.modelChip(c), 2u);
+    // Back to even load: lowest index again.
+    const ModelRef d =
+        pool.placeModel(0, randomMatrix(8, 8, 633), 1, 1);
+    EXPECT_EQ(pool.modelChip(d), 0u);
+}
+
+TEST(ChipPool, MatrixAffinitySharesPlacements)
+{
+    ChipPool pool(poolConfig(2, 2, PlacementPolicy::MatrixAffinity));
+    const MatrixI m = randomMatrix(8, 8, 640);
+    const ModelRef first = pool.placeModel(7, m, 1, 1);
+    const std::size_t free_after_first =
+        pool.freeHcts(pool.modelChip(first));
+    // Same key: the existing placement is returned, no tiles consumed.
+    const ModelRef second = pool.placeModel(7, m, 1, 1);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(pool.freeHcts(pool.modelChip(first)), free_after_first);
+    // A different key places fresh (on the emptier chip).
+    const ModelRef other =
+        pool.placeModel(8, randomMatrix(8, 8, 641), 1, 1);
+    EXPECT_NE(other, first);
+    EXPECT_NE(pool.modelChip(other), pool.modelChip(first));
+    // Key 0 opts out of sharing even under MatrixAffinity.
+    const ModelRef anon_a = pool.placeModel(0, m, 1, 1);
+    const ModelRef anon_b = pool.placeModel(0, m, 1, 1);
+    EXPECT_NE(anon_a, anon_b);
+}
+
+TEST(ChipPool, AffinityKeyReuseWithDifferentWeightsIsFatal)
+{
+    // Returning the existing placement for a key while silently
+    // ignoring different offered weights would make every later MVM
+    // wrong; it must fail loudly instead.
+    ChipPool pool(poolConfig(1, 2, PlacementPolicy::MatrixAffinity));
+    (void)pool.placeModel(9, randomMatrix(8, 8, 660), 1, 1);
+    EXPECT_THROW(pool.placeModel(9, randomMatrix(8, 8, 661), 1, 1),
+                 std::runtime_error);
+    // Same shape, one differing element: still fatal.
+    MatrixI tweaked = randomMatrix(8, 8, 660);
+    tweaked(3, 3) ^= 1;
+    EXPECT_THROW(pool.placeModel(9, tweaked, 1, 1),
+                 std::runtime_error);
+    // The identical matrix still shares cleanly.
+    const ModelRef again =
+        pool.placeModel(9, randomMatrix(8, 8, 660), 1, 1);
+    EXPECT_EQ(pool.modelChip(again), 0u);
+}
+
+TEST(ChipPool, SubmitRoutesToOwningChip)
+{
+    ChipPool pool(poolConfig(2, 2, PlacementPolicy::LeastLoaded));
+    const MatrixI m_a = randomMatrix(8, 8, 650);
+    const MatrixI m_b = randomMatrix(8, 8, 651);
+    const ModelRef a = pool.placeModel(0, m_a, 1, 1);
+    const ModelRef b = pool.placeModel(0, m_b, 1, 1);
+    ASSERT_NE(pool.modelChip(a), pool.modelChip(b));
+
+    const std::vector<i64> x(8, 1);
+    const auto future = pool.submit(a, x, 1);
+    EXPECT_EQ(pool.queueDepth(pool.modelChip(a)), 1u);
+    EXPECT_EQ(pool.queueDepth(pool.modelChip(b)), 0u);
+    const auto result = pool.wait(a, future);
+    EXPECT_EQ(result.values, reference(m_a, x));
+    // Only the owning chip's clock advanced.
+    EXPECT_GT(pool.runtime(pool.modelChip(a)).scheduler().makespan(),
+              0u);
+    EXPECT_EQ(pool.runtime(pool.modelChip(b)).scheduler().makespan(),
+              0u);
+    EXPECT_EQ(pool.makespan(), result.done);
+}
+
+TEST(ChipPool, ZeroChipsIsFatal)
+{
+    PoolConfig cfg = poolConfig(1, 1, PlacementPolicy::LeastLoaded);
+    cfg.numChips = 0;
+    EXPECT_THROW(ChipPool pool(cfg), std::runtime_error);
+}
+
+} // namespace
+} // namespace serve
+} // namespace darth

@@ -20,6 +20,15 @@
  *  3. backpressure — Reject against submission windows of 1/4/16:
  *                    deeper windows trade rejections for queueing
  *                    latency.
+ *  4. inference    — whole-inference tenants (CnnInfer TinyCnn
+ *                    forwards and LlmInfer encoder layers) behind
+ *                    weighted-fair admission: WFQ charges each
+ *                    request its whole-inference oracle cost, one
+ *                    window slot covers one inference, and the
+ *                    per-class latencies are per-inference. The
+ *                    report carries the chip schedulers' counters
+ *                    (issues, same-matrix pipeline hits, dependency
+ *                    stalls).
  *
  * The self-checks are evaluated in every mode and failures are fatal
  * (non-zero exit), so CI's `serve_bench --smoke` enforces the
@@ -99,14 +108,42 @@ printTenantJson(const TenantStats &t, bool last)
     const SampleSummary queue = t.queueingSummary();
     std::printf("        {\"name\": \"%s\", \"weight\": %.1f, "
                 "\"completed\": %llu, \"rejected\": %llu, "
+                "\"mvms\": %llu, "
                 "\"latency_p50\": %.0f, \"latency_p95\": %.0f, "
                 "\"latency_p99\": %.0f, \"queueing_p50\": %.0f, "
                 "\"queueing_p95\": %.0f}%s\n",
                 t.name.c_str(), t.weight,
                 static_cast<unsigned long long>(t.completed),
                 static_cast<unsigned long long>(t.rejected),
+                static_cast<unsigned long long>(t.mvms),
                 lat.p50, lat.p95, lat.p99, queue.p50, queue.p95,
                 last ? "" : ",");
+}
+
+/** Sum the pool's per-chip scheduler counters. */
+runtime::SchedulerCounters
+poolCounters(ChipPool &pool)
+{
+    runtime::SchedulerCounters total;
+    for (std::size_t c = 0; c < pool.numChips(); ++c) {
+        const auto &ctr = pool.runtime(c).scheduler().counters();
+        total.issued += ctr.issued;
+        total.pipelineHits += ctr.pipelineHits;
+        total.dependencyStalls += ctr.dependencyStalls;
+    }
+    return total;
+}
+
+void
+printCountersJson(const runtime::SchedulerCounters &ctr)
+{
+    std::printf("      \"scheduler\": {\"issued\": %llu, "
+                "\"pipeline_hits\": %llu, "
+                "\"dependency_stalls\": %llu}",
+                static_cast<unsigned long long>(ctr.issued),
+                static_cast<unsigned long long>(ctr.pipelineHits),
+                static_cast<unsigned long long>(
+                    ctr.dependencyStalls));
 }
 
 struct Check
@@ -280,6 +317,66 @@ runBackpressureSweep(Cycle horizon)
     }
 }
 
+// ---------------------------------------------------------------------------
+// Experiment 4: whole-inference serving (CnnInfer + LlmInfer).
+// ---------------------------------------------------------------------------
+
+struct InferenceOutcomeStats
+{
+    double cnnP50 = 0.0;
+    double llmP50 = 0.0;
+    u64 cnnCompleted = 0;
+    u64 llmCompleted = 0;
+};
+
+InferenceOutcomeStats
+runInferenceSweep(Cycle horizon)
+{
+    TrafficGen gen(4004);
+    PoolConfig pool_cfg;
+    pool_cfg.chip = serveChip(9);   // 3 (CnnInfer) + 6 (LlmInfer)
+    pool_cfg.numChips = 1;
+    ChipPool pool(pool_cfg);
+
+    std::vector<TenantSpec> specs(2);
+    specs[0].name = "cnn_infer";
+    specs[0].kind = WorkloadKind::CnnInfer;
+    specs[0].weight = 4.0;
+    specs[0].ratePerKcycle = 0.05;
+    specs[1].name = "llm_infer";
+    specs[1].kind = WorkloadKind::LlmInfer;
+    specs[1].weight = 1.0;
+    specs[1].ratePerKcycle = 0.03;
+
+    auto tenants = buildTenants(pool, gen, specs);
+    AdmissionConfig cfg;
+    cfg.queueDepth = 2;
+    cfg.qos = QosPolicy::WeightedFair;
+    cfg.overflow = OverflowPolicy::Block;
+    AdmissionController ac(pool, tenants, cfg);
+    const ServeReport report = ac.run(gen.trace(specs, horizon));
+
+    std::printf("    {\"nominal_cycles\": {\"cnn_infer\": %llu, "
+                "\"llm_infer\": %llu},\n     \"classes\": [\n",
+                static_cast<unsigned long long>(
+                    pool.nominalServiceCycles(tenants[0].model, 8)),
+                static_cast<unsigned long long>(
+                    pool.nominalServiceCycles(tenants[1].model, 12)));
+    for (std::size_t t = 0; t < report.tenants.size(); ++t)
+        printTenantJson(report.tenants[t],
+                        t + 1 == report.tenants.size());
+    std::printf("     ],\n");
+    printCountersJson(poolCounters(pool));
+    std::printf("}\n");
+
+    InferenceOutcomeStats out;
+    out.cnnP50 = report.tenants[0].latencySummary().p50;
+    out.llmP50 = report.tenants[1].latencySummary().p50;
+    out.cnnCompleted = report.tenants[0].completed;
+    out.llmCompleted = report.tenants[1].completed;
+    return out;
+}
+
 } // namespace
 
 int
@@ -349,6 +446,13 @@ main(int argc, char **argv)
     runBackpressureSweep(bp_horizon);
     std::printf("\n  ],\n");
 
+    // Whole-inference serving mix.
+    const Cycle infer_horizon = smoke ? 150000 : 500000;
+    std::printf("  \"inference\": [\n");
+    const InferenceOutcomeStats infer =
+        runInferenceSweep(infer_horizon);
+    std::printf("  ],\n");
+
     // Self-checks (the acceptance criteria).
     std::vector<Check> checks;
     checks.push_back({"scaling_speedup_4chip", best_speedup,
@@ -369,6 +473,18 @@ main(int argc, char **argv)
     checks.push_back(
         {"weighted_fair_latency_ordering",
          ordered ? 1.0 : 0.0, ordered});
+    // Whole-inference serving: both classes make progress, and the
+    // lighter, higher-weight TinyCnn class sees lower per-inference
+    // p50 latency than the encoder class.
+    const bool infer_progress =
+        infer.cnnCompleted >= 3 && infer.llmCompleted >= 3;
+    checks.push_back({"inference_classes_progress",
+                      static_cast<double>(std::min(
+                          infer.cnnCompleted, infer.llmCompleted)),
+                      infer_progress});
+    const bool infer_ordered = infer.cnnP50 < infer.llmP50;
+    checks.push_back({"inference_latency_ordering",
+                      infer_ordered ? 1.0 : 0.0, infer_ordered});
 
     std::printf("  \"checks\": [\n");
     bool all_ok = true;

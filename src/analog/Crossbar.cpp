@@ -62,6 +62,7 @@ Crossbar::programSigned(const MatrixI &matrix)
                            static_cast<int>(std::max<i64>(-v, 0)));
         }
     }
+    snapshotConductances();
 }
 
 void
@@ -87,6 +88,21 @@ Crossbar::programOffset(const MatrixI &matrix)
             cells_.program(k, c, static_cast<int>(code));
         }
     }
+    snapshotConductances();
+}
+
+void
+Crossbar::snapshotConductances()
+{
+    gSnapshot_.clear();
+    const reram::NoiseModel &noise = cells_.noise();
+    if (noise.readSigma > 0.0)
+        return;   // reads draw noise; they must stay per-access
+    gSnapshot_.resize(rows() * logicalCols_);
+    for (std::size_t r = 0; r < rows(); ++r)
+        for (std::size_t c = 0; c < logicalCols_; ++c)
+            gSnapshot_[r * logicalCols_ + c] =
+                cells_.readConductance(r, c);
 }
 
 std::vector<double>
@@ -99,6 +115,28 @@ Crossbar::solve(const std::vector<double> &row_voltages) const
         cells_.noise().wireResistance / dev.gMax;
 
     std::vector<double> out(logicalCols_, 0.0);
+
+    if (!gSnapshot_.empty() && r_wire == 0.0) {
+        // Ideal-read, no-parasitics fast path: conductances come from
+        // the program-time snapshot and only active rows are visited.
+        // Per column the contributions accumulate in the same
+        // ascending-row order as the general path (skipped rows added
+        // exact 0.0 there), so the doubles are bit-identical.
+        double zero_baseline = 0.0;
+        for (std::size_t r = 0; r < n_rows; ++r) {
+            const double vr = row_voltages[r];
+            if (vr == 0.0)
+                continue;
+            zero_baseline += vr * dev.gMin;
+            const Siemens *g_row = &gSnapshot_[r * logicalCols_];
+            for (std::size_t c = 0; c < logicalCols_; ++c)
+                out[c] += vr * g_row[c];
+        }
+        for (std::size_t c = 0; c < logicalCols_; ++c)
+            out[c] = (out[c] - zero_baseline) / step;
+        return out;
+    }
+
     std::vector<double> currents(n_rows, 0.0);
     for (std::size_t c = 0; c < logicalCols_; ++c) {
         // Pass 1: ideal per-device currents with the noisy
@@ -111,7 +149,9 @@ Crossbar::solve(const std::vector<double> &row_voltages) const
                 currents[r] = 0.0;
                 continue;
             }
-            g[r] = cells_.readConductance(r, c);
+            g[r] = !gSnapshot_.empty()
+                       ? gSnapshot_[r * logicalCols_ + c]
+                       : cells_.readConductance(r, c);
             currents[r] = row_voltages[r] * g[r];
             zero_baseline += row_voltages[r] * dev.gMin;
         }

@@ -113,12 +113,26 @@ class Crossbar
     std::vector<double> solve(const std::vector<double> &row_voltages)
         const;
 
+    /**
+     * Refresh the read-time conductance snapshot. With readSigma == 0
+     * a device read is a pure function of its programmed state (no
+     * RNG draws, drift needs age > 1 which reads never pass), so the
+     * snapshot is bit-identical to per-access reads and lifts the
+     * per-cell Device::read() out of the MVM hot loop. A noisy read
+     * configuration leaves the snapshot empty and keeps the exact
+     * per-read path.
+     */
+    void snapshotConductances();
+
     reram::CellArray cells_;
     int bitsPerCell_;
     NumberMapping mapping_ = NumberMapping::DifferentialPair;
     MatrixI logical_;
     std::size_t logicalRows_ = 0;
     std::size_t logicalCols_ = 0;
+    /** rows() x logicalCols() read-conductance snapshot (row-major);
+     *  empty when read noise forces per-access draws. */
+    std::vector<Siemens> gSnapshot_;
 };
 
 } // namespace analog

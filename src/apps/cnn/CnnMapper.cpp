@@ -14,14 +14,13 @@ CnnMapper::CnnMapper(const hct::HctConfig &cfg, int element_bits,
 {
 }
 
-void
-CnnMapper::addElementwise(const LayerStats &stats, LayerCost *cost)
+Cycle
+CnnMapper::elementwiseCost(u64 element_ops, PicoJoule *energy)
 {
-    if (stats.elementOps == 0)
-        return;
+    if (element_ops == 0)
+        return 0;
     const std::size_t width = cfg_.dce.pipeline.width;
-    const std::size_t vectors =
-        (stats.elementOps + width - 1) / width;
+    const u64 vectors = (element_ops + width - 1) / width;
     // Bias add, requant shift, and ReLU select per output vector; the
     // DCE's pipelines run these back-to-back (amortized rates).
     const auto add =
@@ -29,12 +28,24 @@ CnnMapper::addElementwise(const LayerStats &stats, LayerCost *cost)
     const auto select =
         kernels_.macro(digital::MacroKind::Mux, inputBits_);
     const Cycle per_vector = add.amortized + select.amortized + 2;
+    *energy += static_cast<double>(vectors) *
+               (add.energy + select.energy);
     // 64 pipelines work in parallel on independent vectors.
     const std::size_t pipes = cfg_.dce.numPipelines;
-    cost->latency += vectors * per_vector / std::max<std::size_t>(
-        pipes, 1);
-    cost->energy += static_cast<double>(vectors) *
-                    (add.energy + select.energy);
+    return vectors * per_vector / std::max<std::size_t>(pipes, 1);
+}
+
+Cycle
+CnnMapper::elementwiseCycles(u64 element_ops)
+{
+    PicoJoule ignored = 0.0;
+    return elementwiseCost(element_ops, &ignored);
+}
+
+void
+CnnMapper::addElementwise(const LayerStats &stats, LayerCost *cost)
+{
+    cost->latency += elementwiseCost(stats.elementOps, &cost->energy);
 }
 
 LayerCost
@@ -123,20 +134,41 @@ CnnMapper::runLayerStream(runtime::Session &session,
         session.setMatrixBits(weights, elementBits_, bitsPerCell_);
     stream.hctsUsed = handle.plan().parts.size();
 
-    // Issue the whole batch before waiting: the scheduler packs the
-    // independent MVMs onto the placement's tiles back to back.
-    std::vector<runtime::MvmFuture> futures;
-    futures.reserve(inputs.size());
-    for (const auto &x : inputs)
-        futures.push_back(session.submit(handle, x, inputBits_));
-
-    stream.outputs.reserve(futures.size());
-    for (const auto &future : futures) {
-        auto result = session.wait(future);
-        stream.done = std::max(stream.done, result.done);
-        stream.outputs.push_back(std::move(result.values));
-    }
+    // A one-stage graph: the whole batch is in flight before any
+    // wait, and the scheduler packs the independent MVMs onto the
+    // placement's tiles back to back.
+    runtime::InferenceGraph graph(session);
+    const runtime::StageId stage = graph.addMvmStream(
+        "layer", handle, inputs, inputBits_, {});
+    stream.outputs = graph.outputs(stage);
+    stream.done = graph.doneCycle(stage);
     return stream;   // handle released here; tiles reclaimed
+}
+
+runtime::StageId
+CnnMapper::streamConv(runtime::InferenceGraph &graph, const Conv2d &conv,
+                      const runtime::MatrixHandle &handle,
+                      const Tensor &input,
+                      const std::vector<runtime::StageId> &deps,
+                      const std::vector<runtime::StageId> &extra_epi_deps,
+                      u64 extra_element_ops, Tensor *out)
+{
+    const std::size_t out_h = conv.outSize(input.height());
+    const std::size_t out_w = conv.outSize(input.width());
+
+    const runtime::StageId mvm = graph.addMvmStream(
+        conv.name(), handle, conv.im2colPatches(input), inputBits_,
+        deps);
+    *out = conv.assembleFromAccs(graph.outputs(mvm), out_h, out_w);
+
+    const LayerStats stats = conv.stats(input.height(), input.width());
+    std::vector<runtime::StageId> epi_deps = {mvm};
+    epi_deps.insert(epi_deps.end(), extra_epi_deps.begin(),
+                    extra_epi_deps.end());
+    return graph.addDigital(
+        conv.name() + "-epi",
+        elementwiseCycles(stats.elementOps + extra_element_ops),
+        epi_deps);
 }
 
 NetworkCost
@@ -167,6 +199,185 @@ CnnMapper::digitalNetworkCost(const std::vector<LayerStats> &layers)
         total.hctsUsed = std::max(total.hctsUsed, cost.hctsUsed);
     }
     return total;
+}
+
+// ---------------------------------------------------------------------------
+// ResnetForward
+// ---------------------------------------------------------------------------
+
+ResnetForward::ResnetForward(runtime::Session &session,
+                             const Resnet20 &net, CnnMapper &mapper)
+    : session_(session), net_(net), mapper_(mapper)
+{
+    auto place = [&](const Conv2d &conv) {
+        return session_.setMatrixBits(conv.weightMatrix(),
+                                      mapper_.elementBits(),
+                                      mapper_.bitsPerCell());
+    };
+    conv1_ = place(net.conv1());
+    stages_.resize(net.stages().size());
+    for (std::size_t s = 0; s < net.stages().size(); ++s) {
+        for (const auto &block : net.stages()[s]) {
+            BlockHandles handles;
+            handles.conv1 = place(*block.conv1);
+            handles.conv2 = place(*block.conv2);
+            if (block.downsample)
+                handles.downsample = place(*block.downsample);
+            stages_[s].push_back(std::move(handles));
+        }
+    }
+    fc_ = session_.setMatrixBits(net.fc().weightMatrix(),
+                                 mapper_.elementBits(),
+                                 mapper_.bitsPerCell());
+}
+
+std::size_t
+ResnetForward::hctsUsed() const
+{
+    std::size_t tiles = conv1_.plan().parts.size() +
+                        fc_.plan().parts.size();
+    for (const auto &stage : stages_)
+        for (const auto &block : stage) {
+            tiles += block.conv1.plan().parts.size();
+            tiles += block.conv2.plan().parts.size();
+            if (block.downsample.valid())
+                tiles += block.downsample.plan().parts.size();
+        }
+    return tiles;
+}
+
+ForwardResult
+ResnetForward::infer(const Tensor &input, Cycle earliest)
+{
+    runtime::InferenceGraph graph(session_);
+    const runtime::StageId source = graph.addSource(earliest);
+
+    // Mirrors Resnet20::infer stage for stage; the tensors are the
+    // shared Conv2d/Layers arithmetic, so logits are bit-identical.
+    Tensor x;
+    runtime::StageId x_stage = mapper_.streamConv(
+        graph, net_.conv1(), conv1_, input, {source}, {}, 0, &x);
+    relu(x);
+
+    for (std::size_t s = 0; s < net_.stages().size(); ++s) {
+        for (std::size_t b = 0; b < net_.stages()[s].size(); ++b) {
+            const Resnet20::Block &block = net_.stages()[s][b];
+            const BlockHandles &handles = stages_[s][b];
+
+            Tensor identity;
+            runtime::StageId identity_stage = x_stage;
+            if (block.downsample) {
+                identity_stage = mapper_.streamConv(
+                    graph, *block.downsample, handles.downsample, x,
+                    {x_stage}, {}, 0, &identity);
+            } else {
+                identity = x;
+            }
+
+            Tensor y;
+            const runtime::StageId s1 = mapper_.streamConv(
+                graph, *block.conv1, handles.conv1, x, {x_stage}, {},
+                0, &y);
+            relu(y);
+
+            // conv2's epilogue also covers the residual add (one
+            // extra element op per output), gated on the shortcut.
+            Tensor y2;
+            const LayerStats conv2_stats =
+                block.conv2->stats(y.height(), y.width());
+            const runtime::StageId s2 = mapper_.streamConv(
+                graph, *block.conv2, handles.conv2, y, {s1},
+                {identity_stage}, conv2_stats.outputElems, &y2);
+            addResidual(y2, identity);
+            relu(y2);
+
+            x = std::move(y2);
+            x_stage = s2;
+        }
+    }
+
+    const std::vector<i64> pooled = globalAvgPool(x);
+    const runtime::StageId pool_stage = graph.addDigital(
+        "gap", mapper_.elementwiseCycles(x.size()), {x_stage});
+
+    const runtime::StageId fc_stage = graph.addMvmStream(
+        "fc", fc_, {pooled}, mapper_.inputBits(), {pool_stage});
+    ForwardResult result;
+    result.logits =
+        net_.fc().assembleFromAcc(graph.outputs(fc_stage)[0]);
+    (void)graph.addDigital(
+        "fc-epi",
+        mapper_.elementwiseCycles(net_.fc().stats().elementOps),
+        {fc_stage});
+
+    const runtime::GraphStats stats = graph.finish();
+    result.start = stats.start;
+    result.done = stats.done;
+    result.mvmCount = stats.mvmCount;
+    return result;
+}
+
+// ---------------------------------------------------------------------------
+// TinyCnnForward
+// ---------------------------------------------------------------------------
+
+TinyCnnForward::TinyCnnForward(runtime::Session &session,
+                               const TinyCnn &net, CnnMapper &mapper)
+    : session_(session), net_(net), mapper_(mapper)
+{
+    conv1_ = session_.setMatrixBits(net.conv1().weightMatrix(),
+                                    mapper_.elementBits(),
+                                    mapper_.bitsPerCell());
+    conv2_ = session_.setMatrixBits(net.conv2().weightMatrix(),
+                                    mapper_.elementBits(),
+                                    mapper_.bitsPerCell());
+    fc_ = session_.setMatrixBits(net.fc().weightMatrix(),
+                                 mapper_.elementBits(),
+                                 mapper_.bitsPerCell());
+}
+
+std::size_t
+TinyCnnForward::hctsUsed() const
+{
+    return conv1_.plan().parts.size() + conv2_.plan().parts.size() +
+           fc_.plan().parts.size();
+}
+
+ForwardResult
+TinyCnnForward::infer(const Tensor &input, Cycle earliest)
+{
+    runtime::InferenceGraph graph(session_);
+    const runtime::StageId source = graph.addSource(earliest);
+
+    Tensor x;
+    const runtime::StageId s1 = mapper_.streamConv(
+        graph, net_.conv1(), conv1_, input, {source}, {}, 0, &x);
+    relu(x);
+
+    Tensor y;
+    const runtime::StageId s2 = mapper_.streamConv(
+        graph, net_.conv2(), conv2_, x, {s1}, {}, 0, &y);
+    relu(y);
+
+    const std::vector<i64> pooled = globalAvgPool(y);
+    const runtime::StageId pool_stage = graph.addDigital(
+        "gap", mapper_.elementwiseCycles(y.size()), {s2});
+
+    const runtime::StageId fc_stage = graph.addMvmStream(
+        "fc", fc_, {pooled}, mapper_.inputBits(), {pool_stage});
+    ForwardResult result;
+    result.logits =
+        net_.fc().assembleFromAcc(graph.outputs(fc_stage)[0]);
+    (void)graph.addDigital(
+        "fc-epi",
+        mapper_.elementwiseCycles(net_.fc().stats().elementOps),
+        {fc_stage});
+
+    const runtime::GraphStats stats = graph.finish();
+    result.start = stats.start;
+    result.done = stats.done;
+    result.mvmCount = stats.mvmCount;
+    return result;
 }
 
 } // namespace cnn

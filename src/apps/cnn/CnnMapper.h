@@ -18,6 +18,9 @@
 #include <vector>
 
 #include "apps/cnn/Layers.h"
+#include "apps/cnn/Resnet20.h"
+#include "apps/cnn/TinyCnn.h"
+#include "runtime/InferenceGraph.h"
 #include "runtime/KernelModel.h"
 #include "runtime/Runtime.h"
 #include "runtime/Session.h"
@@ -68,6 +71,20 @@ struct LayerStream
     std::size_t hctsUsed = 0;
 };
 
+/** Result of one whole-network forward through a session graph. */
+struct ForwardResult
+{
+    /** Network output (logits), bit-identical to the reference
+     *  infer() in the ideal-noise configuration. */
+    std::vector<i64> logits;
+    /** First MVM issue cycle of the forward. */
+    Cycle start = 0;
+    /** Completion cycle (last stage, digital epilogues included). */
+    Cycle done = 0;
+    /** MVMs the forward streamed. */
+    std::size_t mvmCount = 0;
+};
+
 /** Maps CNN layers onto HCTs and costs them. */
 class CnnMapper
 {
@@ -99,6 +116,7 @@ class CnnMapper
      * every input vector (one MVM per im2col patch) before waiting,
      * and drains the batch. The placement is released on return, so
      * layers can be streamed one after another on a small chip.
+     * Implemented as a one-stage InferenceGraph.
      *
      * Inputs are row-indexed: each input must have weights.rows()
      * elements; each output has weights.cols() elements and is
@@ -108,9 +126,36 @@ class CnnMapper
         runtime::Session &session, const MatrixI &weights,
         const std::vector<std::vector<i64>> &inputs);
 
+    /**
+     * Graph-driven forward of one conv layer: im2col the input,
+     * stream one MVM per patch against the placed weights (stream
+     * dependencies = `deps`), and append the digital epilogue stage
+     * (bias + requant + clamp, plus `extra_element_ops` element ops —
+     * residual adds, extra activation work — that complete in the
+     * same DCE pass, gated on `extra_epi_deps`). Writes the epilogue
+     * output tensor to *out and returns the epilogue stage.
+     */
+    runtime::StageId streamConv(
+        runtime::InferenceGraph &graph, const Conv2d &conv,
+        const runtime::MatrixHandle &handle, const Tensor &input,
+        const std::vector<runtime::StageId> &deps,
+        const std::vector<runtime::StageId> &extra_epi_deps,
+        u64 extra_element_ops, Tensor *out);
+
+    /** Element-wise (DCE) latency of `element_ops` operations —
+     *  the digital-stage cost unit of the forward graphs. */
+    Cycle elementwiseCycles(u64 element_ops);
+
     runtime::KernelModel &kernels() { return kernels_; }
 
+    int elementBits() const { return elementBits_; }
+    int bitsPerCell() const { return bitsPerCell_; }
+    int inputBits() const { return inputBits_; }
+
   private:
+    /** Element-wise (DCE) latency; accumulates energy into *energy. */
+    Cycle elementwiseCost(u64 element_ops, PicoJoule *energy);
+
     /** Element-wise (DCE) cost shared by both variants. */
     void addElementwise(const LayerStats &stats, LayerCost *cost);
 
@@ -119,6 +164,68 @@ class CnnMapper
     int bitsPerCell_;
     int inputBits_;
     runtime::KernelModel kernels_;
+};
+
+/**
+ * Whole-ResNet-20 forward runner: places every conv/FC weight matrix
+ * once through the session, then runs graph-driven inferences whose
+ * logits are bit-identical to Resnet20::infer(). Placements persist
+ * across infer() calls, so back-to-back inferences pipeline: each
+ * layer's stream issues into its still-warm tiles at the same-matrix
+ * amortized rate while later layers of the previous inference are
+ * still running, bounding steady-state spacing by the slowest layer
+ * (NetworkCost::maxLayerLatency's §5.1 pipelined throughput bound).
+ */
+class ResnetForward
+{
+  public:
+    /** Places all 22 layers; fatal when the chip lacks tiles. The
+     *  net and mapper must outlive the runner. */
+    ResnetForward(runtime::Session &session, const Resnet20 &net,
+                  CnnMapper &mapper);
+
+    /** One graph-driven inference (earliest = request admission). */
+    ForwardResult infer(const Tensor &input, Cycle earliest = 0);
+
+    /** Tiles owned by the network's placements. */
+    std::size_t hctsUsed() const;
+
+  private:
+    runtime::Session &session_;
+    const Resnet20 &net_;
+    CnnMapper &mapper_;
+    runtime::MatrixHandle conv1_;
+    /** Per block: conv1, conv2, downsample (invalid when identity). */
+    struct BlockHandles
+    {
+        runtime::MatrixHandle conv1;
+        runtime::MatrixHandle conv2;
+        runtime::MatrixHandle downsample;
+    };
+    std::vector<std::vector<BlockHandles>> stages_;
+    runtime::MatrixHandle fc_;
+};
+
+/** TinyCnn counterpart of ResnetForward (serving's CnnInfer unit). */
+class TinyCnnForward
+{
+  public:
+    TinyCnnForward(runtime::Session &session, const TinyCnn &net,
+                   CnnMapper &mapper);
+
+    ForwardResult infer(const Tensor &input, Cycle earliest = 0);
+
+    std::size_t hctsUsed() const;
+
+    const TinyCnn &net() const { return net_; }
+
+  private:
+    runtime::Session &session_;
+    const TinyCnn &net_;
+    CnnMapper &mapper_;
+    runtime::MatrixHandle conv1_;
+    runtime::MatrixHandle conv2_;
+    runtime::MatrixHandle fc_;
 };
 
 } // namespace cnn

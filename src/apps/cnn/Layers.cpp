@@ -30,23 +30,22 @@ Conv2d::initRandom(Rng &rng, i32 weight_range)
         b = static_cast<i32>(rng.uniformInt(i64{-8}, i64{8}));
 }
 
-Tensor
-Conv2d::forward(const Tensor &input, const MvmNoise &noise) const
+std::vector<std::vector<i64>>
+Conv2d::im2colPatches(const Tensor &input) const
 {
     if (input.channels() != cin_)
         darth_fatal("Conv2d ", name_, ": expected ", cin_,
                     " input channels, got ", input.channels());
-    const std::size_t out_h =
-        (input.height() + 2 * pad_ - kernel_) / stride_ + 1;
-    const std::size_t out_w =
-        (input.width() + 2 * pad_ - kernel_) / stride_ + 1;
-    Tensor out(cout_, out_h, out_w);
-
+    const std::size_t out_h = outSize(input.height());
+    const std::size_t out_w = outSize(input.width());
     const std::size_t k_elems = cin_ * kernel_ * kernel_;
-    std::vector<i64> patch(k_elems);
+
+    std::vector<std::vector<i64>> patches;
+    patches.reserve(out_h * out_w);
     for (std::size_t oy = 0; oy < out_h; ++oy) {
         for (std::size_t ox = 0; ox < out_w; ++ox) {
             // im2col: gather the receptive field (Toeplitz row).
+            std::vector<i64> patch(k_elems);
             std::size_t idx = 0;
             for (std::size_t ic = 0; ic < cin_; ++ic) {
                 for (std::size_t ky = 0; ky < kernel_; ++ky) {
@@ -69,12 +68,32 @@ Conv2d::forward(const Tensor &input, const MvmNoise &noise) const
                     }
                 }
             }
-            // MVM over the weight matrix (what the ACE executes).
+            patches.push_back(std::move(patch));
+        }
+    }
+    return patches;
+}
+
+Tensor
+Conv2d::assembleFromAccs(const std::vector<std::vector<i64>> &accs,
+                         std::size_t out_h, std::size_t out_w,
+                         const MvmNoise &noise) const
+{
+    if (accs.size() != out_h * out_w)
+        darth_fatal("Conv2d ", name_, ": ", accs.size(),
+                    " accumulator vectors for ", out_h, "x", out_w,
+                    " output positions");
+    const std::size_t k_elems = cin_ * kernel_ * kernel_;
+    Tensor out(cout_, out_h, out_w);
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const std::vector<i64> &row = accs[oy * out_w + ox];
+            if (row.size() != cout_)
+                darth_fatal("Conv2d ", name_, ": accumulator vector "
+                            "has ", row.size(), " values for ", cout_,
+                            " output channels");
             for (std::size_t oc = 0; oc < cout_; ++oc) {
-                i64 acc = 0;
-                for (std::size_t i = 0; i < k_elems; ++i)
-                    acc += patch[i] * weights_(i, oc);
-                acc = noise.perturb(acc, k_elems);
+                i64 acc = noise.perturb(row[oc], k_elems);
                 acc += bias_[oc];
                 acc >>= requantShift_;
                 out.at(oc, oy, ox) = static_cast<i32>(
@@ -83,6 +102,27 @@ Conv2d::forward(const Tensor &input, const MvmNoise &noise) const
         }
     }
     return out;
+}
+
+Tensor
+Conv2d::forward(const Tensor &input, const MvmNoise &noise) const
+{
+    const std::size_t out_h = outSize(input.height());
+    const std::size_t out_w = outSize(input.width());
+    const std::size_t k_elems = cin_ * kernel_ * kernel_;
+
+    const auto patches = im2colPatches(input);
+    std::vector<std::vector<i64>> accs;
+    accs.reserve(patches.size());
+    for (const auto &patch : patches) {
+        // MVM over the weight matrix (what the ACE executes).
+        std::vector<i64> acc(cout_, 0);
+        for (std::size_t oc = 0; oc < cout_; ++oc)
+            for (std::size_t i = 0; i < k_elems; ++i)
+                acc[oc] += patch[i] * weights_(i, oc);
+        accs.push_back(std::move(acc));
+    }
+    return assembleFromAccs(accs, out_h, out_w, noise);
 }
 
 LayerStats
@@ -122,21 +162,30 @@ FullyConnected::initRandom(Rng &rng, i32 weight_range)
 }
 
 std::vector<i64>
+FullyConnected::assembleFromAcc(const std::vector<i64> &acc,
+                                const MvmNoise &noise) const
+{
+    if (acc.size() != out_)
+        darth_fatal("FullyConnected ", name_, ": accumulator has ",
+                    acc.size(), " values for ", out_, " outputs");
+    std::vector<i64> out(out_);
+    for (std::size_t oc = 0; oc < out_; ++oc)
+        out[oc] = noise.perturb(acc[oc], in_) + bias_[oc];
+    return out;
+}
+
+std::vector<i64>
 FullyConnected::forward(const std::vector<i64> &input,
                         const MvmNoise &noise) const
 {
     if (input.size() != in_)
         darth_fatal("FullyConnected ", name_, ": expected ", in_,
                     " inputs, got ", input.size());
-    std::vector<i64> out(out_);
-    for (std::size_t oc = 0; oc < out_; ++oc) {
-        i64 acc = 0;
+    std::vector<i64> acc(out_, 0);
+    for (std::size_t oc = 0; oc < out_; ++oc)
         for (std::size_t i = 0; i < in_; ++i)
-            acc += input[i] * weights_(i, oc);
-        acc = noise.perturb(acc, in_);
-        out[oc] = acc + bias_[oc];
-    }
-    return out;
+            acc[oc] += input[i] * weights_(i, oc);
+    return assembleFromAcc(acc, noise);
 }
 
 LayerStats

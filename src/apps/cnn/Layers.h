@@ -89,6 +89,32 @@ class Conv2d
     Tensor forward(const Tensor &input,
                    const MvmNoise &noise = MvmNoise{}) const;
 
+    /**
+     * im2col (Toeplitz) expansion: one patch per output position, row
+     * order (oy, ox), each of length Cin*k*k — exactly the MVM inputs
+     * the ACE executes. forward() and the session-graph path
+     * (CnnMapper) share this, so both see identical arithmetic.
+     */
+    std::vector<std::vector<i64>> im2colPatches(const Tensor &input)
+        const;
+
+    /** Output spatial size for an input extent (height or width). */
+    std::size_t
+    outSize(std::size_t in) const
+    {
+        return (in + 2 * pad_ - kernel_) / stride_ + 1;
+    }
+
+    /**
+     * Epilogue shared by forward() and the graph path: per output
+     * element, perturb the raw MVM accumulator (analog noise), add
+     * bias, requantize, and clamp. `accs` holds one accumulator
+     * vector per output position in im2colPatches() order.
+     */
+    Tensor assembleFromAccs(const std::vector<std::vector<i64>> &accs,
+                            std::size_t out_h, std::size_t out_w,
+                            const MvmNoise &noise = MvmNoise{}) const;
+
     /** Weight matrix in MVM layout: (Cin*k*k) rows x Cout cols. */
     const MatrixI &weightMatrix() const { return weights_; }
 
@@ -126,6 +152,12 @@ class FullyConnected
 
     std::vector<i64> forward(const std::vector<i64> &input,
                              const MvmNoise &noise = MvmNoise{}) const;
+
+    /** Epilogue shared by forward() and the graph path: perturb each
+     *  raw accumulator and add the bias. */
+    std::vector<i64> assembleFromAcc(const std::vector<i64> &acc,
+                                     const MvmNoise &noise = MvmNoise{})
+        const;
 
     const MatrixI &weightMatrix() const { return weights_; }
     LayerStats stats() const;

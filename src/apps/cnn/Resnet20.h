@@ -32,6 +32,14 @@ namespace cnn
 class Resnet20
 {
   public:
+    /** One residual block (downsample null for identity shortcuts). */
+    struct Block
+    {
+        std::unique_ptr<Conv2d> conv1;
+        std::unique_ptr<Conv2d> conv2;
+        std::unique_ptr<Conv2d> downsample;   // null when identity
+    };
+
     explicit Resnet20(u64 seed = 42);
 
     /** Inference on one 3x32x32 input; returns 10 logits. */
@@ -53,14 +61,16 @@ class Resnet20
     /** The final fully-connected layer (for session-stream demos). */
     const FullyConnected &fc() const { return *fc_; }
 
-  private:
-    struct Block
-    {
-        std::unique_ptr<Conv2d> conv1;
-        std::unique_ptr<Conv2d> conv2;
-        std::unique_ptr<Conv2d> downsample;   // null when identity
-    };
+    /** The stem convolution (graph-driven forwards walk these). */
+    const Conv2d &conv1() const { return *conv1_; }
 
+    /** The three residual stages in forward order. */
+    const std::vector<std::vector<Block>> &stages() const
+    {
+        return stages_;
+    }
+
+  private:
     std::unique_ptr<Conv2d> conv1_;
     std::vector<std::vector<Block>> stages_;
     std::unique_ptr<FullyConnected> fc_;

@@ -1,0 +1,58 @@
+#include "apps/cnn/TinyCnn.h"
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace cnn
+{
+
+TinyCnn::TinyCnn(u64 seed, std::size_t in_hw) : inHw_(in_hw)
+{
+    if (in_hw < 2)
+        darth_fatal("TinyCnn: input extent must be at least 2, got ",
+                    in_hw);
+    Rng rng(seed);
+    conv1_ = std::make_unique<Conv2d>("t-conv1", 1, 4, 3, 1, 1);
+    conv1_->initRandom(rng);
+    conv2_ = std::make_unique<Conv2d>("t-conv2", 4, 8, 3, 2, 1);
+    conv2_->initRandom(rng);
+    fc_ = std::make_unique<FullyConnected>("t-fc", 8, 4);
+    fc_->initRandom(rng);
+}
+
+Tensor
+TinyCnn::inputFromFlat(const std::vector<i64> &flat) const
+{
+    if (flat.size() != inputSize())
+        darth_fatal("TinyCnn::inputFromFlat: got ", flat.size(),
+                    " values for a ", inHw_, "x", inHw_, " input");
+    Tensor input(1, inHw_, inHw_);
+    for (std::size_t i = 0; i < flat.size(); ++i)
+        input.data()[i] = static_cast<i32>(flat[i]);
+    return input;
+}
+
+std::vector<i64>
+TinyCnn::infer(const Tensor &input) const
+{
+    Tensor x = conv1_->forward(input);
+    relu(x);
+    Tensor y = conv2_->forward(x);
+    relu(y);
+    const std::vector<i64> pooled = globalAvgPool(y);
+    return fc_->forward(pooled);
+}
+
+std::vector<LayerStats>
+TinyCnn::layerStats() const
+{
+    std::vector<LayerStats> stats;
+    stats.push_back(conv1_->stats(inHw_, inHw_));
+    stats.push_back(conv2_->stats(inHw_, inHw_));
+    stats.push_back(fc_->stats());
+    return stats;
+}
+
+} // namespace cnn
+} // namespace darth

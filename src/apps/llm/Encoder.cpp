@@ -62,30 +62,24 @@ Encoder::project(const MatrixI &x, const MatrixI &w) const
     return out;
 }
 
-MatrixI
-Encoder::forward(const MatrixI &input) const
+void
+Encoder::requantProjection(MatrixI *m)
 {
-    if (input.rows() != cfg_.seqLen || input.cols() != cfg_.dModel)
-        darth_fatal("Encoder::forward: input must be seqLen x dModel");
+    for (std::size_t t = 0; t < m->rows(); ++t) {
+        auto row = m->row(t);
+        requantRow(&row, 7);
+        m->setRow(t, row);
+    }
+}
 
+MatrixI
+Encoder::attentionContext(const MatrixI &q, const MatrixI &k,
+                          const MatrixI &v) const
+{
     const std::size_t s = cfg_.seqLen;
     const std::size_t d = cfg_.dModel;
     const std::size_t h = cfg_.numHeads;
     const std::size_t hd = cfg_.headDim();
-
-    // Projections (static weights -> ACE in the mapping).
-    MatrixI q = project(input, wq_);
-    MatrixI k = project(input, wk_);
-    MatrixI v = project(input, wv_);
-    for (std::size_t t = 0; t < s; ++t) {
-        auto qr = q.row(t), kr = k.row(t), vr = v.row(t);
-        requantRow(&qr, 7);
-        requantRow(&kr, 7);
-        requantRow(&vr, 7);
-        q.setRow(t, qr);
-        k.setRow(t, kr);
-        v.setRow(t, vr);
-    }
 
     // Attention per head (dynamic matmuls -> DCE in the mapping).
     MatrixI context(s, d);
@@ -112,35 +106,61 @@ Encoder::forward(const MatrixI &input) const
             }
         }
     }
+    return context;
+}
 
-    // Output projection + residual + LayerNorm.
-    MatrixI attn_out = project(context, wo_);
-    MatrixI x1(s, d);
-    for (std::size_t t = 0; t < s; ++t) {
-        std::vector<i64> row(d);
-        for (std::size_t c = 0; c < d; ++c)
-            row[c] = (attn_out(t, c) >> 7) + input(t, c);
-        x1.setRow(t, iLayerNorm(row, 6));
-    }
-
-    // FFN: W1 -> GELU -> W2 (static weights -> ACE).
-    MatrixI ff1 = project(x1, w1_);
-    const double gelu_scale = 1.0 / 64.0;
-    MatrixI ff1a(s, cfg_.dFf);
-    for (std::size_t t = 0; t < s; ++t)
-        for (std::size_t c = 0; c < cfg_.dFf; ++c)
-            ff1a(t, c) = std::clamp<i64>(
-                iGelu(ff1(t, c) >> 7, gelu_scale), -127, 127);
-    MatrixI ff2 = project(ff1a, w2_);
-
+MatrixI
+Encoder::addNorm(const MatrixI &proj, const MatrixI &residual) const
+{
+    const std::size_t s = cfg_.seqLen;
+    const std::size_t d = cfg_.dModel;
     MatrixI out(s, d);
     for (std::size_t t = 0; t < s; ++t) {
         std::vector<i64> row(d);
         for (std::size_t c = 0; c < d; ++c)
-            row[c] = (ff2(t, c) >> 7) + x1(t, c);
+            row[c] = (proj(t, c) >> 7) + residual(t, c);
         out.setRow(t, iLayerNorm(row, 6));
     }
     return out;
+}
+
+MatrixI
+Encoder::geluActivation(const MatrixI &ff1) const
+{
+    const double gelu_scale = 1.0 / 64.0;
+    MatrixI out(ff1.rows(), ff1.cols());
+    for (std::size_t t = 0; t < ff1.rows(); ++t)
+        for (std::size_t c = 0; c < ff1.cols(); ++c)
+            out(t, c) = std::clamp<i64>(
+                iGelu(ff1(t, c) >> 7, gelu_scale), -127, 127);
+    return out;
+}
+
+MatrixI
+Encoder::forward(const MatrixI &input) const
+{
+    if (input.rows() != cfg_.seqLen || input.cols() != cfg_.dModel)
+        darth_fatal("Encoder::forward: input must be seqLen x dModel");
+
+    // Projections (static weights -> ACE in the mapping).
+    MatrixI q = project(input, wq_);
+    MatrixI k = project(input, wk_);
+    MatrixI v = project(input, wv_);
+    requantProjection(&q);
+    requantProjection(&k);
+    requantProjection(&v);
+
+    const MatrixI context = attentionContext(q, k, v);
+
+    // Output projection + residual + LayerNorm.
+    const MatrixI attn_out = project(context, wo_);
+    const MatrixI x1 = addNorm(attn_out, input);
+
+    // FFN: W1 -> GELU -> W2 (static weights -> ACE).
+    const MatrixI ff1 = project(x1, w1_);
+    const MatrixI ff1a = geluActivation(ff1);
+    const MatrixI ff2 = project(ff1a, w2_);
+    return addNorm(ff2, x1);
 }
 
 EncoderStats

@@ -89,8 +89,35 @@ class Encoder
     /** Workload statistics. */
     EncoderStats stats() const;
 
+    // ------------------------------------------------------------------
+    // Forward-pass pieces, shared with the session-graph path
+    // (LlmMapper::EncoderForward). forward() is exactly: project ->
+    // requantProjection on Q/K/V -> attentionContext -> project(wo)
+    // -> addNorm -> project(w1) -> geluActivation -> project(w2) ->
+    // addNorm, so a graph forward that swaps project() for analog MVM
+    // streams (bit-exact integer MVMs) reproduces it bit for bit.
+    // ------------------------------------------------------------------
+
+    /** Requantize projection accumulators in place (>>7, clamp). */
+    static void requantProjection(MatrixI *m);
+
+    /** Multi-head integer attention (QK^T -> i-softmax -> PV) over
+     *  requantized Q/K/V; the dynamic DCE matmuls of §5.2. */
+    MatrixI attentionContext(const MatrixI &q, const MatrixI &k,
+                             const MatrixI &v) const;
+
+    /** (proj >> 7) + residual, then integer LayerNorm per row. */
+    MatrixI addNorm(const MatrixI &proj, const MatrixI &residual) const;
+
+    /** i-GELU activation of raw FFN1 accumulators. */
+    MatrixI geluActivation(const MatrixI &ff1) const;
+
     const MatrixI &wq() const { return wq_; }
+    const MatrixI &wk() const { return wk_; }
+    const MatrixI &wv() const { return wv_; }
+    const MatrixI &wo() const { return wo_; }
     const MatrixI &wFf1() const { return w1_; }
+    const MatrixI &wFf2() const { return w2_; }
 
   private:
     MatrixI project(const MatrixI &x, const MatrixI &w) const;

@@ -95,6 +95,20 @@ LlmMapper::hybridCost(const EncoderStats &stats)
     return cost;
 }
 
+Cycle
+LlmMapper::elementCycles(u64 element_ops)
+{
+    PicoJoule ignored = 0.0;
+    return elementWork(element_ops, &ignored);
+}
+
+Cycle
+LlmMapper::matmulCycles(u64 macs)
+{
+    PicoJoule ignored = 0.0;
+    return dynamicMatmulWork(macs, &ignored);
+}
+
 ProjectionStream
 LlmMapper::runProjectionStream(runtime::Session &session,
                                const MatrixI &weights,
@@ -105,19 +119,140 @@ LlmMapper::runProjectionStream(runtime::Session &session,
         session.setMatrixBits(weights, elementBits_, bitsPerCell_);
     stream.hctsUsed = handle.plan().parts.size();
 
-    std::vector<runtime::MvmFuture> futures;
-    futures.reserve(activations.rows());
+    // A one-stage graph: the whole token batch is in flight before
+    // the first wait.
+    std::vector<std::vector<i64>> inputs;
+    inputs.reserve(activations.rows());
     for (std::size_t r = 0; r < activations.rows(); ++r)
-        futures.push_back(
-            session.submit(handle, activations.row(r), inputBits_));
+        inputs.push_back(activations.row(r));
 
+    runtime::InferenceGraph graph(session);
+    const runtime::StageId stage = graph.addMvmStream(
+        "projection", handle, std::move(inputs), inputBits_, {});
+    const auto &outputs = graph.outputs(stage);
     stream.output = MatrixI(activations.rows(), weights.cols());
-    for (std::size_t r = 0; r < futures.size(); ++r) {
-        auto result = session.wait(futures[r]);
-        stream.done = std::max(stream.done, result.done);
-        stream.output.setRow(r, result.values);
-    }
+    for (std::size_t r = 0; r < outputs.size(); ++r)
+        stream.output.setRow(r, outputs[r]);
+    stream.done = graph.doneCycle(stage);
     return stream;   // handle released here; tiles reclaimed
+}
+
+// ---------------------------------------------------------------------------
+// EncoderForward
+// ---------------------------------------------------------------------------
+
+EncoderForward::EncoderForward(runtime::Session &session,
+                               const Encoder &enc, LlmMapper &mapper)
+    : session_(session), enc_(enc), mapper_(mapper)
+{
+    auto place = [&](const MatrixI &w) {
+        return session_.setMatrixBits(w, mapper_.elementBits(),
+                                      mapper_.bitsPerCell());
+    };
+    wq_ = place(enc.wq());
+    wk_ = place(enc.wk());
+    wv_ = place(enc.wv());
+    wo_ = place(enc.wo());
+    w1_ = place(enc.wFf1());
+    w2_ = place(enc.wFf2());
+}
+
+std::size_t
+EncoderForward::hctsUsed() const
+{
+    return wq_.plan().parts.size() + wk_.plan().parts.size() +
+           wv_.plan().parts.size() + wo_.plan().parts.size() +
+           w1_.plan().parts.size() + w2_.plan().parts.size();
+}
+
+runtime::StageId
+EncoderForward::projectStage(runtime::InferenceGraph &graph,
+                             const char *name,
+                             const runtime::MatrixHandle &handle,
+                             const MatrixI &activations,
+                             const std::vector<runtime::StageId> &deps,
+                             MatrixI *out)
+{
+    std::vector<std::vector<i64>> inputs;
+    inputs.reserve(activations.rows());
+    for (std::size_t r = 0; r < activations.rows(); ++r)
+        inputs.push_back(activations.row(r));
+    const runtime::StageId stage = graph.addMvmStream(
+        name, handle, std::move(inputs), mapper_.inputBits(), deps);
+    const auto &outputs = graph.outputs(stage);
+    *out = MatrixI(activations.rows(), handle.plan().cols);
+    for (std::size_t r = 0; r < outputs.size(); ++r)
+        out->setRow(r, outputs[r]);
+    return stage;
+}
+
+EncoderForwardResult
+EncoderForward::infer(const MatrixI &tokens, Cycle earliest)
+{
+    const EncoderConfig &cfg = enc_.config();
+    const std::size_t s = cfg.seqLen;
+    const std::size_t d = cfg.dModel;
+    const std::size_t f = cfg.dFf;
+    const EncoderStats stats = enc_.stats();
+
+    runtime::InferenceGraph graph(session_);
+    const runtime::StageId source = graph.addSource(earliest);
+
+    // QKV projections run as three independent analog streams.
+    MatrixI q, k, v;
+    const runtime::StageId qs =
+        projectStage(graph, "wq", wq_, tokens, {source}, &q);
+    const runtime::StageId ks =
+        projectStage(graph, "wk", wk_, tokens, {source}, &k);
+    const runtime::StageId vs =
+        projectStage(graph, "wv", wv_, tokens, {source}, &v);
+    Encoder::requantProjection(&q);
+    Encoder::requantProjection(&k);
+    Encoder::requantProjection(&v);
+
+    // Attention: requant + QK^T/PV dynamic matmuls + i-softmax in
+    // the DCE.
+    const MatrixI context = enc_.attentionContext(q, k, v);
+    const runtime::StageId attn = graph.addDigital(
+        "attention",
+        mapper_.elementCycles(3ull * s * d +
+                              static_cast<u64>(cfg.numHeads) * s * s *
+                                  4) +
+            mapper_.matmulCycles(stats.dynamicMacs),
+        {qs, ks, vs});
+
+    // Output projection + residual + LayerNorm.
+    MatrixI attn_out;
+    const runtime::StageId os =
+        projectStage(graph, "wo", wo_, context, {attn}, &attn_out);
+    const MatrixI x1 = enc_.addNorm(attn_out, tokens);
+    const runtime::StageId x1s = graph.addDigital(
+        "add-norm-1", mapper_.elementCycles(4ull * s * d + s * d),
+        {os, source});
+
+    // FFN: W1 -> GELU -> W2.
+    MatrixI ff1;
+    const runtime::StageId f1s =
+        projectStage(graph, "w1", w1_, x1, {x1s}, &ff1);
+    const MatrixI ff1a = enc_.geluActivation(ff1);
+    const runtime::StageId gelu = graph.addDigital(
+        "gelu", mapper_.elementCycles(static_cast<u64>(s) * f), {f1s});
+
+    MatrixI ff2;
+    const runtime::StageId f2s =
+        projectStage(graph, "w2", w2_, ff1a, {gelu}, &ff2);
+
+    EncoderForwardResult result;
+    result.output = enc_.addNorm(ff2, x1);
+    (void)graph.addDigital(
+        "add-norm-2", mapper_.elementCycles(4ull * s * d + s * d),
+        {f2s, x1s});
+
+    const runtime::GraphStats graph_stats = graph.finish();
+    result.start = graph_stats.start;
+    result.done = graph_stats.done;
+    result.mvmCount = graph_stats.mvmCount;
+    return result;
 }
 
 EncoderCost

@@ -9,6 +9,7 @@
 #define DARTH_APPS_LLM_LLMMAPPER_H
 
 #include "apps/llm/Encoder.h"
+#include "runtime/InferenceGraph.h"
 #include "runtime/KernelModel.h"
 #include "runtime/Runtime.h"
 #include "runtime/Session.h"
@@ -58,13 +59,25 @@ class LlmMapper
      * MVM per activation row (the whole token batch is in flight
      * before the first wait), and gathers the output matrix. The
      * placement is released on return. Bit-exact against the integer
-     * reference activations x weights.
+     * reference activations x weights. Implemented as a one-stage
+     * InferenceGraph.
      */
     ProjectionStream runProjectionStream(runtime::Session &session,
                                          const MatrixI &weights,
                                          const MatrixI &activations);
 
+    /** DCE latency of `element_ops` I-BERT element operations (the
+     *  digital-stage cost unit of the encoder forward graph). */
+    Cycle elementCycles(u64 element_ops);
+
+    /** DCE latency of `macs` dynamic-matmul MACs (QK^T, PV). */
+    Cycle matmulCycles(u64 macs);
+
     runtime::KernelModel &kernels() { return kernels_; }
+
+    int elementBits() const { return elementBits_; }
+    int bitsPerCell() const { return bitsPerCell_; }
+    int inputBits() const { return inputBits_; }
 
   private:
     Cycle elementWork(u64 element_ops, PicoJoule *energy);
@@ -75,6 +88,61 @@ class LlmMapper
     int bitsPerCell_;
     int inputBits_;
     runtime::KernelModel kernels_;
+};
+
+/** Result of one whole encoder-layer forward through a session. */
+struct EncoderForwardResult
+{
+    /** seqLen x dModel output, bit-identical to Encoder::forward(). */
+    MatrixI output;
+    /** First MVM issue cycle. */
+    Cycle start = 0;
+    /** Completion cycle (final add-norm included). */
+    Cycle done = 0;
+    /** MVMs the forward streamed (6 projections x seqLen rows). */
+    std::size_t mvmCount = 0;
+};
+
+/**
+ * Whole-encoder-layer forward runner: places the six static weight
+ * matrices (Q/K/V/O, FFN1, FFN2) once, then runs graph-driven
+ * forwards — QKV projection streams, a DCE attention/softmax stage,
+ * the output projection, add-norm, and the FFN pair — that are
+ * bit-identical to Encoder::forward(). Placements persist across
+ * infer() calls, so back-to-back encoder passes pipeline per
+ * projection at the same-matrix amortized rate.
+ */
+class EncoderForward
+{
+  public:
+    /** Places all six matrices; the encoder and mapper must outlive
+     *  the runner. */
+    EncoderForward(runtime::Session &session, const Encoder &enc,
+                   LlmMapper &mapper);
+
+    /** One graph-driven forward (earliest = request admission). */
+    EncoderForwardResult infer(const MatrixI &tokens,
+                               Cycle earliest = 0);
+
+    /** Tiles owned by the six placements. */
+    std::size_t hctsUsed() const;
+
+    const Encoder &encoder() const { return enc_; }
+
+  private:
+    /** Stream tokens-rows x weights and gather the output matrix. */
+    runtime::StageId projectStage(runtime::InferenceGraph &graph,
+                                  const char *name,
+                                  const runtime::MatrixHandle &handle,
+                                  const MatrixI &activations,
+                                  const std::vector<runtime::StageId>
+                                      &deps,
+                                  MatrixI *out);
+
+    runtime::Session &session_;
+    const Encoder &enc_;
+    LlmMapper &mapper_;
+    runtime::MatrixHandle wq_, wk_, wv_, wo_, w1_, w2_;
 };
 
 } // namespace llm

@@ -13,17 +13,14 @@ namespace
 
 constexpr std::size_t kWordBits = 64;
 
-std::size_t
-wordsFor(std::size_t bits)
-{
-    return (bits + kWordBits - 1) / kWordBits;
-}
-
 } // namespace
 
-BitVector::BitVector(std::size_t n, bool value)
-    : size_(n), words_(wordsFor(n), value ? ~0ULL : 0ULL)
+BitVector::BitVector(std::size_t n, bool value) : size_(n)
 {
+    if (!inlineStorage())
+        heap_.assign(numWords(), value ? ~0ULL : 0ULL);
+    else
+        inline_ = value ? ~0ULL : 0ULL;
     maskTail();
 }
 
@@ -52,35 +49,42 @@ BitVector::fromInteger(u64 value, std::size_t n)
 void
 BitVector::resize(std::size_t n)
 {
+    const bool was_inline = inlineStorage();
     size_ = n;
-    words_.resize(wordsFor(n), 0ULL);
+    if (inlineStorage()) {
+        if (!was_inline) {
+            inline_ = heap_.empty() ? 0ULL : heap_[0];
+            heap_.clear();
+        }
+    } else {
+        if (was_inline) {
+            heap_.assign(numWords(), 0ULL);
+            heap_[0] = inline_;
+        } else {
+            heap_.resize(numWords(), 0ULL);
+        }
+    }
     maskTail();
 }
 
-bool
-BitVector::get(std::size_t i) const
+void
+BitVector::indexPanic(std::size_t i, const char *what) const
 {
-    if (i >= size_)
-        darth_panic("BitVector::get: index ", i, " out of range ", size_);
-    return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+    darth_panic("BitVector::", what, ": index ", i, " out of range ",
+                size_);
 }
 
 void
-BitVector::set(std::size_t i, bool value)
+BitVector::sizePanic(const char *what) const
 {
-    if (i >= size_)
-        darth_panic("BitVector::set: index ", i, " out of range ", size_);
-    const u64 mask = 1ULL << (i % kWordBits);
-    if (value)
-        words_[i / kWordBits] |= mask;
-    else
-        words_[i / kWordBits] &= ~mask;
+    darth_panic("BitVector::", what, ": ", size_, " bits > 64");
 }
 
 void
 BitVector::fill(bool value)
 {
-    std::fill(words_.begin(), words_.end(), value ? ~0ULL : 0ULL);
+    u64 *w = words();
+    std::fill(w, w + numWords(), value ? ~0ULL : 0ULL);
     maskTail();
 }
 
@@ -88,17 +92,10 @@ std::size_t
 BitVector::popcount() const
 {
     std::size_t count = 0;
-    for (u64 w : words_)
-        count += static_cast<std::size_t>(std::popcount(w));
+    const u64 *w = words();
+    for (std::size_t i = 0; i < numWords(); ++i)
+        count += static_cast<std::size_t>(std::popcount(w[i]));
     return count;
-}
-
-u64
-BitVector::toInteger() const
-{
-    if (size_ > kWordBits)
-        darth_panic("BitVector::toInteger: ", size_, " bits > 64");
-    return words_.empty() ? 0ULL : words_[0];
 }
 
 i64
@@ -136,8 +133,11 @@ BitVector::operator&(const BitVector &other) const
         darth_panic("BitVector size mismatch: ", size_, " vs ",
                     other.size_);
     BitVector result(size_);
-    for (std::size_t w = 0; w < words_.size(); ++w)
-        result.words_[w] = words_[w] & other.words_[w];
+    u64 *out = result.words();
+    const u64 *a = words();
+    const u64 *b = other.words();
+    for (std::size_t w = 0; w < numWords(); ++w)
+        out[w] = a[w] & b[w];
     return result;
 }
 
@@ -148,8 +148,11 @@ BitVector::operator|(const BitVector &other) const
         darth_panic("BitVector size mismatch: ", size_, " vs ",
                     other.size_);
     BitVector result(size_);
-    for (std::size_t w = 0; w < words_.size(); ++w)
-        result.words_[w] = words_[w] | other.words_[w];
+    u64 *out = result.words();
+    const u64 *a = words();
+    const u64 *b = other.words();
+    for (std::size_t w = 0; w < numWords(); ++w)
+        out[w] = a[w] | b[w];
     return result;
 }
 
@@ -160,8 +163,11 @@ BitVector::operator^(const BitVector &other) const
         darth_panic("BitVector size mismatch: ", size_, " vs ",
                     other.size_);
     BitVector result(size_);
-    for (std::size_t w = 0; w < words_.size(); ++w)
-        result.words_[w] = words_[w] ^ other.words_[w];
+    u64 *out = result.words();
+    const u64 *a = words();
+    const u64 *b = other.words();
+    for (std::size_t w = 0; w < numWords(); ++w)
+        out[w] = a[w] ^ b[w];
     return result;
 }
 
@@ -169,8 +175,10 @@ BitVector
 BitVector::operator~() const
 {
     BitVector result(size_);
-    for (std::size_t w = 0; w < words_.size(); ++w)
-        result.words_[w] = ~words_[w];
+    u64 *out = result.words();
+    const u64 *a = words();
+    for (std::size_t w = 0; w < numWords(); ++w)
+        out[w] = ~a[w];
     result.maskTail();
     return result;
 }
@@ -178,7 +186,14 @@ BitVector::operator~() const
 bool
 BitVector::operator==(const BitVector &other) const
 {
-    return size_ == other.size_ && words_ == other.words_;
+    if (size_ != other.size_)
+        return false;
+    const u64 *a = words();
+    const u64 *b = other.words();
+    for (std::size_t w = 0; w < numWords(); ++w)
+        if (a[w] != b[w])
+            return false;
+    return true;
 }
 
 BitVector
@@ -218,14 +233,6 @@ BitVector::slice(std::size_t lo, std::size_t len) const
     for (std::size_t i = 0; i < len; ++i)
         result.set(i, get(lo + i));
     return result;
-}
-
-void
-BitVector::maskTail()
-{
-    const std::size_t rem = size_ % kWordBits;
-    if (rem != 0 && !words_.empty())
-        words_.back() &= (~0ULL >> (kWordBits - rem));
 }
 
 } // namespace darth

@@ -25,6 +25,11 @@ namespace darth
  *
  * Bit i of the vector lives at word i/64, bit i%64. All bulk operators
  * require equal operand lengths and assert on mismatch.
+ *
+ * Vectors of up to 64 bits are stored inline (no heap allocation):
+ * they are the dominant case — DCE pipeline columns are at most 64
+ * elements wide — and sit on the functional MVM reduction hot path,
+ * where per-µop temporaries would otherwise allocate.
  */
 class BitVector
 {
@@ -50,10 +55,24 @@ class BitVector
     void resize(std::size_t n);
 
     /** Read bit i. */
-    bool get(std::size_t i) const;
+    bool
+    get(std::size_t i) const
+    {
+        checkIndex(i, "get");
+        return (words()[i / 64] >> (i % 64)) & 1ULL;
+    }
 
     /** Write bit i. */
-    void set(std::size_t i, bool value);
+    void
+    set(std::size_t i, bool value)
+    {
+        checkIndex(i, "set");
+        const u64 mask = 1ULL << (i % 64);
+        if (value)
+            words()[i / 64] |= mask;
+        else
+            words()[i / 64] &= ~mask;
+    }
 
     /** Set all bits to the given value. */
     void fill(bool value);
@@ -62,7 +81,25 @@ class BitVector
     std::size_t popcount() const;
 
     /** Return the bits as an unsigned integer (size() must be <= 64). */
-    u64 toInteger() const;
+    u64
+    toInteger() const
+    {
+        checkSmall("toInteger");
+        return size_ == 0 ? 0ULL : inline_;
+    }
+
+    /**
+     * Overwrite the whole vector from a packed word (size() must be
+     * <= 64; bits beyond size() are dropped). The write-side twin of
+     * toInteger(), used by the word-parallel pipeline fast path.
+     */
+    void
+    setWord(u64 value)
+    {
+        checkSmall("setWord");
+        inline_ = value;
+        maskTail();
+    }
 
     /** Sign-extended interpretation as two's complement. */
     i64 toSigned() const;
@@ -101,10 +138,54 @@ class BitVector
     BitVector slice(std::size_t lo, std::size_t len) const;
 
   private:
-    void maskTail();
+    void
+    maskTail()
+    {
+        const std::size_t rem = size_ % 64;
+        if (rem != 0 && size_ != 0)
+            words()[numWords() - 1] &= (~0ULL >> (64 - rem));
+    }
+
+    /** Out-of-line panic keeps the inlined accessors small. */
+    [[noreturn]] void indexPanic(std::size_t i, const char *what) const;
+    [[noreturn]] void sizePanic(const char *what) const;
+
+    void
+    checkIndex(std::size_t i, const char *what) const
+    {
+        if (i >= size_)
+            indexPanic(i, what);
+    }
+
+    void
+    checkSmall(const char *what) const
+    {
+        if (size_ > 64)
+            sizePanic(what);
+    }
+
+    /** Word count backing the current size. */
+    std::size_t
+    numWords() const
+    {
+        return (size_ + 63) / 64;
+    }
+
+    /** True when the single inline word holds the bits. */
+    bool inlineStorage() const { return size_ <= 64; }
+
+    u64 *words() { return inlineStorage() ? &inline_ : heap_.data(); }
+    const u64 *
+    words() const
+    {
+        return inlineStorage() ? &inline_ : heap_.data();
+    }
 
     std::size_t size_ = 0;
-    std::vector<u64> words_;
+    /** Storage for size_ <= 64 (the common, allocation-free case). */
+    u64 inline_ = 0;
+    /** Storage for size_ > 64; empty otherwise. */
+    std::vector<u64> heap_;
 };
 
 } // namespace darth

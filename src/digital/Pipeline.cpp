@@ -47,6 +47,17 @@ Pipeline::setElement(std::size_t vr, std::size_t elem, u64 value)
         bits_[vr][bit].set(elem, bit < 64 && ((value >> bit) & 1ULL));
 }
 
+void
+Pipeline::setElement(std::size_t vr, std::size_t elem, u64 value,
+                     std::size_t bits)
+{
+    checkReg(vr);
+    checkElem(elem);
+    const std::size_t n = std::min(bits, cfg_.depth);
+    for (std::size_t bit = 0; bit < n; ++bit)
+        bits_[vr][bit].set(elem, bit < 64 && ((value >> bit) & 1ULL));
+}
+
 u64
 Pipeline::element(std::size_t vr, std::size_t elem,
                   std::size_t bits) const
@@ -127,22 +138,28 @@ Pipeline::reserveStages(std::size_t bits, Cycle issue,
 void
 Pipeline::runProgram(const BitProgram &program, std::size_t dst,
                      std::size_t a, std::size_t b, std::size_t bits,
-                     BitVector carry, bool chain_carry)
+                     BitVector carry_in, bool chain_carry)
 {
-    std::vector<BitVector> regs(
-        static_cast<std::size_t>(program.numRegs),
-        BitVector(cfg_.width));
+    // A column holds at most 64 elements (enforced at construction),
+    // so the gate program evaluates on packed words — column i of
+    // every scratch register is one u64. Masking each op to the
+    // width reproduces the column-vector evaluation bit for bit.
+    const u64 width_mask =
+        cfg_.width == 64 ? ~0ULL : ((1ULL << cfg_.width) - 1);
+    u64 carry = carry_in.toInteger();
+    std::vector<u64> regs(static_cast<std::size_t>(program.numRegs),
+                          0ULL);
     for (std::size_t bit = 0; bit < bits; ++bit) {
-        regs[kRegA] = bits_[a][bit];
-        regs[kRegB] = bits_[b][bit];
+        regs[kRegA] = bits_[a][bit].toInteger();
+        regs[kRegB] = bits_[b][bit].toInteger();
         regs[kRegCin] = carry;
-        regs[kRegZero].fill(false);
+        regs[kRegZero] = 0ULL;
         for (const auto &op : program.ops) {
-            const BitVector &sa = regs[static_cast<std::size_t>(op.srcA)];
-            const BitVector &sb = regs[static_cast<std::size_t>(op.srcB)];
-            BitVector out(cfg_.width);
+            const u64 sa = regs[static_cast<std::size_t>(op.srcA)];
+            const u64 sb = regs[static_cast<std::size_t>(op.srcB)];
+            u64 out = 0;
             switch (op.prim) {
-              case Prim::Nor: out = sa.nor(sb); break;
+              case Prim::Nor: out = ~(sa | sb); break;
               case Prim::Or: out = sa | sb; break;
               case Prim::And: out = sa & sb; break;
               case Prim::Nand: out = ~(sa & sb); break;
@@ -151,13 +168,28 @@ Pipeline::runProgram(const BitProgram &program, std::size_t dst,
               case Prim::Not: out = ~sa; break;
               case Prim::Copy: out = sa; break;
             }
-            regs[static_cast<std::size_t>(op.dst)] = out;
+            regs[static_cast<std::size_t>(op.dst)] = out & width_mask;
         }
-        bits_[dst][bit] =
-            regs[static_cast<std::size_t>(program.resultReg)];
+        bits_[dst][bit].setWord(
+            regs[static_cast<std::size_t>(program.resultReg)]);
         if (chain_carry && program.hasCarryChain())
             carry = regs[static_cast<std::size_t>(program.carryOutReg)];
     }
+}
+
+const BitProgram &
+Pipeline::cachedProgram(MacroKind kind)
+{
+    const std::size_t index = static_cast<std::size_t>(kind);
+    if (programCache_.size() <= index) {
+        programCache_.resize(index + 1);
+        programCached_.resize(index + 1, false);
+    }
+    if (!programCached_[index]) {
+        programCache_[index] = synthesizeMacro(kind, family_);
+        programCached_[index] = true;
+    }
+    return programCache_[index];
 }
 
 Cycle
@@ -170,7 +202,7 @@ Pipeline::execMacro(MacroKind kind, std::size_t dst, std::size_t a,
     if (bits > cfg_.depth)
         darth_panic("Pipeline: macro over ", bits,
                     " bits exceeds depth ", cfg_.depth);
-    const BitProgram program = synthesizeMacro(kind, family_);
+    const BitProgram &program = cachedProgram(kind);
     runProgram(program, dst, a, b, bits,
                BitVector(cfg_.width, initialCarry(kind)),
                program.hasCarryChain());
@@ -191,7 +223,7 @@ Pipeline::execSelect(std::size_t dst, std::size_t a, std::size_t b,
     if (bits > cfg_.depth)
         darth_panic("Pipeline: macro over ", bits,
                     " bits exceeds depth ", cfg_.depth);
-    const BitProgram program = synthesizeMacro(MacroKind::Mux, family_);
+    const BitProgram &program = cachedProgram(MacroKind::Mux);
     runProgram(program, dst, a, b, bits, bits_[sel_vr][sel_bit], false);
     // +1 op per stage to broadcast the select column into the stage.
     const Cycle per_stage = program.opCount() + 1;

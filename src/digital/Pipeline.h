@@ -74,6 +74,14 @@ class Pipeline
     /** Write an element's integer value into a VR. */
     void setElement(std::size_t vr, std::size_t elem, u64 value);
 
+    /**
+     * Write only the low `bits` columns of an element; columns >= bits
+     * keep their previous contents. Hot-path variant for staging MVM
+     * partial products whose upper columns are already zero.
+     */
+    void setElement(std::size_t vr, std::size_t elem, u64 value,
+                    std::size_t bits);
+
     /** Read an element's integer value (low `bits` bits). */
     u64 element(std::size_t vr, std::size_t elem,
                 std::size_t bits = 64) const;
@@ -164,6 +172,10 @@ class Pipeline
     u64 opCount() const { return opCount_; }
 
   private:
+    /** Synthesize-once cache: macro programs are family-fixed, and
+     *  execMacro sits on the MVM-reduction hot path. */
+    const BitProgram &cachedProgram(MacroKind kind);
+
     /** Reserve stage time for a macro; returns completion cycle. */
     Cycle reserveStages(std::size_t bits, Cycle issue,
                         Cycle ops_per_stage, bool carry_chained);
@@ -191,6 +203,8 @@ class Pipeline
     /** bits_[vr][bit] = column of `width` bits. */
     std::vector<std::vector<BitVector>> bits_;
     std::vector<Cycle> stageFree_;
+    std::vector<BitProgram> programCache_;
+    std::vector<bool> programCached_;
     u64 opCount_ = 0;
 };
 

@@ -192,14 +192,19 @@ Hct::execMvm(const std::vector<i64> &x, int input_bits, Cycle start)
                 for (std::size_t e = 0; e < n; ++e) {
                     const i64 shifted = pp.values[c0 + e]
                                         << pp.shift;
+                    // Masked to acc_bits, so only the low acc_bits
+                    // columns (cleared at reserve, untouched above
+                    // acc_bits since) need writing.
                     pipe.setElement(kStageVr, e,
-                                    static_cast<u64>(shifted) & mask);
+                                    static_cast<u64>(shifted) & mask,
+                                    static_cast<std::size_t>(acc_bits));
                 }
             } else {
                 for (std::size_t e = 0; e < n; ++e)
                     pipe.setElement(
                         kStageVr, e,
-                        static_cast<u64>(pp.values[c0 + e]) & mask);
+                        static_cast<u64>(pp.values[c0 + e]) & mask,
+                        static_cast<std::size_t>(acc_bits));
                 ready = pipe.execShift(
                     kStageVr, kStageVr,
                     static_cast<std::size_t>(pp.shift), true,

@@ -1,0 +1,172 @@
+#include "runtime/InferenceGraph.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace runtime
+{
+
+InferenceGraph::InferenceGraph(Session &session) : session_(session)
+{
+}
+
+InferenceGraph::Stage &
+InferenceGraph::stageRef(StageId stage, const char *what)
+{
+    if (stage >= stages_.size())
+        throw std::invalid_argument(
+            std::string(what) + ": stage " + std::to_string(stage) +
+            " does not exist (only " +
+            std::to_string(stages_.size()) + " stages added)");
+    return *stages_[stage];
+}
+
+StageId
+InferenceGraph::addSource(Cycle ready)
+{
+    Stage stage;
+    stage.kind = Kind::Source;
+    stage.name = "source";
+    stage.done = ready;
+    stage.start = ready;
+    stage.waited = true;
+    stages_.push_back(std::make_unique<Stage>(std::move(stage)));
+    return stages_.size() - 1;
+}
+
+StageId
+InferenceGraph::addMvmStream(std::string name,
+                             const MatrixHandle &handle,
+                             std::vector<std::vector<i64>> inputs,
+                             int input_bits,
+                             const std::vector<StageId> &deps)
+{
+    if (inputs.empty())
+        throw std::invalid_argument(
+            "InferenceGraph::addMvmStream: stage '" + name +
+            "' has no inputs");
+
+    // Resolved dependencies (sources, digital stages, waited streams)
+    // bound the start through `earliest`; in-flight stream
+    // dependencies ride as `after` futures — their final future is
+    // the stream's completion, since same-handle completions are
+    // monotonic in submission order.
+    Cycle earliest = 0;
+    std::vector<MvmFuture> after;
+    for (StageId dep : deps) {
+        Stage &d = stageRef(dep, "InferenceGraph::addMvmStream");
+        if (d.waited)
+            earliest = std::max(earliest, d.done);
+        else
+            after.push_back(d.futures.back());
+    }
+
+    Stage stage;
+    stage.kind = Kind::MvmStream;
+    stage.name = std::move(name);
+    stage.deps = deps;
+    stage.futures.reserve(inputs.size());
+    for (auto &x : inputs)
+        stage.futures.push_back(session_.submit(
+            handle, std::move(x), input_bits, earliest, after));
+    mvmCount_ += stage.futures.size();
+    stages_.push_back(std::make_unique<Stage>(std::move(stage)));
+    return stages_.size() - 1;
+}
+
+StageId
+InferenceGraph::addDigital(std::string name, Cycle cycles,
+                           const std::vector<StageId> &deps)
+{
+    Cycle ready = 0;
+    for (StageId dep : deps) {
+        // Digital stages consume their dependencies' values on the
+        // host, so stream dependencies materialize here.
+        (void)stageRef(dep, "InferenceGraph::addDigital");
+        ready = std::max(ready, doneCycle(dep));
+    }
+    Stage stage;
+    stage.kind = Kind::Digital;
+    stage.name = std::move(name);
+    stage.deps = deps;
+    stage.start = ready;
+    stage.done = ready + cycles;
+    stage.waited = true;
+    stages_.push_back(std::make_unique<Stage>(std::move(stage)));
+    return stages_.size() - 1;
+}
+
+void
+InferenceGraph::waitStage(Stage &stage)
+{
+    if (stage.waited)
+        return;
+    stage.outputs.reserve(stage.futures.size());
+    bool first = true;
+    for (const MvmFuture &future : stage.futures) {
+        MvmResult result = session_.wait(future);
+        stage.done = std::max(stage.done, result.done);
+        stage.start = first ? result.start
+                            : std::min(stage.start, result.start);
+        first = false;
+        stage.outputs.push_back(std::move(result.values));
+    }
+    stage.futures.clear();
+    stage.waited = true;
+}
+
+const std::vector<std::vector<i64>> &
+InferenceGraph::outputs(StageId stage)
+{
+    Stage &s = stageRef(stage, "InferenceGraph::outputs");
+    if (s.kind != Kind::MvmStream)
+        throw std::invalid_argument(
+            "InferenceGraph::outputs: stage '" + s.name +
+            "' is not an MVM stream");
+    waitStage(s);
+    return s.outputs;
+}
+
+Cycle
+InferenceGraph::doneCycle(StageId stage)
+{
+    Stage &s = stageRef(stage, "InferenceGraph::doneCycle");
+    waitStage(s);
+    return s.done;
+}
+
+GraphStats
+InferenceGraph::finish()
+{
+    GraphStats stats;
+    bool first_stream = true;
+    for (const auto &stage : stages_) {
+        waitStage(*stage);
+        stats.done = std::max(stats.done, stage->done);
+        if (stage->kind == Kind::MvmStream) {
+            stats.start = first_stream
+                              ? stage->start
+                              : std::min(stats.start, stage->start);
+            first_stream = false;
+        }
+    }
+    stats.mvmCount = mvmCount_;
+    return stats;
+}
+
+const std::string &
+InferenceGraph::stageName(StageId stage) const
+{
+    if (stage >= stages_.size())
+        darth_panic("InferenceGraph::stageName: stage ", stage,
+                    " out of range ", stages_.size());
+    return stages_[stage]->name;
+}
+
+} // namespace runtime
+} // namespace darth

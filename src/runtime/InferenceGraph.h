@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Dependency-aware inference graphs over a runtime session.
+ *
+ * An InferenceGraph is a DAG of stages describing one whole-model
+ * forward pass: analog MVM *stream* stages (one MVM per input vector
+ * against a placed MatrixHandle) and *digital* stages (element-wise
+ * DCE work — requant, ReLU, pooling, residuals, softmax — whose
+ * functional payload the host computes and whose cycle cost comes
+ * from the KernelModel oracle). Graph edges become scheduler
+ * dependencies: a stream stage starts no earlier than its
+ * dependencies complete, expressed through the `earliest` bound for
+ * dependencies with known done cycles and through `after` futures
+ * for stream dependencies still in flight. Results stay bit-exact
+ * and timings deterministic — the graph only adds lower bounds.
+ *
+ * Because digital stages are timing nodes (they hold no tile
+ * resources), and analog placements persist across graph instances,
+ * back-to-back forwards through the same handles pipeline: inference
+ * i+1's first-layer stream issues into inference i's still-warm
+ * tiles at the same-matrix amortized rate, so steady-state inference
+ * spacing approaches the slowest layer's stream span — the
+ * `maxLayerLatency` pipelined bound the mappers' cost model predicts
+ * (§5.1 per-layer distribution).
+ */
+
+#ifndef DARTH_RUNTIME_INFERENCEGRAPH_H
+#define DARTH_RUNTIME_INFERENCEGRAPH_H
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/Session.h"
+
+namespace darth
+{
+namespace runtime
+{
+
+/** Index of one stage inside its graph. */
+using StageId = std::size_t;
+
+/** Aggregate of one finished graph run. */
+struct GraphStats
+{
+    /** Earliest MVM issue cycle over all stream stages. */
+    Cycle start = 0;
+    /** Max completion cycle over all stages. */
+    Cycle done = 0;
+    /** MVMs submitted by the graph. */
+    std::size_t mvmCount = 0;
+};
+
+/** One whole-model forward as a DAG of scheduler-backed stages. */
+class InferenceGraph
+{
+  public:
+    explicit InferenceGraph(Session &session);
+
+    Session &session() { return session_; }
+
+    /**
+     * Timing-only root: completes at `ready` (a request's arrival or
+     * admission cycle). Every root stage of a served inference should
+     * depend on one, so the whole forward starts no earlier.
+     */
+    StageId addSource(Cycle ready = 0);
+
+    /**
+     * Analog MVM stream stage: one MVM per input vector against the
+     * handle, all submitted before any wait. Dependencies with known
+     * done cycles feed the submissions' `earliest` bound; stream
+     * dependencies still in flight are carried as `after` futures.
+     * Throws std::invalid_argument on an unknown dependency, an empty
+     * input batch, or (via Session::submit) a foreign handle.
+     */
+    StageId addMvmStream(std::string name, const MatrixHandle &handle,
+                         std::vector<std::vector<i64>> inputs,
+                         int input_bits,
+                         const std::vector<StageId> &deps);
+
+    /**
+     * Digital element-wise stage: a timing node completing `cycles`
+     * after its dependencies (the DCE work the host computes while
+     * the graph charges the oracle's cycles). Waits any stream
+     * dependency to materialize its done cycle.
+     */
+    StageId addDigital(std::string name, Cycle cycles,
+                       const std::vector<StageId> &deps);
+
+    /**
+     * Outputs of a stream stage, one vector per input in submission
+     * order (waits the stage's futures on first call). Invalid for
+     * source/digital stages.
+     */
+    const std::vector<std::vector<i64>> &outputs(StageId stage);
+
+    /** Completion cycle of one stage (waits streams as needed). */
+    Cycle doneCycle(StageId stage);
+
+    /** Wait every stage and return the whole-graph statistics. */
+    GraphStats finish();
+
+    /** Stages added so far. */
+    std::size_t stageCount() const { return stages_.size(); }
+
+    /** MVMs submitted so far. */
+    std::size_t mvmCount() const { return mvmCount_; }
+
+    /** Stage label (diagnostics). */
+    const std::string &stageName(StageId stage) const;
+
+  private:
+    enum class Kind
+    {
+        Source,
+        MvmStream,
+        Digital,
+    };
+
+    struct Stage
+    {
+        Kind kind = Kind::Source;
+        std::string name;
+        std::vector<StageId> deps;
+        /** Unresolved futures (stream stages before their wait). */
+        std::vector<MvmFuture> futures;
+        /** Materialized stream outputs (after the wait). */
+        std::vector<std::vector<i64>> outputs;
+        /** Min MVM start over the stream (after the wait). */
+        Cycle start = 0;
+        /** Completion cycle; exact for source/digital immediately,
+         *  for streams once waited. */
+        Cycle done = 0;
+        bool waited = false;
+    };
+
+    Stage &stageRef(StageId stage, const char *what);
+
+    /** Resolve a stream stage's futures into outputs/done. */
+    void waitStage(Stage &stage);
+
+    Session &session_;
+    /** Heap-allocated so outputs() references survive later adds. */
+    std::vector<std::unique_ptr<Stage>> stages_;
+    std::size_t mvmCount_ = 0;
+};
+
+} // namespace runtime
+} // namespace darth
+
+#endif // DARTH_RUNTIME_INFERENCEGRAPH_H

@@ -11,6 +11,14 @@ namespace darth
 namespace runtime
 {
 
+namespace
+{
+
+/** doneCycle_ sentinel for a submitted-but-unexecuted request. */
+constexpr Cycle kPendingDone = ~Cycle{0};
+
+} // namespace
+
 Scheduler::Scheduler(Chip &chip)
     : chip_(chip), kernels_(chip.config().hct),
       busyUntil_(chip.numHcts(), 0), nextIssue_(chip.numHcts(), 0),
@@ -21,6 +29,14 @@ Scheduler::Scheduler(Chip &chip)
 MvmFuture
 Scheduler::submit(const PlacedMatrix &pm, std::vector<i64> x,
                   int input_bits, Cycle earliest)
+{
+    return submit(pm, std::move(x), input_bits, earliest, {});
+}
+
+MvmFuture
+Scheduler::submit(const PlacedMatrix &pm, std::vector<i64> x,
+                  int input_bits, Cycle earliest,
+                  const std::vector<MvmFuture> &after)
 {
     if (!pm.analogEnabled)
         darth_fatal("Scheduler::submit: analog mode is disabled for "
@@ -38,6 +54,15 @@ Scheduler::submit(const PlacedMatrix &pm, std::vector<i64> x,
             "Scheduler::submit: input_bits must be positive, got " +
             std::to_string(input_bits));
 
+    // Validate dependencies before allocating the id: a throw here
+    // must leave ids and the doneCycle_ index in lockstep.
+    for (const MvmFuture &dep : after)
+        if (!dep.valid() || dep.owner_ != this ||
+            dep.id() >= nextId_)
+            throw std::invalid_argument(
+                "Scheduler::submit: `after` future is invalid, from "
+                "another scheduler, or was never submitted");
+
     Request req;
     req.id = nextId_++;
     req.pm = &pm;
@@ -45,8 +70,47 @@ Scheduler::submit(const PlacedMatrix &pm, std::vector<i64> x,
     req.inputBits = input_bits;
     req.earliest = earliest;
     req.session = pm.session;
+    req.oracleCost = oracleCost(pm.plan, input_bits);
+    req.deps.reserve(after.size());
+    for (const MvmFuture &dep : after)
+        req.deps.push_back(dep.id());
+    doneCycle_.push_back(kPendingDone);
     queue_.push_back(std::move(req));
-    return MvmFuture(queue_.back().id);
+    return MvmFuture(queue_.back().id, this);
+}
+
+Cycle
+Scheduler::oracleCost(const MatrixPlan &plan, int input_bits)
+{
+    Cycle worst = 0;
+    for (const auto &part : plan.parts) {
+        MvmShape shape;
+        shape.rows = part.numRows;
+        shape.cols = part.numCols;
+        shape.elementBits = plan.elementBits;
+        shape.bitsPerCell = plan.bitsPerCell;
+        shape.inputBits = input_bits;
+        worst = std::max(worst, kernels_.mvm(shape).latency);
+    }
+    return worst;
+}
+
+bool
+Scheduler::depsReady(const Request &req) const
+{
+    for (RequestId dep : req.deps)
+        if (doneCycle_[dep - 1] == kPendingDone)
+            return false;
+    return true;
+}
+
+Cycle
+Scheduler::depBound(const Request &req) const
+{
+    Cycle bound = 0;
+    for (RequestId dep : req.deps)
+        bound = std::max(bound, doneCycle_[dep - 1]);
+    return bound;
 }
 
 Cycle
@@ -62,7 +126,7 @@ Scheduler::tileReady(std::size_t hct, const PlacedMatrix &pm) const
 Cycle
 Scheduler::achievableStart(const Request &req) const
 {
-    Cycle start = req.earliest;
+    Cycle start = std::max(req.earliest, depBound(req));
     for (const auto &part : req.pm->plan.parts)
         start = std::max(start, tileReady(part.hctIndex, *req.pm));
     return start;
@@ -80,24 +144,37 @@ Scheduler::pickNext() const
             q.session = req.session;
             q.handle = req.pm->id;
             q.earliest = req.earliest;
-            q.achievableStart = achievableStart(req);
+            q.ready = depsReady(req);
+            // Not-ready requests sort to the back of any start-time
+            // ordering a hook applies (picking one anyway falls back
+            // to the greedy order below).
+            q.achievableStart =
+                q.ready ? achievableStart(req) : ~Cycle{0};
+            q.oracleCost = req.oracleCost;
             view.push_back(q);
         }
         const std::size_t picked = dequeueHook_(view);
-        if (picked < queue_.size())
+        if (picked < queue_.size() && view[picked].ready)
             return picked;
-        // Out-of-range pick: fall through to the greedy default.
+        // Out-of-range or not-ready pick: fall through to the greedy
+        // default (the oldest queued request is always ready, since
+        // its dependencies are strictly older and out of the queue).
     }
-    std::size_t best = 0;
-    Cycle best_start = achievableStart(queue_[0]);
-    for (std::size_t i = 1; i < queue_.size(); ++i) {
+    std::size_t best = queue_.size();
+    Cycle best_start = 0;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        if (!depsReady(queue_[i]))
+            continue;
         const Cycle start = achievableStart(queue_[i]);
         // Strictly-less keeps submission order as the tiebreak.
-        if (start < best_start) {
+        if (best == queue_.size() || start < best_start) {
             best = i;
             best_start = start;
         }
     }
+    if (best == queue_.size())
+        darth_panic("Scheduler::pickNext: no dependency-ready request "
+                    "in a non-empty queue (dependency cycle?)");
     return best;
 }
 
@@ -139,8 +216,24 @@ Scheduler::executeAt(std::size_t index)
     MvmResult result;
     result.values.assign(plan.cols, 0);
 
+    // Dependencies completed (pickNext only offers ready requests);
+    // their done cycles harden the earliest bound.
+    const Cycle dep_bound = depBound(req);
+    const Cycle earliest = std::max(req.earliest, dep_bound);
+    // A dependency stall is a start pushed later than both the
+    // submit-time earliest and what the tiles alone would allow.
+    if (!req.deps.empty()) {
+        Cycle tile_bound = req.earliest;
+        for (const auto &part : plan.parts)
+            tile_bound = std::max(
+                tile_bound, tileReady(part.hctIndex, *req.pm));
+        if (dep_bound > tile_bound)
+            ++counters_.dependencyStalls;
+    }
+
     bool first = true;
-    Cycle done = req.earliest;
+    bool pipelined = false;
+    Cycle done = earliest;
     for (const auto &part : plan.parts) {
         std::vector<i64> sub_x(
             req.x.begin() + static_cast<std::ptrdiff_t>(part.row0),
@@ -148,7 +241,7 @@ Scheduler::executeAt(std::size_t index)
                 static_cast<std::ptrdiff_t>(part.row0 + part.numRows));
         const Cycle prev_busy = busyUntil_[part.hctIndex];
         const Cycle start = std::max(
-            req.earliest, tileReady(part.hctIndex, *req.pm));
+            earliest, tileReady(part.hctIndex, *req.pm));
         auto part_result = chip_.hct(part.hctIndex)
                                .execMvm(sub_x, req.inputBits, start);
         for (std::size_t c = 0; c < part.numCols; ++c)
@@ -168,6 +261,7 @@ Scheduler::executeAt(std::size_t index)
         // than one full MVM after this request's own issue cycle,
         // which matters when `earliest` lands mid-stream.
         const KernelCost mvm_cost = kernels_.mvm(shape);
+        pipelined = pipelined || start < prev_busy;
         const Cycle part_done =
             start >= prev_busy
                 ? part_result.done
@@ -215,6 +309,9 @@ Scheduler::executeAt(std::size_t index)
     }
     result.done = done;
 
+    doneCycle_[req.id - 1] = done;
+    ++counters_.issued;
+    counters_.pipelineHits += pipelined;
     results_.emplace(req.id,
                      CompletedRequest{std::move(result), req.session});
     ++completed_;

@@ -21,6 +21,15 @@
  * override the greedy order, e.g. to drain strictly in admission
  * order (see src/serve/Admission.h).
  *
+ * A submit may name `after` dependencies — futures of earlier
+ * requests whose done cycles feed the request's `earliest` bound.
+ * That is how InferenceGraph turns dataflow edges (producing layer ->
+ * consuming layer) into scheduler constraints: a dependent request is
+ * ineligible until its dependencies execute, then starts no earlier
+ * than their completion. Dependencies are acyclic by construction
+ * (futures exist only after their submit), so the deterministic
+ * greedy drain always finds an eligible request.
+ *
  * Functional results are bit-exact and independent of scheduling;
  * only the start/done cycle stamps depend on queue contention.
  */
@@ -45,6 +54,8 @@ namespace runtime
 /** Monotonic identifier of one submitted MVM request. */
 using RequestId = u64;
 
+class Scheduler;
+
 /** Token for one in-flight MVM; resolved by Scheduler::wait(). */
 class MvmFuture
 {
@@ -58,9 +69,14 @@ class MvmFuture
 
   private:
     friend class Scheduler;
-    explicit MvmFuture(RequestId id) : id_(id) {}
+    MvmFuture(RequestId id, const Scheduler *owner)
+        : id_(id), owner_(owner)
+    {}
 
     RequestId id_ = 0;
+    /** Issuing scheduler: `after` dependencies are rejected when
+     *  offered to a different scheduler (ids are per-scheduler). */
+    const Scheduler *owner_ = nullptr;
 };
 
 /** Public view of one queued request, offered to dequeue hooks. */
@@ -73,8 +89,32 @@ struct QueuedRequest
     int handle = -1;
     /** Lower bound on the start cycle given at submit. */
     Cycle earliest = 0;
-    /** Earliest start the request could achieve right now. */
+    /** Earliest start the request could achieve right now; the max
+     *  Cycle value while not ready, so start-sorting hooks never
+     *  prefer a dependency-blocked request. */
     Cycle achievableStart = 0;
+    /**
+     * KernelModel oracle latency of this MVM (worst placement part),
+     * stamped at submit so dequeue hooks and the admission layer can
+     * charge cost without re-deriving it from shape lookups.
+     */
+    Cycle oracleCost = 0;
+    /** False while an `after` dependency is still unexecuted. */
+    bool ready = true;
+};
+
+/** Lifetime counters of one scheduler (serving telemetry). */
+struct SchedulerCounters
+{
+    /** Requests executed. */
+    u64 issued = 0;
+    /** Executed requests that pipelined into a still-running
+     *  same-matrix stream on at least one tile. */
+    u64 pipelineHits = 0;
+    /** Executed requests whose start cycle was raised by an `after`
+     *  dependency beyond both their submit-time `earliest` and the
+     *  tile-ready bound. */
+    u64 dependencyStalls = 0;
 };
 
 /**
@@ -112,6 +152,20 @@ class Scheduler
      */
     MvmFuture submit(const PlacedMatrix &pm, std::vector<i64> x,
                      int input_bits, Cycle earliest = 0);
+
+    /**
+     * Enqueue one MVM that must start after other requests complete.
+     * Each `after` future's done cycle feeds the `earliest` bound
+     * once known; until every dependency has executed the request is
+     * ineligible for dequeue. Dependencies are always older requests
+     * (futures exist only after their submit), so dependency chains
+     * are acyclic and the drain order stays deterministic. Results
+     * are bit-exact regardless of dependencies; only timing moves.
+     * Throws std::invalid_argument on an invalid or unknown future.
+     */
+    MvmFuture submit(const PlacedMatrix &pm, std::vector<i64> x,
+                     int input_bits, Cycle earliest,
+                     const std::vector<MvmFuture> &after);
 
     /**
      * Session-checked resolve: drains the queue (in greedy order)
@@ -169,6 +223,17 @@ class Scheduler
     /** Requests executed over the scheduler's lifetime. */
     u64 completedCount() const { return completed_; }
 
+    /** Lifetime counters (issues, pipeline hits, dependency stalls). */
+    const SchedulerCounters &counters() const { return counters_; }
+
+    /**
+     * KernelModel oracle latency of one MVM against a placement plan
+     * (the worst part) — the per-request cost stamped on
+     * QueuedRequest and the serving layer's nominal WFQ charge.
+     * Cached per shape.
+     */
+    Cycle oracleCost(const MatrixPlan &plan, int input_bits);
+
     /** Executed results not yet collected by a wait(). */
     std::size_t uncollectedCount() const { return results_.size(); }
 
@@ -189,6 +254,10 @@ class Scheduler
         /** Captured at submit (the placement may be released before
          *  the result is collected). */
         u64 session = 0;
+        /** Requests that must complete before this one starts. */
+        std::vector<RequestId> deps;
+        /** Oracle latency stamped at submit (see QueuedRequest). */
+        Cycle oracleCost = 0;
     };
 
     struct CompletedRequest
@@ -200,10 +269,17 @@ class Scheduler
     /** Cycle the tile could accept this request's part. */
     Cycle tileReady(std::size_t hct, const PlacedMatrix &pm) const;
 
+    /** True once every dependency has executed. */
+    bool depsReady(const Request &req) const;
+
+    /** Max done cycle over executed dependencies (0 when none). */
+    Cycle depBound(const Request &req) const;
+
     /** Earliest start the request could achieve right now. */
     Cycle achievableStart(const Request &req) const;
 
-    /** Index of the next request to run (greedy min-start). */
+    /** Index of the next request to run (greedy min-start among
+     *  dependency-ready requests; a hook may reorder within them). */
     std::size_t pickNext() const;
 
     /** Execute queue_[index] and record its result. */
@@ -219,8 +295,16 @@ class Scheduler
     std::vector<Cycle> nextIssue_;
     /** Placement uid of the last MVM each tile ran. */
     std::vector<u64> lastUid_;
+    /** Done cycle per executed request, indexed by RequestId - 1
+     *  (kPendingDone until execution) — dependency resolution. Grows
+     *  8 bytes per submitted request for the scheduler's lifetime:
+     *  clients may hold futures (and submit dependents) arbitrarily
+     *  late, so no entry is provably dead. Acceptable for simulated
+     *  runs (~8 MB per million requests). */
+    std::vector<Cycle> doneCycle_;
     RequestId nextId_ = 1;
     u64 completed_ = 0;
+    SchedulerCounters counters_;
 };
 
 } // namespace runtime

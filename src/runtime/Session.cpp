@@ -141,6 +141,14 @@ MvmFuture
 Session::submit(const MatrixHandle &handle, std::vector<i64> x,
                 int input_bits, Cycle earliest)
 {
+    return submit(handle, std::move(x), input_bits, earliest, {});
+}
+
+MvmFuture
+Session::submit(const MatrixHandle &handle, std::vector<i64> x,
+                int input_bits, Cycle earliest,
+                const std::vector<MvmFuture> &after)
+{
     requireLive("Session::submit");
     if (!handle.valid())
         throw std::invalid_argument(
@@ -153,7 +161,8 @@ Session::submit(const MatrixHandle &handle, std::vector<i64> x,
             std::to_string(handle.session_) + ", not to session " +
             std::to_string(id_));
     return rt_->scheduler().submit(rt_->placedRef(handle.id()),
-                                   std::move(x), input_bits, earliest);
+                                   std::move(x), input_bits, earliest,
+                                   after);
 }
 
 MvmResult

@@ -105,6 +105,16 @@ class Session
     MvmFuture submit(const MatrixHandle &handle, std::vector<i64> x,
                      int input_bits, Cycle earliest = 0);
 
+    /**
+     * Enqueue one MVM that must start after earlier submissions
+     * complete: each `after` future's done cycle feeds the `earliest`
+     * bound (dependency-aware scheduling; see InferenceGraph for the
+     * dataflow layer built on this).
+     */
+    MvmFuture submit(const MatrixHandle &handle, std::vector<i64> x,
+                     int input_bits, Cycle earliest,
+                     const std::vector<MvmFuture> &after);
+
     /** Resolve one future (each future resolves exactly once). */
     MvmResult wait(const MvmFuture &future);
 

@@ -50,19 +50,32 @@ buildTenants(ChipPool &pool, const TrafficGen &gen,
     tenants.reserve(specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i) {
         const TenantSpec &spec = specs[i];
-        // A zero modelKey means a private matrix: give the weights a
+        TrafficGen::validateSpec(spec);
+        // A zero modelKey means a private model: give the weights a
         // unique identity (salted by the tenant index) but keep the
         // placement key 0 so no affinity sharing happens.
         const u64 weight_key = spec.modelKey != 0
                                    ? spec.modelKey
                                    : TrafficGen::privateModelKey(i);
-        const MatrixI m = gen.weights(spec.kind, weight_key);
         Tenant tenant;
         tenant.name = spec.name;
         tenant.weight = spec.weight;
-        tenant.model = pool.placeModel(
-            spec.modelKey, m, TrafficGen::elementBits(spec.kind),
-            TrafficGen::bitsPerCell(spec.kind));
+        switch (spec.kind) {
+          case WorkloadKind::CnnInfer:
+            tenant.model = pool.placeCnnInference(
+                spec.modelKey, gen.cnnInferNet(weight_key));
+            break;
+          case WorkloadKind::LlmInfer:
+            tenant.model = pool.placeLlmInference(
+                spec.modelKey, gen.llmInferNet(weight_key));
+            break;
+          default:
+            tenant.model = pool.placeModel(
+                spec.modelKey, gen.weights(spec.kind, weight_key),
+                TrafficGen::elementBits(spec.kind),
+                TrafficGen::bitsPerCell(spec.kind));
+            break;
+        }
         tenant.inputBits = TrafficGen::inputBits(spec.kind);
         tenants.push_back(std::move(tenant));
     }
@@ -114,7 +127,13 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     struct Pending
     {
         std::size_t reqIdx;
+        /** Single-MVM requests resolve this future... */
         runtime::MvmFuture future;
+        /** ...inference requests carry their already-run outcome
+         *  (the graph executes at admission; cycle stamps honour the
+         *  admission-time earliest bound either way). */
+        bool isInference = false;
+        InferenceOutcome outcome;
     };
     struct ChipState
     {
@@ -166,29 +185,44 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     // its submission-queue slot into a cycle-stamped occupied slot.
     auto materializeFront = [&](std::size_t c) {
         ChipState &cs = chips[c];
-        const Pending pending = cs.notWaited.front();
+        Pending pending = std::move(cs.notWaited.front());
         cs.notWaited.pop_front();
         const ServeRequest &req = trace[pending.reqIdx];
         const Tenant &tenant = tenants_[req.tenant];
-        runtime::MvmResult r =
-            pool_.wait(tenant.model, pending.future);
+
+        std::vector<i64> values;
+        Cycle start = 0, done = 0;
+        u64 mvms = 1;
+        if (pending.isInference) {
+            values = std::move(pending.outcome.values);
+            start = pending.outcome.start;
+            done = pending.outcome.done;
+            mvms = pending.outcome.mvms;
+        } else {
+            runtime::MvmResult r =
+                pool_.wait(tenant.model, pending.future);
+            values = std::move(r.values);
+            start = r.start;
+            done = r.done;
+        }
 
         TenantStats &stats = report.tenants[req.tenant];
         stats.completed += 1;
+        stats.mvms += mvms;
         stats.latency.push_back(
-            static_cast<double>(r.done - req.arrival));
+            static_cast<double>(done - req.arrival));
         stats.queueing.push_back(
-            static_cast<double>(r.start - req.arrival));
-        stats.service.push_back(static_cast<double>(r.done - r.start));
-        stats.doneCycle.push_back(static_cast<double>(r.done));
-        stats.serviceCycles += static_cast<double>(r.done - r.start);
+            static_cast<double>(start - req.arrival));
+        stats.service.push_back(static_cast<double>(done - start));
+        stats.doneCycle.push_back(static_cast<double>(done));
+        stats.serviceCycles += static_cast<double>(done - start);
 
         report.completed += 1;
-        report.makespan = std::max(report.makespan, r.done);
+        report.makespan = std::max(report.makespan, done);
         report.chipMakespan[c] = std::max(report.chipMakespan[c],
-                                          r.done);
-        cs.occupied.push(r.done);
-        report.outputs[pending.reqIdx] = std::move(r.values);
+                                          done);
+        cs.occupied.push(done);
+        report.outputs[pending.reqIdx] = std::move(values);
     };
 
     // Claim a submission slot usable by cycle `upTo`; returns the
@@ -276,10 +310,18 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         const Cycle at = std::max(slot_cycle, req.arrival);
         Pending pending;
         pending.reqIdx = req_idx;
-        pending.future =
-            pool_.submit(tenants_[req.tenant].model, req.input,
-                         tenants_[req.tenant].inputBits, at);
-        cs.notWaited.push_back(pending);
+        if (pool_.isInference(tenants_[req.tenant].model)) {
+            // One window slot per inference: the whole forward is
+            // one admitted unit, charged at its whole-graph cost.
+            pending.isInference = true;
+            pending.outcome = pool_.runInference(
+                tenants_[req.tenant].model, req.input, at);
+        } else {
+            pending.future =
+                pool_.submit(tenants_[req.tenant].model, req.input,
+                             tenants_[req.tenant].inputBits, at);
+        }
+        cs.notWaited.push_back(std::move(pending));
     };
 
     // Park a request in its tenant's waiting room.

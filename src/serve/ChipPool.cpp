@@ -101,6 +101,45 @@ ChipPool::pickChip(std::size_t parts)
                 " tiles); grow the pool or release models");
 }
 
+namespace
+{
+
+/** Full weight compare for affinity sharing (models are small). */
+bool
+sameMatrix(const MatrixI &a, const MatrixI &b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        return false;
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            if (a(r, c) != b(r, c))
+                return false;
+    return true;
+}
+
+} // namespace
+
+cnn::CnnMapper &
+ChipPool::cnnMapper()
+{
+    if (!cnnMapper_)
+        cnnMapper_ = std::make_unique<cnn::CnnMapper>(cfg_.chip.hct);
+    return *cnnMapper_;
+}
+
+llm::LlmMapper &
+ChipPool::llmMapper()
+{
+    // 12-bit activations: encoder add-norm outputs are integer
+    // LayerNorm values (up to ~64 * sqrt(dModel)), which overflow
+    // the int8 range the single-MVM kinds use.
+    if (!llmMapper_)
+        llmMapper_ = std::make_unique<llm::LlmMapper>(
+            cfg_.chip.hct, /*element_bits=*/8, /*bits_per_cell=*/2,
+            /*input_bits=*/12);
+    return *llmMapper_;
+}
+
 ModelRef
 ChipPool::placeModel(u64 key, const MatrixI &m, int element_bits,
                      int bits_per_cell)
@@ -112,17 +151,12 @@ ChipPool::placeModel(u64 key, const MatrixI &m, int element_bits,
             // offered matrix that differs from what the key names
             // would make every later MVM silently wrong, so check it
             // (models are small enough for a full compare).
-            const MatrixI &held =
-                models_[it->second].handle.matrix();
-            bool same = held.rows() == m.rows() &&
-                        held.cols() == m.cols();
-            for (std::size_t r = 0; same && r < m.rows(); ++r)
-                for (std::size_t c = 0; same && c < m.cols(); ++c)
-                    same = held(r, c) == m(r, c);
-            if (!same)
+            const Model &held = models_[it->second];
+            if (held.inference != nullptr ||
+                !sameMatrix(held.handle.matrix(), m))
                 darth_fatal("ChipPool::placeModel: model key ", key,
-                            " is already placed with different "
-                            "weights; use a fresh key per distinct "
+                            " is already placed with a different "
+                            "model; use a fresh key per distinct "
                             "matrix");
             return it->second;
         }
@@ -143,56 +177,228 @@ ChipPool::placeModel(u64 key, const MatrixI &m, int element_bits,
     return ref;
 }
 
+ModelRef
+ChipPool::placeCnnInference(u64 key, cnn::TinyCnn net)
+{
+    if (cfg_.placement == PlacementPolicy::MatrixAffinity && key != 0) {
+        const auto it = affinity_.find(key);
+        if (it != affinity_.end()) {
+            const Model &held = models_[it->second];
+            const bool same =
+                held.inference != nullptr &&
+                held.inference->cnnNet != nullptr &&
+                sameMatrix(held.inference->cnnNet->conv1()
+                               .weightMatrix(),
+                           net.conv1().weightMatrix()) &&
+                sameMatrix(held.inference->cnnNet->conv2()
+                               .weightMatrix(),
+                           net.conv2().weightMatrix()) &&
+                sameMatrix(held.inference->cnnNet->fc().weightMatrix(),
+                           net.fc().weightMatrix());
+            if (!same)
+                darth_fatal("ChipPool::placeCnnInference: model key ",
+                            key, " is already placed with a different "
+                            "model; use a fresh key per distinct "
+                            "network");
+            return it->second;
+        }
+    }
+
+    // Whole-network placement: every layer's plan must fit one chip.
+    cnn::CnnMapper &mapper = cnnMapper();
+    std::size_t parts = 0;
+    for (const cnn::LayerStats &layer : net.layerStats())
+        parts += runtime::Runtime::planMatrix(
+                     cfg_.chip.hct, layer.mvmRows, layer.mvmCols,
+                     mapper.elementBits(), mapper.bitsPerCell())
+                     .parts.size();
+    const std::size_t c = pickChip(parts);
+
+    auto inference = std::make_unique<InferenceModel>();
+    inference->cnnNet = std::make_unique<cnn::TinyCnn>(std::move(net));
+    inference->cnnFwd = std::make_unique<cnn::TinyCnnForward>(
+        sessions_[c], *inference->cnnNet, mapper);
+    inference->inputRows = inference->cnnNet->inputSize();
+    inference->oracleCost =
+        mapper.networkCost(inference->cnnNet->layerStats()).latency;
+
+    Model model;
+    model.key = key;
+    model.chip = c;
+    model.inference = std::move(inference);
+    models_.push_back(std::move(model));
+    const ModelRef ref = models_.size() - 1;
+    if (cfg_.placement == PlacementPolicy::MatrixAffinity && key != 0)
+        affinity_[key] = ref;
+    return ref;
+}
+
+ModelRef
+ChipPool::placeLlmInference(u64 key, llm::Encoder enc)
+{
+    if (cfg_.placement == PlacementPolicy::MatrixAffinity && key != 0) {
+        const auto it = affinity_.find(key);
+        if (it != affinity_.end()) {
+            const Model &held = models_[it->second];
+            const bool same =
+                held.inference != nullptr &&
+                held.inference->llmEnc != nullptr &&
+                sameMatrix(held.inference->llmEnc->wq(), enc.wq()) &&
+                sameMatrix(held.inference->llmEnc->wk(), enc.wk()) &&
+                sameMatrix(held.inference->llmEnc->wv(), enc.wv()) &&
+                sameMatrix(held.inference->llmEnc->wo(), enc.wo()) &&
+                sameMatrix(held.inference->llmEnc->wFf1(),
+                           enc.wFf1()) &&
+                sameMatrix(held.inference->llmEnc->wFf2(),
+                           enc.wFf2());
+            if (!same)
+                darth_fatal("ChipPool::placeLlmInference: model key ",
+                            key, " is already placed with a different "
+                            "model; use a fresh key per distinct "
+                            "network");
+            return it->second;
+        }
+    }
+
+    llm::LlmMapper &mapper = llmMapper();
+    const llm::EncoderStats stats = enc.stats();
+    std::size_t parts = 0;
+    for (const auto &group : stats.staticMvms)
+        parts += runtime::Runtime::planMatrix(
+                     cfg_.chip.hct, group.rows, group.cols,
+                     mapper.elementBits(), mapper.bitsPerCell())
+                     .parts.size();
+    // staticMvms groups the four dModel x dModel projections as one
+    // shape; the placements are per matrix, so scale that group.
+    // (Q/K/V/O share a shape but not tiles.)
+    parts += 3 * runtime::Runtime::planMatrix(
+                     cfg_.chip.hct, enc.config().dModel,
+                     enc.config().dModel, mapper.elementBits(),
+                     mapper.bitsPerCell())
+                     .parts.size();
+    const std::size_t c = pickChip(parts);
+
+    auto inference = std::make_unique<InferenceModel>();
+    inference->llmEnc = std::make_unique<llm::Encoder>(std::move(enc));
+    inference->llmFwd = std::make_unique<llm::EncoderForward>(
+        sessions_[c], *inference->llmEnc, mapper);
+    inference->inputRows = inference->llmEnc->config().seqLen *
+                           inference->llmEnc->config().dModel;
+    inference->oracleCost = mapper.hybridCost(stats).latency;
+
+    Model model;
+    model.key = key;
+    model.chip = c;
+    model.inference = std::move(inference);
+    models_.push_back(std::move(model));
+    const ModelRef ref = models_.size() - 1;
+    if (cfg_.placement == PlacementPolicy::MatrixAffinity && key != 0)
+        affinity_[key] = ref;
+    return ref;
+}
+
+bool
+ChipPool::isInference(ModelRef model) const
+{
+    return modelRef(model, "ChipPool::isInference").inference !=
+           nullptr;
+}
+
+InferenceOutcome
+ChipPool::runInference(ModelRef model, const std::vector<i64> &input,
+                       Cycle earliest)
+{
+    const Model &m = modelRef(model, "ChipPool::runInference");
+    if (m.inference == nullptr)
+        darth_fatal("ChipPool::runInference: model ", model,
+                    " is a single-MVM model; use submit()/wait()");
+    InferenceModel &im = *models_[model].inference;
+    if (input.size() != im.inputRows)
+        darth_fatal("ChipPool::runInference: input has ", input.size(),
+                    " values but the model needs ", im.inputRows);
+
+    InferenceOutcome outcome;
+    if (im.cnnFwd != nullptr) {
+        const cnn::ForwardResult r = im.cnnFwd->infer(
+            im.cnnNet->inputFromFlat(input), earliest);
+        outcome.values = r.logits;
+        outcome.start = r.start;
+        outcome.done = r.done;
+        outcome.mvms = r.mvmCount;
+    } else {
+        const llm::EncoderConfig &cfg = im.llmEnc->config();
+        MatrixI tokens(cfg.seqLen, cfg.dModel);
+        for (std::size_t t = 0; t < cfg.seqLen; ++t)
+            for (std::size_t c = 0; c < cfg.dModel; ++c)
+                tokens(t, c) = input[t * cfg.dModel + c];
+        const llm::EncoderForwardResult r =
+            im.llmFwd->infer(tokens, earliest);
+        outcome.values.reserve(r.output.size());
+        for (std::size_t t = 0; t < r.output.rows(); ++t)
+            for (std::size_t c = 0; c < r.output.cols(); ++c)
+                outcome.values.push_back(r.output(t, c));
+        outcome.start = r.start;
+        outcome.done = r.done;
+        outcome.mvms = r.mvmCount;
+    }
+    return outcome;
+}
+
+const ChipPool::Model &
+ChipPool::modelRef(ModelRef model, const char *what) const
+{
+    if (model >= models_.size())
+        darth_panic(what, ": model ", model, " out of range ",
+                    models_.size());
+    return models_[model];
+}
+
 std::size_t
 ChipPool::modelChip(ModelRef model) const
 {
-    if (model >= models_.size())
-        darth_panic("ChipPool::modelChip: model ", model,
-                    " out of range ", models_.size());
-    return models_[model].chip;
+    return modelRef(model, "ChipPool::modelChip").chip;
 }
 
 const runtime::MatrixPlan &
 ChipPool::modelPlan(ModelRef model) const
 {
-    if (model >= models_.size())
-        darth_panic("ChipPool::modelPlan: model ", model,
-                    " out of range ", models_.size());
-    return models_[model].handle.plan();
+    const Model &m = modelRef(model, "ChipPool::modelPlan");
+    if (m.inference != nullptr)
+        darth_fatal("ChipPool::modelPlan: model ", model,
+                    " is an inference model spanning several "
+                    "placements");
+    return m.handle.plan();
 }
 
 std::size_t
 ChipPool::modelRows(ModelRef model) const
 {
-    return modelPlan(model).rows;
+    const Model &m = modelRef(model, "ChipPool::modelRows");
+    if (m.inference != nullptr)
+        return m.inference->inputRows;
+    return m.handle.plan().rows;
 }
 
 Cycle
-ChipPool::nominalServiceCycles(ModelRef model, int input_bits) const
+ChipPool::nominalServiceCycles(ModelRef model, int input_bits)
 {
-    const runtime::MatrixPlan &plan = modelPlan(model);
-    runtime::KernelModel kernels(cfg_.chip.hct);
-    Cycle worst = 0;
-    for (const auto &part : plan.parts) {
-        runtime::MvmShape shape;
-        shape.rows = part.numRows;
-        shape.cols = part.numCols;
-        shape.elementBits = plan.elementBits;
-        shape.bitsPerCell = plan.bitsPerCell;
-        shape.inputBits = input_bits;
-        worst = std::max(worst, kernels.mvm(shape).latency);
-    }
-    return worst;
+    const Model &m = modelRef(model, "ChipPool::nominalServiceCycles");
+    if (m.inference != nullptr)
+        return m.inference->oracleCost;
+    // The owning chip's scheduler caches kernel oracle measurements;
+    // QueuedRequest carries the same per-request cost.
+    return runtimes_[m.chip]->scheduler().oracleCost(m.handle.plan(),
+                                                     input_bits);
 }
 
 runtime::MvmFuture
 ChipPool::submit(ModelRef model, std::vector<i64> x, int input_bits,
                  Cycle earliest)
 {
-    if (model >= models_.size())
-        darth_panic("ChipPool::submit: model ", model, " out of range ",
-                    models_.size());
-    Model &m = models_[model];
+    const Model &m = modelRef(model, "ChipPool::submit");
+    if (m.inference != nullptr)
+        darth_fatal("ChipPool::submit: model ", model,
+                    " is an inference model; use runInference()");
     return sessions_[m.chip].submit(m.handle, std::move(x), input_bits,
                                     earliest);
 }
@@ -200,10 +406,8 @@ ChipPool::submit(ModelRef model, std::vector<i64> x, int input_bits,
 runtime::MvmResult
 ChipPool::wait(ModelRef model, const runtime::MvmFuture &future)
 {
-    if (model >= models_.size())
-        darth_panic("ChipPool::wait: model ", model, " out of range ",
-                    models_.size());
-    return sessions_[models_[model].chip].wait(future);
+    const Model &m = modelRef(model, "ChipPool::wait");
+    return sessions_[m.chip].wait(future);
 }
 
 std::size_t

@@ -5,9 +5,11 @@
  * them by a pluggable policy.
  *
  * The pool plays the role of a serving daemon: it holds one runtime
- * session per chip and places tenant weight matrices ("models")
- * through those sessions, so the serving layer above (Admission)
- * deals only in ModelRefs. Policies:
+ * session per chip and places tenant models through those sessions,
+ * so the serving layer above (Admission) deals only in ModelRefs. A
+ * model is either one weight matrix (single-MVM requests) or a whole
+ * inference network — a TinyCnn or a small encoder layer — whose
+ * requests run as InferenceGraph forwards (runInference). Policies:
  *
  *  - RoundRobin     — rotate over chips with enough free tiles.
  *  - LeastLoaded    — most free tiles, then smallest scheduler
@@ -35,6 +37,8 @@
 #include <memory>
 #include <vector>
 
+#include "apps/cnn/CnnMapper.h"
+#include "apps/llm/LlmMapper.h"
 #include "runtime/Runtime.h"
 #include "runtime/Session.h"
 
@@ -68,6 +72,19 @@ struct PoolConfig
 /** Handle to one model placed somewhere in the pool. */
 using ModelRef = std::size_t;
 
+/** Result of one whole-inference request executed by the pool. */
+struct InferenceOutcome
+{
+    /** Network output (logits / flattened encoder output). */
+    std::vector<i64> values;
+    /** First MVM issue cycle of the forward. */
+    Cycle start = 0;
+    /** Completion cycle of the whole graph. */
+    Cycle done = 0;
+    /** MVMs the inference streamed. */
+    std::size_t mvms = 0;
+};
+
 /** A pool of chips behind one placement front end. */
 class ChipPool
 {
@@ -91,24 +108,54 @@ class ChipPool
     ModelRef placeModel(u64 key, const MatrixI &m, int element_bits,
                         int bits_per_cell);
 
+    /**
+     * Place a whole TinyCnn inference model (all three layers) on one
+     * chip. Sharing and key semantics match placeModel(): a non-zero
+     * key already placed under MatrixAffinity returns the existing
+     * ModelRef after checking the weights match.
+     */
+    ModelRef placeCnnInference(u64 key, cnn::TinyCnn net);
+
+    /** Place a whole small-encoder inference model (six matrices). */
+    ModelRef placeLlmInference(u64 key, llm::Encoder enc);
+
+    /** True when the model serves whole inferences, not single MVMs. */
+    bool isInference(ModelRef model) const;
+
+    /**
+     * Run one whole-inference request (fatal for single-MVM models):
+     * builds the model's InferenceGraph on the owning chip's session
+     * with every root bounded by `earliest`, runs it to completion,
+     * and returns the outputs with the graph's cycle stamps.
+     * Successive inferences against one model pipeline at the
+     * per-layer amortized rate because the placements persist.
+     */
+    InferenceOutcome runInference(ModelRef model,
+                                  const std::vector<i64> &input,
+                                  Cycle earliest = 0);
+
     /** Chip that holds a placed model. */
     std::size_t modelChip(ModelRef model) const;
 
-    /** Placement plan of a placed model. */
+    /** Placement plan of a placed model (fatal for inference
+     *  models, which span several placements). */
     const runtime::MatrixPlan &modelPlan(ModelRef model) const;
 
-    /** Rows the model's inputs must have. */
+    /** Flat input length the model's requests must have. */
     std::size_t modelRows(ModelRef model) const;
 
     /**
-     * KernelModel oracle latency of one MVM against the model (worst
-     * part) — the nominal per-request service used for weighted-fair
-     * charging and load calibration.
+     * KernelModel oracle cost of one request: for single-MVM models
+     * the oracle latency of one MVM (worst part, via the owning
+     * scheduler's cached oracle); for inference models the
+     * whole-inference serialized latency from the mapper cost model.
+     * The nominal service used for weighted-fair charging and load
+     * calibration.
      */
-    Cycle nominalServiceCycles(ModelRef model, int input_bits) const;
+    Cycle nominalServiceCycles(ModelRef model, int input_bits);
 
-    /** Submit one MVM against a model through the pool's session on
-     *  the owning chip. */
+    /** Submit one MVM against a single-MVM model through the pool's
+     *  session on the owning chip (fatal for inference models). */
     runtime::MvmFuture submit(ModelRef model, std::vector<i64> x,
                               int input_bits, Cycle earliest = 0);
 
@@ -126,15 +173,37 @@ class ChipPool
     Cycle makespan() const;
 
   private:
+    /** One placed inference network (owns the net, the forward
+     *  runner, and through it the placements). Heap-allocated so the
+     *  forward's references stay stable as models_ grows. */
+    struct InferenceModel
+    {
+        std::unique_ptr<cnn::TinyCnn> cnnNet;
+        std::unique_ptr<cnn::TinyCnnForward> cnnFwd;
+        std::unique_ptr<llm::Encoder> llmEnc;
+        std::unique_ptr<llm::EncoderForward> llmFwd;
+        /** Flat input length of one request. */
+        std::size_t inputRows = 0;
+        /** Whole-inference serialized oracle latency. */
+        Cycle oracleCost = 0;
+    };
+
     struct Model
     {
         u64 key = 0;
         std::size_t chip = 0;
         runtime::MatrixHandle handle;
+        std::unique_ptr<InferenceModel> inference;
     };
 
     /** Chip for a fresh placement needing `parts` free tiles. */
     std::size_t pickChip(std::size_t parts);
+
+    const Model &modelRef(ModelRef model, const char *what) const;
+
+    /** Mappers shared by every inference model (identical silicon). */
+    cnn::CnnMapper &cnnMapper();
+    llm::LlmMapper &llmMapper();
 
     PoolConfig cfg_;
     std::vector<std::unique_ptr<runtime::Chip>> chips_;
@@ -144,6 +213,8 @@ class ChipPool
     std::vector<Model> models_;
     /** key -> ModelRef, consulted under MatrixAffinity. */
     std::map<u64, ModelRef> affinity_;
+    std::unique_ptr<cnn::CnnMapper> cnnMapper_;
+    std::unique_ptr<llm::LlmMapper> llmMapper_;
     std::size_t rrCursor_ = 0;
 };
 

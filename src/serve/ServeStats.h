@@ -34,6 +34,14 @@ struct TenantStats
     u64 completed = 0;
     /** Requests dropped by the Reject overflow policy. */
     u64 rejected = 0;
+    /**
+     * MVMs executed for this tenant: equals `completed` for
+     * single-MVM kinds; for inference tenants each completed request
+     * contributes its whole forward's stream count, so
+     * mvms / completed is the per-inference MVM footprint and the
+     * latency samples below are *per-inference* latencies.
+     */
+    u64 mvms = 0;
 
     /** done - arrival per completed request, in completion order. */
     std::vector<double> latency;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "apps/aes/MixColumnsGf2.h"
 #include "common/Logging.h"
@@ -48,11 +49,26 @@ shapeOf(WorkloadKind kind)
         return {64, 64, 8, 2, 4, -127, 127, -8, 7};
       case WorkloadKind::Micro:
         return {8, 8, 1, 1, 1, 0, 1, 0, 1};
+      case WorkloadKind::CnnInfer:
+        // rows = flat 8x8 single-channel input; cols = logits.
+        return {64, 4, 8, 2, 8, -8, 7, -8, 7};
+      case WorkloadKind::LlmInfer:
+        // rows = flat seqLen x dModel token block; cols = dModel.
+        // 12-bit inputs: the encoder's add-norm activations exceed
+        // int8 (see ChipPool::llmMapper).
+        return {4 * 32, 32, 8, 2, 12, -8, 7, -8, 7};
     }
     darth_panic("TrafficGen: unknown workload kind");
 }
 
 } // namespace
+
+bool
+isInferenceKind(WorkloadKind kind)
+{
+    return kind == WorkloadKind::CnnInfer ||
+           kind == WorkloadKind::LlmInfer;
+}
 
 const char *
 workloadKindName(WorkloadKind kind)
@@ -66,8 +82,27 @@ workloadKindName(WorkloadKind kind)
         return "llm";
       case WorkloadKind::Micro:
         return "micro";
+      case WorkloadKind::CnnInfer:
+        return "cnn_infer";
+      case WorkloadKind::LlmInfer:
+        return "llm_infer";
     }
     darth_panic("workloadKindName: unknown workload kind");
+}
+
+void
+TrafficGen::validateSpec(const TenantSpec &spec)
+{
+    if (spec.weight <= 0.0)
+        throw std::invalid_argument(
+            "TrafficGen: tenant '" + spec.name +
+            "' has non-positive QoS weight " +
+            std::to_string(spec.weight));
+    if (spec.ratePerKcycle <= 0.0)
+        throw std::invalid_argument(
+            "TrafficGen: tenant '" + spec.name +
+            "' has non-positive arrival rate " +
+            std::to_string(spec.ratePerKcycle));
 }
 
 int
@@ -97,6 +132,10 @@ TrafficGen::inputRows(WorkloadKind kind)
 MatrixI
 TrafficGen::weights(WorkloadKind kind, u64 key) const
 {
+    if (isInferenceKind(kind))
+        darth_fatal("TrafficGen::weights: ", workloadKindName(kind),
+                    " is an inference kind; use cnnInferNet / "
+                    "llmInferNet");
     if (kind == WorkloadKind::Aes)
         return aes::mixColumnsGf2Matrix();
     const Shape shape = shapeOf(kind);
@@ -109,6 +148,35 @@ TrafficGen::weights(WorkloadKind kind, u64 key) const
     return m;
 }
 
+cnn::TinyCnn
+TrafficGen::cnnInferNet(u64 key) const
+{
+    return cnn::TinyCnn(
+        mixSeed(seed_, /*salt=*/0xC221,
+                static_cast<u64>(WorkloadKind::CnnInfer) ^ (key << 8)),
+        /*in_hw=*/8);
+}
+
+llm::EncoderConfig
+TrafficGen::llmInferConfig()
+{
+    llm::EncoderConfig cfg;
+    cfg.seqLen = 4;
+    cfg.dModel = 32;
+    cfg.numHeads = 2;
+    cfg.dFf = 64;
+    return cfg;
+}
+
+llm::Encoder
+TrafficGen::llmInferNet(u64 key) const
+{
+    return llm::Encoder(
+        llmInferConfig(),
+        mixSeed(seed_, /*salt=*/0x11F3,
+                static_cast<u64>(WorkloadKind::LlmInfer) ^ (key << 8)));
+}
+
 std::vector<ServeRequest>
 TrafficGen::trace(const std::vector<TenantSpec> &tenants,
                   Cycle horizon) const
@@ -116,10 +184,7 @@ TrafficGen::trace(const std::vector<TenantSpec> &tenants,
     std::vector<ServeRequest> merged;
     for (std::size_t t = 0; t < tenants.size(); ++t) {
         const TenantSpec &spec = tenants[t];
-        if (spec.ratePerKcycle <= 0.0)
-            darth_fatal("TrafficGen::trace: tenant '", spec.name,
-                        "' has non-positive arrival rate ",
-                        spec.ratePerKcycle);
+        validateSpec(spec);
         const Shape shape = shapeOf(spec.kind);
         // One stream per tenant, salted by the tenant index: adding
         // or reordering other tenants cannot perturb this stream.

@@ -6,10 +6,14 @@
  * paper's three applications — the AES GF(2) MixColumns matrix, a
  * CNN im2col layer, an LLM projection — plus a tiny Micro shape for
  * fast unit tests), a QoS weight, and a mean open-loop arrival rate.
- * TrafficGen expands specs into weight matrices and a merged arrival
- * trace: per-tenant Poisson arrivals (exponential inter-arrival
- * times) and uniformly random inputs, all drawn from seeded
- * common/Random streams so a scenario replays bit-identically
+ * Two *inference-level* kinds lift requests from single MVMs to whole
+ * forwards: CnnInfer (a TinyCnn conv-conv-fc network) and LlmInfer
+ * (a small encoder layer), each executed as one InferenceGraph per
+ * request with the flat input vector carrying the network input.
+ * TrafficGen expands specs into weight matrices / networks and a
+ * merged arrival trace: per-tenant Poisson arrivals (exponential
+ * inter-arrival times) and uniformly random inputs, all drawn from
+ * seeded common/Random streams so a scenario replays bit-identically
  * regardless of pool size or policy.
  */
 
@@ -19,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "apps/cnn/TinyCnn.h"
+#include "apps/llm/Encoder.h"
 #include "common/Matrix.h"
 #include "common/Random.h"
 #include "common/Types.h"
@@ -39,7 +45,14 @@ enum class WorkloadKind
     Llm,
     /** 8x8 1-bit toy shape for fast unit tests. */
     Micro,
+    /** Whole TinyCnn inference (conv-conv-fc) per request. */
+    CnnInfer,
+    /** Whole small-encoder-layer forward per request. */
+    LlmInfer,
 };
+
+/** True for kinds whose requests are whole inferences. */
+bool isInferenceKind(WorkloadKind kind);
 
 const char *workloadKindName(WorkloadKind kind);
 
@@ -75,6 +88,14 @@ class TrafficGen
   public:
     explicit TrafficGen(u64 seed = 1) : seed_(seed) {}
 
+    /**
+     * Validate a tenant spec: a non-positive QoS `weight` or
+     * open-loop `ratePerKcycle` throws std::invalid_argument.
+     * buildTenants() and trace() both call this, so a bad spec fails
+     * at the serving front door rather than deep in a sweep.
+     */
+    static void validateSpec(const TenantSpec &spec);
+
     /** Weight element precision of a kind. */
     static int elementBits(WorkloadKind kind);
     /** Analog operating point of a kind. */
@@ -97,11 +118,23 @@ class TrafficGen
     }
 
     /**
-     * The weight matrix of one tenant: AES is the fixed GF(2)
-     * MixColumns matrix; the others are random but deterministic in
-     * (seed, kind, key) — same key, same weights.
+     * The weight matrix of one single-MVM tenant: AES is the fixed
+     * GF(2) MixColumns matrix; the others are random but
+     * deterministic in (seed, kind, key) — same key, same weights.
+     * Fatal for inference kinds (use cnnInferNet / llmInferNet).
      */
     MatrixI weights(WorkloadKind kind, u64 key) const;
+
+    /** The TinyCnn a CnnInfer tenant serves, deterministic in
+     *  (seed, key) — same key, same network. */
+    cnn::TinyCnn cnnInferNet(u64 key) const;
+
+    /** The small encoder an LlmInfer tenant serves, deterministic in
+     *  (seed, key). */
+    llm::Encoder llmInferNet(u64 key) const;
+
+    /** Geometry of the LlmInfer encoder (seqLen x dModel tokens). */
+    static llm::EncoderConfig llmInferConfig();
 
     /**
      * Open-loop arrival trace over [0, horizon): per-tenant Poisson

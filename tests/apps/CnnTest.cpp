@@ -8,6 +8,7 @@
 
 #include "apps/cnn/CnnMapper.h"
 #include "apps/cnn/Resnet20.h"
+#include "apps/cnn/TinyCnn.h"
 
 namespace darth
 {
@@ -219,6 +220,110 @@ TEST(CnnMapper, HybridBeatsDigitalOnlyOnConvLayers)
     const auto digital = mapper.digitalNetworkCost(stats);
     EXPECT_LT(hybrid.latency, digital.latency);
     EXPECT_LT(hybrid.energy, digital.energy);
+}
+
+TEST(Conv2d, Im2colAndAssembleReproduceForward)
+{
+    // The im2col/epilogue split shared with the session-graph path
+    // reproduces forward() exactly.
+    Rng rng(601);
+    Conv2d conv("c", 2, 3, 3, 1, 1);
+    conv.initRandom(rng);
+    Tensor in(2, 4, 4);
+    for (auto &v : in.data())
+        v = static_cast<i32>(rng.uniformInt(i64{-3}, i64{3}));
+
+    const auto patches = conv.im2colPatches(in);
+    ASSERT_EQ(patches.size(), 16u);
+    ASSERT_EQ(patches[0].size(), 18u);
+    const auto &w = conv.weightMatrix();
+    std::vector<std::vector<i64>> accs;
+    for (const auto &patch : patches) {
+        std::vector<i64> acc(w.cols(), 0);
+        for (std::size_t oc = 0; oc < w.cols(); ++oc)
+            for (std::size_t i = 0; i < patch.size(); ++i)
+                acc[oc] += patch[i] * w(i, oc);
+        accs.push_back(std::move(acc));
+    }
+    const Tensor assembled = conv.assembleFromAccs(accs, 4, 4);
+    const Tensor direct = conv.forward(in);
+    EXPECT_EQ(assembled.data(), direct.data());
+}
+
+TEST(TinyCnn, DeterministicInSeed)
+{
+    TinyCnn a(9), b(9), c(10);
+    EXPECT_EQ(a.conv1().weightMatrix(), b.conv1().weightMatrix());
+    EXPECT_EQ(a.fc().weightMatrix(), b.fc().weightMatrix());
+    EXPECT_NE(a.conv1().weightMatrix(), c.conv1().weightMatrix());
+    const Tensor in = a.inputFromFlat(std::vector<i64>(64, 1));
+    EXPECT_EQ(a.infer(in), b.infer(in));
+}
+
+/** Small chip that fits all three TinyCnn layers. */
+runtime::ChipConfig
+tinyForwardChip()
+{
+    runtime::ChipConfig cfg;
+    cfg.hct.dce.numPipelines = 2;
+    cfg.hct.dce.pipeline.depth = 32;
+    cfg.hct.dce.pipeline.width = 32;
+    cfg.hct.dce.pipeline.numRegs = 8;
+    cfg.hct.ace.numArrays = 16;
+    cfg.hct.ace.arrayRows = 64;
+    cfg.hct.ace.arrayCols = 32;
+    cfg.numHcts = 3;
+    return cfg;
+}
+
+// Acceptance: the graph-driven whole-network forward is bit-identical
+// to the reference inference, and back-to-back inferences through the
+// persistent placements pipeline (spacing below the serialized
+// single-inference latency).
+TEST(TinyCnn, GraphForwardBitIdenticalAndPipelined)
+{
+    const auto cfg = tinyForwardChip();
+    runtime::Chip chip(cfg);
+    runtime::Runtime rt(chip);
+    runtime::Session session = rt.createSession();
+
+    TinyCnn net(7);
+    CnnMapper mapper(cfg.hct);
+    TinyCnnForward forward(session, net, mapper);
+    EXPECT_EQ(forward.hctsUsed(), 3u);
+
+    Rng rng(11);
+    Cycle serialized = 0;
+    Cycle prev_done = 0;
+    for (int i = 0; i < 3; ++i) {
+        Tensor in(1, net.inputHw(), net.inputHw());
+        for (auto &v : in.data())
+            v = static_cast<i32>(rng.uniformInt(i64{-8}, i64{7}));
+        const ForwardResult r = forward.infer(in);
+        EXPECT_EQ(r.logits, net.infer(in)) << "inference " << i;
+        EXPECT_EQ(r.mvmCount, 81u);
+        if (i == 0)
+            serialized = r.done - r.start;
+        else
+            EXPECT_LT(r.done - prev_done, serialized)
+                << "inference " << i << " did not pipeline";
+        prev_done = r.done;
+    }
+}
+
+TEST(TinyCnn, GraphForwardHonoursAdmissionEarliest)
+{
+    const auto cfg = tinyForwardChip();
+    runtime::Chip chip(cfg);
+    runtime::Runtime rt(chip);
+    runtime::Session session = rt.createSession();
+    TinyCnn net(7);
+    CnnMapper mapper(cfg.hct);
+    TinyCnnForward forward(session, net, mapper);
+    const Tensor in = net.inputFromFlat(std::vector<i64>(64, 2));
+    const ForwardResult r = forward.infer(in, /*earliest=*/40000);
+    EXPECT_GE(r.start, 40000u);
+    EXPECT_EQ(r.logits, net.infer(in));
 }
 
 } // namespace

@@ -207,6 +207,91 @@ TEST(LlmMapper, NonMvmWorkIsVisibleAtBertBaseScale)
     EXPECT_LT(big_cost.nonMvmFraction, 0.98);
 }
 
+TEST(Encoder, ForwardDecomposesIntoSharedHelpers)
+{
+    // The helpers the graph path uses reproduce forward() when
+    // composed with the host projection: this is the structural
+    // bit-identity argument for EncoderForward.
+    EncoderConfig cfg;
+    cfg.seqLen = 4;
+    cfg.dModel = 32;
+    cfg.numHeads = 2;
+    cfg.dFf = 64;
+    Encoder enc(cfg, 11);
+    const MatrixI tokens = syntheticTokens(cfg, 2);
+
+    auto project = [](const MatrixI &x, const MatrixI &w) {
+        MatrixI out(x.rows(), w.cols());
+        for (std::size_t t = 0; t < x.rows(); ++t)
+            for (std::size_t c = 0; c < w.cols(); ++c) {
+                i64 acc = 0;
+                for (std::size_t k = 0; k < w.rows(); ++k)
+                    acc += x(t, k) * w(k, c);
+                out(t, c) = acc;
+            }
+        return out;
+    };
+
+    MatrixI q = project(tokens, enc.wq());
+    MatrixI k = project(tokens, enc.wk());
+    MatrixI v = project(tokens, enc.wv());
+    Encoder::requantProjection(&q);
+    Encoder::requantProjection(&k);
+    Encoder::requantProjection(&v);
+    const MatrixI context = enc.attentionContext(q, k, v);
+    const MatrixI x1 = enc.addNorm(project(context, enc.wo()), tokens);
+    const MatrixI ff1a = enc.geluActivation(project(x1, enc.wFf1()));
+    const MatrixI out = enc.addNorm(project(ff1a, enc.wFf2()), x1);
+    EXPECT_EQ(out, enc.forward(tokens));
+}
+
+// Acceptance: the whole encoder-layer graph forward through a session
+// is bit-identical to Encoder::forward, and back-to-back forwards
+// pipeline through the persistent placements.
+TEST(Encoder, GraphForwardBitIdenticalAndPipelined)
+{
+    EncoderConfig enc_cfg;
+    enc_cfg.seqLen = 4;
+    enc_cfg.dModel = 32;
+    enc_cfg.numHeads = 2;
+    enc_cfg.dFf = 64;
+    Encoder enc(enc_cfg, 11);
+    const MatrixI tokens = syntheticTokens(enc_cfg, 2);
+
+    runtime::ChipConfig cfg;
+    cfg.hct.dce.numPipelines = 2;
+    cfg.hct.dce.pipeline.depth = 32;
+    cfg.hct.dce.pipeline.width = 32;
+    cfg.hct.dce.pipeline.numRegs = 8;
+    cfg.hct.ace.numArrays = 16;
+    cfg.hct.ace.arrayRows = 64;
+    cfg.hct.ace.arrayCols = 32;
+    cfg.numHcts = 6;
+    runtime::Chip chip(cfg);
+    runtime::Runtime rt(chip);
+    runtime::Session session = rt.createSession();
+
+    // 12-bit activations: add-norm outputs exceed int8.
+    LlmMapper mapper(cfg.hct, 8, 2, 12);
+    EncoderForward forward(session, enc, mapper);
+    EXPECT_EQ(forward.hctsUsed(), 6u);
+
+    const MatrixI ref = enc.forward(tokens);
+    Cycle serialized = 0;
+    Cycle prev_done = 0;
+    for (int i = 0; i < 3; ++i) {
+        const EncoderForwardResult r = forward.infer(tokens);
+        EXPECT_EQ(r.output, ref) << "forward " << i;
+        EXPECT_EQ(r.mvmCount, 6u * enc_cfg.seqLen);
+        if (i == 0)
+            serialized = r.done - r.start;
+        else
+            EXPECT_LT(r.done - prev_done, serialized)
+                << "forward " << i << " did not pipeline";
+        prev_done = r.done;
+    }
+}
+
 } // namespace
 } // namespace llm
 } // namespace darth

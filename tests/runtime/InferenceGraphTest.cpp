@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the InferenceGraph subsystem: dataflow edges become
+ * scheduler dependencies, digital stages charge oracle cycles, and
+ * sources bound whole forwards.
+ */
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/Random.h"
+#include "runtime/InferenceGraph.h"
+#include "runtime/Runtime.h"
+
+namespace darth
+{
+namespace runtime
+{
+namespace
+{
+
+ChipConfig
+smallChip(std::size_t num_hcts = 2)
+{
+    ChipConfig cfg;
+    cfg.hct.dce.numPipelines = 4;
+    cfg.hct.dce.pipeline.depth = 32;
+    cfg.hct.dce.pipeline.width = 8;
+    cfg.hct.dce.pipeline.numRegs = 8;
+    cfg.hct.ace.numArrays = 8;
+    cfg.hct.ace.arrayRows = 16;   // 8 signed rows per array
+    cfg.hct.ace.arrayCols = 8;
+    cfg.numHcts = num_hcts;
+    return cfg;
+}
+
+MatrixI
+randomMatrix(std::size_t rows, std::size_t cols, u64 seed)
+{
+    Rng rng(seed);
+    MatrixI m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            m(r, c) = rng.uniformInt(i64{-2}, i64{2});
+    return m;
+}
+
+std::vector<i64>
+reference(const MatrixI &m, const std::vector<i64> &x)
+{
+    std::vector<i64> out(m.cols(), 0);
+    for (std::size_t c = 0; c < m.cols(); ++c)
+        for (std::size_t r = 0; r < m.rows(); ++r)
+            out[c] += m(r, c) * x[r];
+    return out;
+}
+
+TEST(InferenceGraph, StreamOutputsMatchReference)
+{
+    Chip chip(smallChip(1));
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixI m = randomMatrix(8, 8, 601);
+    const MatrixHandle handle = session.setMatrix(m, 2, 0);
+
+    InferenceGraph graph(session);
+    std::vector<std::vector<i64>> inputs(4, std::vector<i64>(8, 1));
+    inputs[1][0] = -2;
+    inputs[2][5] = 3;
+    const StageId stage =
+        graph.addMvmStream("s", handle, inputs, 3, {});
+    const auto &outputs = graph.outputs(stage);
+    ASSERT_EQ(outputs.size(), inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        EXPECT_EQ(outputs[i], reference(m, inputs[i])) << "MVM " << i;
+    EXPECT_EQ(graph.mvmCount(), 4u);
+}
+
+TEST(InferenceGraph, SourceBoundsTheForward)
+{
+    Chip chip(smallChip(1));
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixHandle handle =
+        session.setMatrix(randomMatrix(8, 8, 602), 2, 0);
+
+    InferenceGraph graph(session);
+    const StageId source = graph.addSource(5000);
+    const StageId stage = graph.addMvmStream(
+        "s", handle, {std::vector<i64>(8, 1)}, 2, {source});
+    const GraphStats stats = graph.finish();
+    EXPECT_GE(stats.start, 5000u);
+    EXPECT_GT(stats.done, 5000u);
+    EXPECT_EQ(graph.doneCycle(stage), stats.done);
+}
+
+TEST(InferenceGraph, DigitalStageChargesCyclesAfterDeps)
+{
+    Chip chip(smallChip(1));
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixHandle handle =
+        session.setMatrix(randomMatrix(8, 8, 603), 2, 0);
+
+    InferenceGraph graph(session);
+    const StageId stream = graph.addMvmStream(
+        "s", handle, {std::vector<i64>(8, 1)}, 2, {});
+    const Cycle stream_done = graph.doneCycle(stream);
+    const StageId digital = graph.addDigital("epi", 123, {stream});
+    EXPECT_EQ(graph.doneCycle(digital), stream_done + 123);
+    // A second digital stage chains off the first.
+    const StageId digital2 = graph.addDigital("epi2", 7, {digital});
+    EXPECT_EQ(graph.doneCycle(digital2), stream_done + 123 + 7);
+}
+
+TEST(InferenceGraph, StreamAfterStreamSerializesViaAfterFutures)
+{
+    // Two streams on disjoint tiles with a graph edge between them:
+    // the consumer's MVMs carry `after` futures, so they start only
+    // once the producer completes — even though the tiles themselves
+    // would have been free at cycle 0.
+    Chip chip(smallChip(2));
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixHandle a =
+        session.setMatrix(randomMatrix(8, 8, 604), 2, 0);
+    const MatrixHandle b =
+        session.setMatrix(randomMatrix(8, 8, 605), 2, 0);
+
+    InferenceGraph graph(session);
+    const StageId sa = graph.addMvmStream(
+        "a", a, std::vector<std::vector<i64>>(3,
+                                              std::vector<i64>(8, 1)),
+        2, {});
+    // Dependent stream added while `a` is still in flight.
+    const StageId sb = graph.addMvmStream(
+        "b", b, {std::vector<i64>(8, 1)}, 2, {sa});
+    const Cycle a_done = graph.doneCycle(sa);
+    const GraphStats stats = graph.finish();
+    (void)sb;
+    EXPECT_GE(stats.done, a_done);
+    // b started after a completed (the dependency, not contention).
+    EXPECT_GT(rt.scheduler().counters().dependencyStalls, 0u);
+}
+
+TEST(InferenceGraph, InvalidUsesThrow)
+{
+    Chip chip(smallChip(1));
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixHandle handle =
+        session.setMatrix(randomMatrix(8, 8, 606), 2, 0);
+
+    InferenceGraph graph(session);
+    EXPECT_THROW(graph.addMvmStream("s", handle, {}, 2, {}),
+                 std::invalid_argument);
+    EXPECT_THROW(graph.addMvmStream(
+                     "s", handle, {std::vector<i64>(8, 1)}, 2, {99}),
+                 std::invalid_argument);
+    const StageId source = graph.addSource(0);
+    EXPECT_THROW((void)graph.outputs(source), std::invalid_argument);
+    EXPECT_THROW(graph.addDigital("d", 1, {42}),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace runtime
+} // namespace darth

@@ -492,6 +492,185 @@ TEST(Scheduler, EarliestBoundsTheStartCycle)
     EXPECT_GT(result.done, 1000u);
 }
 
+TEST(Scheduler, AfterDependencyBoundsStartAcrossHandles)
+{
+    // Two handles on disjoint tiles would normally overlap at cycle
+    // 0; an `after` dependency serializes them: the dependent MVM
+    // starts no earlier than the dependency's completion. Values
+    // stay bit-exact either way.
+    const MatrixI m_a = randomMatrix(8, 8, -2, 2, 530);
+    const MatrixI m_b = randomMatrix(8, 8, -2, 2, 531);
+    const std::vector<i64> x(8, 1);
+
+    Chip chip(smallChip(2));
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixHandle a = session.setMatrix(m_a, 2, 0);
+    const MatrixHandle b = session.setMatrix(m_b, 2, 0);
+
+    const MvmFuture fa = session.submit(a, x, 2);
+    const MvmFuture fb = session.submit(b, x, 2, 0, {fa});
+    const auto ra = session.wait(fa);
+    const auto rb = session.wait(fb);
+    EXPECT_EQ(ra.start, 0u);
+    EXPECT_GE(rb.start, ra.done);
+    EXPECT_EQ(ra.values, reference(m_a, x));
+    EXPECT_EQ(rb.values, reference(m_b, x));
+
+    // Control: without the dependency both placements start at 0.
+    Chip free_chip(smallChip(2));
+    Runtime free_rt(free_chip);
+    Session free_session = free_rt.createSession();
+    const MatrixHandle fa2 = free_session.setMatrix(m_a, 2, 0);
+    const MatrixHandle fb2 = free_session.setMatrix(m_b, 2, 0);
+    (void)free_session.submit(fa2, x, 2);
+    const MvmFuture overlap = free_session.submit(fb2, x, 2);
+    EXPECT_EQ(free_session.wait(overlap).start, 0u);
+}
+
+TEST(Scheduler, AfterChainDrainsDeterministically)
+{
+    // A three-stage chain across distinct handles, combined with an
+    // `earliest` bound on the head: waiting only the tail must first
+    // execute the chain in dependency order, and every link's start
+    // clears its predecessor's done cycle.
+    const MatrixI m_a = randomMatrix(8, 8, -1, 1, 532);
+    const MatrixI m_b = randomMatrix(8, 8, -1, 1, 533);
+    const MatrixI m_c = randomMatrix(8, 8, -1, 1, 534);
+    const std::vector<i64> x(8, 1);
+
+    Chip chip(smallChip(3));
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixHandle a = session.setMatrix(m_a, 1, 0);
+    const MatrixHandle b = session.setMatrix(m_b, 1, 0);
+    const MatrixHandle c = session.setMatrix(m_c, 1, 0);
+
+    const MvmFuture fa =
+        session.submit(a, x, 1, /*earliest=*/500);
+    const MvmFuture fb = session.submit(b, x, 1, 0, {fa});
+    const MvmFuture fc = session.submit(c, x, 1, 0, {fb});
+
+    // Resolving the tail drains the chain (dependency-ready requests
+    // only), leaving the earlier results collectable.
+    const auto rc = session.wait(fc);
+    EXPECT_EQ(rt.scheduler().pendingCount(), 0u);
+    const auto ra = session.wait(fa);
+    const auto rb = session.wait(fb);
+    EXPECT_GE(ra.start, 500u);
+    EXPECT_GE(rb.start, ra.done);
+    EXPECT_GE(rc.start, rb.done);
+    EXPECT_EQ(rc.values, reference(m_c, x));
+}
+
+TEST(Scheduler, AfterRejectsInvalidFutures)
+{
+    Chip chip(smallChip(1));
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixI m = randomMatrix(8, 8, 0, 1, 535);
+    const MatrixHandle handle = session.setMatrix(m, 1, 0);
+    EXPECT_THROW(session.submit(handle, std::vector<i64>(8, 1), 1, 0,
+                                {MvmFuture{}}),
+                 std::invalid_argument);
+    // A caught validation throw must not desynchronize request ids
+    // from the dependency bookkeeping: later submits and dependency
+    // chains keep working.
+    const std::vector<i64> x(8, 1);
+    const MvmFuture fa = session.submit(handle, x, 1);
+    const MvmFuture fb = session.submit(handle, x, 1, 0, {fa});
+    const auto ra = session.wait(fa);
+    const auto rb = session.wait(fb);
+    EXPECT_GE(rb.start, ra.done);
+    EXPECT_EQ(rb.values, reference(m, x));
+}
+
+TEST(Scheduler, AfterRejectsForeignSchedulerFutures)
+{
+    // Ids are per-scheduler; a future issued by another chip's
+    // scheduler must be rejected, not silently bound to whatever
+    // local request shares the id.
+    Chip chip_a(smallChip(1)), chip_b(smallChip(1));
+    Runtime rt_a(chip_a), rt_b(chip_b);
+    Session sa = rt_a.createSession();
+    Session sb = rt_b.createSession();
+    const MatrixHandle ha =
+        sa.setMatrix(randomMatrix(8, 8, 0, 1, 540), 1, 0);
+    const MatrixHandle hb =
+        sb.setMatrix(randomMatrix(8, 8, 0, 1, 541), 1, 0);
+    const MvmFuture foreign =
+        sa.submit(ha, std::vector<i64>(8, 1), 1);
+    EXPECT_THROW(sb.submit(hb, std::vector<i64>(8, 1), 1, 0,
+                           {foreign}),
+                 std::invalid_argument);
+    sa.waitAll();
+}
+
+TEST(Scheduler, CountersTrackPipelineHitsAndDependencyStalls)
+{
+    Chip chip(smallChip(2));
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixHandle a =
+        session.setMatrix(randomMatrix(8, 8, 0, 1, 536), 1, 0);
+    const MatrixHandle b =
+        session.setMatrix(randomMatrix(8, 8, 0, 1, 537), 1, 0);
+    const std::vector<i64> x(8, 1);
+
+    // Three back-to-back MVMs on one placement: the second and third
+    // pipeline into the running stream.
+    MvmFuture last_a;
+    for (int i = 0; i < 3; ++i)
+        last_a = session.submit(a, x, 1);
+    session.waitAll();
+    EXPECT_EQ(rt.scheduler().counters().issued, 3u);
+    EXPECT_EQ(rt.scheduler().counters().pipelineHits, 2u);
+    EXPECT_EQ(rt.scheduler().counters().dependencyStalls, 0u);
+
+    // A dependent MVM on an idle tile: only the dependency delays it.
+    const MvmFuture fb = session.submit(b, x, 1, 0, {last_a});
+    (void)session.wait(fb);
+    EXPECT_EQ(rt.scheduler().counters().issued, 4u);
+    EXPECT_EQ(rt.scheduler().counters().dependencyStalls, 1u);
+}
+
+TEST(Scheduler, QueuedRequestViewCarriesOracleCostAndReadiness)
+{
+    const auto cfg = smallChip(2);
+    Chip chip(cfg);
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixHandle a =
+        session.setMatrix(randomMatrix(8, 8, 0, 1, 538), 1, 0);
+    const MatrixHandle b =
+        session.setMatrix(randomMatrix(8, 8, 0, 1, 539), 1, 0);
+
+    // Capture the queue view the first time the hook fires, then
+    // fall back to the greedy order (out-of-range pick).
+    std::vector<QueuedRequest> seen;
+    rt.scheduler().setDequeueHook(
+        [&seen](const std::vector<QueuedRequest> &queue) {
+            if (seen.empty())
+                seen = queue;
+            return queue.size();
+        });
+
+    const MvmFuture fa = session.submit(a, std::vector<i64>(8, 1), 2);
+    (void)session.submit(b, std::vector<i64>(8, 1), 2, 0, {fa});
+    session.waitAll();
+
+    ASSERT_EQ(seen.size(), 2u);
+    // The dependency-free request is ready; the dependent one is not
+    // until its dependency executes.
+    EXPECT_TRUE(seen[0].ready);
+    EXPECT_FALSE(seen[1].ready);
+    // Both carry the KernelModel oracle latency of their shape.
+    KernelModel km(cfg.hct);
+    const Cycle oracle = km.mvm(MvmShape{8, 8, 1, 1, 2}).latency;
+    EXPECT_EQ(seen[0].oracleCost, oracle);
+    EXPECT_EQ(seen[1].oracleCost, oracle);
+}
+
 } // namespace
 } // namespace runtime
 } // namespace darth

@@ -189,6 +189,70 @@ TEST(ChipPool, ZeroChipsIsFatal)
     EXPECT_THROW(ChipPool pool(cfg), std::runtime_error);
 }
 
+/** Chip large enough for TinyCnn inference models. */
+PoolConfig
+inferencePoolConfig(std::size_t chips,
+                    PlacementPolicy placement,
+                    std::size_t hcts_per_chip = 3)
+{
+    PoolConfig cfg;
+    cfg.chip.hct.dce.numPipelines = 2;
+    cfg.chip.hct.dce.pipeline.depth = 32;
+    cfg.chip.hct.dce.pipeline.width = 32;
+    cfg.chip.hct.dce.pipeline.numRegs = 8;
+    cfg.chip.hct.ace.numArrays = 16;
+    cfg.chip.hct.ace.arrayRows = 64;
+    cfg.chip.hct.ace.arrayCols = 32;
+    cfg.chip.numHcts = hcts_per_chip;
+    cfg.numChips = chips;
+    cfg.placement = placement;
+    return cfg;
+}
+
+TEST(ChipPool, InferenceModelRunsWholeForward)
+{
+    ChipPool pool(
+        inferencePoolConfig(1, PlacementPolicy::LeastLoaded));
+    cnn::TinyCnn net(5);
+    const ModelRef model = pool.placeCnnInference(0, cnn::TinyCnn(5));
+    EXPECT_TRUE(pool.isInference(model));
+    EXPECT_EQ(pool.modelRows(model), net.inputSize());
+
+    const std::vector<i64> input(net.inputSize(), 3);
+    const InferenceOutcome outcome = pool.runInference(model, input);
+    EXPECT_EQ(outcome.values,
+              net.infer(net.inputFromFlat(input)));
+    EXPECT_EQ(outcome.mvms, 81u);
+    EXPECT_GT(outcome.done, outcome.start);
+}
+
+TEST(ChipPool, InferenceAffinitySharesNetworks)
+{
+    // Two tenants with one model key share the whole network's
+    // placements (and therefore its pipelined tiles); a third key
+    // places a fresh copy.
+    ChipPool pool(inferencePoolConfig(
+        2, PlacementPolicy::MatrixAffinity));
+    const ModelRef a = pool.placeCnnInference(77, cnn::TinyCnn(5));
+    const ModelRef b = pool.placeCnnInference(77, cnn::TinyCnn(5));
+    EXPECT_EQ(a, b);
+    const ModelRef c = pool.placeCnnInference(78, cnn::TinyCnn(6));
+    EXPECT_NE(a, c);
+    // A reused key with different weights is a configuration error.
+    EXPECT_THROW((void)pool.placeCnnInference(77, cnn::TinyCnn(9)),
+                 std::runtime_error);
+}
+
+TEST(ChipPool, SingleMvmCallsOnInferenceModelsAreFatal)
+{
+    ChipPool pool(
+        inferencePoolConfig(1, PlacementPolicy::LeastLoaded));
+    const ModelRef model = pool.placeCnnInference(0, cnn::TinyCnn(5));
+    EXPECT_THROW((void)pool.submit(model, std::vector<i64>(64, 0), 8),
+                 std::runtime_error);
+    EXPECT_THROW((void)pool.modelPlan(model), std::runtime_error);
+}
+
 } // namespace
 } // namespace serve
 } // namespace darth

@@ -29,6 +29,24 @@
  *                    report carries the chip schedulers' counters
  *                    (issues, same-matrix pipeline hits, dependency
  *                    stalls).
+ *  5. hetero       — the cluster-scale Fig. 17: SAR-only, ramp-only,
+ *                    and mixed (2+2) pools of iso-area chip specs
+ *                    (serve/ChipConfig) serve an
+ *                    AES/GF-wide/CNN/LLM single-MVM mix and a
+ *                    CnnInfer/LlmInfer inference mix under
+ *                    cost-aware placement, with per-chip windows
+ *                    (scaled to each chip's tile count) and
+ *                    per-chip stats in the JSON. The mixed pool is
+ *                    additionally run under round-robin placement:
+ *                    cost-aware must beat it on aggregate
+ *                    throughput (it keeps the narrow high-precision
+ *                    classes off the ramp chips and routes the wide
+ *                    GF(2) class onto them), the mixed pool must be
+ *                    at least as fast as the worst homogeneous
+ *                    pool, and the output checksum must be
+ *                    identical across every pool composition
+ *                    (functional results never depend on which
+ *                    chip serves a request).
  *
  * The self-checks are evaluated in every mode and failures are fatal
  * (non-zero exit), so CI's `serve_bench --smoke` enforces the
@@ -38,12 +56,15 @@
  *   $ ./serve_bench [--smoke]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "serve/Admission.h"
+#include "serve/ChipConfig.h"
 #include "serve/ChipPool.h"
 #include "serve/ServeStats.h"
 #include "serve/TrafficGen.h"
@@ -70,27 +91,47 @@ serveChip(std::size_t num_hcts)
     return cfg;
 }
 
-/** Oracle service latency of one kind on the serve chip (the same
- *  ChipPool helper the weighted-fair charge uses), cached per kind
- *  so the sweep cells do not rebuild throwaway pools. */
+/** Oracle service latency of one kind on one throwaway 1-chip pool
+ *  (the same ChipPool helper the weighted-fair charge uses), cached
+ *  in `cache` so the sweep cells do not rebuild pools. */
+Cycle
+cachedNominalLatency(std::map<WorkloadKind, Cycle> &cache,
+                     const PoolConfig &pool_cfg, WorkloadKind kind)
+{
+    const auto it = cache.find(kind);
+    if (it != cache.end())
+        return it->second;
+    TrafficGen gen(1);
+    ChipPool pool(pool_cfg);
+    const ModelRef model = pool.placeModel(
+        0, gen.weights(kind, 1), TrafficGen::elementBits(kind),
+        TrafficGen::bitsPerCell(kind), TrafficGen::inputBits(kind));
+    const Cycle cost = pool.nominalServiceCycles(
+        model, TrafficGen::inputBits(kind));
+    cache[kind] = cost;
+    return cost;
+}
+
+/** Nominal latency on the serve chip (experiments 1-4). */
 Cycle
 nominalLatency(WorkloadKind kind)
 {
-    static Cycle cache[4] = {0, 0, 0, 0};
-    Cycle &slot = cache[static_cast<std::size_t>(kind)];
-    if (slot == 0) {
-        TrafficGen gen(1);
-        PoolConfig pool_cfg;
-        pool_cfg.chip = serveChip(1);
-        pool_cfg.numChips = 1;
-        ChipPool pool(pool_cfg);
-        const ModelRef model = pool.placeModel(
-            0, gen.weights(kind, 1), TrafficGen::elementBits(kind),
-            TrafficGen::bitsPerCell(kind));
-        slot = pool.nominalServiceCycles(
-            model, TrafficGen::inputBits(kind));
-    }
-    return slot;
+    static std::map<WorkloadKind, Cycle> cache;
+    PoolConfig pool_cfg;
+    pool_cfg.chip = serveChip(1);
+    pool_cfg.numChips = 1;
+    return cachedNominalLatency(cache, pool_cfg, kind);
+}
+
+/** Nominal latency on the hetero SAR design point (load
+ *  calibration for the hetero experiment). */
+Cycle
+heteroNominalLatency(WorkloadKind kind)
+{
+    static std::map<WorkloadKind, Cycle> cache;
+    PoolConfig pool_cfg;
+    pool_cfg.chips = {heteroChipSpec(analog::AdcKind::Sar, 1)};
+    return cachedNominalLatency(cache, pool_cfg, kind);
 }
 
 /** Open-loop rate for a load factor relative to one tile's service
@@ -377,6 +418,136 @@ runInferenceSweep(Cycle horizon)
     return out;
 }
 
+// ---------------------------------------------------------------------------
+// Experiment 5: heterogeneous pools (the cluster-scale Fig. 17).
+// ---------------------------------------------------------------------------
+
+/** Per-tile SAR functional tiles of one hetero chip spec. */
+constexpr std::size_t kHeteroSarHcts = 8;
+
+struct HeteroCell
+{
+    double throughput = 0.0;
+    u64 checksum = 0;
+    /** Min completed over the cell's tenant classes. */
+    u64 minClassCompleted = 0;
+};
+
+/** The single-MVM hetero mix: interleaved SAR-favoring (AES, CNN,
+ *  LLM) and ramp-favoring (wide GF(2)) tenants, each offered ~1.5
+ *  tile-equivalents of load relative to the SAR design point. */
+std::vector<TenantSpec>
+heteroMvmSpecs()
+{
+    const std::vector<WorkloadKind> kinds = {
+        WorkloadKind::Cnn, WorkloadKind::GfWide, WorkloadKind::Llm,
+        WorkloadKind::Aes};
+    std::vector<TenantSpec> specs;
+    for (std::size_t copy = 0; copy < 2; ++copy)
+        for (const WorkloadKind kind : kinds) {
+            TenantSpec spec;
+            spec.name = std::string(workloadKindName(kind)) +
+                        std::to_string(copy);
+            spec.kind = kind;
+            spec.ratePerKcycle =
+                1.5 * 1000.0 /
+                static_cast<double>(heteroNominalLatency(kind));
+            specs.push_back(spec);
+        }
+    return specs;
+}
+
+/** The whole-inference hetero mix (same classes as experiment 4). */
+std::vector<TenantSpec>
+heteroInferenceSpecs()
+{
+    std::vector<TenantSpec> specs(2);
+    specs[0].name = "cnn_infer";
+    specs[0].kind = WorkloadKind::CnnInfer;
+    specs[0].weight = 4.0;
+    specs[0].ratePerKcycle = 0.1;
+    specs[1].name = "llm_infer";
+    specs[1].kind = WorkloadKind::LlmInfer;
+    specs[1].weight = 1.0;
+    specs[1].ratePerKcycle = 0.05;
+    return specs;
+}
+
+/** Run one hetero cell and print its JSON object. */
+HeteroCell
+runHeteroCell(const char *pool_name,
+              const std::vector<ChipSpec> &chip_specs,
+              PlacementPolicy policy, const char *mix_name,
+              const std::vector<TenantSpec> &specs, Cycle horizon,
+              bool first_cell)
+{
+    TrafficGen gen(5005);
+    PoolConfig pool_cfg;
+    pool_cfg.chips = chip_specs;
+    pool_cfg.placement = policy;
+    ChipPool pool(pool_cfg);
+
+    auto tenants = buildTenants(pool, gen, specs);
+    AdmissionConfig cfg;
+    // Per-chip ingest window scaled to the chip's tile count: a
+    // bigger chip carries a bigger front end.
+    cfg.chipQueueDepth.resize(pool.numChips());
+    for (std::size_t c = 0; c < pool.numChips(); ++c)
+        cfg.chipQueueDepth[c] =
+            std::max<std::size_t>(1, pool.chip(c).numHcts() / 2);
+    cfg.qos = QosPolicy::RoundRobin;
+    cfg.overflow = OverflowPolicy::Block;
+    AdmissionController ac(pool, tenants, cfg);
+    const ServeReport report = ac.run(gen.trace(specs, horizon));
+
+    std::printf("    %s{\"pool\": \"%s\", \"policy\": \"%s\", "
+                "\"mix\": \"%s\", \"completed\": %llu, "
+                "\"makespan\": %llu, "
+                "\"throughput_per_kcycle\": %.3f, "
+                "\"checksum\": \"0x%016llx\",\n",
+                first_cell ? "" : ",\n    ", pool_name,
+                placementPolicyName(policy), mix_name,
+                static_cast<unsigned long long>(report.completed),
+                static_cast<unsigned long long>(report.makespan),
+                report.throughputPerKcycle(),
+                static_cast<unsigned long long>(
+                    report.outputChecksum));
+    std::printf("     \"chips\": [\n");
+    for (std::size_t c = 0; c < report.chips.size(); ++c) {
+        const ChipStats &cs = report.chips[c];
+        std::printf("        {\"chip\": %zu, \"kind\": \"%s\", "
+                    "\"hcts\": %zu, \"window\": %zu, "
+                    "\"tenants\": %zu, \"completed\": %llu, "
+                    "\"mvms\": %llu, \"service_cycles\": %.0f, "
+                    "\"makespan\": %llu, \"utilization\": %.2f, "
+                    "\"throughput_per_kcycle\": %.3f}%s\n",
+                    c, cs.name.c_str(), cs.hcts, cs.windowDepth,
+                    cs.tenants,
+                    static_cast<unsigned long long>(cs.completed),
+                    static_cast<unsigned long long>(cs.mvms),
+                    cs.serviceCycles,
+                    static_cast<unsigned long long>(cs.makespan),
+                    cs.utilization(), cs.throughputPerKcycle(),
+                    c + 1 == report.chips.size() ? "" : ",");
+    }
+    std::printf("     ],\n     \"classes\": [\n");
+    for (std::size_t t = 0; t < report.tenants.size(); ++t)
+        printTenantJson(report.tenants[t],
+                        t + 1 == report.tenants.size());
+    std::printf("     ]}");
+
+    HeteroCell cell;
+    cell.throughput = report.throughputPerKcycle();
+    cell.checksum = report.outputChecksum;
+    cell.minClassCompleted = report.tenants.empty()
+                                 ? 0
+                                 : report.tenants[0].completed;
+    for (const TenantStats &t : report.tenants)
+        cell.minClassCompleted =
+            std::min(cell.minClassCompleted, t.completed);
+    return cell;
+}
+
 } // namespace
 
 int
@@ -453,6 +624,39 @@ main(int argc, char **argv)
         runInferenceSweep(infer_horizon);
     std::printf("  ],\n");
 
+    // Heterogeneous pools: SAR-only / ramp-only / mixed, cost-aware
+    // vs round-robin on the mixed pool (the cluster-scale Fig. 17).
+    const Cycle hetero_horizon = smoke ? 50000 : 200000;
+    const Cycle hetero_infer_horizon = smoke ? 60000 : 200000;
+    const auto sar_pool = heteroPoolSpecs(4, 0, kHeteroSarHcts);
+    const auto ramp_pool = heteroPoolSpecs(0, 4, kHeteroSarHcts);
+    const auto mixed_pool = heteroPoolSpecs(2, 2, kHeteroSarHcts);
+    const auto mvm_specs = heteroMvmSpecs();
+    const auto infer_specs = heteroInferenceSpecs();
+    std::printf("  \"hetero\": [\n");
+    const HeteroCell h_sar = runHeteroCell(
+        "sar_only", sar_pool, PlacementPolicy::CostAware, "mvm",
+        mvm_specs, hetero_horizon, true);
+    const HeteroCell h_ramp = runHeteroCell(
+        "ramp_only", ramp_pool, PlacementPolicy::CostAware, "mvm",
+        mvm_specs, hetero_horizon, false);
+    const HeteroCell h_mixed = runHeteroCell(
+        "mixed", mixed_pool, PlacementPolicy::CostAware, "mvm",
+        mvm_specs, hetero_horizon, false);
+    const HeteroCell h_mixed_rr = runHeteroCell(
+        "mixed", mixed_pool, PlacementPolicy::RoundRobin, "mvm",
+        mvm_specs, hetero_horizon, false);
+    const HeteroCell hi_sar = runHeteroCell(
+        "sar_only", sar_pool, PlacementPolicy::CostAware,
+        "inference", infer_specs, hetero_infer_horizon, false);
+    const HeteroCell hi_ramp = runHeteroCell(
+        "ramp_only", ramp_pool, PlacementPolicy::CostAware,
+        "inference", infer_specs, hetero_infer_horizon, false);
+    const HeteroCell hi_mixed = runHeteroCell(
+        "mixed", mixed_pool, PlacementPolicy::CostAware, "inference",
+        infer_specs, hetero_infer_horizon, false);
+    std::printf("\n  ],\n");
+
     // Self-checks (the acceptance criteria).
     std::vector<Check> checks;
     checks.push_back({"scaling_speedup_4chip", best_speedup,
@@ -485,6 +689,41 @@ main(int argc, char **argv)
     const bool infer_ordered = infer.cnnP50 < infer.llmP50;
     checks.push_back({"inference_latency_ordering",
                       infer_ordered ? 1.0 : 0.0, infer_ordered});
+    // Heterogeneous pools. Functional outputs are chip-independent,
+    // so under Block admission every pool composition and placement
+    // policy must reproduce the same output checksum for one trace.
+    const bool hetero_checksum =
+        h_sar.checksum == h_ramp.checksum &&
+        h_sar.checksum == h_mixed.checksum &&
+        h_sar.checksum == h_mixed_rr.checksum;
+    checks.push_back({"hetero_checksum_invariant",
+                      hetero_checksum ? 1.0 : 0.0, hetero_checksum});
+    // A mixed pool under cost-aware placement must never be worse
+    // than the worst homogeneous pool on the same traffic...
+    const double worst_homog =
+        std::min(h_sar.throughput, h_ramp.throughput);
+    checks.push_back({"hetero_mixed_vs_worst_homog",
+                      worst_homog > 0.0
+                          ? h_mixed.throughput / worst_homog
+                          : 0.0,
+                      h_mixed.throughput >= worst_homog});
+    // ...and cost-aware must beat chip-shape-blind round-robin on
+    // the mixed pool (it keeps CNN/LLM off the slow-for-them ramp
+    // chips and routes the wide GF(2) class onto them).
+    checks.push_back({"hetero_cost_aware_beats_round_robin",
+                      h_mixed_rr.throughput > 0.0
+                          ? h_mixed.throughput /
+                                h_mixed_rr.throughput
+                          : 0.0,
+                      h_mixed.throughput >=
+                          1.2 * h_mixed_rr.throughput});
+    // Every pool composition keeps both inference classes moving.
+    const u64 infer_min = std::min(
+        {hi_sar.minClassCompleted, hi_ramp.minClassCompleted,
+         hi_mixed.minClassCompleted});
+    checks.push_back({"hetero_inference_progress",
+                      static_cast<double>(infer_min),
+                      infer_min >= 2});
 
     std::printf("  \"checks\": [\n");
     bool all_ok = true;

@@ -62,6 +62,26 @@ Ace::setMatrix(const MatrixI &m, int element_bits, int bits_per_cell)
     rowsPerGroup_ = std::min(rowsPerGroup_, rowsPerTile_);
     rowGroups_ = (rowsPerTile_ + rowsPerGroup_ - 1) / rowsPerGroup_;
 
+    // Ramp sweep length for this operating point. An explicit
+    // rampStates wins; otherwise auto-termination sweeps only the
+    // ±rowsPerGroup·max_cell codes a group can reach. Derived from
+    // the operating point alone (never the programmed data), so the
+    // KernelModel oracle measured on a scratch tile matches the
+    // serving tiles exactly.
+    rampSweepStates_ = 0;
+    if (cfg_.adc.kind == AdcKind::Ramp) {
+        if (cfg_.rampStates != 0) {
+            rampSweepStates_ = cfg_.rampStates;
+        } else if (cfg_.rampAutoTerminate) {
+            const Cycle range =
+                2 * static_cast<Cycle>(rowsPerGroup_) *
+                    static_cast<Cycle>(max_cell) +
+                1;
+            rampSweepStates_ =
+                std::min(range, cfg_.adc.rampFullLatency);
+        }
+    }
+
     reprogramAll();
 }
 
@@ -207,7 +227,7 @@ Ace::execMvm(const std::vector<i64> &x, int input_bits, Cycle start)
                         conv_start +
                         adc_.conversionLatency(matrix_.cols(),
                                                cfg_.numAdcs,
-                                               cfg_.rampStates);
+                                               rampSweepStates_);
                     adc_free = conv_done;
                     pp.convStart = conv_start;
                     pp.readyAt = conv_done;
@@ -215,7 +235,7 @@ Ace::execMvm(const std::vector<i64> &x, int input_bits, Cycle start)
                         tally_->add("ace.adc", conv_done - conv_start,
                                     adc_.conversionEnergy(
                                         matrix_.cols(), cfg_.numAdcs,
-                                        cfg_.rampStates));
+                                        rampSweepStates_));
                     (void)any_active;
                     stream.push_back(std::move(pp));
                 }

@@ -49,6 +49,18 @@ struct AceConfig
     std::size_t numAdcs = 2;
     /** Early-termination reference states for ramp ADCs (0 = full). */
     Cycle rampStates = 0;
+    /**
+     * Derive the ramp sweep length from the operating point instead
+     * of sweeping the full code range: a row group of `rowsPerGroup`
+     * cells of at most `2^bits_per_cell - 1` can only produce codes
+     * in ±rowsPerGroup·max_cell, so the reference ramp terminates
+     * after covering that range (the §5.3 early-exit generalized from
+     * AES to any operating point). Shape- and config-derived only —
+     * never data-dependent — so the KernelModel oracle and the
+     * functional tiles agree. Ignored for SAR ADCs and when
+     * `rampStates` is set explicitly.
+     */
+    bool rampAutoTerminate = false;
     /** Cycles to drive the wordlines with one input bit plane. */
     Cycle dacApplyCycles = 1;
     /** Array settle + sample-and-hold capture, cycles. */
@@ -118,6 +130,14 @@ class Ace
     std::size_t rowGroups() const { return rowGroups_; }
 
     /**
+     * Reference states one ramp sweep covers for the programmed
+     * operating point: the explicit `rampStates` override if set,
+     * else the ±rowsPerGroup·max_cell range when `rampAutoTerminate`,
+     * else 0 (full sweep). 0 for SAR ADCs and before setMatrix().
+     */
+    Cycle rampSweepStates() const { return rampSweepStates_; }
+
+    /**
      * Bit-serial MVM: returns the partial-product stream, ordered by
      * readyAt. The caller (HCT) reduces it in the DCE.
      *
@@ -155,6 +175,8 @@ class Ace
     std::size_t colsPerTile_ = 0;
     std::size_t rowGroups_ = 1;
     std::size_t rowsPerGroup_ = 0;
+    /** Effective ramp sweep length (see rampSweepStates()). */
+    Cycle rampSweepStates_ = 0;
     std::vector<std::unique_ptr<Crossbar>> xbars_;
     Adc adc_;
 };

@@ -168,6 +168,19 @@ class Pipeline
     /** Cycle at which the whole pipeline drains (max stage time). */
     Cycle drainTime() const;
 
+    /**
+     * Overwrite every stage's free time (both directions) — the
+     * pipeline-side analogue of Arbiter::rebase. KernelModel uses it
+     * to time each measured shape from cycle 0 on the reused scratch
+     * tile instead of behind the previous measurement's stages.
+     */
+    void
+    rebase(Cycle when)
+    {
+        for (auto &stage : stageFree_)
+            stage = when;
+    }
+
     /** Total in-array primitive ops executed so far. */
     u64 opCount() const { return opCount_; }
 

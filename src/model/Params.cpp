@@ -55,6 +55,26 @@ ChipModel::hctCount() const
     return area.isoAreaHctCount(adc, geometry.numAdcs(adc));
 }
 
+std::size_t
+isoAreaScaledHcts(analog::AdcKind adc, std::size_t sar_hcts)
+{
+    if (sar_hcts == 0)
+        darth_fatal("isoAreaScaledHcts: sar_hcts must be positive");
+    if (adc == analog::AdcKind::Sar)
+        return sar_hcts;
+    // The slot's area budget is what sar_hcts SAR tiles occupy; the
+    // other ADC kind fills it with as many (bigger) tiles as fit —
+    // the same floor isoAreaHctCount applies to the full die.
+    HctGeometry geometry;
+    AreaModel area;
+    const SquareMicron budget =
+        static_cast<double>(sar_hcts) *
+        area.hctArea(analog::AdcKind::Sar,
+                     geometry.numAdcs(analog::AdcKind::Sar));
+    return std::max<std::size_t>(
+        1, area.isoAreaHctCount(adc, geometry.numAdcs(adc), budget));
+}
+
 double
 ChipModel::capacityBytes() const
 {

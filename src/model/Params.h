@@ -149,6 +149,19 @@ struct ChipModel
     double capacityBytes() const;
 };
 
+/**
+ * Functional tile count for `adc` at iso-area with a SAR chip of
+ * `sar_hcts` functionally instantiated tiles: the Fig. 17 iso-area
+ * derivation scaled down to a simulable chip. The slot's area
+ * budget is what `sar_hcts` SAR tiles occupy (Table 3 areas); the
+ * other ADC kind packs as many of its bigger tiles as fit that
+ * budget — so a ramp chip carries fewer tiles, exactly as the
+ * full-die 1860-SAR-class vs 1660-ramp-class counts do. Never
+ * returns 0.
+ */
+std::size_t isoAreaScaledHcts(analog::AdcKind adc,
+                              std::size_t sar_hcts);
+
 } // namespace model
 } // namespace darth
 

@@ -57,6 +57,15 @@ KernelModel::mvm(const MvmShape &shape)
     hctTally_.clear();
     hct.setMatrix(m, shape.elementBits, shape.bitsPerCell);
     const PicoJoule program_energy = hctTally_.totalEnergy();
+    // The scratch tile is reused across measured shapes; rebase its
+    // arbiter and DCE stage clocks so this shape is timed from cycle
+    // 0 instead of behind the previous measurement. Without this the
+    // cached latency of a shape depends on which shapes were
+    // measured before it — and order-dependent oracle costs would
+    // skew both the WFQ charge and cost-aware placement.
+    hct.arbiter().rebase(0);
+    for (std::size_t p = 0; p < hct.dce().numPipelines(); ++p)
+        hct.dce().pipeline(p).rebase(0);
 
     const Cycle adc_before = hctTally_.get("ace.adc").cycles;
     const u64 dce_before = hctTally_.get("dce.boolop").events;

@@ -73,7 +73,8 @@ buildTenants(ChipPool &pool, const TrafficGen &gen,
             tenant.model = pool.placeModel(
                 spec.modelKey, gen.weights(spec.kind, weight_key),
                 TrafficGen::elementBits(spec.kind),
-                TrafficGen::bitsPerCell(spec.kind));
+                TrafficGen::bitsPerCell(spec.kind),
+                TrafficGen::inputBits(spec.kind));
             break;
         }
         tenant.inputBits = TrafficGen::inputBits(spec.kind);
@@ -90,6 +91,35 @@ AdmissionController::AdmissionController(ChipPool &pool,
     if (cfg.queueDepth == 0)
         throw std::invalid_argument(
             "AdmissionController: queueDepth must be at least 1");
+    if (!cfg.chipQueueDepth.empty()) {
+        if (cfg.chipQueueDepth.size() != pool.numChips())
+            throw std::invalid_argument(
+                "AdmissionController: chipQueueDepth has " +
+                std::to_string(cfg.chipQueueDepth.size()) +
+                " entries but the pool has " +
+                std::to_string(pool.numChips()) + " chips");
+        for (std::size_t c = 0; c < cfg.chipQueueDepth.size(); ++c)
+            if (cfg.chipQueueDepth[c] == 0)
+                throw std::invalid_argument(
+                    "AdmissionController: chipQueueDepth[" +
+                    std::to_string(c) + "] must be at least 1");
+    }
+    // Aggregate report statistics (makespan, throughput per
+    // kilocycle, cross-chip latency comparisons) are cycle counts
+    // compared across chips, which is only meaningful when every
+    // chip ticks at the same rate. ChipSpec::clockGHz feeds the
+    // pool's placement scoring; admission-level aggregation of
+    // mixed-clock pools would need wall-clock traces first (see
+    // ROADMAP) and is rejected until it does.
+    for (std::size_t c = 1; c < pool.numChips(); ++c)
+        if (pool.spec(c).clockGHz != pool.spec(0).clockGHz)
+            throw std::invalid_argument(
+                "AdmissionController: chips " + std::to_string(c) +
+                " and 0 run at different clocks (" +
+                std::to_string(pool.spec(c).clockGHz) + " vs " +
+                std::to_string(pool.spec(0).clockGHz) +
+                " GHz); aggregate cycle statistics would compare "
+                "incomparable time domains");
     for (const Tenant &t : tenants_) {
         if (t.weight <= 0.0)
             throw std::invalid_argument(
@@ -118,7 +148,20 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         report.tenants[t].name = tenants_[t].name;
         report.tenants[t].weight = tenants_[t].weight;
     }
-    report.chipMakespan.assign(num_chips, 0);
+    // Per-chip submission window: uniform queueDepth unless the
+    // config names one depth per slot.
+    auto depthFor = [&](std::size_t c) {
+        return cfg_.chipQueueDepth.empty() ? cfg_.queueDepth
+                                           : cfg_.chipQueueDepth[c];
+    };
+    report.chips.resize(num_chips);
+    for (std::size_t c = 0; c < num_chips; ++c) {
+        ChipStats &cs = report.chips[c];
+        cs.name = pool_.spec(c).name;
+        cs.hcts = pool_.chip(c).numHcts();
+        cs.clockGHz = pool_.spec(c).clockGHz;
+        cs.windowDepth = depthFor(c);
+    }
     // Outputs are kept for the whole run so the checksum can be
     // computed in trace order (stable across pool sizes/policies),
     // then dropped unless the caller asked for them.
@@ -160,6 +203,8 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         tenantChip[t] = pool_.modelChip(tenants_[t].model);
         chips[tenantChip[t]].tenants.push_back(t);
     }
+    for (std::size_t c = 0; c < num_chips; ++c)
+        report.chips[c].tenants = chips[c].tenants.size();
 
     // Weighted-fair accounting is start-time fair queueing: each
     // admission of tenant t gets a start tag S = max(chip virtual
@@ -219,8 +264,11 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
 
         report.completed += 1;
         report.makespan = std::max(report.makespan, done);
-        report.chipMakespan[c] = std::max(report.chipMakespan[c],
-                                          done);
+        ChipStats &chip_stats = report.chips[c];
+        chip_stats.completed += 1;
+        chip_stats.mvms += mvms;
+        chip_stats.serviceCycles += static_cast<double>(done - start);
+        chip_stats.makespan = std::max(chip_stats.makespan, done);
         cs.occupied.push(done);
         report.outputs[pending.reqIdx] = std::move(values);
     };
@@ -230,7 +278,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     auto acquireSlot =
         [&](std::size_t c, Cycle up_to) -> std::optional<Cycle> {
         ChipState &cs = chips[c];
-        if (inflight(cs) < cfg_.queueDepth)
+        if (inflight(cs) < depthFor(c))
             return Cycle{0};
         // Window full: the earliest completion frees the next slot.
         // Materialize the whole submission queue so the earliest

@@ -3,10 +3,12 @@
  * QoS-aware admission control with per-chip backpressure.
  *
  * The AdmissionController is the serving front end above a ChipPool.
- * Each chip has a bounded submission window of `queueDepth` requests
- * in flight (admitted but not yet complete) — the model of a front
- * end with finite ingest bandwidth. When a request arrives and its
- * chip's window is full, the overflow policy decides:
+ * Each chip has a bounded submission window of requests in flight
+ * (admitted but not yet complete) — the model of a front end with
+ * finite ingest bandwidth. The window is per-chip: `queueDepth`
+ * uniformly, or `chipQueueDepth[c]` per slot for heterogeneous
+ * pools. When a request arrives and its chip's window is full, the
+ * overflow policy decides:
  *
  *  - Block  — the client stalls in a per-tenant waiting room and is
  *             admitted the cycle a slot frees (never dropped);
@@ -81,8 +83,16 @@ const char *overflowPolicyName(OverflowPolicy policy);
 /** Admission-layer configuration. */
 struct AdmissionConfig
 {
-    /** Per-chip submission window (in-flight requests); >= 1. */
+    /** Uniform per-chip submission window (in-flight requests);
+     *  >= 1. Overridden per chip by `chipQueueDepth` when set. */
     std::size_t queueDepth = 8;
+    /**
+     * Heterogeneous windows: chipQueueDepth[c] is chip c's
+     * submission window (a bigger front end ingests more). Must be
+     * empty (uniform `queueDepth` everywhere) or have one positive
+     * entry per pool chip.
+     */
+    std::vector<std::size_t> chipQueueDepth;
     QosPolicy qos = QosPolicy::Fifo;
     OverflowPolicy overflow = OverflowPolicy::Block;
     /** Keep every request's output vector in the report. */
@@ -111,9 +121,11 @@ std::vector<Tenant> buildTenants(ChipPool &pool, const TrafficGen &gen,
 class AdmissionController
 {
   public:
-    /** Throws std::invalid_argument on queueDepth == 0 or a tenant
-     *  with a non-positive weight; a tenant naming a model that does
-     *  not exist in the pool is a panic (programming error). */
+    /** Throws std::invalid_argument on a zero window depth, a
+     *  chipQueueDepth whose length is neither 0 nor the pool's chip
+     *  count, or a tenant with a non-positive weight; a tenant
+     *  naming a model that does not exist in the pool is a panic
+     *  (programming error). */
     AdmissionController(ChipPool &pool, std::vector<Tenant> tenants,
                         const AdmissionConfig &cfg);
 

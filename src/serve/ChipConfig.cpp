@@ -1,0 +1,77 @@
+#include "serve/ChipConfig.h"
+
+#include "common/Logging.h"
+
+namespace darth
+{
+namespace serve
+{
+
+ChipSpec
+heteroChipSpec(analog::AdcKind adc, std::size_t sar_hcts,
+               double clock_ghz)
+{
+    if (sar_hcts == 0)
+        darth_fatal("heteroChipSpec: sar_hcts must be positive");
+    if (clock_ghz <= 0.0)
+        darth_fatal("heteroChipSpec: clock must be positive, got ",
+                    clock_ghz);
+
+    ChipSpec spec;
+    spec.name = adc == analog::AdcKind::Sar ? "sar" : "ramp";
+    spec.clockGHz = clock_ghz;
+
+    // The serve-bench tile scaled for wide shapes: 8 pipelines of
+    // 32x32 cover up to 256 output columns per matrix, and 16 analog
+    // arrays of 64x32 fit every TrafficGen kind (the 64x64 LLM
+    // projection uses all 16).
+    runtime::ChipConfig &cfg = spec.chip;
+    cfg.hct.dce.numPipelines = 8;
+    cfg.hct.dce.pipeline.depth = 32;
+    cfg.hct.dce.pipeline.width = 32;
+    cfg.hct.dce.pipeline.numRegs = 8;
+    cfg.hct.ace.numArrays = 16;
+    cfg.hct.ace.arrayRows = 64;
+    cfg.hct.ace.arrayCols = 32;
+
+    cfg.hct.ace.adc.kind = adc;
+    if (adc == analog::AdcKind::Sar) {
+        // Table 2's literal converter count: 2 SAR ADCs multiplex
+        // the columns (the full-size chip's 8-converter rate-match
+        // argument is about its 8 B/cycle network, not this
+        // scaled-down serving tile).
+        cfg.hct.ace.numAdcs = 2;
+    } else {
+        cfg.hct.ace.numAdcs = 1;
+        // Sweep only the codes the programmed operating point can
+        // reach (matrix-independent, so oracle == silicon).
+        cfg.hct.ace.rampAutoTerminate = true;
+    }
+
+    cfg.numHcts = model::isoAreaScaledHcts(adc, sar_hcts);
+    // Throughput studies scale by the full iso-area chip (Table 3).
+    model::ChipModel full;
+    full.adc = adc;
+    cfg.modeledHcts = full.hctCount();
+    return spec;
+}
+
+std::vector<ChipSpec>
+heteroPoolSpecs(std::size_t num_sar, std::size_t num_ramp,
+                std::size_t sar_hcts)
+{
+    if (num_sar + num_ramp == 0)
+        darth_fatal("heteroPoolSpecs: pool needs at least one chip");
+    std::vector<ChipSpec> specs;
+    specs.reserve(num_sar + num_ramp);
+    for (std::size_t i = 0; i < num_sar; ++i)
+        specs.push_back(
+            heteroChipSpec(analog::AdcKind::Sar, sar_hcts));
+    for (std::size_t i = 0; i < num_ramp; ++i)
+        specs.push_back(
+            heteroChipSpec(analog::AdcKind::Ramp, sar_hcts));
+    return specs;
+}
+
+} // namespace serve
+} // namespace darth

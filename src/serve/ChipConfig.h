@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Per-slot chip configuration for heterogeneous serving pools.
+ *
+ * A ChipSpec names one pool slot's silicon: the runtime ChipConfig
+ * that slot instantiates (ADC kind, tile count, ACE/DCE geometry)
+ * plus the clock the serving layer uses to compare costs across
+ * chips. The factory derives iso-area SAR/ramp design points from
+ * model/Params — the paper's Fig. 17 single-chip ADC study (1860 SAR
+ * vs 1660 ramp tiles in the 2.57 cm^2 budget) scaled down to a
+ * simulable serving chip, so a mixed pool carries the real tradeoff:
+ *
+ *  - SAR chips convert one bitline per ADC per cycle (Table 2's two
+ *    converters multiplex the columns), are smaller, and therefore
+ *    pack more tiles per chip;
+ *  - ramp chips convert *every* column in one shared reference sweep
+ *    whose length auto-terminates at the operating point's reachable
+ *    code range (AceConfig::rampAutoTerminate, the §5.3 early-exit
+ *    generalized) — cheaper for wide low-precision shapes, far more
+ *    expensive for narrow high-precision ones — and pay the bigger
+ *    ADC with fewer tiles per chip.
+ *
+ * ChipPool's cost-aware placement scores a tenant's shape on each
+ * slot's configuration through that chip's own KernelModel, so these
+ * specs are what turns the Fig. 17 sweep into a cluster-scale
+ * placement problem.
+ */
+
+#ifndef DARTH_SERVE_CHIPCONFIG_H
+#define DARTH_SERVE_CHIPCONFIG_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analog/Adc.h"
+#include "model/Params.h"
+#include "runtime/Chip.h"
+
+namespace darth
+{
+namespace serve
+{
+
+/** One pool slot's silicon. */
+struct ChipSpec
+{
+    /** Short label for stats/JSON ("sar", "ramp", ...). */
+    std::string name = "chip";
+    /** The runtime configuration this slot instantiates. */
+    runtime::ChipConfig chip;
+    /**
+     * Clock of this chip in GHz. Chips are independent simulated
+     * time domains; the serving layer divides oracle cycle counts by
+     * the clock when comparing placement costs across chips, and
+     * reports it in the per-chip stats. Timing *within* a chip stays
+     * in that chip's cycles.
+     */
+    double clockGHz = model::kClockGHz;
+
+    analog::AdcKind adcKind() const { return chip.hct.ace.adc.kind; }
+};
+
+/**
+ * The serving design point for one ADC kind: the serve-bench chip
+ * geometry (scaled-down Table 2 tiles) with the kind's converter
+ * arrangement — SAR: 2 multiplexed 1-cycle converters per tile
+ * (Table 2); ramp: 1 shared sweep over all columns with
+ * range-derived early termination — and an iso-area tile count:
+ * SAR chips get `sar_hcts` tiles, ramp chips the
+ * model::isoAreaScaledHcts equivalent (fewer — the ramp ADC is
+ * bigger). `sar_hcts` must be positive.
+ */
+ChipSpec heteroChipSpec(analog::AdcKind adc, std::size_t sar_hcts,
+                        double clock_ghz = model::kClockGHz);
+
+/**
+ * A pool composition of `num_sar` SAR slots followed by `num_ramp`
+ * ramp slots, all at the heteroChipSpec design points (at least one
+ * slot total).
+ */
+std::vector<ChipSpec> heteroPoolSpecs(std::size_t num_sar,
+                                      std::size_t num_ramp,
+                                      std::size_t sar_hcts);
+
+} // namespace serve
+} // namespace darth
+
+#endif // DARTH_SERVE_CHIPCONFIG_H

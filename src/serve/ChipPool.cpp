@@ -20,24 +20,73 @@ placementPolicyName(PlacementPolicy policy)
         return "least_loaded";
       case PlacementPolicy::MatrixAffinity:
         return "matrix_affinity";
+      case PlacementPolicy::CostAware:
+        return "cost_aware";
     }
     darth_panic("placementPolicyName: unknown policy");
 }
 
+namespace
+{
+
+/** Policies that share placements by non-zero model key. */
+bool
+sharesByKey(PlacementPolicy policy)
+{
+    return policy == PlacementPolicy::MatrixAffinity ||
+           policy == PlacementPolicy::CostAware;
+}
+
+} // namespace
+
 ChipPool::ChipPool(const PoolConfig &cfg) : cfg_(cfg)
 {
-    if (cfg.numChips == 0)
-        darth_fatal("ChipPool: numChips must be at least 1");
-    chips_.reserve(cfg.numChips);
-    runtimes_.reserve(cfg.numChips);
-    sessions_.reserve(cfg.numChips);
-    for (std::size_t i = 0; i < cfg.numChips; ++i) {
-        chips_.push_back(
-            std::make_unique<runtime::Chip>(cfg.chip, cfg.seed + i));
+    if (cfg.chips.empty()) {
+        if (cfg.numChips == 0)
+            darth_fatal("ChipPool: numChips must be at least 1");
+        specs_.assign(cfg.numChips, ChipSpec{});
+        for (auto &spec : specs_)
+            spec.chip = cfg.chip;
+        uniform_ = true;
+    } else {
+        specs_ = cfg.chips;
+        for (const ChipSpec &spec : specs_)
+            if (spec.clockGHz <= 0.0)
+                darth_fatal("ChipPool: chip '", spec.name,
+                            "' has non-positive clock ",
+                            spec.clockGHz);
+    }
+    const std::size_t n = specs_.size();
+    chips_.reserve(n);
+    runtimes_.reserve(n);
+    sessions_.reserve(n);
+    cnnMappers_.resize(n);
+    llmMappers_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        chips_.push_back(std::make_unique<runtime::Chip>(
+            specs_[i].chip, cfg.seed + i));
         runtimes_.push_back(
             std::make_unique<runtime::Runtime>(*chips_.back()));
         sessions_.push_back(runtimes_.back()->createSession());
     }
+}
+
+const ChipSpec &
+ChipPool::spec(std::size_t i) const
+{
+    if (i >= specs_.size())
+        darth_panic("ChipPool::spec: chip ", i, " out of range ",
+                    specs_.size());
+    return specs_[i];
+}
+
+bool
+ChipPool::heterogeneous() const
+{
+    for (const ChipSpec &s : specs_)
+        if (s.name != specs_.front().name)
+            return true;
+    return false;
 }
 
 runtime::Chip &
@@ -58,18 +107,83 @@ ChipPool::runtime(std::size_t i)
     return *runtimes_[i];
 }
 
+bool
+ChipPool::lessLoaded(std::size_t a, std::size_t b) const
+{
+    const std::size_t free_a = runtimes_[a]->freeHcts();
+    const std::size_t free_b = runtimes_[b]->freeHcts();
+    if (free_a != free_b)
+        return free_a > free_b;
+    const Cycle make_a = runtimes_[a]->scheduler().makespan();
+    const Cycle make_b = runtimes_[b]->scheduler().makespan();
+    if (make_a != make_b)
+        return make_a < make_b;
+    return a < b;
+}
+
+ChipPool::PlacementQuote
+ChipPool::quoteChips(
+    const std::function<std::pair<std::size_t, double>(std::size_t)>
+        &per_chip)
+{
+    PlacementQuote quote(chips_.size());
+    for (std::size_t c = 0; c < chips_.size(); ++c) {
+        if (uniform_ && c > 0) {
+            // Identical silicon by construction: one plan (and one
+            // deterministic oracle measurement) covers every slot.
+            quote.parts[c] = quote.parts[0];
+            quote.score[c] = quote.score[0];
+            quote.why[c] = quote.why[0];
+            continue;
+        }
+        try {
+            const auto quoted = per_chip(c);
+            quote.parts[c] = quoted.first;
+            quote.score[c] = quoted.second;
+        } catch (const std::exception &e) {
+            // This chip's silicon cannot map the shape; exclude it
+            // but keep the reason for the no-chip-fits diagnostic.
+            quote.why[c] = e.what();
+        }
+    }
+    return quote;
+}
+
 std::size_t
-ChipPool::pickChip(std::size_t parts)
+ChipPool::pickChip(const PlacementQuote &quote, const char *what)
 {
     const std::size_t n = chips_.size();
+    auto fits = [&](std::size_t c) {
+        return quote.parts[c] != kUnplaceable &&
+               runtimes_[c]->freeHcts() >= quote.parts[c];
+    };
+
     if (cfg_.placement == PlacementPolicy::RoundRobin) {
         for (std::size_t scanned = 0; scanned < n; ++scanned) {
             const std::size_t c = (rrCursor_ + scanned) % n;
-            if (runtimes_[c]->freeHcts() >= parts) {
+            if (fits(c)) {
                 rrCursor_ = (c + 1) % n;
                 return c;
             }
         }
+    } else if (cfg_.placement == PlacementPolicy::CostAware) {
+        // Cheapest oracle cost for this shape on that chip's
+        // silicon; equal-cost chips (identical specs, typically)
+        // fall back to the least-loaded order.
+        bool found = false;
+        std::size_t best = 0;
+        for (std::size_t c = 0; c < n; ++c) {
+            if (!fits(c))
+                continue;
+            if (!found || quote.score[c] < quote.score[best] ||
+                (quote.score[c] == quote.score[best] &&
+                 lessLoaded(c, best))) {
+                found = true;
+                best = c;
+            }
+        }
+        if (found)
+            return best;
     } else {
         // LeastLoaded (also the MatrixAffinity fallback for keys the
         // pool has not seen): most free tiles, then the chip whose
@@ -77,28 +191,36 @@ ChipPool::pickChip(std::size_t parts)
         bool found = false;
         std::size_t best = 0;
         for (std::size_t c = 0; c < n; ++c) {
-            const std::size_t free = runtimes_[c]->freeHcts();
-            if (free < parts)
+            if (!fits(c))
                 continue;
-            if (!found) {
+            if (!found || lessLoaded(c, best)) {
                 found = true;
                 best = c;
-                continue;
             }
-            const std::size_t best_free = runtimes_[best]->freeHcts();
-            if (free > best_free ||
-                (free == best_free &&
-                 runtimes_[c]->scheduler().makespan() <
-                     runtimes_[best]->scheduler().makespan()))
-                best = c;
         }
         if (found)
             return best;
     }
-    darth_fatal("ChipPool::placeModel: no chip has ", parts,
-                " free HCTs (", chips_.size(), " chips of ",
-                chips_[0]->numHcts(),
-                " tiles); grow the pool or release models");
+    // Nothing fits: report each chip's quote (tiles needed vs free,
+    // or why the shape could not even be planned there) so a
+    // swallowed planning error is not mistaken for exhaustion.
+    std::string detail;
+    for (std::size_t c = 0; c < n; ++c) {
+        detail += " [" + specs_[c].name + std::to_string(c) + ": ";
+        if (quote.parts[c] == kUnplaceable)
+            detail += "unplaceable (" +
+                      (quote.why[c].empty() ? std::string("no plan")
+                                            : quote.why[c]) +
+                      ")";
+        else
+            detail += "needs " + std::to_string(quote.parts[c]) +
+                      " of " +
+                      std::to_string(runtimes_[c]->freeHcts()) +
+                      " free tiles";
+        detail += "]";
+    }
+    darth_fatal(what, ": no chip can take the placement;", detail,
+                " — grow the pool or release models");
 }
 
 namespace
@@ -120,31 +242,55 @@ sameMatrix(const MatrixI &a, const MatrixI &b)
 } // namespace
 
 cnn::CnnMapper &
-ChipPool::cnnMapper()
+ChipPool::cnnMapper(std::size_t chip)
 {
-    if (!cnnMapper_)
-        cnnMapper_ = std::make_unique<cnn::CnnMapper>(cfg_.chip.hct);
-    return *cnnMapper_;
+    if (!cnnMappers_[chip])
+        cnnMappers_[chip] = std::make_unique<cnn::CnnMapper>(
+            specs_[chip].chip.hct);
+    return *cnnMappers_[chip];
 }
 
 llm::LlmMapper &
-ChipPool::llmMapper()
+ChipPool::llmMapper(std::size_t chip)
 {
     // 12-bit activations: encoder add-norm outputs are integer
     // LayerNorm values (up to ~64 * sqrt(dModel)), which overflow
     // the int8 range the single-MVM kinds use.
-    if (!llmMapper_)
-        llmMapper_ = std::make_unique<llm::LlmMapper>(
-            cfg_.chip.hct, /*element_bits=*/8, /*bits_per_cell=*/2,
-            /*input_bits=*/12);
-    return *llmMapper_;
+    if (!llmMappers_[chip])
+        llmMappers_[chip] = std::make_unique<llm::LlmMapper>(
+            specs_[chip].chip.hct, /*element_bits=*/8,
+            /*bits_per_cell=*/2, /*input_bits=*/12);
+    return *llmMappers_[chip];
+}
+
+double
+ChipPool::scoreFor(std::size_t chip, const runtime::MatrixPlan &plan,
+                   int input_bits)
+{
+    const Cycle cost =
+        runtimes_[chip]->scheduler().oracleCost(plan, input_bits);
+    return static_cast<double>(cost) / specs_[chip].clockGHz;
+}
+
+double
+ChipPool::placementScore(std::size_t chip, std::size_t rows,
+                         std::size_t cols, int element_bits,
+                         int bits_per_cell, int input_bits)
+{
+    if (chip >= chips_.size())
+        darth_panic("ChipPool::placementScore: chip ", chip,
+                    " out of range ", chips_.size());
+    const auto plan = runtime::Runtime::planMatrix(
+        specs_[chip].chip.hct, rows, cols, element_bits,
+        bits_per_cell);
+    return scoreFor(chip, plan, input_bits);
 }
 
 ModelRef
 ChipPool::placeModel(u64 key, const MatrixI &m, int element_bits,
-                     int bits_per_cell)
+                     int bits_per_cell, int input_bits)
 {
-    if (cfg_.placement == PlacementPolicy::MatrixAffinity && key != 0) {
+    if (sharesByKey(cfg_.placement) && key != 0) {
         const auto it = affinity_.find(key);
         if (it != affinity_.end()) {
             // Sharing silently returns the existing placement; an
@@ -161,9 +307,18 @@ ChipPool::placeModel(u64 key, const MatrixI &m, int element_bits,
             return it->second;
         }
     }
-    const auto plan = runtime::Runtime::planMatrix(
-        cfg_.chip.hct, m.rows(), m.cols(), element_bits, bits_per_cell);
-    const std::size_t c = pickChip(plan.parts.size());
+
+    const PlacementQuote quote = quoteChips([&](std::size_t c) {
+        const auto plan = runtime::Runtime::planMatrix(
+            specs_[c].chip.hct, m.rows(), m.cols(), element_bits,
+            bits_per_cell);
+        const double score =
+            cfg_.placement == PlacementPolicy::CostAware
+                ? scoreFor(c, plan, input_bits)
+                : 0.0;
+        return std::make_pair(plan.parts.size(), score);
+    });
+    const std::size_t c = pickChip(quote, "ChipPool::placeModel");
 
     Model model;
     model.key = key;
@@ -172,7 +327,7 @@ ChipPool::placeModel(u64 key, const MatrixI &m, int element_bits,
         sessions_[c].setMatrixBits(m, element_bits, bits_per_cell);
     models_.push_back(std::move(model));
     const ModelRef ref = models_.size() - 1;
-    if (cfg_.placement == PlacementPolicy::MatrixAffinity && key != 0)
+    if (sharesByKey(cfg_.placement) && key != 0)
         affinity_[key] = ref;
     return ref;
 }
@@ -180,7 +335,7 @@ ChipPool::placeModel(u64 key, const MatrixI &m, int element_bits,
 ModelRef
 ChipPool::placeCnnInference(u64 key, cnn::TinyCnn net)
 {
-    if (cfg_.placement == PlacementPolicy::MatrixAffinity && key != 0) {
+    if (sharesByKey(cfg_.placement) && key != 0) {
         const auto it = affinity_.find(key);
         if (it != affinity_.end()) {
             const Model &held = models_[it->second];
@@ -204,15 +359,29 @@ ChipPool::placeCnnInference(u64 key, cnn::TinyCnn net)
         }
     }
 
-    // Whole-network placement: every layer's plan must fit one chip.
-    cnn::CnnMapper &mapper = cnnMapper();
-    std::size_t parts = 0;
-    for (const cnn::LayerStats &layer : net.layerStats())
-        parts += runtime::Runtime::planMatrix(
-                     cfg_.chip.hct, layer.mvmRows, layer.mvmCols,
-                     mapper.elementBits(), mapper.bitsPerCell())
-                     .parts.size();
-    const std::size_t c = pickChip(parts);
+    // Whole-network placement: every layer's plan must fit one chip,
+    // so quote each chip's silicon separately.
+    const auto layers = net.layerStats();
+    const PlacementQuote quote = quoteChips([&](std::size_t c) {
+        cnn::CnnMapper &mapper = cnnMapper(c);
+        std::size_t parts = 0;
+        for (const cnn::LayerStats &layer : layers)
+            parts += runtime::Runtime::planMatrix(
+                         specs_[c].chip.hct, layer.mvmRows,
+                         layer.mvmCols, mapper.elementBits(),
+                         mapper.bitsPerCell())
+                         .parts.size();
+        const double score =
+            cfg_.placement == PlacementPolicy::CostAware
+                ? static_cast<double>(
+                      mapper.networkCost(layers).latency) /
+                      specs_[c].clockGHz
+                : 0.0;
+        return std::make_pair(parts, score);
+    });
+    const std::size_t c =
+        pickChip(quote, "ChipPool::placeCnnInference");
+    cnn::CnnMapper &mapper = cnnMapper(c);
 
     auto inference = std::make_unique<InferenceModel>();
     inference->cnnNet = std::make_unique<cnn::TinyCnn>(std::move(net));
@@ -228,7 +397,7 @@ ChipPool::placeCnnInference(u64 key, cnn::TinyCnn net)
     model.inference = std::move(inference);
     models_.push_back(std::move(model));
     const ModelRef ref = models_.size() - 1;
-    if (cfg_.placement == PlacementPolicy::MatrixAffinity && key != 0)
+    if (sharesByKey(cfg_.placement) && key != 0)
         affinity_[key] = ref;
     return ref;
 }
@@ -236,7 +405,7 @@ ChipPool::placeCnnInference(u64 key, cnn::TinyCnn net)
 ModelRef
 ChipPool::placeLlmInference(u64 key, llm::Encoder enc)
 {
-    if (cfg_.placement == PlacementPolicy::MatrixAffinity && key != 0) {
+    if (sharesByKey(cfg_.placement) && key != 0) {
         const auto it = affinity_.find(key);
         if (it != affinity_.end()) {
             const Model &held = models_[it->second];
@@ -260,23 +429,34 @@ ChipPool::placeLlmInference(u64 key, llm::Encoder enc)
         }
     }
 
-    llm::LlmMapper &mapper = llmMapper();
     const llm::EncoderStats stats = enc.stats();
-    std::size_t parts = 0;
-    for (const auto &group : stats.staticMvms)
-        parts += runtime::Runtime::planMatrix(
-                     cfg_.chip.hct, group.rows, group.cols,
-                     mapper.elementBits(), mapper.bitsPerCell())
-                     .parts.size();
-    // staticMvms groups the four dModel x dModel projections as one
-    // shape; the placements are per matrix, so scale that group.
-    // (Q/K/V/O share a shape but not tiles.)
-    parts += 3 * runtime::Runtime::planMatrix(
-                     cfg_.chip.hct, enc.config().dModel,
-                     enc.config().dModel, mapper.elementBits(),
-                     mapper.bitsPerCell())
-                     .parts.size();
-    const std::size_t c = pickChip(parts);
+    const PlacementQuote quote = quoteChips([&](std::size_t c) {
+        llm::LlmMapper &mapper = llmMapper(c);
+        std::size_t parts = 0;
+        for (const auto &group : stats.staticMvms)
+            parts += runtime::Runtime::planMatrix(
+                         specs_[c].chip.hct, group.rows, group.cols,
+                         mapper.elementBits(), mapper.bitsPerCell())
+                         .parts.size();
+        // staticMvms groups the four dModel x dModel projections as
+        // one shape; the placements are per matrix, so scale that
+        // group. (Q/K/V/O share a shape but not tiles.)
+        parts += 3 * runtime::Runtime::planMatrix(
+                         specs_[c].chip.hct, enc.config().dModel,
+                         enc.config().dModel, mapper.elementBits(),
+                         mapper.bitsPerCell())
+                         .parts.size();
+        const double score =
+            cfg_.placement == PlacementPolicy::CostAware
+                ? static_cast<double>(
+                      mapper.hybridCost(stats).latency) /
+                      specs_[c].clockGHz
+                : 0.0;
+        return std::make_pair(parts, score);
+    });
+    const std::size_t c =
+        pickChip(quote, "ChipPool::placeLlmInference");
+    llm::LlmMapper &mapper = llmMapper(c);
 
     auto inference = std::make_unique<InferenceModel>();
     inference->llmEnc = std::make_unique<llm::Encoder>(std::move(enc));
@@ -292,7 +472,7 @@ ChipPool::placeLlmInference(u64 key, llm::Encoder enc)
     model.inference = std::move(inference);
     models_.push_back(std::move(model));
     const ModelRef ref = models_.size() - 1;
-    if (cfg_.placement == PlacementPolicy::MatrixAffinity && key != 0)
+    if (sharesByKey(cfg_.placement) && key != 0)
         affinity_[key] = ref;
     return ref;
 }

@@ -20,6 +20,22 @@
  *                     holds them (and keep the same-matrix pipelined
  *                     issue rate), instead of re-programming tiles.
  *                     New keys fall back to least-loaded.
+ *  - CostAware      — heterogeneity-aware: score every chip that can
+ *                     fit the placement by the KernelModel oracle
+ *                     cost of one request *on that chip's
+ *                     configuration* (single-MVM: the owning
+ *                     scheduler's per-chip oracle; inference: the
+ *                     per-chip mapper's network cost), normalized by
+ *                     the chip's clock, and place on the cheapest —
+ *                     ties fall back to least-loaded. Affinity
+ *                     sharing by non-zero key is honored exactly as
+ *                     under MatrixAffinity.
+ *
+ * Pools may be heterogeneous: PoolConfig::chips gives each slot its
+ * own ChipSpec (ADC kind, tile count, geometry, clock — see
+ * serve/ChipConfig.h for the iso-area SAR/ramp factory). Placement
+ * planning, oracle costs, and the inference mappers are all
+ * per-chip.
  *
  * Chips are independent simulated-time domains; functional MVM
  * results never depend on which chip serves a request (the ideal
@@ -33,14 +49,18 @@
 #define DARTH_SERVE_CHIPPOOL_H
 
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/cnn/CnnMapper.h"
 #include "apps/llm/LlmMapper.h"
 #include "runtime/Runtime.h"
 #include "runtime/Session.h"
+#include "serve/ChipConfig.h"
 
 namespace darth
 {
@@ -53,6 +73,7 @@ enum class PlacementPolicy
     RoundRobin,
     LeastLoaded,
     MatrixAffinity,
+    CostAware,
 };
 
 /** Short lowercase name (for bench JSON and logs). */
@@ -61,9 +82,13 @@ const char *placementPolicyName(PlacementPolicy policy);
 /** Pool-level configuration. */
 struct PoolConfig
 {
-    /** Per-chip configuration (all chips identical silicon). */
+    /** Uniform per-chip configuration, replicated numChips times.
+     *  Ignored when `chips` is non-empty. */
     runtime::ChipConfig chip;
     std::size_t numChips = 1;
+    /** Heterogeneous pool: one ChipSpec per slot (wins over
+     *  chip/numChips when non-empty). */
+    std::vector<ChipSpec> chips;
     PlacementPolicy placement = PlacementPolicy::LeastLoaded;
     /** Base seed; chip i seeds its noise models with seed + i. */
     u64 seed = 1;
@@ -94,19 +119,38 @@ class ChipPool
     const PoolConfig &config() const { return cfg_; }
     std::size_t numChips() const { return chips_.size(); }
 
+    /** Per-slot silicon (uniform pools replicate PoolConfig::chip). */
+    const ChipSpec &spec(std::size_t i) const;
+
+    /** True when the slots are not all the same ChipSpec name. */
+    bool heterogeneous() const;
+
     runtime::Chip &chip(std::size_t i);
     runtime::Runtime &runtime(std::size_t i);
 
     /**
      * Place a weight matrix on a chip chosen by the placement
-     * policy. Under MatrixAffinity a non-zero `key` already placed
-     * returns the existing ModelRef (shared placement) — fatal if the
-     * offered matrix differs from the one the key already names;
-     * otherwise every call creates a fresh placement. Fatal when no
-     * chip has enough free tiles.
+     * policy. Under MatrixAffinity and CostAware a non-zero `key`
+     * already placed returns the existing ModelRef (shared
+     * placement) — fatal if the offered matrix differs from the one
+     * the key already names; otherwise every call creates a fresh
+     * placement. Fatal when no chip has enough free tiles.
+     * `input_bits` is the request precision CostAware scores the
+     * shape at (immaterial to the other policies).
      */
     ModelRef placeModel(u64 key, const MatrixI &m, int element_bits,
-                        int bits_per_cell);
+                        int bits_per_cell, int input_bits = 8);
+
+    /**
+     * CostAware's score for one single-MVM shape on one chip: the
+     * KernelModel oracle latency of one request on that chip's
+     * configuration (measured through the chip's own scheduler
+     * oracle), in nanoseconds (cycles over the chip clock). Fatal
+     * when the shape cannot be planned on that chip at all.
+     */
+    double placementScore(std::size_t chip, std::size_t rows,
+                          std::size_t cols, int element_bits,
+                          int bits_per_cell, int input_bits);
 
     /**
      * Place a whole TinyCnn inference model (all three layers) on one
@@ -196,25 +240,72 @@ class ChipPool
         std::unique_ptr<InferenceModel> inference;
     };
 
-    /** Chip for a fresh placement needing `parts` free tiles. */
-    std::size_t pickChip(std::size_t parts);
+    static constexpr std::size_t kUnplaceable = ~std::size_t{0};
+
+    /**
+     * What a fresh placement would need/cost per chip. `parts[c]` is
+     * the tile count on chip c (kUnplaceable when the shape cannot
+     * map to that chip's silicon at all — `why[c]` keeps the
+     * reason); `score[c]` is the CostAware nanosecond cost (only
+     * consulted under CostAware).
+     */
+    struct PlacementQuote
+    {
+        std::vector<std::size_t> parts;
+        std::vector<double> score;
+        std::vector<std::string> why;
+
+        explicit PlacementQuote(std::size_t chips)
+            : parts(chips, kUnplaceable), score(chips, 0.0),
+              why(chips)
+        {}
+    };
+
+    /**
+     * Quote every chip for a fresh placement. `per_chip(c)` returns
+     * {tiles needed, CostAware score} on chip c's silicon and may
+     * throw when the shape cannot map there (the chip is excluded
+     * and the reason recorded). Uniform pools quote slot 0 once and
+     * replicate — identical silicon, deterministic measurement.
+     */
+    PlacementQuote quoteChips(
+        const std::function<std::pair<std::size_t, double>(
+            std::size_t)> &per_chip);
+
+    /** Chip for a fresh placement, by the configured policy. */
+    std::size_t pickChip(const PlacementQuote &quote,
+                         const char *what);
+
+    /** True when chip a beats chip b on the least-loaded order
+     *  (most free tiles, then soonest makespan, then index). */
+    bool lessLoaded(std::size_t a, std::size_t b) const;
+
+    /** The CostAware score of an already-planned single-MVM shape
+     *  on one chip (shared by placementScore and placeModel). */
+    double scoreFor(std::size_t chip, const runtime::MatrixPlan &plan,
+                    int input_bits);
 
     const Model &modelRef(ModelRef model, const char *what) const;
 
-    /** Mappers shared by every inference model (identical silicon). */
-    cnn::CnnMapper &cnnMapper();
-    llm::LlmMapper &llmMapper();
+    /** Per-chip inference mappers (chips may differ in silicon). */
+    cnn::CnnMapper &cnnMapper(std::size_t chip);
+    llm::LlmMapper &llmMapper(std::size_t chip);
 
     PoolConfig cfg_;
+    /** One resolved spec per slot. */
+    std::vector<ChipSpec> specs_;
+    /** True when the slots were replicated from PoolConfig::chip
+     *  (identical silicon by construction: quotes plan once). */
+    bool uniform_ = false;
     std::vector<std::unique_ptr<runtime::Chip>> chips_;
     std::vector<std::unique_ptr<runtime::Runtime>> runtimes_;
     /** One serving session per chip; all models live in these. */
     std::vector<runtime::Session> sessions_;
     std::vector<Model> models_;
-    /** key -> ModelRef, consulted under MatrixAffinity. */
+    /** key -> ModelRef, consulted under MatrixAffinity/CostAware. */
     std::map<u64, ModelRef> affinity_;
-    std::unique_ptr<cnn::CnnMapper> cnnMapper_;
-    std::unique_ptr<llm::LlmMapper> llmMapper_;
+    std::vector<std::unique_ptr<cnn::CnnMapper>> cnnMappers_;
+    std::vector<std::unique_ptr<llm::LlmMapper>> llmMappers_;
     std::size_t rrCursor_ = 0;
 };
 

@@ -75,15 +75,60 @@ struct TenantStats
     }
 };
 
+/** Telemetry of one pool chip over a trace (heterogeneity view). */
+struct ChipStats
+{
+    /** ChipSpec name ("sar", "ramp", or "chip" for uniform pools). */
+    std::string name;
+    /** Functionally instantiated tiles on this chip. */
+    std::size_t hcts = 0;
+    /** Chip clock, GHz (ChipSpec::clockGHz). */
+    double clockGHz = 1.0;
+    /** Submission-window depth admission enforced for this chip. */
+    std::size_t windowDepth = 0;
+    /** Tenants whose model lives on this chip. */
+    std::size_t tenants = 0;
+
+    u64 completed = 0;
+    u64 mvms = 0;
+    /** Total service cycles delivered by this chip. */
+    double serviceCycles = 0.0;
+    /** Max completion cycle on this chip (its local clock). */
+    Cycle makespan = 0;
+
+    /** Completed requests per kilocycle of this chip's makespan. */
+    double
+    throughputPerKcycle() const
+    {
+        if (makespan == 0)
+            return 0.0;
+        return static_cast<double>(completed) * 1000.0 /
+               static_cast<double>(makespan);
+    }
+
+    /**
+     * Delivered service cycles per makespan cycle. Exceeds 1.0 when
+     * requests overlap on disjoint tiles (it is a concurrency
+     * measure, not a single-resource busy fraction).
+     */
+    double
+    utilization() const
+    {
+        if (makespan == 0)
+            return 0.0;
+        return serviceCycles / static_cast<double>(makespan);
+    }
+};
+
 /** Result of running one trace through an AdmissionController. */
 struct ServeReport
 {
     std::vector<TenantStats> tenants;
+    /** Per-chip breakdown (index = chip slot). */
+    std::vector<ChipStats> chips;
 
     /** Max completion cycle over all requests (0 if none ran). */
     Cycle makespan = 0;
-    /** Max completion cycle per chip (index = chip). */
-    std::vector<Cycle> chipMakespan;
 
     u64 completed = 0;
     u64 rejected = 0;

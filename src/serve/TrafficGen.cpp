@@ -57,6 +57,8 @@ shapeOf(WorkloadKind kind)
         // 12-bit inputs: the encoder's add-norm activations exceed
         // int8 (see ChipPool::llmMapper).
         return {4 * 32, 32, 8, 2, 12, -8, 7, -8, 7};
+      case WorkloadKind::GfWide:
+        return {32, 256, 1, 1, 1, 0, 1, 0, 1};
     }
     darth_panic("TrafficGen: unknown workload kind");
 }
@@ -86,6 +88,8 @@ workloadKindName(WorkloadKind kind)
         return "cnn_infer";
       case WorkloadKind::LlmInfer:
         return "llm_infer";
+      case WorkloadKind::GfWide:
+        return "gf_wide";
     }
     darth_panic("workloadKindName: unknown workload kind");
 }

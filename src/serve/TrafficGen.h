@@ -49,6 +49,15 @@ enum class WorkloadKind
     CnnInfer,
     /** Whole small-encoder-layer forward per request. */
     LlmInfer,
+    /**
+     * 32x256 GF(2) substitution bank, 1-bit weights/inputs: many
+     * independent low-precision output columns per MVM (batched
+     * AES-style bit-matrix work). The wide/low-precision regime
+     * where a ramp ADC's single all-column sweep with §5.3 early
+     * termination beats multiplexed SAR converters — the
+     * ramp-favoring class of the heterogeneous-pool sweep.
+     */
+    GfWide,
 };
 
 /** True for kinds whose requests are whole inferences. */

@@ -218,6 +218,47 @@ TEST(Ace, RampEarlyTerminationWins)
     EXPECT_LT(ramp_stream.back().readyAt, sar_stream.back().readyAt);
 }
 
+TEST(Ace, RampAutoTerminationSweepsOnlyTheReachableRange)
+{
+    // Auto-termination derives the sweep length from the operating
+    // point alone: a row group of rowsPerGroup 1-bit cells can only
+    // produce codes in ±rowsPerGroup, so the sweep covers
+    // 2*rowsPerGroup + 1 states instead of the full 256 — and the
+    // values are bit-identical to the full sweep (early termination
+    // changes when the ramp stops, never what it resolved).
+    const MatrixI m = randomMatrix(8, 8, -1, 1, 17);
+    AceConfig full_cfg = smallAce();
+    full_cfg.adc.kind = AdcKind::Ramp;
+    full_cfg.numAdcs = 1;
+    Ace full(full_cfg);
+    full.setMatrix(m, 1, 1);
+    EXPECT_EQ(full.rampSweepStates(), 0u);
+
+    AceConfig auto_cfg = full_cfg;
+    auto_cfg.rampAutoTerminate = true;
+    Ace aut(auto_cfg);
+    aut.setMatrix(m, 1, 1);
+    // smallAce: 16 physical rows = 8 signed rows per tile, 1-bit
+    // cells, 8-bit ADC -> one group of 8 rows -> 17 states.
+    EXPECT_EQ(aut.rampSweepStates(), 17u);
+
+    const std::vector<i64> x(8, 1);
+    const auto full_stream = full.execMvm(x, 1, 0);
+    const auto auto_stream = aut.execMvm(x, 1, 0);
+    ASSERT_EQ(full_stream.size(), auto_stream.size());
+    for (std::size_t i = 0; i < full_stream.size(); ++i)
+        EXPECT_EQ(full_stream[i].values, auto_stream[i].values);
+    EXPECT_LT(auto_stream.back().readyAt,
+              full_stream.back().readyAt);
+
+    // An explicit rampStates still wins over auto-termination.
+    AceConfig manual_cfg = auto_cfg;
+    manual_cfg.rampStates = 4;
+    Ace manual(manual_cfg);
+    manual.setMatrix(m, 1, 1);
+    EXPECT_EQ(manual.rampSweepStates(), 4u);
+}
+
 TEST(Ace, ProgrammingCostRecorded)
 {
     CostTally tally;

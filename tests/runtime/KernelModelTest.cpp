@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the kernel timing/energy oracle. The load-bearing
+ * property is that a cached cost is a function of the shape and the
+ * tile configuration only — never of which shapes happened to be
+ * measured before it on the reused scratch tile. Order-dependent
+ * oracle costs would silently skew the serving layer's weighted-fair
+ * charges and cost-aware placement ranking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/KernelModel.h"
+
+namespace darth
+{
+namespace runtime
+{
+namespace
+{
+
+hct::HctConfig
+smallTile()
+{
+    hct::HctConfig cfg;
+    cfg.dce.numPipelines = 2;
+    cfg.dce.pipeline.depth = 32;
+    cfg.dce.pipeline.width = 32;
+    cfg.dce.pipeline.numRegs = 8;
+    cfg.ace.numArrays = 16;
+    cfg.ace.arrayRows = 64;
+    cfg.ace.arrayCols = 32;
+    return cfg;
+}
+
+MvmShape
+shape(std::size_t rows, std::size_t cols, int element_bits,
+      int bits_per_cell, int input_bits)
+{
+    MvmShape s;
+    s.rows = rows;
+    s.cols = cols;
+    s.elementBits = element_bits;
+    s.bitsPerCell = bits_per_cell;
+    s.inputBits = input_bits;
+    return s;
+}
+
+TEST(KernelModel, MvmCostIndependentOfMeasurementOrder)
+{
+    // Measure the same three shapes in opposite orders on two
+    // oracles: every cached cost must agree exactly. (Regression:
+    // the reused scratch tile's arbiter and DCE stage clocks used
+    // to carry over between measurements, inflating each shape by
+    // the cumulative latency of whatever was measured before it.)
+    const MvmShape tiny = shape(8, 8, 1, 1, 1);
+    const MvmShape aes = shape(32, 32, 1, 1, 1);
+    const MvmShape cnn = shape(72, 16, 8, 2, 4);
+
+    KernelModel forward(smallTile());
+    const KernelCost tiny_first = forward.mvm(tiny);
+    const KernelCost aes_mid = forward.mvm(aes);
+    const KernelCost cnn_last = forward.mvm(cnn);
+
+    KernelModel backward(smallTile());
+    const KernelCost cnn_first = backward.mvm(cnn);
+    const KernelCost aes_mid2 = backward.mvm(aes);
+    const KernelCost tiny_last = backward.mvm(tiny);
+
+    EXPECT_EQ(tiny_first.latency, tiny_last.latency);
+    EXPECT_EQ(aes_mid.latency, aes_mid2.latency);
+    EXPECT_EQ(cnn_last.latency, cnn_first.latency);
+    EXPECT_EQ(tiny_first.amortized, tiny_last.amortized);
+    EXPECT_EQ(aes_mid.amortized, aes_mid2.amortized);
+    EXPECT_EQ(cnn_last.amortized, cnn_first.amortized);
+
+    // A later shape never pays for an earlier one: the tiny shape
+    // must stay far cheaper than the 8-bit layer it was measured
+    // after.
+    EXPECT_LT(tiny_last.latency, cnn_first.latency);
+}
+
+TEST(KernelModel, MvmCostIsCached)
+{
+    KernelModel km(smallTile());
+    const MvmShape s = shape(32, 32, 1, 1, 1);
+    const KernelCost first = km.mvm(s);
+    const KernelCost again = km.mvm(s);
+    EXPECT_EQ(first.latency, again.latency);
+    EXPECT_EQ(first.amortized, again.amortized);
+    EXPECT_EQ(first.energy, again.energy);
+}
+
+} // namespace
+} // namespace runtime
+} // namespace darth

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "serve/Admission.h"
+#include "serve/ChipConfig.h"
 #include "serve/ChipPool.h"
 #include "serve/TrafficGen.h"
 
@@ -350,6 +351,115 @@ TEST(Admission, InvalidConfigsThrow)
     bad[0].weight = 0.0;
     EXPECT_THROW(AdmissionController(pool, bad, cfg),
                  std::invalid_argument);
+    // Per-chip windows: the vector must match the pool (one entry
+    // per chip) and every entry must be positive.
+    cfg.chipQueueDepth = {2, 2};
+    EXPECT_THROW(AdmissionController(pool, tenants, cfg),
+                 std::invalid_argument);
+    cfg.chipQueueDepth = {0};
+    EXPECT_THROW(AdmissionController(pool, tenants, cfg),
+                 std::invalid_argument);
+    cfg.chipQueueDepth = {1};
+    EXPECT_NO_THROW(AdmissionController(pool, tenants, cfg));
+}
+
+TEST(Admission, MixedClockPoolsAreRejected)
+{
+    // ChipSpec clocks feed placement scoring, but the report's
+    // aggregate statistics compare cycle counts across chips — only
+    // meaningful in one clock domain, so admission refuses a
+    // mixed-clock pool outright.
+    TrafficGen gen(53);
+    PoolConfig pcfg;
+    pcfg.chips = {
+        heteroChipSpec(analog::AdcKind::Sar, 1, /*clock_ghz=*/1.0),
+        heteroChipSpec(analog::AdcKind::Sar, 1, /*clock_ghz=*/2.0)};
+    ChipPool pool(pcfg);
+    auto tenants = buildTenants(pool, gen, microSpecs({1.0}));
+    AdmissionConfig cfg;
+    cfg.queueDepth = 1;
+    EXPECT_THROW(AdmissionController(pool, tenants, cfg),
+                 std::invalid_argument);
+}
+
+TEST(Admission, PerChipWindowBoundsHoldUnderLoad)
+{
+    // Two one-tile chips with different front-end windows: 1 slot on
+    // chip 0, 4 on chip 1. A simultaneous burst of five per tenant
+    // under Reject can only keep windowDepth requests in flight per
+    // chip, so the rejection counts prove each chip's own bound —
+    // not a shared or uniform one — was enforced.
+    TrafficGen gen(51);
+    ChipPool pool(poolConfig(2, 1));
+    auto tenants = buildTenants(pool, gen, microSpecs({1.0, 1.0}));
+    ASSERT_NE(pool.modelChip(tenants[0].model),
+              pool.modelChip(tenants[1].model));
+    const std::size_t chip0 = pool.modelChip(tenants[0].model);
+    const std::size_t chip1 = pool.modelChip(tenants[1].model);
+
+    std::vector<ServeRequest> burst;
+    for (int i = 0; i < 5; ++i) {
+        burst.push_back(microRequest(0, 0));
+        burst.push_back(microRequest(0, 1));
+    }
+    AdmissionConfig cfg;
+    cfg.chipQueueDepth.assign(2, 0);
+    cfg.chipQueueDepth[chip0] = 1;
+    cfg.chipQueueDepth[chip1] = 4;
+    cfg.overflow = OverflowPolicy::Reject;
+    AdmissionController ac(pool, tenants, cfg);
+    const ServeReport report = ac.run(burst);
+
+    EXPECT_EQ(report.tenants[0].completed, 1u);
+    EXPECT_EQ(report.tenants[0].rejected, 4u);
+    EXPECT_EQ(report.tenants[1].completed, 4u);
+    EXPECT_EQ(report.tenants[1].rejected, 1u);
+    ASSERT_EQ(report.chips.size(), 2u);
+    EXPECT_EQ(report.chips[chip0].windowDepth, 1u);
+    EXPECT_EQ(report.chips[chip1].windowDepth, 4u);
+    EXPECT_EQ(report.chips[chip0].completed, 1u);
+    EXPECT_EQ(report.chips[chip1].completed, 4u);
+}
+
+TEST(Admission, PerChipStatsBreakDownTheReport)
+{
+    TrafficGen gen(52);
+    ChipPool pool(poolConfig(2, 2));
+    auto specs = microSpecs({1.0, 1.0, 1.0});
+    auto tenants = buildTenants(pool, gen, specs);
+    AdmissionConfig cfg;
+    cfg.queueDepth = 2;
+    cfg.overflow = OverflowPolicy::Block;
+    AdmissionController ac(pool, tenants, cfg);
+    const ServeReport report = ac.run(gen.trace(specs, 4000));
+    ASSERT_GT(report.completed, 0u);
+
+    ASSERT_EQ(report.chips.size(), 2u);
+    u64 completed = 0, mvms = 0;
+    std::size_t tenant_count = 0;
+    for (std::size_t c = 0; c < report.chips.size(); ++c) {
+        const ChipStats &cs = report.chips[c];
+        completed += cs.completed;
+        mvms += cs.mvms;
+        tenant_count += cs.tenants;
+        EXPECT_LE(cs.makespan, report.makespan);
+        if (cs.completed > 0) {
+            EXPECT_GT(cs.serviceCycles, 0.0);
+            EXPECT_GT(cs.utilization(), 0.0);
+            EXPECT_GT(cs.throughputPerKcycle(), 0.0);
+        }
+        // Uniform pools carry the default spec name and the uniform
+        // window.
+        EXPECT_EQ(cs.name, "chip");
+        EXPECT_EQ(cs.windowDepth, 2u);
+        EXPECT_EQ(cs.hcts, 2u);
+    }
+    EXPECT_EQ(completed, report.completed);
+    EXPECT_EQ(tenant_count, tenants.size());
+    u64 tenant_mvms = 0;
+    for (const auto &t : report.tenants)
+        tenant_mvms += t.mvms;
+    EXPECT_EQ(mvms, tenant_mvms);
 }
 
 TEST(Admission, TenantSpecValidationThrows)

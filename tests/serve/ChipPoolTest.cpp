@@ -1,7 +1,9 @@
 /**
  * @file
  * Tests for the multi-chip serving pool: placement sharding policies,
- * affinity sharing, capacity exhaustion, and request routing.
+ * affinity sharing, capacity exhaustion, request routing, and
+ * heterogeneous pools (per-slot ChipSpecs with cost-aware
+ * placement).
  */
 
 #include <stdexcept>
@@ -9,7 +11,11 @@
 #include <gtest/gtest.h>
 
 #include "common/Random.h"
+#include "model/Params.h"
+#include "serve/Admission.h"
+#include "serve/ChipConfig.h"
 #include "serve/ChipPool.h"
+#include "serve/TrafficGen.h"
 
 namespace darth
 {
@@ -251,6 +257,166 @@ TEST(ChipPool, SingleMvmCallsOnInferenceModelsAreFatal)
     EXPECT_THROW((void)pool.submit(model, std::vector<i64>(64, 0), 8),
                  std::runtime_error);
     EXPECT_THROW((void)pool.modelPlan(model), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Heterogeneous pools.
+// ---------------------------------------------------------------------------
+
+/** One SAR slot and one ramp slot at the iso-area design points. */
+PoolConfig
+mixedPoolConfig(PlacementPolicy policy, std::size_t sar_hcts = 2)
+{
+    PoolConfig cfg;
+    cfg.chips = {heteroChipSpec(analog::AdcKind::Sar, sar_hcts),
+                 heteroChipSpec(analog::AdcKind::Ramp, sar_hcts)};
+    cfg.placement = policy;
+    return cfg;
+}
+
+TEST(ChipPool, IsoAreaRampChipCarriesFewerTiles)
+{
+    // The ramp ADC is bigger (Table 3), so the same slot area packs
+    // fewer ramp tiles — the scaled version of the full die's
+    // SAR-vs-ramp iso-area tile counts.
+    EXPECT_EQ(model::isoAreaScaledHcts(analog::AdcKind::Sar, 8), 8u);
+    EXPECT_LT(model::isoAreaScaledHcts(analog::AdcKind::Ramp, 8), 8u);
+    EXPECT_GE(model::isoAreaScaledHcts(analog::AdcKind::Ramp, 1), 1u);
+
+    const ChipSpec sar = heteroChipSpec(analog::AdcKind::Sar, 8);
+    const ChipSpec ramp = heteroChipSpec(analog::AdcKind::Ramp, 8);
+    EXPECT_EQ(sar.chip.numHcts, 8u);
+    EXPECT_LT(ramp.chip.numHcts, sar.chip.numHcts);
+    EXPECT_EQ(sar.adcKind(), analog::AdcKind::Sar);
+    EXPECT_EQ(ramp.adcKind(), analog::AdcKind::Ramp);
+    // Full-die modeled counts ride along for throughput scaling.
+    EXPECT_GT(sar.chip.modeledHcts, ramp.chip.modeledHcts);
+
+    ChipPool pool(mixedPoolConfig(PlacementPolicy::CostAware, 8));
+    EXPECT_TRUE(pool.heterogeneous());
+    EXPECT_EQ(pool.spec(0).name, "sar");
+    EXPECT_EQ(pool.spec(1).name, "ramp");
+    EXPECT_EQ(pool.chip(0).numHcts(), 8u);
+    EXPECT_EQ(pool.chip(1).numHcts(), ramp.chip.numHcts);
+}
+
+TEST(ChipPool, CostAwarePrefersCheaperChipPerShape)
+{
+    ChipPool pool(mixedPoolConfig(PlacementPolicy::CostAware, 4));
+    TrafficGen gen(11);
+
+    // Wide 1-bit GF(2) bank: one ramp sweep (range-terminated)
+    // converts all 256 columns while the two SAR converters
+    // multiplex them — ramp is the cheaper chip, and the policy
+    // must pick it even though the SAR chip is less loaded.
+    const double wide_sar = pool.placementScore(0, 32, 256, 1, 1, 1);
+    const double wide_ramp = pool.placementScore(1, 32, 256, 1, 1, 1);
+    ASSERT_LT(wide_ramp, wide_sar);
+    const ModelRef wide = pool.placeModel(
+        0, gen.weights(WorkloadKind::GfWide, 1), 1, 1, 1);
+    EXPECT_EQ(pool.modelChip(wide), 1u);
+
+    // Narrow 8-bit CNN layer: 16 columns convert in 8 SAR cycles
+    // but cost a near-full reference sweep per partial product on
+    // the ramp chip — SAR must win.
+    const double cnn_sar = pool.placementScore(0, 72, 16, 8, 2, 4);
+    const double cnn_ramp = pool.placementScore(1, 72, 16, 8, 2, 4);
+    ASSERT_LT(cnn_sar, cnn_ramp);
+    const ModelRef narrow = pool.placeModel(
+        0, gen.weights(WorkloadKind::Cnn, 1), 8, 2, 4);
+    EXPECT_EQ(pool.modelChip(narrow), 0u);
+
+    // The 32x32 AES MixColumns matrix and the 64x64 projection are
+    // both SAR-favoring at these design points.
+    const ModelRef aes = pool.placeModel(
+        0, gen.weights(WorkloadKind::Aes, 1), 1, 1, 1);
+    EXPECT_EQ(pool.modelChip(aes), 0u);
+    const ModelRef llm = pool.placeModel(
+        0, gen.weights(WorkloadKind::Llm, 1), 8, 2, 4);
+    EXPECT_EQ(pool.modelChip(llm), 0u);
+}
+
+TEST(ChipPool, CostAwareTiesFallBackToLeastLoaded)
+{
+    // Two identical SAR slots: every score ties, so placement must
+    // spread by the least-loaded order instead of piling on chip 0.
+    PoolConfig cfg;
+    cfg.chips = {heteroChipSpec(analog::AdcKind::Sar, 2),
+                 heteroChipSpec(analog::AdcKind::Sar, 2)};
+    cfg.placement = PlacementPolicy::CostAware;
+    ChipPool pool(cfg);
+    EXPECT_FALSE(pool.heterogeneous());
+    TrafficGen gen(12);
+    const ModelRef a = pool.placeModel(
+        0, gen.weights(WorkloadKind::Micro, 1), 1, 1, 1);
+    const ModelRef b = pool.placeModel(
+        0, gen.weights(WorkloadKind::Micro, 2), 1, 1, 1);
+    EXPECT_EQ(pool.modelChip(a), 0u);
+    EXPECT_EQ(pool.modelChip(b), 1u);
+}
+
+TEST(ChipPool, CostAwareHonoursAffinitySharing)
+{
+    ChipPool pool(mixedPoolConfig(PlacementPolicy::CostAware));
+    TrafficGen gen(13);
+    const MatrixI m = gen.weights(WorkloadKind::GfWide, 7);
+    const ModelRef first = pool.placeModel(7, m, 1, 1, 1);
+    const std::size_t free_after =
+        pool.freeHcts(pool.modelChip(first));
+    // Same key: shared placement, no new tiles, same chip.
+    const ModelRef second = pool.placeModel(7, m, 1, 1, 1);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(pool.freeHcts(pool.modelChip(first)), free_after);
+    // A reused key with different weights is fatal, as under
+    // MatrixAffinity.
+    EXPECT_THROW(
+        (void)pool.placeModel(7, gen.weights(WorkloadKind::GfWide, 8),
+                              1, 1, 1),
+        std::runtime_error);
+}
+
+TEST(ChipPool, MixedPoolOutputsBitIdenticalToHomogeneous)
+{
+    // One trace through a SAR-only pool and a mixed SAR+ramp pool:
+    // the ADC kind (and chip assignment) may move every cycle stamp,
+    // but never a single output value.
+    std::vector<TenantSpec> specs(4);
+    specs[0].name = "gf";
+    specs[0].kind = WorkloadKind::GfWide;
+    specs[0].ratePerKcycle = 4.0;
+    specs[1].name = "aes";
+    specs[1].kind = WorkloadKind::Aes;
+    specs[1].ratePerKcycle = 4.0;
+    specs[2].name = "cnn";
+    specs[2].kind = WorkloadKind::Cnn;
+    specs[2].ratePerKcycle = 1.0;
+    specs[3].name = "llm";
+    specs[3].kind = WorkloadKind::Llm;
+    specs[3].ratePerKcycle = 1.0;
+
+    auto run = [&](bool mixed) {
+        TrafficGen gen(909);
+        PoolConfig cfg;
+        cfg.chips = {
+            heteroChipSpec(analog::AdcKind::Sar, 4),
+            heteroChipSpec(mixed ? analog::AdcKind::Ramp
+                                 : analog::AdcKind::Sar,
+                           4)};
+        cfg.placement = PlacementPolicy::CostAware;
+        ChipPool pool(cfg);
+        auto tenants = buildTenants(pool, gen, specs);
+        AdmissionConfig acfg;
+        acfg.queueDepth = 2;
+        acfg.overflow = OverflowPolicy::Block;
+        AdmissionController ac(pool, tenants, acfg);
+        return ac.run(gen.trace(specs, 8000));
+    };
+
+    const ServeReport homog = run(false);
+    const ServeReport mixed = run(true);
+    ASSERT_GT(homog.completed, 0u);
+    EXPECT_EQ(homog.completed, mixed.completed);
+    EXPECT_EQ(homog.outputChecksum, mixed.outputChecksum);
 }
 
 } // namespace

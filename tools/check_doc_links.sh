@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Docs link checker: every relative markdown link in README.md and
+# docs/*.md must resolve to a real file (or directory) in the repo,
+# so cross-references between the docs and into the source tree
+# cannot rot. External (http/https/mailto) links and pure anchors
+# are skipped; a link's own "#section" suffix is stripped before the
+# existence check. Exits non-zero listing every broken link.
+set -u
+
+cd "$(dirname "$0")/.."
+
+status=0
+checked=0
+
+for doc in README.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    # Extract the (target) of every [text](target) markdown link.
+    while IFS= read -r target; do
+        case "$target" in
+          http://*|https://*|mailto:*|"#"*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        checked=$((checked + 1))
+        # Resolve relative to the doc's own directory — the same
+        # rule GitHub's renderer applies. No repo-root fallback: it
+        # would green-light links that render broken.
+        if [ ! -e "$dir/$path" ]; then
+            echo "BROKEN: $doc -> $target"
+            status=1
+        fi
+    done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" |
+             sed 's/.*(\([^)]*\))/\1/')
+done
+
+echo "checked $checked relative links"
+exit $status

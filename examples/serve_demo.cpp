@@ -44,10 +44,12 @@ main()
 
     TrafficGen gen(7);
     std::vector<TenantSpec> specs(4);
-    specs[0] = {"aes-payments", WorkloadKind::Aes, 4.0, 3.0, 0xAE5};
-    specs[1] = {"aes-logging", WorkloadKind::Aes, 4.0, 3.0, 0xAE5};
-    specs[2] = {"llm-chat", WorkloadKind::Llm, 1.0, 0.6, 0};
-    specs[3] = {"llm-search", WorkloadKind::Llm, 1.0, 0.6, 0};
+    specs[0] = {"aes-payments", WorkloadKind::Aes, 4.0, 3.0, 0xAE5,
+                {}};
+    specs[1] = {"aes-logging", WorkloadKind::Aes, 4.0, 3.0, 0xAE5,
+                {}};
+    specs[2] = {"llm-chat", WorkloadKind::Llm, 1.0, 0.6, 0, {}};
+    specs[3] = {"llm-search", WorkloadKind::Llm, 1.0, 0.6, 0, {}};
 
     auto tenants = buildTenants(pool, gen, specs);
     std::printf("pool: %zu chips x %zu tiles (%s placement)\n",

@@ -246,75 +246,170 @@ ResnetForward::hctsUsed() const
     return tiles;
 }
 
-ForwardResult
-ResnetForward::infer(const Tensor &input, Cycle earliest)
+namespace
 {
-    runtime::InferenceGraph graph(session_);
-    const runtime::StageId source = graph.addSource(earliest);
 
-    // Mirrors Resnet20::infer stage for stage; the tensors are the
-    // shared Conv2d/Layers arithmetic, so logits are bit-identical.
-    Tensor x;
-    runtime::StageId x_stage = mapper_.streamConv(
-        graph, net_.conv1(), conv1_, input, {source}, {}, 0, &x);
-    relu(x);
-
-    for (std::size_t s = 0; s < net_.stages().size(); ++s) {
-        for (std::size_t b = 0; b < net_.stages()[s].size(); ++b) {
-            const Resnet20::Block &block = net_.stages()[s][b];
-            const BlockHandles &handles = stages_[s][b];
-
-            Tensor identity;
-            runtime::StageId identity_stage = x_stage;
-            if (block.downsample) {
-                identity_stage = mapper_.streamConv(
-                    graph, *block.downsample, handles.downsample, x,
-                    {x_stage}, {}, 0, &identity);
-            } else {
-                identity = x;
-            }
-
-            Tensor y;
-            const runtime::StageId s1 = mapper_.streamConv(
-                graph, *block.conv1, handles.conv1, x, {x_stage}, {},
-                0, &y);
-            relu(y);
-
-            // conv2's epilogue also covers the residual add (one
-            // extra element op per output), gated on the shortcut.
-            Tensor y2;
-            const LayerStats conv2_stats =
-                block.conv2->stats(y.height(), y.width());
-            const runtime::StageId s2 = mapper_.streamConv(
-                graph, *block.conv2, handles.conv2, y, {s1},
-                {identity_stage}, conv2_stats.outputElems, &y2);
-            addResidual(y2, identity);
-            relu(y2);
-
-            x = std::move(y2);
-            x_stage = s2;
-        }
-    }
-
-    const std::vector<i64> pooled = globalAvgPool(x);
-    const runtime::StageId pool_stage = graph.addDigital(
-        "gap", mapper_.elementwiseCycles(x.size()), {x_stage});
-
-    const runtime::StageId fc_stage = graph.addMvmStream(
-        "fc", fc_, {pooled}, mapper_.inputBits(), {pool_stage});
+/** Drive a planned run to completion at one admission cycle — the
+ *  eager path both infer()s share. */
+ForwardResult
+runEagerly(runtime::InferenceRun &run, Cycle earliest)
+{
+    const runtime::GraphStats stats = run.runToCompletion(earliest);
     ForwardResult result;
-    result.logits =
-        net_.fc().assembleFromAcc(graph.outputs(fc_stage)[0]);
-    (void)graph.addDigital(
-        "fc-epi",
-        mapper_.elementwiseCycles(net_.fc().stats().elementOps),
-        {fc_stage});
-
-    const runtime::GraphStats stats = graph.finish();
+    result.logits = run.output();
     result.start = stats.start;
     result.done = stats.done;
     result.mvmCount = stats.mvmCount;
     return result;
+}
+
+} // namespace
+
+ForwardResult
+ResnetForward::infer(const Tensor &input, Cycle earliest)
+{
+    std::unique_ptr<runtime::InferenceRun> run =
+        begin(input, earliest);
+    return runEagerly(*run, earliest);
+}
+
+std::unique_ptr<runtime::InferenceRun>
+ResnetForward::begin(const Tensor &input, Cycle ready)
+{
+    auto run =
+        std::make_unique<runtime::InferenceRun>(session_, ready);
+
+    // Step closures communicate through the running activation
+    // tensor and its producing stage, exactly like the locals of a
+    // single-graph forward; the tensors are the shared Conv2d/Layers
+    // arithmetic, so logits stay bit-identical to Resnet20::infer
+    // whatever the admission interleaving.
+    struct Ctx
+    {
+        Tensor x;
+        runtime::StageId xStage = 0;
+    };
+    auto ctx = std::make_shared<Ctx>();
+
+    // Spatial dims are static per layer, so every step's nominal
+    // cost (the mapper's per-layer oracle latency, the serving
+    // layer's WFQ charge weight) is known at plan time — and
+    // depends only on the input extent, so repeat forwards over the
+    // same dims (the common case) reuse the cached nominals.
+    if (nominalH_ != input.height() || nominalW_ != input.width()) {
+        nominalH_ = input.height();
+        nominalW_ = input.width();
+        stepNominals_.clear();
+        std::size_t h = nominalH_;
+        std::size_t w = nominalW_;
+        stepNominals_.push_back(
+            mapper_.layerCost(net_.conv1().stats(h, w)).latency);
+        h = net_.conv1().outSize(h);
+        w = net_.conv1().outSize(w);
+        for (const auto &stage : net_.stages())
+            for (const Resnet20::Block &block : stage) {
+                Cycle nominal =
+                    mapper_.layerCost(block.conv1->stats(h, w))
+                        .latency;
+                const std::size_t out_h = block.conv1->outSize(h);
+                const std::size_t out_w = block.conv1->outSize(w);
+                nominal += mapper_
+                               .layerCost(block.conv2->stats(out_h,
+                                                             out_w))
+                               .latency;
+                if (block.downsample)
+                    nominal +=
+                        mapper_
+                            .layerCost(block.downsample->stats(h, w))
+                            .latency;
+                stepNominals_.push_back(nominal);
+                h = out_h;
+                w = out_w;
+            }
+        stepNominals_.push_back(
+            mapper_.layerCost(net_.fc().stats()).latency);
+    }
+
+    std::size_t step = 0;
+    run->addStep(
+        "conv1", stepNominals_[step++],
+        [this, ctx, input](runtime::InferenceRun &r,
+                           runtime::StageId admit) {
+            ctx->xStage =
+                mapper_.streamConv(r.graph(), net_.conv1(), conv1_,
+                                   input, {admit}, {}, 0, &ctx->x);
+            relu(ctx->x);
+        });
+
+    for (std::size_t s = 0; s < net_.stages().size(); ++s) {
+        for (std::size_t b = 0; b < net_.stages()[s].size(); ++b) {
+            const Resnet20::Block *block = &net_.stages()[s][b];
+            const BlockHandles *handles = &stages_[s][b];
+
+            run->addStep(
+                "r" + std::to_string(s + 1) + "b" +
+                    std::to_string(b),
+                stepNominals_[step++],
+                [this, ctx, block, handles](
+                    runtime::InferenceRun &r,
+                    runtime::StageId admit) {
+                    Tensor identity;
+                    runtime::StageId identity_stage = ctx->xStage;
+                    if (block->downsample) {
+                        identity_stage = mapper_.streamConv(
+                            r.graph(), *block->downsample,
+                            handles->downsample, ctx->x,
+                            {ctx->xStage, admit}, {}, 0, &identity);
+                    } else {
+                        identity = ctx->x;
+                    }
+
+                    Tensor y;
+                    const runtime::StageId s1 = mapper_.streamConv(
+                        r.graph(), *block->conv1, handles->conv1,
+                        ctx->x, {ctx->xStage, admit}, {}, 0, &y);
+                    relu(y);
+
+                    // conv2's epilogue also covers the residual add
+                    // (one extra element op per output), gated on
+                    // the shortcut.
+                    Tensor y2;
+                    const LayerStats conv2_stats =
+                        block->conv2->stats(y.height(), y.width());
+                    const runtime::StageId s2 = mapper_.streamConv(
+                        r.graph(), *block->conv2, handles->conv2, y,
+                        {s1}, {identity_stage},
+                        conv2_stats.outputElems, &y2);
+                    addResidual(y2, identity);
+                    relu(y2);
+
+                    ctx->x = std::move(y2);
+                    ctx->xStage = s2;
+                });
+        }
+    }
+
+    run->addStep(
+        "fc", stepNominals_[step],
+        [this, ctx](runtime::InferenceRun &r,
+                    runtime::StageId admit) {
+            runtime::InferenceGraph &graph = r.graph();
+            const std::vector<i64> pooled = globalAvgPool(ctx->x);
+            const runtime::StageId pool_stage = graph.addDigital(
+                "gap", mapper_.elementwiseCycles(ctx->x.size()),
+                {ctx->xStage, admit});
+            const runtime::StageId fc_stage = graph.addMvmStream(
+                "fc", fc_, {pooled}, mapper_.inputBits(),
+                {pool_stage});
+            r.setOutput(net_.fc().assembleFromAcc(
+                graph.outputs(fc_stage)[0]));
+            (void)graph.addDigital(
+                "fc-epi",
+                mapper_.elementwiseCycles(
+                    net_.fc().stats().elementOps),
+                {fc_stage});
+        });
+    return run;
 }
 
 // ---------------------------------------------------------------------------
@@ -334,6 +429,12 @@ TinyCnnForward::TinyCnnForward(runtime::Session &session,
     fc_ = session_.setMatrixBits(net.fc().weightMatrix(),
                                  mapper_.elementBits(),
                                  mapper_.bitsPerCell());
+    // One step per layer, nominal-costed at the mapper's per-layer
+    // oracle latency: the three charges sum exactly to
+    // networkCost(layerStats()).latency, the pool's whole-inference
+    // nominal. Computed once here; begin() runs per request.
+    for (const LayerStats &layer : net.layerStats())
+        stepNominals_.push_back(mapper_.layerCost(layer).latency);
 }
 
 std::size_t
@@ -346,38 +447,63 @@ TinyCnnForward::hctsUsed() const
 ForwardResult
 TinyCnnForward::infer(const Tensor &input, Cycle earliest)
 {
-    runtime::InferenceGraph graph(session_);
-    const runtime::StageId source = graph.addSource(earliest);
+    std::unique_ptr<runtime::InferenceRun> run =
+        begin(input, earliest);
+    return runEagerly(*run, earliest);
+}
 
-    Tensor x;
-    const runtime::StageId s1 = mapper_.streamConv(
-        graph, net_.conv1(), conv1_, input, {source}, {}, 0, &x);
-    relu(x);
+std::unique_ptr<runtime::InferenceRun>
+TinyCnnForward::begin(const Tensor &input, Cycle ready)
+{
+    auto run =
+        std::make_unique<runtime::InferenceRun>(session_, ready);
+    struct Ctx
+    {
+        Tensor x, y;
+        runtime::StageId s1 = 0, s2 = 0;
+    };
+    auto ctx = std::make_shared<Ctx>();
 
-    Tensor y;
-    const runtime::StageId s2 = mapper_.streamConv(
-        graph, net_.conv2(), conv2_, x, {s1}, {}, 0, &y);
-    relu(y);
-
-    const std::vector<i64> pooled = globalAvgPool(y);
-    const runtime::StageId pool_stage = graph.addDigital(
-        "gap", mapper_.elementwiseCycles(y.size()), {s2});
-
-    const runtime::StageId fc_stage = graph.addMvmStream(
-        "fc", fc_, {pooled}, mapper_.inputBits(), {pool_stage});
-    ForwardResult result;
-    result.logits =
-        net_.fc().assembleFromAcc(graph.outputs(fc_stage)[0]);
-    (void)graph.addDigital(
-        "fc-epi",
-        mapper_.elementwiseCycles(net_.fc().stats().elementOps),
-        {fc_stage});
-
-    const runtime::GraphStats stats = graph.finish();
-    result.start = stats.start;
-    result.done = stats.done;
-    result.mvmCount = stats.mvmCount;
-    return result;
+    run->addStep(
+        "conv1", stepNominals_[0],
+        [this, ctx, input](runtime::InferenceRun &r,
+                           runtime::StageId admit) {
+            ctx->s1 =
+                mapper_.streamConv(r.graph(), net_.conv1(), conv1_,
+                                   input, {admit}, {}, 0, &ctx->x);
+            relu(ctx->x);
+        });
+    run->addStep(
+        "conv2", stepNominals_[1],
+        [this, ctx](runtime::InferenceRun &r,
+                    runtime::StageId admit) {
+            ctx->s2 = mapper_.streamConv(r.graph(), net_.conv2(),
+                                         conv2_, ctx->x,
+                                         {ctx->s1, admit}, {}, 0,
+                                         &ctx->y);
+            relu(ctx->y);
+        });
+    run->addStep(
+        "fc", stepNominals_[2],
+        [this, ctx](runtime::InferenceRun &r,
+                    runtime::StageId admit) {
+            runtime::InferenceGraph &graph = r.graph();
+            const std::vector<i64> pooled = globalAvgPool(ctx->y);
+            const runtime::StageId pool_stage = graph.addDigital(
+                "gap", mapper_.elementwiseCycles(ctx->y.size()),
+                {ctx->s2, admit});
+            const runtime::StageId fc_stage = graph.addMvmStream(
+                "fc", fc_, {pooled}, mapper_.inputBits(),
+                {pool_stage});
+            r.setOutput(net_.fc().assembleFromAcc(
+                graph.outputs(fc_stage)[0]));
+            (void)graph.addDigital(
+                "fc-epi",
+                mapper_.elementwiseCycles(
+                    net_.fc().stats().elementOps),
+                {fc_stage});
+        });
+    return run;
 }
 
 } // namespace cnn

@@ -15,6 +15,7 @@
 #ifndef DARTH_APPS_CNN_CNNMAPPER_H
 #define DARTH_APPS_CNN_CNNMAPPER_H
 
+#include <memory>
 #include <vector>
 
 #include "apps/cnn/Layers.h"
@@ -184,8 +185,23 @@ class ResnetForward
     ResnetForward(runtime::Session &session, const Resnet20 &net,
                   CnnMapper &mapper);
 
-    /** One graph-driven inference (earliest = request admission). */
+    /** One graph-driven inference (earliest = request admission);
+     *  implemented as begin() with every step submitted at
+     *  `earliest`. */
     ForwardResult infer(const Tensor &input, Cycle earliest = 0);
+
+    /**
+     * Begin a stage-granular forward: plans one step per admission
+     * unit — the stem conv, each residual block (downsample + conv1
+     * + conv2 + residual epilogue), and gap+fc — without submitting
+     * anything. The caller drives submission step by step via
+     * InferenceRun::submitNext, so a serving front end can
+     * interleave this forward's stages with other requests'. The
+     * final step sets the run's output to the logits. The runner
+     * (and its placements) must outlive the run.
+     */
+    std::unique_ptr<runtime::InferenceRun> begin(const Tensor &input,
+                                                 Cycle ready = 0);
 
     /** Tiles owned by the network's placements. */
     std::size_t hctsUsed() const;
@@ -204,6 +220,12 @@ class ResnetForward
     };
     std::vector<std::vector<BlockHandles>> stages_;
     runtime::MatrixHandle fc_;
+    /** Per-step admission nominals for the last-seen input dims
+     *  (they depend only on the input's spatial extent, so repeat
+     *  forwards — the common case — reuse them). */
+    std::vector<Cycle> stepNominals_;
+    std::size_t nominalH_ = 0;
+    std::size_t nominalW_ = 0;
 };
 
 /** TinyCnn counterpart of ResnetForward (serving's CnnInfer unit). */
@@ -213,7 +235,16 @@ class TinyCnnForward
     TinyCnnForward(runtime::Session &session, const TinyCnn &net,
                    CnnMapper &mapper);
 
+    /** One graph-driven inference; begin() with every step submitted
+     *  at `earliest`. */
     ForwardResult infer(const Tensor &input, Cycle earliest = 0);
+
+    /** Stage-granular forward: one step per layer (conv1, conv2,
+     *  gap+fc), nominal-costed at the mapper's per-layer oracle
+     *  latency (they sum to NetworkCost::latency). See
+     *  ResnetForward::begin for the contract. */
+    std::unique_ptr<runtime::InferenceRun> begin(const Tensor &input,
+                                                 Cycle ready = 0);
 
     std::size_t hctsUsed() const;
 
@@ -226,6 +257,9 @@ class TinyCnnForward
     runtime::MatrixHandle conv1_;
     runtime::MatrixHandle conv2_;
     runtime::MatrixHandle fc_;
+    /** Per-step admission nominals (per-layer oracle latencies),
+     *  computed once — begin() runs per served request. */
+    std::vector<Cycle> stepNominals_;
 };
 
 } // namespace cnn

@@ -55,29 +55,14 @@ LlmMapper::hybridCost(const EncoderStats &stats)
 {
     EncoderCost cost;
 
-    // Static-weight MVMs on the ACEs.
+    // Static-weight MVMs on the ACEs (one serialized stream per
+    // group — the same per-group formula projectionStreamCycles
+    // exposes to EncoderForward::begin's per-step nominals).
     Cycle mvm_cycles = 0;
-    for (const auto &group : stats.staticMvms) {
-        const auto plan = runtime::Runtime::planMatrix(
-            cfg_, group.rows, group.cols, elementBits_, bitsPerCell_);
-        cost.hctsUsed += plan.parts.size();
-        runtime::MvmShape shape;
-        shape.elementBits = elementBits_;
-        shape.bitsPerCell = bitsPerCell_;
-        shape.inputBits = inputBits_;
-        Cycle worst_lat = 0, worst_amort = 0;
-        PicoJoule per_mvm = 0.0;
-        for (const auto &part : plan.parts) {
-            shape.rows = part.numRows;
-            shape.cols = part.numCols;
-            const auto mvm = kernels_.mvm(shape);
-            worst_lat = std::max(worst_lat, mvm.latency);
-            worst_amort = std::max(worst_amort, mvm.amortized);
-            per_mvm += mvm.energy;
-        }
-        mvm_cycles += worst_lat + (group.count - 1) * worst_amort;
-        cost.energy += static_cast<double>(group.count) * per_mvm;
-    }
+    for (const auto &group : stats.staticMvms)
+        mvm_cycles +=
+            projectionGroupWork(group.rows, group.cols, group.count,
+                                &cost.energy, &cost.hctsUsed);
 
     // Dynamic attention matmuls + element kernels run in the DCEs of
     // every tile the placement owns (the encoder instance spans
@@ -107,6 +92,44 @@ LlmMapper::matmulCycles(u64 macs)
 {
     PicoJoule ignored = 0.0;
     return dynamicMatmulWork(macs, &ignored);
+}
+
+Cycle
+LlmMapper::projectionStreamCycles(std::size_t rows, std::size_t cols,
+                                  std::size_t count)
+{
+    PicoJoule energy_ignored = 0.0;
+    std::size_t hcts_ignored = 0;
+    return projectionGroupWork(rows, cols, count, &energy_ignored,
+                               &hcts_ignored);
+}
+
+Cycle
+LlmMapper::projectionGroupWork(std::size_t rows, std::size_t cols,
+                               std::size_t count, PicoJoule *energy,
+                               std::size_t *hcts)
+{
+    if (count == 0)
+        return 0;
+    const auto plan = runtime::Runtime::planMatrix(
+        cfg_, rows, cols, elementBits_, bitsPerCell_);
+    *hcts += plan.parts.size();
+    runtime::MvmShape shape;
+    shape.elementBits = elementBits_;
+    shape.bitsPerCell = bitsPerCell_;
+    shape.inputBits = inputBits_;
+    Cycle worst_lat = 0, worst_amort = 0;
+    PicoJoule per_mvm = 0.0;
+    for (const auto &part : plan.parts) {
+        shape.rows = part.numRows;
+        shape.cols = part.numCols;
+        const auto mvm = kernels_.mvm(shape);
+        worst_lat = std::max(worst_lat, mvm.latency);
+        worst_amort = std::max(worst_amort, mvm.amortized);
+        per_mvm += mvm.energy;
+    }
+    *energy += static_cast<double>(count) * per_mvm;
+    return worst_lat + (count - 1) * worst_amort;
 }
 
 ProjectionStream
@@ -155,6 +178,29 @@ EncoderForward::EncoderForward(runtime::Session &session,
     wo_ = place(enc.wo());
     w1_ = place(enc.wFf1());
     w2_ = place(enc.wFf2());
+
+    // Per-step DCE costs and admission nominals are constant per
+    // model; compute them once here — begin() runs per served
+    // request.
+    const EncoderConfig &cfg = enc_.config();
+    const std::size_t s = cfg.seqLen;
+    const std::size_t d = cfg.dModel;
+    const std::size_t f = cfg.dFf;
+    const EncoderStats stats = enc_.stats();
+    attnCycles_ =
+        mapper_.elementCycles(3ull * s * d +
+                              static_cast<u64>(cfg.numHeads) * s * s *
+                                  4) +
+        mapper_.matmulCycles(stats.dynamicMacs);
+    addnormCycles_ = mapper_.elementCycles(4ull * s * d + s * d);
+    geluCycles_ = mapper_.elementCycles(static_cast<u64>(s) * f);
+    const Cycle proj_dd = mapper_.projectionStreamCycles(d, d, s);
+    stepNominals_ = {
+        3 * proj_dd,
+        attnCycles_ + proj_dd + addnormCycles_,
+        mapper_.projectionStreamCycles(d, f, s) + geluCycles_,
+        mapper_.projectionStreamCycles(f, d, s) + addnormCycles_,
+    };
 }
 
 std::size_t
@@ -189,70 +235,108 @@ EncoderForward::projectStage(runtime::InferenceGraph &graph,
 EncoderForwardResult
 EncoderForward::infer(const MatrixI &tokens, Cycle earliest)
 {
-    const EncoderConfig &cfg = enc_.config();
-    const std::size_t s = cfg.seqLen;
-    const std::size_t d = cfg.dModel;
-    const std::size_t f = cfg.dFf;
-    const EncoderStats stats = enc_.stats();
-
-    runtime::InferenceGraph graph(session_);
-    const runtime::StageId source = graph.addSource(earliest);
-
-    // QKV projections run as three independent analog streams.
-    MatrixI q, k, v;
-    const runtime::StageId qs =
-        projectStage(graph, "wq", wq_, tokens, {source}, &q);
-    const runtime::StageId ks =
-        projectStage(graph, "wk", wk_, tokens, {source}, &k);
-    const runtime::StageId vs =
-        projectStage(graph, "wv", wv_, tokens, {source}, &v);
-    Encoder::requantProjection(&q);
-    Encoder::requantProjection(&k);
-    Encoder::requantProjection(&v);
-
-    // Attention: requant + QK^T/PV dynamic matmuls + i-softmax in
-    // the DCE.
-    const MatrixI context = enc_.attentionContext(q, k, v);
-    const runtime::StageId attn = graph.addDigital(
-        "attention",
-        mapper_.elementCycles(3ull * s * d +
-                              static_cast<u64>(cfg.numHeads) * s * s *
-                                  4) +
-            mapper_.matmulCycles(stats.dynamicMacs),
-        {qs, ks, vs});
-
-    // Output projection + residual + LayerNorm.
-    MatrixI attn_out;
-    const runtime::StageId os =
-        projectStage(graph, "wo", wo_, context, {attn}, &attn_out);
-    const MatrixI x1 = enc_.addNorm(attn_out, tokens);
-    const runtime::StageId x1s = graph.addDigital(
-        "add-norm-1", mapper_.elementCycles(4ull * s * d + s * d),
-        {os, source});
-
-    // FFN: W1 -> GELU -> W2.
-    MatrixI ff1;
-    const runtime::StageId f1s =
-        projectStage(graph, "w1", w1_, x1, {x1s}, &ff1);
-    const MatrixI ff1a = enc_.geluActivation(ff1);
-    const runtime::StageId gelu = graph.addDigital(
-        "gelu", mapper_.elementCycles(static_cast<u64>(s) * f), {f1s});
-
-    MatrixI ff2;
-    const runtime::StageId f2s =
-        projectStage(graph, "w2", w2_, ff1a, {gelu}, &ff2);
+    std::unique_ptr<runtime::InferenceRun> run =
+        begin(tokens, earliest);
+    const runtime::GraphStats graph_stats =
+        run->runToCompletion(earliest);
 
     EncoderForwardResult result;
-    result.output = enc_.addNorm(ff2, x1);
-    (void)graph.addDigital(
-        "add-norm-2", mapper_.elementCycles(4ull * s * d + s * d),
-        {f2s, x1s});
-
-    const runtime::GraphStats graph_stats = graph.finish();
+    // The run's flat output is the matrix's row-major storage.
+    result.output =
+        MatrixI(enc_.config().seqLen, enc_.config().dModel);
+    result.output.data() = run->output();
     result.start = graph_stats.start;
     result.done = graph_stats.done;
     result.mvmCount = graph_stats.mvmCount;
     return result;
+}
+
+std::unique_ptr<runtime::InferenceRun>
+EncoderForward::begin(const MatrixI &tokens, Cycle ready)
+{
+    auto run =
+        std::make_unique<runtime::InferenceRun>(session_, ready);
+
+    // Step closures communicate through the intermediate activation
+    // matrices and their producing stages — the locals of the
+    // single-graph forward, lifted into a shared context so the
+    // forward can pause between admission steps.
+    struct Ctx
+    {
+        MatrixI tokens, q, k, v, x1, ff1a;
+        runtime::StageId qs = 0, ks = 0, vs = 0, x1s = 0, gelu = 0;
+    };
+    auto ctx = std::make_shared<Ctx>();
+    ctx->tokens = tokens;
+
+    // QKV projections run as three independent analog streams (the
+    // nominal charge serializes them, like hybridCost's group sum).
+    run->addStep(
+        "qkv", stepNominals_[0],
+        [this, ctx](runtime::InferenceRun &r,
+                    runtime::StageId admit) {
+            ctx->qs = projectStage(r.graph(), "wq", wq_, ctx->tokens,
+                                   {admit}, &ctx->q);
+            ctx->ks = projectStage(r.graph(), "wk", wk_, ctx->tokens,
+                                   {admit}, &ctx->k);
+            ctx->vs = projectStage(r.graph(), "wv", wv_, ctx->tokens,
+                                   {admit}, &ctx->v);
+            Encoder::requantProjection(&ctx->q);
+            Encoder::requantProjection(&ctx->k);
+            Encoder::requantProjection(&ctx->v);
+        });
+
+    // Attention (requant + QK^T/PV dynamic matmuls + i-softmax in
+    // the DCE), output projection, residual + LayerNorm.
+    run->addStep(
+        "attn-wo", stepNominals_[1],
+        [this, ctx](runtime::InferenceRun &r,
+                    runtime::StageId admit) {
+            runtime::InferenceGraph &graph = r.graph();
+            const MatrixI context =
+                enc_.attentionContext(ctx->q, ctx->k, ctx->v);
+            const runtime::StageId attn = graph.addDigital(
+                "attention", attnCycles_,
+                {ctx->qs, ctx->ks, ctx->vs, admit});
+            MatrixI attn_out;
+            const runtime::StageId os = projectStage(
+                graph, "wo", wo_, context, {attn}, &attn_out);
+            ctx->x1 = enc_.addNorm(attn_out, ctx->tokens);
+            ctx->x1s = graph.addDigital("add-norm-1", addnormCycles_,
+                                        {os, r.source()});
+        });
+
+    // FFN: W1 -> GELU.
+    run->addStep(
+        "ffn1", stepNominals_[2],
+        [this, ctx](runtime::InferenceRun &r,
+                    runtime::StageId admit) {
+            MatrixI ff1;
+            const runtime::StageId f1s =
+                projectStage(r.graph(), "w1", w1_, ctx->x1,
+                             {ctx->x1s, admit}, &ff1);
+            ctx->ff1a = enc_.geluActivation(ff1);
+            ctx->gelu =
+                r.graph().addDigital("gelu", geluCycles_, {f1s});
+        });
+
+    // W2 + final add-norm; flattens the output row-major.
+    run->addStep(
+        "ffn2", stepNominals_[3],
+        [this, ctx](runtime::InferenceRun &r,
+                    runtime::StageId admit) {
+            runtime::InferenceGraph &graph = r.graph();
+            MatrixI ff2;
+            const runtime::StageId f2s =
+                projectStage(graph, "w2", w2_, ctx->ff1a,
+                             {ctx->gelu, admit}, &ff2);
+            MatrixI out = enc_.addNorm(ff2, ctx->x1);
+            (void)graph.addDigital("add-norm-2", addnormCycles_,
+                                   {f2s, ctx->x1s});
+            // Row-major storage is already the flat output layout.
+            r.setOutput(std::move(out.data()));
+        });
+    return run;
 }
 
 EncoderCost

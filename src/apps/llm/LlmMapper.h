@@ -8,6 +8,9 @@
 #ifndef DARTH_APPS_LLM_LLMMAPPER_H
 #define DARTH_APPS_LLM_LLMMAPPER_H
 
+#include <memory>
+#include <vector>
+
 #include "apps/llm/Encoder.h"
 #include "runtime/InferenceGraph.h"
 #include "runtime/KernelModel.h"
@@ -70,6 +73,16 @@ class LlmMapper
      *  digital-stage cost unit of the encoder forward graph). */
     Cycle elementCycles(u64 element_ops);
 
+    /**
+     * Serialized oracle latency of a `count`-row projection stream
+     * against a rows x cols static weight placement: the worst
+     * part's latency plus (count - 1) amortized same-matrix issues —
+     * the per-group term of hybridCost and the per-step nominal cost
+     * unit of EncoderForward::begin.
+     */
+    Cycle projectionStreamCycles(std::size_t rows, std::size_t cols,
+                                 std::size_t count);
+
     /** DCE latency of `macs` dynamic-matmul MACs (QK^T, PV). */
     Cycle matmulCycles(u64 macs);
 
@@ -82,6 +95,13 @@ class LlmMapper
   private:
     Cycle elementWork(u64 element_ops, PicoJoule *energy);
     Cycle dynamicMatmulWork(u64 macs, PicoJoule *energy);
+
+    /** One static-weight projection group's serialized stream cost;
+     *  accumulates MVM energy into *energy and placement tiles into
+     *  *hcts (shared by hybridCost and projectionStreamCycles). */
+    Cycle projectionGroupWork(std::size_t rows, std::size_t cols,
+                              std::size_t count, PicoJoule *energy,
+                              std::size_t *hcts);
 
     hct::HctConfig cfg_;
     int elementBits_;
@@ -120,9 +140,23 @@ class EncoderForward
     EncoderForward(runtime::Session &session, const Encoder &enc,
                    LlmMapper &mapper);
 
-    /** One graph-driven forward (earliest = request admission). */
+    /** One graph-driven forward (earliest = request admission);
+     *  begin() with every step submitted at `earliest`. */
     EncoderForwardResult infer(const MatrixI &tokens,
                                Cycle earliest = 0);
+
+    /**
+     * Begin a stage-granular forward: four planned steps — qkv (the
+     * three projection streams + requant), attn-wo (attention, the
+     * output projection, first add-norm), ffn1 (W1 + GELU), and
+     * ffn2 (W2 + final add-norm) — submitted one at a time via
+     * InferenceRun::submitNext so a serving front end can interleave
+     * them with other requests' stages. The final step sets the
+     * run's output to the row-major flattened seqLen x dModel
+     * output. The runner (and its placements) must outlive the run.
+     */
+    std::unique_ptr<runtime::InferenceRun>
+    begin(const MatrixI &tokens, Cycle ready = 0);
 
     /** Tiles owned by the six placements. */
     std::size_t hctsUsed() const;
@@ -143,6 +177,13 @@ class EncoderForward
     const Encoder &enc_;
     LlmMapper &mapper_;
     runtime::MatrixHandle wq_, wk_, wv_, wo_, w1_, w2_;
+    /** Per-step DCE stage costs and admission nominals, constant
+     *  per model — computed once at construction, used by every
+     *  begin(). */
+    Cycle attnCycles_ = 0;
+    Cycle addnormCycles_ = 0;
+    Cycle geluCycles_ = 0;
+    std::vector<Cycle> stepNominals_;
 };
 
 } // namespace llm

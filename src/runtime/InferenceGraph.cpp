@@ -168,5 +168,104 @@ InferenceGraph::stageName(StageId stage) const
     return stages_[stage]->name;
 }
 
+// ---------------------------------------------------------------------------
+// InferenceRun
+// ---------------------------------------------------------------------------
+
+InferenceRun::InferenceRun(Session &session, Cycle ready)
+    : graph_(session), source_(graph_.addSource(ready))
+{
+}
+
+void
+InferenceRun::addStep(std::string name, Cycle nominal, Step step)
+{
+    if (!step)
+        darth_panic("InferenceRun::addStep: step '", name,
+                    "' has no body");
+    PlannedStep planned;
+    planned.name = std::move(name);
+    planned.nominal = nominal;
+    planned.fn = std::move(step);
+    steps_.push_back(std::move(planned));
+}
+
+const InferenceRun::PlannedStep &
+InferenceRun::stepRef(std::size_t step, const char *what,
+                      bool must_be_submitted) const
+{
+    if (step >= steps_.size())
+        throw std::invalid_argument(
+            std::string(what) + ": step " + std::to_string(step) +
+            " does not exist (only " + std::to_string(steps_.size()) +
+            " steps planned)");
+    if (must_be_submitted && step >= submitted_)
+        throw std::invalid_argument(
+            std::string(what) + ": step '" + steps_[step].name +
+            "' has not been submitted yet (only " +
+            std::to_string(submitted_) + " of " +
+            std::to_string(steps_.size()) + " submitted)");
+    return steps_[step];
+}
+
+const std::string &
+InferenceRun::stepName(std::size_t step) const
+{
+    return stepRef(step, "InferenceRun::stepName", false).name;
+}
+
+Cycle
+InferenceRun::stepNominal(std::size_t step) const
+{
+    return stepRef(step, "InferenceRun::stepNominal", false).nominal;
+}
+
+std::size_t
+InferenceRun::submitNext(Cycle admitted)
+{
+    if (finished())
+        throw std::invalid_argument(
+            "InferenceRun::submitNext: all " +
+            std::to_string(steps_.size()) +
+            " steps have already been submitted");
+    PlannedStep &step = steps_[submitted_];
+    step.first = graph_.stageCount();
+    const StageId admit = graph_.addSource(admitted);
+    step.fn(*this, admit);
+    step.last = graph_.stageCount();
+    return submitted_++;
+}
+
+Cycle
+InferenceRun::stepDone(std::size_t step)
+{
+    const PlannedStep &s =
+        stepRef(step, "InferenceRun::stepDone", true);
+    Cycle done = 0;
+    for (StageId stage = s.first; stage < s.last; ++stage)
+        done = std::max(done, graph_.doneCycle(stage));
+    return done;
+}
+
+GraphStats
+InferenceRun::runToCompletion(Cycle admitted)
+{
+    while (!finished())
+        submitNext(admitted);
+    return finish();
+}
+
+GraphStats
+InferenceRun::finish()
+{
+    if (!finished())
+        throw std::invalid_argument(
+            "InferenceRun::finish: only " +
+            std::to_string(submitted_) + " of " +
+            std::to_string(steps_.size()) +
+            " steps have been submitted");
+    return graph_.finish();
+}
+
 } // namespace runtime
 } // namespace darth

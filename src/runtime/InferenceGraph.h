@@ -28,6 +28,7 @@
 #define DARTH_RUNTIME_INFERENCEGRAPH_H
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -146,6 +147,121 @@ class InferenceGraph
     /** Heap-allocated so outputs() references survive later adds. */
     std::vector<std::unique_ptr<Stage>> stages_;
     std::size_t mvmCount_ = 0;
+};
+
+/**
+ * One resumable, stage-granular forward over an InferenceGraph.
+ *
+ * Where InferenceGraph::finish() models a run-to-completion forward,
+ * an InferenceRun splits the same DAG into *steps* — admission-sized
+ * slices (a conv layer and its epilogue, a residual block, the
+ * QKV projections) planned up front by a model runner's begin()
+ * (TinyCnnForward / ResnetForward / EncoderForward) and submitted
+ * one at a time by submitNext(). Each submission stamps the step
+ * with its own admission-cycle source stage, so a serving front end
+ * can admit step k+1 of one request *after* admitting steps of other
+ * requests: stages of distinct forwards interleave on one chip while
+ * the `after`-future machinery keeps every dataflow edge intact.
+ * Functional outputs are bit-identical to the eager path whatever
+ * the interleaving — only cycle stamps move.
+ *
+ * Steps carry a nominal serialized oracle cost (addStep's `nominal`)
+ * so the admission layer can charge weighted-fair queueing per stage;
+ * the serve-layer charges normalize these to sum exactly to the
+ * whole-graph nominal cost (see ChipPool::beginInference).
+ *
+ * The run borrows the session, the model runner, and its placements:
+ * all three must outlive it.
+ */
+class InferenceRun
+{
+  public:
+    /**
+     * One planned step: invoked exactly once, by submitNext(), with
+     * the run and a source stage completing at the step's admission
+     * cycle (include it in the step's root dependencies).
+     */
+    using Step = std::function<void(InferenceRun &, StageId admit)>;
+
+    /** The run's root source completes at `ready` (request arrival
+     *  or first admission bound). */
+    explicit InferenceRun(Session &session, Cycle ready = 0);
+
+    InferenceGraph &graph() { return graph_; }
+
+    /** Root source stage (residual edges back to the input depend on
+     *  it). */
+    StageId source() const { return source_; }
+
+    /**
+     * Plan the next step (builder side). Steps submit in plan order,
+     * one per submitNext(). `nominal` is the step's serialized
+     * oracle cost — the serving layer's per-stage charge weight.
+     */
+    void addStep(std::string name, Cycle nominal, Step step);
+
+    std::size_t stepCount() const { return steps_.size(); }
+    std::size_t submittedSteps() const { return submitted_; }
+
+    /** True once every planned step has been submitted. */
+    bool finished() const { return submitted_ == steps_.size(); }
+
+    const std::string &stepName(std::size_t step) const;
+    Cycle stepNominal(std::size_t step) const;
+
+    /**
+     * Submit the next planned step, bounded below by `admitted` (the
+     * step's admission cycle): adds the admission source, runs the
+     * step body (which submits the step's MVM streams and digital
+     * stages), and returns the step's index. Throws
+     * std::invalid_argument when the run is already finished.
+     */
+    std::size_t submitNext(Cycle admitted);
+
+    /**
+     * Completion cycle of one submitted step: the max done cycle
+     * over the stages the step added (waits streams as needed).
+     * Throws std::invalid_argument for a not-yet-submitted step.
+     */
+    Cycle stepDone(std::size_t step);
+
+    /**
+     * Submit every remaining step at one admission cycle and return
+     * the whole-run statistics — the eager path: timing-identical
+     * to a single-graph forward, since every dataflow dependency
+     * already dominates `admitted`.
+     */
+    GraphStats runToCompletion(Cycle admitted);
+
+    /** Flat output of the forward (set by the final step). */
+    const std::vector<i64> &output() const { return output_; }
+    void setOutput(std::vector<i64> values)
+    {
+        output_ = std::move(values);
+    }
+
+    /** Whole-run statistics; requires finished(). */
+    GraphStats finish();
+
+  private:
+    struct PlannedStep
+    {
+        std::string name;
+        Cycle nominal = 0;
+        Step fn;
+        /** Graph stages the step added: [first, last). */
+        StageId first = 0;
+        StageId last = 0;
+    };
+
+    const PlannedStep &stepRef(std::size_t step, const char *what,
+                               bool must_be_submitted) const;
+
+    InferenceGraph graph_;
+    StageId source_ = 0;
+    std::vector<PlannedStep> steps_;
+    std::size_t submitted_ = 0;
+    std::vector<i64> output_;
 };
 
 } // namespace runtime

@@ -75,6 +75,7 @@ Scheduler::submit(const PlacedMatrix &pm, std::vector<i64> x,
     for (const MvmFuture &dep : after)
         req.deps.push_back(dep.id());
     doneCycle_.push_back(kPendingDone);
+    backlog_ += req.oracleCost;
     queue_.push_back(std::move(req));
     return MvmFuture(queue_.back().id, this);
 }
@@ -211,6 +212,7 @@ Scheduler::executeAt(std::size_t index)
     Request req = std::move(queue_[index]);
     queue_.erase(queue_.begin() +
                  static_cast<std::ptrdiff_t>(index));
+    backlog_ -= std::min(backlog_, req.oracleCost);
 
     const MatrixPlan &plan = req.pm->plan;
     MvmResult result;

@@ -204,6 +204,16 @@ class Scheduler
      */
     std::size_t queueDepth() const { return queue_.size(); }
 
+    /**
+     * Queue pressure in cycles, not counts: the summed KernelModel
+     * oracle latency of every queued-but-unexecuted request. A queue
+     * of three wide GF(2) banks and a queue of three whole-layer CNN
+     * streams have the same queueDepth() but very different
+     * backlogCycles(); the pool's load-aware CostAware placement
+     * scores chips by this (see ChipPool::placementScore).
+     */
+    Cycle backlogCycles() const { return backlog_; }
+
     /** Queued-but-unexecuted requests belonging to one session. */
     std::size_t pendingRequests(u64 session) const;
 
@@ -305,6 +315,8 @@ class Scheduler
     RequestId nextId_ = 1;
     u64 completed_ = 0;
     SchedulerCounters counters_;
+    /** Summed oracleCost of queued requests (backlogCycles()). */
+    Cycle backlog_ = 0;
 };
 
 } // namespace runtime

@@ -42,6 +42,18 @@ overflowPolicyName(OverflowPolicy policy)
     darth_panic("overflowPolicyName: unknown policy");
 }
 
+const char *
+granularityName(Granularity granularity)
+{
+    switch (granularity) {
+      case Granularity::Inference:
+        return "inference";
+      case Granularity::Stage:
+        return "stage";
+    }
+    darth_panic("granularityName: unknown granularity");
+}
+
 std::vector<Tenant>
 buildTenants(ChipPool &pool, const TrafficGen &gen,
              const std::vector<TenantSpec> &specs)
@@ -167,16 +179,36 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     // then dropped unless the caller asked for them.
     report.outputs.assign(trace.size(), {});
 
+    // Scheduler counters are lifetime values; snapshot them so the
+    // report carries this run's deltas even on a reused pool.
+    std::vector<runtime::SchedulerCounters> counters0(num_chips);
+    for (std::size_t c = 0; c < num_chips; ++c)
+        counters0[c] = pool_.runtime(c).scheduler().counters();
+
+    const bool staged = cfg_.granularity == Granularity::Stage;
+
     struct Pending
     {
         std::size_t reqIdx;
         /** Single-MVM requests resolve this future... */
         runtime::MvmFuture future;
-        /** ...inference requests carry their already-run outcome
-         *  (the graph executes at admission; cycle stamps honour the
-         *  admission-time earliest bound either way). */
+        /** ...whole-unit inference requests carry their already-run
+         *  outcome (the graph executes at admission; cycle stamps
+         *  honour the admission-time earliest bound either way)... */
         bool isInference = false;
         InferenceOutcome outcome;
+        /** ...and stage-granular admissions name one stage of their
+         *  request's in-flight run. */
+        bool isStage = false;
+        std::size_t stage = 0;
+    };
+    /** One not-yet-admitted unit: a fresh request, or (stage
+     *  granularity) the next stage of a partially-run request,
+     *  ready no earlier than its previous stage's completion. */
+    struct WaitingItem
+    {
+        std::size_t reqIdx;
+        Cycle ready = 0;
     };
     struct ChipState
     {
@@ -194,10 +226,13 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         /** Start-time-fair-queueing virtual time (start tag of the
          *  most recently admitted request). */
         double virtualTime = 0.0;
+        /** Admissions on this chip so far (stage-interleaving
+         *  detection). */
+        u64 admitSeq = 0;
     };
 
     std::vector<ChipState> chips(num_chips);
-    std::vector<std::deque<std::size_t>> waiting(num_tenants);
+    std::vector<std::deque<WaitingItem>> waiting(num_tenants);
     std::vector<std::size_t> tenantChip(num_tenants);
     for (std::size_t t = 0; t < num_tenants; ++t) {
         tenantChip[t] = pool_.modelChip(tenants_[t].model);
@@ -205,6 +240,13 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     }
     for (std::size_t c = 0; c < num_chips; ++c)
         report.chips[c].tenants = chips[c].tenants.size();
+
+    // Stage granularity: the in-flight run and the per-chip
+    // admission sequence number of each request's last admitted
+    // stage (an intervening foreign admission marks interleaving).
+    std::vector<std::unique_ptr<StagedInference>> runs(
+        staged ? trace.size() : 0);
+    std::vector<u64> lastAdmitSeq(staged ? trace.size() : 0, 0);
 
     // Weighted-fair accounting is start-time fair queueing: each
     // admission of tenant t gets a start tag S = max(chip virtual
@@ -226,8 +268,11 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         return cs.notWaited.size() + cs.occupied.size();
     };
 
-    // Resolve the oldest admitted request: record telemetry and turn
+    // Resolve the oldest admitted unit: record telemetry and turn
     // its submission-queue slot into a cycle-stamped occupied slot.
+    // A non-final stage frees its slot at its own completion and
+    // parks the request's next stage in the waiting room; request
+    // statistics are recorded when the final stage materializes.
     auto materializeFront = [&](std::size_t c) {
         ChipState &cs = chips[c];
         Pending pending = std::move(cs.notWaited.front());
@@ -238,7 +283,36 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         std::vector<i64> values;
         Cycle start = 0, done = 0;
         u64 mvms = 1;
-        if (pending.isInference) {
+        if (pending.isStage) {
+            StagedInference &run = *runs[pending.reqIdx];
+            const Cycle stage_done =
+                pool_.stageDoneCycle(run, pending.stage);
+            cs.occupied.push(stage_done);
+            if (pending.stage + 1 < run.stageCount()) {
+                // The freed slot and the parked next stage race
+                // through the ordinary admission machinery, so other
+                // requests' stages can slip in between. The
+                // continuation re-enters its tenant's room in
+                // request-age order (the room stays sorted by
+                // reqIdx: fresh arrivals append in arrival order),
+                // so head-of-room always means oldest request and
+                // FIFO QoS stays globally oldest-first.
+                auto &room = waiting[req.tenant];
+                auto it = room.begin();
+                while (it != room.end() &&
+                       it->reqIdx < pending.reqIdx)
+                    ++it;
+                room.insert(it, {pending.reqIdx, stage_done});
+                cs.waitingCount += 1;
+                return;
+            }
+            InferenceOutcome outcome = pool_.finishInference(run);
+            runs[pending.reqIdx].reset();
+            values = std::move(outcome.values);
+            start = outcome.start;
+            done = outcome.done;
+            mvms = outcome.mvms;
+        } else if (pending.isInference) {
             values = std::move(pending.outcome.values);
             start = pending.outcome.start;
             done = pending.outcome.done;
@@ -269,7 +343,10 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         chip_stats.mvms += mvms;
         chip_stats.serviceCycles += static_cast<double>(done - start);
         chip_stats.makespan = std::max(chip_stats.makespan, done);
-        cs.occupied.push(done);
+        // Staged units freed their slot at their own stage
+        // completion above; whole units hold it to request done.
+        if (!pending.isStage)
+            cs.occupied.push(done);
         report.outputs[pending.reqIdx] = std::move(values);
     };
 
@@ -297,12 +374,18 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         ChipState &cs = chips[c];
         switch (cfg_.qos) {
           case QosPolicy::Fifo: {
+            // Oldest original request first — a continuation stage
+            // keeps its request's age (waiting rooms are sorted by
+            // reqIdx), so under FIFO an in-flight inference's stages
+            // outrank every younger request: run-to-completion
+            // order.
             std::size_t best = num_tenants;
             for (std::size_t t : cs.tenants) {
                 if (waiting[t].empty())
                     continue;
                 if (best == num_tenants ||
-                    waiting[t].front() < waiting[best].front())
+                    waiting[t].front().reqIdx <
+                        waiting[best].front().reqIdx)
                     best = t;
             }
             return best;
@@ -330,7 +413,8 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                     std::max(cs.virtualTime, finishTag[t]);
                 if (best == num_tenants || start < best_start ||
                     (start == best_start &&
-                     waiting[t].front() < waiting[best].front())) {
+                     waiting[t].front().reqIdx <
+                         waiting[best].front().reqIdx)) {
                     best = t;
                     best_start = start;
                 }
@@ -347,35 +431,65 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         if (t >= num_tenants)
             darth_panic("AdmissionController: admit with no waiting "
                         "tenant on chip ", c);
-        const std::size_t req_idx = waiting[t].front();
+        const WaitingItem item = waiting[t].front();
         waiting[t].pop_front();
         cs.waitingCount -= 1;
+        const std::size_t req_idx = item.reqIdx;
         const double start_tag =
             std::max(cs.virtualTime, finishTag[t]);
         cs.virtualTime = start_tag;
-        finishTag[t] = start_tag + nominalCost[t] / tenants_[t].weight;
         const ServeRequest &req = trace[req_idx];
-        const Cycle at = std::max(slot_cycle, req.arrival);
+        // A continuation stage starts no earlier than its previous
+        // stage's completion (item.ready).
+        const Cycle at =
+            std::max(std::max(slot_cycle, req.arrival), item.ready);
+        double charge = nominalCost[t];
         Pending pending;
         pending.reqIdx = req_idx;
         if (pool_.isInference(tenants_[req.tenant].model)) {
-            // One window slot per inference: the whole forward is
-            // one admitted unit, charged at its whole-graph cost.
-            pending.isInference = true;
-            pending.outcome = pool_.runInference(
-                tenants_[req.tenant].model, req.input, at);
+            if (staged) {
+                // One window slot and one WFQ charge per *stage*:
+                // the forward advances one admission-sized step and
+                // re-queues for the next, so stages of different
+                // requests interleave on this chip.
+                if (!runs[req_idx])
+                    runs[req_idx] = pool_.beginInference(
+                        tenants_[req.tenant].model, req.input, at);
+                StagedInference &run = *runs[req_idx];
+                pending.isStage = true;
+                pending.stage = pool_.advanceInference(run, at);
+                charge = static_cast<double>(
+                    run.stageCharges[pending.stage]);
+                cs.admitSeq += 1;
+                if (pending.stage > 0 &&
+                    cs.admitSeq != lastAdmitSeq[req_idx] + 1)
+                    report.chips[c].interleavedStages += 1;
+                lastAdmitSeq[req_idx] = cs.admitSeq;
+            } else {
+                // One window slot per inference: the whole forward
+                // is one admitted unit, charged its whole-graph
+                // cost.
+                pending.isInference = true;
+                std::unique_ptr<StagedInference> run =
+                    pool_.beginInference(tenants_[req.tenant].model,
+                                         req.input, at);
+                pending.outcome = pool_.runToCompletion(*run, at);
+            }
         } else {
+            if (staged)
+                cs.admitSeq += 1;
             pending.future =
                 pool_.submit(tenants_[req.tenant].model, req.input,
                              tenants_[req.tenant].inputBits, at);
         }
+        finishTag[t] = start_tag + charge / tenants_[t].weight;
         cs.notWaited.push_back(std::move(pending));
     };
 
-    // Park a request in its tenant's waiting room.
+    // Park a fresh request in its tenant's waiting room.
     auto enqueueWaiting = [&](std::size_t c, std::size_t tenant,
                               std::size_t req_idx) {
-        waiting[tenant].push_back(req_idx);
+        waiting[tenant].push_back({req_idx, Cycle{0}});
         chips[c].waitingCount += 1;
     };
 
@@ -410,23 +524,67 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
             enqueueWaiting(c, req.tenant, i);
             drainWaiting(c, req.arrival);
         } else {
+            // Reject drops *fresh arrivals* only: a request that has
+            // begun is finished — its continuation stages get first
+            // claim on freed slots (the catch-up drain above, plus
+            // the re-claim loop below for continuations parked by
+            // this very slot hunt's materialization).
             const auto slot = acquireSlot(c, req.arrival);
-            if (slot) {
-                enqueueWaiting(c, req.tenant, i);
-                admit(c, *slot);
-            } else {
+            if (!slot) {
                 report.tenants[req.tenant].rejected += 1;
                 report.rejected += 1;
+            } else {
+                enqueueWaiting(c, req.tenant, i);
+                admit(c, *slot);
+                auto still_waiting = [&] {
+                    for (const WaitingItem &item :
+                         waiting[req.tenant])
+                        if (item.reqIdx == i)
+                            return true;
+                    return false;
+                };
+                while (still_waiting()) {
+                    const auto next = acquireSlot(c, req.arrival);
+                    if (!next)
+                        break;
+                    admit(c, *next);
+                }
+                if (still_waiting()) {
+                    auto &room = waiting[req.tenant];
+                    for (auto it = room.begin(); it != room.end();
+                         ++it)
+                        if (it->reqIdx == i) {
+                            room.erase(it);
+                            break;
+                        }
+                    chips[c].waitingCount -= 1;
+                    report.tenants[req.tenant].rejected += 1;
+                    report.rejected += 1;
+                }
             }
         }
     }
 
-    // Arrivals exhausted: admit every blocked request as slots free,
-    // then resolve the tail of the submission queues.
+    // Arrivals exhausted: admit every blocked unit as slots free,
+    // then resolve the tail of the submission queues. Materializing
+    // a stage can park its request's *next* stage, so loop until the
+    // waiting rooms stay empty.
     for (std::size_t c = 0; c < num_chips; ++c) {
-        drainWaiting(c, std::numeric_limits<Cycle>::max());
-        while (!chips[c].notWaited.empty())
-            materializeFront(c);
+        do {
+            drainWaiting(c, std::numeric_limits<Cycle>::max());
+            while (!chips[c].notWaited.empty())
+                materializeFront(c);
+        } while (chips[c].waitingCount > 0);
+    }
+
+    for (std::size_t c = 0; c < num_chips; ++c) {
+        const runtime::SchedulerCounters &now =
+            pool_.runtime(c).scheduler().counters();
+        ChipStats &cs = report.chips[c];
+        cs.issued = now.issued - counters0[c].issued;
+        cs.pipelineHits = now.pipelineHits - counters0[c].pipelineHits;
+        cs.dependencyStalls =
+            now.dependencyStalls - counters0[c].dependencyStalls;
     }
 
     // FNV-1a over outputs in trace order: identical traffic must

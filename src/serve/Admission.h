@@ -3,16 +3,25 @@
  * QoS-aware admission control with per-chip backpressure.
  *
  * The AdmissionController is the serving front end above a ChipPool.
- * Each chip has a bounded submission window of requests in flight
+ * Each chip has a bounded submission window of units in flight
  * (admitted but not yet complete) — the model of a front end with
  * finite ingest bandwidth. The window is per-chip: `queueDepth`
  * uniformly, or `chipQueueDepth[c]` per slot for heterogeneous
- * pools. When a request arrives and its chip's window is full, the
- * overflow policy decides:
+ * pools. The admitted *unit* is set by AdmissionConfig::granularity:
+ * a whole request (single MVM or whole inference), or — at Stage
+ * granularity — one InferenceRun stage at a time, each freeing its
+ * slot at its own completion and re-queueing the request's next
+ * stage, so stages of different requests interleave on one chip
+ * while outputs stay bit-identical to whole-unit admission. When a
+ * unit arrives and its chip's window is full, the overflow policy
+ * decides:
  *
  *  - Block  — the client stalls in a per-tenant waiting room and is
  *             admitted the cycle a slot frees (never dropped);
- *  - Reject — the request is dropped and counted against its tenant.
+ *  - Reject — a *fresh* request is dropped and counted against its
+ *             tenant; continuation stages of an already-begun
+ *             inference always block instead (a begun forward is
+ *             never stranded).
  *
  * Which waiting tenant is admitted into a freed slot is the QoS
  * policy:
@@ -80,6 +89,33 @@ enum class OverflowPolicy
 
 const char *overflowPolicyName(OverflowPolicy policy);
 
+/**
+ * The unit of admission for whole-inference tenants.
+ *
+ *  - Inference — one admitted unit per request: the whole forward
+ *                runs at admission, occupies one window slot until
+ *                its graph completes, and is WFQ-charged its whole
+ *                nominal cost (PR 3 semantics).
+ *  - Stage     — one admitted unit per InferenceRun stage: each
+ *                stage occupies a window slot only until *it*
+ *                completes, re-enters the waiting room for its next
+ *                stage, and is WFQ-charged its per-stage share of
+ *                the nominal cost. Stages of different requests
+ *                interleave on one chip; functional outputs stay
+ *                bit-identical to Inference granularity (the FNV
+ *                checksum invariant) — only cycle stamps move.
+ *
+ * Single-MVM tenants are one-stage requests: both granularities
+ * treat them identically.
+ */
+enum class Granularity
+{
+    Inference,
+    Stage,
+};
+
+const char *granularityName(Granularity granularity);
+
 /** Admission-layer configuration. */
 struct AdmissionConfig
 {
@@ -95,6 +131,8 @@ struct AdmissionConfig
     std::vector<std::size_t> chipQueueDepth;
     QosPolicy qos = QosPolicy::Fifo;
     OverflowPolicy overflow = OverflowPolicy::Block;
+    /** Admission unit for inference tenants (see Granularity). */
+    Granularity granularity = Granularity::Inference;
     /** Keep every request's output vector in the report. */
     bool collectOutputs = false;
 };

@@ -41,6 +41,9 @@ sharesByKey(PlacementPolicy policy)
 
 ChipPool::ChipPool(const PoolConfig &cfg) : cfg_(cfg)
 {
+    if (cfg.backlogWindowCycles == 0)
+        darth_fatal("ChipPool: backlogWindowCycles must be positive "
+                    "(it normalizes the CostAware backlog term)");
     if (cfg.chips.empty()) {
         if (cfg.numChips == 0)
             darth_fatal("ChipPool: numChips must be at least 1");
@@ -146,6 +149,12 @@ ChipPool::quoteChips(
             quote.why[c] = e.what();
         }
     }
+    // per_chip quotes the shape's *silicon* cost (replicable across
+    // uniform slots); the backlog inflation is runtime state and
+    // always per slot.
+    for (std::size_t c = 0; c < chips_.size(); ++c)
+        if (quote.parts[c] != kUnplaceable)
+            quote.score[c] *= loadFactor(c);
     return quote;
 }
 
@@ -264,8 +273,29 @@ ChipPool::llmMapper(std::size_t chip)
 }
 
 double
+ChipPool::loadFactor(std::size_t chip) const
+{
+    // Queue pressure in cycles, not request counts: a chip sitting
+    // on a backlog of one backlogWindowCycles' worth of oracle work
+    // looks twice as expensive, so placement trades silicon speed
+    // against queue depth (and a slower-but-idle chip can win).
+    return 1.0 +
+           static_cast<double>(
+               runtimes_[chip]->scheduler().backlogCycles()) /
+               static_cast<double>(cfg_.backlogWindowCycles);
+}
+
+double
 ChipPool::scoreFor(std::size_t chip, const runtime::MatrixPlan &plan,
                    int input_bits)
+{
+    return rawCostScore(chip, plan, input_bits) * loadFactor(chip);
+}
+
+double
+ChipPool::rawCostScore(std::size_t chip,
+                       const runtime::MatrixPlan &plan,
+                       int input_bits)
 {
     const Cycle cost =
         runtimes_[chip]->scheduler().oracleCost(plan, input_bits);
@@ -314,7 +344,7 @@ ChipPool::placeModel(u64 key, const MatrixI &m, int element_bits,
             bits_per_cell);
         const double score =
             cfg_.placement == PlacementPolicy::CostAware
-                ? scoreFor(c, plan, input_bits)
+                ? rawCostScore(c, plan, input_bits)
                 : 0.0;
         return std::make_pair(plan.parts.size(), score);
     });
@@ -484,43 +514,97 @@ ChipPool::isInference(ModelRef model) const
            nullptr;
 }
 
-InferenceOutcome
-ChipPool::runInference(ModelRef model, const std::vector<i64> &input,
-                       Cycle earliest)
+std::unique_ptr<StagedInference>
+ChipPool::beginInference(ModelRef model,
+                         const std::vector<i64> &input, Cycle ready)
 {
-    const Model &m = modelRef(model, "ChipPool::runInference");
+    const Model &m = modelRef(model, "ChipPool::beginInference");
     if (m.inference == nullptr)
-        darth_fatal("ChipPool::runInference: model ", model,
+        darth_fatal("ChipPool::beginInference: model ", model,
                     " is a single-MVM model; use submit()/wait()");
     InferenceModel &im = *models_[model].inference;
     if (input.size() != im.inputRows)
-        darth_fatal("ChipPool::runInference: input has ", input.size(),
-                    " values but the model needs ", im.inputRows);
+        darth_fatal("ChipPool::beginInference: input has ",
+                    input.size(), " values but the model needs ",
+                    im.inputRows);
 
-    InferenceOutcome outcome;
+    auto inference = std::make_unique<StagedInference>();
+    inference->model = model;
     if (im.cnnFwd != nullptr) {
-        const cnn::ForwardResult r = im.cnnFwd->infer(
-            im.cnnNet->inputFromFlat(input), earliest);
-        outcome.values = r.logits;
-        outcome.start = r.start;
-        outcome.done = r.done;
-        outcome.mvms = r.mvmCount;
+        inference->run =
+            im.cnnFwd->begin(im.cnnNet->inputFromFlat(input), ready);
     } else {
         const llm::EncoderConfig &cfg = im.llmEnc->config();
         MatrixI tokens(cfg.seqLen, cfg.dModel);
         for (std::size_t t = 0; t < cfg.seqLen; ++t)
             for (std::size_t c = 0; c < cfg.dModel; ++c)
                 tokens(t, c) = input[t * cfg.dModel + c];
-        const llm::EncoderForwardResult r =
-            im.llmFwd->infer(tokens, earliest);
-        outcome.values.reserve(r.output.size());
-        for (std::size_t t = 0; t < r.output.rows(); ++t)
-            for (std::size_t c = 0; c < r.output.cols(); ++c)
-                outcome.values.push_back(r.output(t, c));
-        outcome.start = r.start;
-        outcome.done = r.done;
-        outcome.mvms = r.mvmCount;
+        inference->run = im.llmFwd->begin(tokens, ready);
     }
+
+    // Normalize the run's per-step nominal costs into admission
+    // charges that sum exactly to the whole-inference nominal, so
+    // per-stage weighted-fair accounting charges a request the same
+    // total as whole-inference admission would.
+    const runtime::InferenceRun &run = *inference->run;
+    const Cycle total = im.oracleCost;
+    Cycle weight_sum = 0;
+    for (std::size_t i = 0; i < run.stepCount(); ++i)
+        weight_sum += run.stepNominal(i);
+    inference->stageCharges.resize(run.stepCount(), 0);
+    Cycle charged = 0;
+    for (std::size_t i = 0; i < run.stepCount(); ++i) {
+        const Cycle charge =
+            weight_sum == 0
+                ? total / run.stepCount()
+                : total * run.stepNominal(i) / weight_sum;
+        inference->stageCharges[i] = charge;
+        charged += charge;
+    }
+    // Integer-division remainder lands on the last stage.
+    if (!inference->stageCharges.empty())
+        inference->stageCharges.back() += total - charged;
+    return inference;
+}
+
+std::size_t
+ChipPool::advanceInference(StagedInference &inference, Cycle admitted)
+{
+    if (inference.finished())
+        darth_fatal("ChipPool::advanceInference: model ",
+                    inference.model, "'s run already submitted all ",
+                    inference.stageCount(), " stages");
+    return inference.run->submitNext(admitted);
+}
+
+Cycle
+ChipPool::stageDoneCycle(StagedInference &inference, std::size_t stage)
+{
+    return inference.run->stepDone(stage);
+}
+
+InferenceOutcome
+ChipPool::runToCompletion(StagedInference &inference, Cycle admitted)
+{
+    while (!inference.finished())
+        advanceInference(inference, admitted);
+    return finishInference(inference);
+}
+
+InferenceOutcome
+ChipPool::finishInference(StagedInference &inference)
+{
+    if (!inference.finished())
+        darth_fatal("ChipPool::finishInference: model ",
+                    inference.model, "'s run submitted only ",
+                    inference.submittedStages(), " of ",
+                    inference.stageCount(), " stages");
+    const runtime::GraphStats stats = inference.run->finish();
+    InferenceOutcome outcome;
+    outcome.values = inference.run->output();
+    outcome.start = stats.start;
+    outcome.done = stats.done;
+    outcome.mvms = stats.mvmCount;
     return outcome;
 }
 
@@ -578,7 +662,7 @@ ChipPool::submit(ModelRef model, std::vector<i64> x, int input_bits,
     const Model &m = modelRef(model, "ChipPool::submit");
     if (m.inference != nullptr)
         darth_fatal("ChipPool::submit: model ", model,
-                    " is an inference model; use runInference()");
+                    " is an inference model; use beginInference()");
     return sessions_[m.chip].submit(m.handle, std::move(x), input_bits,
                                     earliest);
 }
@@ -606,6 +690,15 @@ ChipPool::queueDepth(std::size_t chip) const
         darth_panic("ChipPool::queueDepth: chip ", chip,
                     " out of range ", runtimes_.size());
     return runtimes_[chip]->scheduler().queueDepth();
+}
+
+Cycle
+ChipPool::backlogCycles(std::size_t chip) const
+{
+    if (chip >= runtimes_.size())
+        darth_panic("ChipPool::backlogCycles: chip ", chip,
+                    " out of range ", runtimes_.size());
+    return runtimes_[chip]->scheduler().backlogCycles();
 }
 
 Cycle

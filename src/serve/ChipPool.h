@@ -9,7 +9,12 @@
  * so the serving layer above (Admission) deals only in ModelRefs. A
  * model is either one weight matrix (single-MVM requests) or a whole
  * inference network — a TinyCnn or a small encoder layer — whose
- * requests run as InferenceGraph forwards (runInference). Policies:
+ * requests run as incremental InferenceRun forwards: beginInference
+ * plans the run, advanceInference submits one admission-sized stage
+ * at a time, finishInference collects the outputs. The admission
+ * layer chooses whether to advance a run to completion at admission
+ * (inference granularity) or to interleave stages of different
+ * requests on one chip (stage granularity). Policies:
  *
  *  - RoundRobin     — rotate over chips with enough free tiles.
  *  - LeastLoaded    — most free tiles, then smallest scheduler
@@ -20,16 +25,31 @@
  *                     holds them (and keep the same-matrix pipelined
  *                     issue rate), instead of re-programming tiles.
  *                     New keys fall back to least-loaded.
- *  - CostAware      — heterogeneity-aware: score every chip that can
- *                     fit the placement by the KernelModel oracle
- *                     cost of one request *on that chip's
- *                     configuration* (single-MVM: the owning
- *                     scheduler's per-chip oracle; inference: the
- *                     per-chip mapper's network cost), normalized by
- *                     the chip's clock, and place on the cheapest —
- *                     ties fall back to least-loaded. Affinity
- *                     sharing by non-zero key is honored exactly as
- *                     under MatrixAffinity.
+ *  - CostAware      — heterogeneity- and load-aware: score every
+ *                     chip that can fit the placement by
+ *                       oracleCost / clockGHz
+ *                           * (1 + backlogCycles / backlogWindow)
+ *                     — the KernelModel oracle cost of one request
+ *                     *on that chip's configuration* (single-MVM:
+ *                     the owning scheduler's per-chip oracle;
+ *                     inference: the per-chip mapper's network
+ *                     cost) over the chip clock, inflated by the
+ *                     chip's scheduler backlog in cycles
+ *                     (Scheduler::backlogCycles over
+ *                     PoolConfig::backlogWindowCycles) — and place
+ *                     on the cheapest; ties fall back to
+ *                     least-loaded. A slower-but-idle chip beats a
+ *                     faster-but-backlogged one once the backlog
+ *                     outweighs the silicon gap, and because
+ *                     placement itself enqueues nothing, scores are
+ *                     static while a batch of tenants is placed:
+ *                     whenever scores are strict (distinct silicon
+ *                     or distinct backlogs), assigning tenants in
+ *                     any arrival order yields the same per-tenant
+ *                     chips, capacity permitting. (Exact ties still
+ *                     fall back to the mutable least-loaded order.)
+ *                     Affinity sharing by non-zero key is honored
+ *                     exactly as under MatrixAffinity.
  *
  * Pools may be heterogeneous: PoolConfig::chips gives each slot its
  * own ChipSpec (ADC kind, tile count, geometry, clock — see
@@ -92,6 +112,12 @@ struct PoolConfig
     PlacementPolicy placement = PlacementPolicy::LeastLoaded;
     /** Base seed; chip i seeds its noise models with seed + i. */
     u64 seed = 1;
+    /**
+     * Backlog normalization horizon of the CostAware score: a chip
+     * whose scheduler backlog equals this many cycles has its
+     * effective cost doubled. Must be positive.
+     */
+    Cycle backlogWindowCycles = 50000;
 };
 
 /** Handle to one model placed somewhere in the pool. */
@@ -108,6 +134,34 @@ struct InferenceOutcome
     Cycle done = 0;
     /** MVMs the inference streamed. */
     std::size_t mvms = 0;
+};
+
+/**
+ * One stage-granular inference in flight (from
+ * ChipPool::beginInference). Owns the model runner's InferenceRun
+ * and the per-stage admission charges; the pool that issued it (and
+ * the placed model) must outlive it.
+ */
+struct StagedInference
+{
+    ModelRef model = 0;
+    /**
+     * Per-stage weighted-fair admission charges: the run's per-step
+     * nominal oracle costs, normalized so they sum *exactly* to
+     * nominalServiceCycles(model) — admitting every stage of a
+     * request charges precisely what admitting the whole inference
+     * would have.
+     */
+    std::vector<Cycle> stageCharges;
+    std::unique_ptr<runtime::InferenceRun> run;
+
+    std::size_t stageCount() const { return stageCharges.size(); }
+    std::size_t submittedStages() const
+    {
+        return run->submittedSteps();
+    }
+    /** True once every stage has been submitted. */
+    bool finished() const { return run->finished(); }
 };
 
 /** A pool of chips behind one placement front end. */
@@ -145,8 +199,10 @@ class ChipPool
      * CostAware's score for one single-MVM shape on one chip: the
      * KernelModel oracle latency of one request on that chip's
      * configuration (measured through the chip's own scheduler
-     * oracle), in nanoseconds (cycles over the chip clock). Fatal
-     * when the shape cannot be planned on that chip at all.
+     * oracle), in nanoseconds (cycles over the chip clock),
+     * inflated by the chip's current scheduler backlog:
+     * (1 + backlogCycles / backlogWindowCycles). Fatal when the
+     * shape cannot be planned on that chip at all.
      */
     double placementScore(std::size_t chip, std::size_t rows,
                           std::size_t cols, int element_bits,
@@ -167,16 +223,41 @@ class ChipPool
     bool isInference(ModelRef model) const;
 
     /**
-     * Run one whole-inference request (fatal for single-MVM models):
-     * builds the model's InferenceGraph on the owning chip's session
-     * with every root bounded by `earliest`, runs it to completion,
-     * and returns the outputs with the graph's cycle stamps.
+     * Begin one inference request (fatal for single-MVM models):
+     * plans the model's InferenceRun on the owning chip's session
+     * with the root source at `ready`, computes the per-stage
+     * admission charges, and submits *nothing*. Drive the run with
+     * advanceInference — once per stage for stage-granular
+     * admission, or in a loop for run-to-completion semantics.
      * Successive inferences against one model pipeline at the
      * per-layer amortized rate because the placements persist.
      */
-    InferenceOutcome runInference(ModelRef model,
-                                  const std::vector<i64> &input,
-                                  Cycle earliest = 0);
+    std::unique_ptr<StagedInference>
+    beginInference(ModelRef model, const std::vector<i64> &input,
+                   Cycle ready = 0);
+
+    /**
+     * Submit the next stage of an in-flight inference, bounded below
+     * by `admitted` (its admission cycle); returns the stage index.
+     * Fatal when the run is already finished.
+     */
+    std::size_t advanceInference(StagedInference &inference,
+                                 Cycle admitted);
+
+    /** Completion cycle of one submitted stage (fatal for a stage
+     *  not yet submitted). */
+    Cycle stageDoneCycle(StagedInference &inference,
+                         std::size_t stage);
+
+    /** Collect a finished run's outputs and whole-graph cycle
+     *  stamps (fatal unless finished()). */
+    InferenceOutcome finishInference(StagedInference &inference);
+
+    /** Eager convenience: submit every remaining stage at
+     *  `admitted` and collect the outcome — whole-inference
+     *  admission semantics in one call. */
+    InferenceOutcome runToCompletion(StagedInference &inference,
+                                     Cycle admitted);
 
     /** Chip that holds a placed model. */
     std::size_t modelChip(ModelRef model) const;
@@ -212,6 +293,10 @@ class ChipPool
 
     /** Scheduler queue depth of one chip (backpressure signal). */
     std::size_t queueDepth(std::size_t chip) const;
+
+    /** Scheduler backlog of one chip in cycles (the CostAware load
+     *  term; see Scheduler::backlogCycles). */
+    Cycle backlogCycles(std::size_t chip) const;
 
     /** Max scheduler makespan over all chips. */
     Cycle makespan() const;
@@ -281,9 +366,21 @@ class ChipPool
     bool lessLoaded(std::size_t a, std::size_t b) const;
 
     /** The CostAware score of an already-planned single-MVM shape
-     *  on one chip (shared by placementScore and placeModel). */
+     *  on one chip: rawCostScore times the chip's loadFactor
+     *  (placementScore's backing). */
     double scoreFor(std::size_t chip, const runtime::MatrixPlan &plan,
                     int input_bits);
+
+    /** The silicon-only part of the score (oracle cost over clock,
+     *  no backlog term) — what quoteChips replicates across uniform
+     *  slots before applying per-slot load. */
+    double rawCostScore(std::size_t chip,
+                        const runtime::MatrixPlan &plan,
+                        int input_bits);
+
+    /** The CostAware backlog inflation of one chip:
+     *  1 + backlogCycles / backlogWindowCycles. */
+    double loadFactor(std::size_t chip) const;
 
     const Model &modelRef(ModelRef model, const char *what) const;
 

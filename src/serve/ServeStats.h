@@ -96,6 +96,26 @@ struct ChipStats
     /** Max completion cycle on this chip (its local clock). */
     Cycle makespan = 0;
 
+    /**
+     * This chip's scheduler counters over the run (deltas, so a
+     * reused pool reports only this trace's work): requests
+     * executed, executed requests that pipelined into a still-warm
+     * same-matrix stream, and executed requests stalled by an
+     * `after` dependency. Together with interleavedStages these
+     * make stage-level interleaving observable from the report.
+     */
+    u64 issued = 0;
+    u64 pipelineHits = 0;
+    u64 dependencyStalls = 0;
+    /**
+     * Stage-granularity interleaving proof: continuation stages
+     * admitted on this chip after some *other* request's admission
+     * intervened since their own request's previous stage (counted
+     * from the per-chip admission sequence). Zero under Inference
+     * granularity, where a request is one admitted unit.
+     */
+    u64 interleavedStages = 0;
+
     /** Completed requests per kilocycle of this chip's makespan. */
     double
     throughputPerKcycle() const

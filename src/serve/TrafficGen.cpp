@@ -107,6 +107,15 @@ TrafficGen::validateSpec(const TenantSpec &spec)
             "TrafficGen: tenant '" + spec.name +
             "' has non-positive arrival rate " +
             std::to_string(spec.ratePerKcycle));
+    if (spec.burst.enabled() &&
+        (spec.burst.onCycles == 0 || spec.burst.offCycles == 0))
+        throw std::invalid_argument(
+            "TrafficGen: tenant '" + spec.name +
+            "' has a one-sided BurstSpec (on=" +
+            std::to_string(spec.burst.onCycles) + ", off=" +
+            std::to_string(spec.burst.offCycles) +
+            "); onCycles and offCycles must both be positive, or "
+            "both zero to disable bursting");
 }
 
 int
@@ -194,6 +203,16 @@ TrafficGen::trace(const std::vector<TenantSpec> &tenants,
         // or reordering other tenants cannot perturb this stream.
         Rng rng(mixSeed(seed_, /*salt=*/0x7247, t));
         const double rate_per_cycle = spec.ratePerKcycle / 1000.0;
+        // Bursty tenants draw arrivals on an *on-time* clock (the
+        // Poisson process runs only while the tenant is on) and map
+        // each arrival into wall time by inserting the off-phases:
+        // on-time T lands in burst period floor(T/on) at offset
+        // T mod on. Disabled bursts keep the wall clock directly,
+        // bit-identical to the unmodulated generator.
+        const bool bursty = spec.burst.enabled();
+        const double on = static_cast<double>(spec.burst.onCycles);
+        const double period =
+            on + static_cast<double>(spec.burst.offCycles);
         double at = 0.0;
         for (;;) {
             // Exponential inter-arrival; at least one cycle apart so
@@ -202,10 +221,20 @@ TrafficGen::trace(const std::vector<TenantSpec> &tenants,
             if (u <= 1e-12)
                 u = 1e-12;
             at += std::max(1.0, -std::log(u) / rate_per_cycle);
-            if (at >= static_cast<double>(horizon))
+            double wall = at;
+            if (bursty) {
+                double k = std::floor(at / on);
+                double within = at - k * on;
+                if (within >= on) {   // float edge of the division
+                    k += 1.0;
+                    within = 0.0;
+                }
+                wall = k * period + within;
+            }
+            if (wall >= static_cast<double>(horizon))
                 break;
             ServeRequest req;
-            req.arrival = static_cast<Cycle>(at);
+            req.arrival = static_cast<Cycle>(wall);
             req.tenant = t;
             req.input.resize(shape.rows);
             for (auto &v : req.input)

@@ -65,6 +65,25 @@ bool isInferenceKind(WorkloadKind kind);
 
 const char *workloadKindName(WorkloadKind kind);
 
+/**
+ * On/off burst modulation of one tenant's open-loop arrivals:
+ * `onCycles` of Poisson arrivals at the tenant's rate, then
+ * `offCycles` of silence, repeating. Both zero (the default)
+ * disables bursting; anything else requires both positive
+ * (validateSpec throws std::invalid_argument otherwise). Bursty
+ * traffic is where stage-granular admission matters most: a burst
+ * fills the window with whole inferences under Inference
+ * granularity, while Stage granularity recycles slots at stage
+ * completions.
+ */
+struct BurstSpec
+{
+    Cycle onCycles = 0;
+    Cycle offCycles = 0;
+
+    bool enabled() const { return onCycles > 0 || offCycles > 0; }
+};
+
 /** One serving tenant, as the traffic generator sees it. */
 struct TenantSpec
 {
@@ -72,7 +91,8 @@ struct TenantSpec
     WorkloadKind kind = WorkloadKind::Micro;
     /** Weighted-fair QoS share. */
     double weight = 1.0;
-    /** Mean open-loop arrivals per 1000 cycles. */
+    /** Mean open-loop arrivals per 1000 cycles (during on-phases
+     *  when `burst` is enabled). */
     double ratePerKcycle = 1.0;
     /**
      * Model identity: tenants sharing a non-zero key use the same
@@ -80,6 +100,10 @@ struct TenantSpec
      * placement itself. 0 = a private matrix per tenant.
      */
     u64 modelKey = 0;
+    /** Optional on/off arrival bursts (disabled by default). Last
+     *  member so positional aggregate initializers predating it
+     *  keep their meaning. */
+    BurstSpec burst;
 };
 
 /** One request of the open-loop trace. */
@@ -99,9 +123,11 @@ class TrafficGen
 
     /**
      * Validate a tenant spec: a non-positive QoS `weight` or
-     * open-loop `ratePerKcycle` throws std::invalid_argument.
-     * buildTenants() and trace() both call this, so a bad spec fails
-     * at the serving front door rather than deep in a sweep.
+     * open-loop `ratePerKcycle`, or a one-sided BurstSpec (exactly
+     * one of onCycles/offCycles zero), throws
+     * std::invalid_argument. buildTenants() and trace() both call
+     * this, so a bad spec fails at the serving front door rather
+     * than deep in a sweep.
      */
     static void validateSpec(const TenantSpec &spec);
 

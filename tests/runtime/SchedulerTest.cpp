@@ -671,6 +671,37 @@ TEST(Scheduler, QueuedRequestViewCarriesOracleCostAndReadiness)
     EXPECT_EQ(seen[1].oracleCost, oracle);
 }
 
+TEST(Scheduler, BacklogCyclesTracksQueuedOracleWork)
+{
+    // backlogCycles is queue pressure in cycles: the summed oracle
+    // latency of unexecuted requests, falling as the queue drains —
+    // the load term of the pool's CostAware placement.
+    const ChipConfig cfg = smallChip(1);
+    Chip chip(cfg);
+    Runtime rt(chip);
+    Session session = rt.createSession();
+    const MatrixI m = randomMatrix(8, 8, -2, 2, 520);
+    const MatrixHandle handle = session.setMatrix(m, 2, 0);
+
+    EXPECT_EQ(rt.scheduler().backlogCycles(), 0u);
+    const Cycle oracle =
+        rt.scheduler().oracleCost(handle.plan(), 3);
+    ASSERT_GT(oracle, 0u);
+
+    std::vector<MvmFuture> futures;
+    for (int i = 0; i < 3; ++i)
+        futures.push_back(
+            session.submit(handle, std::vector<i64>(8, 1), 3));
+    EXPECT_EQ(rt.scheduler().backlogCycles(), 3 * oracle);
+
+    // Waiting one future drains it (and everything the greedy order
+    // executes first); the backlog shrinks accordingly.
+    (void)session.wait(futures[0]);
+    EXPECT_LT(rt.scheduler().backlogCycles(), 3 * oracle);
+    session.waitAll();
+    EXPECT_EQ(rt.scheduler().backlogCycles(), 0u);
+}
+
 } // namespace
 } // namespace runtime
 } // namespace darth

@@ -562,6 +562,251 @@ TEST(Admission, InferenceRequestsServeWholeForwards)
             << "request " << i;
 }
 
+/** One chip large enough for a TinyCnn + encoder + a Micro matrix. */
+PoolConfig
+stagePoolConfig()
+{
+    PoolConfig cfg = inferPoolConfig();
+    cfg.chip.numHcts = 10;
+    return cfg;
+}
+
+TEST(Admission, StageGranularityKeepsOutputsBitIdentical)
+{
+    // The acceptance invariant: the same mixed mvm+inference trace
+    // under inference- and stage-granular admission completes the
+    // same requests with bit-identical outputs (and therefore equal
+    // FNV checksums); only cycle stamps move.
+    TrafficGen gen(61);
+    std::vector<TenantSpec> specs(3);
+    specs[0].name = "cnn_infer";
+    specs[0].kind = WorkloadKind::CnnInfer;
+    specs[0].ratePerKcycle = 0.1;
+    specs[1].name = "llm_infer";
+    specs[1].kind = WorkloadKind::LlmInfer;
+    specs[1].ratePerKcycle = 0.05;
+    specs[2].name = "micro";
+    specs[2].kind = WorkloadKind::Micro;
+    specs[2].ratePerKcycle = 1.0;
+    const auto trace = gen.trace(specs, 60000);
+    ASSERT_GT(trace.size(), 20u);
+
+    auto run_granularity = [&](Granularity granularity) {
+        ChipPool pool(stagePoolConfig());
+        auto tenants = buildTenants(pool, gen, specs);
+        AdmissionConfig cfg;
+        cfg.queueDepth = 2;
+        cfg.qos = QosPolicy::WeightedFair;
+        cfg.overflow = OverflowPolicy::Block;
+        cfg.granularity = granularity;
+        cfg.collectOutputs = true;
+        AdmissionController ac(pool, tenants, cfg);
+        return ac.run(trace);
+    };
+
+    const ServeReport whole = run_granularity(Granularity::Inference);
+    const ServeReport staged = run_granularity(Granularity::Stage);
+    EXPECT_EQ(whole.completed, trace.size());
+    EXPECT_EQ(staged.completed, trace.size());
+    EXPECT_EQ(whole.outputChecksum, staged.outputChecksum);
+    ASSERT_EQ(whole.outputs.size(), staged.outputs.size());
+    for (std::size_t i = 0; i < whole.outputs.size(); ++i)
+        EXPECT_EQ(whole.outputs[i], staged.outputs[i])
+            << "request " << i;
+
+    // Same MVMs issued either way; the stage cell interleaved
+    // stages of distinct requests, the whole-unit cell cannot.
+    EXPECT_EQ(whole.chips[0].issued, staged.chips[0].issued);
+    EXPECT_EQ(whole.chips[0].interleavedStages, 0u);
+    EXPECT_GT(staged.chips[0].interleavedStages, 0u);
+
+    // Spot-check one inference output against the reference net.
+    const cnn::TinyCnn ref =
+        gen.cnnInferNet(TrafficGen::privateModelKey(0));
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        if (trace[i].tenant == 0) {
+            EXPECT_EQ(staged.outputs[i],
+                      ref.infer(ref.inputFromFlat(trace[i].input)));
+            break;
+        }
+}
+
+TEST(Admission, StageSlotsReleaseOnStageCompletion)
+{
+    // Window of one, an inference request admitted at cycle 0, and a
+    // single-MVM request right behind it. Whole-unit admission holds
+    // the slot for the entire graph, so the MVM starts only after
+    // the inference completes; stage-granular admission frees the
+    // slot at the first stage's completion, so under round-robin
+    // QoS (which alternates tenants; FIFO would keep serving the
+    // older request's continuations) the MVM starts while the
+    // inference is still mid-graph.
+    TrafficGen gen(62);
+    std::vector<TenantSpec> specs(2);
+    specs[0].name = "cnn_infer";
+    specs[0].kind = WorkloadKind::CnnInfer;
+    specs[0].ratePerKcycle = 0.1;
+    specs[1].name = "micro";
+    specs[1].kind = WorkloadKind::Micro;
+    specs[1].ratePerKcycle = 1.0;
+
+    std::vector<ServeRequest> trace(2);
+    trace[0].arrival = 0;
+    trace[0].tenant = 0;
+    trace[0].input.assign(TrafficGen::inputRows(WorkloadKind::CnnInfer),
+                          2);
+    trace[1].arrival = 1;
+    trace[1].tenant = 1;
+    trace[1].input.assign(TrafficGen::inputRows(WorkloadKind::Micro),
+                          1);
+
+    auto run_granularity = [&](Granularity granularity) {
+        ChipPool pool(stagePoolConfig());
+        auto tenants = buildTenants(pool, gen, specs);
+        AdmissionConfig cfg;
+        cfg.queueDepth = 1;
+        cfg.qos = QosPolicy::RoundRobin;
+        cfg.overflow = OverflowPolicy::Block;
+        cfg.granularity = granularity;
+        AdmissionController ac(pool, tenants, cfg);
+        return ac.run(trace);
+    };
+
+    const ServeReport whole = run_granularity(Granularity::Inference);
+    const ServeReport staged = run_granularity(Granularity::Stage);
+    ASSERT_EQ(whole.completed, 2u);
+    ASSERT_EQ(staged.completed, 2u);
+
+    const double whole_infer_done = whole.tenants[0].doneCycle[0];
+    const double whole_mvm_start =
+        1.0 + whole.tenants[1].queueing[0];
+    EXPECT_GE(whole_mvm_start, whole_infer_done);
+
+    const double staged_infer_done = staged.tenants[0].doneCycle[0];
+    const double staged_mvm_start =
+        1.0 + staged.tenants[1].queueing[0];
+    EXPECT_LT(staged_mvm_start, staged_infer_done);
+    // The MVM slipped between two stages of the inference: that is
+    // the interleaving the per-chip admission sequence counts.
+    EXPECT_GE(staged.chips[0].interleavedStages, 1u);
+}
+
+TEST(Admission, StageRejectFinishesBegunRequestsAndDropsArrivals)
+{
+    // Reject + window 1 at stage granularity: the admitted request's
+    // continuation stages always claim freed slots (a begun forward
+    // is never stranded), burst arrivals against the held window are
+    // dropped, and a late arrival after the graph drains is served.
+    TrafficGen gen(63);
+    std::vector<TenantSpec> specs(1);
+    specs[0].name = "cnn_infer";
+    specs[0].kind = WorkloadKind::CnnInfer;
+    specs[0].ratePerKcycle = 0.1;
+
+    const std::size_t rows =
+        TrafficGen::inputRows(WorkloadKind::CnnInfer);
+    std::vector<ServeRequest> trace(4);
+    trace[0].arrival = 0;
+    trace[1].arrival = 1;
+    trace[2].arrival = 2;
+    // Far beyond one TinyCnn graph span (~15k cycles here).
+    trace[3].arrival = 100000;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        trace[i].tenant = 0;
+        trace[i].input.assign(rows, static_cast<i64>(i + 1));
+    }
+
+    ChipPool pool(stagePoolConfig());
+    auto tenants = buildTenants(pool, gen, specs);
+    AdmissionConfig cfg;
+    cfg.queueDepth = 1;
+    cfg.overflow = OverflowPolicy::Reject;
+    cfg.granularity = Granularity::Stage;
+    cfg.collectOutputs = true;
+    AdmissionController ac(pool, tenants, cfg);
+    const ServeReport report = ac.run(trace);
+
+    EXPECT_EQ(report.completed, 2u);
+    EXPECT_EQ(report.rejected, 2u);
+    const cnn::TinyCnn ref =
+        gen.cnnInferNet(TrafficGen::privateModelKey(0));
+    EXPECT_EQ(report.outputs[0],
+              ref.infer(ref.inputFromFlat(trace[0].input)));
+    EXPECT_TRUE(report.outputs[1].empty());
+    EXPECT_TRUE(report.outputs[2].empty());
+    EXPECT_EQ(report.outputs[3],
+              ref.infer(ref.inputFromFlat(trace[3].input)));
+}
+
+TEST(Admission, BurstSpecValidationThrows)
+{
+    TenantSpec one_sided;
+    one_sided.name = "b";
+    one_sided.kind = WorkloadKind::Micro;
+    one_sided.burst.onCycles = 100;
+    EXPECT_THROW(TrafficGen::validateSpec(one_sided),
+                 std::invalid_argument);
+    one_sided.burst = {0, 100};
+    EXPECT_THROW(TrafficGen::validateSpec(one_sided),
+                 std::invalid_argument);
+
+    TrafficGen gen(64);
+    EXPECT_THROW((void)gen.trace({one_sided}, 1000),
+                 std::invalid_argument);
+    ChipPool pool(poolConfig(1, 1));
+    EXPECT_THROW((void)buildTenants(pool, gen, {one_sided}),
+                 std::invalid_argument);
+
+    TenantSpec bursty = one_sided;
+    bursty.burst = {100, 300};
+    EXPECT_NO_THROW(TrafficGen::validateSpec(bursty));
+    TenantSpec steady = one_sided;
+    steady.burst = {0, 0};
+    EXPECT_NO_THROW(TrafficGen::validateSpec(steady));
+}
+
+TEST(Admission, BurstyArrivalsStayInOnWindows)
+{
+    TrafficGen gen(65);
+    TenantSpec spec;
+    spec.name = "bursty";
+    spec.kind = WorkloadKind::Micro;
+    spec.ratePerKcycle = 50.0;
+    spec.burst = {500, 1500};
+
+    const auto trace = gen.trace({spec}, 20000);
+    ASSERT_GT(trace.size(), 50u);
+    const Cycle period = spec.burst.onCycles + spec.burst.offCycles;
+    Cycle prev = 0;
+    for (const ServeRequest &req : trace) {
+        EXPECT_LT(req.arrival % period, spec.burst.onCycles)
+            << "arrival " << req.arrival << " falls in an off-phase";
+        EXPECT_GE(req.arrival, prev);
+        prev = req.arrival;
+    }
+    // Deterministic: the same seed replays the same trace.
+    const auto replay = TrafficGen(65).trace({spec}, 20000);
+    ASSERT_EQ(replay.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(replay[i].arrival, trace[i].arrival);
+
+    // A bursty neighbour never perturbs a steady tenant's stream
+    // (streams are salted by tenant index, so keep steady at 0).
+    TenantSpec steady;
+    steady.name = "steady";
+    steady.kind = WorkloadKind::Micro;
+    steady.ratePerKcycle = 10.0;
+    const auto mixed = gen.trace({steady, spec}, 20000);
+    const auto solo = gen.trace({steady}, 20000);
+    std::vector<Cycle> mixed_arrivals;
+    for (const ServeRequest &req : mixed)
+        if (req.tenant == 0)
+            mixed_arrivals.push_back(req.arrival);
+    ASSERT_EQ(mixed_arrivals.size(), solo.size());
+    for (std::size_t i = 0; i < solo.size(); ++i)
+        EXPECT_EQ(mixed_arrivals[i], solo[i].arrival);
+}
+
 TEST(Admission, InferenceBlocksHonourArrivalOrderAndWindow)
 {
     // Two arrivals back to back against a window of one: the second

@@ -7,6 +7,7 @@
  */
 
 #include <stdexcept>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -215,6 +216,15 @@ inferencePoolConfig(std::size_t chips,
     return cfg;
 }
 
+/** Drive a staged inference to completion at one admission cycle. */
+InferenceOutcome
+runWholeInference(ChipPool &pool, ModelRef model,
+                  const std::vector<i64> &input, Cycle at = 0)
+{
+    auto run = pool.beginInference(model, input, at);
+    return pool.runToCompletion(*run, at);
+}
+
 TEST(ChipPool, InferenceModelRunsWholeForward)
 {
     ChipPool pool(
@@ -225,7 +235,8 @@ TEST(ChipPool, InferenceModelRunsWholeForward)
     EXPECT_EQ(pool.modelRows(model), net.inputSize());
 
     const std::vector<i64> input(net.inputSize(), 3);
-    const InferenceOutcome outcome = pool.runInference(model, input);
+    const InferenceOutcome outcome =
+        runWholeInference(pool, model, input);
     EXPECT_EQ(outcome.values,
               net.infer(net.inputFromFlat(input)));
     EXPECT_EQ(outcome.mvms, 81u);
@@ -373,6 +384,131 @@ TEST(ChipPool, CostAwareHonoursAffinitySharing)
         (void)pool.placeModel(7, gen.weights(WorkloadKind::GfWide, 8),
                               1, 1, 1),
         std::runtime_error);
+}
+
+TEST(ChipPool, StagedInferenceChargesSumToNominal)
+{
+    // Per-stage WFQ charges are the run's per-step oracle costs
+    // normalized so a stage-granular request is charged exactly what
+    // whole-inference admission would charge in total.
+    ChipPool pool(inferencePoolConfig(1, PlacementPolicy::LeastLoaded,
+                                      /*hcts_per_chip=*/9));
+    TrafficGen gen(31);
+    const ModelRef cnn_model =
+        pool.placeCnnInference(0, gen.cnnInferNet(1));
+    const ModelRef llm_model =
+        pool.placeLlmInference(0, gen.llmInferNet(2));
+
+    const std::vector<i64> cnn_input(pool.modelRows(cnn_model), 1);
+    auto cnn_run = pool.beginInference(cnn_model, cnn_input, 0);
+    EXPECT_EQ(cnn_run->stageCount(), 3u);   // conv1, conv2, fc
+    Cycle total = 0;
+    for (const Cycle charge : cnn_run->stageCharges) {
+        EXPECT_GT(charge, 0u);
+        total += charge;
+    }
+    EXPECT_EQ(total, pool.nominalServiceCycles(cnn_model, 8));
+
+    const std::vector<i64> llm_input(pool.modelRows(llm_model), 1);
+    auto llm_run = pool.beginInference(llm_model, llm_input, 0);
+    EXPECT_EQ(llm_run->stageCount(), 4u);   // qkv, attn-wo, ffn1/2
+    total = 0;
+    for (const Cycle charge : llm_run->stageCharges) {
+        EXPECT_GT(charge, 0u);
+        total += charge;
+    }
+    EXPECT_EQ(total, pool.nominalServiceCycles(llm_model, 12));
+
+    // beginInference submits nothing: the chip scheduler is idle
+    // until the run is advanced.
+    EXPECT_EQ(pool.queueDepth(0), 0u);
+    EXPECT_EQ(cnn_run->submittedStages(), 0u);
+
+    // Driving both runs to completion yields the reference outputs.
+    while (!cnn_run->finished())
+        pool.advanceInference(*cnn_run, 0);
+    const InferenceOutcome outcome = pool.finishInference(*cnn_run);
+    const cnn::TinyCnn ref = gen.cnnInferNet(1);
+    EXPECT_EQ(outcome.values, ref.infer(ref.inputFromFlat(cnn_input)));
+}
+
+TEST(ChipPool, CostAwareBacklogPrefersSlowerIdleChip)
+{
+    // Chip 0 is twice as fast (2 GHz) on identical silicon, so an
+    // empty pool places everything there; once its scheduler sits on
+    // enough backlog, the slower-but-idle chip 1 must win.
+    PoolConfig cfg;
+    cfg.chips = {
+        heteroChipSpec(analog::AdcKind::Sar, 2, /*clock_ghz=*/2.0),
+        heteroChipSpec(analog::AdcKind::Sar, 2, /*clock_ghz=*/1.0)};
+    cfg.placement = PlacementPolicy::CostAware;
+    cfg.backlogWindowCycles = 200;
+    ChipPool pool(cfg);
+    TrafficGen gen(32);
+
+    // Idle: the fast chip is strictly cheaper for the same shape.
+    EXPECT_LT(pool.placementScore(0, 8, 8, 1, 1, 1),
+              pool.placementScore(1, 8, 8, 1, 1, 1));
+    const ModelRef warm = pool.placeModel(
+        0, gen.weights(WorkloadKind::Micro, 1), 1, 1, 1);
+    EXPECT_EQ(pool.modelChip(warm), 0u);
+
+    // Pile unexecuted work onto the fast chip's scheduler.
+    EXPECT_EQ(pool.backlogCycles(0), 0u);
+    for (int i = 0; i < 8; ++i)
+        (void)pool.submit(warm, std::vector<i64>(8, 1), 1);
+    ASSERT_GT(pool.backlogCycles(0), 2 * cfg.backlogWindowCycles);
+    EXPECT_EQ(pool.backlogCycles(1), 0u);
+
+    // score0 = (cost/2)(1 + backlog/window) now exceeds score1 =
+    // cost: queue pressure outweighs the clock advantage.
+    EXPECT_GT(pool.placementScore(0, 8, 8, 1, 1, 1),
+              pool.placementScore(1, 8, 8, 1, 1, 1));
+    const ModelRef placed = pool.placeModel(
+        0, gen.weights(WorkloadKind::Micro, 2), 1, 1, 1);
+    EXPECT_EQ(pool.modelChip(placed), 1u);
+}
+
+TEST(ChipPool, CostAwareBacklogMakesAssignmentOrderInsensitive)
+{
+    // Two identical chips, backlog on chip 0 only. Score-ties under
+    // the old cost-only rule broke by least-loaded state, which
+    // placements mutate — so which tenant landed where depended on
+    // arrival order. With the backlog term the scores are strict
+    // and static during placement: either arrival order gives each
+    // tenant the same chip.
+    auto place_pair = [&](bool swapped) {
+        PoolConfig cfg;
+        cfg.chips = {heteroChipSpec(analog::AdcKind::Sar, 3),
+                     heteroChipSpec(analog::AdcKind::Sar, 3)};
+        cfg.placement = PlacementPolicy::CostAware;
+        cfg.backlogWindowCycles = 200;
+        ChipPool pool(cfg);
+        TrafficGen gen(33);
+        const ModelRef warm = pool.placeModel(
+            0, gen.weights(WorkloadKind::Micro, 1), 1, 1, 1);
+        EXPECT_EQ(pool.modelChip(warm), 0u);
+        for (int i = 0; i < 8; ++i)
+            (void)pool.submit(warm, std::vector<i64>(8, 1), 1);
+
+        const MatrixI a = gen.weights(WorkloadKind::Micro, 10);
+        const MatrixI b = gen.weights(WorkloadKind::Micro, 11);
+        ModelRef first =
+            pool.placeModel(0, swapped ? b : a, 1, 1, 1);
+        ModelRef second =
+            pool.placeModel(0, swapped ? a : b, 1, 1, 1);
+        if (swapped)
+            std::swap(first, second);
+        return std::make_pair(pool.modelChip(first),
+                              pool.modelChip(second));
+    };
+
+    const auto forward = place_pair(false);
+    const auto swapped = place_pair(true);
+    EXPECT_EQ(forward, swapped);
+    // Both avoided the backlogged chip.
+    EXPECT_EQ(forward.first, 1u);
+    EXPECT_EQ(forward.second, 1u);
 }
 
 TEST(ChipPool, MixedPoolOutputsBitIdenticalToHomogeneous)

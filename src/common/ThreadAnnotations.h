@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Clang thread-safety annotations and a zero-cost capability for
+ * documenting lock discipline *before* the code goes multi-threaded.
+ *
+ * The runtime and serving layers are single-threaded today, but the
+ * ROADMAP's per-chip worker threads will contend on the scheduler
+ * queues, the placement registry, and the pool's placement tables.
+ * These macros let that state carry its ownership contract now:
+ * members are GUARDED_BY a SeqMutex, private helpers that assume the
+ * guard is held say REQUIRES, and public entry points take a SeqLock.
+ * Under clang, -Wthread-safety (enabled on the runtime/serve targets
+ * by the build) statically proves every guarded access happens under
+ * its guard; under GCC the attributes compile to nothing.
+ *
+ * SeqMutex is deliberately a no-op: it is the *annotation* of a
+ * mutex, not yet a mutex. When the threading PR lands, its lock() /
+ * unlock() swap to a real std::mutex (or the acquire order of a
+ * deterministic merge) and every annotated class becomes thread-safe
+ * without touching a single annotation — the lock insertion is
+ * mechanical because the analysis already enforced the discipline.
+ *
+ * Macro names follow the clang/abseil convention
+ * (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+ */
+
+#ifndef DARTH_COMMON_THREADANNOTATIONS_H
+#define DARTH_COMMON_THREADANNOTATIONS_H
+
+#if defined(__clang__) && !defined(SWIG)
+#define DARTH_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DARTH_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+/** Declares a class to be a lockable capability (e.g. "mutex"). */
+#define CAPABILITY(x) DARTH_THREAD_ANNOTATION(capability(x))
+
+/** Declares an RAII object that acquires/releases a capability. */
+#define SCOPED_CAPABILITY DARTH_THREAD_ANNOTATION(scoped_lockable)
+
+/** The member may only be read/written while holding `x`. */
+#define GUARDED_BY(x) DARTH_THREAD_ANNOTATION(guarded_by(x))
+
+/** The pointee may only be dereferenced while holding `x`. */
+#define PT_GUARDED_BY(x) DARTH_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** The function must be called with the capabilities held. */
+#define REQUIRES(...)                                                \
+    DARTH_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** The function acquires the capabilities (no-arg form: `this`). */
+#define ACQUIRE(...)                                                 \
+    DARTH_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** The function releases the capabilities (no-arg form: `this`). */
+#define RELEASE(...)                                                 \
+    DARTH_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** The function must NOT be called with the capabilities held
+ *  (non-reentrant public entry points). */
+#define EXCLUDES(...)                                                \
+    DARTH_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** The function returns a reference to a capability. */
+#define RETURN_CAPABILITY(x)                                         \
+    DARTH_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: the function is exempt from analysis. */
+#define NO_THREAD_SAFETY_ANALYSIS                                    \
+    DARTH_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace darth
+{
+
+/**
+ * The capability that documents today's single-threaded ownership.
+ *
+ * lock()/unlock() are empty and the whole object is zero bytes of
+ * behaviour: the value is entirely in the annotations, which let
+ * clang's -Wthread-safety prove the guarded-access discipline that a
+ * future real mutex will rely on. Swap the bodies for std::mutex
+ * calls to make every annotated class genuinely thread-safe.
+ */
+class CAPABILITY("mutex") SeqMutex
+{
+  public:
+    SeqMutex() = default;
+    SeqMutex(const SeqMutex &) = delete;
+    SeqMutex &operator=(const SeqMutex &) = delete;
+
+    void lock() ACQUIRE() {}
+    void unlock() RELEASE() {}
+};
+
+/** RAII guard for a SeqMutex (the std::lock_guard shape). */
+class SCOPED_CAPABILITY SeqLock
+{
+  public:
+    explicit SeqLock(SeqMutex &mu) ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+    ~SeqLock() RELEASE() { mu_.unlock(); }
+
+    SeqLock(const SeqLock &) = delete;
+    SeqLock &operator=(const SeqLock &) = delete;
+
+  private:
+    SeqMutex &mu_;
+};
+
+} // namespace darth
+
+#endif // DARTH_COMMON_THREADANNOTATIONS_H

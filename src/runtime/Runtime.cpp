@@ -92,11 +92,19 @@ Runtime::planMatrix(const hct::HctConfig &cfg, std::size_t rows,
 Session
 Runtime::createSession()
 {
+    SeqLock lock(mu_);
     return Session(*this, nextSession_++);
 }
 
 std::size_t
 Runtime::freeHcts() const
+{
+    SeqLock lock(mu_);
+    return freeHctsLocked();
+}
+
+std::size_t
+Runtime::freeHctsLocked() const
 {
     std::size_t free = 0;
     for (bool used : occupied_)
@@ -108,12 +116,13 @@ int
 Runtime::placeMatrix(const MatrixI &m, int element_bits,
                      int bits_per_cell, u64 session)
 {
+    SeqLock lock(mu_);
     MatrixPlan plan = planMatrix(chip_.config().hct, m.rows(), m.cols(),
                                  element_bits, bits_per_cell);
-    if (plan.parts.size() > freeHcts())
+    if (plan.parts.size() > freeHctsLocked())
         darth_fatal("Runtime::placeMatrix: placement needs ",
-                    plan.parts.size(), " HCTs but only ", freeHcts(),
-                    " of ", chip_.numHcts(),
+                    plan.parts.size(), " HCTs but only ",
+                    freeHctsLocked(), " of ", chip_.numHcts(),
                     " are free; increase ChipConfig::numHcts or "
                     "release unused matrices");
 
@@ -159,7 +168,8 @@ Runtime::placeMatrix(const MatrixI &m, int element_bits,
 void
 Runtime::freeMatrix(int handle)
 {
-    PlacedMatrix &pm = placedRef(handle);
+    SeqLock lock(mu_);
+    PlacedMatrix &pm = placedRefLocked(handle);
     scheduler_.drainMatrix(handle);
     for (const auto &part : pm.plan.parts)
         occupied_[part.hctIndex] = false;
@@ -170,6 +180,20 @@ Runtime::freeMatrix(int handle)
 const PlacedMatrix &
 Runtime::placedRef(int handle) const
 {
+    SeqLock lock(mu_);
+    return placedRefLocked(handle);
+}
+
+PlacedMatrix &
+Runtime::placedRef(int handle)
+{
+    SeqLock lock(mu_);
+    return placedRefLocked(handle);
+}
+
+const PlacedMatrix &
+Runtime::placedRefLocked(int handle) const
+{
     if (handle < 0 ||
         static_cast<std::size_t>(handle) >= placed_.size() ||
         placed_[static_cast<std::size_t>(handle)] == nullptr)
@@ -179,17 +203,18 @@ Runtime::placedRef(int handle) const
 }
 
 PlacedMatrix &
-Runtime::placedRef(int handle)
+Runtime::placedRefLocked(int handle)
 {
     return const_cast<PlacedMatrix &>(
-        static_cast<const Runtime *>(this)->placedRef(handle));
+        static_cast<const Runtime *>(this)->placedRefLocked(handle));
 }
 
 void
 Runtime::updateRow(int handle, std::size_t row,
                    const std::vector<i64> &values)
 {
-    PlacedMatrix &pm = placedRef(handle);
+    SeqLock lock(mu_);
+    PlacedMatrix &pm = placedRefLocked(handle);
     if (values.size() != pm.plan.cols)
         darth_fatal("Runtime::updateRow: expected ", pm.plan.cols,
                     " values");
@@ -208,7 +233,8 @@ void
 Runtime::updateCol(int handle, std::size_t col,
                    const std::vector<i64> &values)
 {
-    PlacedMatrix &pm = placedRef(handle);
+    SeqLock lock(mu_);
+    PlacedMatrix &pm = placedRefLocked(handle);
     if (values.size() != pm.plan.rows)
         darth_fatal("Runtime::updateCol: expected ", pm.plan.rows,
                     " values");
@@ -226,7 +252,8 @@ Runtime::updateCol(int handle, std::size_t col,
 Cycle
 Runtime::disableAnalogMode(int handle, Cycle start)
 {
-    PlacedMatrix &pm = placedRef(handle);
+    SeqLock lock(mu_);
+    PlacedMatrix &pm = placedRefLocked(handle);
     scheduler_.drainMatrix(handle);
     pm.analogEnabled = false;
     Cycle done = start;
@@ -239,7 +266,8 @@ Runtime::disableAnalogMode(int handle, Cycle start)
 void
 Runtime::disableDigitalMode(int handle)
 {
-    PlacedMatrix &pm = placedRef(handle);
+    SeqLock lock(mu_);
+    PlacedMatrix &pm = placedRefLocked(handle);
     scheduler_.drainMatrix(handle);
     for (const auto &part : pm.plan.parts)
         chip_.hct(part.hctIndex).disableDigitalMode();
@@ -248,13 +276,15 @@ Runtime::disableDigitalMode(int handle)
 const MatrixPlan &
 Runtime::plan(int handle) const
 {
-    return placedRef(handle).plan;
+    SeqLock lock(mu_);
+    return placedRefLocked(handle).plan;
 }
 
 const MatrixI &
 Runtime::matrix(int handle) const
 {
-    return placedRef(handle).matrix;
+    SeqLock lock(mu_);
+    return placedRefLocked(handle).matrix;
 }
 
 } // namespace runtime

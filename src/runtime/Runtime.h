@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "analog/BitSlicing.h"
+#include "common/ThreadAnnotations.h"
 #include "runtime/Chip.h"
 #include "runtime/KernelModel.h"
 #include "runtime/Placement.h"
@@ -69,7 +70,7 @@ class Runtime
     // ------------------------------------------------------------------
 
     /** Open a new client session. */
-    Session createSession();
+    Session createSession() EXCLUDES(mu_);
 
     /** The shared submission scheduler. */
     Scheduler &scheduler() { return scheduler_; }
@@ -80,16 +81,17 @@ class Runtime
      * by Session::setMatrix into an RAII MatrixHandle.
      */
     int placeMatrix(const MatrixI &m, int element_bits,
-                    int bits_per_cell, u64 session = 0);
+                    int bits_per_cell, u64 session = 0)
+        EXCLUDES(mu_);
 
     /**
      * Release a placed matrix: drains its in-flight MVMs and returns
      * its HCTs to the free pool so later placements can reuse them.
      */
-    void freeMatrix(int handle);
+    void freeMatrix(int handle) EXCLUDES(mu_);
 
     /** HCTs not currently owned by any placement. */
-    std::size_t freeHcts() const;
+    std::size_t freeHcts() const EXCLUDES(mu_);
 
     // ------------------------------------------------------------------
     // Handle-level operations (valid for session and shim handles).
@@ -99,23 +101,23 @@ class Runtime
 
     /** Update one matrix row on the owning HCTs. */
     void updateRow(int handle, std::size_t row,
-                   const std::vector<i64> &values);
+                   const std::vector<i64> &values) EXCLUDES(mu_);
 
     /** Update one matrix column on the owning HCTs. */
     void updateCol(int handle, std::size_t col,
-                   const std::vector<i64> &values);
+                   const std::vector<i64> &values) EXCLUDES(mu_);
 
     /** Disable the ACEs backing this matrix (copy to digital). */
-    Cycle disableAnalogMode(int handle, Cycle start);
+    Cycle disableAnalogMode(int handle, Cycle start) EXCLUDES(mu_);
 
     /** Disable DCE post-processing on the owning HCTs. */
-    void disableDigitalMode(int handle);
+    void disableDigitalMode(int handle) EXCLUDES(mu_);
 
     /** Placement introspection. */
-    const MatrixPlan &plan(int handle) const;
+    const MatrixPlan &plan(int handle) const EXCLUDES(mu_);
 
     /** Stored matrix introspection. */
-    const MatrixI &matrix(int handle) const;
+    const MatrixI &matrix(int handle) const EXCLUDES(mu_);
 
     Chip &chip() { return chip_; }
 
@@ -123,17 +125,39 @@ class Runtime
     friend class Session;
     friend class MatrixHandle;
 
-    const PlacedMatrix &placedRef(int handle) const;
-    PlacedMatrix &placedRef(int handle);
+    /**
+     * Registry lookup. The returned reference outlives the registry
+     * guard: PlacedMatrix objects are heap-stable (unique_ptr slots)
+     * and mutated only behind drain barriers, so escaping the lock is
+     * part of the contract — the Scheduler holds these pointers
+     * across drains.
+     */
+    const PlacedMatrix &placedRef(int handle) const EXCLUDES(mu_);
+    PlacedMatrix &placedRef(int handle) EXCLUDES(mu_);
+
+    /** placedRef() body, for callers already holding the guard. */
+    const PlacedMatrix &placedRefLocked(int handle) const
+        REQUIRES(mu_);
+    PlacedMatrix &placedRefLocked(int handle) REQUIRES(mu_);
+
+    /** freeHcts() body, for callers already holding the guard. */
+    std::size_t freeHctsLocked() const REQUIRES(mu_);
+
+    /** Guards the placement registry and the id/uid counters. A
+     *  no-op capability until the threading work lands (see
+     *  common/ThreadAnnotations.h). */
+    mutable SeqMutex mu_;
 
     Chip &chip_;
+    /** Self-locking (its own mu_); not guarded here. */
     Scheduler scheduler_;
-    std::vector<std::unique_ptr<PlacedMatrix>> placed_;
-    std::vector<int> freeIds_;
-    std::vector<bool> occupied_;
-    std::size_t nextHct_ = 0;
-    u64 nextSession_ = 1;
-    u64 nextUid_ = 1;
+    std::vector<std::unique_ptr<PlacedMatrix>> placed_
+        GUARDED_BY(mu_);
+    std::vector<int> freeIds_ GUARDED_BY(mu_);
+    std::vector<bool> occupied_ GUARDED_BY(mu_);
+    std::size_t nextHct_ GUARDED_BY(mu_) = 0;
+    u64 nextSession_ GUARDED_BY(mu_) = 1;
+    u64 nextUid_ GUARDED_BY(mu_) = 1;
 };
 
 } // namespace runtime

@@ -38,6 +38,7 @@ Scheduler::submit(const PlacedMatrix &pm, std::vector<i64> x,
                   int input_bits, Cycle earliest,
                   const std::vector<MvmFuture> &after)
 {
+    SeqLock lock(mu_);
     if (!pm.analogEnabled)
         darth_fatal("Scheduler::submit: analog mode is disabled for "
                     "matrix handle ", pm.id);
@@ -70,7 +71,7 @@ Scheduler::submit(const PlacedMatrix &pm, std::vector<i64> x,
     req.inputBits = input_bits;
     req.earliest = earliest;
     req.session = pm.session;
-    req.oracleCost = oracleCost(pm.plan, input_bits);
+    req.oracleCost = oracleCostLocked(pm.plan, input_bits);
     req.deps.reserve(after.size());
     for (const MvmFuture &dep : after)
         req.deps.push_back(dep.id());
@@ -82,6 +83,13 @@ Scheduler::submit(const PlacedMatrix &pm, std::vector<i64> x,
 
 Cycle
 Scheduler::oracleCost(const MatrixPlan &plan, int input_bits)
+{
+    SeqLock lock(mu_);
+    return oracleCostLocked(plan, input_bits);
+}
+
+Cycle
+Scheduler::oracleCostLocked(const MatrixPlan &plan, int input_bits)
 {
     Cycle worst = 0;
     for (const auto &part : plan.parts) {
@@ -182,6 +190,7 @@ Scheduler::pickNext() const
 void
 Scheduler::setDequeueHook(DequeueHook hook)
 {
+    SeqLock lock(mu_);
     dequeueHook_ = std::move(hook);
 }
 
@@ -200,6 +209,7 @@ Scheduler::submissionOrderHook()
 std::size_t
 Scheduler::pendingRequests(u64 session) const
 {
+    SeqLock lock(mu_);
     std::size_t count = 0;
     for (const auto &req : queue_)
         count += req.session == session;
@@ -322,6 +332,7 @@ Scheduler::executeAt(std::size_t index)
 MvmResult
 Scheduler::wait(const MvmFuture &future, u64 session)
 {
+    SeqLock lock(mu_);
     if (!future.valid())
         throw std::invalid_argument(
             "Scheduler::wait: invalid (default-constructed) future");
@@ -360,27 +371,34 @@ Scheduler::wait(const MvmFuture &future, u64 session)
 Cycle
 Scheduler::waitAll()
 {
+    SeqLock lock(mu_);
     while (!queue_.empty())
         executeAt(pickNext());
-    return makespan();
+    return makespanLocked();
 }
 
 void
 Scheduler::drainSession(u64 session)
 {
-    auto has_pending = [&] {
-        for (const auto &req : queue_)
-            if (req.pm->session == session)
-                return true;
-        return false;
-    };
-    while (has_pending())
+    SeqLock lock(mu_);
+    for (;;) {
+        bool pending = false;
+        for (const auto &req : queue_) {
+            if (req.pm->session == session) {
+                pending = true;
+                break;
+            }
+        }
+        if (!pending)
+            return;
         executeAt(pickNext());
+    }
 }
 
 void
 Scheduler::discardSession(u64 session)
 {
+    SeqLock lock(mu_);
     for (auto it = results_.begin(); it != results_.end();) {
         if (it->second.session == session)
             it = results_.erase(it);
@@ -392,19 +410,25 @@ Scheduler::discardSession(u64 session)
 void
 Scheduler::drainMatrix(int handle)
 {
-    auto has_pending = [&] {
-        for (const auto &req : queue_)
-            if (req.pm->id == handle)
-                return true;
-        return false;
-    };
-    while (has_pending())
+    SeqLock lock(mu_);
+    for (;;) {
+        bool pending = false;
+        for (const auto &req : queue_) {
+            if (req.pm->id == handle) {
+                pending = true;
+                break;
+            }
+        }
+        if (!pending)
+            return;
         executeAt(pickNext());
+    }
 }
 
 Cycle
 Scheduler::busyUntil(std::size_t hct) const
 {
+    SeqLock lock(mu_);
     if (hct >= busyUntil_.size())
         darth_panic("Scheduler::busyUntil: HCT ", hct,
                     " out of range ", busyUntil_.size());
@@ -413,6 +437,13 @@ Scheduler::busyUntil(std::size_t hct) const
 
 Cycle
 Scheduler::makespan() const
+{
+    SeqLock lock(mu_);
+    return makespanLocked();
+}
+
+Cycle
+Scheduler::makespanLocked() const
 {
     Cycle max = 0;
     for (Cycle t : busyUntil_)

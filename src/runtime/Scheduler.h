@@ -42,6 +42,7 @@
 #include <map>
 #include <vector>
 
+#include "common/ThreadAnnotations.h"
 #include "runtime/Chip.h"
 #include "runtime/KernelModel.h"
 #include "runtime/Placement.h"
@@ -136,7 +137,15 @@ struct MvmResult
     Cycle done = 0;
 };
 
-/** Packs queued MVM requests onto free HCTs. */
+/**
+ * Packs queued MVM requests onto free HCTs.
+ *
+ * Thread-safety contract (enforced by clang -Wthread-safety, a no-op
+ * at runtime until the per-chip worker threads land): every queue,
+ * timing table, and counter is GUARDED_BY(mu_); public entry points
+ * take the lock, private helpers REQUIRE it. See
+ * common/ThreadAnnotations.h.
+ */
 class Scheduler
 {
   public:
@@ -151,7 +160,8 @@ class Scheduler
      *                  producing kernel's completion).
      */
     MvmFuture submit(const PlacedMatrix &pm, std::vector<i64> x,
-                     int input_bits, Cycle earliest = 0);
+                     int input_bits, Cycle earliest = 0)
+        EXCLUDES(mu_);
 
     /**
      * Enqueue one MVM that must start after other requests complete.
@@ -165,7 +175,8 @@ class Scheduler
      */
     MvmFuture submit(const PlacedMatrix &pm, std::vector<i64> x,
                      int input_bits, Cycle earliest,
-                     const std::vector<MvmFuture> &after);
+                     const std::vector<MvmFuture> &after)
+        EXCLUDES(mu_);
 
     /**
      * Session-checked resolve: drains the queue (in greedy order)
@@ -174,35 +185,44 @@ class Scheduler
      * the session that submitted it (std::invalid_argument
      * otherwise).
      */
-    MvmResult wait(const MvmFuture &future, u64 session);
+    MvmResult wait(const MvmFuture &future, u64 session)
+        EXCLUDES(mu_);
 
     /** Drain every queued request; returns the resulting makespan. */
-    Cycle waitAll();
+    Cycle waitAll() EXCLUDES(mu_);
 
     /** Drain queued requests belonging to one session. */
-    void drainSession(u64 session);
+    void drainSession(u64 session) EXCLUDES(mu_);
 
     /**
      * Drop a session's uncollected results (called on session
      * teardown so drained-but-never-waited results cannot accumulate
      * forever).
      */
-    void discardSession(u64 session);
+    void discardSession(u64 session) EXCLUDES(mu_);
 
     /**
      * Drain queued requests targeting one placed matrix (a barrier
      * before weight updates, mode switches, or release).
      */
-    void drainMatrix(int handle);
+    void drainMatrix(int handle) EXCLUDES(mu_);
 
     /** Queued-but-unexecuted request count. */
-    std::size_t pendingCount() const { return queue_.size(); }
+    std::size_t pendingCount() const EXCLUDES(mu_)
+    {
+        SeqLock lock(mu_);
+        return queue_.size();
+    }
 
     /**
      * Submission-queue depth: synonym of pendingCount(), named for
      * the admission layer that uses it as its backpressure signal.
      */
-    std::size_t queueDepth() const { return queue_.size(); }
+    std::size_t queueDepth() const EXCLUDES(mu_)
+    {
+        SeqLock lock(mu_);
+        return queue_.size();
+    }
 
     /**
      * Queue pressure in cycles, not counts: the summed KernelModel
@@ -212,10 +232,14 @@ class Scheduler
      * backlogCycles(); the pool's load-aware CostAware placement
      * scores chips by this (see ChipPool::placementScore).
      */
-    Cycle backlogCycles() const { return backlog_; }
+    Cycle backlogCycles() const EXCLUDES(mu_)
+    {
+        SeqLock lock(mu_);
+        return backlog_;
+    }
 
     /** Queued-but-unexecuted requests belonging to one session. */
-    std::size_t pendingRequests(u64 session) const;
+    std::size_t pendingRequests(u64 session) const EXCLUDES(mu_);
 
     /**
      * Install (or, with a null hook, remove) a dequeue-order
@@ -225,16 +249,26 @@ class Scheduler
      * bypass contention. The default (no hook) is the greedy
      * earliest-achievable-start order.
      */
-    void setDequeueHook(DequeueHook hook);
+    void setDequeueHook(DequeueHook hook) EXCLUDES(mu_);
 
     /** A hook that drains strictly in submission (RequestId) order. */
     static DequeueHook submissionOrderHook();
 
     /** Requests executed over the scheduler's lifetime. */
-    u64 completedCount() const { return completed_; }
+    u64 completedCount() const EXCLUDES(mu_)
+    {
+        SeqLock lock(mu_);
+        return completed_;
+    }
 
-    /** Lifetime counters (issues, pipeline hits, dependency stalls). */
-    const SchedulerCounters &counters() const { return counters_; }
+    /** Lifetime counters (issues, pipeline hits, dependency stalls).
+     *  Returned by value: a snapshot stays coherent once worker
+     *  threads mutate the counters concurrently. */
+    SchedulerCounters counters() const EXCLUDES(mu_)
+    {
+        SeqLock lock(mu_);
+        return counters_;
+    }
 
     /**
      * KernelModel oracle latency of one MVM against a placement plan
@@ -242,16 +276,21 @@ class Scheduler
      * QueuedRequest and the serving layer's nominal WFQ charge.
      * Cached per shape.
      */
-    Cycle oracleCost(const MatrixPlan &plan, int input_bits);
+    Cycle oracleCost(const MatrixPlan &plan, int input_bits)
+        EXCLUDES(mu_);
 
     /** Executed results not yet collected by a wait(). */
-    std::size_t uncollectedCount() const { return results_.size(); }
+    std::size_t uncollectedCount() const EXCLUDES(mu_)
+    {
+        SeqLock lock(mu_);
+        return results_.size();
+    }
 
     /** Cycle the given HCT is busy until. */
-    Cycle busyUntil(std::size_t hct) const;
+    Cycle busyUntil(std::size_t hct) const EXCLUDES(mu_);
 
     /** Max busy-until over all HCTs (current schedule makespan). */
-    Cycle makespan() const;
+    Cycle makespan() const EXCLUDES(mu_);
 
   private:
     struct Request
@@ -277,46 +316,60 @@ class Scheduler
     };
 
     /** Cycle the tile could accept this request's part. */
-    Cycle tileReady(std::size_t hct, const PlacedMatrix &pm) const;
+    Cycle tileReady(std::size_t hct, const PlacedMatrix &pm) const
+        REQUIRES(mu_);
 
     /** True once every dependency has executed. */
-    bool depsReady(const Request &req) const;
+    bool depsReady(const Request &req) const REQUIRES(mu_);
 
     /** Max done cycle over executed dependencies (0 when none). */
-    Cycle depBound(const Request &req) const;
+    Cycle depBound(const Request &req) const REQUIRES(mu_);
 
     /** Earliest start the request could achieve right now. */
-    Cycle achievableStart(const Request &req) const;
+    Cycle achievableStart(const Request &req) const REQUIRES(mu_);
 
     /** Index of the next request to run (greedy min-start among
      *  dependency-ready requests; a hook may reorder within them). */
-    std::size_t pickNext() const;
+    std::size_t pickNext() const REQUIRES(mu_);
 
     /** Execute queue_[index] and record its result. */
-    void executeAt(std::size_t index);
+    void executeAt(std::size_t index) REQUIRES(mu_);
+
+    /** oracleCost() body, for callers already holding the lock. */
+    Cycle oracleCostLocked(const MatrixPlan &plan, int input_bits)
+        REQUIRES(mu_);
+
+    /** makespan() body, for callers already holding the lock. */
+    Cycle makespanLocked() const REQUIRES(mu_);
+
+    /** Guards every queue, timing table, and counter below. A no-op
+     *  capability today (single-threaded); the per-chip threading
+     *  work swaps it for a real mutex without touching call sites. */
+    mutable SeqMutex mu_;
 
     Chip &chip_;
-    KernelModel kernels_;
-    DequeueHook dequeueHook_;
-    std::vector<Request> queue_;
-    std::map<RequestId, CompletedRequest> results_;
-    std::vector<Cycle> busyUntil_;
+    /** Mutable per-shape cost cache (oracleCost). */
+    KernelModel kernels_ GUARDED_BY(mu_);
+    DequeueHook dequeueHook_ GUARDED_BY(mu_);
+    std::vector<Request> queue_ GUARDED_BY(mu_);
+    std::map<RequestId, CompletedRequest> results_ GUARDED_BY(mu_);
+    std::vector<Cycle> busyUntil_ GUARDED_BY(mu_);
     /** Next same-matrix issue slot per tile (pipelined streaming). */
-    std::vector<Cycle> nextIssue_;
+    std::vector<Cycle> nextIssue_ GUARDED_BY(mu_);
     /** Placement uid of the last MVM each tile ran. */
-    std::vector<u64> lastUid_;
+    std::vector<u64> lastUid_ GUARDED_BY(mu_);
     /** Done cycle per executed request, indexed by RequestId - 1
      *  (kPendingDone until execution) — dependency resolution. Grows
      *  8 bytes per submitted request for the scheduler's lifetime:
      *  clients may hold futures (and submit dependents) arbitrarily
      *  late, so no entry is provably dead. Acceptable for simulated
      *  runs (~8 MB per million requests). */
-    std::vector<Cycle> doneCycle_;
-    RequestId nextId_ = 1;
-    u64 completed_ = 0;
-    SchedulerCounters counters_;
+    std::vector<Cycle> doneCycle_ GUARDED_BY(mu_);
+    RequestId nextId_ GUARDED_BY(mu_) = 1;
+    u64 completed_ GUARDED_BY(mu_) = 0;
+    SchedulerCounters counters_ GUARDED_BY(mu_);
     /** Summed oracleCost of queued requests (backlogCycles()). */
-    Cycle backlog_ = 0;
+    Cycle backlog_ GUARDED_BY(mu_) = 0;
 };
 
 } // namespace runtime

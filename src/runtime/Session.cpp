@@ -72,9 +72,13 @@ MatrixHandle::matrix() const
 // Session
 // ---------------------------------------------------------------------------
 
-Session::Session(Session &&other) noexcept
-    : rt_(other.rt_), id_(other.id_)
+Session::Session(Session &&other) noexcept : rt_(nullptr), id_(0)
 {
+    // The source object's guarded state needs its own guard held;
+    // only this object's members are exempt inside the constructor.
+    SeqLock source(other.mu_);
+    rt_ = other.rt_;
+    id_ = other.id_;
     other.rt_ = nullptr;
 }
 
@@ -82,6 +86,8 @@ Session &
 Session::operator=(Session &&other) noexcept
 {
     if (this != &other) {
+        SeqLock lock(mu_);
+        SeqLock source(other.mu_);
         retire();
         rt_ = other.rt_;
         id_ = other.id_;
@@ -92,6 +98,7 @@ Session::operator=(Session &&other) noexcept
 
 Session::~Session()
 {
+    SeqLock lock(mu_);
     retire();
 }
 
@@ -131,6 +138,7 @@ MatrixHandle
 Session::setMatrixBits(const MatrixI &m, int element_bits,
                        int bits_per_cell)
 {
+    SeqLock lock(mu_);
     requireLive("Session::setMatrixBits");
     const int handle =
         rt_->placeMatrix(m, element_bits, bits_per_cell, id_);
@@ -149,6 +157,7 @@ Session::submit(const MatrixHandle &handle, std::vector<i64> x,
                 int input_bits, Cycle earliest,
                 const std::vector<MvmFuture> &after)
 {
+    SeqLock lock(mu_);
     requireLive("Session::submit");
     if (!handle.valid())
         throw std::invalid_argument(
@@ -168,6 +177,7 @@ Session::submit(const MatrixHandle &handle, std::vector<i64> x,
 MvmResult
 Session::wait(const MvmFuture &future)
 {
+    SeqLock lock(mu_);
     requireLive("Session::wait");
     return rt_->scheduler().wait(future, id_);
 }
@@ -175,6 +185,7 @@ Session::wait(const MvmFuture &future)
 void
 Session::waitAll()
 {
+    SeqLock lock(mu_);
     requireLive("Session::waitAll");
     rt_->scheduler().drainSession(id_);
 }

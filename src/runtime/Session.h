@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "common/ThreadAnnotations.h"
 #include "runtime/Placement.h"
 #include "runtime/Scheduler.h"
 
@@ -66,7 +67,14 @@ class MatrixHandle
     u64 session_ = 0;
 };
 
-/** One client's view of the runtime. */
+/**
+ * One client's view of the runtime.
+ *
+ * The session's liveness state (rt_, id_) is GUARDED_BY(mu_): once
+ * per-chip worker threads exist, a teardown/move on one thread can
+ * race a submit on another, and the annotations make clang prove
+ * every access takes the guard first.
+ */
 class Session
 {
   public:
@@ -79,20 +87,28 @@ class Session
     Session(const Session &) = delete;
     Session &operator=(const Session &) = delete;
 
-    u64 id() const { return id_; }
+    u64 id() const EXCLUDES(mu_)
+    {
+        SeqLock lock(mu_);
+        return id_;
+    }
 
-    Runtime &runtime() { return *rt_; }
+    Runtime &runtime() EXCLUDES(mu_)
+    {
+        SeqLock lock(mu_);
+        return *rt_;
+    }
 
     /**
      * Place a matrix using the programmer's precision scale (Table 1
      * semantics: 0 = SLC ... 2 = device maximum bits per cell).
      */
     MatrixHandle setMatrix(const MatrixI &m, int element_bits,
-                           int precision);
+                           int precision) EXCLUDES(mu_);
 
     /** Place a matrix with an explicit bits-per-cell operating point. */
     MatrixHandle setMatrixBits(const MatrixI &m, int element_bits,
-                               int bits_per_cell);
+                               int bits_per_cell) EXCLUDES(mu_);
 
     /**
      * Enqueue one MVM; returns immediately with a future. Throws
@@ -103,7 +119,8 @@ class Session
      * @param earliest  Lower bound on the start cycle.
      */
     MvmFuture submit(const MatrixHandle &handle, std::vector<i64> x,
-                     int input_bits, Cycle earliest = 0);
+                     int input_bits, Cycle earliest = 0)
+        EXCLUDES(mu_);
 
     /**
      * Enqueue one MVM that must start after earlier submissions
@@ -113,31 +130,36 @@ class Session
      */
     MvmFuture submit(const MatrixHandle &handle, std::vector<i64> x,
                      int input_bits, Cycle earliest,
-                     const std::vector<MvmFuture> &after);
+                     const std::vector<MvmFuture> &after)
+        EXCLUDES(mu_);
 
     /** Resolve one future (each future resolves exactly once). */
-    MvmResult wait(const MvmFuture &future);
+    MvmResult wait(const MvmFuture &future) EXCLUDES(mu_);
 
     /** Drain this session's queued requests. */
-    void waitAll();
+    void waitAll() EXCLUDES(mu_);
 
     /** Blocking convenience: submit + wait. */
     MvmResult execMVM(const MatrixHandle &handle,
                       const std::vector<i64> &x, int input_bits,
-                      Cycle earliest = 0);
+                      Cycle earliest = 0) EXCLUDES(mu_);
 
   private:
     friend class Runtime;
     Session(Runtime &rt, u64 id) : rt_(&rt), id_(id) {}
 
     /** Drain queued work and drop uncollected results (teardown). */
-    void retire() noexcept;
+    void retire() noexcept REQUIRES(mu_);
 
     /** Throw std::invalid_argument if the session was released. */
-    void requireLive(const char *what) const;
+    void requireLive(const char *what) const REQUIRES(mu_);
 
-    Runtime *rt_;
-    u64 id_;
+    /** Guards the liveness state against a future teardown/submit
+     *  race; a no-op capability until the threading work lands. */
+    mutable SeqMutex mu_;
+
+    Runtime *rt_ GUARDED_BY(mu_);
+    u64 id_ GUARDED_BY(mu_);
 };
 
 } // namespace runtime

@@ -151,20 +151,28 @@ AdmissionController::AdmissionController(ChipPool &pool,
 ServeReport
 AdmissionController::run(const std::vector<ServeRequest> &trace)
 {
+    SeqLock lock(mu_);
+    // Local aliases of the guarded members: the lambdas below are
+    // analyzed as separate functions by clang's thread-safety pass,
+    // so they read these lock-scoped references instead of reaching
+    // through `this` for guarded state.
+    const std::vector<Tenant> &tenants = tenants_;
+    const AdmissionConfig &cfg = cfg_;
+
     const std::size_t num_chips = pool_.numChips();
-    const std::size_t num_tenants = tenants_.size();
+    const std::size_t num_tenants = tenants.size();
 
     ServeReport report;
     report.tenants.resize(num_tenants);
     for (std::size_t t = 0; t < num_tenants; ++t) {
-        report.tenants[t].name = tenants_[t].name;
-        report.tenants[t].weight = tenants_[t].weight;
+        report.tenants[t].name = tenants[t].name;
+        report.tenants[t].weight = tenants[t].weight;
     }
     // Per-chip submission window: uniform queueDepth unless the
     // config names one depth per slot.
     auto depthFor = [&](std::size_t c) {
-        return cfg_.chipQueueDepth.empty() ? cfg_.queueDepth
-                                           : cfg_.chipQueueDepth[c];
+        return cfg.chipQueueDepth.empty() ? cfg.queueDepth
+                                           : cfg.chipQueueDepth[c];
     };
     report.chips.resize(num_chips);
     for (std::size_t c = 0; c < num_chips; ++c) {
@@ -185,7 +193,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     for (std::size_t c = 0; c < num_chips; ++c)
         counters0[c] = pool_.runtime(c).scheduler().counters();
 
-    const bool staged = cfg_.granularity == Granularity::Stage;
+    const bool staged = cfg.granularity == Granularity::Stage;
 
     struct Pending
     {
@@ -235,7 +243,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     std::vector<std::deque<WaitingItem>> waiting(num_tenants);
     std::vector<std::size_t> tenantChip(num_tenants);
     for (std::size_t t = 0; t < num_tenants; ++t) {
-        tenantChip[t] = pool_.modelChip(tenants_[t].model);
+        tenantChip[t] = pool_.modelChip(tenants[t].model);
         chips[tenantChip[t]].tenants.push_back(t);
     }
     for (std::size_t c = 0; c < num_chips; ++c)
@@ -262,7 +270,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     for (std::size_t t = 0; t < num_tenants; ++t)
         nominalCost[t] =
             static_cast<double>(pool_.nominalServiceCycles(
-                tenants_[t].model, tenants_[t].inputBits));
+                tenants[t].model, tenants[t].inputBits));
 
     auto inflight = [&](const ChipState &cs) {
         return cs.notWaited.size() + cs.occupied.size();
@@ -278,7 +286,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         Pending pending = std::move(cs.notWaited.front());
         cs.notWaited.pop_front();
         const ServeRequest &req = trace[pending.reqIdx];
-        const Tenant &tenant = tenants_[req.tenant];
+        const Tenant &tenant = tenants[req.tenant];
 
         std::vector<i64> values;
         Cycle start = 0, done = 0;
@@ -372,7 +380,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     // QoS: pick the waiting tenant a freed slot goes to.
     auto chooseTenant = [&](std::size_t c) -> std::size_t {
         ChipState &cs = chips[c];
-        switch (cfg_.qos) {
+        switch (cfg.qos) {
           case QosPolicy::Fifo: {
             // Oldest original request first — a continuation stage
             // keeps its request's age (waiting rooms are sorted by
@@ -446,7 +454,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         double charge = nominalCost[t];
         Pending pending;
         pending.reqIdx = req_idx;
-        if (pool_.isInference(tenants_[req.tenant].model)) {
+        if (pool_.isInference(tenants[req.tenant].model)) {
             if (staged) {
                 // One window slot and one WFQ charge per *stage*:
                 // the forward advances one admission-sized step and
@@ -454,7 +462,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                 // requests interleave on this chip.
                 if (!runs[req_idx])
                     runs[req_idx] = pool_.beginInference(
-                        tenants_[req.tenant].model, req.input, at);
+                        tenants[req.tenant].model, req.input, at);
                 StagedInference &run = *runs[req_idx];
                 pending.isStage = true;
                 pending.stage = pool_.advanceInference(run, at);
@@ -471,7 +479,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                 // cost.
                 pending.isInference = true;
                 std::unique_ptr<StagedInference> run =
-                    pool_.beginInference(tenants_[req.tenant].model,
+                    pool_.beginInference(tenants[req.tenant].model,
                                          req.input, at);
                 pending.outcome = pool_.runToCompletion(*run, at);
             }
@@ -479,10 +487,10 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
             if (staged)
                 cs.admitSeq += 1;
             pending.future =
-                pool_.submit(tenants_[req.tenant].model, req.input,
-                             tenants_[req.tenant].inputBits, at);
+                pool_.submit(tenants[req.tenant].model, req.input,
+                             tenants[req.tenant].inputBits, at);
         }
-        finishTag[t] = start_tag + charge / tenants_[t].weight;
+        finishTag[t] = start_tag + charge / tenants[t].weight;
         cs.notWaited.push_back(std::move(pending));
     };
 
@@ -520,7 +528,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         // before this arrival.
         drainWaiting(c, req.arrival);
 
-        if (cfg_.overflow == OverflowPolicy::Block) {
+        if (cfg.overflow == OverflowPolicy::Block) {
             enqueueWaiting(c, req.tenant, i);
             drainWaiting(c, req.arrival);
         } else {
@@ -596,7 +604,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
             hash *= 0x100000001b3ULL;
         }
     report.outputChecksum = hash;
-    if (!cfg_.collectOutputs)
+    if (!cfg.collectOutputs)
         report.outputs.clear();
     return report;
 }

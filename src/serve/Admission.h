@@ -61,6 +61,7 @@
 #include <string>
 #include <vector>
 
+#include "common/ThreadAnnotations.h"
 #include "serve/ChipPool.h"
 #include "serve/ServeStats.h"
 #include "serve/TrafficGen.h"
@@ -155,7 +156,15 @@ struct Tenant
 std::vector<Tenant> buildTenants(ChipPool &pool, const TrafficGen &gen,
                                  const std::vector<TenantSpec> &specs);
 
-/** Serving front end: admission, backpressure, and QoS. */
+/**
+ * Serving front end: admission, backpressure, and QoS.
+ *
+ * The tenant table and config are GUARDED_BY(mu_); run() holds the
+ * guard for the whole trace (its windows, waiting rooms, and fair
+ * tags are stack-local, so the admission front end is one critical
+ * section per run — per-chip worker threads will parallelize the
+ * drains *under* it, not the admission decisions).
+ */
 class AdmissionController
 {
   public:
@@ -167,20 +176,33 @@ class AdmissionController
     AdmissionController(ChipPool &pool, std::vector<Tenant> tenants,
                         const AdmissionConfig &cfg);
 
-    const AdmissionConfig &config() const { return cfg_; }
-    const std::vector<Tenant> &tenants() const { return tenants_; }
+    const AdmissionConfig &config() const EXCLUDES(mu_)
+    {
+        SeqLock lock(mu_);
+        return cfg_;
+    }
+    const std::vector<Tenant> &tenants() const EXCLUDES(mu_)
+    {
+        SeqLock lock(mu_);
+        return tenants_;
+    }
 
     /**
      * Run one open-loop trace to completion and report. The trace
      * must be sorted by arrival cycle (TrafficGen::trace emits it
      * sorted); requests of unknown tenants are fatal.
      */
-    ServeReport run(const std::vector<ServeRequest> &trace);
+    ServeReport run(const std::vector<ServeRequest> &trace)
+        EXCLUDES(mu_);
 
   private:
+    /** Guards the tenant table and config. A no-op capability until
+     *  the threading work lands (common/ThreadAnnotations.h). */
+    mutable SeqMutex mu_;
+
     ChipPool &pool_;
-    std::vector<Tenant> tenants_;
-    AdmissionConfig cfg_;
+    std::vector<Tenant> tenants_ GUARDED_BY(mu_);
+    AdmissionConfig cfg_ GUARDED_BY(mu_);
 };
 
 } // namespace serve

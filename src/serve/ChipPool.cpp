@@ -63,14 +63,25 @@ ChipPool::ChipPool(const PoolConfig &cfg) : cfg_(cfg)
     chips_.reserve(n);
     runtimes_.reserve(n);
     sessions_.reserve(n);
-    cnnMappers_.resize(n);
-    llmMappers_.resize(n);
+    cnnMappers_.reserve(n);
+    llmMappers_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
         chips_.push_back(std::make_unique<runtime::Chip>(
             specs_[i].chip, cfg.seed + i));
         runtimes_.push_back(
             std::make_unique<runtime::Runtime>(*chips_.back()));
         sessions_.push_back(runtimes_.back()->createSession());
+        // Mappers are built eagerly (they are cheap: a config and a
+        // kernel cost model) so the vectors are immutable after
+        // construction — no lazy-init state for worker threads to
+        // race on. 12-bit LLM activations: encoder add-norm outputs
+        // are integer LayerNorm values (up to ~64 * sqrt(dModel)),
+        // which overflow the int8 range the single-MVM kinds use.
+        cnnMappers_.push_back(
+            std::make_unique<cnn::CnnMapper>(specs_[i].chip.hct));
+        llmMappers_.push_back(std::make_unique<llm::LlmMapper>(
+            specs_[i].chip.hct, /*element_bits=*/8,
+            /*bits_per_cell=*/2, /*input_bits=*/12));
     }
 }
 
@@ -250,28 +261,6 @@ sameMatrix(const MatrixI &a, const MatrixI &b)
 
 } // namespace
 
-cnn::CnnMapper &
-ChipPool::cnnMapper(std::size_t chip)
-{
-    if (!cnnMappers_[chip])
-        cnnMappers_[chip] = std::make_unique<cnn::CnnMapper>(
-            specs_[chip].chip.hct);
-    return *cnnMappers_[chip];
-}
-
-llm::LlmMapper &
-ChipPool::llmMapper(std::size_t chip)
-{
-    // 12-bit activations: encoder add-norm outputs are integer
-    // LayerNorm values (up to ~64 * sqrt(dModel)), which overflow
-    // the int8 range the single-MVM kinds use.
-    if (!llmMappers_[chip])
-        llmMappers_[chip] = std::make_unique<llm::LlmMapper>(
-            specs_[chip].chip.hct, /*element_bits=*/8,
-            /*bits_per_cell=*/2, /*input_bits=*/12);
-    return *llmMappers_[chip];
-}
-
 double
 ChipPool::loadFactor(std::size_t chip) const
 {
@@ -320,6 +309,7 @@ ModelRef
 ChipPool::placeModel(u64 key, const MatrixI &m, int element_bits,
                      int bits_per_cell, int input_bits)
 {
+    SeqLock lock(mu_);
     if (sharesByKey(cfg_.placement) && key != 0) {
         const auto it = affinity_.find(key);
         if (it != affinity_.end()) {
@@ -365,6 +355,7 @@ ChipPool::placeModel(u64 key, const MatrixI &m, int element_bits,
 ModelRef
 ChipPool::placeCnnInference(u64 key, cnn::TinyCnn net)
 {
+    SeqLock lock(mu_);
     if (sharesByKey(cfg_.placement) && key != 0) {
         const auto it = affinity_.find(key);
         if (it != affinity_.end()) {
@@ -435,6 +426,7 @@ ChipPool::placeCnnInference(u64 key, cnn::TinyCnn net)
 ModelRef
 ChipPool::placeLlmInference(u64 key, llm::Encoder enc)
 {
+    SeqLock lock(mu_);
     if (sharesByKey(cfg_.placement) && key != 0) {
         const auto it = affinity_.find(key);
         if (it != affinity_.end()) {
@@ -510,6 +502,7 @@ ChipPool::placeLlmInference(u64 key, llm::Encoder enc)
 bool
 ChipPool::isInference(ModelRef model) const
 {
+    SeqLock lock(mu_);
     return modelRef(model, "ChipPool::isInference").inference !=
            nullptr;
 }
@@ -518,6 +511,7 @@ std::unique_ptr<StagedInference>
 ChipPool::beginInference(ModelRef model,
                          const std::vector<i64> &input, Cycle ready)
 {
+    SeqLock lock(mu_);
     const Model &m = modelRef(model, "ChipPool::beginInference");
     if (m.inference == nullptr)
         darth_fatal("ChipPool::beginInference: model ", model,
@@ -620,12 +614,14 @@ ChipPool::modelRef(ModelRef model, const char *what) const
 std::size_t
 ChipPool::modelChip(ModelRef model) const
 {
+    SeqLock lock(mu_);
     return modelRef(model, "ChipPool::modelChip").chip;
 }
 
 const runtime::MatrixPlan &
 ChipPool::modelPlan(ModelRef model) const
 {
+    SeqLock lock(mu_);
     const Model &m = modelRef(model, "ChipPool::modelPlan");
     if (m.inference != nullptr)
         darth_fatal("ChipPool::modelPlan: model ", model,
@@ -637,6 +633,7 @@ ChipPool::modelPlan(ModelRef model) const
 std::size_t
 ChipPool::modelRows(ModelRef model) const
 {
+    SeqLock lock(mu_);
     const Model &m = modelRef(model, "ChipPool::modelRows");
     if (m.inference != nullptr)
         return m.inference->inputRows;
@@ -646,6 +643,7 @@ ChipPool::modelRows(ModelRef model) const
 Cycle
 ChipPool::nominalServiceCycles(ModelRef model, int input_bits)
 {
+    SeqLock lock(mu_);
     const Model &m = modelRef(model, "ChipPool::nominalServiceCycles");
     if (m.inference != nullptr)
         return m.inference->oracleCost;
@@ -659,6 +657,7 @@ runtime::MvmFuture
 ChipPool::submit(ModelRef model, std::vector<i64> x, int input_bits,
                  Cycle earliest)
 {
+    SeqLock lock(mu_);
     const Model &m = modelRef(model, "ChipPool::submit");
     if (m.inference != nullptr)
         darth_fatal("ChipPool::submit: model ", model,
@@ -670,6 +669,7 @@ ChipPool::submit(ModelRef model, std::vector<i64> x, int input_bits,
 runtime::MvmResult
 ChipPool::wait(ModelRef model, const runtime::MvmFuture &future)
 {
+    SeqLock lock(mu_);
     const Model &m = modelRef(model, "ChipPool::wait");
     return sessions_[m.chip].wait(future);
 }

@@ -78,6 +78,7 @@
 
 #include "apps/cnn/CnnMapper.h"
 #include "apps/llm/LlmMapper.h"
+#include "common/ThreadAnnotations.h"
 #include "runtime/Runtime.h"
 #include "runtime/Session.h"
 #include "serve/ChipConfig.h"
@@ -164,7 +165,16 @@ struct StagedInference
     bool finished() const { return run->finished(); }
 };
 
-/** A pool of chips behind one placement front end. */
+/**
+ * A pool of chips behind one placement front end.
+ *
+ * The placement tables (models_, affinity_, the round-robin cursor)
+ * are GUARDED_BY(mu_): per-chip worker threads will race placements
+ * against lookups once the threading work lands. Chips, runtimes,
+ * sessions, and the per-chip mappers are constructed once and the
+ * containers never change afterwards; the objects behind them guard
+ * themselves.
+ */
 class ChipPool
 {
   public:
@@ -193,7 +203,8 @@ class ChipPool
      * shape at (immaterial to the other policies).
      */
     ModelRef placeModel(u64 key, const MatrixI &m, int element_bits,
-                        int bits_per_cell, int input_bits = 8);
+                        int bits_per_cell, int input_bits = 8)
+        EXCLUDES(mu_);
 
     /**
      * CostAware's score for one single-MVM shape on one chip: the
@@ -214,13 +225,15 @@ class ChipPool
      * key already placed under MatrixAffinity returns the existing
      * ModelRef after checking the weights match.
      */
-    ModelRef placeCnnInference(u64 key, cnn::TinyCnn net);
+    ModelRef placeCnnInference(u64 key, cnn::TinyCnn net)
+        EXCLUDES(mu_);
 
     /** Place a whole small-encoder inference model (six matrices). */
-    ModelRef placeLlmInference(u64 key, llm::Encoder enc);
+    ModelRef placeLlmInference(u64 key, llm::Encoder enc)
+        EXCLUDES(mu_);
 
     /** True when the model serves whole inferences, not single MVMs. */
-    bool isInference(ModelRef model) const;
+    bool isInference(ModelRef model) const EXCLUDES(mu_);
 
     /**
      * Begin one inference request (fatal for single-MVM models):
@@ -234,7 +247,7 @@ class ChipPool
      */
     std::unique_ptr<StagedInference>
     beginInference(ModelRef model, const std::vector<i64> &input,
-                   Cycle ready = 0);
+                   Cycle ready = 0) EXCLUDES(mu_);
 
     /**
      * Submit the next stage of an in-flight inference, bounded below
@@ -260,14 +273,15 @@ class ChipPool
                                      Cycle admitted);
 
     /** Chip that holds a placed model. */
-    std::size_t modelChip(ModelRef model) const;
+    std::size_t modelChip(ModelRef model) const EXCLUDES(mu_);
 
     /** Placement plan of a placed model (fatal for inference
      *  models, which span several placements). */
-    const runtime::MatrixPlan &modelPlan(ModelRef model) const;
+    const runtime::MatrixPlan &modelPlan(ModelRef model) const
+        EXCLUDES(mu_);
 
     /** Flat input length the model's requests must have. */
-    std::size_t modelRows(ModelRef model) const;
+    std::size_t modelRows(ModelRef model) const EXCLUDES(mu_);
 
     /**
      * KernelModel oracle cost of one request: for single-MVM models
@@ -277,16 +291,19 @@ class ChipPool
      * The nominal service used for weighted-fair charging and load
      * calibration.
      */
-    Cycle nominalServiceCycles(ModelRef model, int input_bits);
+    Cycle nominalServiceCycles(ModelRef model, int input_bits)
+        EXCLUDES(mu_);
 
     /** Submit one MVM against a single-MVM model through the pool's
      *  session on the owning chip (fatal for inference models). */
     runtime::MvmFuture submit(ModelRef model, std::vector<i64> x,
-                              int input_bits, Cycle earliest = 0);
+                              int input_bits, Cycle earliest = 0)
+        EXCLUDES(mu_);
 
     /** Resolve a future submitted against a model. */
     runtime::MvmResult wait(ModelRef model,
-                            const runtime::MvmFuture &future);
+                            const runtime::MvmFuture &future)
+        EXCLUDES(mu_);
 
     /** Free tiles on one chip. */
     std::size_t freeHcts(std::size_t chip) const;
@@ -357,9 +374,10 @@ class ChipPool
         const std::function<std::pair<std::size_t, double>(
             std::size_t)> &per_chip);
 
-    /** Chip for a fresh placement, by the configured policy. */
+    /** Chip for a fresh placement, by the configured policy
+     *  (touches the round-robin cursor). */
     std::size_t pickChip(const PlacementQuote &quote,
-                         const char *what);
+                         const char *what) REQUIRES(mu_);
 
     /** True when chip a beats chip b on the least-loaded order
      *  (most free tiles, then soonest makespan, then index). */
@@ -382,11 +400,19 @@ class ChipPool
      *  1 + backlogCycles / backlogWindowCycles. */
     double loadFactor(std::size_t chip) const;
 
-    const Model &modelRef(ModelRef model, const char *what) const;
+    const Model &modelRef(ModelRef model, const char *what) const
+        REQUIRES(mu_);
 
-    /** Per-chip inference mappers (chips may differ in silicon). */
-    cnn::CnnMapper &cnnMapper(std::size_t chip);
-    llm::LlmMapper &llmMapper(std::size_t chip);
+    /** Per-chip inference mappers (chips may differ in silicon);
+     *  built eagerly at construction, immutable slots after. */
+    cnn::CnnMapper &cnnMapper(std::size_t chip)
+    {
+        return *cnnMappers_[chip];
+    }
+    llm::LlmMapper &llmMapper(std::size_t chip)
+    {
+        return *llmMappers_[chip];
+    }
 
     PoolConfig cfg_;
     /** One resolved spec per slot. */
@@ -398,12 +424,17 @@ class ChipPool
     std::vector<std::unique_ptr<runtime::Runtime>> runtimes_;
     /** One serving session per chip; all models live in these. */
     std::vector<runtime::Session> sessions_;
-    std::vector<Model> models_;
-    /** key -> ModelRef, consulted under MatrixAffinity/CostAware. */
-    std::map<u64, ModelRef> affinity_;
     std::vector<std::unique_ptr<cnn::CnnMapper>> cnnMappers_;
     std::vector<std::unique_ptr<llm::LlmMapper>> llmMappers_;
-    std::size_t rrCursor_ = 0;
+
+    /** Guards the mutable placement tables below. A no-op capability
+     *  until the threading work lands (common/ThreadAnnotations.h). */
+    mutable SeqMutex mu_;
+
+    std::vector<Model> models_ GUARDED_BY(mu_);
+    /** key -> ModelRef, consulted under MatrixAffinity/CostAware. */
+    std::map<u64, ModelRef> affinity_ GUARDED_BY(mu_);
+    std::size_t rrCursor_ GUARDED_BY(mu_) = 0;
 };
 
 } // namespace serve

@@ -1,0 +1,32 @@
+// Determinism-lint fixture: audited violations. With the sibling
+// allow_fixture.txt (and the inline marker below) the lint reports
+// nothing; with an empty allowlist it must flag both.
+
+#include <unordered_map>
+
+namespace fixture
+{
+
+struct ShapeCache
+{
+    // Audited: populated at construction, looked up by exact key,
+    // never iterated — order cannot leak.
+    std::unordered_map<int, int> byShape; // determinism-lint: allow(unordered-container) lookup-only cache
+
+    int
+    hits(int shape) const
+    {
+        const auto it = byShape.find(shape);
+        return it == byShape.end() ? 0 : it->second;
+    }
+};
+
+// Covered by allow_fixture.txt (static-mutable-local entry).
+int
+debugCallCount()
+{
+    static int calls = 0;
+    return ++calls;
+}
+
+} // namespace fixture

@@ -1,0 +1,60 @@
+// Determinism-lint fixture: the deterministic counterparts of
+// violations.cxx. The lint must report nothing here — including for
+// the decoy prose below, which mentions std::chrono and rand() only
+// inside comments and string literals.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fixture
+{
+
+// Ordered iteration: std::map walks keys in a stable order.
+int
+sumInKeyOrder(const std::map<int, int> &load)
+{
+    int pick = 0;
+    for (const auto &entry : load)
+        pick = pick * 31 + entry.second;
+    return pick;
+}
+
+// Stable-id keys instead of pointer keys.
+int
+firstById(const std::map<std::uint64_t, int> &queue)
+{
+    return queue.empty() ? 0 : queue.begin()->second;
+}
+
+// Simulated time flows in as a parameter, never read from the host.
+std::uint64_t
+stampArrival(std::uint64_t now_cycles)
+{
+    return now_cycles + 1;
+}
+
+// Explicitly seeded generator (the darth::Rng discipline).
+struct SeededLcg
+{
+    explicit SeededLcg(std::uint64_t seed) : state(seed) {}
+    std::uint64_t
+    next()
+    {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return state;
+    }
+    std::uint64_t state;
+};
+
+// Static *const* locals are fine: initialized once, never mutated.
+const std::string &
+rngAdvice()
+{
+    static const std::string advice =
+        "never call rand() or std::chrono outside a bench";
+    return advice;
+}
+
+} // namespace fixture

@@ -1,0 +1,74 @@
+// Determinism-lint fixture: every function seeds exactly one rule.
+// This file is never compiled (the .cxx extension keeps it out of
+// the test glob); DeterminismLintTest asserts the lint reports each
+// rule id below and exits non-zero.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture
+{
+
+// unordered-container: iteration order feeds a scheduling decision.
+int
+sumInUnorderedOrder(const std::unordered_map<int, int> &load)
+{
+    int pick = 0;
+    for (const auto &entry : load)
+        pick = pick * 31 + entry.second;
+    std::unordered_set<int> seen;
+    return pick + static_cast<int>(seen.size());
+}
+
+// pointer-keyed-order: ASLR and allocator state decide who is first.
+int
+firstByAddress(const std::map<const int *, int> &queue)
+{
+    std::set<char *> owners;
+    return queue.empty() ? static_cast<int>(owners.size())
+                         : queue.begin()->second;
+}
+
+// wall-clock: host time leaking into simulated timing.
+long
+stampArrival()
+{
+    const auto now = std::chrono::steady_clock::now();
+    return now.time_since_epoch().count() + time(nullptr);
+}
+
+// raw-rand: environment-dependent entropy.
+int
+jitter()
+{
+    std::random_device entropy;
+    return static_cast<int>(entropy()) + rand();
+}
+
+// std-engine: stream differs across standard-library versions (and
+// this one is unseeded on top of it).
+int
+pickVictim(int n)
+{
+    std::mt19937 gen;
+    std::uniform_int_distribution<int> dist(0, n);
+    return dist(gen);
+}
+
+// static-mutable-local: hidden cross-call state, racy under the
+// future per-chip worker threads.
+int
+nextTicket()
+{
+    static int counter = 0;
+    return ++counter;
+}
+
+} // namespace fixture

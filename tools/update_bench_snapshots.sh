@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Refresh the checked-in bench trajectory snapshots.
+#
+# BENCH_serve.json and BENCH_infer.json (repo root) record the JSON
+# emitted by `serve_bench --smoke` and `infer_bench --smoke` at the
+# commit that last touched performance-relevant code. They are the
+# repo's performance trajectory: diffing a snapshot against its
+# predecessor shows exactly which cycle counts, speedups, and
+# latencies a change moved. The benches are fully deterministic
+# (fixed seeds, simulated cycles), so on one source tree the
+# snapshots are bit-stable — any diff is a real behavior change.
+#
+# Usage: tools/update_bench_snapshots.sh [build-dir]   (default: build)
+#
+# Refresh the snapshots when a change legitimately moves the numbers,
+# commit them together with the change, and explain the movement in
+# the commit message. The script validates that each capture is
+# parseable JSON before replacing anything.
+set -eu
+
+cd "$(dirname "$0")/.."
+build=${1:-build}
+
+for bench in serve infer; do
+    exe="$build/${bench}_bench"
+    if [ ! -x "$exe" ]; then
+        echo "error: $exe not found or not executable" \
+             "(build the '${bench}_bench' target first)" >&2
+        exit 2
+    fi
+done
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+for bench in serve infer; do
+    out="$tmpdir/BENCH_${bench}.json"
+    # The self-checks run inside --smoke; a failed check exits
+    # non-zero and aborts the refresh before anything is replaced.
+    "./$build/${bench}_bench" --smoke > "$out"
+    python3 -m json.tool "$out" > /dev/null || {
+        echo "error: ${bench}_bench --smoke did not emit valid JSON" >&2
+        exit 1
+    }
+done
+
+for bench in serve infer; do
+    mv "$tmpdir/BENCH_${bench}.json" "BENCH_${bench}.json"
+    echo "updated BENCH_${bench}.json"
+done

@@ -63,6 +63,19 @@
  *                    distinct requests interleaved on one chip
  *                    (interleaved_stages >= 1 in the stage cell,
  *                    0 by construction in the inference cell).
+ *  7. journal      — durable ops: the stage-granular mvm+inference
+ *                    mix on a mixed 2 SAR + 2 ramp pool is recorded
+ *                    to an append-only journal
+ *                    (journal/Replayer.h), round-tripped through
+ *                    the binary format byte-identically, and
+ *                    replayed from the journal alone — every
+ *                    placement decision, admission cycle, stage
+ *                    completion, and output checksum must reproduce
+ *                    bit-identically. Tenants carry SLO targets; an
+ *                    impossible 1-cycle target at 0.9 availability
+ *                    must burn at exactly 10x and an unreachable
+ *                    target at exactly 0 (the burn-rate math
+ *                    check).
  *
  * The self-checks are evaluated in every mode and failures are fatal
  * (non-zero exit), so CI's `serve_bench --smoke` enforces the
@@ -73,12 +86,16 @@
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "journal/Journal.h"
+#include "journal/Replayer.h"
 #include "serve/Admission.h"
 #include "serve/ChipConfig.h"
 #include "serve/ChipPool.h"
@@ -91,20 +108,13 @@ namespace
 using namespace darth;
 using namespace darth::serve;
 
-/** Medium MVM chip (the scheduler-bench geometry). */
+/** Medium MVM chip (the scheduler-bench geometry, now owned by the
+ *  serve/ChipConfig factory so the journal replayer rebuilds the
+ *  identical silicon from its factory inputs). */
 runtime::ChipConfig
 serveChip(std::size_t num_hcts)
 {
-    runtime::ChipConfig cfg;
-    cfg.hct.dce.numPipelines = 2;
-    cfg.hct.dce.pipeline.depth = 32;
-    cfg.hct.dce.pipeline.width = 32;
-    cfg.hct.dce.pipeline.numRegs = 8;
-    cfg.hct.ace.numArrays = 16;
-    cfg.hct.ace.arrayRows = 64;
-    cfg.hct.ace.arrayCols = 32;
-    cfg.numHcts = num_hcts;
-    return cfg;
+    return uniformChipSpec(num_hcts).chip;
 }
 
 /** Oracle service latency of one kind on one throwaway 1-chip pool
@@ -168,13 +178,18 @@ printTenantJson(const TenantStats &t, bool last)
                 "\"mvms\": %llu, "
                 "\"latency_p50\": %.0f, \"latency_p95\": %.0f, "
                 "\"latency_p99\": %.0f, \"queueing_p50\": %.0f, "
-                "\"queueing_p95\": %.0f}%s\n",
+                "\"queueing_p95\": %.0f, "
+                "\"slo_target\": %llu, \"slo_violations\": %llu, "
+                "\"slo_burn_rate\": %.3f}%s\n",
                 t.name.c_str(), t.weight,
                 static_cast<unsigned long long>(t.completed),
                 static_cast<unsigned long long>(t.rejected),
                 static_cast<unsigned long long>(t.mvms),
                 lat.p50, lat.p95, lat.p99, queue.p50, queue.p95,
-                last ? "" : ",");
+                static_cast<unsigned long long>(
+                    t.slo.spec.latencyTargetCycles),
+                static_cast<unsigned long long>(t.slo.violations),
+                t.slo.burnRate(), last ? "" : ",");
 }
 
 /** Sum the pool's per-chip scheduler counters. */
@@ -675,6 +690,104 @@ runStageLevelCell(Granularity granularity, Cycle horizon,
     return cell;
 }
 
+// ---------------------------------------------------------------------------
+// Experiment 7: durable ops (journal record / binary round trip /
+// bit-exact replay, with SLO burn-rate accounting).
+// ---------------------------------------------------------------------------
+
+struct JournalCell
+{
+    bool replayIdentical = false;
+    bool roundtripIdentical = false;
+    /** Burn rate of the impossible (1-cycle, 0.9-avail) tenant —
+     *  must be exactly violationFraction 1.0 / budget 0.1. */
+    double impossibleBurn = 0.0;
+    /** Burn rate of the unreachable-target tenant — must be 0. */
+    double unreachableBurn = 0.0;
+    u64 completed = 0;
+};
+
+JournalCell
+runJournalCell(Cycle horizon)
+{
+    // The acceptance scenario: stage-granular admission of the
+    // bursty mvm+inference mix on a mixed 2 SAR + 2 ramp pool under
+    // cost-aware placement.
+    journal::ServeRunSetup setup;
+    setup.uniformPool = false;
+    setup.slots = {
+        {journal::SlotKind::Sar, kHeteroSarHcts, model::kClockGHz},
+        {journal::SlotKind::Sar, kHeteroSarHcts, model::kClockGHz},
+        {journal::SlotKind::Ramp, kHeteroSarHcts, model::kClockGHz},
+        {journal::SlotKind::Ramp, kHeteroSarHcts, model::kClockGHz}};
+    setup.placement = PlacementPolicy::CostAware;
+    setup.trafficSeed = 7007;
+    setup.horizon = horizon;
+    setup.admission.queueDepth = 2;
+    setup.admission.qos = QosPolicy::WeightedFair;
+    setup.admission.overflow = OverflowPolicy::Block;
+    setup.admission.granularity = Granularity::Stage;
+
+    setup.tenants = stageLevelSpecs();
+    // SLO targets: a plausible one, an impossible one (every
+    // completion violates a 1-cycle target, so the burn rate is
+    // exactly 1.0 / (1 - 0.9)), and an unreachable one (burn 0).
+    setup.tenants[0].slo = {30000, 0.99};
+    setup.tenants[1].slo = {1, 0.9};
+    setup.tenants[2].slo = {Cycle{1} << 40, 0.999};
+
+    const journal::ServeRunRecord rec =
+        journal::recordServeRun(setup);
+
+    // Binary round trip: write -> read -> re-write must be
+    // byte-identical (and parse back into the same history).
+    std::stringstream first_write;
+    rec.journal.writeBinary(first_write);
+    std::stringstream reread_stream(first_write.str());
+    const journal::Journal reread =
+        journal::Journal::readBinary(reread_stream);
+    std::stringstream second_write;
+    reread.writeBinary(second_write);
+
+    JournalCell cell;
+    cell.roundtripIdentical =
+        first_write.str() == second_write.str() &&
+        reread == rec.journal;
+
+    // Replay from the journal alone.
+    const journal::Replayer replayer(reread);
+    const journal::Replayer::Result res = replayer.replay();
+    cell.replayIdentical = res.identical;
+    cell.completed = rec.report.completed;
+    cell.impossibleBurn = rec.report.tenants[1].slo.burnRate();
+    cell.unreachableBurn = rec.report.tenants[2].slo.burnRate();
+
+    std::printf("    {\"events\": %zu, "
+                "\"chain\": \"0x%016llx\", \"completed\": %llu, "
+                "\"makespan\": %llu, \"checksum\": \"0x%016llx\", "
+                "\"roundtrip_identical\": %s, "
+                "\"replay_identical\": %s, \"replay_events\": %zu,\n",
+                rec.journal.size(),
+                static_cast<unsigned long long>(
+                    rec.journal.chainChecksum()),
+                static_cast<unsigned long long>(rec.report.completed),
+                static_cast<unsigned long long>(rec.report.makespan),
+                static_cast<unsigned long long>(
+                    rec.report.outputChecksum),
+                cell.roundtripIdentical ? "true" : "false",
+                cell.replayIdentical ? "true" : "false",
+                res.journal.size());
+    if (!res.identical)
+        std::printf("     \"replay_mismatch\": \"%s\",\n",
+                    res.detail.c_str());
+    std::printf("     \"classes\": [\n");
+    for (std::size_t t = 0; t < rec.report.tenants.size(); ++t)
+        printTenantJson(rec.report.tenants[t],
+                        t + 1 == rec.report.tenants.size());
+    std::printf("     ]}\n");
+    return cell;
+}
+
 } // namespace
 
 int
@@ -794,6 +907,13 @@ main(int argc, char **argv)
         Granularity::Stage, stagelevel_horizon, false);
     std::printf("\n  ],\n");
 
+    // Durable ops: record the stage-granular hetero scenario to a
+    // journal, round-trip the binary format, replay bit-exactly.
+    const Cycle journal_horizon = smoke ? 60000 : 200000;
+    std::printf("  \"journal\": [\n");
+    const JournalCell jcell = runJournalCell(journal_horizon);
+    std::printf("  ],\n");
+
     // Self-checks (the acceptance criteria).
     std::vector<Check> checks;
     checks.push_back({"scaling_speedup_4chip", best_speedup,
@@ -894,6 +1014,25 @@ main(int argc, char **argv)
          static_cast<double>(sl_stage.interleavedStages),
          sl_stage.interleavedStages >= 1 &&
              sl_infer.interleavedStages == 0});
+
+    // Durable ops. Replay from the journal alone must reproduce the
+    // entire event stream — every completion cycle and checksum —
+    // bit-identically, and the binary format must round-trip
+    // byte-identically.
+    checks.push_back({"journal_replay_identical",
+                      jcell.replayIdentical ? 1.0 : 0.0,
+                      jcell.replayIdentical && jcell.completed > 0});
+    checks.push_back({"journal_roundtrip_byte_identical",
+                      jcell.roundtripIdentical ? 1.0 : 0.0,
+                      jcell.roundtripIdentical});
+    // SLO burn-rate math: the impossible 1-cycle target at 0.9
+    // availability burns at exactly violationFraction 1.0 over
+    // budget 0.1; the unreachable target burns nothing.
+    const bool slo_math =
+        std::abs(jcell.impossibleBurn - 10.0) < 1e-9 &&
+        jcell.unreachableBurn == 0.0;
+    checks.push_back({"slo_burn_rate_math", jcell.impossibleBurn,
+                      slo_math});
 
     std::printf("  \"checks\": [\n");
     bool all_ok = true;

@@ -1,23 +1,31 @@
 /**
  * @file
- * Serving-cluster demo: mixed AES + LLM tenants on a 4-chip pool.
+ * Serving-cluster demo: mixed AES + LLM tenants on a 4-chip pool,
+ * recorded to a journal, replayed bit-identically, and audited
+ * against per-tenant SLOs.
  *
  * Four tenants — two AES encryption services sharing one MixColumns
  * model (matrix-affinity placement puts them on the same tiles) and
  * two LLM projection services with private weights — send seeded
  * open-loop traffic through the QoS-aware admission controller
- * (weighted-fair, AES classes weighted 4:1 over LLM). The demo
- * prints the placement map, per-tenant latency percentiles, and
- * verifies a sample of outputs against the reference integer MVM.
+ * (weighted-fair, AES classes weighted 4:1 over LLM), each carrying
+ * a latency/availability SLO. The whole run is recorded to an
+ * append-only journal (journal/Replayer.h recordServeRun); the demo
+ * prints the placement decisions straight from the journal, the
+ * per-tenant latency percentiles and SLO burn rates, round-trips
+ * the journal through its durable binary format, replays the run
+ * from the journal alone, and verifies a sample of outputs against
+ * the reference integer MVM.
  *
  *   $ ./serve_demo
  */
 
 #include <cstdio>
+#include <sstream>
 #include <vector>
 
-#include "serve/Admission.h"
-#include "serve/ChipPool.h"
+#include "journal/Journal.h"
+#include "journal/Replayer.h"
 #include "serve/TrafficGen.h"
 
 int
@@ -26,80 +34,121 @@ main()
     using namespace darth;
     using namespace darth::serve;
 
-    runtime::ChipConfig chip;
-    chip.hct.dce.numPipelines = 2;
-    chip.hct.dce.pipeline.depth = 32;
-    chip.hct.dce.pipeline.width = 32;
-    chip.hct.dce.pipeline.numRegs = 8;
-    chip.hct.ace.numArrays = 16;
-    chip.hct.ace.arrayRows = 64;
-    chip.hct.ace.arrayCols = 32;
-    chip.numHcts = 2;
+    journal::ServeRunSetup setup;
+    // The uniform serving chip at 2 tiles per chip, 4 chips.
+    setup.slots.assign(
+        4, journal::PoolSlotSetup{journal::SlotKind::Uniform, 2, 1.0});
+    setup.uniformPool = true;
+    setup.placement = PlacementPolicy::MatrixAffinity;
+    setup.trafficSeed = 7;
+    setup.horizon = 200000;
 
-    PoolConfig pool_cfg;
-    pool_cfg.chip = chip;
-    pool_cfg.numChips = 4;
-    pool_cfg.placement = PlacementPolicy::MatrixAffinity;
-    ChipPool pool(pool_cfg);
+    setup.admission.queueDepth = 4;
+    setup.admission.qos = QosPolicy::WeightedFair;
+    setup.admission.overflow = OverflowPolicy::Block;
+    setup.admission.collectOutputs = true;
 
-    TrafficGen gen(7);
-    std::vector<TenantSpec> specs(4);
-    specs[0] = {"aes-payments", WorkloadKind::Aes, 4.0, 3.0, 0xAE5,
-                {}};
-    specs[1] = {"aes-logging", WorkloadKind::Aes, 4.0, 3.0, 0xAE5,
-                {}};
-    specs[2] = {"llm-chat", WorkloadKind::Llm, 1.0, 0.6, 0, {}};
-    specs[3] = {"llm-search", WorkloadKind::Llm, 1.0, 0.6, 0, {}};
+    setup.tenants.resize(4);
+    TenantSpec &payments = setup.tenants[0];
+    payments.name = "aes-payments";
+    payments.kind = WorkloadKind::Aes;
+    payments.weight = 4.0;
+    payments.ratePerKcycle = 3.0;
+    payments.modelKey = 0xAE5;
+    payments.slo = {5000, 0.999};
+    TenantSpec &logging = setup.tenants[1];
+    logging = payments;
+    logging.name = "aes-logging";
+    logging.slo = {10000, 0.99};
+    TenantSpec &chat = setup.tenants[2];
+    chat.name = "llm-chat";
+    chat.kind = WorkloadKind::Llm;
+    chat.weight = 1.0;
+    chat.ratePerKcycle = 0.6;
+    chat.slo = {50000, 0.99};
+    TenantSpec &search = setup.tenants[3];
+    search = chat;
+    search.name = "llm-search";
+    search.slo = {100000, 0.95};
 
-    auto tenants = buildTenants(pool, gen, specs);
-    std::printf("pool: %zu chips x %zu tiles (%s placement)\n",
-                pool.numChips(), chip.numHcts,
-                placementPolicyName(pool_cfg.placement));
-    for (std::size_t t = 0; t < tenants.size(); ++t)
-        std::printf("  %-14s -> chip %zu (model %zu, %s)\n",
-                    tenants[t].name.c_str(),
-                    pool.modelChip(tenants[t].model),
-                    tenants[t].model,
-                    workloadKindName(specs[t].kind));
+    const journal::ServeRunRecord rec =
+        journal::recordServeRun(setup);
+    const ServeReport &report = rec.report;
 
-    AdmissionConfig cfg;
-    cfg.queueDepth = 4;
-    cfg.qos = QosPolicy::WeightedFair;
-    cfg.overflow = OverflowPolicy::Block;
-    cfg.collectOutputs = true;
-    AdmissionController ac(pool, tenants, cfg);
+    std::printf("pool: %zu chips x 2 tiles (%s placement)\n",
+                setup.slots.size(),
+                placementPolicyName(setup.placement));
 
-    const Cycle horizon = 200000;
-    const auto trace = gen.trace(specs, horizon);
-    const ServeReport report = ac.run(trace);
+    // The placement map, read back from the journal itself.
+    for (const journal::JournalEvent &e : rec.journal.events()) {
+        if (e.kind != journal::EventKind::Placement)
+            continue;
+        std::printf("  model %llu (%s, key %llx) -> chip %llu%s\n",
+                    static_cast<unsigned long long>(e.a),
+                    e.note.c_str(),
+                    static_cast<unsigned long long>(e.b),
+                    static_cast<unsigned long long>(e.c),
+                    e.values[0] != 0 ? " (shared placement)" : "");
+    }
 
     std::printf("\ntrace: %zu requests over %llu kcycles -> "
                 "%llu served, %llu rejected, makespan %llu kcycles\n",
-                trace.size(),
-                static_cast<unsigned long long>(horizon / 1000),
+                rec.trace.size(),
+                static_cast<unsigned long long>(setup.horizon / 1000),
                 static_cast<unsigned long long>(report.completed),
                 static_cast<unsigned long long>(report.rejected),
                 static_cast<unsigned long long>(report.makespan /
                                                 1000));
 
-    std::printf("\n%-14s %9s %9s %9s %9s %9s\n", "tenant", "served",
-                "p50", "p95", "p99", "share");
+    std::printf("\n%-14s %7s %8s %8s %8s %7s | %9s %6s %8s\n",
+                "tenant", "served", "p50", "p95", "p99", "share",
+                "slo", "miss", "burn");
     for (std::size_t t = 0; t < report.tenants.size(); ++t) {
-        const auto &stats = report.tenants[t];
+        const TenantStats &stats = report.tenants[t];
         const SampleSummary lat = stats.latencySummary();
-        std::printf("%-14s %9llu %9.0f %9.0f %9.0f %8.1f%%\n",
-                    stats.name.c_str(),
-                    static_cast<unsigned long long>(stats.completed),
-                    lat.p50, lat.p95, lat.p99,
-                    100.0 * report.serviceShare(t));
+        std::printf(
+            "%-14s %7llu %8.0f %8.0f %8.0f %6.1f%% | %9llu %6llu "
+            "%7.2fx\n",
+            stats.name.c_str(),
+            static_cast<unsigned long long>(stats.completed), lat.p50,
+            lat.p95, lat.p99, 100.0 * report.serviceShare(t),
+            static_cast<unsigned long long>(
+                stats.slo.spec.latencyTargetCycles),
+            static_cast<unsigned long long>(stats.slo.violations),
+            stats.slo.burnRate());
     }
 
-    // Verify every 97th output against the reference integer MVM.
+    // Durable-format round trip: the binary journal parses back into
+    // the identical history (chained checksums and all).
+    std::stringstream file;
+    rec.journal.writeBinary(file);
+    const journal::Journal reread =
+        journal::Journal::readBinary(file);
+    const bool roundtrip = reread == rec.journal;
+
+    // Replay the run from the journal alone and compare every event.
+    journal::Replayer replayer(reread);
+    const journal::Replayer::Result res = replayer.replay();
+    std::printf("\njournal: %zu events, chain %llx; binary "
+                "round-trip %s; replay %s\n",
+                rec.journal.size(),
+                static_cast<unsigned long long>(
+                    rec.journal.chainChecksum()),
+                roundtrip ? "ok" : "MISMATCH",
+                res.identical ? "bit-identical" : "DIVERGED");
+    if (!res.identical)
+        std::printf("  first mismatch: %s\n", res.detail.c_str());
+
+    // Verify every 97th output against the reference integer MVM,
+    // using the trace as the *replayer* reconstructed it.
+    TrafficGen gen(setup.trafficSeed);
+    const std::vector<ServeRequest> &trace = replayer.trace();
     std::size_t checked = 0;
-    bool ok = report.completed == trace.size();
+    bool ok = roundtrip && res.identical &&
+              report.completed == trace.size();
     for (std::size_t i = 0; i < trace.size(); i += 97) {
-        const auto &req = trace[i];
-        const TenantSpec &spec = specs[req.tenant];
+        const ServeRequest &req = trace[i];
+        const TenantSpec &spec = setup.tenants[req.tenant];
         const u64 key = spec.modelKey != 0
                             ? spec.modelKey
                             : TrafficGen::privateModelKey(req.tenant);
@@ -111,7 +160,7 @@ main()
         ok = ok && report.outputs[i] == want;
         ++checked;
     }
-    std::printf("\nverified %zu sampled outputs against the "
+    std::printf("verified %zu sampled outputs against the "
                 "reference MVM: %s\n", checked, ok ? "yes" : "NO");
     return ok ? 0 : 1;
 }

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * FNV-1a hashing helpers shared by the serving checksum invariants
+ * and the event journal.
+ *
+ * Two mixing granularities are provided and they are *not*
+ * interchangeable:
+ *
+ *  - fnv1aBytes    — the canonical byte-wise FNV-1a, used for
+ *                    serialized journal records (corruption
+ *                    detection is per byte);
+ *  - fnv1aWord /   — word-wise mixing of 64-bit values, the scheme
+ *    fnv1aWords      the serving layer has always used for its
+ *                    output checksums (ServeReport::outputChecksum).
+ *                    Every recorded checksum — bench snapshots,
+ *                    journal Complete/RunEnd events — depends on this
+ *                    exact definition, so it is frozen here instead
+ *                    of being re-derived at each call site.
+ */
+
+#ifndef DARTH_COMMON_FNV_H
+#define DARTH_COMMON_FNV_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/Types.h"
+
+namespace darth
+{
+
+/** FNV-1a 64-bit offset basis. */
+constexpr u64 kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+/** FNV-1a 64-bit prime. */
+constexpr u64 kFnvPrime = 0x100000001b3ULL;
+
+/** Byte-wise FNV-1a over a buffer, continuing from `hash`. */
+inline u64
+fnv1aBytes(const void *data, std::size_t len,
+           u64 hash = kFnvOffsetBasis)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= static_cast<u64>(p[i]);
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+/** Mix one 64-bit word into a word-wise FNV-1a chain. */
+inline u64
+fnv1aWord(u64 word, u64 hash)
+{
+    hash ^= word;
+    hash *= kFnvPrime;
+    return hash;
+}
+
+/** Word-wise FNV-1a over a value vector, continuing from `hash` —
+ *  the serving output-checksum definition. */
+inline u64
+fnv1aWords(const std::vector<i64> &values,
+           u64 hash = kFnvOffsetBasis)
+{
+    for (i64 v : values)
+        hash = fnv1aWord(static_cast<u64>(v), hash);
+    return hash;
+}
+
+} // namespace darth
+
+#endif // DARTH_COMMON_FNV_H

@@ -1,0 +1,384 @@
+#include "journal/Journal.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/Fnv.h"
+
+namespace darth
+{
+namespace journal
+{
+
+namespace
+{
+
+/** Binary file magic ("DARTHJNL"). */
+constexpr char kMagic[8] = {'D', 'A', 'R', 'T', 'H', 'J', 'N', 'L'};
+
+/** Guards against allocating absurd buffers while parsing a file
+ *  whose length fields are corrupt (the checksum would flag the
+ *  record anyway, but only after the allocation). */
+constexpr u64 kMaxNoteBytes = u64{1} << 20;
+constexpr u64 kMaxValueWords = u64{1} << 28;
+
+void
+appendLeU32(std::vector<unsigned char> &buf, u32 v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        buf.push_back(static_cast<unsigned char>((v >> shift) & 0xff));
+}
+
+void
+appendLeU64(std::vector<unsigned char> &buf, u64 v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        buf.push_back(static_cast<unsigned char>((v >> shift) & 0xff));
+}
+
+/**
+ * Canonical little-endian encoding of one record — the bytes the
+ * chained checksum covers and writeBinary emits. Field order:
+ * kind, cycle, a..d, note length + bytes, value count + words.
+ */
+std::vector<unsigned char>
+encodeEvent(const JournalEvent &e)
+{
+    std::vector<unsigned char> buf;
+    buf.reserve(56 + e.note.size() + 8 * e.values.size());
+    appendLeU32(buf, static_cast<u32>(e.kind));
+    appendLeU64(buf, e.cycle);
+    appendLeU64(buf, e.a);
+    appendLeU64(buf, e.b);
+    appendLeU64(buf, e.c);
+    appendLeU64(buf, e.d);
+    appendLeU32(buf, static_cast<u32>(e.note.size()));
+    for (char ch : e.note)
+        buf.push_back(static_cast<unsigned char>(ch));
+    appendLeU32(buf, static_cast<u32>(e.values.size()));
+    for (i64 v : e.values)
+        appendLeU64(buf, static_cast<u64>(v));
+    return buf;
+}
+
+/**
+ * Checksum seed for record 0: FNV over the fixed header prefix
+ * (magic + format version). A constant of the format, so append()
+ * can chain without any file existing yet.
+ */
+u64
+headerBasis()
+{
+    std::vector<unsigned char> buf;
+    for (char ch : kMagic)
+        buf.push_back(static_cast<unsigned char>(ch));
+    appendLeU32(buf, Journal::kFormatVersion);
+    return fnv1aBytes(buf.data(), buf.size());
+}
+
+u64
+readLeU64(std::istream &in, const char *what)
+{
+    unsigned char bytes[8];
+    if (!in.read(reinterpret_cast<char *>(bytes), sizeof(bytes)))
+        throw std::runtime_error(
+            std::string("journal: truncated while reading ") + what);
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<u64>(bytes[i]) << (8 * i);
+    return v;
+}
+
+u32
+readLeU32(std::istream &in, const char *what)
+{
+    unsigned char bytes[4];
+    if (!in.read(reinterpret_cast<char *>(bytes), sizeof(bytes)))
+        throw std::runtime_error(
+            std::string("journal: truncated while reading ") + what);
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<u32>(bytes[i]) << (8 * i);
+    return v;
+}
+
+/** Minimal JSON string escaping for event notes. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        unsigned char c = static_cast<unsigned char>(ch);
+        if (ch == '"' || ch == '\\') {
+            out.push_back('\\');
+            out.push_back(ch);
+        } else if (c < 0x20) {
+            static const char hex[] = "0123456789abcdef";
+            out += "\\u00";
+            out.push_back(hex[(c >> 4) & 0xf]);
+            out.push_back(hex[c & 0xf]);
+        } else {
+            out.push_back(ch);
+        }
+    }
+    return out;
+}
+
+std::string
+hexU64(u64 v)
+{
+    static const char hex[] = "0123456789abcdef";
+    std::string out = "0x";
+    for (int shift = 60; shift >= 0; shift -= 4)
+        out.push_back(hex[(v >> shift) & 0xf]);
+    return out;
+}
+
+} // namespace
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+    case EventKind::RunBegin:
+        return "run_begin";
+    case EventKind::PoolChip:
+        return "pool_chip";
+    case EventKind::AdmissionSetup:
+        return "admission_setup";
+    case EventKind::TenantSetup:
+        return "tenant_setup";
+    case EventKind::TraceBegin:
+        return "trace_begin";
+    case EventKind::Arrival:
+        return "arrival";
+    case EventKind::Placement:
+        return "placement";
+    case EventKind::Admit:
+        return "admit";
+    case EventKind::StageSubmit:
+        return "stage_submit";
+    case EventKind::StageComplete:
+        return "stage_complete";
+    case EventKind::Backpressure:
+        return "backpressure";
+    case EventKind::Complete:
+        return "complete";
+    case EventKind::ChipSummary:
+        return "chip_summary";
+    case EventKind::RunEnd:
+        return "run_end";
+    }
+    return "unknown";
+}
+
+std::size_t
+Journal::append(JournalEvent event)
+{
+    if (event.note.size() > kMaxNoteBytes)
+        throw std::runtime_error("journal: event note too long");
+    if (event.values.size() > kMaxValueWords)
+        throw std::runtime_error("journal: event payload too long");
+    const std::vector<unsigned char> encoded = encodeEvent(event);
+    const u64 prev =
+        checksums_.empty() ? headerBasis() : checksums_.back();
+    checksums_.push_back(
+        fnv1aBytes(encoded.data(), encoded.size(), prev));
+    events_.push_back(std::move(event));
+    return events_.size() - 1;
+}
+
+const JournalEvent &
+Journal::event(std::size_t i) const
+{
+    if (i >= events_.size())
+        throw std::out_of_range("journal: event index out of range");
+    return events_[i];
+}
+
+u64
+Journal::recordChecksum(std::size_t i) const
+{
+    if (i >= checksums_.size())
+        throw std::out_of_range("journal: event index out of range");
+    return checksums_[i];
+}
+
+u64
+Journal::chainChecksum() const
+{
+    return checksums_.empty() ? headerBasis() : checksums_.back();
+}
+
+void
+Journal::clear()
+{
+    events_.clear();
+    checksums_.clear();
+}
+
+void
+Journal::writeBinary(std::ostream &out) const
+{
+    std::vector<unsigned char> buf;
+    for (char ch : kMagic)
+        buf.push_back(static_cast<unsigned char>(ch));
+    appendLeU32(buf, kFormatVersion);
+    appendLeU32(buf, 0); // reserved
+    appendLeU64(buf, events_.size());
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const std::vector<unsigned char> rec = encodeEvent(events_[i]);
+        appendLeU32(buf, static_cast<u32>(rec.size()));
+        buf.insert(buf.end(), rec.begin(), rec.end());
+        appendLeU64(buf, checksums_[i]);
+    }
+    out.write(reinterpret_cast<const char *>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+}
+
+Journal
+Journal::readBinary(std::istream &in)
+{
+    char magic[8];
+    if (!in.read(magic, sizeof(magic)) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw std::runtime_error("journal: bad magic (not a journal)");
+    const u32 version = readLeU32(in, "format version");
+    if (version != kFormatVersion)
+        throw std::runtime_error(
+            "journal: unsupported format version " +
+            std::to_string(version));
+    if (readLeU32(in, "reserved header field") != 0)
+        throw std::runtime_error(
+            "journal: reserved header field must be zero");
+    const u64 count = readLeU64(in, "record count");
+
+    Journal out;
+    u64 chain = headerBasis();
+    for (u64 i = 0; i < count; ++i) {
+        const u32 recLen = readLeU32(in, "record length");
+        std::vector<unsigned char> rec(recLen);
+        if (recLen > 0 &&
+            !in.read(reinterpret_cast<char *>(rec.data()), recLen))
+            throw std::runtime_error(
+                "journal: truncated record " + std::to_string(i));
+        const u64 stored = readLeU64(in, "record checksum");
+        chain = fnv1aBytes(rec.data(), rec.size(), chain);
+        if (chain != stored)
+            throw std::runtime_error(
+                "journal: corrupt record " + std::to_string(i) +
+                " (checksum mismatch, stored " + hexU64(stored) +
+                " computed " + hexU64(chain) + ")");
+
+        // Decode the verified canonical bytes.
+        JournalEvent e;
+        std::size_t pos = 0;
+        auto takeU32 = [&rec, &pos, i]() -> u32 {
+            if (pos + 4 > rec.size())
+                throw std::runtime_error(
+                    "journal: malformed record " + std::to_string(i));
+            u32 v = 0;
+            for (int k = 0; k < 4; ++k)
+                v |= static_cast<u32>(rec[pos + k]) << (8 * k);
+            pos += 4;
+            return v;
+        };
+        auto takeU64 = [&rec, &pos, i]() -> u64 {
+            if (pos + 8 > rec.size())
+                throw std::runtime_error(
+                    "journal: malformed record " + std::to_string(i));
+            u64 v = 0;
+            for (int k = 0; k < 8; ++k)
+                v |= static_cast<u64>(rec[pos + k]) << (8 * k);
+            pos += 8;
+            return v;
+        };
+        const u32 kindRaw = takeU32();
+        if (kindRaw > static_cast<u32>(EventKind::RunEnd))
+            throw std::runtime_error(
+                "journal: record " + std::to_string(i) +
+                " has unknown event kind " + std::to_string(kindRaw));
+        e.kind = static_cast<EventKind>(kindRaw);
+        e.cycle = takeU64();
+        e.a = takeU64();
+        e.b = takeU64();
+        e.c = takeU64();
+        e.d = takeU64();
+        const u32 noteLen = takeU32();
+        if (noteLen > kMaxNoteBytes || pos + noteLen > rec.size())
+            throw std::runtime_error(
+                "journal: malformed record " + std::to_string(i));
+        e.note.assign(reinterpret_cast<const char *>(rec.data()) + pos,
+                      noteLen);
+        pos += noteLen;
+        const u32 valueCount = takeU32();
+        if (valueCount > kMaxValueWords)
+            throw std::runtime_error(
+                "journal: malformed record " + std::to_string(i));
+        e.values.reserve(valueCount);
+        for (u32 v = 0; v < valueCount; ++v)
+            e.values.push_back(static_cast<i64>(takeU64()));
+        if (pos != rec.size())
+            throw std::runtime_error(
+                "journal: record " + std::to_string(i) +
+                " has trailing bytes");
+        out.append(std::move(e));
+        // append() re-derives the same chain from the same bytes, so
+        // the in-memory chain equals the verified on-disk chain.
+    }
+    return out;
+}
+
+void
+Journal::writeBinaryFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw std::runtime_error("journal: cannot open " + path +
+                                 " for writing");
+    writeBinary(out);
+    out.flush();
+    if (!out)
+        throw std::runtime_error("journal: write to " + path +
+                                 " failed");
+}
+
+Journal
+Journal::readBinaryFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("journal: cannot open " + path);
+    return readBinary(in);
+}
+
+void
+Journal::writeJsonl(std::ostream &out) const
+{
+    out << "{\"format\":\"darth-journal\",\"version\":"
+        << kFormatVersion << ",\"events\":" << events_.size()
+        << ",\"chain_checksum\":\"" << hexU64(chainChecksum())
+        << "\"}\n";
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const JournalEvent &e = events_[i];
+        out << "{\"i\":" << i << ",\"kind\":\""
+            << eventKindName(e.kind) << "\",\"cycle\":" << e.cycle
+            << ",\"a\":" << e.a << ",\"b\":" << e.b
+            << ",\"c\":" << e.c << ",\"d\":" << e.d;
+        if (!e.note.empty())
+            out << ",\"note\":\"" << jsonEscape(e.note) << "\"";
+        if (!e.values.empty()) {
+            out << ",\"values\":[";
+            for (std::size_t v = 0; v < e.values.size(); ++v)
+                out << (v ? "," : "") << e.values[v];
+            out << "]";
+        }
+        out << ",\"checksum\":\"" << hexU64(checksums_[i]) << "\"}\n";
+    }
+}
+
+} // namespace journal
+} // namespace darth

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Append-only structured event journal for serve runs (ROADMAP
+ * item 3: durable ops).
+ *
+ * A Journal is an ordered sequence of JournalEvents — one record per
+ * thing the serving cluster did or decided: request arrival,
+ * admission (with the WFQ charge), placement decision (with the
+ * CostAware score that won), stage submission/completion,
+ * backpressure action, request completion, per-chip scheduler
+ * summaries, and the run header that makes the log self-describing
+ * (pool composition, admission config, tenant table, traffic seed).
+ * The serving layer emits events through ChipPool::setJournal /
+ * AdmissionController::setJournal; journal/Replayer.h turns a
+ * finished journal back into a bit-identical re-run.
+ *
+ * Integrity is chained per record: every appended record carries an
+ * FNV-1a checksum over its canonical binary encoding seeded with the
+ * previous record's checksum (the first record chains off the file
+ * header), so a flipped byte anywhere breaks every later record and
+ * readBinary() reports the first bad record instead of returning
+ * silently wrong history. chainChecksum() — the last record's
+ * checksum — is therefore a digest of the entire run.
+ *
+ * Two serializations share one canonical record encoding:
+ *
+ *  - writeBinary / readBinary — the compact durable format
+ *    (little-endian, fixed header "DARTHJNL" + format version).
+ *    write(read(write(j))) is byte-identical to write(j).
+ *  - writeJsonl — one JSON object per line for postmortem grepping
+ *    and external tooling; human-readable export only (the binary
+ *    format is the one that round-trips).
+ *
+ * The journal itself is serve-agnostic: events carry a kind, a
+ * simulated-cycle stamp, four 64-bit arguments, an optional short
+ * note, and an optional i64 payload vector. What each field means
+ * per kind is documented at EventKind and owned by the emitters.
+ */
+
+#ifndef DARTH_JOURNAL_JOURNAL_H
+#define DARTH_JOURNAL_JOURNAL_H
+
+#include <cstddef>
+#include <cstring>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/Types.h"
+
+namespace darth
+{
+namespace journal
+{
+
+/**
+ * What one journal record describes. Argument conventions (a..d,
+ * note, values) per kind — doubles travel as bit patterns via
+ * doubleBits():
+ *
+ *  Header records (written once, before any traffic):
+ *   RunBegin        a=setup schema version, b=traffic seed,
+ *                   c=placement policy, d=pool noise seed;
+ *                   values={backlogWindowCycles, slot count,
+ *                   uniform flag, trace horizon}.
+ *   PoolChip        one per pool slot: a=slot, b=slot factory kind
+ *                   (journal/Replayer.h SlotKind), c=the factory's
+ *                   tile-count input, d=clockGHz bits, note=spec
+ *                   name; values=derived silicon fields (hcts, dce
+ *                   pipelines, ace arrays/rows/cols, adc kind) so a
+ *                   factory whose derivation drifted since recording
+ *                   fails replay loudly.
+ *   AdmissionSetup  a=queueDepth, b=qos, c=overflow, d=granularity;
+ *                   values={collectOutputs, per-chip depths...}.
+ *   TenantSetup     one per tenant: a=index, b=workload kind,
+ *                   c=modelKey, d=weight bits, note=name;
+ *                   values={rate bits, burst on, burst off, SLO
+ *                   latency target, SLO availability bits}.
+ *   TraceBegin      a=request count of the recorded trace.
+ *
+ *  Run records (emitted by ChipPool / AdmissionController):
+ *   Arrival         cycle=arrival, a=request index, b=tenant,
+ *                   d=FNV of the input (word-wise), values=input.
+ *   Placement       a=ModelRef, b=model key, c=chip, d=winning
+ *                   CostAware score bits (0 unless CostAware),
+ *                   note="mvm"/"cnn_infer"/"llm_infer",
+ *                   values={1 if an affinity-shared reuse, else 0}.
+ *   Admit           cycle=admission cycle, a=request index,
+ *                   b=tenant, c=chip, d=stage index (kNoStage for a
+ *                   whole-unit admission), values={WFQ charge bits}.
+ *   StageSubmit     cycle=admission cycle, a=request index,
+ *                   b=stage, c=chip, d=stage count of the run.
+ *   StageComplete   cycle=stage completion, a=request index,
+ *                   b=stage, c=chip.
+ *   Backpressure    cycle=arrival, a=request index, b=tenant,
+ *                   c=chip, d=action (0 blocked, 1 rejected).
+ *   Complete        cycle=completion, a=request index, b=tenant,
+ *                   c=chip, d=FNV of the output values (word-wise),
+ *                   values={start cycle, mvm count}.
+ *   ChipSummary     one per chip at end of run: cycle=chip
+ *                   makespan, a=chip, b=issued, c=pipelineHits,
+ *                   d=dependencyStalls (scheduler-counter deltas
+ *                   for this run), values={completed, mvms,
+ *                   interleavedStages}.
+ *   RunEnd          cycle=run makespan, a=completed, b=rejected,
+ *                   c=output checksum.
+ */
+enum class EventKind : u32
+{
+    RunBegin = 0,
+    PoolChip,
+    AdmissionSetup,
+    TenantSetup,
+    TraceBegin,
+    Arrival,
+    Placement,
+    Admit,
+    StageSubmit,
+    StageComplete,
+    Backpressure,
+    Complete,
+    ChipSummary,
+    RunEnd,
+};
+
+/** Short lowercase kind name (JSONL "kind" field). */
+const char *eventKindName(EventKind kind);
+
+/** Admit's stage argument for whole-unit admissions. */
+constexpr u64 kNoStage = ~u64{0};
+
+/** Bit-pattern transport of doubles through u64 event arguments. */
+inline u64
+doubleBits(double v)
+{
+    u64 bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+inline double
+bitsToDouble(u64 bits)
+{
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+/** One journal record (see EventKind for field conventions). */
+struct JournalEvent
+{
+    EventKind kind = EventKind::RunBegin;
+    /** Simulated-cycle stamp (0 for header records). */
+    Cycle cycle = 0;
+    u64 a = 0;
+    u64 b = 0;
+    u64 c = 0;
+    u64 d = 0;
+    /** Short label (tenant/spec name, placement kind). */
+    std::string note;
+    /** Kind-specific payload (inputs, config words). */
+    std::vector<i64> values;
+
+    bool
+    operator==(const JournalEvent &other) const
+    {
+        return kind == other.kind && cycle == other.cycle &&
+               a == other.a && b == other.b && c == other.c &&
+               d == other.d && note == other.note &&
+               values == other.values;
+    }
+    bool operator!=(const JournalEvent &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+/** The append-only event log. */
+class Journal
+{
+  public:
+    /** Binary container format version (the file header). */
+    static constexpr u32 kFormatVersion = 1;
+
+    /** Append one event; stamps its chained checksum and returns
+     *  its index. */
+    std::size_t append(JournalEvent event);
+
+    const std::vector<JournalEvent> &events() const
+    {
+        return events_;
+    }
+    const JournalEvent &event(std::size_t i) const;
+    std::size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+
+    /** Chained checksum of record i (FNV-1a over its canonical
+     *  encoding, seeded with record i-1's checksum). */
+    u64 recordChecksum(std::size_t i) const;
+
+    /**
+     * Digest of the whole journal: the last record's chained
+     * checksum (the header basis when empty). Two journals with
+     * equal chains hold byte-identical histories.
+     */
+    u64 chainChecksum() const;
+
+    void clear();
+
+    /** Payload-and-chain equality (a full history compare). */
+    bool
+    operator==(const Journal &other) const
+    {
+        return chainChecksum() == other.chainChecksum() &&
+               events_ == other.events_;
+    }
+    bool operator!=(const Journal &other) const
+    {
+        return !(*this == other);
+    }
+
+    /** Serialize to the compact binary format. */
+    void writeBinary(std::ostream &out) const;
+
+    /**
+     * Parse a binary journal, verifying the header and every
+     * record's chained checksum. Throws std::runtime_error naming
+     * the first corrupt record (or the malformed header) — a
+     * truncated or bit-flipped file never yields a silently wrong
+     * history.
+     */
+    static Journal readBinary(std::istream &in);
+
+    /** writeBinary to a file (throws std::runtime_error on I/O
+     *  failure). */
+    void writeBinaryFile(const std::string &path) const;
+
+    /** readBinary from a file (throws std::runtime_error). */
+    static Journal readBinaryFile(const std::string &path);
+
+    /** One JSON object per event (after a header line); export
+     *  format for humans and external tools. */
+    void writeJsonl(std::ostream &out) const;
+
+  private:
+    std::vector<JournalEvent> events_;
+    /** Chained checksum per record (parallel to events_). */
+    std::vector<u64> checksums_;
+};
+
+} // namespace journal
+} // namespace darth
+
+#endif // DARTH_JOURNAL_JOURNAL_H

@@ -1,0 +1,436 @@
+#include "journal/Replayer.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "serve/ChipConfig.h"
+
+namespace darth
+{
+namespace journal
+{
+
+namespace
+{
+
+/** The runtime configuration a slot's factory inputs build. */
+runtime::ChipConfig
+slotChipConfig(const PoolSlotSetup &slot)
+{
+    switch (slot.kind) {
+      case SlotKind::Default: {
+        runtime::ChipConfig cfg;
+        if (slot.hcts != 0)
+            cfg.numHcts = slot.hcts;
+        return cfg;
+      }
+      case SlotKind::Uniform:
+        return serve::uniformChipSpec(slot.hcts, slot.clockGHz).chip;
+      case SlotKind::Sar:
+        return serve::heteroChipSpec(analog::AdcKind::Sar, slot.hcts,
+                                     slot.clockGHz)
+            .chip;
+      case SlotKind::Ramp:
+        return serve::heteroChipSpec(analog::AdcKind::Ramp, slot.hcts,
+                                     slot.clockGHz)
+            .chip;
+    }
+    throw std::invalid_argument("ServeRunSetup: unknown slot kind");
+}
+
+/** The ChipSpec a slot's factory inputs build (heterogeneous path). */
+serve::ChipSpec
+slotSpec(const PoolSlotSetup &slot)
+{
+    switch (slot.kind) {
+      case SlotKind::Default: {
+        serve::ChipSpec spec;
+        if (slot.hcts != 0)
+            spec.chip.numHcts = slot.hcts;
+        spec.clockGHz = slot.clockGHz;
+        return spec;
+      }
+      case SlotKind::Uniform:
+        return serve::uniformChipSpec(slot.hcts, slot.clockGHz);
+      case SlotKind::Sar:
+        return serve::heteroChipSpec(analog::AdcKind::Sar, slot.hcts,
+                                     slot.clockGHz);
+      case SlotKind::Ramp:
+        return serve::heteroChipSpec(analog::AdcKind::Ramp, slot.hcts,
+                                     slot.clockGHz);
+    }
+    throw std::invalid_argument("ServeRunSetup: unknown slot kind");
+}
+
+/**
+ * Drive setup's scenario once with `jr` attached, in the canonical
+ * record order both recordServeRun and Replayer::replay produce:
+ * header records (RunBegin, one PoolChip per slot, AdmissionSetup,
+ * one TenantSetup per tenant), then the Placement records
+ * buildTenants emits, TraceBegin, and the run itself.
+ */
+serve::ServeReport
+driveRun(const ServeRunSetup &setup,
+         const std::vector<serve::ServeRequest> &trace, Journal &jr)
+{
+    serve::ChipPool pool(setup.poolConfig());
+
+    {
+        JournalEvent e;
+        e.kind = EventKind::RunBegin;
+        e.a = ServeRunSetup::kSetupVersion;
+        e.b = setup.trafficSeed;
+        e.c = static_cast<u64>(setup.placement);
+        e.d = setup.poolSeed;
+        e.values = {static_cast<i64>(setup.backlogWindowCycles),
+                    static_cast<i64>(setup.slots.size()),
+                    setup.uniformPool ? i64{1} : i64{0},
+                    static_cast<i64>(setup.horizon)};
+        jr.append(std::move(e));
+    }
+
+    for (std::size_t i = 0; i < setup.slots.size(); ++i) {
+        const PoolSlotSetup &slot = setup.slots[i];
+        const serve::ChipSpec &spec = pool.spec(i);
+        const runtime::ChipConfig &cc = spec.chip;
+        JournalEvent e;
+        e.kind = EventKind::PoolChip;
+        e.a = i;
+        e.b = static_cast<u64>(slot.kind);
+        e.c = slot.hcts;
+        e.d = doubleBits(slot.clockGHz);
+        e.note = spec.name;
+        // Derived silicon, for verification only: replay rebuilds
+        // the chip from (kind, hcts, clock) above, and a factory
+        // whose derivation drifted since recording mismatches here.
+        e.values = {static_cast<i64>(cc.numHcts),
+                    static_cast<i64>(cc.modeledHcts),
+                    static_cast<i64>(cc.hct.dce.numPipelines),
+                    static_cast<i64>(cc.hct.dce.pipeline.depth),
+                    static_cast<i64>(cc.hct.dce.pipeline.width),
+                    static_cast<i64>(cc.hct.dce.pipeline.numRegs),
+                    static_cast<i64>(cc.hct.ace.numArrays),
+                    static_cast<i64>(cc.hct.ace.arrayRows),
+                    static_cast<i64>(cc.hct.ace.arrayCols),
+                    static_cast<i64>(
+                        static_cast<u32>(cc.hct.ace.adc.kind)),
+                    static_cast<i64>(cc.hct.ace.numAdcs),
+                    cc.hct.ace.rampAutoTerminate ? i64{1} : i64{0}};
+        jr.append(std::move(e));
+    }
+
+    {
+        const serve::AdmissionConfig &ac = setup.admission;
+        JournalEvent e;
+        e.kind = EventKind::AdmissionSetup;
+        e.a = ac.queueDepth;
+        e.b = static_cast<u64>(ac.qos);
+        e.c = static_cast<u64>(ac.overflow);
+        e.d = static_cast<u64>(ac.granularity);
+        e.values.push_back(ac.collectOutputs ? i64{1} : i64{0});
+        for (std::size_t depth : ac.chipQueueDepth)
+            e.values.push_back(static_cast<i64>(depth));
+        jr.append(std::move(e));
+    }
+
+    for (std::size_t t = 0; t < setup.tenants.size(); ++t) {
+        const serve::TenantSpec &spec = setup.tenants[t];
+        JournalEvent e;
+        e.kind = EventKind::TenantSetup;
+        e.a = t;
+        e.b = static_cast<u64>(spec.kind);
+        e.c = spec.modelKey;
+        e.d = doubleBits(spec.weight);
+        e.note = spec.name;
+        e.values = {
+            static_cast<i64>(doubleBits(spec.ratePerKcycle)),
+            static_cast<i64>(spec.burst.onCycles),
+            static_cast<i64>(spec.burst.offCycles),
+            static_cast<i64>(spec.slo.latencyTargetCycles),
+            static_cast<i64>(doubleBits(spec.slo.targetAvailability))};
+        jr.append(std::move(e));
+    }
+
+    pool.setJournal(&jr);
+    serve::TrafficGen gen(setup.trafficSeed);
+    std::vector<serve::Tenant> tenants =
+        serve::buildTenants(pool, gen, setup.tenants);
+
+    {
+        JournalEvent e;
+        e.kind = EventKind::TraceBegin;
+        e.a = trace.size();
+        jr.append(std::move(e));
+    }
+
+    serve::AdmissionController ctrl(pool, std::move(tenants),
+                                    setup.admission);
+    ctrl.setJournal(&jr);
+    serve::ServeReport report = ctrl.run(trace);
+    ctrl.setJournal(nullptr);
+    pool.setJournal(nullptr);
+    return report;
+}
+
+std::string
+formatEvent(const JournalEvent &e)
+{
+    std::string s = eventKindName(e.kind);
+    s += "{cycle=" + std::to_string(e.cycle);
+    s += " a=" + std::to_string(e.a);
+    s += " b=" + std::to_string(e.b);
+    s += " c=" + std::to_string(e.c);
+    s += " d=" + std::to_string(e.d);
+    if (!e.note.empty())
+        s += " note=" + e.note;
+    s += " values[" + std::to_string(e.values.size()) + "]}";
+    return s;
+}
+
+} // namespace
+
+serve::PoolConfig
+ServeRunSetup::poolConfig() const
+{
+    if (slots.empty())
+        throw std::invalid_argument(
+            "ServeRunSetup: pool needs at least one slot");
+    for (const PoolSlotSetup &slot : slots) {
+        if (slot.clockGHz <= 0.0)
+            throw std::invalid_argument(
+                "ServeRunSetup: slot clock must be positive");
+        if (slot.kind != SlotKind::Default && slot.hcts == 0)
+            throw std::invalid_argument(
+                "ServeRunSetup: slot tile count must be positive");
+    }
+
+    serve::PoolConfig cfg;
+    cfg.placement = placement;
+    cfg.seed = poolSeed;
+    cfg.backlogWindowCycles = backlogWindowCycles;
+    if (uniformPool) {
+        const PoolSlotSetup &first = slots.front();
+        for (const PoolSlotSetup &slot : slots)
+            if (slot.kind != first.kind || slot.hcts != first.hcts ||
+                slot.clockGHz != first.clockGHz)
+                throw std::invalid_argument(
+                    "ServeRunSetup: a uniform pool's slots must be "
+                    "identical");
+        // The uniform PoolConfig path replicates a bare
+        // runtime::ChipConfig; ChipPool stamps those slots with the
+        // default clock, so a uniform setup cannot carry another.
+        if (first.clockGHz != model::kClockGHz)
+            throw std::invalid_argument(
+                "ServeRunSetup: a uniform pool runs at the default "
+                "clock; use uniformPool=false for a custom one");
+        cfg.chip = slotChipConfig(first);
+        cfg.numChips = slots.size();
+    } else {
+        cfg.chips.reserve(slots.size());
+        for (const PoolSlotSetup &slot : slots)
+            cfg.chips.push_back(slotSpec(slot));
+    }
+    return cfg;
+}
+
+ServeRunRecord
+recordServeRun(const ServeRunSetup &setup)
+{
+    serve::TrafficGen gen(setup.trafficSeed);
+    return recordServeRun(setup,
+                          gen.trace(setup.tenants, setup.horizon));
+}
+
+ServeRunRecord
+recordServeRun(const ServeRunSetup &setup,
+               const std::vector<serve::ServeRequest> &trace)
+{
+    ServeRunRecord rec;
+    rec.trace = trace;
+    rec.report = driveRun(setup, trace, rec.journal);
+    return rec;
+}
+
+Replayer::Replayer(Journal recorded) : recorded_(std::move(recorded))
+{
+    const std::vector<JournalEvent> &ev = recorded_.events();
+    std::size_t i = 0;
+    auto need = [&](EventKind kind) -> const JournalEvent & {
+        if (i >= ev.size())
+            throw std::runtime_error(
+                std::string("Replayer: journal ended before its ") +
+                eventKindName(kind) + " record");
+        const JournalEvent &e = ev[i];
+        if (e.kind != kind)
+            throw std::runtime_error(
+                std::string("Replayer: expected ") +
+                eventKindName(kind) + " at record " +
+                std::to_string(i) + ", found " +
+                eventKindName(e.kind));
+        ++i;
+        return e;
+    };
+
+    const JournalEvent &begin = need(EventKind::RunBegin);
+    if (begin.a != ServeRunSetup::kSetupVersion)
+        throw std::runtime_error(
+            "Replayer: unsupported setup version " +
+            std::to_string(begin.a) + " (this build replays version " +
+            std::to_string(ServeRunSetup::kSetupVersion) + ")");
+    if (begin.values.size() < 4 ||
+        begin.c > static_cast<u64>(serve::PlacementPolicy::CostAware))
+        throw std::runtime_error(
+            "Replayer: malformed run_begin record");
+    setup_.trafficSeed = begin.b;
+    setup_.placement = static_cast<serve::PlacementPolicy>(begin.c);
+    setup_.poolSeed = begin.d;
+    setup_.backlogWindowCycles = static_cast<Cycle>(begin.values[0]);
+    const std::size_t slot_count =
+        static_cast<std::size_t>(begin.values[1]);
+    setup_.uniformPool = begin.values[2] != 0;
+    setup_.horizon = static_cast<Cycle>(begin.values[3]);
+    if (slot_count == 0)
+        throw std::runtime_error(
+            "Replayer: run_begin announces an empty pool");
+
+    setup_.slots.clear();
+    setup_.slots.reserve(slot_count);
+    for (std::size_t s = 0; s < slot_count; ++s) {
+        const JournalEvent &e = need(EventKind::PoolChip);
+        if (e.a != s)
+            throw std::runtime_error(
+                "Replayer: pool_chip records out of slot order");
+        if (e.b > static_cast<u64>(SlotKind::Ramp))
+            throw std::runtime_error(
+                "Replayer: pool_chip record names unknown slot kind " +
+                std::to_string(e.b));
+        PoolSlotSetup slot;
+        slot.kind = static_cast<SlotKind>(e.b);
+        slot.hcts = static_cast<std::size_t>(e.c);
+        slot.clockGHz = bitsToDouble(e.d);
+        setup_.slots.push_back(slot);
+    }
+
+    const JournalEvent &adm = need(EventKind::AdmissionSetup);
+    if (adm.b > static_cast<u64>(serve::QosPolicy::WeightedFair) ||
+        adm.c > static_cast<u64>(serve::OverflowPolicy::Reject) ||
+        adm.d > static_cast<u64>(serve::Granularity::Stage) ||
+        adm.values.empty())
+        throw std::runtime_error(
+            "Replayer: malformed admission_setup record");
+    setup_.admission.queueDepth = static_cast<std::size_t>(adm.a);
+    setup_.admission.qos = static_cast<serve::QosPolicy>(adm.b);
+    setup_.admission.overflow =
+        static_cast<serve::OverflowPolicy>(adm.c);
+    setup_.admission.granularity =
+        static_cast<serve::Granularity>(adm.d);
+    setup_.admission.collectOutputs = adm.values[0] != 0;
+    setup_.admission.chipQueueDepth.clear();
+    for (std::size_t v = 1; v < adm.values.size(); ++v)
+        setup_.admission.chipQueueDepth.push_back(
+            static_cast<std::size_t>(adm.values[v]));
+
+    setup_.tenants.clear();
+    while (i < ev.size() && ev[i].kind == EventKind::TenantSetup) {
+        const JournalEvent &e = ev[i];
+        ++i;
+        if (e.a != setup_.tenants.size())
+            throw std::runtime_error(
+                "Replayer: tenant_setup records out of index order");
+        if (e.b > static_cast<u64>(serve::WorkloadKind::GfWide) ||
+            e.values.size() < 5)
+            throw std::runtime_error(
+                "Replayer: malformed tenant_setup record " +
+                std::to_string(i - 1));
+        serve::TenantSpec spec;
+        spec.name = e.note;
+        spec.kind = static_cast<serve::WorkloadKind>(e.b);
+        spec.weight = bitsToDouble(e.d);
+        spec.ratePerKcycle =
+            bitsToDouble(static_cast<u64>(e.values[0]));
+        spec.modelKey = e.c;
+        spec.burst.onCycles = static_cast<Cycle>(e.values[1]);
+        spec.burst.offCycles = static_cast<Cycle>(e.values[2]);
+        spec.slo.latencyTargetCycles =
+            static_cast<Cycle>(e.values[3]);
+        spec.slo.targetAvailability =
+            bitsToDouble(static_cast<u64>(e.values[4]));
+        setup_.tenants.push_back(std::move(spec));
+    }
+    if (setup_.tenants.empty())
+        throw std::runtime_error(
+            "Replayer: journal has no tenant_setup records");
+
+    // The Placement records buildTenants emitted sit between the
+    // tenant table and trace_begin; they are re-derived on replay,
+    // not inputs, so skip to the trace.
+    while (i < ev.size() && ev[i].kind == EventKind::Placement)
+        ++i;
+
+    const JournalEvent &tb = need(EventKind::TraceBegin);
+    const std::size_t request_count =
+        static_cast<std::size_t>(tb.a);
+    trace_.clear();
+    trace_.reserve(request_count);
+    for (; i < ev.size(); ++i) {
+        const JournalEvent &e = ev[i];
+        if (e.kind != EventKind::Arrival)
+            continue;
+        if (e.a != trace_.size())
+            throw std::runtime_error(
+                "Replayer: arrival records out of trace order");
+        serve::ServeRequest req;
+        req.arrival = e.cycle;
+        req.tenant = static_cast<std::size_t>(e.b);
+        req.input = e.values;
+        trace_.push_back(std::move(req));
+    }
+    if (trace_.size() != request_count)
+        throw std::runtime_error(
+            "Replayer: trace_begin announces " +
+            std::to_string(request_count) +
+            " requests, journal carries " +
+            std::to_string(trace_.size()));
+}
+
+Replayer::Result
+Replayer::replay() const
+{
+    Result result;
+    result.report = driveRun(setup_, trace_, result.journal);
+
+    const std::vector<JournalEvent> &want = recorded_.events();
+    const std::vector<JournalEvent> &got =
+        result.journal.events();
+    const std::size_t common = std::min(want.size(), got.size());
+    for (std::size_t i = 0; i < common; ++i) {
+        if (want[i] == got[i])
+            continue;
+        result.firstMismatch = i;
+        result.detail = "event " + std::to_string(i) +
+                        ": recorded " + formatEvent(want[i]) +
+                        ", replayed " + formatEvent(got[i]);
+        return result;
+    }
+    if (want.size() != got.size()) {
+        result.firstMismatch = common;
+        result.detail =
+            "recorded journal has " + std::to_string(want.size()) +
+            " events, replay produced " + std::to_string(got.size());
+        return result;
+    }
+    if (recorded_.chainChecksum() != result.journal.chainChecksum()) {
+        result.firstMismatch = want.size();
+        result.detail =
+            "event streams match but chain checksums differ";
+        return result;
+    }
+    result.identical = true;
+    result.firstMismatch = want.size();
+    return result;
+}
+
+} // namespace journal
+} // namespace darth

@@ -9,7 +9,9 @@
 #include <string>
 #include <utility>
 
+#include "common/Fnv.h"
 #include "common/Logging.h"
+#include "journal/Journal.h"
 
 namespace darth
 {
@@ -90,6 +92,7 @@ buildTenants(ChipPool &pool, const TrafficGen &gen,
             break;
         }
         tenant.inputBits = TrafficGen::inputBits(spec.kind);
+        tenant.slo = spec.slo;
         tenants.push_back(std::move(tenant));
     }
     return tenants;
@@ -148,6 +151,13 @@ AdmissionController::AdmissionController(ChipPool &pool,
             runtime::Scheduler::submissionOrderHook());
 }
 
+void
+AdmissionController::setJournal(journal::Journal *journal)
+{
+    SeqLock lock(mu_);
+    journal_ = journal;
+}
+
 ServeReport
 AdmissionController::run(const std::vector<ServeRequest> &trace)
 {
@@ -158,6 +168,25 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     // through `this` for guarded state.
     const std::vector<Tenant> &tenants = tenants_;
     const AdmissionConfig &cfg = cfg_;
+    journal::Journal *const jr = journal_;
+
+    // Journal emission helper: one event, field conventions per
+    // journal/Journal.h's EventKind table.
+    auto emit = [jr](journal::EventKind kind, Cycle cycle, u64 a,
+                     u64 b, u64 c, u64 d,
+                     std::vector<i64> values = {}) {
+        if (jr == nullptr)
+            return;
+        journal::JournalEvent e;
+        e.kind = kind;
+        e.cycle = cycle;
+        e.a = a;
+        e.b = b;
+        e.c = c;
+        e.d = d;
+        e.values = std::move(values);
+        jr->append(std::move(e));
+    };
 
     const std::size_t num_chips = pool_.numChips();
     const std::size_t num_tenants = tenants.size();
@@ -167,6 +196,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     for (std::size_t t = 0; t < num_tenants; ++t) {
         report.tenants[t].name = tenants[t].name;
         report.tenants[t].weight = tenants[t].weight;
+        report.tenants[t].slo.spec = tenants[t].slo;
     }
     // Per-chip submission window: uniform queueDepth unless the
     // config names one depth per slot.
@@ -296,6 +326,8 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
             const Cycle stage_done =
                 pool_.stageDoneCycle(run, pending.stage);
             cs.occupied.push(stage_done);
+            emit(journal::EventKind::StageComplete, stage_done,
+                 pending.reqIdx, pending.stage, c, 0);
             if (pending.stage + 1 < run.stageCount()) {
                 // The freed slot and the parked next stage race
                 // through the ordinary admission machinery, so other
@@ -333,6 +365,10 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
             done = r.done;
         }
 
+        emit(journal::EventKind::Complete, done, pending.reqIdx,
+             req.tenant, c, fnv1aWords(values),
+             {static_cast<i64>(start), static_cast<i64>(mvms)});
+
         TenantStats &stats = report.tenants[req.tenant];
         stats.completed += 1;
         stats.mvms += mvms;
@@ -343,6 +379,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         stats.service.push_back(static_cast<double>(done - start));
         stats.doneCycle.push_back(static_cast<double>(done));
         stats.serviceCycles += static_cast<double>(done - start);
+        stats.slo.recordLatency(done - req.arrival);
 
         report.completed += 1;
         report.makespan = std::max(report.makespan, done);
@@ -452,6 +489,10 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         const Cycle at =
             std::max(std::max(slot_cycle, req.arrival), item.ready);
         double charge = nominalCost[t];
+        // The admitted unit's stage index in the journal record:
+        // whole units (single MVMs, whole inferences) admit as one
+        // unit and record kNoStage.
+        u64 journal_stage = journal::kNoStage;
         Pending pending;
         pending.reqIdx = req_idx;
         if (pool_.isInference(tenants[req.tenant].model)) {
@@ -468,6 +509,9 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                 pending.stage = pool_.advanceInference(run, at);
                 charge = static_cast<double>(
                     run.stageCharges[pending.stage]);
+                journal_stage = pending.stage;
+                emit(journal::EventKind::StageSubmit, at, req_idx,
+                     pending.stage, c, run.stageCount());
                 cs.admitSeq += 1;
                 if (pending.stage > 0 &&
                     cs.admitSeq != lastAdmitSeq[req_idx] + 1)
@@ -491,6 +535,9 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                              tenants[req.tenant].inputBits, at);
         }
         finishTag[t] = start_tag + charge / tenants[t].weight;
+        emit(journal::EventKind::Admit, at, req_idx, t, c,
+             journal_stage,
+             {static_cast<i64>(journal::doubleBits(charge))});
         cs.notWaited.push_back(std::move(pending));
     };
 
@@ -524,6 +571,16 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         prev_arrival = req.arrival;
 
         const std::size_t c = tenantChip[req.tenant];
+        emit(journal::EventKind::Arrival, req.arrival, i, req.tenant,
+             c, fnv1aWords(req.input), req.input);
+        // True while request i is parked in its tenant's waiting
+        // room (blocked, or not yet re-claimed under Reject).
+        auto still_waiting = [&] {
+            for (const WaitingItem &item : waiting[req.tenant])
+                if (item.reqIdx == i)
+                    return true;
+            return false;
+        };
         // Catch up: older blocked requests claim any slot that freed
         // before this arrival.
         drainWaiting(c, req.arrival);
@@ -531,6 +588,9 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         if (cfg.overflow == OverflowPolicy::Block) {
             enqueueWaiting(c, req.tenant, i);
             drainWaiting(c, req.arrival);
+            if (still_waiting())
+                emit(journal::EventKind::Backpressure, req.arrival,
+                     i, req.tenant, c, /*blocked=*/0);
         } else {
             // Reject drops *fresh arrivals* only: a request that has
             // begun is finished — its continuation stages get first
@@ -541,16 +601,12 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
             if (!slot) {
                 report.tenants[req.tenant].rejected += 1;
                 report.rejected += 1;
+                report.tenants[req.tenant].slo.recordRejected();
+                emit(journal::EventKind::Backpressure, req.arrival,
+                     i, req.tenant, c, /*rejected=*/1);
             } else {
                 enqueueWaiting(c, req.tenant, i);
                 admit(c, *slot);
-                auto still_waiting = [&] {
-                    for (const WaitingItem &item :
-                         waiting[req.tenant])
-                        if (item.reqIdx == i)
-                            return true;
-                    return false;
-                };
                 while (still_waiting()) {
                     const auto next = acquireSlot(c, req.arrival);
                     if (!next)
@@ -568,6 +624,10 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                     chips[c].waitingCount -= 1;
                     report.tenants[req.tenant].rejected += 1;
                     report.rejected += 1;
+                    report.tenants[req.tenant].slo.recordRejected();
+                    emit(journal::EventKind::Backpressure,
+                         req.arrival, i, req.tenant, c,
+                         /*rejected=*/1);
                 }
             }
         }
@@ -593,17 +653,23 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         cs.pipelineHits = now.pipelineHits - counters0[c].pipelineHits;
         cs.dependencyStalls =
             now.dependencyStalls - counters0[c].dependencyStalls;
+        emit(journal::EventKind::ChipSummary, cs.makespan, c,
+             cs.issued, cs.pipelineHits, cs.dependencyStalls,
+             {static_cast<i64>(cs.completed),
+              static_cast<i64>(cs.mvms),
+              static_cast<i64>(cs.interleavedStages)});
     }
 
-    // FNV-1a over outputs in trace order: identical traffic must
-    // yield an identical checksum whatever the pool size or policy.
-    u64 hash = 0xcbf29ce484222325ULL;
+    // FNV-1a over outputs in trace order (the frozen word-wise
+    // scheme of common/Fnv.h): identical traffic must yield an
+    // identical checksum whatever the pool size or policy.
+    u64 hash = kFnvOffsetBasis;
     for (const auto &values : report.outputs)
-        for (i64 v : values) {
-            hash ^= static_cast<u64>(v);
-            hash *= 0x100000001b3ULL;
-        }
+        hash = fnv1aWords(values, hash);
     report.outputChecksum = hash;
+    emit(journal::EventKind::RunEnd, report.makespan,
+         report.completed, report.rejected, report.outputChecksum,
+         0);
     if (!cfg.collectOutputs)
         report.outputs.clear();
     return report;

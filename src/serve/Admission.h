@@ -64,10 +64,16 @@
 #include "common/ThreadAnnotations.h"
 #include "serve/ChipPool.h"
 #include "serve/ServeStats.h"
+#include "serve/Slo.h"
 #include "serve/TrafficGen.h"
 
 namespace darth
 {
+namespace journal
+{
+class Journal;
+} // namespace journal
+
 namespace serve
 {
 
@@ -145,6 +151,9 @@ struct Tenant
     double weight = 1.0;
     ModelRef model = 0;
     int inputBits = 8;
+    /** Latency/availability SLO (from TenantSpec::slo); run()
+     *  tracks burn rate against it in TenantStats::slo. */
+    SloSpec slo;
 };
 
 /**
@@ -195,6 +204,16 @@ class AdmissionController
     ServeReport run(const std::vector<ServeRequest> &trace)
         EXCLUDES(mu_);
 
+    /**
+     * Attach (or detach, with nullptr) an event journal: run()
+     * emits one record per arrival, admission (with the WFQ
+     * charge), stage submission/completion, backpressure action,
+     * and completion, plus per-chip summaries and a run trailer —
+     * the stream journal/Replayer.h replays bit-identically. The
+     * journal must outlive the attachment; never owned.
+     */
+    void setJournal(journal::Journal *journal) EXCLUDES(mu_);
+
   private:
     /** Guards the tenant table and config. A no-op capability until
      *  the threading work lands (common/ThreadAnnotations.h). */
@@ -203,6 +222,8 @@ class AdmissionController
     ChipPool &pool_;
     std::vector<Tenant> tenants_ GUARDED_BY(mu_);
     AdmissionConfig cfg_ GUARDED_BY(mu_);
+    /** Event sink for run() (see setJournal); not owned. */
+    journal::Journal *journal_ GUARDED_BY(mu_) = nullptr;
 };
 
 } // namespace serve

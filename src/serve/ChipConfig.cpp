@@ -56,6 +56,29 @@ heteroChipSpec(analog::AdcKind adc, std::size_t sar_hcts,
     return spec;
 }
 
+ChipSpec
+uniformChipSpec(std::size_t num_hcts, double clock_ghz)
+{
+    if (num_hcts == 0)
+        darth_fatal("uniformChipSpec: num_hcts must be positive");
+    if (clock_ghz <= 0.0)
+        darth_fatal("uniformChipSpec: clock must be positive, got ",
+                    clock_ghz);
+    ChipSpec spec;
+    spec.name = "chip";
+    spec.clockGHz = clock_ghz;
+    runtime::ChipConfig &cfg = spec.chip;
+    cfg.hct.dce.numPipelines = 2;
+    cfg.hct.dce.pipeline.depth = 32;
+    cfg.hct.dce.pipeline.width = 32;
+    cfg.hct.dce.pipeline.numRegs = 8;
+    cfg.hct.ace.numArrays = 16;
+    cfg.hct.ace.arrayRows = 64;
+    cfg.hct.ace.arrayCols = 32;
+    cfg.numHcts = num_hcts;
+    return spec;
+}
+
 std::vector<ChipSpec>
 heteroPoolSpecs(std::size_t num_sar, std::size_t num_ramp,
                 std::size_t sar_hcts)

@@ -83,6 +83,17 @@ std::vector<ChipSpec> heteroPoolSpecs(std::size_t num_sar,
                                       std::size_t num_ramp,
                                       std::size_t sar_hcts);
 
+/**
+ * The uniform serving chip: the medium scheduler-bench geometry
+ * (2 pipelines of 32x32x8, 16 analog arrays of 64x32) with
+ * `num_hcts` tiles — the spec serve_bench's homogeneous experiments
+ * and the journal replayer's uniform pools are built from. Named
+ * "chip" like the PoolConfig uniform default. `num_hcts` must be
+ * positive.
+ */
+ChipSpec uniformChipSpec(std::size_t num_hcts,
+                         double clock_ghz = model::kClockGHz);
+
 } // namespace serve
 } // namespace darth
 

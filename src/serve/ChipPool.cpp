@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/Logging.h"
+#include "journal/Journal.h"
 
 namespace darth
 {
@@ -35,6 +36,29 @@ sharesByKey(PlacementPolicy policy)
 {
     return policy == PlacementPolicy::MatrixAffinity ||
            policy == PlacementPolicy::CostAware;
+}
+
+/**
+ * Journal one placement decision. `score` is the winning CostAware
+ * score (0 under the other policies — they do not score); `shared`
+ * marks an affinity reuse of an existing placement.
+ */
+void
+recordPlacement(journal::Journal *jr, ModelRef ref, u64 key,
+                std::size_t chip, double score, const char *what,
+                bool shared)
+{
+    if (jr == nullptr)
+        return;
+    journal::JournalEvent e;
+    e.kind = journal::EventKind::Placement;
+    e.a = ref;
+    e.b = key;
+    e.c = chip;
+    e.d = journal::doubleBits(score);
+    e.note = what;
+    e.values = {shared ? i64{1} : i64{0}};
+    jr->append(std::move(e));
 }
 
 } // namespace
@@ -324,6 +348,8 @@ ChipPool::placeModel(u64 key, const MatrixI &m, int element_bits,
                             " is already placed with a different "
                             "model; use a fresh key per distinct "
                             "matrix");
+            recordPlacement(journal_, it->second, key, held.chip,
+                            0.0, "mvm", /*shared=*/true);
             return it->second;
         }
     }
@@ -349,6 +375,8 @@ ChipPool::placeModel(u64 key, const MatrixI &m, int element_bits,
     const ModelRef ref = models_.size() - 1;
     if (sharesByKey(cfg_.placement) && key != 0)
         affinity_[key] = ref;
+    recordPlacement(journal_, ref, key, c, quote.score[c], "mvm",
+                    /*shared=*/false);
     return ref;
 }
 
@@ -376,6 +404,8 @@ ChipPool::placeCnnInference(u64 key, cnn::TinyCnn net)
                             key, " is already placed with a different "
                             "model; use a fresh key per distinct "
                             "network");
+            recordPlacement(journal_, it->second, key, held.chip,
+                            0.0, "cnn_infer", /*shared=*/true);
             return it->second;
         }
     }
@@ -420,6 +450,8 @@ ChipPool::placeCnnInference(u64 key, cnn::TinyCnn net)
     const ModelRef ref = models_.size() - 1;
     if (sharesByKey(cfg_.placement) && key != 0)
         affinity_[key] = ref;
+    recordPlacement(journal_, ref, key, c, quote.score[c],
+                    "cnn_infer", /*shared=*/false);
     return ref;
 }
 
@@ -447,6 +479,8 @@ ChipPool::placeLlmInference(u64 key, llm::Encoder enc)
                             key, " is already placed with a different "
                             "model; use a fresh key per distinct "
                             "network");
+            recordPlacement(journal_, it->second, key, held.chip,
+                            0.0, "llm_infer", /*shared=*/true);
             return it->second;
         }
     }
@@ -496,7 +530,16 @@ ChipPool::placeLlmInference(u64 key, llm::Encoder enc)
     const ModelRef ref = models_.size() - 1;
     if (sharesByKey(cfg_.placement) && key != 0)
         affinity_[key] = ref;
+    recordPlacement(journal_, ref, key, c, quote.score[c],
+                    "llm_infer", /*shared=*/false);
     return ref;
+}
+
+void
+ChipPool::setJournal(journal::Journal *journal)
+{
+    SeqLock lock(mu_);
+    journal_ = journal;
 }
 
 bool

@@ -85,6 +85,11 @@
 
 namespace darth
 {
+namespace journal
+{
+class Journal;
+} // namespace journal
+
 namespace serve
 {
 
@@ -318,6 +323,15 @@ class ChipPool
     /** Max scheduler makespan over all chips. */
     Cycle makespan() const;
 
+    /**
+     * Attach (or detach, with nullptr) an event journal: every
+     * placement decision — fresh placements with the winning
+     * CostAware score, and affinity-shared reuses — emits a
+     * Placement record. The journal must outlive the attachment;
+     * the pool never owns it.
+     */
+    void setJournal(journal::Journal *journal) EXCLUDES(mu_);
+
   private:
     /** One placed inference network (owns the net, the forward
      *  runner, and through it the placements). Heap-allocated so the
@@ -435,6 +449,8 @@ class ChipPool
     /** key -> ModelRef, consulted under MatrixAffinity/CostAware. */
     std::map<u64, ModelRef> affinity_ GUARDED_BY(mu_);
     std::size_t rrCursor_ GUARDED_BY(mu_) = 0;
+    /** Placement-event sink (see setJournal); not owned. */
+    journal::Journal *journal_ GUARDED_BY(mu_) = nullptr;
 };
 
 } // namespace serve

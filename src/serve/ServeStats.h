@@ -19,6 +19,7 @@
 
 #include "common/Stats.h"
 #include "common/Types.h"
+#include "serve/Slo.h"
 
 namespace darth
 {
@@ -55,6 +56,10 @@ struct TenantStats
 
     /** Total service cycles delivered to this tenant. */
     double serviceCycles = 0.0;
+
+    /** Error-budget burn against the tenant's SLO (inert when the
+     *  tenant's spec left the SLO disabled; see serve/Slo.h). */
+    SloStats slo;
 
     /** Completions with done <= cycle (windowed share under
      *  saturation, where the end-of-trace drain would otherwise

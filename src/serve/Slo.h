@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Per-tenant SLO targets and error-budget burn-rate accounting.
+ *
+ * An SloSpec states a tenant's service-level objective in the
+ * serving layer's own terms: "at least `targetAvailability` of
+ * requests complete within `latencyTargetCycles` of arrival". The
+ * complement of the availability target is the tenant's *error
+ * budget* — the fraction of requests allowed to miss. SloStats then
+ * tracks, over one AdmissionController run, how fast the tenant is
+ * spending that budget:
+ *
+ *   burnRate = violationFraction / errorBudget
+ *
+ * the SRE burn-rate convention with the trace as the SLO window: 1.0
+ * means the tenant is missing at exactly the budgeted rate (the
+ * budget lasts the whole window), 10.0 means it spends the window's
+ * budget in a tenth of it, and 0 means no violations at all. A
+ * request counts as a violation when its arrival-to-completion
+ * latency exceeds the target, or when admission rejects it outright
+ * (a dropped request is an unavailable one). Eligible requests are
+ * completions plus rejections — requests the cluster finished
+ * deciding about.
+ *
+ * TrafficGen::TenantSpec carries the spec, AdmissionController::run
+ * does the recording, and TenantStats::slo surfaces the result in
+ * the ServeReport (and from there the bench JSON and serve_demo's
+ * burn-rate table).
+ */
+
+#ifndef DARTH_SERVE_SLO_H
+#define DARTH_SERVE_SLO_H
+
+#include <limits>
+
+#include "common/Types.h"
+
+namespace darth
+{
+namespace serve
+{
+
+/** One tenant's service-level objective. */
+struct SloSpec
+{
+    /** Arrival-to-completion latency target in cycles; 0 disables
+     *  SLO accounting for the tenant. */
+    Cycle latencyTargetCycles = 0;
+    /**
+     * Fraction of requests that must meet the target, in (0, 1).
+     * The error budget is its complement (0.999 -> 0.1% of requests
+     * may miss).
+     */
+    double targetAvailability = 0.999;
+
+    bool enabled() const { return latencyTargetCycles > 0; }
+
+    double errorBudget() const { return 1.0 - targetAvailability; }
+};
+
+/** Burn-rate accounting of one tenant over one serve run. */
+struct SloStats
+{
+    SloSpec spec;
+    /** Requests decided: completions plus rejections (0 when the
+     *  spec is disabled — nothing is tracked). */
+    u64 eligible = 0;
+    /** Eligible requests that missed: completed over the latency
+     *  target, or rejected by admission. */
+    u64 violations = 0;
+
+    /** Record one completed request's arrival-to-done latency. */
+    void
+    recordLatency(Cycle latency)
+    {
+        if (!spec.enabled())
+            return;
+        eligible += 1;
+        if (latency > spec.latencyTargetCycles)
+            violations += 1;
+    }
+
+    /** Record one admission-rejected request (always a violation:
+     *  a dropped request is an unavailable one). */
+    void
+    recordRejected()
+    {
+        if (!spec.enabled())
+            return;
+        eligible += 1;
+        violations += 1;
+    }
+
+    double
+    violationFraction() const
+    {
+        if (eligible == 0)
+            return 0.0;
+        return static_cast<double>(violations) /
+               static_cast<double>(eligible);
+    }
+
+    /**
+     * Error-budget burn rate over the run: violationFraction over
+     * the error budget. 1.0 = spending exactly the budgeted miss
+     * rate; above 1.0 the tenant exhausts its budget before the
+     * window ends. 0 when disabled, nothing decided yet, or no
+     * violations.
+     */
+    double
+    burnRate() const
+    {
+        if (!spec.enabled() || eligible == 0 || violations == 0)
+            return 0.0;
+        const double budget = spec.errorBudget();
+        if (budget <= 0.0)
+            // A zero error budget (availability 1.0) is rejected by
+            // TrafficGen::validateSpec; any violation against one is
+            // an infinite burn.
+            return std::numeric_limits<double>::infinity();
+        return violationFraction() / budget;
+    }
+
+    /**
+     * Fraction of the run's error budget still unspent: 1 - burn
+     * rate. Negative once the tenant has overspent (kept signed so
+     * the overshoot is visible).
+     */
+    double budgetRemaining() const { return 1.0 - burnRate(); }
+};
+
+} // namespace serve
+} // namespace darth
+
+#endif // DARTH_SERVE_SLO_H

@@ -116,6 +116,14 @@ TrafficGen::validateSpec(const TenantSpec &spec)
             std::to_string(spec.burst.offCycles) +
             "); onCycles and offCycles must both be positive, or "
             "both zero to disable bursting");
+    if (spec.slo.enabled() && (spec.slo.targetAvailability <= 0.0 ||
+                               spec.slo.targetAvailability >= 1.0))
+        throw std::invalid_argument(
+            "TrafficGen: tenant '" + spec.name +
+            "' has SLO availability target " +
+            std::to_string(spec.slo.targetAvailability) +
+            " outside (0, 1); the error budget (its complement) "
+            "must be a positive fraction");
 }
 
 int

@@ -28,6 +28,7 @@
 #include "common/Matrix.h"
 #include "common/Random.h"
 #include "common/Types.h"
+#include "serve/Slo.h"
 
 namespace darth
 {
@@ -100,10 +101,15 @@ struct TenantSpec
      * placement itself. 0 = a private matrix per tenant.
      */
     u64 modelKey = 0;
-    /** Optional on/off arrival bursts (disabled by default). Last
-     *  member so positional aggregate initializers predating it
-     *  keep their meaning. */
+    /** Optional on/off arrival bursts (disabled by default). */
     BurstSpec burst;
+    /**
+     * Optional latency/availability SLO (disabled by default; see
+     * serve/Slo.h). AdmissionController tracks error-budget burn
+     * against it in TenantStats::slo. Last member so positional
+     * aggregate initializers predating it keep their meaning.
+     */
+    SloSpec slo;
 };
 
 /** One request of the open-loop trace. */

@@ -5,7 +5,7 @@ Every invariant the simulator ships — bit-identical outputs across
 pool sizes, placement policies, and admission granularities — rests
 on the code being free of hidden nondeterminism. This lint statically
 bans the sources of it in the scheduling-relevant trees
-(src/runtime, src/serve, src/apps):
+(src/runtime, src/serve, src/apps, src/journal):
 
   unordered-container   std::unordered_map / std::unordered_set (and
                         their multi variants). Iteration order is
@@ -57,7 +57,7 @@ import shutil
 import subprocess
 import sys
 
-SCAN_DIRS = ["src/runtime", "src/serve", "src/apps"]
+SCAN_DIRS = ["src/runtime", "src/serve", "src/apps", "src/journal"]
 EXTENSIONS = (".h", ".hpp", ".cpp", ".cc", ".cxx")
 
 INLINE_ALLOW = re.compile(

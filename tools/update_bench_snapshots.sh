@@ -44,6 +44,20 @@ for bench in serve infer; do
     }
 done
 
+# Show what the refresh changes before replacing anything. The diff
+# is informational here — the point of this script is to accept a
+# legitimate movement — so regressions are printed but do not abort.
+# CI runs the same diff with its gating exit code.
+for bench in serve infer; do
+    if [ -f "BENCH_${bench}.json" ]; then
+        echo "--- BENCH_${bench}.json delta ---"
+        python3 tools/bench_diff.py \
+            "BENCH_${bench}.json" "$tmpdir/BENCH_${bench}.json" || \
+            echo "note: regression(s) above — refresh proceeds;" \
+                 "justify them in the commit message"
+    fi
+done
+
 for bench in serve infer; do
     mv "$tmpdir/BENCH_${bench}.json" "BENCH_${bench}.json"
     echo "updated BENCH_${bench}.json"

@@ -28,10 +28,18 @@
  *  - back-to-back inferences pipeline at >= 1.5x the serialized
  *    single-inference rate for every network.
  *
- *   $ ./infer_bench [--smoke]
+ * Host-side knobs (never part of the simulated experiment): the
+ * `--threads N` setting is recorded in the top-level `threads` field
+ * (the single-chip forwards themselves are driven serially), and
+ * every network cell carries an informational `wall_ms` host
+ * wall-clock field that bench_diff.py never gates on.
+ *
+ *   $ ./infer_bench [--smoke] [--threads N]
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -54,6 +62,23 @@ struct Check
 
 std::vector<Check> g_checks;
 
+/** Recorded --threads setting (host-side only; see file header). */
+std::size_t g_threads = 1;
+
+/** Host wall-clock timer for the informational wall_ms fields. */
+struct WallTimer
+{
+    std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+    double
+    ms() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    }
+};
+
 /** One network's pipelining measurements. */
 struct PipelineOutcome
 {
@@ -68,7 +93,8 @@ struct PipelineOutcome
 void
 printOutcome(const char *name, const PipelineOutcome &o,
              Cycle max_layer_latency,
-             const runtime::SchedulerCounters &ctr, bool last)
+             const runtime::SchedulerCounters &ctr, double wall_ms,
+             bool last)
 {
     std::printf("    {\"network\": \"%s\", \"hcts\": %zu, "
                 "\"mvms_per_inference\": %zu, "
@@ -79,7 +105,8 @@ printOutcome(const char *name, const PipelineOutcome &o,
                 "\"bit_identical\": %s, "
                 "\"sched_issued\": %llu, "
                 "\"sched_pipeline_hits\": %llu, "
-                "\"sched_dependency_stalls\": %llu}%s\n",
+                "\"sched_dependency_stalls\": %llu, "
+                "\"wall_ms\": %.3f}%s\n",
                 name, o.hcts, o.mvmsPerInfer,
                 static_cast<unsigned long long>(o.serialized),
                 o.spacing, o.speedup,
@@ -88,7 +115,7 @@ printOutcome(const char *name, const PipelineOutcome &o,
                 static_cast<unsigned long long>(ctr.issued),
                 static_cast<unsigned long long>(ctr.pipelineHits),
                 static_cast<unsigned long long>(ctr.dependencyStalls),
-                last ? "" : ",");
+                wall_ms, last ? "" : ",");
 }
 
 void
@@ -154,6 +181,7 @@ resnetChip()
 void
 runResnet(std::size_t batch, bool last)
 {
+    const WallTimer timer;
     const runtime::ChipConfig cfg = resnetChip();
     runtime::Chip chip(cfg);
     runtime::Runtime rt(chip);
@@ -175,7 +203,7 @@ runResnet(std::size_t batch, bool last)
     const Cycle bound =
         mapper.networkCost(net.layerStats()).maxLayerLatency;
     printOutcome("resnet20", outcome, bound,
-                 rt.scheduler().counters(), last);
+                 rt.scheduler().counters(), timer.ms(), last);
     recordChecks("resnet20", outcome);
 }
 
@@ -201,6 +229,7 @@ encoderChip()
 void
 runEncoder(std::size_t batch, bool last)
 {
+    const WallTimer timer;
     const runtime::ChipConfig cfg = encoderChip();
     runtime::Chip chip(cfg);
     runtime::Runtime rt(chip);
@@ -232,7 +261,7 @@ runEncoder(std::size_t batch, bool last)
 
     const Cycle bound = mapper.hybridCost(enc.stats()).latency;
     printOutcome("encoder", outcome, bound, rt.scheduler().counters(),
-                 last);
+                 timer.ms(), last);
     recordChecks("encoder", outcome);
 }
 
@@ -258,6 +287,7 @@ tinyChip()
 void
 runTinyCnn(std::size_t batch, bool last)
 {
+    const WallTimer timer;
     const runtime::ChipConfig cfg = tinyChip();
     runtime::Chip chip(cfg);
     runtime::Runtime rt(chip);
@@ -282,7 +312,7 @@ runTinyCnn(std::size_t batch, bool last)
     const Cycle bound =
         mapper.networkCost(net.layerStats()).maxLayerLatency;
     printOutcome("tiny_cnn", outcome, bound, rt.scheduler().counters(),
-                 last);
+                 timer.ms(), last);
     recordChecks("tiny_cnn", outcome);
 }
 
@@ -292,9 +322,16 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
-    for (int i = 1; i < argc; ++i)
+    for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--threads") == 0 &&
+                 i + 1 < argc)
+            g_threads = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+    }
+    if (g_threads == 0)
+        g_threads = 1;
 
     const std::size_t resnet_batch = smoke ? 2 : 4;
     const std::size_t encoder_batch = smoke ? 4 : 8;
@@ -303,6 +340,7 @@ main(int argc, char **argv)
     std::printf("{\n");
     std::printf("  \"bench\": \"infer_bench\",\n");
     std::printf("  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::printf("  \"threads\": %zu,\n", g_threads);
     std::printf("  \"networks\": [\n");
     runTinyCnn(tiny_batch, false);
     runEncoder(encoder_batch, false);

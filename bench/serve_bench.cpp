@@ -82,12 +82,21 @@
  * acceptance criteria. `--smoke` shrinks horizons and the sweep, not
  * the checks.
  *
- *   $ ./serve_bench [--smoke]
+ * Host-side knobs (never part of the simulated experiment):
+ * `--threads N` runs each cell's per-chip simulation on N worker
+ * threads (results are bit-identical to --threads 1 by construction;
+ * the `threads` config field records the setting), and every cell
+ * carries an informational `wall_ms` host wall-clock field that
+ * bench_diff.py never gates on.
+ *
+ *   $ ./serve_bench [--smoke] [--threads N]
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <sstream>
@@ -107,6 +116,24 @@ namespace
 
 using namespace darth;
 using namespace darth::serve;
+
+/** Worker threads per admission run (--threads). Host-side only:
+ *  simulated results are bit-identical across any setting. */
+std::size_t g_threads = 1;
+
+/** Host wall-clock timer for the informational wall_ms fields. */
+struct WallTimer
+{
+    std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+    double
+    ms() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    }
+};
 
 /** Medium MVM chip (the scheduler-bench geometry, now owned by the
  *  serve/ChipConfig factory so the journal replayer rebuilds the
@@ -270,6 +297,7 @@ double
 runScalingCell(std::size_t chips, std::size_t tenant_count,
                double load, Cycle horizon, bool first_cell)
 {
+    const WallTimer timer;
     TrafficGen gen(1001);
     PoolConfig pool_cfg;
     pool_cfg.chip = serveChip(tenant_count);   // 1 chip fits them all
@@ -293,6 +321,7 @@ runScalingCell(std::size_t chips, std::size_t tenant_count,
     // and the run measures delivered capacity, not drop dynamics.
     cfg.overflow = OverflowPolicy::Block;
     cfg.qos = QosPolicy::RoundRobin;
+    cfg.threads = g_threads;
     AdmissionController ac(pool, tenants, cfg);
     const ServeReport report = ac.run(gen.trace(specs, horizon));
 
@@ -300,13 +329,14 @@ runScalingCell(std::size_t chips, std::size_t tenant_count,
     std::printf("%s    {\"chips\": %zu, \"tenants\": %zu, "
                 "\"load\": %.2f, \"depth\": %zu, \"completed\": %llu, "
                 "\"rejected\": %llu, \"makespan\": %llu, "
-                "\"throughput_per_kcycle\": %.3f}",
+                "\"throughput_per_kcycle\": %.3f, "
+                "\"wall_ms\": %.3f}",
                 first_cell ? "" : ",\n", chips, tenant_count, load,
                 cfg.queueDepth,
                 static_cast<unsigned long long>(report.completed),
                 static_cast<unsigned long long>(report.rejected),
                 static_cast<unsigned long long>(report.makespan),
-                throughput);
+                throughput, timer.ms());
     return throughput;
 }
 
@@ -343,6 +373,7 @@ runQosSweep(Cycle horizon)
     for (const QosPolicy qos :
          {QosPolicy::Fifo, QosPolicy::RoundRobin,
           QosPolicy::WeightedFair}) {
+        const WallTimer timer;
         TrafficGen gen(2002);
         PoolConfig pool_cfg;
         pool_cfg.chip = serveChip(3);   // one shared chip
@@ -353,11 +384,14 @@ runQosSweep(Cycle horizon)
         cfg.queueDepth = 2;
         cfg.qos = qos;
         cfg.overflow = OverflowPolicy::Block;
+        cfg.threads = g_threads;
         AdmissionController ac(pool, tenants, cfg);
         const ServeReport report = ac.run(gen.trace(specs, horizon));
 
-        std::printf("    %s{\"policy\": \"%s\", \"classes\": [\n",
-                    first ? "" : ",\n    ", qosPolicyName(qos));
+        std::printf("    %s{\"policy\": \"%s\", "
+                    "\"wall_ms\": %.3f, \"classes\": [\n",
+                    first ? "" : ",\n    ", qosPolicyName(qos),
+                    timer.ms());
         first = false;
         for (std::size_t t = 0; t < report.tenants.size(); ++t)
             printTenantJson(report.tenants[t],
@@ -381,6 +415,7 @@ runBackpressureSweep(Cycle horizon)
     bool first = true;
     for (const std::size_t depth : {std::size_t{1}, std::size_t{4},
                                     std::size_t{16}}) {
+        const WallTimer timer;
         TrafficGen gen(3003);
         PoolConfig pool_cfg;
         pool_cfg.chip = serveChip(2);
@@ -397,6 +432,7 @@ runBackpressureSweep(Cycle horizon)
         AdmissionConfig cfg;
         cfg.queueDepth = depth;
         cfg.overflow = OverflowPolicy::Reject;
+        cfg.threads = g_threads;
         AdmissionController ac(pool, tenants, cfg);
         const ServeReport report = ac.run(gen.trace(specs, horizon));
 
@@ -410,7 +446,7 @@ runBackpressureSweep(Cycle horizon)
         std::printf("    %s{\"depth\": %zu, \"offered\": %.0f, "
                     "\"completed\": %llu, \"rejected\": %llu, "
                     "\"reject_fraction\": %.3f, "
-                    "\"latency_p95\": %.0f}",
+                    "\"latency_p95\": %.0f, \"wall_ms\": %.3f}",
                     first ? "" : ",\n    ", depth, offered,
                     static_cast<unsigned long long>(report.completed),
                     static_cast<unsigned long long>(report.rejected),
@@ -418,7 +454,7 @@ runBackpressureSweep(Cycle horizon)
                         ? static_cast<double>(report.rejected) /
                               offered
                         : 0.0,
-                    p95);
+                    p95, timer.ms());
         first = false;
     }
 }
@@ -438,6 +474,7 @@ struct InferenceOutcomeStats
 InferenceOutcomeStats
 runInferenceSweep(Cycle horizon)
 {
+    const WallTimer timer;
     TrafficGen gen(4004);
     PoolConfig pool_cfg;
     pool_cfg.chip = serveChip(9);   // 3 (CnnInfer) + 6 (LlmInfer)
@@ -459,6 +496,7 @@ runInferenceSweep(Cycle horizon)
     cfg.queueDepth = 2;
     cfg.qos = QosPolicy::WeightedFair;
     cfg.overflow = OverflowPolicy::Block;
+    cfg.threads = g_threads;
     AdmissionController ac(pool, tenants, cfg);
     const ServeReport report = ac.run(gen.trace(specs, horizon));
 
@@ -473,7 +511,7 @@ runInferenceSweep(Cycle horizon)
                         t + 1 == report.tenants.size());
     std::printf("     ],\n");
     printCountersJson(poolCounters(pool));
-    std::printf("}\n");
+    std::printf(",\n      \"wall_ms\": %.3f}\n", timer.ms());
 
     InferenceOutcomeStats out;
     out.cnnP50 = report.tenants[0].latencySummary().p50;
@@ -546,6 +584,7 @@ runHeteroCell(const char *pool_name,
               const std::vector<TenantSpec> &specs, Cycle horizon,
               bool first_cell)
 {
+    const WallTimer timer;
     TrafficGen gen(5005);
     PoolConfig pool_cfg;
     pool_cfg.chips = chip_specs;
@@ -562,6 +601,7 @@ runHeteroCell(const char *pool_name,
             std::max<std::size_t>(1, pool.chip(c).numHcts() / 2);
     cfg.qos = QosPolicy::RoundRobin;
     cfg.overflow = OverflowPolicy::Block;
+    cfg.threads = g_threads;
     AdmissionController ac(pool, tenants, cfg);
     const ServeReport report = ac.run(gen.trace(specs, horizon));
 
@@ -569,14 +609,16 @@ runHeteroCell(const char *pool_name,
                 "\"mix\": \"%s\", \"completed\": %llu, "
                 "\"makespan\": %llu, "
                 "\"throughput_per_kcycle\": %.3f, "
-                "\"checksum\": \"0x%016llx\",\n",
+                "\"checksum\": \"0x%016llx\", "
+                "\"wall_ms\": %.3f,\n",
                 first_cell ? "" : ",\n    ", pool_name,
                 placementPolicyName(policy), mix_name,
                 static_cast<unsigned long long>(report.completed),
                 static_cast<unsigned long long>(report.makespan),
                 report.throughputPerKcycle(),
                 static_cast<unsigned long long>(
-                    report.outputChecksum));
+                    report.outputChecksum),
+                timer.ms());
     printChipArrayJson(report);
     std::printf("     \"classes\": [\n");
     for (std::size_t t = 0; t < report.tenants.size(); ++t)
@@ -639,6 +681,7 @@ StageLevelCell
 runStageLevelCell(Granularity granularity, Cycle horizon,
                   bool first_cell)
 {
+    const WallTimer timer;
     TrafficGen gen(6006);
     PoolConfig pool_cfg;
     pool_cfg.chip = serveChip(10);   // 3 + 6 inference tiles + 1 MVM
@@ -654,6 +697,7 @@ runStageLevelCell(Granularity granularity, Cycle horizon,
     cfg.qos = QosPolicy::WeightedFair;
     cfg.overflow = OverflowPolicy::Block;
     cfg.granularity = granularity;
+    cfg.threads = g_threads;
     AdmissionController ac(pool, tenants, cfg);
     const ServeReport report = ac.run(gen.trace(specs, horizon));
 
@@ -673,14 +717,16 @@ runStageLevelCell(Granularity granularity, Cycle horizon,
     std::printf("    %s{\"granularity\": \"%s\", "
                 "\"completed\": %llu, \"makespan\": %llu, "
                 "\"latency_p95\": %.0f, "
-                "\"checksum\": \"0x%016llx\",\n",
+                "\"checksum\": \"0x%016llx\", "
+                "\"wall_ms\": %.3f,\n",
                 first_cell ? "" : ",\n    ",
                 granularityName(granularity),
                 static_cast<unsigned long long>(report.completed),
                 static_cast<unsigned long long>(report.makespan),
                 cell.p95,
                 static_cast<unsigned long long>(
-                    report.outputChecksum));
+                    report.outputChecksum),
+                timer.ms());
     printChipArrayJson(report);
     std::printf("     \"classes\": [\n");
     for (std::size_t t = 0; t < report.tenants.size(); ++t)
@@ -710,6 +756,7 @@ struct JournalCell
 JournalCell
 runJournalCell(Cycle horizon)
 {
+    const WallTimer timer;
     // The acceptance scenario: stage-granular admission of the
     // bursty mvm+inference mix on a mixed 2 SAR + 2 ramp pool under
     // cost-aware placement.
@@ -727,6 +774,7 @@ runJournalCell(Cycle horizon)
     setup.admission.qos = QosPolicy::WeightedFair;
     setup.admission.overflow = OverflowPolicy::Block;
     setup.admission.granularity = Granularity::Stage;
+    setup.admission.threads = g_threads;
 
     setup.tenants = stageLevelSpecs();
     // SLO targets: a plausible one, an impossible one (every
@@ -766,7 +814,8 @@ runJournalCell(Cycle horizon)
                 "\"chain\": \"0x%016llx\", \"completed\": %llu, "
                 "\"makespan\": %llu, \"checksum\": \"0x%016llx\", "
                 "\"roundtrip_identical\": %s, "
-                "\"replay_identical\": %s, \"replay_events\": %zu,\n",
+                "\"replay_identical\": %s, \"replay_events\": %zu, "
+                "\"wall_ms\": %.3f,\n",
                 rec.journal.size(),
                 static_cast<unsigned long long>(
                     rec.journal.chainChecksum()),
@@ -776,7 +825,7 @@ runJournalCell(Cycle horizon)
                     rec.report.outputChecksum),
                 cell.roundtripIdentical ? "true" : "false",
                 cell.replayIdentical ? "true" : "false",
-                res.journal.size());
+                res.journal.size(), timer.ms());
     if (!res.identical)
         std::printf("     \"replay_mismatch\": \"%s\",\n",
                     res.detail.c_str());
@@ -794,9 +843,16 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
-    for (int i = 1; i < argc; ++i)
+    for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--threads") == 0 &&
+                 i + 1 < argc)
+            g_threads = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+    }
+    if (g_threads == 0)
+        g_threads = 1;
 
     const Cycle scaling_horizon = smoke ? 150000 : 600000;
     const Cycle qos_horizon = smoke ? 100000 : 400000;
@@ -812,6 +868,7 @@ main(int argc, char **argv)
     std::printf("{\n");
     std::printf("  \"bench\": \"serve_bench\",\n");
     std::printf("  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::printf("  \"threads\": %zu,\n", g_threads);
     std::printf("  \"chip\": {\"hcts_per_chip\": %zu, "
                 "\"service_cycles\": {\"aes\": %llu, \"cnn\": %llu, "
                 "\"llm\": %llu}},\n",

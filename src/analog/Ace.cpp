@@ -164,6 +164,24 @@ Ace::execMvm(const std::vector<i64> &x, int input_bits, Cycle start)
 
     Cycle array_free = start;
     Cycle adc_free = start;
+    // Resolve the tally accumulators once per MVM; the per-plane and
+    // per-group charges below then skip the string-keyed map lookup.
+    // Safe within one call: nothing clears the tally mid-MVM.
+    CostEntry *t_dac = nullptr;
+    CostEntry *t_array = nullptr;
+    CostEntry *t_sh = nullptr;
+    CostEntry *t_adc = nullptr;
+    if (tally_ != nullptr) {
+        t_dac = &tally_->entry("ace.dac");
+        t_array = &tally_->entry("ace.array");
+        t_sh = &tally_->entry("ace.sh");
+        t_adc = &tally_->entry("ace.adc");
+    }
+    // Scratch buffers reused across every tile of every plane: the
+    // per-solve allocations dominated the analog hot path.
+    std::vector<int> bits;
+    std::vector<double> v_scratch;
+    std::vector<double> analog;
     for (const auto &plane : planes) {
         // Drive the wordlines with this bit plane; all arrays of all
         // slices sample concurrently.
@@ -177,15 +195,17 @@ Ace::execMvm(const std::vector<i64> &x, int input_bits, Cycle start)
         if (tally_ != nullptr) {
             const double arrays =
                 static_cast<double>(slices_ * rowTiles_ * colTiles_);
-            tally_->add("ace.dac", cfg_.dacApplyCycles,
-                        static_cast<double>(active_rows) *
-                            cfg_.rowDriveEnergyPJ * arrays);
-            tally_->add("ace.array", cfg_.settleCycles,
-                        cfg_.arrayActivationEnergyPJ * arrays);
-            tally_->add("ace.sh", 0,
-                        static_cast<double>(matrix_.cols()) *
+            t_dac->events += 1;
+            t_dac->cycles += cfg_.dacApplyCycles;
+            t_dac->energy += static_cast<double>(active_rows) *
+                             cfg_.rowDriveEnergyPJ * arrays;
+            t_array->events += 1;
+            t_array->cycles += cfg_.settleCycles;
+            t_array->energy += cfg_.arrayActivationEnergyPJ * arrays;
+            t_sh->events += 1;
+            t_sh->energy += static_cast<double>(matrix_.cols()) *
                             cfg_.sampleHoldEnergyPJ *
-                            static_cast<double>(slices_ * rowTiles_));
+                            static_cast<double>(slices_ * rowTiles_);
         }
 
         for (int s = 0; s < slices_; ++s) {
@@ -209,13 +229,13 @@ Ace::execMvm(const std::vector<i64> &x, int input_bits, Cycle start)
                     bool any_active = false;
                     for (std::size_t ct = 0; ct < colTiles_; ++ct) {
                         Crossbar &xb = xbar(s, rt, ct);
-                        std::vector<int> bits(xb.logicalRows(), 0);
+                        bits.assign(xb.logicalRows(), 0);
                         for (std::size_t r = 0; r < gnr; ++r) {
                             const int bit = plane.bits[r0 + gr0 + r];
                             bits[gr0 + r] = bit;
                             any_active |= bit != 0;
                         }
-                        const auto analog = xb.mvmBitInput(bits);
+                        xb.mvmBitInputInto(bits, v_scratch, analog);
                         const std::size_t c0 = ct * colsPerTile_;
                         for (std::size_t c = 0; c < analog.size(); ++c)
                             pp.values[c0 + c] = adc_.convert(analog[c]);
@@ -231,11 +251,13 @@ Ace::execMvm(const std::vector<i64> &x, int input_bits, Cycle start)
                     adc_free = conv_done;
                     pp.convStart = conv_start;
                     pp.readyAt = conv_done;
-                    if (tally_ != nullptr)
-                        tally_->add("ace.adc", conv_done - conv_start,
-                                    adc_.conversionEnergy(
-                                        matrix_.cols(), cfg_.numAdcs,
-                                        rampSweepStates_));
+                    if (tally_ != nullptr) {
+                        t_adc->events += 1;
+                        t_adc->cycles += conv_done - conv_start;
+                        t_adc->energy += adc_.conversionEnergy(
+                            matrix_.cols(), cfg_.numAdcs,
+                            rampSweepStates_);
+                    }
                     (void)any_active;
                     stream.push_back(std::move(pp));
                 }

@@ -16,14 +16,6 @@ adcKindName(AdcKind kind)
     return kind == AdcKind::Sar ? "SAR" : "Ramp";
 }
 
-i64
-Adc::convert(double value_lsb) const
-{
-    const double rounded = std::nearbyint(value_lsb);
-    const i64 code = static_cast<i64>(rounded);
-    return std::clamp(code, minCode(), maxCode());
-}
-
 Cycle
 Adc::conversionLatency(std::size_t lanes, std::size_t count,
                        Cycle ramp_states) const

@@ -17,6 +17,8 @@
 #ifndef DARTH_ANALOG_ADC_H
 #define DARTH_ANALOG_ADC_H
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 
 #include "common/Types.h"
@@ -68,8 +70,16 @@ class Adc
     /**
      * Quantize a value expressed in LSB units (the front end scales
      * bitline current to LSBs). Saturates at the code range.
+     * Defined inline: every ACE bitline sample funnels through here,
+     * making it the highest-call-count function of the analog model.
      */
-    i64 convert(double value_lsb) const;
+    i64
+    convert(double value_lsb) const
+    {
+        const double rounded = std::nearbyint(value_lsb);
+        const i64 code = static_cast<i64>(rounded);
+        return std::clamp(code, minCode(), maxCode());
+    }
 
     /**
      * Latency to digitize `lanes` bitlines with `count` ADCs of this

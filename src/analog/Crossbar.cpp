@@ -108,13 +108,30 @@ Crossbar::snapshotConductances()
 std::vector<double>
 Crossbar::solve(const std::vector<double> &row_voltages) const
 {
+    std::vector<double> out;
+    solveInto(row_voltages, out);
+    return out;
+}
+
+void
+Crossbar::solveInto(const std::vector<double> &row_voltages,
+                    std::vector<double> &out) const
+{
+    solveInto(row_voltages, out, 0, rows());
+}
+
+void
+Crossbar::solveInto(const std::vector<double> &row_voltages,
+                    std::vector<double> &out, std::size_t row_lo,
+                    std::size_t row_hi) const
+{
     const std::size_t n_rows = rows();
     const reram::DeviceParams &dev = cells_.params();
     const double step = dev.levelStep();
     const double r_wire =
         cells_.noise().wireResistance / dev.gMax;
 
-    std::vector<double> out(logicalCols_, 0.0);
+    out.assign(logicalCols_, 0.0);
 
     if (!gSnapshot_.empty() && r_wire == 0.0) {
         // Ideal-read, no-parasitics fast path: conductances come from
@@ -123,18 +140,45 @@ Crossbar::solve(const std::vector<double> &row_voltages) const
         // ascending-row order as the general path (skipped rows added
         // exact 0.0 there), so the doubles are bit-identical.
         double zero_baseline = 0.0;
-        for (std::size_t r = 0; r < n_rows; ++r) {
+        const std::size_t n_cols = logicalCols_;
+        double *const __restrict acc = out.data();
+        for (std::size_t r = row_lo; r < row_hi; ++r) {
             const double vr = row_voltages[r];
             if (vr == 0.0)
                 continue;
             zero_baseline += vr * dev.gMin;
-            const Siemens *g_row = &gSnapshot_[r * logicalCols_];
-            for (std::size_t c = 0; c < logicalCols_; ++c)
-                out[c] += vr * g_row[c];
+            const Siemens *const __restrict g_row =
+                &gSnapshot_[r * n_cols];
+            // Bit-serial drive is almost always +-1V; adding or
+            // subtracting the conductance directly is bit-identical
+            // to the multiply (IEEE: 1.0 * g == g and
+            // x + (-1.0 * g) == x - g) and saves the multiply on the
+            // hottest loop of the analog model. A differential pair
+            // (+1 on row r, -1 on row r+1) additionally fuses into
+            // one pass — per column the two rounded operations happen
+            // in the same order as two separate row passes.
+            if (vr == 1.0 && r + 1 < n_rows &&
+                row_voltages[r + 1] == -1.0) {
+                zero_baseline -= dev.gMin;
+                const Siemens *const __restrict g_neg =
+                    g_row + n_cols;
+                for (std::size_t c = 0; c < n_cols; ++c)
+                    acc[c] = (acc[c] + g_row[c]) - g_neg[c];
+                ++r;
+            } else if (vr == 1.0) {
+                for (std::size_t c = 0; c < n_cols; ++c)
+                    acc[c] += g_row[c];
+            } else if (vr == -1.0) {
+                for (std::size_t c = 0; c < n_cols; ++c)
+                    acc[c] -= g_row[c];
+            } else {
+                for (std::size_t c = 0; c < n_cols; ++c)
+                    acc[c] += vr * g_row[c];
+            }
         }
-        for (std::size_t c = 0; c < logicalCols_; ++c)
-            out[c] = (out[c] - zero_baseline) / step;
-        return out;
+        for (std::size_t c = 0; c < n_cols; ++c)
+            acc[c] = (acc[c] - zero_baseline) / step;
+        return;
     }
 
     std::vector<double> currents(n_rows, 0.0);
@@ -189,27 +233,49 @@ Crossbar::solve(const std::vector<double> &row_voltages) const
         // baseline; with differential pairs it is already ~0.
         out[c] = (total - zero_baseline) / step;
     }
-    return out;
 }
 
 std::vector<double>
 Crossbar::mvmBitInput(const std::vector<int> &x_bits) const
 {
+    std::vector<double> v;
+    std::vector<double> out;
+    mvmBitInputInto(x_bits, v, out);
+    return out;
+}
+
+void
+Crossbar::mvmBitInputInto(const std::vector<int> &x_bits,
+                          std::vector<double> &v_scratch,
+                          std::vector<double> &out) const
+{
     if (x_bits.size() != logicalRows_)
         darth_fatal("Crossbar: input length ", x_bits.size(),
                     " != logical rows ", logicalRows_);
-    std::vector<double> v(rows(), 0.0);
+
+    v_scratch.assign(rows(), 0.0);
+    std::size_t k_lo = logicalRows_;
+    std::size_t k_hi = 0;
     for (std::size_t k = 0; k < logicalRows_; ++k) {
         if (x_bits[k] != 0 && x_bits[k] != 1)
             darth_fatal("Crossbar: bit-serial input must be 0/1");
+        if (x_bits[k] == 0)
+            continue;
+        k_lo = std::min(k_lo, k);
+        k_hi = k + 1;
         if (mapping_ == NumberMapping::DifferentialPair) {
-            v[2 * k] = static_cast<double>(x_bits[k]);
-            v[2 * k + 1] = -static_cast<double>(x_bits[k]);
+            v_scratch[2 * k] = 1.0;
+            v_scratch[2 * k + 1] = -1.0;
         } else {
-            v[k] = static_cast<double>(x_bits[k]);
+            v_scratch[k] = 1.0;
         }
     }
-    return solve(v);
+    if (k_lo >= k_hi)
+        solveInto(v_scratch, out, 0, 0);
+    else if (mapping_ == NumberMapping::DifferentialPair)
+        solveInto(v_scratch, out, 2 * k_lo, 2 * k_hi);
+    else
+        solveInto(v_scratch, out, k_lo, k_hi);
 }
 
 std::vector<double>

@@ -97,6 +97,16 @@ class Crossbar
     std::vector<double> mvmBitInput(const std::vector<int> &x_bits) const;
 
     /**
+     * Allocation-free variant of mvmBitInput for hot loops: the caller
+     * supplies a row-voltage scratch buffer (resized/overwritten here)
+     * and the output buffer (resized to logicalCols()). Results are
+     * bit-identical to mvmBitInput.
+     */
+    void mvmBitInputInto(const std::vector<int> &x_bits,
+                         std::vector<double> &v_scratch,
+                         std::vector<double> &out) const;
+
+    /**
      * General MVM with multi-level input voltages x[k] (in DAC code
      * units, non-negative). Used when input bit-slicing is disabled.
      */
@@ -112,6 +122,20 @@ class Crossbar
     /** Shared electrical solve over the stored conductances. */
     std::vector<double> solve(const std::vector<double> &row_voltages)
         const;
+
+    /** solve() writing into a caller-owned buffer (resized here). */
+    void solveInto(const std::vector<double> &row_voltages,
+                   std::vector<double> &out) const;
+
+    /**
+     * solveInto with a caller-supplied hint that every non-zero row
+     * voltage lies in [row_lo, row_hi). Only the ideal fast path
+     * exploits the hint (skipped rows are exact no-ops there); the
+     * general path always walks every row.
+     */
+    void solveInto(const std::vector<double> &row_voltages,
+                   std::vector<double> &out, std::size_t row_lo,
+                   std::size_t row_hi) const;
 
     /**
      * Refresh the read-time conductance snapshot. With readSigma == 0

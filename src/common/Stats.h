@@ -57,6 +57,22 @@ class CostTally
         e.energy += energy;
     }
 
+    /**
+     * Direct handle to a category's accumulator (created if absent).
+     * Hot paths that charge the same category millions of times cache
+     * this pointer to skip the per-add string construction and map
+     * walk; std::map node addresses are stable, so the handle stays
+     * valid until clear(). Revalidate against generation() before
+     * each use — clear() destroys the nodes and bumps it.
+     */
+    CostEntry &entry(const std::string &category)
+    {
+        return entries_[category];
+    }
+
+    /** Incremented by clear(); guards cached entry() handles. */
+    u64 generation() const { return generation_; }
+
     /** Merge another tally into this one. */
     void
     merge(const CostTally &other)
@@ -115,11 +131,17 @@ class CostTally
         return entries_;
     }
 
-    /** Drop all recorded data. */
-    void clear() { entries_.clear(); }
+    /** Drop all recorded data (invalidates entry() handles). */
+    void
+    clear()
+    {
+        entries_.clear();
+        ++generation_;
+    }
 
   private:
     std::map<std::string, CostEntry> entries_;
+    u64 generation_ = 0;
 };
 
 /** Geometric mean of a list of positive ratios (1.0 for empty input). */

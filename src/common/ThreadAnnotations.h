@@ -13,12 +13,13 @@
  * by the build) statically proves every guarded access happens under
  * its guard; under GCC the attributes compile to nothing.
  *
- * SeqMutex is deliberately a no-op: it is the *annotation* of a
- * mutex, not yet a mutex. When the threading PR lands, its lock() /
- * unlock() swap to a real std::mutex (or the acquire order of a
- * deterministic merge) and every annotated class becomes thread-safe
- * without touching a single annotation — the lock insertion is
- * mechanical because the analysis already enforced the discipline.
+ * SeqMutex started life as a no-op — the *annotation* of a mutex —
+ * while the tree was single-threaded. The per-chip worker threads
+ * (common/WorkerPool.h, AdmissionConfig::threads) made it real: it
+ * now wraps a std::mutex, and every annotated class became
+ * thread-safe without touching a single annotation, because clang's
+ * -Wthread-safety had already enforced the guarded-access
+ * discipline the real lock relies on.
  *
  * Macro names follow the clang/abseil convention
  * (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
@@ -26,6 +27,8 @@
 
 #ifndef DARTH_COMMON_THREADANNOTATIONS_H
 #define DARTH_COMMON_THREADANNOTATIONS_H
+
+#include <mutex>
 
 #if defined(__clang__) && !defined(SWIG)
 #define DARTH_THREAD_ANNOTATION(x) __attribute__((x))
@@ -74,13 +77,14 @@ namespace darth
 {
 
 /**
- * The capability that documents today's single-threaded ownership.
+ * The annotated mutex guarding runtime/serving state.
  *
- * lock()/unlock() are empty and the whole object is zero bytes of
- * behaviour: the value is entirely in the annotations, which let
- * clang's -Wthread-safety prove the guarded-access discipline that a
- * future real mutex will rely on. Swap the bodies for std::mutex
- * calls to make every annotated class genuinely thread-safe.
+ * A real std::mutex wearing the capability annotations: clang's
+ * -Wthread-safety statically proves the guarded-access discipline,
+ * and the lock enforces it at runtime under the per-chip worker
+ * threads. Uncontended on the serial path (worker threads hold
+ * chip-disjoint state; the pool lock covers only short lookups), so
+ * the cost over the historical no-op is a single atomic each way.
  */
 class CAPABILITY("mutex") SeqMutex
 {
@@ -89,8 +93,11 @@ class CAPABILITY("mutex") SeqMutex
     SeqMutex(const SeqMutex &) = delete;
     SeqMutex &operator=(const SeqMutex &) = delete;
 
-    void lock() ACQUIRE() {}
-    void unlock() RELEASE() {}
+    void lock() ACQUIRE() { mu_.lock(); }
+    void unlock() RELEASE() { mu_.unlock(); }
+
+  private:
+    std::mutex mu_;
 };
 
 /** RAII guard for a SeqMutex (the std::lock_guard shape). */

@@ -58,6 +58,94 @@ Pipeline::setElement(std::size_t vr, std::size_t elem, u64 value,
         bits_[vr][bit].set(elem, bit < 64 && ((value >> bit) & 1ULL));
 }
 
+namespace
+{
+
+/**
+ * In-place 64x64 bit-matrix transpose network (the classic recursive
+ * block-swap). In LSB indexing the raw network transposes along the
+ * anti-diagonal, so callers go through bitTranspose below.
+ */
+void
+transposeNetwork64(u64 a[64])
+{
+    u64 m = 0x00000000FFFFFFFFULL;
+    for (u64 j = 32; j != 0; j >>= 1, m ^= m << j) {
+        for (std::size_t k = 0; k < 64; k = (k + j + 1) & ~j) {
+            const u64 t = (a[k] ^ (a[k + j] >> j)) & m;
+            a[k] ^= t;
+            a[k + j] ^= t << j;
+        }
+    }
+}
+
+/**
+ * Main-diagonal 64x64 bit transpose: out[b] bit e == in[e] bit b.
+ * Reversing the row order on the way in and out turns the network's
+ * anti-diagonal transpose into the main-diagonal one; the transform
+ * is an involution, so one function serves write and readback.
+ */
+void
+bitTranspose(const u64 in[64], u64 out[64])
+{
+    u64 a[64];
+    for (std::size_t k = 0; k < 64; ++k)
+        a[k] = in[63 - k];
+    transposeNetwork64(a);
+    for (std::size_t b = 0; b < 64; ++b)
+        out[b] = a[63 - b];
+}
+
+} // namespace
+
+void
+Pipeline::setElements(std::size_t vr, const u64 *values,
+                      std::size_t count, std::size_t bits)
+{
+    checkReg(vr);
+    if (count > cfg_.width)
+        darth_panic("Pipeline: ", count, " elements out of range ",
+                    cfg_.width);
+    u64 in[64] = {0};
+    for (std::size_t e = 0; e < count; ++e)
+        in[e] = values[e];
+    u64 columns[64];
+    bitTranspose(in, columns);
+    const u64 elem_mask =
+        count >= 64 ? ~u64{0} : ((u64{1} << count) - 1);
+    const std::size_t n = std::min(bits, cfg_.depth);
+    for (std::size_t bit = 0; bit < n && bit < 64; ++bit) {
+        BitVector &column = bits_[vr][bit];
+        column.setWord((column.toInteger() & ~elem_mask) |
+                       (columns[bit] & elem_mask));
+    }
+    // A u64 value has no bits past 64: the per-element loop writes
+    // explicit zeros there, so the batch form must too.
+    for (std::size_t bit = 64; bit < n; ++bit) {
+        BitVector &column = bits_[vr][bit];
+        column.setWord(column.toInteger() & ~elem_mask);
+    }
+}
+
+void
+Pipeline::elements(std::size_t vr, u64 *out, std::size_t count,
+                   std::size_t bits) const
+{
+    checkReg(vr);
+    if (count > cfg_.width)
+        darth_panic("Pipeline: ", count, " elements out of range ",
+                    cfg_.width);
+    u64 columns[64] = {0};
+    const std::size_t n =
+        std::min<std::size_t>({bits, cfg_.depth, 64});
+    for (std::size_t bit = 0; bit < n; ++bit)
+        columns[bit] = bits_[vr][bit].toInteger();
+    u64 values[64];
+    bitTranspose(columns, values);
+    for (std::size_t e = 0; e < count; ++e)
+        out[e] = values[e];
+}
+
 u64
 Pipeline::element(std::size_t vr, std::size_t elem,
                   std::size_t bits) const
@@ -93,19 +181,36 @@ void
 Pipeline::recordOps(u64 column_ops)
 {
     opCount_ += column_ops;
-    if (tally_ != nullptr)
-        tally_->add("dce.boolop", column_ops,
-                    static_cast<double>(column_ops) * cfg_.opEnergyPJ,
-                    column_ops);
+    if (tally_ == nullptr)
+        return;
+    if (tallyGen_ != tally_->generation()) {
+        tallyGen_ = tally_->generation();
+        boolopEntry_ = nullptr;
+        ioEntry_ = nullptr;
+    }
+    if (boolopEntry_ == nullptr)
+        boolopEntry_ = &tally_->entry("dce.boolop");
+    boolopEntry_->events += column_ops;
+    boolopEntry_->cycles += column_ops;
+    boolopEntry_->energy +=
+        static_cast<double>(column_ops) * cfg_.opEnergyPJ;
 }
 
 void
 Pipeline::recordIo(u64 accesses)
 {
-    if (tally_ != nullptr)
-        tally_->add("dce.io", accesses,
-                    static_cast<double>(accesses) * cfg_.ioEnergyPJ,
-                    accesses);
+    if (tally_ == nullptr)
+        return;
+    if (tallyGen_ != tally_->generation()) {
+        tallyGen_ = tally_->generation();
+        boolopEntry_ = nullptr;
+        ioEntry_ = nullptr;
+    }
+    if (ioEntry_ == nullptr)
+        ioEntry_ = &tally_->entry("dce.io");
+    ioEntry_->events += accesses;
+    ioEntry_->cycles += accesses;
+    ioEntry_->energy += static_cast<double>(accesses) * cfg_.ioEnergyPJ;
 }
 
 Cycle
@@ -136,7 +241,7 @@ Pipeline::reserveStages(std::size_t bits, Cycle issue,
 }
 
 void
-Pipeline::runProgram(const BitProgram &program, std::size_t dst,
+Pipeline::runProgram(const KernelCache::Entry &entry, std::size_t dst,
                      std::size_t a, std::size_t b, std::size_t bits,
                      BitVector carry_in, bool chain_carry)
 {
@@ -147,6 +252,23 @@ Pipeline::runProgram(const BitProgram &program, std::size_t dst,
     const u64 width_mask =
         cfg_.width == 64 ? ~0ULL : ((1ULL << cfg_.width) - 1);
     u64 carry = carry_in.toInteger();
+
+    // Fast path: the compiled truth-table kernel replaces the op
+    // walk with a fixed handful of word operations per bit column.
+    const CompiledKernel &kernel = entry.kernel;
+    if (kernel.valid) {
+        for (std::size_t bit = 0; bit < bits; ++bit) {
+            const u64 wa = bits_[a][bit].toInteger();
+            const u64 wb = bits_[b][bit].toInteger();
+            const u64 out = kernel.evalResult(wa, wb, carry) & width_mask;
+            if (chain_carry && kernel.hasCarry)
+                carry = kernel.evalCarry(wa, wb, carry) & width_mask;
+            bits_[dst][bit].setWord(out);
+        }
+        return;
+    }
+
+    const BitProgram &program = entry.program;
     std::vector<u64> regs(static_cast<std::size_t>(program.numRegs),
                           0ULL);
     for (std::size_t bit = 0; bit < bits; ++bit) {
@@ -177,19 +299,16 @@ Pipeline::runProgram(const BitProgram &program, std::size_t dst,
     }
 }
 
-const BitProgram &
-Pipeline::cachedProgram(MacroKind kind)
+const KernelCache::Entry &
+Pipeline::cachedEntry(MacroKind kind)
 {
     const std::size_t index = static_cast<std::size_t>(kind);
-    if (programCache_.size() <= index) {
-        programCache_.resize(index + 1);
-        programCached_.resize(index + 1, false);
-    }
-    if (!programCached_[index]) {
-        programCache_[index] = synthesizeMacro(kind, family_);
-        programCached_[index] = true;
-    }
-    return programCache_[index];
+    if (entries_.size() <= index)
+        entries_.resize(index + 1, nullptr);
+    if (entries_[index] == nullptr)
+        entries_[index] = &KernelCache::instance().macro(kind,
+                                                         cfg_.family);
+    return *entries_[index];
 }
 
 Cycle
@@ -202,10 +321,24 @@ Pipeline::execMacro(MacroKind kind, std::size_t dst, std::size_t a,
     if (bits > cfg_.depth)
         darth_panic("Pipeline: macro over ", bits,
                     " bits exceeds depth ", cfg_.depth);
-    const BitProgram &program = cachedProgram(kind);
-    runProgram(program, dst, a, b, bits,
+    const KernelCache::Entry &entry = cachedEntry(kind);
+    const BitProgram &program = entry.program;
+    runProgram(entry, dst, a, b, bits,
                BitVector(cfg_.width, initialCarry(kind)),
                program.hasCarryChain());
+    recordOps(static_cast<u64>(program.opCount()) * bits);
+    return reserveStages(bits, issue, program.opCount(),
+                         program.hasCarryChain());
+}
+
+Cycle
+Pipeline::timeMacro(MacroKind kind, std::size_t bits, Cycle issue)
+{
+    if (bits > cfg_.depth)
+        darth_panic("Pipeline: macro over ", bits,
+                    " bits exceeds depth ", cfg_.depth);
+    const KernelCache::Entry &entry = cachedEntry(kind);
+    const BitProgram &program = entry.program;
     recordOps(static_cast<u64>(program.opCount()) * bits);
     return reserveStages(bits, issue, program.opCount(),
                          program.hasCarryChain());
@@ -223,8 +356,9 @@ Pipeline::execSelect(std::size_t dst, std::size_t a, std::size_t b,
     if (bits > cfg_.depth)
         darth_panic("Pipeline: macro over ", bits,
                     " bits exceeds depth ", cfg_.depth);
-    const BitProgram &program = cachedProgram(MacroKind::Mux);
-    runProgram(program, dst, a, b, bits, bits_[sel_vr][sel_bit], false);
+    const KernelCache::Entry &entry = cachedEntry(MacroKind::Mux);
+    const BitProgram &program = entry.program;
+    runProgram(entry, dst, a, b, bits, bits_[sel_vr][sel_bit], false);
     // +1 op per stage to broadcast the select column into the stage.
     const Cycle per_stage = program.opCount() + 1;
     recordOps(per_stage * bits);

@@ -26,6 +26,7 @@
 #include "common/BitVector.h"
 #include "common/Stats.h"
 #include "common/Types.h"
+#include "digital/KernelCache.h"
 #include "digital/LogicFamily.h"
 #include "digital/Synthesis.h"
 
@@ -86,6 +87,25 @@ class Pipeline
     u64 element(std::size_t vr, std::size_t elem,
                 std::size_t bits = 64) const;
 
+    /**
+     * Batch transfer: write elements 0..count-1 of a VR in one call,
+     * each element's low `bits` columns taken from values[e]
+     * (elements >= count and columns >= bits keep their contents,
+     * matching a setElement(vr, e, values[e], bits) loop exactly).
+     * One 64x64 bit-matrix transpose on the host replaces count*bits
+     * single-bit writes — the ADC-to-DCE staging hot path.
+     */
+    void setElements(std::size_t vr, const u64 *values,
+                     std::size_t count, std::size_t bits);
+
+    /**
+     * Batch read of elements 0..count-1 (low `bits` bits each) into
+     * out[e] — the transposed inverse of setElements, used for
+     * accumulator readback.
+     */
+    void elements(std::size_t vr, u64 *out, std::size_t count,
+                  std::size_t bits) const;
+
     /** Zero out a vector register. */
     void clearReg(std::size_t vr);
 
@@ -101,6 +121,17 @@ class Pipeline
     /** dst = op(a, b) over the low `bits` bit positions. */
     Cycle execMacro(MacroKind kind, std::size_t dst, std::size_t a,
                     std::size_t b, std::size_t bits, Cycle issue);
+
+    /**
+     * Timing/energy half of execMacro with no functional bit work:
+     * records the same op count and reserves the same stage
+     * occupancy, returning the same completion cycle. For callers
+     * that evaluate the macro's (known) arithmetic element-natively
+     * — the HCT's compiled MVM reduction — and only need the
+     * simulated cost charged; the caller owns re-materializing the
+     * register file (setElements) before anyone reads it.
+     */
+    Cycle timeMacro(MacroKind kind, std::size_t bits, Cycle issue);
 
     /**
      * Per-element select: dst = sel ? b : a, where the select bit is
@@ -185,21 +216,27 @@ class Pipeline
     u64 opCount() const { return opCount_; }
 
   private:
-    /** Synthesize-once cache: macro programs are family-fixed, and
-     *  execMacro sits on the MVM-reduction hot path. */
-    const BitProgram &cachedProgram(MacroKind kind);
+    /**
+     * Per-instance pointer cache over the process-wide KernelCache:
+     * macro programs are family-fixed, execMacro sits on the
+     * MVM-reduction hot path, and the global cache's entries are
+     * stable for the process lifetime.
+     */
+    const KernelCache::Entry &cachedEntry(MacroKind kind);
 
     /** Reserve stage time for a macro; returns completion cycle. */
     Cycle reserveStages(std::size_t bits, Cycle issue,
                         Cycle ops_per_stage, bool carry_chained);
 
     /**
-     * Functionally evaluate a gate program column-parallel.
+     * Functionally evaluate a cached macro column-parallel: the
+     * compiled truth-table kernel when the program compiled, the
+     * BitProgram interpreter otherwise (bit-identical either way).
      *
      * @param carry        Initial carry/select column fed to kRegCin.
      * @param chain_carry  Propagate carry-out between bit positions.
      */
-    void runProgram(const BitProgram &program, std::size_t dst,
+    void runProgram(const KernelCache::Entry &entry, std::size_t dst,
                     std::size_t a, std::size_t b, std::size_t bits,
                     BitVector carry, bool chain_carry);
 
@@ -216,9 +253,16 @@ class Pipeline
     /** bits_[vr][bit] = column of `width` bits. */
     std::vector<std::vector<BitVector>> bits_;
     std::vector<Cycle> stageFree_;
-    std::vector<BitProgram> programCache_;
-    std::vector<bool> programCached_;
+    /** entries_[kind]: resolved KernelCache entry (null until used). */
+    std::vector<const KernelCache::Entry *> entries_;
     u64 opCount_ = 0;
+
+    /** Cached tally accumulators (see CostTally::entry); revalidated
+     *  against the tally generation because KernelModel clears its
+     *  scratch tallies between measured shapes. */
+    CostEntry *boolopEntry_ = nullptr;
+    CostEntry *ioEntry_ = nullptr;
+    u64 tallyGen_ = 0;
 };
 
 } // namespace digital

@@ -1,9 +1,12 @@
 #include "hct/Hct.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <vector>
 
 #include "common/Logging.h"
+#include "digital/KernelCache.h"
 
 namespace darth
 {
@@ -144,12 +147,31 @@ Hct::execMvm(const std::vector<i64> &x, int input_bits, Cycle start)
     std::vector<Cycle> port_free(n_pipes, analog_start + setup);
     Cycle done = analog_start + setup;
 
-    const digital::BitProgram add_program = digital::synthesizeMacro(
-        digital::MacroKind::Add,
-        digital::LogicFamily(cfg_.dce.pipeline.family));
+    // Shared translation cache, not a fresh synthesis per MVM: only
+    // the op count is needed here.
+    const digital::BitProgram &add_program =
+        digital::KernelCache::instance()
+            .macro(digital::MacroKind::Add, cfg_.dce.pipeline.family)
+            .program;
     const u64 uops_per_add =
         static_cast<u64>(add_program.opCount()) *
         static_cast<u64>(acc_bits);
+
+    // Compiled reduction (shift-unit configs): staging writes and the
+    // ADD/SUB into the accumulator are evaluated element-natively —
+    // integer add/sub mod 2^acc_bits, the exact function of the
+    // synthesized ripple-carry macro — and the register file is
+    // materialized once per MVM instead of once per partial product.
+    // Macro timing/energy is charged through the same
+    // recordOps/reserveStages path either way. Without shift units
+    // the staged value takes a functional execShift detour, so that
+    // path keeps the register-file route.
+    const bool compiled_reduce = cfg_.shiftUnits;
+    std::vector<std::array<u64, 64>> host_acc, host_stage;
+    if (compiled_reduce) {
+        host_acc.assign(n_pipes, {});
+        host_stage.assign(n_pipes, {});
+    }
 
     for (const auto &pp : stream) {
         for (std::size_t p = 0; p < n_pipes; ++p) {
@@ -188,23 +210,22 @@ Hct::execMvm(const std::vector<i64> &x, int input_bits, Cycle start)
             // shift with Boolean µops (Figure 10a), serializing.
             digital::Pipeline &pipe = dce_.pipeline(p);
             Cycle ready = write_done;
+            // Masked to acc_bits, so only the low acc_bits columns
+            // (cleared at reserve, untouched above acc_bits since)
+            // need writing.
+            u64 staged[64];
             if (cfg_.shiftUnits) {
                 for (std::size_t e = 0; e < n; ++e) {
                     const i64 shifted = pp.values[c0 + e]
                                         << pp.shift;
-                    // Masked to acc_bits, so only the low acc_bits
-                    // columns (cleared at reserve, untouched above
-                    // acc_bits since) need writing.
-                    pipe.setElement(kStageVr, e,
-                                    static_cast<u64>(shifted) & mask,
-                                    static_cast<std::size_t>(acc_bits));
+                    staged[e] = static_cast<u64>(shifted) & mask;
                 }
             } else {
                 for (std::size_t e = 0; e < n; ++e)
-                    pipe.setElement(
-                        kStageVr, e,
-                        static_cast<u64>(pp.values[c0 + e]) & mask,
-                        static_cast<std::size_t>(acc_bits));
+                    staged[e] =
+                        static_cast<u64>(pp.values[c0 + e]) & mask;
+                pipe.setElements(kStageVr, staged, n,
+                                 static_cast<std::size_t>(acc_bits));
                 ready = pipe.execShift(
                     kStageVr, kStageVr,
                     static_cast<std::size_t>(pp.shift), true,
@@ -215,26 +236,77 @@ Hct::execMvm(const std::vector<i64> &x, int input_bits, Cycle start)
             // issued by the IIU (or stalled through the front end).
             const Cycle issue = ready + iiu_.issueOverhead(uops_per_add);
             iiu_.recordInjected(cfg_.iiu.enabled ? uops_per_add : 0);
-            const Cycle add_done = pipe.execMacro(
-                pp.negate ? digital::MacroKind::Sub
-                          : digital::MacroKind::Add,
-                kAccVr, kAccVr, kStageVr,
-                static_cast<std::size_t>(acc_bits), issue);
+            Cycle add_done;
+            if (compiled_reduce) {
+                u64 *stage_p = host_stage[p].data();
+                u64 *acc_p = host_acc[p].data();
+                if (pp.negate)
+                    for (std::size_t e = 0; e < n; ++e)
+                        acc_p[e] = (acc_p[e] - staged[e]) & mask;
+                else
+                    for (std::size_t e = 0; e < n; ++e)
+                        acc_p[e] = (acc_p[e] + staged[e]) & mask;
+                for (std::size_t e = 0; e < n; ++e)
+                    stage_p[e] = staged[e];
+                add_done = pipe.timeMacro(
+                    pp.negate ? digital::MacroKind::Sub
+                              : digital::MacroKind::Add,
+                    static_cast<std::size_t>(acc_bits), issue);
+            } else {
+                add_done = pipe.execMacro(
+                    pp.negate ? digital::MacroKind::Sub
+                              : digital::MacroKind::Add,
+                    kAccVr, kAccVr, kStageVr,
+                    static_cast<std::size_t>(acc_bits), issue);
+            }
             done = std::max(done, add_done);
         }
     }
 
-    // Read the accumulator back as sign-extended integers.
+    if (compiled_reduce) {
+        // Materialize the element-native state into the register
+        // file once per MVM — bit-identical to what the
+        // per-partial-product path leaves behind.
+        for (std::size_t p = 0; p < n_pipes; ++p) {
+            const std::size_t c0 = p * width;
+            if (c0 >= cols)
+                break;
+            const std::size_t n = std::min(width, cols - c0);
+            digital::Pipeline &pipe = dce_.pipeline(p);
+            pipe.setElements(kStageVr, host_stage[p].data(), n,
+                             static_cast<std::size_t>(acc_bits));
+            pipe.setElements(kAccVr, host_acc[p].data(), n,
+                             static_cast<std::size_t>(acc_bits));
+        }
+    }
+
+    // Read the accumulator back as sign-extended integers, one batch
+    // readback per pipe.
     MvmResult result;
     result.values.resize(cols);
-    for (std::size_t c = 0; c < cols; ++c) {
-        const std::size_t p = c / width;
-        const u64 raw = dce_.pipeline(p).element(
-            kAccVr, c % width, static_cast<std::size_t>(acc_bits));
-        i64 value = static_cast<i64>(raw);
-        if (acc_bits < 64 && (raw >> (acc_bits - 1)) & 1ULL)
-            value -= i64{1} << acc_bits;
-        result.values[c] = value;
+    for (std::size_t p = 0; p < n_pipes; ++p) {
+        const std::size_t c0 = p * width;
+        if (c0 >= cols)
+            break;
+        const std::size_t n = std::min(width, cols - c0);
+        u64 raw[64];
+        if (compiled_reduce) {
+            // host_acc already holds the masked accumulator words the
+            // register file was just materialized from — skip the
+            // transpose readback.
+            const u64 *acc_p = host_acc[p].data();
+            for (std::size_t e = 0; e < n; ++e)
+                raw[e] = acc_p[e];
+        } else {
+            dce_.pipeline(p).elements(
+                kAccVr, raw, n, static_cast<std::size_t>(acc_bits));
+        }
+        for (std::size_t e = 0; e < n; ++e) {
+            i64 value = static_cast<i64>(raw[e]);
+            if (acc_bits < 64 && (raw[e] >> (acc_bits - 1)) & 1ULL)
+                value -= i64{1} << acc_bits;
+            result.values[c0 + e] = value;
+        }
     }
     result.done = done;
     arbiter_.release(done);

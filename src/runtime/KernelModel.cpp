@@ -1,6 +1,8 @@
 #include "runtime/KernelModel.h"
 
 #include <algorithm>
+#include <cstring>
+#include <mutex>
 
 #include "common/Logging.h"
 #include "common/Random.h"
@@ -10,8 +12,132 @@ namespace darth
 namespace runtime
 {
 
+namespace
+{
+
+/** Append one integer field as "name=value;". */
+void
+keyField(std::string &out, const char *name, u64 value)
+{
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+    out += ';';
+}
+
+/** Append one double field by exact bit pattern (collision-free). */
+void
+keyField(std::string &out, const char *name, double value)
+{
+    u64 bits = 0;
+    static_assert(sizeof(bits) == sizeof(value), "double is 64-bit");
+    std::memcpy(&bits, &value, sizeof(bits));
+    keyField(out, name, bits);
+}
+
+/**
+ * Process-wide measurement memo shared by every KernelModel. Guarded
+ * by a plain mutex: measurements are deterministic functions of the
+ * key, so whichever thread publishes first wins and every later
+ * reader sees byte-identical costs.
+ */
+struct CostMemoStore
+{
+    std::mutex mu;
+    std::map<std::string, KernelCost> entries;
+};
+
+CostMemoStore &
+memoStore()
+{
+    // Process-wide by design: identical silicon shares one
+    // measurement across chips and pools.
+    static CostMemoStore store; // determinism-lint: allow(static-mutable-local) mutex-guarded memo, keyed collision-free by siliconKey
+
+    return store;
+}
+
+bool
+memoLookup(const std::string &key, KernelCost *out)
+{
+    CostMemoStore &store = memoStore();
+    std::lock_guard<std::mutex> lock(store.mu);
+    const auto it = store.entries.find(key);
+    if (it == store.entries.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+void
+memoPublish(const std::string &key, const KernelCost &cost)
+{
+    CostMemoStore &store = memoStore();
+    std::lock_guard<std::mutex> lock(store.mu);
+    store.entries.emplace(key, cost);
+}
+
+} // namespace
+
+std::string
+siliconKey(const hct::HctConfig &config, u64 seed)
+{
+    std::string key;
+    key.reserve(640);
+    keyField(key, "seed", seed);
+    keyField(key, "dce.pipes", config.dce.numPipelines);
+    const digital::PipelineConfig &pipe = config.dce.pipeline;
+    keyField(key, "pipe.depth", pipe.depth);
+    keyField(key, "pipe.width", pipe.width);
+    keyField(key, "pipe.regs", pipe.numRegs);
+    keyField(key, "pipe.family",
+             static_cast<u64>(static_cast<int>(pipe.family)));
+    keyField(key, "pipe.opE", pipe.opEnergyPJ);
+    keyField(key, "pipe.ioE", pipe.ioEnergyPJ);
+    const analog::AceConfig &ace = config.ace;
+    keyField(key, "ace.arrays", ace.numArrays);
+    keyField(key, "ace.rows", ace.arrayRows);
+    keyField(key, "ace.cols", ace.arrayCols);
+    keyField(key, "adc.kind",
+             static_cast<u64>(static_cast<int>(ace.adc.kind)));
+    keyField(key, "adc.bits", static_cast<u64>(ace.adc.bits));
+    keyField(key, "adc.sarLat", ace.adc.sarLatency);
+    keyField(key, "adc.rampLat", ace.adc.rampFullLatency);
+    keyField(key, "adc.sarE", ace.adc.sarEnergyPJ);
+    keyField(key, "adc.rampE", ace.adc.rampEnergyPerCyclePJ);
+    keyField(key, "ace.adcs", ace.numAdcs);
+    keyField(key, "ace.rampStates", ace.rampStates);
+    keyField(key, "ace.rampAuto",
+             static_cast<u64>(ace.rampAutoTerminate ? 1 : 0));
+    keyField(key, "ace.dac", ace.dacApplyCycles);
+    keyField(key, "ace.settle", ace.settleCycles);
+    keyField(key, "ace.rowE", ace.rowDriveEnergyPJ);
+    keyField(key, "ace.shE", ace.sampleHoldEnergyPJ);
+    keyField(key, "ace.actE", ace.arrayActivationEnergyPJ);
+    keyField(key, "ace.progE", ace.cellProgramEnergyPJ);
+    keyField(key, "ace.progCyc", ace.cellProgramCycles);
+    const reram::NoiseModel &noise = ace.noise;
+    keyField(key, "noise.prog", noise.programSigma);
+    keyField(key, "noise.read", noise.readSigma);
+    keyField(key, "noise.stuck", noise.stuckAtRate);
+    keyField(key, "noise.drift", noise.driftNu);
+    keyField(key, "noise.wire", noise.wireResistance);
+    keyField(key, "shiftUnits",
+             static_cast<u64>(config.shiftUnits ? 1 : 0));
+    keyField(key, "iiu.on", static_cast<u64>(config.iiu.enabled ? 1 : 0));
+    keyField(key, "iiu.setup", config.iiu.setupCycles);
+    keyField(key, "iiu.share", config.iiu.frontEndShare);
+    keyField(key, "tp.on",
+             static_cast<u64>(config.transpose.enabled ? 1 : 0));
+    keyField(key, "tp.bpc", config.transpose.bitsPerCycle);
+    keyField(key, "arb.switch", config.arbiterSwitchPenalty);
+    keyField(key, "net.bpc", config.networkBytesPerCycle);
+    keyField(key, "net.bE", config.networkEnergyPerBytePJ);
+    return key;
+}
+
 KernelModel::KernelModel(const hct::HctConfig &config, u64 seed)
-    : cfg_(config), seed_(seed)
+    : cfg_(config), seed_(seed), siliconKey_(siliconKey(config, seed))
 {
 }
 
@@ -38,6 +164,27 @@ KernelModel::mvm(const MvmShape &shape)
     const auto it = mvmCache_.find(shape);
     if (it != mvmCache_.end())
         return it->second;
+
+    // Cross-chip memo: identical silicon measures each shape once per
+    // process. Noise-enabled tiles are excluded — their device state
+    // evolves with the owning Hct's RNG, so measurements are only
+    // reusable within one instance.
+    std::string memo_key;
+    const bool memoizable = cfg_.ace.noise.ideal();
+    if (memoizable) {
+        memo_key = siliconKey_;
+        memo_key += "|mvm;";
+        keyField(memo_key, "rows", shape.rows);
+        keyField(memo_key, "cols", shape.cols);
+        keyField(memo_key, "eb", static_cast<u64>(shape.elementBits));
+        keyField(memo_key, "bpc", static_cast<u64>(shape.bitsPerCell));
+        keyField(memo_key, "ib", static_cast<u64>(shape.inputBits));
+        KernelCost memoized;
+        if (memoLookup(memo_key, &memoized)) {
+            mvmCache_[shape] = memoized;
+            return memoized;
+        }
+    }
 
     // Build a worst-case-representative matrix and input (timing is
     // data-independent; energy varies mildly with active rows, so use
@@ -110,6 +257,8 @@ KernelModel::mvm(const MvmShape &shape)
         {adc_occ, dce_bound, net_bound, 1});
     cost.amortized = std::min(cost.amortized, cost.latency);
     mvmCache_[shape] = cost;
+    if (memoizable)
+        memoPublish(memo_key, cost);
     return cost;
 }
 
@@ -120,6 +269,18 @@ KernelModel::macro(digital::MacroKind kind, std::size_t bits)
     const auto it = macroCache_.find(key);
     if (it != macroCache_.end())
         return it->second;
+
+    // Macro timing is purely digital (no device RNG), so it is always
+    // shareable across identical silicon.
+    std::string memo_key = siliconKey_;
+    memo_key += "|macro;";
+    keyField(memo_key, "kind", static_cast<u64>(static_cast<int>(kind)));
+    keyField(memo_key, "bits", bits);
+    KernelCost memoized;
+    if (memoLookup(memo_key, &memoized)) {
+        macroCache_[key] = memoized;
+        return memoized;
+    }
 
     digital::Pipeline &pipe = scratchPipe();
     pipeTally_.clear();
@@ -133,6 +294,7 @@ KernelModel::macro(digital::MacroKind kind, std::size_t bits)
     cost.amortized = second - first;
     cost.energy = first_energy;
     macroCache_[key] = cost;
+    memoPublish(memo_key, cost);
     return cost;
 }
 
@@ -175,6 +337,16 @@ KernelModel::elementLoad(std::size_t bits)
 KernelCost
 KernelModel::rotate(std::size_t k, std::size_t bits)
 {
+    // Rotation builds a throwaway pipeline per measurement; memoize
+    // so identical silicon constructs it once per (k, bits).
+    std::string memo_key = siliconKey_;
+    memo_key += "|rot;";
+    keyField(memo_key, "k", k);
+    keyField(memo_key, "bits", bits);
+    KernelCost memoized;
+    if (memoLookup(memo_key, &memoized))
+        return memoized;
+
     digital::Pipeline pipe(cfg_.dce.pipeline);
     const Cycle done = pipe.execRotate(0, k, bits, 0);
     KernelCost cost;
@@ -182,6 +354,7 @@ KernelModel::rotate(std::size_t k, std::size_t bits)
     cost.amortized = done;
     cost.energy = static_cast<double>(2 * (bits - k) * bits) *
                   cfg_.dce.pipeline.opEnergyPJ;
+    memoPublish(memo_key, cost);
     return cost;
 }
 

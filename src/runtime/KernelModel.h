@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <tuple>
 
 #include "hct/Hct.h"
@@ -54,6 +55,17 @@ struct KernelCost
     PicoJoule energy = 0.0;
 };
 
+/**
+ * Canonical serialization of every HctConfig field that can influence
+ * a KernelModel measurement, plus the measurement seed. This is the
+ * process-wide cost-memo key prefix: two KernelModels share memoized
+ * measurements iff their silicon keys are equal, so identical chips
+ * in a pool pay for each (shape, bits) measurement once. Doubles are
+ * serialized by bit pattern, so the key is collision-free — any
+ * config delta, however small, yields a distinct key.
+ */
+std::string siliconKey(const hct::HctConfig &config, u64 seed);
+
 /** Measures and caches kernel costs on a scratch HCT. */
 class KernelModel
 {
@@ -89,6 +101,8 @@ class KernelModel
 
     hct::HctConfig cfg_;
     u64 seed_;
+    /** Memo key prefix (computed once; cfg_/seed_ are immutable). */
+    std::string siliconKey_;
     CostTally hctTally_;
     CostTally pipeTally_;
     std::unique_ptr<hct::Hct> hct_;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/Logging.h"
+#include "digital/KernelCache.h"
 
 namespace darth
 {
@@ -204,6 +205,23 @@ Scheduler::submissionOrderHook()
                 best = i;
         return best;
     };
+}
+
+SchedulerCounters
+Scheduler::counters() const
+{
+    SchedulerCounters snapshot;
+    {
+        SeqLock lock(mu_);
+        snapshot = counters_;
+    }
+    // The compiled-kernel cache is process-wide (every chip's
+    // pipelines share it), so the audit fields are read from the
+    // cache singleton, outside this scheduler's lock.
+    snapshot.kernelCacheHits = digital::KernelCache::instance().hits();
+    snapshot.kernelCacheMisses =
+        digital::KernelCache::instance().misses();
+    return snapshot;
 }
 
 std::size_t

@@ -116,6 +116,16 @@ struct SchedulerCounters
      *  dependency beyond both their submit-time `earliest` and the
      *  tile-ready bound. */
     u64 dependencyStalls = 0;
+    /**
+     * Compiled-kernel cache audit (digital/KernelCache.h): hits and
+     * misses of the PROCESS-WIDE gate-program cache, snapshotted at
+     * counters() time. Unlike the per-scheduler fields above these
+     * aggregate over every chip (and every pool) in the process —
+     * serving telemetry for the translation-cache hit rate, not
+     * per-chip state, so they are never journaled or diffed.
+     */
+    u64 kernelCacheHits = 0;
+    u64 kernelCacheMisses = 0;
 };
 
 /**
@@ -261,14 +271,11 @@ class Scheduler
         return completed_;
     }
 
-    /** Lifetime counters (issues, pipeline hits, dependency stalls).
-     *  Returned by value: a snapshot stays coherent once worker
-     *  threads mutate the counters concurrently. */
-    SchedulerCounters counters() const EXCLUDES(mu_)
-    {
-        SeqLock lock(mu_);
-        return counters_;
-    }
+    /** Lifetime counters (issues, pipeline hits, dependency stalls),
+     *  plus a snapshot of the process-wide compiled-kernel cache
+     *  audit. Returned by value: a snapshot stays coherent once
+     *  worker threads mutate the counters concurrently. */
+    SchedulerCounters counters() const EXCLUDES(mu_);
 
     /**
      * KernelModel oracle latency of one MVM against a placement plan

@@ -11,6 +11,7 @@
 
 #include "common/Fnv.h"
 #include "common/Logging.h"
+#include "common/WorkerPool.h"
 #include "journal/Journal.h"
 
 namespace darth
@@ -170,12 +171,31 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     const AdmissionConfig &cfg = cfg_;
     journal::Journal *const jr = journal_;
 
-    // Journal emission helper: one event, field conventions per
-    // journal/Journal.h's EventKind table.
-    auto emit = [jr](journal::EventKind kind, Cycle cycle, u64 a,
-                     u64 b, u64 c, u64 d,
-                     std::vector<i64> values = {}) {
-        if (jr == nullptr)
+    const std::size_t num_chips = pool_.numChips();
+    const std::size_t num_tenants = tenants.size();
+
+    // Journal events are buffered per chip and merged in trace order
+    // after the per-chip jobs join (the deterministic merge point):
+    // during the trace loop every event of iteration i belongs to
+    // request i's chip, so tagging each buffered event with its
+    // originating trace index — trace.size() for the post-trace tail
+    // drain — lets the merge reproduce the sequential emission order
+    // exactly, for any thread count. The same buffered path runs in
+    // the single-threaded case so there is exactly one journal-order
+    // code path to trust.
+    const bool journaling = jr != nullptr;
+    struct BufferedEvent
+    {
+        u64 segment;
+        journal::JournalEvent event;
+    };
+    std::vector<std::vector<BufferedEvent>> chip_events(
+        journaling ? num_chips : 0);
+    std::vector<u64> cur_segment(num_chips, 0);
+    auto emit = [&](std::size_t chip, journal::EventKind kind,
+                    Cycle cycle, u64 a, u64 b, u64 c, u64 d,
+                    std::vector<i64> values = {}) {
+        if (!journaling)
             return;
         journal::JournalEvent e;
         e.kind = kind;
@@ -185,11 +205,9 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         e.c = c;
         e.d = d;
         e.values = std::move(values);
-        jr->append(std::move(e));
+        chip_events[chip].push_back(
+            {cur_segment[chip], std::move(e)});
     };
-
-    const std::size_t num_chips = pool_.numChips();
-    const std::size_t num_tenants = tenants.size();
 
     ServeReport report;
     report.tenants.resize(num_tenants);
@@ -326,7 +344,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
             const Cycle stage_done =
                 pool_.stageDoneCycle(run, pending.stage);
             cs.occupied.push(stage_done);
-            emit(journal::EventKind::StageComplete, stage_done,
+            emit(c, journal::EventKind::StageComplete, stage_done,
                  pending.reqIdx, pending.stage, c, 0);
             if (pending.stage + 1 < run.stageCount()) {
                 // The freed slot and the parked next stage race
@@ -365,7 +383,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
             done = r.done;
         }
 
-        emit(journal::EventKind::Complete, done, pending.reqIdx,
+        emit(c, journal::EventKind::Complete, done, pending.reqIdx,
              req.tenant, c, fnv1aWords(values),
              {static_cast<i64>(start), static_cast<i64>(mvms)});
 
@@ -381,8 +399,9 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         stats.serviceCycles += static_cast<double>(done - start);
         stats.slo.recordLatency(done - req.arrival);
 
-        report.completed += 1;
-        report.makespan = std::max(report.makespan, done);
+        // Run-level aggregates (completed, rejected, makespan) are
+        // derived from the per-chip/per-tenant stats after the
+        // per-chip jobs join — workers never write shared scalars.
         ChipStats &chip_stats = report.chips[c];
         chip_stats.completed += 1;
         chip_stats.mvms += mvms;
@@ -510,7 +529,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                 charge = static_cast<double>(
                     run.stageCharges[pending.stage]);
                 journal_stage = pending.stage;
-                emit(journal::EventKind::StageSubmit, at, req_idx,
+                emit(c, journal::EventKind::StageSubmit, at, req_idx,
                      pending.stage, c, run.stageCount());
                 cs.admitSeq += 1;
                 if (pending.stage > 0 &&
@@ -535,7 +554,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                              tenants[req.tenant].inputBits, at);
         }
         finishTag[t] = start_tag + charge / tenants[t].weight;
-        emit(journal::EventKind::Admit, at, req_idx, t, c,
+        emit(c, journal::EventKind::Admit, at, req_idx, t, c,
              journal_stage,
              {static_cast<i64>(journal::doubleBits(charge))});
         cs.notWaited.push_back(std::move(pending));
@@ -558,6 +577,8 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         }
     };
 
+    // Trace validation is a sequential pre-pass so a malformed trace
+    // fails identically for every thread count.
     Cycle prev_arrival = 0;
     for (std::size_t i = 0; i < trace.size(); ++i) {
         const ServeRequest &req = trace[i];
@@ -569,10 +590,25 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
             darth_fatal("AdmissionController::run: trace is not "
                         "sorted by arrival (request ", i, ")");
         prev_arrival = req.arrival;
+    }
 
-        const std::size_t c = tenantChip[req.tenant];
-        emit(journal::EventKind::Arrival, req.arrival, i, req.tenant,
-             c, fnv1aWords(req.input), req.input);
+    // The trace partitions perfectly by chip: every tenant is placed
+    // on exactly one chip, and iteration i of the (conceptually
+    // sequential) admission loop touches only request i's chip —
+    // its window, its waiting rooms, its tenants' fair tags, its
+    // runtime. So each chip replays its own subsequence of the trace
+    // on a worker job, and the result is the sequential result.
+    std::vector<std::vector<std::size_t>> chip_trace(num_chips);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        chip_trace[tenantChip[trace[i].tenant]].push_back(i);
+
+    // One iteration of the (conceptually sequential) admission loop:
+    // request i arriving at its chip c.
+    auto stepRequest = [&](std::size_t c, std::size_t i) {
+        const ServeRequest &req = trace[i];
+        cur_segment[c] = i;
+        emit(c, journal::EventKind::Arrival, req.arrival, i,
+             req.tenant, c, fnv1aWords(req.input), req.input);
         // True while request i is parked in its tenant's waiting
         // room (blocked, or not yet re-claimed under Reject).
         auto still_waiting = [&] {
@@ -589,8 +625,8 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
             enqueueWaiting(c, req.tenant, i);
             drainWaiting(c, req.arrival);
             if (still_waiting())
-                emit(journal::EventKind::Backpressure, req.arrival,
-                     i, req.tenant, c, /*blocked=*/0);
+                emit(c, journal::EventKind::Backpressure,
+                     req.arrival, i, req.tenant, c, /*blocked=*/0);
         } else {
             // Reject drops *fresh arrivals* only: a request that has
             // begun is finished — its continuation stages get first
@@ -600,10 +636,9 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
             const auto slot = acquireSlot(c, req.arrival);
             if (!slot) {
                 report.tenants[req.tenant].rejected += 1;
-                report.rejected += 1;
                 report.tenants[req.tenant].slo.recordRejected();
-                emit(journal::EventKind::Backpressure, req.arrival,
-                     i, req.tenant, c, /*rejected=*/1);
+                emit(c, journal::EventKind::Backpressure,
+                     req.arrival, i, req.tenant, c, /*rejected=*/1);
             } else {
                 enqueueWaiting(c, req.tenant, i);
                 admit(c, *slot);
@@ -623,26 +658,65 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                         }
                     chips[c].waitingCount -= 1;
                     report.tenants[req.tenant].rejected += 1;
-                    report.rejected += 1;
                     report.tenants[req.tenant].slo.recordRejected();
-                    emit(journal::EventKind::Backpressure,
+                    emit(c, journal::EventKind::Backpressure,
                          req.arrival, i, req.tenant, c,
                          /*rejected=*/1);
                 }
             }
         }
-    }
+    };
 
-    // Arrivals exhausted: admit every blocked unit as slots free,
-    // then resolve the tail of the submission queues. Materializing
-    // a stage can park its request's *next* stage, so loop until the
-    // waiting rooms stay empty.
-    for (std::size_t c = 0; c < num_chips; ++c) {
+    auto runChip = [&](std::size_t c) {
+        for (const std::size_t i : chip_trace[c])
+            stepRequest(c, i);
+        // Arrivals exhausted: admit every blocked unit as slots
+        // free, then resolve the tail of the submission queue.
+        // Materializing a stage can park its request's *next* stage,
+        // so loop until the waiting rooms stay empty. Tail events
+        // carry the one-past-the-end segment so the merge appends
+        // them after every trace-indexed event.
+        cur_segment[c] = trace.size();
         do {
             drainWaiting(c, std::numeric_limits<Cycle>::max());
             while (!chips[c].notWaited.empty())
                 materializeFront(c);
         } while (chips[c].waitingCount > 0);
+    };
+
+    // Fork one job per chip; join before any shared state is read.
+    WorkerPool::runJobs(num_chips, cfg.threads, runChip);
+
+    // ---- Deterministic merge: everything below is sequential. ----
+
+    // Run-level aggregates, derived from the disjoint per-chip and
+    // per-tenant statistics the workers produced.
+    for (std::size_t c = 0; c < num_chips; ++c) {
+        report.completed += report.chips[c].completed;
+        report.makespan =
+            std::max(report.makespan, report.chips[c].makespan);
+    }
+    for (std::size_t t = 0; t < num_tenants; ++t)
+        report.rejected += report.tenants[t].rejected;
+
+    // Journal merge: for each trace index, flush that request's
+    // chip's events tagged with it (each chip's buffer is already in
+    // nondecreasing segment order), then the per-chip tails —
+    // reproducing the sequential emission order exactly.
+    if (journaling) {
+        std::vector<std::size_t> cursor(num_chips, 0);
+        auto flushSegment = [&](std::size_t c, u64 segment) {
+            auto &buffer = chip_events[c];
+            std::size_t &cur = cursor[c];
+            while (cur < buffer.size() &&
+                   buffer[cur].segment == segment)
+                jr->append(std::move(buffer[cur++].event));
+        };
+        for (std::size_t i = 0; i < trace.size(); ++i)
+            flushSegment(tenantChip[trace[i].tenant],
+                         static_cast<u64>(i));
+        for (std::size_t c = 0; c < num_chips; ++c)
+            flushSegment(c, static_cast<u64>(trace.size()));
     }
 
     for (std::size_t c = 0; c < num_chips; ++c) {
@@ -653,11 +727,19 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         cs.pipelineHits = now.pipelineHits - counters0[c].pipelineHits;
         cs.dependencyStalls =
             now.dependencyStalls - counters0[c].dependencyStalls;
-        emit(journal::EventKind::ChipSummary, cs.makespan, c,
-             cs.issued, cs.pipelineHits, cs.dependencyStalls,
-             {static_cast<i64>(cs.completed),
-              static_cast<i64>(cs.mvms),
-              static_cast<i64>(cs.interleavedStages)});
+        if (journaling) {
+            journal::JournalEvent e;
+            e.kind = journal::EventKind::ChipSummary;
+            e.cycle = cs.makespan;
+            e.a = c;
+            e.b = cs.issued;
+            e.c = cs.pipelineHits;
+            e.d = cs.dependencyStalls;
+            e.values = {static_cast<i64>(cs.completed),
+                        static_cast<i64>(cs.mvms),
+                        static_cast<i64>(cs.interleavedStages)};
+            jr->append(std::move(e));
+        }
     }
 
     // FNV-1a over outputs in trace order (the frozen word-wise
@@ -667,9 +749,16 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     for (const auto &values : report.outputs)
         hash = fnv1aWords(values, hash);
     report.outputChecksum = hash;
-    emit(journal::EventKind::RunEnd, report.makespan,
-         report.completed, report.rejected, report.outputChecksum,
-         0);
+    if (journaling) {
+        journal::JournalEvent e;
+        e.kind = journal::EventKind::RunEnd;
+        e.cycle = report.makespan;
+        e.a = report.completed;
+        e.b = report.rejected;
+        e.c = report.outputChecksum;
+        e.d = 0;
+        jr->append(std::move(e));
+    }
     if (!cfg.collectOutputs)
         report.outputs.clear();
     return report;

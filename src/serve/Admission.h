@@ -142,6 +142,17 @@ struct AdmissionConfig
     Granularity granularity = Granularity::Inference;
     /** Keep every request's output vector in the report. */
     bool collectOutputs = false;
+    /**
+     * Host worker threads for the per-chip drains (<= 1 runs them
+     * inline). Chips are isolated Runtime instances and the trace
+     * partitions perfectly by chip (each tenant is placed on exactly
+     * one chip), so run() forks one job per chip and merges at the
+     * join deterministically: the report and the journal are
+     * bit-identical for every thread count. Host-only knob — it is
+     * deliberately NOT recorded in the journal's AdmissionSetup
+     * record, so replays of a parallel run stay bit-identical.
+     */
+    std::size_t threads = 1;
 };
 
 /** One admitted tenant of the serving cluster. */
@@ -171,8 +182,12 @@ std::vector<Tenant> buildTenants(ChipPool &pool, const TrafficGen &gen,
  * The tenant table and config are GUARDED_BY(mu_); run() holds the
  * guard for the whole trace (its windows, waiting rooms, and fair
  * tags are stack-local, so the admission front end is one critical
- * section per run — per-chip worker threads will parallelize the
- * drains *under* it, not the admission decisions).
+ * section per run). With AdmissionConfig::threads > 1 the per-chip
+ * work — admission decisions *and* drains, which partition perfectly
+ * by chip — runs on WorkerPool jobs under that critical section;
+ * journal events buffer per chip and merge in trace order at the
+ * join, so every thread count produces one bit-identical report and
+ * journal.
  */
 class AdmissionController
 {
@@ -215,8 +230,9 @@ class AdmissionController
     void setJournal(journal::Journal *journal) EXCLUDES(mu_);
 
   private:
-    /** Guards the tenant table and config. A no-op capability until
-     *  the threading work lands (common/ThreadAnnotations.h). */
+    /** Guards the tenant table and config
+     *  (common/ThreadAnnotations.h; a real mutex since the per-chip
+     *  worker threads landed). */
     mutable SeqMutex mu_;
 
     ChipPool &pool_;

@@ -542,11 +542,17 @@ ChipPool::setJournal(journal::Journal *journal)
     journal_ = journal;
 }
 
+const ChipPool::Model &
+ChipPool::lookupModel(ModelRef model, const char *what) const
+{
+    SeqLock lock(mu_);
+    return modelRef(model, what);
+}
+
 bool
 ChipPool::isInference(ModelRef model) const
 {
-    SeqLock lock(mu_);
-    return modelRef(model, "ChipPool::isInference").inference !=
+    return lookupModel(model, "ChipPool::isInference").inference !=
            nullptr;
 }
 
@@ -554,12 +560,11 @@ std::unique_ptr<StagedInference>
 ChipPool::beginInference(ModelRef model,
                          const std::vector<i64> &input, Cycle ready)
 {
-    SeqLock lock(mu_);
-    const Model &m = modelRef(model, "ChipPool::beginInference");
+    const Model &m = lookupModel(model, "ChipPool::beginInference");
     if (m.inference == nullptr)
         darth_fatal("ChipPool::beginInference: model ", model,
                     " is a single-MVM model; use submit()/wait()");
-    InferenceModel &im = *models_[model].inference;
+    InferenceModel &im = *m.inference;
     if (input.size() != im.inputRows)
         darth_fatal("ChipPool::beginInference: input has ",
                     input.size(), " values but the model needs ",
@@ -657,15 +662,13 @@ ChipPool::modelRef(ModelRef model, const char *what) const
 std::size_t
 ChipPool::modelChip(ModelRef model) const
 {
-    SeqLock lock(mu_);
-    return modelRef(model, "ChipPool::modelChip").chip;
+    return lookupModel(model, "ChipPool::modelChip").chip;
 }
 
 const runtime::MatrixPlan &
 ChipPool::modelPlan(ModelRef model) const
 {
-    SeqLock lock(mu_);
-    const Model &m = modelRef(model, "ChipPool::modelPlan");
+    const Model &m = lookupModel(model, "ChipPool::modelPlan");
     if (m.inference != nullptr)
         darth_fatal("ChipPool::modelPlan: model ", model,
                     " is an inference model spanning several "
@@ -676,8 +679,7 @@ ChipPool::modelPlan(ModelRef model) const
 std::size_t
 ChipPool::modelRows(ModelRef model) const
 {
-    SeqLock lock(mu_);
-    const Model &m = modelRef(model, "ChipPool::modelRows");
+    const Model &m = lookupModel(model, "ChipPool::modelRows");
     if (m.inference != nullptr)
         return m.inference->inputRows;
     return m.handle.plan().rows;
@@ -686,8 +688,8 @@ ChipPool::modelRows(ModelRef model) const
 Cycle
 ChipPool::nominalServiceCycles(ModelRef model, int input_bits)
 {
-    SeqLock lock(mu_);
-    const Model &m = modelRef(model, "ChipPool::nominalServiceCycles");
+    const Model &m =
+        lookupModel(model, "ChipPool::nominalServiceCycles");
     if (m.inference != nullptr)
         return m.inference->oracleCost;
     // The owning chip's scheduler caches kernel oracle measurements;
@@ -700,8 +702,7 @@ runtime::MvmFuture
 ChipPool::submit(ModelRef model, std::vector<i64> x, int input_bits,
                  Cycle earliest)
 {
-    SeqLock lock(mu_);
-    const Model &m = modelRef(model, "ChipPool::submit");
+    const Model &m = lookupModel(model, "ChipPool::submit");
     if (m.inference != nullptr)
         darth_fatal("ChipPool::submit: model ", model,
                     " is an inference model; use beginInference()");
@@ -712,8 +713,7 @@ ChipPool::submit(ModelRef model, std::vector<i64> x, int input_bits,
 runtime::MvmResult
 ChipPool::wait(ModelRef model, const runtime::MvmFuture &future)
 {
-    SeqLock lock(mu_);
-    const Model &m = modelRef(model, "ChipPool::wait");
+    const Model &m = lookupModel(model, "ChipPool::wait");
     return sessions_[m.chip].wait(future);
 }
 

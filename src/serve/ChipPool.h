@@ -174,11 +174,16 @@ struct StagedInference
  * A pool of chips behind one placement front end.
  *
  * The placement tables (models_, affinity_, the round-robin cursor)
- * are GUARDED_BY(mu_): per-chip worker threads will race placements
- * against lookups once the threading work lands. Chips, runtimes,
- * sessions, and the per-chip mappers are constructed once and the
- * containers never change afterwards; the objects behind them guard
- * themselves.
+ * are GUARDED_BY(mu_). The threading contract has two phases:
+ * placement calls (placeModel and friends) serialize on mu_ and are
+ * issued before serving starts; the run-time entry points (submit,
+ * wait, beginInference, the model metadata lookups) take mu_ only
+ * long enough to resolve the ModelRef, then drive the owning chip's
+ * session *outside* the lock — safe because exactly one admission
+ * worker drives each chip (common/WorkerPool.h) and the model table
+ * is stable once serving begins. Chips, runtimes, sessions, and the
+ * per-chip mappers are constructed once and the containers never
+ * change afterwards; the objects behind them guard themselves.
  */
 class ChipPool
 {
@@ -416,6 +421,19 @@ class ChipPool
 
     const Model &modelRef(ModelRef model, const char *what) const
         REQUIRES(mu_);
+
+    /**
+     * Resolve a placed model holding mu_ only for the table lookup,
+     * so per-chip workers resolving models on different chips do not
+     * serialize on the pool lock. The returned reference stays valid
+     * because placement (the only thing that grows models_ and can
+     * reallocate it) completes before run-time lookups begin; each
+     * entry is immutable after its placement call returns. Whatever
+     * the caller then does on the owning chip is guarded by the
+     * one-worker-per-chip discipline, not by mu_.
+     */
+    const Model &lookupModel(ModelRef model, const char *what) const
+        EXCLUDES(mu_);
 
     /** Per-chip inference mappers (chips may differ in silicon);
      *  built eagerly at construction, immutable slots after. */

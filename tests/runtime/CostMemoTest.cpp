@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Collision safety of the cross-chip cost-memo key: siliconKey()
+ * must separate any two HctConfigs that can disagree on a
+ * measurement, because the process-wide memo shares KernelCost
+ * entries between every KernelModel whose keys match. A missed field
+ * would silently serve one chip flavor the other flavor's timings.
+ */
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/KernelModel.h"
+
+namespace darth
+{
+namespace runtime
+{
+namespace
+{
+
+hct::HctConfig
+baseConfig()
+{
+    return hct::HctConfig::paperDefault(analog::AdcKind::Sar);
+}
+
+/** One single-field perturbation of the base config. */
+struct Tweak
+{
+    const char *name;
+    std::function<void(hct::HctConfig &)> apply;
+};
+
+const std::vector<Tweak> &
+tweaks()
+{
+    static const std::vector<Tweak> list = {
+        {"dce.pipes", [](hct::HctConfig &c) { ++c.dce.numPipelines; }},
+        {"pipe.depth",
+         [](hct::HctConfig &c) { ++c.dce.pipeline.depth; }},
+        {"pipe.width",
+         [](hct::HctConfig &c) { ++c.dce.pipeline.width; }},
+        {"pipe.family",
+         [](hct::HctConfig &c) {
+             c.dce.pipeline.family = digital::LogicFamilyKind::Ideal;
+         }},
+        {"pipe.opE",
+         [](hct::HctConfig &c) { c.dce.pipeline.opEnergyPJ += 1e-9; }},
+        {"ace.arrays", [](hct::HctConfig &c) { ++c.ace.numArrays; }},
+        {"ace.rows", [](hct::HctConfig &c) { c.ace.arrayRows *= 2; }},
+        {"ace.cols", [](hct::HctConfig &c) { c.ace.arrayCols *= 2; }},
+        {"adc.kind",
+         [](hct::HctConfig &c) {
+             c.ace.adc.kind = analog::AdcKind::Ramp;
+         }},
+        {"adc.bits", [](hct::HctConfig &c) { ++c.ace.adc.bits; }},
+        {"adc.sarLat", [](hct::HctConfig &c) { ++c.ace.adc.sarLatency; }},
+        {"ace.adcs", [](hct::HctConfig &c) { ++c.ace.numAdcs; }},
+        {"ace.dac", [](hct::HctConfig &c) { ++c.ace.dacApplyCycles; }},
+        {"ace.settle", [](hct::HctConfig &c) { ++c.ace.settleCycles; }},
+        // Noise fields gate the Crossbar snapshot fast path and RNG
+        // draws — a key collision here would cross-contaminate noisy
+        // and ideal silicon.
+        {"noise.prog",
+         [](hct::HctConfig &c) { c.ace.noise.programSigma = 0.01; }},
+        {"noise.read",
+         [](hct::HctConfig &c) { c.ace.noise.readSigma = 0.01; }},
+        {"noise.stuck",
+         [](hct::HctConfig &c) { c.ace.noise.stuckAtRate = 0.001; }},
+        {"noise.wire",
+         [](hct::HctConfig &c) { c.ace.noise.wireResistance = 0.1; }},
+        {"shiftUnits",
+         [](hct::HctConfig &c) { c.shiftUnits = !c.shiftUnits; }},
+        {"iiu.on",
+         [](hct::HctConfig &c) { c.iiu.enabled = !c.iiu.enabled; }},
+        {"tp.on",
+         [](hct::HctConfig &c) {
+             c.transpose.enabled = !c.transpose.enabled;
+         }},
+        {"arb.switch",
+         [](hct::HctConfig &c) { ++c.arbiterSwitchPenalty; }},
+        {"net.bpc",
+         [](hct::HctConfig &c) { c.networkBytesPerCycle *= 2; }},
+        {"net.bE",
+         [](hct::HctConfig &c) { c.networkEnergyPerBytePJ += 1e-9; }},
+    };
+    return list;
+}
+
+TEST(CostMemoKey, IdenticalConfigsShareOneKey)
+{
+    EXPECT_EQ(siliconKey(baseConfig(), 1), siliconKey(baseConfig(), 1));
+}
+
+TEST(CostMemoKey, SeedIsPartOfTheKey)
+{
+    // Measurements draw their probe matrices from the seed, so two
+    // models with different seeds must never share memo entries.
+    EXPECT_NE(siliconKey(baseConfig(), 1), siliconKey(baseConfig(), 2));
+}
+
+TEST(CostMemoKey, EverySingleFieldTweakChangesTheKey)
+{
+    const std::string base = siliconKey(baseConfig(), 1);
+    std::set<std::string> seen;
+    seen.insert(base);
+    for (const Tweak &tweak : tweaks()) {
+        hct::HctConfig cfg = baseConfig();
+        tweak.apply(cfg);
+        const std::string key = siliconKey(cfg, 1);
+        EXPECT_NE(key, base) << "tweak " << tweak.name
+                             << " collided with the base key";
+        EXPECT_TRUE(seen.insert(key).second)
+            << "tweak " << tweak.name
+            << " collided with another tweak's key";
+    }
+}
+
+TEST(CostMemoKey, TinyDoubleDeltasAreDistinct)
+{
+    // Doubles enter the key by bit pattern, so even one-ULP-scale
+    // deltas must separate (no lossy decimal formatting).
+    hct::HctConfig a = baseConfig();
+    hct::HctConfig b = baseConfig();
+    b.ace.noise.programSigma =
+        a.ace.noise.programSigma + 1e-300;
+    EXPECT_NE(siliconKey(a, 1), siliconKey(b, 1));
+}
+
+TEST(CostMemo, IdenticalSiliconSharesMeasurements)
+{
+    // Two independent models over the same silicon must agree
+    // byte-for-byte on a measured cost — whichever measures first
+    // publishes to the process-wide memo and the other reads it.
+    hct::HctConfig cfg = baseConfig();
+    cfg.dce.numPipelines = 2;
+    cfg.ace.numArrays = 4;
+    cfg.ace.arrayRows = 16;
+    cfg.ace.arrayCols = 8;
+    KernelModel first(cfg, 7);
+    KernelModel second(cfg, 7);
+    const KernelCost a = first.macro(digital::MacroKind::Add, 8);
+    const KernelCost b = second.macro(digital::MacroKind::Add, 8);
+    EXPECT_EQ(a.latency, b.latency);
+    EXPECT_EQ(a.amortized, b.amortized);
+    EXPECT_EQ(a.energy, b.energy);
+
+    MvmShape shape;
+    shape.rows = 8;
+    shape.cols = 8;
+    shape.elementBits = 4;
+    shape.bitsPerCell = 1;
+    shape.inputBits = 4;
+    const KernelCost ma = first.mvm(shape);
+    const KernelCost mb = second.mvm(shape);
+    EXPECT_EQ(ma.latency, mb.latency);
+    EXPECT_EQ(ma.amortized, mb.amortized);
+    EXPECT_EQ(ma.energy, mb.energy);
+}
+
+} // namespace
+} // namespace runtime
+} // namespace darth

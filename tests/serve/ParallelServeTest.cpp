@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Bit-identity of the per-chip parallel drain: running the same
+ * trace through AdmissionController with N worker threads must
+ * produce byte-for-byte the report a single-threaded run produces —
+ * checksums, counts, makespan, every per-request latency sample, and
+ * the event journal's binary serialization. The `threads` knob is a
+ * host-side throughput control, never a semantic one.
+ */
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "journal/Journal.h"
+#include "journal/Replayer.h"
+#include "serve/Admission.h"
+#include "serve/ChipConfig.h"
+#include "serve/ChipPool.h"
+#include "serve/TrafficGen.h"
+
+namespace darth
+{
+namespace serve
+{
+namespace
+{
+
+runtime::ChipConfig
+smallChip()
+{
+    runtime::ChipConfig cfg;
+    cfg.hct.dce.numPipelines = 4;
+    cfg.hct.dce.pipeline.depth = 32;
+    cfg.hct.dce.pipeline.width = 8;
+    cfg.hct.dce.pipeline.numRegs = 8;
+    cfg.hct.ace.numArrays = 8;
+    cfg.hct.ace.arrayRows = 16;
+    cfg.hct.ace.arrayCols = 8;
+    // 6 tiles: one per micro tenant plus the 5 contiguous tiles the
+    // TinyCnn inference placement needs on a single chip.
+    cfg.numHcts = 6;
+    return cfg;
+}
+
+PoolConfig
+poolConfig(std::size_t chips)
+{
+    PoolConfig cfg;
+    cfg.chip = smallChip();
+    cfg.numChips = chips;
+    cfg.placement = PlacementPolicy::LeastLoaded;
+    return cfg;
+}
+
+/** Four micro tenants with uneven weights, one mixed-in inference
+ *  tenant, spread by placement across a 4-chip pool. */
+std::vector<TenantSpec>
+mixedSpecs()
+{
+    std::vector<TenantSpec> specs;
+    for (std::size_t i = 0; i < 4; ++i) {
+        TenantSpec spec;
+        spec.name = "micro" + std::to_string(i);
+        spec.kind = WorkloadKind::Micro;
+        spec.weight = 1.0 + static_cast<double>(i);
+        spec.ratePerKcycle = 4.0;
+        specs.push_back(spec);
+    }
+    TenantSpec infer;
+    infer.name = "cnninfer";
+    infer.kind = WorkloadKind::CnnInfer;
+    infer.weight = 2.0;
+    infer.ratePerKcycle = 0.5;
+    specs.push_back(infer);
+    return specs;
+}
+
+/** One full serve run at the given thread count over a fixed
+ *  scenario (seeded trace, 4 chips, weighted-fair, outputs kept). */
+ServeReport
+runAt(std::size_t threads)
+{
+    TrafficGen gen(4242);
+    ChipPool pool(poolConfig(4));
+    const auto specs = mixedSpecs();
+    auto tenants = buildTenants(pool, gen, specs);
+    AdmissionConfig cfg;
+    cfg.queueDepth = 2;
+    cfg.qos = QosPolicy::WeightedFair;
+    cfg.overflow = OverflowPolicy::Block;
+    cfg.collectOutputs = true;
+    cfg.threads = threads;
+    AdmissionController ac(pool, tenants, cfg);
+    return ac.run(gen.trace(specs, 4000));
+}
+
+void
+expectReportsIdentical(const ServeReport &one, const ServeReport &many)
+{
+    EXPECT_EQ(one.outputChecksum, many.outputChecksum);
+    EXPECT_EQ(one.completed, many.completed);
+    EXPECT_EQ(one.rejected, many.rejected);
+    EXPECT_EQ(one.makespan, many.makespan);
+    EXPECT_EQ(one.outputs, many.outputs);
+    ASSERT_EQ(one.tenants.size(), many.tenants.size());
+    for (std::size_t t = 0; t < one.tenants.size(); ++t) {
+        const TenantStats &a = one.tenants[t];
+        const TenantStats &b = many.tenants[t];
+        EXPECT_EQ(a.completed, b.completed) << a.name;
+        EXPECT_EQ(a.rejected, b.rejected) << a.name;
+        EXPECT_EQ(a.mvms, b.mvms) << a.name;
+        // Exact double equality on every sample: the merge at the
+        // join must preserve order and value, not just summaries.
+        EXPECT_EQ(a.latency, b.latency) << a.name;
+        EXPECT_EQ(a.queueing, b.queueing) << a.name;
+        EXPECT_EQ(a.service, b.service) << a.name;
+        EXPECT_EQ(a.doneCycle, b.doneCycle) << a.name;
+        EXPECT_EQ(a.serviceCycles, b.serviceCycles) << a.name;
+    }
+    ASSERT_EQ(one.chips.size(), many.chips.size());
+    for (std::size_t c = 0; c < one.chips.size(); ++c) {
+        EXPECT_EQ(one.chips[c].completed, many.chips[c].completed);
+        EXPECT_EQ(one.chips[c].mvms, many.chips[c].mvms);
+        EXPECT_EQ(one.chips[c].serviceCycles,
+                  many.chips[c].serviceCycles);
+    }
+}
+
+TEST(ParallelServe, FourThreadsBitIdenticalToOne)
+{
+    const ServeReport one = runAt(1);
+    const ServeReport four = runAt(4);
+    ASSERT_GT(one.completed, 0u);
+    expectReportsIdentical(one, four);
+}
+
+TEST(ParallelServe, MoreThreadsThanChipsIsStillIdentical)
+{
+    // Oversubscription (threads > chips) exercises workers that find
+    // the queue empty and must exit without contributing.
+    const ServeReport one = runAt(1);
+    const ServeReport eight = runAt(8);
+    expectReportsIdentical(one, eight);
+}
+
+TEST(ParallelServe, JournalBytesIdenticalAcrossThreadCounts)
+{
+    // The recorded event journal — not just the report — must come
+    // out byte-identical, because replays and audit trails are
+    // defined over the serialized stream. `threads` is deliberately
+    // not a journal field, so the two setups differ only in host
+    // parallelism.
+    journal::ServeRunSetup setup;
+    setup.slots = {{journal::SlotKind::Default, 2, 1.0},
+                   {journal::SlotKind::Default, 2, 1.0},
+                   {journal::SlotKind::Default, 2, 1.0},
+                   {journal::SlotKind::Default, 2, 1.0}};
+    setup.placement = PlacementPolicy::LeastLoaded;
+    setup.trafficSeed = 911;
+    setup.horizon = 3000;
+    setup.admission.queueDepth = 2;
+    setup.admission.qos = QosPolicy::WeightedFair;
+    setup.admission.overflow = OverflowPolicy::Block;
+
+    std::vector<TenantSpec> specs;
+    for (std::size_t i = 0; i < 4; ++i) {
+        TenantSpec spec;
+        spec.name = "micro" + std::to_string(i);
+        spec.kind = WorkloadKind::Micro;
+        spec.ratePerKcycle = 3.0;
+        specs.push_back(spec);
+    }
+    setup.tenants = specs;
+
+    setup.admission.threads = 1;
+    const journal::ServeRunRecord serial =
+        journal::recordServeRun(setup);
+    setup.admission.threads = 4;
+    const journal::ServeRunRecord parallel =
+        journal::recordServeRun(setup);
+
+    std::stringstream serial_bytes;
+    serial.journal.writeBinary(serial_bytes);
+    std::stringstream parallel_bytes;
+    parallel.journal.writeBinary(parallel_bytes);
+    ASSERT_GT(serial.report.completed, 0u);
+    EXPECT_EQ(serial.report.outputChecksum,
+              parallel.report.outputChecksum);
+    EXPECT_EQ(serial_bytes.str(), parallel_bytes.str());
+}
+
+} // namespace
+} // namespace serve
+} // namespace darth

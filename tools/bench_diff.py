@@ -43,6 +43,18 @@ REGRESSION_METRICS = [
     ("reject_fraction", "up"),
 ]
 
+# Host-side informational fields (wall-clock time, worker-thread
+# count). These describe the machine the bench ran on, not the
+# simulated system, so they are NEVER a regression gate — not on
+# delta, and not when they appear in or disappear from a snapshot.
+HOST_INFO_FIELDS = ("wall_ms", "threads")
+
+
+def is_host_info(path):
+    """True for leaves whose final key is host-side informational."""
+    leaf = path.rsplit(".", 1)[-1]
+    return leaf in HOST_INFO_FIELDS
+
 # Fields that identify a cell inside an experiment array (joined
 # into a stable label, in this order).
 IDENTITY_FIELDS = [
@@ -120,8 +132,12 @@ def main():
 
     for path in sorted(old_leaves):
         if path not in new_leaves:
-            regressions.append(f"MISSING  {path} (was "
-                               f"{old_leaves[path]}, now absent)")
+            line = (f"MISSING  {path} (was "
+                    f"{old_leaves[path]}, now absent)")
+            if is_host_info(path):
+                reports.append("info     " + line)
+            else:
+                regressions.append(line)
             continue
         old_v, new_v = old_leaves[path], new_leaves[path]
         if isinstance(old_v, bool) or isinstance(new_v, bool):
@@ -138,6 +154,9 @@ def main():
         pct = (100.0 * delta / abs(old_v)) if old_v != 0 else float("inf")
         line = (f"{path}: {old_v:g} -> {new_v:g} "
                 f"({delta:+g}, {pct:+.1f}%)")
+        if is_host_info(path):
+            reports.append("info     " + line)
+            continue
         bad = classify(path)
         is_regression = bad is not None and abs(pct) > args.threshold and (
             (bad == "down" and delta < 0) or (bad == "up" and delta > 0))

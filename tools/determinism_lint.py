@@ -34,6 +34,12 @@ bans the sources of it in the scheduling-relevant trees
                         and will be shared (and racy) under per-chip
                         worker threads; hoist it into the owning
                         object instead.
+  raw-thread            std::thread / std::jthread / pthread_create.
+                        All simulator threading must flow through
+                        darth::WorkerPool (common/WorkerPool.h),
+                        which owns the deterministic fork/join,
+                        inline threads<=1 fallback, and exception
+                        funneling; ad-hoc threads bypass all three.
 
 The lint is a regex pass, not a compiler plugin (the hybrid
 clang-query mode is used automatically when clang-query is on PATH
@@ -121,6 +127,16 @@ RULES = [
         "static mutable local/member state: persists across calls "
         "and races under worker threads; hoist into the owning "
         "object",
+    ),
+    (
+        "raw-thread",
+        re.compile(
+            r"\bstd\s*::\s*(?:jthread|thread)\b"
+            r"|\bpthread_create\s*\("),
+        "raw thread spawn: route all parallelism through "
+        "darth::WorkerPool (common/WorkerPool.h) so fork/join "
+        "boundaries, inline threads<=1 fallback, and exception "
+        "funneling stay deterministic",
     ),
 ]
 

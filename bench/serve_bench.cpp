@@ -4,7 +4,7 @@
  * policy over the AES/CNN/LLM request mixes and emits one JSON
  * document on stdout.
  *
- * Three experiments:
+ * Eight experiments:
  *
  *  1. scaling      — disjoint CNN tenants at saturating open-loop
  *                    load, Block backpressure with round-robin QoS,
@@ -76,6 +76,20 @@
  *                    must burn at exactly 10x and an unreachable
  *                    target at exactly 0 (the burn-rate math
  *                    check).
+ *  8. fleet        — fleet lifecycle at wall-clock scale: a 64-chip
+ *                    mixed frequency-bin pool (32 SAR @ 1 GHz +
+ *                    32 ramp @ 2 GHz) serves a long diurnal churn
+ *                    trace through a FleetController (lazy
+ *                    placements at tenant arrival, reclaim after
+ *                    departure drains, backlog-driven live
+ *                    migration, load-hysteresis autoscaling).
+ *                    Self-checks: outputs bit-identical to a
+ *                    fleet-off run of the same trace, the journal
+ *                    replays bit-exactly, no begun inference is
+ *                    ever lost, and the scenario is non-vacuous
+ *                    (churn, migrations, and chip drains all
+ *                    observed). `--stress` stretches the trace 4x
+ *                    (the sanitizer CI soak).
  *
  * The self-checks are evaluated in every mode and failures are fatal
  * (non-zero exit), so CI's `serve_bench --smoke` enforces the
@@ -89,7 +103,7 @@
  * carries an informational `wall_ms` host wall-clock field that
  * bench_diff.py never gates on.
  *
- *   $ ./serve_bench [--smoke] [--threads N]
+ *   $ ./serve_bench [--smoke] [--stress] [--threads N]
  */
 
 #include <algorithm>
@@ -99,6 +113,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -190,7 +205,7 @@ heteroNominalLatency(WorkloadKind kind)
 /** Open-loop rate for a load factor relative to one tile's service
  *  rate (load 1.0 = one tenant alone keeps one tile busy). */
 double
-ratePerKcycle(WorkloadKind kind, double load)
+ratePerKns(WorkloadKind kind, double load)
 {
     return load * 1000.0 / static_cast<double>(nominalLatency(kind));
 }
@@ -214,7 +229,7 @@ printTenantJson(const TenantStats &t, bool last)
                 static_cast<unsigned long long>(t.mvms),
                 lat.p50, lat.p95, lat.p99, queue.p50, queue.p95,
                 static_cast<unsigned long long>(
-                    t.slo.spec.latencyTargetCycles),
+                    t.slo.spec.latencyTargetNs),
                 static_cast<unsigned long long>(t.slo.violations),
                 t.slo.burnRate(), last ? "" : ",");
 }
@@ -255,9 +270,9 @@ printChipArrayJson(const ServeReport &report)
         std::printf("        {\"chip\": %zu, \"kind\": \"%s\", "
                     "\"hcts\": %zu, \"window\": %zu, "
                     "\"tenants\": %zu, \"completed\": %llu, "
-                    "\"mvms\": %llu, \"service_cycles\": %.0f, "
+                    "\"mvms\": %llu, \"service_ns\": %.0f, "
                     "\"makespan\": %llu, \"utilization\": %.2f, "
-                    "\"throughput_per_kcycle\": %.3f, "
+                    "\"throughput_per_kns\": %.3f, "
                     "\"issued\": %llu, \"pipeline_hits\": %llu, "
                     "\"dependency_stalls\": %llu, "
                     "\"interleaved_stages\": %llu}%s\n",
@@ -265,9 +280,9 @@ printChipArrayJson(const ServeReport &report)
                     cs.tenants,
                     static_cast<unsigned long long>(cs.completed),
                     static_cast<unsigned long long>(cs.mvms),
-                    cs.serviceCycles,
-                    static_cast<unsigned long long>(cs.makespan),
-                    cs.utilization(), cs.throughputPerKcycle(),
+                    cs.serviceNs,
+                    static_cast<unsigned long long>(cs.makespanNs),
+                    cs.utilization(), cs.throughputPerKns(),
                     static_cast<unsigned long long>(cs.issued),
                     static_cast<unsigned long long>(cs.pipelineHits),
                     static_cast<unsigned long long>(
@@ -310,7 +325,7 @@ runScalingCell(std::size_t chips, std::size_t tenant_count,
         TenantSpec spec;
         spec.name = "cnn" + std::to_string(i);
         spec.kind = WorkloadKind::Cnn;
-        spec.ratePerKcycle = ratePerKcycle(WorkloadKind::Cnn, load);
+        spec.ratePerKns = ratePerKns(WorkloadKind::Cnn, load);
         specs.push_back(spec);
     }
     auto tenants = buildTenants(pool, gen, specs);
@@ -325,17 +340,17 @@ runScalingCell(std::size_t chips, std::size_t tenant_count,
     AdmissionController ac(pool, tenants, cfg);
     const ServeReport report = ac.run(gen.trace(specs, horizon));
 
-    const double throughput = report.throughputPerKcycle();
+    const double throughput = report.throughputPerKns();
     std::printf("%s    {\"chips\": %zu, \"tenants\": %zu, "
                 "\"load\": %.2f, \"depth\": %zu, \"completed\": %llu, "
                 "\"rejected\": %llu, \"makespan\": %llu, "
-                "\"throughput_per_kcycle\": %.3f, "
+                "\"throughput_per_kns\": %.3f, "
                 "\"wall_ms\": %.3f}",
                 first_cell ? "" : ",\n", chips, tenant_count, load,
                 cfg.queueDepth,
                 static_cast<unsigned long long>(report.completed),
                 static_cast<unsigned long long>(report.rejected),
-                static_cast<unsigned long long>(report.makespan),
+                static_cast<unsigned long long>(report.makespanNs),
                 throughput, timer.ms());
     return throughput;
 }
@@ -364,7 +379,7 @@ runQosSweep(Cycle horizon)
         spec.kind = kinds[i];
         spec.weight = weights[i];
         // Each class alone would saturate one tile.
-        spec.ratePerKcycle = ratePerKcycle(kinds[i], 1.2);
+        spec.ratePerKns = ratePerKns(kinds[i], 1.2);
         specs.push_back(spec);
     }
 
@@ -425,8 +440,8 @@ runBackpressureSweep(Cycle horizon)
         for (std::size_t i = 0; i < specs.size(); ++i) {
             specs[i].name = "cnn" + std::to_string(i);
             specs[i].kind = WorkloadKind::Cnn;
-            specs[i].ratePerKcycle =
-                ratePerKcycle(WorkloadKind::Cnn, 2.0);
+            specs[i].ratePerKns =
+                ratePerKns(WorkloadKind::Cnn, 2.0);
         }
         auto tenants = buildTenants(pool, gen, specs);
         AdmissionConfig cfg;
@@ -485,11 +500,11 @@ runInferenceSweep(Cycle horizon)
     specs[0].name = "cnn_infer";
     specs[0].kind = WorkloadKind::CnnInfer;
     specs[0].weight = 4.0;
-    specs[0].ratePerKcycle = 0.05;
+    specs[0].ratePerKns = 0.05;
     specs[1].name = "llm_infer";
     specs[1].kind = WorkloadKind::LlmInfer;
     specs[1].weight = 1.0;
-    specs[1].ratePerKcycle = 0.03;
+    specs[1].ratePerKns = 0.03;
 
     auto tenants = buildTenants(pool, gen, specs);
     AdmissionConfig cfg;
@@ -552,7 +567,7 @@ heteroMvmSpecs()
             spec.name = std::string(workloadKindName(kind)) +
                         std::to_string(copy);
             spec.kind = kind;
-            spec.ratePerKcycle =
+            spec.ratePerKns =
                 1.5 * 1000.0 /
                 static_cast<double>(heteroNominalLatency(kind));
             specs.push_back(spec);
@@ -568,11 +583,11 @@ heteroInferenceSpecs()
     specs[0].name = "cnn_infer";
     specs[0].kind = WorkloadKind::CnnInfer;
     specs[0].weight = 4.0;
-    specs[0].ratePerKcycle = 0.1;
+    specs[0].ratePerKns = 0.1;
     specs[1].name = "llm_infer";
     specs[1].kind = WorkloadKind::LlmInfer;
     specs[1].weight = 1.0;
-    specs[1].ratePerKcycle = 0.05;
+    specs[1].ratePerKns = 0.05;
     return specs;
 }
 
@@ -608,14 +623,14 @@ runHeteroCell(const char *pool_name,
     std::printf("    %s{\"pool\": \"%s\", \"policy\": \"%s\", "
                 "\"mix\": \"%s\", \"completed\": %llu, "
                 "\"makespan\": %llu, "
-                "\"throughput_per_kcycle\": %.3f, "
+                "\"throughput_per_kns\": %.3f, "
                 "\"checksum\": \"0x%016llx\", "
                 "\"wall_ms\": %.3f,\n",
                 first_cell ? "" : ",\n    ", pool_name,
                 placementPolicyName(policy), mix_name,
                 static_cast<unsigned long long>(report.completed),
-                static_cast<unsigned long long>(report.makespan),
-                report.throughputPerKcycle(),
+                static_cast<unsigned long long>(report.makespanNs),
+                report.throughputPerKns(),
                 static_cast<unsigned long long>(
                     report.outputChecksum),
                 timer.ms());
@@ -627,7 +642,7 @@ runHeteroCell(const char *pool_name,
     std::printf("     ]}");
 
     HeteroCell cell;
-    cell.throughput = report.throughputPerKcycle();
+    cell.throughput = report.throughputPerKns();
     cell.checksum = report.outputChecksum;
     cell.minClassCompleted = report.tenants.empty()
                                  ? 0
@@ -663,17 +678,17 @@ stageLevelSpecs()
     specs[0].name = "cnn_infer";
     specs[0].kind = WorkloadKind::CnnInfer;
     specs[0].weight = 2.0;
-    specs[0].ratePerKcycle = 0.08;
+    specs[0].ratePerKns = 0.08;
     specs[0].burst = {12000, 12000};
     specs[1].name = "llm_infer";
     specs[1].kind = WorkloadKind::LlmInfer;
     specs[1].weight = 1.0;
-    specs[1].ratePerKcycle = 0.025;
+    specs[1].ratePerKns = 0.025;
     specs[1].burst = {16000, 16000};
     specs[2].name = "cnn_mvm";
     specs[2].kind = WorkloadKind::Cnn;
     specs[2].weight = 4.0;
-    specs[2].ratePerKcycle = ratePerKcycle(WorkloadKind::Cnn, 1.0);
+    specs[2].ratePerKns = ratePerKns(WorkloadKind::Cnn, 1.0);
     return specs;
 }
 
@@ -722,7 +737,7 @@ runStageLevelCell(Granularity granularity, Cycle horizon,
                 first_cell ? "" : ",\n    ",
                 granularityName(granularity),
                 static_cast<unsigned long long>(report.completed),
-                static_cast<unsigned long long>(report.makespan),
+                static_cast<unsigned long long>(report.makespanNs),
                 cell.p95,
                 static_cast<unsigned long long>(
                     report.outputChecksum),
@@ -820,7 +835,7 @@ runJournalCell(Cycle horizon)
                 static_cast<unsigned long long>(
                     rec.journal.chainChecksum()),
                 static_cast<unsigned long long>(rec.report.completed),
-                static_cast<unsigned long long>(rec.report.makespan),
+                static_cast<unsigned long long>(rec.report.makespanNs),
                 static_cast<unsigned long long>(
                     rec.report.outputChecksum),
                 cell.roundtripIdentical ? "true" : "false",
@@ -837,15 +852,182 @@ runJournalCell(Cycle horizon)
     return cell;
 }
 
+// ---------------------------------------------------------------------------
+// Experiment 8: fleet lifecycle at wall-clock scale. A 64-chip mixed
+// frequency-bin pool (32 SAR @ 1 GHz + 32 ramp @ 2 GHz) serves a
+// long diurnal trace with tenant churn while the FleetController
+// live-migrates placements and autoscales chips up and down. The
+// self-checks are the serving layer's lifecycle contract: outputs
+// bit-identical to a fleet-off run of the same trace, replay
+// bit-exact from the journal alone, zero begun inferences lost, and
+// the scenario non-vacuous (migrations and chip drains observed).
+// ---------------------------------------------------------------------------
+
+struct FleetCell
+{
+    bool checksumInvariant = false;
+    bool replayIdentical = false;
+    bool noneLost = false;
+    FleetStats fleet;
+    u64 completed = 0;
+};
+
+/** The diurnal churn mix: resident base load, bursty tenants that go
+ *  quiet together (off-peak valleys for the autoscaler), churners on
+ *  staggered arrive/depart windows, staged inference riders. */
+std::vector<TenantSpec>
+fleetSpecs(WallNs horizon)
+{
+    std::vector<TenantSpec> specs;
+    const auto add = [&specs](TenantSpec spec) {
+        spec.name = "f" + std::to_string(specs.size());
+        specs.push_back(std::move(spec));
+    };
+    for (std::size_t i = 0; i < 8; ++i) {
+        TenantSpec s;
+        s.kind = WorkloadKind::Micro;
+        s.weight = 1.0 + static_cast<double>(i % 3);
+        s.ratePerKns = 0.8;
+        add(s);
+    }
+    for (std::size_t i = 0; i < 8; ++i) {
+        TenantSpec s;
+        s.kind = WorkloadKind::Micro;
+        s.ratePerKns = 2.0;
+        s.burst = {horizon / 10, horizon / 6};
+        add(s);
+    }
+    for (std::size_t i = 0; i < 8; ++i) {
+        TenantSpec s;
+        s.kind = WorkloadKind::Micro;
+        s.ratePerKns = 1.5;
+        s.arriveNs = (i + 1) * horizon / 12;
+        s.departNs = s.arriveNs + horizon / 3;
+        add(s);
+    }
+    for (std::size_t i = 0; i < 2; ++i) {
+        TenantSpec cnn;
+        cnn.kind = WorkloadKind::CnnInfer;
+        cnn.ratePerKns = 0.08;
+        add(cnn);
+        TenantSpec llm;
+        llm.kind = WorkloadKind::LlmInfer;
+        llm.ratePerKns = 0.05;
+        add(llm);
+    }
+    return specs;
+}
+
+FleetCell
+runFleetCell(std::size_t sar_chips, std::size_t ramp_chips,
+             WallNs horizon)
+{
+    const WallTimer timer;
+    journal::ServeRunSetup setup;
+    setup.uniformPool = false;
+    setup.slots.clear();
+    for (std::size_t c = 0; c < sar_chips; ++c)
+        setup.slots.push_back(
+            {journal::SlotKind::Sar, kHeteroSarHcts, 1.0});
+    for (std::size_t c = 0; c < ramp_chips; ++c)
+        setup.slots.push_back(
+            {journal::SlotKind::Ramp, kHeteroSarHcts, 2.0});
+    setup.placement = PlacementPolicy::CostAware;
+    setup.trafficSeed = 8008;
+    setup.horizon = horizon;
+    setup.admission.queueDepth = 2;
+    setup.admission.qos = QosPolicy::WeightedFair;
+    setup.admission.overflow = OverflowPolicy::Block;
+    setup.admission.granularity = Granularity::Stage;
+    setup.admission.threads = g_threads;
+    setup.tenants = fleetSpecs(horizon);
+    setup.fleet = true;
+    setup.fleetCfg.checkIntervalNs = 500;
+    setup.fleetCfg.backlogHighNs = 3000;
+    setup.fleetCfg.backlogLowNs = 300;
+    setup.fleetCfg.migrateHighNs = 2000;
+    setup.fleetCfg.minActive = 4;
+
+    const journal::ServeRunRecord rec =
+        journal::recordServeRun(setup);
+
+    // The fleet-off twin: same specs, same trace, every placement
+    // eager and pinned. Migration and autoscaling must be invisible
+    // in the functional outputs.
+    journal::ServeRunSetup twin_setup = setup;
+    twin_setup.fleet = false;
+    const journal::ServeRunRecord twin =
+        journal::recordServeRun(twin_setup, rec.trace);
+
+    const journal::Replayer replayer(rec.journal);
+    const journal::Replayer::Result res = replayer.replay();
+
+    // Zero begun inferences lost: every request the journal admitted
+    // also completed, despite migrations, departures, and drains.
+    std::set<u64> admitted, completed;
+    for (const auto &e : rec.journal.events()) {
+        if (e.kind == journal::EventKind::Admit)
+            admitted.insert(e.a);
+        else if (e.kind == journal::EventKind::Complete)
+            completed.insert(e.a);
+    }
+
+    FleetCell cell;
+    cell.checksumInvariant =
+        rec.report.outputChecksum == twin.report.outputChecksum &&
+        rec.report.completed == twin.report.completed;
+    cell.replayIdentical = res.identical;
+    cell.noneLost = admitted == completed;
+    cell.fleet = rec.report.fleet;
+    cell.completed = rec.report.completed;
+
+    std::printf(
+        "    {\"pool\": \"%zu sar@1GHz + %zu ramp@2GHz\", "
+        "\"tenants\": %zu, \"trace\": %zu, \"horizon\": %llu,\n"
+        "     \"completed\": %llu, \"rejected\": %llu, "
+        "\"makespan\": %llu, \"checksum\": \"0x%016llx\", "
+        "\"throughput_per_kns\": %.3f,\n"
+        "     \"arrivals\": %llu, \"departures\": %llu, "
+        "\"migrations\": %llu, \"migrations_aborted\": %llu, "
+        "\"chip_ups\": %llu, \"chip_downs\": %llu,\n"
+        "     \"static_checksum_equal\": %s, "
+        "\"replay_identical\": %s, \"none_lost\": %s, "
+        "\"journal_events\": %zu, \"wall_ms\": %.3f}\n",
+        sar_chips, ramp_chips, setup.tenants.size(),
+        rec.trace.size(), static_cast<unsigned long long>(horizon),
+        static_cast<unsigned long long>(rec.report.completed),
+        static_cast<unsigned long long>(rec.report.rejected),
+        static_cast<unsigned long long>(rec.report.makespanNs),
+        static_cast<unsigned long long>(rec.report.outputChecksum),
+        rec.report.throughputPerKns(),
+        static_cast<unsigned long long>(cell.fleet.arrivals),
+        static_cast<unsigned long long>(cell.fleet.departures),
+        static_cast<unsigned long long>(cell.fleet.migrations),
+        static_cast<unsigned long long>(cell.fleet.migrationsAborted),
+        static_cast<unsigned long long>(cell.fleet.chipUps),
+        static_cast<unsigned long long>(cell.fleet.chipDowns),
+        cell.checksumInvariant ? "true" : "false",
+        cell.replayIdentical ? "true" : "false",
+        cell.noneLost ? "true" : "false", rec.journal.size(),
+        timer.ms());
+    if (!res.identical)
+        std::printf("     ,\"replay_mismatch\": \"%s\"\n",
+                    res.detail.c_str());
+    return cell;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    bool stress = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--stress") == 0)
+            stress = true;
         else if (std::strcmp(argv[i], "--threads") == 0 &&
                  i + 1 < argc)
             g_threads = static_cast<std::size_t>(
@@ -971,6 +1153,15 @@ main(int argc, char **argv)
     const JournalCell jcell = runJournalCell(journal_horizon);
     std::printf("  ],\n");
 
+    // Fleet lifecycle: 64-chip mixed frequency-bin pool under a long
+    // diurnal churn trace (--stress stretches the trace 4x for the
+    // sanitizer soak).
+    const WallNs fleet_horizon =
+        (smoke ? WallNs{20000} : WallNs{60000}) * (stress ? 4 : 1);
+    std::printf("  \"fleet\": [\n");
+    const FleetCell fcell = runFleetCell(32, 32, fleet_horizon);
+    std::printf("  ],\n");
+
     // Self-checks (the acceptance criteria).
     std::vector<Check> checks;
     checks.push_back({"scaling_speedup_4chip", best_speedup,
@@ -1090,6 +1281,33 @@ main(int argc, char **argv)
         jcell.unreachableBurn == 0.0;
     checks.push_back({"slo_burn_rate_math", jcell.impossibleBurn,
                       slo_math});
+
+    // Fleet lifecycle. Migration and autoscaling are functionally
+    // invisible: the fleet run's outputs are bit-identical to the
+    // fleet-off run of the same trace, the journal replays
+    // bit-exactly, and no begun inference is ever lost to a
+    // departure, migration, or chip drain.
+    checks.push_back({"fleet_checksum_invariant_vs_static",
+                      fcell.checksumInvariant ? 1.0 : 0.0,
+                      fcell.checksumInvariant && fcell.completed > 0});
+    checks.push_back({"fleet_replay_identical",
+                      fcell.replayIdentical ? 1.0 : 0.0,
+                      fcell.replayIdentical});
+    checks.push_back({"fleet_no_begun_inference_lost",
+                      fcell.noneLost ? 1.0 : 0.0, fcell.noneLost});
+    // Non-vacuity: the scenario actually churned, migrated, and
+    // drained chips — a lifecycle check that never fires proves
+    // nothing.
+    checks.push_back({"fleet_churn_observed",
+                      static_cast<double>(fcell.fleet.departures),
+                      fcell.fleet.arrivals >= 1 &&
+                          fcell.fleet.departures >= 1});
+    checks.push_back({"fleet_migrations_observed",
+                      static_cast<double>(fcell.fleet.migrations),
+                      fcell.fleet.migrations >= 1});
+    checks.push_back({"fleet_chip_downs_observed",
+                      static_cast<double>(fcell.fleet.chipDowns),
+                      fcell.fleet.chipDowns >= 1});
 
     std::printf("  \"checks\": [\n");
     bool all_ok = true;

@@ -53,7 +53,7 @@ main()
     payments.name = "aes-payments";
     payments.kind = WorkloadKind::Aes;
     payments.weight = 4.0;
-    payments.ratePerKcycle = 3.0;
+    payments.ratePerKns = 3.0;
     payments.modelKey = 0xAE5;
     payments.slo = {5000, 0.999};
     TenantSpec &logging = setup.tenants[1];
@@ -64,7 +64,7 @@ main()
     chat.name = "llm-chat";
     chat.kind = WorkloadKind::Llm;
     chat.weight = 1.0;
-    chat.ratePerKcycle = 0.6;
+    chat.ratePerKns = 0.6;
     chat.slo = {50000, 0.99};
     TenantSpec &search = setup.tenants[3];
     search = chat;
@@ -97,7 +97,7 @@ main()
                 static_cast<unsigned long long>(setup.horizon / 1000),
                 static_cast<unsigned long long>(report.completed),
                 static_cast<unsigned long long>(report.rejected),
-                static_cast<unsigned long long>(report.makespan /
+                static_cast<unsigned long long>(report.makespanNs /
                                                 1000));
 
     std::printf("\n%-14s %7s %8s %8s %8s %7s | %9s %6s %8s\n",
@@ -113,7 +113,7 @@ main()
             static_cast<unsigned long long>(stats.completed), lat.p50,
             lat.p95, lat.p99, 100.0 * report.serviceShare(t),
             static_cast<unsigned long long>(
-                stats.slo.spec.latencyTargetCycles),
+                stats.slo.spec.latencyTargetNs),
             static_cast<unsigned long long>(stats.slo.violations),
             stats.slo.burnRate());
     }

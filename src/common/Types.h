@@ -30,6 +30,15 @@ using i64 = std::int64_t;
 /** Simulated time, in clock cycles of the PUM chip. */
 using Cycle = std::uint64_t;
 
+/**
+ * Simulated wall-clock time, in nanoseconds. Chips are independent
+ * cycle domains (each ChipSpec carries its own clock); the serving
+ * layer converts at the admission boundary — cycles / clockGHz —
+ * so aggregate statistics, WFQ charges, SLO targets, and journal
+ * timestamps compare across a frequency-binned heterogeneous pool.
+ */
+using WallNs = std::uint64_t;
+
 /** Energy, in picojoules. */
 using PicoJoule = double;
 

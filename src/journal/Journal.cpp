@@ -171,6 +171,20 @@ eventKindName(EventKind kind)
         return "chip_summary";
     case EventKind::RunEnd:
         return "run_end";
+    case EventKind::FleetSetup:
+        return "fleet_setup";
+    case EventKind::TenantArrive:
+        return "tenant_arrive";
+    case EventKind::TenantDepart:
+        return "tenant_depart";
+    case EventKind::MigrationBegin:
+        return "migration_begin";
+    case EventKind::MigrationEnd:
+        return "migration_end";
+    case EventKind::ChipUp:
+        return "chip_up";
+    case EventKind::ChipDown:
+        return "chip_down";
     }
     return "unknown";
 }
@@ -297,7 +311,7 @@ Journal::readBinary(std::istream &in)
             return v;
         };
         const u32 kindRaw = takeU32();
-        if (kindRaw > static_cast<u32>(EventKind::RunEnd))
+        if (kindRaw > static_cast<u32>(EventKind::ChipDown))
             throw std::runtime_error(
                 "journal: record " + std::to_string(i) +
                 " has unknown event kind " + std::to_string(kindRaw));

@@ -75,35 +75,66 @@ namespace journal
  *   TenantSetup     one per tenant: a=index, b=workload kind,
  *                   c=modelKey, d=weight bits, note=name;
  *                   values={rate bits, burst on, burst off, SLO
- *                   latency target, SLO availability bits}.
+ *                   latency target, SLO availability bits,
+ *                   arriveNs, departNs}.
+ *   FleetSetup      present when the run had a FleetController:
+ *                   a=migration flag, b=autoscale flag, c=minActive,
+ *                   d=checkIntervalNs; values={backlogHighNs,
+ *                   backlogLowNs, migrateHighNs}.
  *   TraceBegin      a=request count of the recorded trace.
  *
- *  Run records (emitted by ChipPool / AdmissionController):
- *   Arrival         cycle=arrival, a=request index, b=tenant,
+ *  Run records (emitted by ChipPool / AdmissionController). The
+ *  cycle stamp of every run record is a *wall-clock nanosecond*
+ *  instant — the serving layer's shared time base across frequency
+ *  bins; per-chip cycle counts convert exactly through the pool's
+ *  integer-picosecond periods:
+ *   Arrival         cycle=arrival ns, a=request index, b=tenant,
  *                   d=FNV of the input (word-wise), values=input.
  *   Placement       a=ModelRef, b=model key, c=chip, d=winning
  *                   CostAware score bits (0 unless CostAware),
  *                   note="mvm"/"cnn_infer"/"llm_infer",
  *                   values={1 if an affinity-shared reuse, else 0}.
- *   Admit           cycle=admission cycle, a=request index,
+ *   Admit           cycle=admission ns, a=request index,
  *                   b=tenant, c=chip, d=stage index (kNoStage for a
- *                   whole-unit admission), values={WFQ charge bits}.
- *   StageSubmit     cycle=admission cycle, a=request index,
+ *                   whole-unit admission), values={WFQ charge in
+ *                   wall picoseconds, nominal whole-unit service
+ *                   in wall picoseconds}.
+ *   StageSubmit     cycle=admission ns, a=request index,
  *                   b=stage, c=chip, d=stage count of the run.
- *   StageComplete   cycle=stage completion, a=request index,
+ *   StageComplete   cycle=stage completion ns, a=request index,
  *                   b=stage, c=chip.
- *   Backpressure    cycle=arrival, a=request index, b=tenant,
+ *   Backpressure    cycle=arrival ns, a=request index, b=tenant,
  *                   c=chip, d=action (0 blocked, 1 rejected).
- *   Complete        cycle=completion, a=request index, b=tenant,
+ *   Complete        cycle=completion ns, a=request index, b=tenant,
  *                   c=chip, d=FNV of the output values (word-wise),
- *                   values={start cycle, mvm count}.
+ *                   values={start ns, mvm count}.
  *   ChipSummary     one per chip at end of run: cycle=chip
- *                   makespan, a=chip, b=issued, c=pipelineHits,
+ *                   makespan ns, a=chip, b=issued, c=pipelineHits,
  *                   d=dependencyStalls (scheduler-counter deltas
  *                   for this run), values={completed, mvms,
  *                   interleavedStages}.
- *   RunEnd          cycle=run makespan, a=completed, b=rejected,
+ *   RunEnd          cycle=run makespan ns, a=completed, b=rejected,
  *                   c=output checksum.
+ *
+ *  Fleet lifecycle records (fleet-mode runs only; stamps are wall
+ *  ns like every run record):
+ *   TenantArrive    cycle=arrival moment, a=tenant, b=ModelRef of
+ *                   the fresh placement, c=its chip.
+ *   TenantDepart    cycle=reclaim instant (>= the departure
+ *                   moment; begun work drains first), a=tenant,
+ *                   b=ModelRef, c=chip, d=departure moment ns.
+ *   MigrationBegin  cycle=decision tick, a=lead tenant, b=old
+ *                   ModelRef, c=destination chip, d=new ModelRef,
+ *                   values={source chip}.
+ *   MigrationEnd    cycle=old placement's reclaim instant (its
+ *                   begun work drained), a=lead tenant, b=old
+ *                   ModelRef, c=source chip, d=new ModelRef.
+ *   ChipUp          cycle=activation instant, a=chip, b=1 when an
+ *                   arriving tenant forced the reactivation (0 for
+ *                   an autoscaler scale-up).
+ *   ChipDown        cycle=instant the slot's last placement was
+ *                   released (or the scale-down tick when already
+ *                   empty), a=chip.
  */
 enum class EventKind : u32
 {
@@ -121,6 +152,13 @@ enum class EventKind : u32
     Complete,
     ChipSummary,
     RunEnd,
+    FleetSetup,
+    TenantArrive,
+    TenantDepart,
+    MigrationBegin,
+    MigrationEnd,
+    ChipUp,
+    ChipDown,
 };
 
 /** Short lowercase kind name (JSONL "kind" field). */
@@ -151,7 +189,10 @@ bitsToDouble(u64 bits)
 struct JournalEvent
 {
     EventKind kind = EventKind::RunBegin;
-    /** Simulated-cycle stamp (0 for header records). */
+    /** Time stamp: wall-clock nanoseconds for run records (0 for
+     *  header records). The field keeps its historical name; the
+     *  serving layer moved from per-chip cycles to wall ns when
+     *  mixed-clock pools became legal. */
     Cycle cycle = 0;
     u64 a = 0;
     u64 b = 0;

@@ -1,6 +1,7 @@
 #include "journal/Replayer.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -84,7 +85,7 @@ driveRun(const ServeRunSetup &setup,
         e.b = setup.trafficSeed;
         e.c = static_cast<u64>(setup.placement);
         e.d = setup.poolSeed;
-        e.values = {static_cast<i64>(setup.backlogWindowCycles),
+        e.values = {static_cast<i64>(setup.backlogWindowNs),
                     static_cast<i64>(setup.slots.size()),
                     setup.uniformPool ? i64{1} : i64{0},
                     static_cast<i64>(setup.horizon)};
@@ -145,18 +146,47 @@ driveRun(const ServeRunSetup &setup,
         e.d = doubleBits(spec.weight);
         e.note = spec.name;
         e.values = {
-            static_cast<i64>(doubleBits(spec.ratePerKcycle)),
-            static_cast<i64>(spec.burst.onCycles),
-            static_cast<i64>(spec.burst.offCycles),
-            static_cast<i64>(spec.slo.latencyTargetCycles),
-            static_cast<i64>(doubleBits(spec.slo.targetAvailability))};
+            static_cast<i64>(doubleBits(spec.ratePerKns)),
+            static_cast<i64>(spec.burst.onNs),
+            static_cast<i64>(spec.burst.offNs),
+            static_cast<i64>(spec.slo.latencyTargetNs),
+            static_cast<i64>(doubleBits(spec.slo.targetAvailability)),
+            static_cast<i64>(spec.arriveNs),
+            static_cast<i64>(spec.departNs)};
+        jr.append(std::move(e));
+    }
+
+    if (setup.fleet) {
+        const serve::FleetConfig &fc = setup.fleetCfg;
+        JournalEvent e;
+        e.kind = EventKind::FleetSetup;
+        e.a = fc.migration ? 1 : 0;
+        e.b = fc.autoscale ? 1 : 0;
+        e.c = fc.minActive;
+        e.d = fc.checkIntervalNs;
+        e.values = {static_cast<i64>(fc.backlogHighNs),
+                    static_cast<i64>(fc.backlogLowNs),
+                    static_cast<i64>(fc.migrateHighNs)};
         jr.append(std::move(e));
     }
 
     pool.setJournal(&jr);
     serve::TrafficGen gen(setup.trafficSeed);
-    std::vector<serve::Tenant> tenants =
-        serve::buildTenants(pool, gen, setup.tenants);
+    // Both construction paths emit their eager Placement records
+    // here, before TraceBegin (fleet tenants with arriveNs > 0
+    // place lazily during the run, after it).
+    std::unique_ptr<serve::FleetController> fleet;
+    std::unique_ptr<serve::AdmissionController> ctrl;
+    if (setup.fleet) {
+        fleet = std::make_unique<serve::FleetController>(
+            pool, gen, setup.tenants, setup.fleetCfg);
+        ctrl = std::make_unique<serve::AdmissionController>(
+            pool, *fleet, setup.admission);
+    } else {
+        ctrl = std::make_unique<serve::AdmissionController>(
+            pool, serve::buildTenants(pool, gen, setup.tenants),
+            setup.admission);
+    }
 
     {
         JournalEvent e;
@@ -165,11 +195,9 @@ driveRun(const ServeRunSetup &setup,
         jr.append(std::move(e));
     }
 
-    serve::AdmissionController ctrl(pool, std::move(tenants),
-                                    setup.admission);
-    ctrl.setJournal(&jr);
-    serve::ServeReport report = ctrl.run(trace);
-    ctrl.setJournal(nullptr);
+    ctrl->setJournal(&jr);
+    serve::ServeReport report = ctrl->run(trace);
+    ctrl->setJournal(nullptr);
     pool.setJournal(nullptr);
     return report;
 }
@@ -209,7 +237,7 @@ ServeRunSetup::poolConfig() const
     serve::PoolConfig cfg;
     cfg.placement = placement;
     cfg.seed = poolSeed;
-    cfg.backlogWindowCycles = backlogWindowCycles;
+    cfg.backlogWindowNs = backlogWindowNs;
     if (uniformPool) {
         const PoolSlotSetup &first = slots.front();
         for (const PoolSlotSetup &slot : slots)
@@ -286,11 +314,11 @@ Replayer::Replayer(Journal recorded) : recorded_(std::move(recorded))
     setup_.trafficSeed = begin.b;
     setup_.placement = static_cast<serve::PlacementPolicy>(begin.c);
     setup_.poolSeed = begin.d;
-    setup_.backlogWindowCycles = static_cast<Cycle>(begin.values[0]);
+    setup_.backlogWindowNs = static_cast<WallNs>(begin.values[0]);
     const std::size_t slot_count =
         static_cast<std::size_t>(begin.values[1]);
     setup_.uniformPool = begin.values[2] != 0;
-    setup_.horizon = static_cast<Cycle>(begin.values[3]);
+    setup_.horizon = static_cast<WallNs>(begin.values[3]);
     if (slot_count == 0)
         throw std::runtime_error(
             "Replayer: run_begin announces an empty pool");
@@ -340,7 +368,7 @@ Replayer::Replayer(Journal recorded) : recorded_(std::move(recorded))
             throw std::runtime_error(
                 "Replayer: tenant_setup records out of index order");
         if (e.b > static_cast<u64>(serve::WorkloadKind::GfWide) ||
-            e.values.size() < 5)
+            e.values.size() < 7)
             throw std::runtime_error(
                 "Replayer: malformed tenant_setup record " +
                 std::to_string(i - 1));
@@ -348,20 +376,40 @@ Replayer::Replayer(Journal recorded) : recorded_(std::move(recorded))
         spec.name = e.note;
         spec.kind = static_cast<serve::WorkloadKind>(e.b);
         spec.weight = bitsToDouble(e.d);
-        spec.ratePerKcycle =
+        spec.ratePerKns =
             bitsToDouble(static_cast<u64>(e.values[0]));
         spec.modelKey = e.c;
-        spec.burst.onCycles = static_cast<Cycle>(e.values[1]);
-        spec.burst.offCycles = static_cast<Cycle>(e.values[2]);
-        spec.slo.latencyTargetCycles =
-            static_cast<Cycle>(e.values[3]);
+        spec.burst.onNs = static_cast<WallNs>(e.values[1]);
+        spec.burst.offNs = static_cast<WallNs>(e.values[2]);
+        spec.slo.latencyTargetNs = static_cast<WallNs>(e.values[3]);
         spec.slo.targetAvailability =
             bitsToDouble(static_cast<u64>(e.values[4]));
+        spec.arriveNs = static_cast<WallNs>(e.values[5]);
+        spec.departNs = static_cast<WallNs>(e.values[6]);
         setup_.tenants.push_back(std::move(spec));
     }
     if (setup_.tenants.empty())
         throw std::runtime_error(
             "Replayer: journal has no tenant_setup records");
+
+    if (i < ev.size() && ev[i].kind == EventKind::FleetSetup) {
+        const JournalEvent &e = ev[i];
+        ++i;
+        if (e.values.size() < 3)
+            throw std::runtime_error(
+                "Replayer: malformed fleet_setup record");
+        setup_.fleet = true;
+        setup_.fleetCfg.migration = e.a != 0;
+        setup_.fleetCfg.autoscale = e.b != 0;
+        setup_.fleetCfg.minActive = static_cast<std::size_t>(e.c);
+        setup_.fleetCfg.checkIntervalNs = e.d;
+        setup_.fleetCfg.backlogHighNs =
+            static_cast<WallNs>(e.values[0]);
+        setup_.fleetCfg.backlogLowNs =
+            static_cast<WallNs>(e.values[1]);
+        setup_.fleetCfg.migrateHighNs =
+            static_cast<WallNs>(e.values[2]);
+    }
 
     // The Placement records buildTenants emitted sit between the
     // tenant table and trace_begin; they are re-derived on replay,

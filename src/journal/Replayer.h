@@ -40,6 +40,7 @@
 #include "journal/Journal.h"
 #include "serve/Admission.h"
 #include "serve/ChipPool.h"
+#include "serve/FleetController.h"
 #include "serve/ServeStats.h"
 #include "serve/TrafficGen.h"
 
@@ -79,8 +80,17 @@ struct PoolSlotSetup
  */
 struct ServeRunSetup
 {
-    /** Header schema version (RunBegin `a`). */
-    static constexpr u64 kSetupVersion = 1;
+    /**
+     * Header schema version (RunBegin `a`). Version 2 moved the
+     * serving layer to wall-clock nanoseconds (TenantSetup gained
+     * the arrive/depart window, the SLO target and burst phases
+     * became wall ns, run-record stamps became wall ns) and added
+     * the optional FleetSetup record. Version-1 journals parse at
+     * the container level (Journal::readBinary) but are rejected
+     * here with a versioned error — their cycle-stamped histories
+     * cannot be compared against a wall-clock replay.
+     */
+    static constexpr u64 kSetupVersion = 2;
 
     /**
      * True = PoolConfig's uniform path (chip + numChips; ChipPool
@@ -93,15 +103,20 @@ struct ServeRunSetup
     serve::PlacementPolicy placement =
         serve::PlacementPolicy::LeastLoaded;
     u64 poolSeed = 1;
-    Cycle backlogWindowCycles = 50000;
+    WallNs backlogWindowNs = 50000;
 
     serve::AdmissionConfig admission;
+
+    /** True when the run was driven through a FleetController
+     *  (tenant churn, live migration, autoscaling). */
+    bool fleet = false;
+    serve::FleetConfig fleetCfg;
 
     std::vector<serve::TenantSpec> tenants;
     /** Traffic seed the recorded trace was generated with. */
     u64 trafficSeed = 1;
-    /** Open-loop horizon of the recorded trace. */
-    Cycle horizon = 0;
+    /** Open-loop horizon of the recorded trace (wall ns). */
+    WallNs horizon = 0;
 
     /** The PoolConfig this setup builds (throws std::invalid_argument
      *  on an unbuildable setup: no slots, non-uniform uniform pool,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <map>
 #include <optional>
 #include <queue>
 #include <stdexcept>
@@ -13,6 +14,7 @@
 #include "common/Logging.h"
 #include "common/WorkerPool.h"
 #include "journal/Journal.h"
+#include "serve/FleetController.h"
 
 namespace darth
 {
@@ -120,36 +122,38 @@ AdmissionController::AdmissionController(ChipPool &pool,
                     "AdmissionController: chipQueueDepth[" +
                     std::to_string(c) + "] must be at least 1");
     }
-    // Aggregate report statistics (makespan, throughput per
-    // kilocycle, cross-chip latency comparisons) are cycle counts
-    // compared across chips, which is only meaningful when every
-    // chip ticks at the same rate. ChipSpec::clockGHz feeds the
-    // pool's placement scoring; admission-level aggregation of
-    // mixed-clock pools would need wall-clock traces first (see
-    // ROADMAP) and is rejected until it does.
-    for (std::size_t c = 1; c < pool.numChips(); ++c)
-        if (pool.spec(c).clockGHz != pool.spec(0).clockGHz)
-            throw std::invalid_argument(
-                "AdmissionController: chips " + std::to_string(c) +
-                " and 0 run at different clocks (" +
-                std::to_string(pool.spec(c).clockGHz) + " vs " +
-                std::to_string(pool.spec(0).clockGHz) +
-                " GHz); aggregate cycle statistics would compare "
-                "incomparable time domains");
+    // Mixed-clock pools are legal: every aggregate statistic is
+    // wall-clock, converted per chip through the pool's exact
+    // integer-picosecond periods. (The pool constructor already
+    // rejected clocks that are not frequency bins.)
     for (const Tenant &t : tenants_) {
         if (t.weight <= 0.0)
             throw std::invalid_argument(
                 "AdmissionController: tenant '" + t.name +
                 "' has non-positive weight");
-        // Resolves the model (panics on an unknown ref) and pins the
-        // chip mapping used by run().
-        (void)pool_.modelChip(t.model);
+        // Resolves the model (panics on an unknown ref). Fleet
+        // tenants that have not arrived yet carry kNoModel and are
+        // placed lazily at their arrival moment.
+        if (t.model != kNoModel)
+            (void)pool_.modelChip(t.model);
     }
     // Serving drains are strictly admission-ordered: QoS is decided
     // here, not re-decided by the packer's greedy order.
     for (std::size_t c = 0; c < pool_.numChips(); ++c)
         pool_.runtime(c).scheduler().setDequeueHook(
             runtime::Scheduler::submissionOrderHook());
+}
+
+AdmissionController::AdmissionController(ChipPool &pool,
+                                         FleetController &fleet,
+                                         const AdmissionConfig &cfg)
+    : AdmissionController(pool, fleet.buildInitialTenants(), cfg)
+{
+    if (&fleet.pool() != &pool)
+        throw std::invalid_argument(
+            "AdmissionController: the FleetController drives a "
+            "different ChipPool than the admission layer");
+    fleet_ = &fleet;
 }
 
 void
@@ -166,13 +170,17 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     // Local aliases of the guarded members: the lambdas below are
     // analyzed as separate functions by clang's thread-safety pass,
     // so they read these lock-scoped references instead of reaching
-    // through `this` for guarded state.
-    const std::vector<Tenant> &tenants = tenants_;
+    // through `this` for guarded state. The tenant table is mutable
+    // state in fleet mode (lazy placements, migration rebinding).
+    std::vector<Tenant> &tenants = tenants_;
     const AdmissionConfig &cfg = cfg_;
     journal::Journal *const jr = journal_;
+    FleetController *const fleet = fleet_;
+    const bool fleet_mode = fleet != nullptr;
 
     const std::size_t num_chips = pool_.numChips();
     const std::size_t num_tenants = tenants.size();
+    constexpr WallNs kNever = std::numeric_limits<WallNs>::max();
 
     // Journal events are buffered per chip and merged in trace order
     // after the per-chip jobs join (the deterministic merge point):
@@ -182,7 +190,9 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     // drain — lets the merge reproduce the sequential emission order
     // exactly, for any thread count. The same buffered path runs in
     // the single-threaded case so there is exactly one journal-order
-    // code path to trust.
+    // code path to trust. Fleet runs are sequential (one merged
+    // request/lifecycle timeline), so they append directly in
+    // program order instead.
     const bool journaling = jr != nullptr;
     struct BufferedEvent
     {
@@ -190,23 +200,35 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         journal::JournalEvent event;
     };
     std::vector<std::vector<BufferedEvent>> chip_events(
-        journaling ? num_chips : 0);
+        journaling && !fleet_mode ? num_chips : 0);
     std::vector<u64> cur_segment(num_chips, 0);
     auto emit = [&](std::size_t chip, journal::EventKind kind,
-                    Cycle cycle, u64 a, u64 b, u64 c, u64 d,
+                    WallNs at, u64 a, u64 b, u64 c, u64 d,
                     std::vector<i64> values = {}) {
         if (!journaling)
             return;
         journal::JournalEvent e;
         e.kind = kind;
-        e.cycle = cycle;
+        e.cycle = at;
         e.a = a;
         e.b = b;
         e.c = c;
         e.d = d;
         e.values = std::move(values);
+        if (fleet_mode) {
+            jr->append(std::move(e));
+            return;
+        }
         chip_events[chip].push_back(
             {cur_segment[chip], std::move(e)});
+    };
+    // Fleet lifecycle events are not tied to one chip's trace
+    // segment; the fleet path appends directly so chip 0 is just a
+    // placeholder.
+    auto emit_fleet = [&](journal::EventKind kind, WallNs at, u64 a,
+                          u64 b, u64 c, u64 d,
+                          std::vector<i64> values = {}) {
+        emit(0, kind, at, a, b, c, d, std::move(values));
     };
 
     ServeReport report;
@@ -249,7 +271,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         /** Single-MVM requests resolve this future... */
         runtime::MvmFuture future;
         /** ...whole-unit inference requests carry their already-run
-         *  outcome (the graph executes at admission; cycle stamps
+         *  outcome (the graph executes at admission; time stamps
          *  honour the admission-time earliest bound either way)... */
         bool isInference = false;
         InferenceOutcome outcome;
@@ -264,23 +286,27 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     struct WaitingItem
     {
         std::size_t reqIdx;
-        Cycle ready = 0;
+        WallNs ready = 0;
     };
     struct ChipState
     {
         /** Admitted, timestamps not yet materialized (these sit in
          *  the chip scheduler's submission queue). */
         std::deque<Pending> notWaited;
-        /** Materialized completion cycles still occupying slots. */
-        std::priority_queue<Cycle, std::vector<Cycle>,
-                            std::greater<Cycle>>
+        /** Materialized completion instants still occupying slots
+         *  (wall ns). */
+        std::priority_queue<WallNs, std::vector<WallNs>,
+                            std::greater<WallNs>>
             occupied;
-        /** Tenants placed on this chip (round-robin rotation order). */
+        /** Round-robin rotation order: the tenants placed on this
+         *  chip (static runs), or every tenant (fleet runs, where
+         *  placements move between chips mid-run). */
         std::vector<std::size_t> tenants;
         std::size_t rrCursor = 0;
+        /** Waiting-room items bound to this chip. */
         std::size_t waitingCount = 0;
         /** Start-time-fair-queueing virtual time (start tag of the
-         *  most recently admitted request). */
+         *  most recently admitted request, in picoseconds). */
         double virtualTime = 0.0;
         /** Admissions on this chip so far (stage-interleaving
          *  detection). */
@@ -289,13 +315,30 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
 
     std::vector<ChipState> chips(num_chips);
     std::vector<std::deque<WaitingItem>> waiting(num_tenants);
-    std::vector<std::size_t> tenantChip(num_tenants);
-    for (std::size_t t = 0; t < num_tenants; ++t) {
-        tenantChip[t] = pool_.modelChip(tenants[t].model);
-        chips[tenantChip[t]].tenants.push_back(t);
+
+    // Every request binds to its tenant's placement exactly once:
+    // statically up front, or — in fleet mode — at its arrival
+    // moment, so a later migration moves only *future* requests and
+    // begun work always finishes on the chip it began on.
+    std::vector<ModelRef> reqModel(trace.size(), kNoModel);
+    std::vector<std::size_t> reqChip(trace.size(), 0);
+    std::vector<std::size_t> tenantChip(fleet_mode ? 0 : num_tenants);
+    if (!fleet_mode) {
+        for (std::size_t t = 0; t < num_tenants; ++t) {
+            tenantChip[t] = pool_.modelChip(tenants[t].model);
+            chips[tenantChip[t]].tenants.push_back(t);
+        }
+        for (std::size_t c = 0; c < num_chips; ++c)
+            report.chips[c].tenants = chips[c].tenants.size();
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            reqModel[i] = tenants[trace[i].tenant].model;
+            reqChip[i] = tenantChip[trace[i].tenant];
+        }
+    } else {
+        for (std::size_t c = 0; c < num_chips; ++c)
+            for (std::size_t t = 0; t < num_tenants; ++t)
+                chips[c].tenants.push_back(t);
     }
-    for (std::size_t c = 0; c < num_chips; ++c)
-        report.chips[c].tenants = chips[c].tenants.size();
 
     // Stage granularity: the in-flight run and the per-chip
     // admission sequence number of each request's last admitted
@@ -307,25 +350,108 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     // Weighted-fair accounting is start-time fair queueing: each
     // admission of tenant t gets a start tag S = max(chip virtual
     // time, t's finish tag) and advances t's finish tag by its
-    // *nominal* service (the KernelModel oracle latency of the
-    // tenant's MVM shape — the packet length of WFQ) divided by the
-    // weight. The max() with the chip's virtual time means an idle
-    // tenant banks no credit; charging the oracle cost rather than
-    // measured done-start keeps tile contention and pipelining from
-    // skewing the shares away from the weights.
-    std::vector<double> nominalCost(num_tenants, 0.0);
+    // *nominal* service — the KernelModel oracle latency of the
+    // request's model in integer picoseconds of wall time (the
+    // packet length of WFQ, comparable across clock domains) —
+    // divided by the weight. The max() with the chip's virtual time
+    // means an idle tenant banks no credit; charging the oracle
+    // cost rather than measured done-start keeps tile contention
+    // and pipelining from skewing the shares away from the weights.
     std::vector<double> finishTag(num_tenants, 0.0);
-    for (std::size_t t = 0; t < num_tenants; ++t)
-        nominalCost[t] =
-            static_cast<double>(pool_.nominalServiceCycles(
-                tenants[t].model, tenants[t].inputBits));
+
+    // ---- Fleet lifecycle state (empty for static runs). ----
+    // Active (non-departed) tenants bound to each placement; a
+    // placement is reclaimable once this hits zero.
+    std::map<ModelRef, std::size_t> modelTenants;
+    // Requests bound to each placement that have not finished (or
+    // been rejected) yet: the drain gate for deferred release.
+    std::map<ModelRef, u64> refs;
+    // Placements whose tiles are reclaimed once their refs drain.
+    struct DyingModel
+    {
+        bool migration = false;
+        std::size_t tenant = 0;
+        ModelRef newModel = kNoModel;
+        /** When the migration began / the tenant departed — the
+         *  reclaim event is stamped no earlier than this. */
+        WallNs sinceNs = 0;
+    };
+    std::map<ModelRef, DyingModel> dying;
+    std::vector<bool> departed(fleet_mode ? num_tenants : 0, false);
+    std::vector<bool> draining(fleet_mode ? num_chips : 0, false);
+    if (fleet_mode)
+        for (std::size_t t = 0; t < num_tenants; ++t)
+            if (tenants[t].model != kNoModel)
+                modelTenants[tenants[t].model] += 1;
+
+    // Release a drained dying placement: free its tiles and emit
+    // the lifecycle event its reclaim completes (MigrationEnd or
+    // TenantDepart). A draining chip that just lost its last
+    // placement counts as down.
+    auto finalizeModel = [&](ModelRef m, WallNs at) {
+        const auto it = dying.find(m);
+        if (it == dying.end())
+            darth_panic("AdmissionController: finalizing model ", m,
+                        " that is not dying");
+        const DyingModel info = it->second;
+        dying.erase(it);
+        const std::size_t chip = pool_.modelChip(m);
+        pool_.releaseModel(m);
+        const WallNs stamp = std::max(at, info.sinceNs);
+        if (info.migration) {
+            report.fleet.migrations += 1;
+            emit_fleet(journal::EventKind::MigrationEnd, stamp,
+                       info.tenant, m, chip, info.newModel);
+        } else {
+            report.fleet.departures += 1;
+            emit_fleet(journal::EventKind::TenantDepart, stamp,
+                       info.tenant, m, chip, info.sinceNs);
+        }
+        if (draining[chip] && pool_.liveModels(chip) == 0) {
+            draining[chip] = false;
+            report.fleet.chipDowns += 1;
+            emit_fleet(journal::EventKind::ChipDown, stamp, chip, 0,
+                       0, 0);
+        }
+    };
+
+    // Drop one request's claim on its placement; the last claim on
+    // a dying placement triggers the deferred release.
+    auto releaseRef = [&](ModelRef m, WallNs at) {
+        if (!fleet_mode)
+            return;
+        auto it = refs.find(m);
+        if (it == refs.end() || it->second == 0)
+            darth_panic("AdmissionController: ref underflow on "
+                        "model ", m);
+        it->second -= 1;
+        if (it->second == 0 && dying.count(m) != 0)
+            finalizeModel(m, at);
+    };
+    auto refCount = [&](ModelRef m) -> u64 {
+        const auto it = refs.find(m);
+        return it == refs.end() ? 0 : it->second;
+    };
 
     auto inflight = [&](const ChipState &cs) {
         return cs.notWaited.size() + cs.occupied.size();
     };
 
+    // Oldest waiting item of tenant t bound to chip c (rooms are
+    // kept sorted by reqIdx). Static runs bind a tenant's requests
+    // to one chip, so this is the room's front; fleet runs can have
+    // one tenant's continuations on the old chip and fresh requests
+    // on the new one.
+    auto frontFor = [&](std::size_t t,
+                        std::size_t c) -> const WaitingItem * {
+        for (const WaitingItem &item : waiting[t])
+            if (reqChip[item.reqIdx] == c)
+                return &item;
+        return nullptr;
+    };
+
     // Resolve the oldest admitted unit: record telemetry and turn
-    // its submission-queue slot into a cycle-stamped occupied slot.
+    // its submission-queue slot into a wall-stamped occupied slot.
     // A non-final stage frees its slot at its own completion and
     // parks the request's next stage in the waiting room; request
     // statistics are recorded when the final stage materializes.
@@ -334,15 +460,15 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         Pending pending = std::move(cs.notWaited.front());
         cs.notWaited.pop_front();
         const ServeRequest &req = trace[pending.reqIdx];
-        const Tenant &tenant = tenants[req.tenant];
+        const ModelRef model = reqModel[pending.reqIdx];
 
         std::vector<i64> values;
-        Cycle start = 0, done = 0;
+        WallNs start = 0, done = 0;
         u64 mvms = 1;
         if (pending.isStage) {
             StagedInference &run = *runs[pending.reqIdx];
-            const Cycle stage_done =
-                pool_.stageDoneCycle(run, pending.stage);
+            const WallNs stage_done =
+                pool_.stageDoneNs(run, pending.stage);
             cs.occupied.push(stage_done);
             emit(c, journal::EventKind::StageComplete, stage_done,
                  pending.reqIdx, pending.stage, c, 0);
@@ -367,20 +493,19 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
             InferenceOutcome outcome = pool_.finishInference(run);
             runs[pending.reqIdx].reset();
             values = std::move(outcome.values);
-            start = outcome.start;
-            done = outcome.done;
+            start = pool_.wallNs(c, outcome.start);
+            done = pool_.wallNs(c, outcome.done);
             mvms = outcome.mvms;
         } else if (pending.isInference) {
             values = std::move(pending.outcome.values);
-            start = pending.outcome.start;
-            done = pending.outcome.done;
+            start = pool_.wallNs(c, pending.outcome.start);
+            done = pool_.wallNs(c, pending.outcome.done);
             mvms = pending.outcome.mvms;
         } else {
-            runtime::MvmResult r =
-                pool_.wait(tenant.model, pending.future);
+            runtime::MvmResult r = pool_.wait(model, pending.future);
             values = std::move(r.values);
-            start = r.start;
-            done = r.done;
+            start = pool_.wallNs(c, r.start);
+            done = pool_.wallNs(c, r.done);
         }
 
         emit(c, journal::EventKind::Complete, done, pending.reqIdx,
@@ -395,8 +520,8 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         stats.queueing.push_back(
             static_cast<double>(start - req.arrival));
         stats.service.push_back(static_cast<double>(done - start));
-        stats.doneCycle.push_back(static_cast<double>(done));
-        stats.serviceCycles += static_cast<double>(done - start);
+        stats.doneNs.push_back(static_cast<double>(done));
+        stats.serviceNs += static_cast<double>(done - start);
         stats.slo.recordLatency(done - req.arrival);
 
         // Run-level aggregates (completed, rejected, makespan) are
@@ -405,35 +530,37 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         ChipStats &chip_stats = report.chips[c];
         chip_stats.completed += 1;
         chip_stats.mvms += mvms;
-        chip_stats.serviceCycles += static_cast<double>(done - start);
-        chip_stats.makespan = std::max(chip_stats.makespan, done);
+        chip_stats.serviceNs += static_cast<double>(done - start);
+        chip_stats.makespanNs = std::max(chip_stats.makespanNs, done);
         // Staged units freed their slot at their own stage
         // completion above; whole units hold it to request done.
         if (!pending.isStage)
             cs.occupied.push(done);
         report.outputs[pending.reqIdx] = std::move(values);
+        releaseRef(model, done);
     };
 
-    // Claim a submission slot usable by cycle `upTo`; returns the
-    // cycle the slot became free (0 when the window is not full).
+    // Claim a submission slot usable by wall instant `up_to`;
+    // returns the instant the slot became free (0 when the window
+    // is not full).
     auto acquireSlot =
-        [&](std::size_t c, Cycle up_to) -> std::optional<Cycle> {
+        [&](std::size_t c, WallNs up_to) -> std::optional<WallNs> {
         ChipState &cs = chips[c];
         if (inflight(cs) < depthFor(c))
-            return Cycle{0};
+            return WallNs{0};
         // Window full: the earliest completion frees the next slot.
         // Materialize the whole submission queue so the earliest
         // completion is exact, not just the earliest known.
         while (!cs.notWaited.empty())
             materializeFront(c);
-        const Cycle freed = cs.occupied.top();
+        const WallNs freed = cs.occupied.top();
         if (freed > up_to)
             return std::nullopt;
         cs.occupied.pop();
         return freed;
     };
 
-    // QoS: pick the waiting tenant a freed slot goes to.
+    // QoS: pick the waiting tenant a freed slot on chip c goes to.
     auto chooseTenant = [&](std::size_t c) -> std::size_t {
         ChipState &cs = chips[c];
         switch (cfg.qos) {
@@ -444,13 +571,15 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
             // outrank every younger request: run-to-completion
             // order.
             std::size_t best = num_tenants;
+            std::size_t best_req = 0;
             for (std::size_t t : cs.tenants) {
-                if (waiting[t].empty())
+                const WaitingItem *item = frontFor(t, c);
+                if (item == nullptr)
                     continue;
-                if (best == num_tenants ||
-                    waiting[t].front().reqIdx <
-                        waiting[best].front().reqIdx)
+                if (best == num_tenants || item->reqIdx < best_req) {
                     best = t;
+                    best_req = item->reqIdx;
+                }
             }
             return best;
           }
@@ -458,7 +587,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
             for (std::size_t i = 0; i < cs.tenants.size(); ++i) {
                 const std::size_t pos =
                     (cs.rrCursor + i) % cs.tenants.size();
-                if (!waiting[cs.tenants[pos]].empty()) {
+                if (frontFor(cs.tenants[pos], c) != nullptr) {
                     cs.rrCursor = (pos + 1) % cs.tenants.size();
                     return cs.tenants[pos];
                 }
@@ -469,18 +598,20 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
             // Smallest start tag first, ties to the oldest waiting
             // request.
             std::size_t best = num_tenants;
+            std::size_t best_req = 0;
             double best_start = 0.0;
             for (std::size_t t : cs.tenants) {
-                if (waiting[t].empty())
+                const WaitingItem *item = frontFor(t, c);
+                if (item == nullptr)
                     continue;
                 const double start =
                     std::max(cs.virtualTime, finishTag[t]);
                 if (best == num_tenants || start < best_start ||
                     (start == best_start &&
-                     waiting[t].front().reqIdx <
-                         waiting[best].front().reqIdx)) {
+                     item->reqIdx < best_req)) {
                     best = t;
                     best_start = start;
+                    best_req = item->reqIdx;
                 }
             }
             return best;
@@ -489,32 +620,45 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         darth_panic("AdmissionController: unknown QoS policy");
     };
 
-    auto admit = [&](std::size_t c, Cycle slot_cycle) {
+    auto admit = [&](std::size_t c, WallNs slot_ns) {
         ChipState &cs = chips[c];
         const std::size_t t = chooseTenant(c);
         if (t >= num_tenants)
             darth_panic("AdmissionController: admit with no waiting "
                         "tenant on chip ", c);
-        const WaitingItem item = waiting[t].front();
-        waiting[t].pop_front();
+        auto &room = waiting[t];
+        auto sel = room.begin();
+        while (sel != room.end() && reqChip[sel->reqIdx] != c)
+            ++sel;
+        if (sel == room.end())
+            darth_panic("AdmissionController: tenant ", t,
+                        " has no waiting item for chip ", c);
+        const WaitingItem item = *sel;
+        room.erase(sel);
         cs.waitingCount -= 1;
         const std::size_t req_idx = item.reqIdx;
+        const ModelRef model = reqModel[req_idx];
         const double start_tag =
             std::max(cs.virtualTime, finishTag[t]);
         cs.virtualTime = start_tag;
         const ServeRequest &req = trace[req_idx];
         // A continuation stage starts no earlier than its previous
-        // stage's completion (item.ready).
-        const Cycle at =
-            std::max(std::max(slot_cycle, req.arrival), item.ready);
-        double charge = nominalCost[t];
+        // stage's completion (item.ready). The admission instant is
+        // wall-clock; the chip works in its own cycles, so the
+        // earliest bound converts exactly at this boundary.
+        const WallNs at =
+            std::max(std::max(slot_ns, req.arrival), item.ready);
+        const Cycle at_cycle = pool_.cyclesAt(c, at);
+        const u64 nominal_ps =
+            pool_.nominalServicePs(model, tenants[t].inputBits);
+        u64 charge = nominal_ps;
         // The admitted unit's stage index in the journal record:
         // whole units (single MVMs, whole inferences) admit as one
         // unit and record kNoStage.
         u64 journal_stage = journal::kNoStage;
         Pending pending;
         pending.reqIdx = req_idx;
-        if (pool_.isInference(tenants[req.tenant].model)) {
+        if (pool_.isInference(model)) {
             if (staged) {
                 // One window slot and one WFQ charge per *stage*:
                 // the forward advances one admission-sized step and
@@ -522,12 +666,11 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                 // requests interleave on this chip.
                 if (!runs[req_idx])
                     runs[req_idx] = pool_.beginInference(
-                        tenants[req.tenant].model, req.input, at);
+                        model, req.input, at_cycle);
                 StagedInference &run = *runs[req_idx];
                 pending.isStage = true;
-                pending.stage = pool_.advanceInference(run, at);
-                charge = static_cast<double>(
-                    run.stageCharges[pending.stage]);
+                pending.stage = pool_.advanceInference(run, at_cycle);
+                charge = run.stageCharges[pending.stage];
                 journal_stage = pending.stage;
                 emit(c, journal::EventKind::StageSubmit, at, req_idx,
                      pending.stage, c, run.stageCount());
@@ -542,33 +685,34 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                 // cost.
                 pending.isInference = true;
                 std::unique_ptr<StagedInference> run =
-                    pool_.beginInference(tenants[req.tenant].model,
-                                         req.input, at);
-                pending.outcome = pool_.runToCompletion(*run, at);
+                    pool_.beginInference(model, req.input, at_cycle);
+                pending.outcome = pool_.runToCompletion(*run, at_cycle);
             }
         } else {
             if (staged)
                 cs.admitSeq += 1;
             pending.future =
-                pool_.submit(tenants[req.tenant].model, req.input,
-                             tenants[req.tenant].inputBits, at);
+                pool_.submit(model, req.input,
+                             tenants[t].inputBits, at_cycle);
         }
-        finishTag[t] = start_tag + charge / tenants[t].weight;
+        finishTag[t] = start_tag +
+                       static_cast<double>(charge) / tenants[t].weight;
         emit(c, journal::EventKind::Admit, at, req_idx, t, c,
              journal_stage,
-             {static_cast<i64>(journal::doubleBits(charge))});
+             {static_cast<i64>(charge),
+              static_cast<i64>(nominal_ps)});
         cs.notWaited.push_back(std::move(pending));
     };
 
     // Park a fresh request in its tenant's waiting room.
     auto enqueueWaiting = [&](std::size_t c, std::size_t tenant,
                               std::size_t req_idx) {
-        waiting[tenant].push_back({req_idx, Cycle{0}});
+        waiting[tenant].push_back({req_idx, WallNs{0}});
         chips[c].waitingCount += 1;
     };
 
-    // Admit waiting requests into every slot freeing by `upTo`.
-    auto drainWaiting = [&](std::size_t c, Cycle up_to) {
+    // Admit waiting requests into every slot freeing by `up_to`.
+    auto drainWaiting = [&](std::size_t c, WallNs up_to) {
         while (chips[c].waitingCount > 0) {
             const auto slot = acquireSlot(c, up_to);
             if (!slot)
@@ -579,7 +723,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
 
     // Trace validation is a sequential pre-pass so a malformed trace
     // fails identically for every thread count.
-    Cycle prev_arrival = 0;
+    WallNs prev_arrival = 0;
     for (std::size_t i = 0; i < trace.size(); ++i) {
         const ServeRequest &req = trace[i];
         if (req.tenant >= num_tenants)
@@ -592,18 +736,8 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         prev_arrival = req.arrival;
     }
 
-    // The trace partitions perfectly by chip: every tenant is placed
-    // on exactly one chip, and iteration i of the (conceptually
-    // sequential) admission loop touches only request i's chip —
-    // its window, its waiting rooms, its tenants' fair tags, its
-    // runtime. So each chip replays its own subsequence of the trace
-    // on a worker job, and the result is the sequential result.
-    std::vector<std::vector<std::size_t>> chip_trace(num_chips);
-    for (std::size_t i = 0; i < trace.size(); ++i)
-        chip_trace[tenantChip[trace[i].tenant]].push_back(i);
-
     // One iteration of the (conceptually sequential) admission loop:
-    // request i arriving at its chip c.
+    // request i arriving at its bound chip c.
     auto stepRequest = [&](std::size_t c, std::size_t i) {
         const ServeRequest &req = trace[i];
         cur_segment[c] = i;
@@ -639,6 +773,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                 report.tenants[req.tenant].slo.recordRejected();
                 emit(c, journal::EventKind::Backpressure,
                      req.arrival, i, req.tenant, c, /*rejected=*/1);
+                releaseRef(reqModel[i], req.arrival);
             } else {
                 enqueueWaiting(c, req.tenant, i);
                 admit(c, *slot);
@@ -662,30 +797,275 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                     emit(c, journal::EventKind::Backpressure,
                          req.arrival, i, req.tenant, c,
                          /*rejected=*/1);
+                    releaseRef(reqModel[i], req.arrival);
                 }
             }
         }
     };
 
-    auto runChip = [&](std::size_t c) {
-        for (const std::size_t i : chip_trace[c])
-            stepRequest(c, i);
-        // Arrivals exhausted: admit every blocked unit as slots
-        // free, then resolve the tail of the submission queue.
-        // Materializing a stage can park its request's *next* stage,
-        // so loop until the waiting rooms stay empty. Tail events
-        // carry the one-past-the-end segment so the merge appends
-        // them after every trace-indexed event.
-        cur_segment[c] = trace.size();
-        do {
-            drainWaiting(c, std::numeric_limits<Cycle>::max());
-            while (!chips[c].notWaited.empty())
-                materializeFront(c);
-        } while (chips[c].waitingCount > 0);
+    // ---- Fleet lifecycle moments (fleet mode only). ----
+
+    // A tenant arrives: create its placement now (reactivating
+    // drained slots if the active pool cannot fit it).
+    auto tenantArrive = [&](std::size_t t, WallNs at) {
+        if (tenants[t].model != kNoModel)
+            return;
+        FleetController::Placement placed = fleet->placeTenant(t);
+        for (const std::size_t c : placed.activated) {
+            draining[c] = false;
+            report.fleet.chipUps += 1;
+            emit_fleet(journal::EventKind::ChipUp, at, c,
+                       /*emergency=*/1, 0, 0);
+        }
+        tenants[t].model = placed.model;
+        modelTenants[placed.model] += 1;
+        report.fleet.arrivals += 1;
+        emit_fleet(journal::EventKind::TenantArrive, at, t,
+                   placed.model, pool_.modelChip(placed.model), 0);
     };
 
-    // Fork one job per chip; join before any shared state is read.
-    WorkerPool::runJobs(num_chips, cfg.threads, runChip);
+    // A tenant departs: it stops owning its placement, which is
+    // reclaimed once no live tenant shares it and its begun work
+    // has drained (the TenantDepart event stamps the reclaim).
+    auto tenantDepart = [&](std::size_t t, WallNs at) {
+        if (departed[t])
+            return;
+        departed[t] = true;
+        const ModelRef m = tenants[t].model;
+        if (m == kNoModel)
+            darth_panic("AdmissionController: tenant ", t,
+                        " departs without ever arriving");
+        auto &owners = modelTenants[m];
+        if (owners == 0)
+            darth_panic("AdmissionController: departure underflow on "
+                        "model ", m);
+        owners -= 1;
+        if (owners == 0 && dying.count(m) == 0) {
+            DyingModel info;
+            info.migration = false;
+            info.tenant = t;
+            info.sinceNs = at;
+            dying[m] = info;
+            if (refCount(m) == 0)
+                finalizeModel(m, at);
+        } else {
+            // Placement shared with tenants still active: the
+            // tenant leaves, the placement stays.
+            report.fleet.departures += 1;
+            emit_fleet(journal::EventKind::TenantDepart, at, t, m,
+                       pool_.modelChip(m), at);
+        }
+    };
+
+    // Migrate one placement off chip `src`: fresh placement of the
+    // same weights elsewhere, rebind every sharing tenant, release
+    // the old tiles once begun work drains. Checksum-invariant by
+    // construction — the weights regenerate bit-identically and
+    // requests never change inputs, only chips.
+    auto migrateOneFrom = [&](std::size_t src, WallNs at) {
+        ModelRef victim = kNoModel;
+        for (const auto &entry : modelTenants)
+            if (entry.second > 0 && dying.count(entry.first) == 0 &&
+                pool_.modelChip(entry.first) == src) {
+                victim = entry.first;
+                break;
+            }
+        if (victim == kNoModel)
+            return;
+        std::size_t first_tenant = num_tenants;
+        for (std::size_t t = 0; t < num_tenants; ++t)
+            if (!departed[t] && tenants[t].model == victim) {
+                first_tenant = t;
+                break;
+            }
+        if (first_tenant == num_tenants)
+            darth_panic("AdmissionController: model ", victim,
+                        " has owners but no live tenant");
+        const ModelRef fresh = fleet->tryReplace(first_tenant, src);
+        if (fresh == kNoModel) {
+            // Nowhere else to go: the old placement keeps serving.
+            report.fleet.migrationsAborted += 1;
+            return;
+        }
+        const std::size_t dst = pool_.modelChip(fresh);
+        emit_fleet(journal::EventKind::MigrationBegin, at,
+                   first_tenant, victim, dst, fresh,
+                   {static_cast<i64>(src)});
+        std::size_t moved = 0;
+        for (std::size_t t = 0; t < num_tenants; ++t)
+            if (!departed[t] && tenants[t].model == victim) {
+                tenants[t].model = fresh;
+                moved += 1;
+            }
+        modelTenants[fresh] += moved;
+        modelTenants[victim] = 0;
+        DyingModel info;
+        info.migration = true;
+        info.tenant = first_tenant;
+        info.newModel = fresh;
+        info.sinceNs = at;
+        dying[victim] = info;
+        if (refCount(victim) == 0)
+            finalizeModel(victim, at);
+    };
+
+    // One controller tick: refresh the wall-clock load signal and
+    // execute the fleet's plan for this instant.
+    auto fleetTick = [&](WallNs at) {
+        // Resolve every submitted unit so chip makespans reflect
+        // all work admitted so far (materialization only resolves
+        // already-determined timestamps; it never admits).
+        for (std::size_t c = 0; c < num_chips; ++c)
+            while (!chips[c].notWaited.empty())
+                materializeFront(c);
+        // Backlog = how far the chip's schedule runs ahead of now.
+        std::vector<WallNs> loads(num_chips, 0);
+        for (std::size_t c = 0; c < num_chips; ++c) {
+            const WallNs mk = pool_.wallNs(
+                c, pool_.runtime(c).scheduler().makespan());
+            loads[c] = mk > at ? mk - at : 0;
+        }
+        const FleetController::TickPlan plan =
+            fleet->planTick(at, loads, draining);
+        if (plan.scaleUp != kNoChip) {
+            pool_.setChipActive(plan.scaleUp, true);
+            draining[plan.scaleUp] = false;
+            report.fleet.chipUps += 1;
+            emit_fleet(journal::EventKind::ChipUp, at, plan.scaleUp,
+                       0, 0, 0);
+        }
+        if (plan.scaleDown != kNoChip) {
+            pool_.setChipActive(plan.scaleDown, false);
+            if (pool_.liveModels(plan.scaleDown) == 0) {
+                report.fleet.chipDowns += 1;
+                emit_fleet(journal::EventKind::ChipDown, at,
+                           plan.scaleDown, 0, 0, 0);
+            } else {
+                // Stops accepting placements now; counts as down
+                // once migration empties it.
+                draining[plan.scaleDown] = true;
+            }
+        }
+        if (plan.migrateFrom != kNoChip)
+            migrateOneFrom(plan.migrateFrom, at);
+    };
+
+    if (fleet_mode) {
+        // ---- Sequential merged request/lifecycle timeline. ----
+        // Arrive/depart moments from the specs, controller ticks at
+        // the fleet's interval; at equal instants arrivals precede
+        // departures precede ticks, and all lifecycle at an instant
+        // precedes requests arriving at it.
+        struct Moment
+        {
+            WallNs at;
+            int rank; // 0 arrive, 1 depart
+            std::size_t tenant;
+        };
+        std::vector<Moment> moments;
+        const std::vector<TenantSpec> &specs = fleet->specs();
+        for (std::size_t t = 0; t < specs.size(); ++t) {
+            if (specs[t].arriveNs > 0)
+                moments.push_back({specs[t].arriveNs, 0, t});
+            if (specs[t].departNs > 0)
+                moments.push_back({specs[t].departNs, 1, t});
+        }
+        std::stable_sort(moments.begin(), moments.end(),
+                         [](const Moment &a, const Moment &b) {
+                             if (a.at != b.at)
+                                 return a.at < b.at;
+                             return a.rank < b.rank;
+                         });
+        WallNs life_end = trace.empty() ? 0 : trace.back().arrival;
+        for (const Moment &m : moments)
+            life_end = std::max(life_end, m.at);
+
+        std::size_t moment_cur = 0;
+        WallNs next_tick = fleet->config().checkIntervalNs;
+        auto processLifecycle = [&](WallNs up_to) {
+            for (;;) {
+                const WallNs moment_at =
+                    moment_cur < moments.size()
+                        ? moments[moment_cur].at
+                        : kNever;
+                if (moment_at > up_to && next_tick > up_to)
+                    break;
+                if (moment_at <= next_tick) {
+                    const Moment &m = moments[moment_cur++];
+                    if (m.rank == 0)
+                        tenantArrive(m.tenant, m.at);
+                    else
+                        tenantDepart(m.tenant, m.at);
+                } else {
+                    fleetTick(next_tick);
+                    next_tick += fleet->config().checkIntervalNs;
+                }
+            }
+        };
+
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            processLifecycle(trace[i].arrival);
+            const ServeRequest &req = trace[i];
+            const ModelRef m = tenants[req.tenant].model;
+            if (m == kNoModel)
+                darth_fatal("AdmissionController::run: request ", i,
+                            " arrives at ", req.arrival,
+                            " ns but tenant '", tenants[req.tenant].name,
+                            "' has not arrived yet");
+            reqModel[i] = m;
+            reqChip[i] = pool_.modelChip(m);
+            refs[m] += 1;
+            stepRequest(reqChip[i], i);
+        }
+        // Remaining lifecycle (late departures, wind-down ticks),
+        // then drain every chip to completion. Draining finishes
+        // begun work, which releases the last dying placements.
+        processLifecycle(life_end);
+        for (std::size_t c = 0; c < num_chips; ++c) {
+            do {
+                drainWaiting(c, kNever);
+                while (!chips[c].notWaited.empty())
+                    materializeFront(c);
+            } while (chips[c].waitingCount > 0);
+        }
+        for (std::size_t t = 0; t < num_tenants; ++t)
+            if (!departed[t] && tenants[t].model != kNoModel)
+                report.chips[pool_.modelChip(tenants[t].model)]
+                    .tenants += 1;
+    } else {
+        // ---- Static fleet: parallel per-chip drains. ----
+        // The trace partitions perfectly by chip: every tenant is
+        // placed on exactly one chip, and iteration i of the
+        // (conceptually sequential) admission loop touches only
+        // request i's chip — its window, its waiting rooms, its
+        // tenants' fair tags, its runtime. So each chip replays its
+        // own subsequence of the trace on a worker job, and the
+        // result is the sequential result.
+        std::vector<std::vector<std::size_t>> chip_trace(num_chips);
+        for (std::size_t i = 0; i < trace.size(); ++i)
+            chip_trace[reqChip[i]].push_back(i);
+
+        auto runChip = [&](std::size_t c) {
+            for (const std::size_t i : chip_trace[c])
+                stepRequest(c, i);
+            // Arrivals exhausted: admit every blocked unit as slots
+            // free, then resolve the tail of the submission queue.
+            // Materializing a stage can park its request's *next*
+            // stage, so loop until the waiting rooms stay empty.
+            // Tail events carry the one-past-the-end segment so the
+            // merge appends them after every trace-indexed event.
+            cur_segment[c] = trace.size();
+            do {
+                drainWaiting(c, kNever);
+                while (!chips[c].notWaited.empty())
+                    materializeFront(c);
+            } while (chips[c].waitingCount > 0);
+        };
+
+        // Fork one job per chip; join before any shared state is
+        // read.
+        WorkerPool::runJobs(num_chips, cfg.threads, runChip);
+    }
 
     // ---- Deterministic merge: everything below is sequential. ----
 
@@ -693,17 +1073,18 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     // per-tenant statistics the workers produced.
     for (std::size_t c = 0; c < num_chips; ++c) {
         report.completed += report.chips[c].completed;
-        report.makespan =
-            std::max(report.makespan, report.chips[c].makespan);
+        report.makespanNs =
+            std::max(report.makespanNs, report.chips[c].makespanNs);
     }
     for (std::size_t t = 0; t < num_tenants; ++t)
         report.rejected += report.tenants[t].rejected;
 
-    // Journal merge: for each trace index, flush that request's
-    // chip's events tagged with it (each chip's buffer is already in
+    // Journal merge (static runs only — fleet runs appended
+    // directly): for each trace index, flush that request's chip's
+    // events tagged with it (each chip's buffer is already in
     // nondecreasing segment order), then the per-chip tails —
     // reproducing the sequential emission order exactly.
-    if (journaling) {
+    if (journaling && !fleet_mode) {
         std::vector<std::size_t> cursor(num_chips, 0);
         auto flushSegment = [&](std::size_t c, u64 segment) {
             auto &buffer = chip_events[c];
@@ -713,8 +1094,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                 jr->append(std::move(buffer[cur++].event));
         };
         for (std::size_t i = 0; i < trace.size(); ++i)
-            flushSegment(tenantChip[trace[i].tenant],
-                         static_cast<u64>(i));
+            flushSegment(reqChip[i], static_cast<u64>(i));
         for (std::size_t c = 0; c < num_chips; ++c)
             flushSegment(c, static_cast<u64>(trace.size()));
     }
@@ -730,7 +1110,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         if (journaling) {
             journal::JournalEvent e;
             e.kind = journal::EventKind::ChipSummary;
-            e.cycle = cs.makespan;
+            e.cycle = cs.makespanNs;
             e.a = c;
             e.b = cs.issued;
             e.c = cs.pipelineHits;
@@ -744,7 +1124,8 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
 
     // FNV-1a over outputs in trace order (the frozen word-wise
     // scheme of common/Fnv.h): identical traffic must yield an
-    // identical checksum whatever the pool size or policy.
+    // identical checksum whatever the pool size, policy, or fleet
+    // lifecycle.
     u64 hash = kFnvOffsetBasis;
     for (const auto &values : report.outputs)
         hash = fnv1aWords(values, hash);
@@ -752,7 +1133,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     if (journaling) {
         journal::JournalEvent e;
         e.kind = journal::EventKind::RunEnd;
-        e.cycle = report.makespan;
+        e.cycle = report.makespanNs;
         e.a = report.completed;
         e.b = report.rejected;
         e.c = report.outputChecksum;

@@ -17,7 +17,7 @@
  * decides:
  *
  *  - Block  — the client stalls in a per-tenant waiting room and is
- *             admitted the cycle a slot frees (never dropped);
+ *             admitted the instant a slot frees (never dropped);
  *  - Reject — a *fresh* request is dropped and counted against its
  *             tenant; continuation stages of an already-begun
  *             inference always block instead (a begun forward is
@@ -32,26 +32,48 @@
  *  - WeightedFair — start-time fair queueing: each admission gets a
  *                   start tag max(chip virtual time, tenant finish
  *                   tag), the finish tag advances by the KernelModel
- *                   oracle latency of the tenant's MVM shape (the
- *                   packet length of classic WFQ) over the weight,
- *                   and the smallest start tag wins. Shares converge
- *                   to the weights under saturation, and a tenant
+ *                   oracle latency of the request's model in wall
+ *                   picoseconds (the packet length of classic WFQ,
+ *                   clock-independent) over the weight, and the
+ *                   smallest start tag wins. Shares converge to the
+ *                   weights under saturation, and a tenant
  *                   returning from idle re-enters at the current
  *                   virtual time — idle periods bank no credit.
  *
  * Admission order, not scheduler drain order, is what carries QoS:
- * an admitted request's `earliest` bound is its admission cycle, so
- * holding a request back delays it in simulated time. The controller
- * additionally installs the scheduler's submission-order dequeue
- * hook on every chip so drains service strictly in admission order
- * instead of the greedy earliest-start order.
+ * an admitted request's `earliest` bound is its admission instant,
+ * so holding a request back delays it in simulated time. The
+ * controller additionally installs the scheduler's submission-order
+ * dequeue hook on every chip so drains service strictly in
+ * admission order instead of the greedy earliest-start order.
+ *
+ * Time here is wall-clock nanoseconds (common/Types.h WallNs):
+ * chips are independent cycle domains, and every per-chip cycle
+ * stamp converts exactly at the admission boundary through the
+ * chip's integer-picosecond period (ChipPool::wallNs/cyclesAt), so
+ * mixed-clock pools aggregate legally — arrivals, latencies,
+ * SLO targets, journal timestamps, and WFQ charges (integer
+ * picoseconds) all live in one comparable domain. At the default
+ * 1 GHz bin one cycle is one nanosecond, so uniform-clock runs
+ * report the same numbers the cycle-domain controller did.
+ *
+ * With a FleetController attached (the fleet-mode constructor) the
+ * run additionally models fleet lifecycle: tenants arrive and
+ * depart mid-trace, placements migrate between chips, and slots
+ * scale up and down — every action journaled as its own EventKind.
+ * Each request binds to its tenant's placement *at arrival*, and a
+ * replaced placement is released only when its bound requests have
+ * drained, so begun work always finishes where it began and no
+ * accepted inference is ever lost. The fleet path runs the merged
+ * request/lifecycle timeline sequentially (AdmissionConfig::threads
+ * is inert there); static runs keep the parallel per-chip drains.
  *
  * Everything is deterministic: one trace, one config, one report —
  * and under Block (where every request completes) the functional
- * outputs are bit-identical across pool sizes and policies; only
- * the cycle stamps move. Reject runs complete different subsets per
- * configuration, so their checksums are comparable only between
- * identical configs.
+ * outputs are bit-identical across pool sizes, policies, and fleet
+ * lifecycle decisions; only the time stamps move. Reject runs
+ * complete different subsets per configuration, so their checksums
+ * are comparable only between identical configs.
  */
 
 #ifndef DARTH_SERVE_ADMISSION_H
@@ -76,6 +98,8 @@ class Journal;
 
 namespace serve
 {
+
+class FleetController;
 
 /** How a freed submission slot picks the next waiting tenant. */
 enum class QosPolicy
@@ -160,6 +184,9 @@ struct Tenant
 {
     std::string name;
     double weight = 1.0;
+    /** The tenant's current placement. kNoModel for a fleet tenant
+     *  that has not arrived yet (placed lazily at arriveNs);
+     *  rebound by live migration. */
     ModelRef model = 0;
     int inputBits = 8;
     /** Latency/availability SLO (from TenantSpec::slo); run()
@@ -200,6 +227,19 @@ class AdmissionController
     AdmissionController(ChipPool &pool, std::vector<Tenant> tenants,
                         const AdmissionConfig &cfg);
 
+    /**
+     * Fleet-mode controller: tenants come from the fleet's specs
+     * (FleetController::buildInitialTenants — arrived tenants
+     * placed eagerly, future ones lazily), and run() interleaves
+     * the fleet's lifecycle timeline (arrivals, departures,
+     * controller ticks) with the trace. The fleet must drive the
+     * same pool and must outlive the controller. Fleet runs are
+     * sequential: AdmissionConfig::threads is accepted but inert,
+     * and the report is bit-identical for every value.
+     */
+    AdmissionController(ChipPool &pool, FleetController &fleet,
+                        const AdmissionConfig &cfg);
+
     const AdmissionConfig &config() const EXCLUDES(mu_)
     {
         SeqLock lock(mu_);
@@ -213,8 +253,9 @@ class AdmissionController
 
     /**
      * Run one open-loop trace to completion and report. The trace
-     * must be sorted by arrival cycle (TrafficGen::trace emits it
-     * sorted); requests of unknown tenants are fatal.
+     * must be sorted by wall-clock arrival (TrafficGen::trace emits
+     * it sorted); requests of unknown tenants, or of a fleet tenant
+     * before its placement exists, are fatal.
      */
     ServeReport run(const std::vector<ServeRequest> &trace)
         EXCLUDES(mu_);
@@ -236,6 +277,9 @@ class AdmissionController
     mutable SeqMutex mu_;
 
     ChipPool &pool_;
+    /** Lifecycle driver for fleet-mode runs; nullptr for static
+     *  fleets. Not owned. */
+    FleetController *fleet_ = nullptr;
     std::vector<Tenant> tenants_ GUARDED_BY(mu_);
     AdmissionConfig cfg_ GUARDED_BY(mu_);
     /** Event sink for run() (see setJournal); not owned. */

@@ -1,11 +1,38 @@
 #include "serve/ChipConfig.h"
 
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
 #include "common/Logging.h"
 
 namespace darth
 {
 namespace serve
 {
+
+u64
+clockPeriodPs(double clock_ghz)
+{
+    if (!(clock_ghz > 0.0))
+        throw std::invalid_argument(
+            "clockPeriodPs: clock must be positive, got " +
+            std::to_string(clock_ghz));
+    const double period = 1000.0 / clock_ghz;
+    const double rounded = std::round(period);
+    // One part in 10^9 of slack absorbs the division's representation
+    // error without admitting genuinely fractional periods.
+    if (rounded < 1.0 || rounded > 1e9 ||
+        std::abs(period - rounded) > period * 1e-9)
+        throw std::invalid_argument(
+            "clockPeriodPs: " + std::to_string(clock_ghz) +
+            " GHz is not a frequency bin (its period " +
+            std::to_string(period) +
+            " ps is not a whole picosecond count); pick a clock "
+            "whose period divides 1 ns evenly, e.g. 0.8, 1.0, 1.25, "
+            "2.0 GHz");
+    return static_cast<u64>(rounded);
+}
 
 ChipSpec
 heteroChipSpec(analog::AdcKind adc, std::size_t sar_hcts,

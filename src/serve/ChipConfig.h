@@ -62,6 +62,22 @@ struct ChipSpec
 };
 
 /**
+ * The clock period of a frequency bin, in integer picoseconds.
+ *
+ * The serving layer keeps wall-clock time in integer nanoseconds and
+ * converts chip cycles exactly through an integer picosecond period
+ * (1 GHz -> 1000 ps, 2 GHz -> 500 ps, 0.8 GHz -> 1250 ps), so the
+ * cycle <-> wall conversions are deterministic integer arithmetic
+ * with no floating-point drift. A clock whose period is not a whole
+ * number of picoseconds (or not in (0, 1 ms]) is not a legal
+ * frequency bin: throws std::invalid_argument naming the clock.
+ */
+u64 clockPeriodPs(double clock_ghz);
+
+/** Picoseconds per nanosecond (the wall-clock conversion scale). */
+constexpr u64 kPsPerNs = 1000;
+
+/**
  * The serving design point for one ADC kind: the serve-bench chip
  * geometry (scaled-down Table 2 tiles) with the kind's converter
  * arrangement — SAR: 2 multiplexed 1-cycle converters per tile

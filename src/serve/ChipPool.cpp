@@ -65,8 +65,8 @@ recordPlacement(journal::Journal *jr, ModelRef ref, u64 key,
 
 ChipPool::ChipPool(const PoolConfig &cfg) : cfg_(cfg)
 {
-    if (cfg.backlogWindowCycles == 0)
-        darth_fatal("ChipPool: backlogWindowCycles must be positive "
+    if (cfg.backlogWindowNs == 0)
+        darth_fatal("ChipPool: backlogWindowNs must be positive "
                     "(it normalizes the CostAware backlog term)");
     if (cfg.chips.empty()) {
         if (cfg.numChips == 0)
@@ -84,6 +84,12 @@ ChipPool::ChipPool(const PoolConfig &cfg) : cfg_(cfg)
                             spec.clockGHz);
     }
     const std::size_t n = specs_.size();
+    // Every slot's clock must be a frequency bin so cycle <-> wall
+    // conversions are exact integer arithmetic (throws on others).
+    periodPs_.reserve(n);
+    for (const ChipSpec &spec : specs_)
+        periodPs_.push_back(clockPeriodPs(spec.clockGHz));
+    active_.assign(n, true);
     chips_.reserve(n);
     runtimes_.reserve(n);
     sessions_.reserve(n);
@@ -116,6 +122,62 @@ ChipPool::spec(std::size_t i) const
         darth_panic("ChipPool::spec: chip ", i, " out of range ",
                     specs_.size());
     return specs_[i];
+}
+
+u64
+ChipPool::periodPs(std::size_t i) const
+{
+    if (i >= periodPs_.size())
+        darth_panic("ChipPool::periodPs: chip ", i, " out of range ",
+                    periodPs_.size());
+    return periodPs_[i];
+}
+
+WallNs
+ChipPool::wallNs(std::size_t chip, Cycle cycles) const
+{
+    return cycles * periodPs(chip) / kPsPerNs;
+}
+
+Cycle
+ChipPool::cyclesAt(std::size_t chip, WallNs ns) const
+{
+    const u64 ps = periodPs(chip);
+    return (ns * kPsPerNs + ps - 1) / ps;
+}
+
+void
+ChipPool::setChipActive(std::size_t chip, bool active)
+{
+    if (chip >= specs_.size())
+        darth_panic("ChipPool::setChipActive: chip ", chip,
+                    " out of range ", specs_.size());
+    SeqLock lock(mu_);
+    active_[chip] = active;
+}
+
+bool
+ChipPool::chipActive(std::size_t chip) const
+{
+    if (chip >= specs_.size())
+        darth_panic("ChipPool::chipActive: chip ", chip,
+                    " out of range ", specs_.size());
+    SeqLock lock(mu_);
+    return active_[chip];
+}
+
+std::size_t
+ChipPool::liveModels(std::size_t chip) const
+{
+    if (chip >= specs_.size())
+        darth_panic("ChipPool::liveModels: chip ", chip,
+                    " out of range ", specs_.size());
+    SeqLock lock(mu_);
+    std::size_t count = 0;
+    for (const Model &m : models_)
+        if (m.live && m.chip == chip)
+            ++count;
+    return count;
 }
 
 bool
@@ -194,11 +256,13 @@ ChipPool::quoteChips(
 }
 
 std::size_t
-ChipPool::pickChip(const PlacementQuote &quote, const char *what)
+ChipPool::pickChip(const PlacementQuote &quote, const char *what,
+                   std::size_t avoid_chip, bool fatal)
 {
     const std::size_t n = chips_.size();
     auto fits = [&](std::size_t c) {
-        return quote.parts[c] != kUnplaceable &&
+        return active_[c] && c != avoid_chip &&
+               quote.parts[c] != kUnplaceable &&
                runtimes_[c]->freeHcts() >= quote.parts[c];
     };
 
@@ -245,13 +309,22 @@ ChipPool::pickChip(const PlacementQuote &quote, const char *what)
         if (found)
             return best;
     }
-    // Nothing fits: report each chip's quote (tiles needed vs free,
-    // or why the shape could not even be planned there) so a
-    // swallowed planning error is not mistaken for exhaustion.
+    // Nothing fits. tryPlace* callers handle exhaustion themselves
+    // (an aborted migration, a deferred lazy placement) ...
+    if (!fatal)
+        return kNoChip;
+    // ... the place* entry points report each chip's quote (tiles
+    // needed vs free, inactive/avoided, or why the shape could not
+    // even be planned there) so a swallowed planning error is not
+    // mistaken for exhaustion.
     std::string detail;
     for (std::size_t c = 0; c < n; ++c) {
         detail += " [" + specs_[c].name + std::to_string(c) + ": ";
-        if (quote.parts[c] == kUnplaceable)
+        if (!active_[c])
+            detail += "inactive";
+        else if (c == avoid_chip)
+            detail += "avoided";
+        else if (quote.parts[c] == kUnplaceable)
             detail += "unplaceable (" +
                       (quote.why[c].empty() ? std::string("no plan")
                                             : quote.why[c]) +
@@ -288,14 +361,13 @@ sameMatrix(const MatrixI &a, const MatrixI &b)
 double
 ChipPool::loadFactor(std::size_t chip) const
 {
-    // Queue pressure in cycles, not request counts: a chip sitting
-    // on a backlog of one backlogWindowCycles' worth of oracle work
-    // looks twice as expensive, so placement trades silicon speed
-    // against queue depth (and a slower-but-idle chip can win).
-    return 1.0 +
-           static_cast<double>(
-               runtimes_[chip]->scheduler().backlogCycles()) /
-               static_cast<double>(cfg_.backlogWindowCycles);
+    // Queue pressure in wall time, not request counts or raw
+    // cycles: a chip sitting on a backlog of one backlogWindowNs'
+    // worth of oracle work looks twice as expensive, so placement
+    // trades silicon speed against queue depth across clock domains
+    // (and a slower-but-idle chip can win).
+    return 1.0 + static_cast<double>(backlogNs(chip)) /
+                     static_cast<double>(cfg_.backlogWindowNs);
 }
 
 double
@@ -333,8 +405,27 @@ ModelRef
 ChipPool::placeModel(u64 key, const MatrixI &m, int element_bits,
                      int bits_per_cell, int input_bits)
 {
+    return placeModelImpl(key, m, element_bits, bits_per_cell,
+                          input_bits, PlaceOptions{}, /*fatal=*/true);
+}
+
+ModelRef
+ChipPool::tryPlaceModel(u64 key, const MatrixI &m, int element_bits,
+                        int bits_per_cell, int input_bits,
+                        const PlaceOptions &opts)
+{
+    return placeModelImpl(key, m, element_bits, bits_per_cell,
+                          input_bits, opts, /*fatal=*/false);
+}
+
+ModelRef
+ChipPool::placeModelImpl(u64 key, const MatrixI &m, int element_bits,
+                         int bits_per_cell, int input_bits,
+                         const PlaceOptions &opts, bool fatal)
+{
     SeqLock lock(mu_);
-    if (sharesByKey(cfg_.placement) && key != 0) {
+    if (sharesByKey(cfg_.placement) && key != 0 &&
+        !opts.freshPlacement) {
         const auto it = affinity_.find(key);
         if (it != affinity_.end()) {
             // Sharing silently returns the existing placement; an
@@ -364,7 +455,10 @@ ChipPool::placeModel(u64 key, const MatrixI &m, int element_bits,
                 : 0.0;
         return std::make_pair(plan.parts.size(), score);
     });
-    const std::size_t c = pickChip(quote, "ChipPool::placeModel");
+    const std::size_t c = pickChip(quote, "ChipPool::placeModel",
+                                   opts.avoidChip, fatal);
+    if (c == kNoChip)
+        return kNoModel;
 
     Model model;
     model.key = key;
@@ -383,8 +477,24 @@ ChipPool::placeModel(u64 key, const MatrixI &m, int element_bits,
 ModelRef
 ChipPool::placeCnnInference(u64 key, cnn::TinyCnn net)
 {
+    return placeCnnImpl(key, std::move(net), PlaceOptions{},
+                        /*fatal=*/true);
+}
+
+ModelRef
+ChipPool::tryPlaceCnnInference(u64 key, cnn::TinyCnn net,
+                               const PlaceOptions &opts)
+{
+    return placeCnnImpl(key, std::move(net), opts, /*fatal=*/false);
+}
+
+ModelRef
+ChipPool::placeCnnImpl(u64 key, cnn::TinyCnn net,
+                       const PlaceOptions &opts, bool fatal)
+{
     SeqLock lock(mu_);
-    if (sharesByKey(cfg_.placement) && key != 0) {
+    if (sharesByKey(cfg_.placement) && key != 0 &&
+        !opts.freshPlacement) {
         const auto it = affinity_.find(key);
         if (it != affinity_.end()) {
             const Model &held = models_[it->second];
@@ -430,8 +540,10 @@ ChipPool::placeCnnInference(u64 key, cnn::TinyCnn net)
                 : 0.0;
         return std::make_pair(parts, score);
     });
-    const std::size_t c =
-        pickChip(quote, "ChipPool::placeCnnInference");
+    const std::size_t c = pickChip(
+        quote, "ChipPool::placeCnnInference", opts.avoidChip, fatal);
+    if (c == kNoChip)
+        return kNoModel;
     cnn::CnnMapper &mapper = cnnMapper(c);
 
     auto inference = std::make_unique<InferenceModel>();
@@ -458,8 +570,24 @@ ChipPool::placeCnnInference(u64 key, cnn::TinyCnn net)
 ModelRef
 ChipPool::placeLlmInference(u64 key, llm::Encoder enc)
 {
+    return placeLlmImpl(key, std::move(enc), PlaceOptions{},
+                        /*fatal=*/true);
+}
+
+ModelRef
+ChipPool::tryPlaceLlmInference(u64 key, llm::Encoder enc,
+                               const PlaceOptions &opts)
+{
+    return placeLlmImpl(key, std::move(enc), opts, /*fatal=*/false);
+}
+
+ModelRef
+ChipPool::placeLlmImpl(u64 key, llm::Encoder enc,
+                       const PlaceOptions &opts, bool fatal)
+{
     SeqLock lock(mu_);
-    if (sharesByKey(cfg_.placement) && key != 0) {
+    if (sharesByKey(cfg_.placement) && key != 0 &&
+        !opts.freshPlacement) {
         const auto it = affinity_.find(key);
         if (it != affinity_.end()) {
             const Model &held = models_[it->second];
@@ -510,8 +638,10 @@ ChipPool::placeLlmInference(u64 key, llm::Encoder enc)
                 : 0.0;
         return std::make_pair(parts, score);
     });
-    const std::size_t c =
-        pickChip(quote, "ChipPool::placeLlmInference");
+    const std::size_t c = pickChip(
+        quote, "ChipPool::placeLlmInference", opts.avoidChip, fatal);
+    if (c == kNoChip)
+        return kNoModel;
     llm::LlmMapper &mapper = llmMapper(c);
 
     auto inference = std::make_unique<InferenceModel>();
@@ -540,6 +670,30 @@ ChipPool::setJournal(journal::Journal *journal)
 {
     SeqLock lock(mu_);
     journal_ = journal;
+}
+
+void
+ChipPool::releaseModel(ModelRef model)
+{
+    SeqLock lock(mu_);
+    if (model >= models_.size())
+        darth_panic("ChipPool::releaseModel: model ", model,
+                    " out of range ", models_.size());
+    Model &m = models_[model];
+    if (!m.live)
+        darth_fatal("ChipPool::releaseModel: model ", model,
+                    " was already released");
+    // Freeing the handles drains any still-queued requests against
+    // them (Runtime::freeMatrix) — the serving layer guarantees the
+    // model's begun work finished before calling this.
+    m.handle.release();
+    m.inference.reset();
+    m.live = false;
+    if (m.key != 0) {
+        const auto it = affinity_.find(m.key);
+        if (it != affinity_.end() && it->second == model)
+            affinity_.erase(it);
+    }
 }
 
 const ChipPool::Model &
@@ -585,18 +739,20 @@ ChipPool::beginInference(ModelRef model,
     }
 
     // Normalize the run's per-step nominal costs into admission
-    // charges that sum exactly to the whole-inference nominal, so
-    // per-stage weighted-fair accounting charges a request the same
-    // total as whole-inference admission would.
+    // charges that sum exactly to the whole-inference nominal *in
+    // picoseconds* (the clock-independent unit weighted-fair
+    // accounting runs in), so per-stage admission charges a request
+    // the same total as whole-inference admission would, on any
+    // chip.
     const runtime::InferenceRun &run = *inference->run;
-    const Cycle total = im.oracleCost;
-    Cycle weight_sum = 0;
+    const u64 total = im.oracleCost * periodPs(m.chip);
+    u64 weight_sum = 0;
     for (std::size_t i = 0; i < run.stepCount(); ++i)
         weight_sum += run.stepNominal(i);
     inference->stageCharges.resize(run.stepCount(), 0);
-    Cycle charged = 0;
+    u64 charged = 0;
     for (std::size_t i = 0; i < run.stepCount(); ++i) {
-        const Cycle charge =
+        const u64 charge =
             weight_sum == 0
                 ? total / run.stepCount()
                 : total * run.stepNominal(i) / weight_sum;
@@ -623,6 +779,14 @@ Cycle
 ChipPool::stageDoneCycle(StagedInference &inference, std::size_t stage)
 {
     return inference.run->stepDone(stage);
+}
+
+WallNs
+ChipPool::stageDoneNs(StagedInference &inference, std::size_t stage)
+{
+    const std::size_t chip =
+        lookupModel(inference.model, "ChipPool::stageDoneNs").chip;
+    return wallNs(chip, inference.run->stepDone(stage));
 }
 
 InferenceOutcome
@@ -656,6 +820,10 @@ ChipPool::modelRef(ModelRef model, const char *what) const
     if (model >= models_.size())
         darth_panic(what, ": model ", model, " out of range ",
                     models_.size());
+    if (!models_[model].live)
+        darth_fatal(what, ": model ", model,
+                    " was released (migrated away or departed); the "
+                    "ModelRef is no longer valid");
     return models_[model];
 }
 
@@ -696,6 +864,14 @@ ChipPool::nominalServiceCycles(ModelRef model, int input_bits)
     // QueuedRequest carries the same per-request cost.
     return runtimes_[m.chip]->scheduler().oracleCost(m.handle.plan(),
                                                      input_bits);
+}
+
+u64
+ChipPool::nominalServicePs(ModelRef model, int input_bits)
+{
+    const std::size_t chip =
+        lookupModel(model, "ChipPool::nominalServicePs").chip;
+    return nominalServiceCycles(model, input_bits) * periodPs(chip);
 }
 
 runtime::MvmFuture
@@ -744,12 +920,19 @@ ChipPool::backlogCycles(std::size_t chip) const
     return runtimes_[chip]->scheduler().backlogCycles();
 }
 
-Cycle
-ChipPool::makespan() const
+WallNs
+ChipPool::backlogNs(std::size_t chip) const
 {
-    Cycle max = 0;
-    for (const auto &rt : runtimes_)
-        max = std::max(max, rt->scheduler().makespan());
+    return wallNs(chip, backlogCycles(chip));
+}
+
+WallNs
+ChipPool::makespanNs() const
+{
+    WallNs max = 0;
+    for (std::size_t c = 0; c < runtimes_.size(); ++c)
+        max = std::max(max,
+                       wallNs(c, runtimes_[c]->scheduler().makespan()));
     return max;
 }
 

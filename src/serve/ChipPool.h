@@ -62,7 +62,21 @@
  * noise configuration is bit-exact), which is what makes an N-chip
  * pool bit-identical to a 1-chip run of the same trace whenever the
  * same requests complete (always true under Block admission; Reject
- * runs drop configuration-dependent subsets).
+ * runs drop configuration-dependent subsets). Cross-chip time is
+ * wall-clock nanoseconds: each slot's clock must be a frequency bin
+ * (integer-picosecond period, serve/ChipConfig.h clockPeriodPs), and
+ * wallNs()/cyclesAt() convert exactly between a chip's cycle domain
+ * and the pool-wide wall clock.
+ *
+ * Fleet lifecycle hooks (serve/FleetController.h drives these):
+ * slots can be deactivated (setChipActive) so draining chips accept
+ * no new placements, placements can be released mid-run
+ * (releaseModel frees the tiles; the caller must first drain the
+ * model's in-flight work), and the tryPlace* variants report
+ * placement failure with kNoModel instead of aborting — the
+ * building blocks of live migration (detach the affinity key,
+ * re-place the same weights elsewhere, release the old placement
+ * once begun work finishes) and autoscaling.
  */
 
 #ifndef DARTH_SERVE_CHIPPOOL_H
@@ -120,14 +134,41 @@ struct PoolConfig
     u64 seed = 1;
     /**
      * Backlog normalization horizon of the CostAware score: a chip
-     * whose scheduler backlog equals this many cycles has its
-     * effective cost doubled. Must be positive.
+     * whose scheduler backlog equals this many wall-clock
+     * nanoseconds has its effective cost doubled. Must be positive.
      */
-    Cycle backlogWindowCycles = 50000;
+    WallNs backlogWindowNs = 50000;
 };
 
 /** Handle to one model placed somewhere in the pool. */
 using ModelRef = std::size_t;
+
+/** tryPlace* result when no active chip can take the placement. */
+constexpr ModelRef kNoModel = ~std::size_t{0};
+
+/** tryPlace* `avoidChip` value meaning "no chip excluded". */
+constexpr std::size_t kNoChip = ~std::size_t{0};
+
+/**
+ * Knobs of the tryPlace* placement variants (migration plumbing).
+ */
+struct PlaceOptions
+{
+    /**
+     * Exclude one chip from the candidate set — a migration wants
+     * the best placement *other than* the chip the model already
+     * occupies. kNoChip excludes nothing.
+     */
+    std::size_t avoidChip = kNoChip;
+    /**
+     * Skip the affinity-reuse fast path and create a fresh
+     * placement even when the key is already placed; on success the
+     * key re-binds to the new placement (the old one keeps its
+     * tiles until releaseModel). This is the migration move: same
+     * key, same weights, new chip.
+     */
+    bool freshPlacement = false;
+};
 
 /** Result of one whole-inference request executed by the pool. */
 struct InferenceOutcome
@@ -152,13 +193,15 @@ struct StagedInference
 {
     ModelRef model = 0;
     /**
-     * Per-stage weighted-fair admission charges: the run's per-step
+     * Per-stage weighted-fair admission charges in integer
+     * *picoseconds* of the owning chip's time: the run's per-step
      * nominal oracle costs, normalized so they sum *exactly* to
-     * nominalServiceCycles(model) — admitting every stage of a
-     * request charges precisely what admitting the whole inference
-     * would have.
+     * nominalServicePs(model) — admitting every stage of a request
+     * charges precisely what admitting the whole inference would
+     * have, and charges are comparable across chips of different
+     * clocks without rounding.
      */
-    std::vector<Cycle> stageCharges;
+    std::vector<u64> stageCharges;
     std::unique_ptr<runtime::InferenceRun> run;
 
     std::size_t stageCount() const { return stageCharges.size(); }
@@ -196,11 +239,44 @@ class ChipPool
     /** Per-slot silicon (uniform pools replicate PoolConfig::chip). */
     const ChipSpec &spec(std::size_t i) const;
 
+    /** Clock period of one slot in integer picoseconds. */
+    u64 periodPs(std::size_t i) const;
+
+    /**
+     * Exact cycle -> wall conversion for one chip: floor(cycles *
+     * periodPs / 1000) nanoseconds. Deterministic integer
+     * arithmetic; at the default 1 GHz bin one cycle is one
+     * nanosecond, so uniform default-clock pools report the same
+     * numbers they did when the serving layer counted cycles.
+     */
+    WallNs wallNs(std::size_t chip, Cycle cycles) const;
+
+    /**
+     * Exact wall -> cycle conversion for one chip:
+     * ceil(ns * 1000 / periodPs) — the first cycle of that chip at
+     * or after the wall instant, so admission bounds never start
+     * work early.
+     */
+    Cycle cyclesAt(std::size_t chip, WallNs ns) const;
+
     /** True when the slots are not all the same ChipSpec name. */
     bool heterogeneous() const;
 
     runtime::Chip &chip(std::size_t i);
     runtime::Runtime &runtime(std::size_t i);
+
+    /**
+     * Activate or drain one slot: inactive chips are excluded from
+     * every placement decision (existing placements keep running —
+     * draining finishes begun work). The autoscaler's lever.
+     */
+    void setChipActive(std::size_t chip, bool active) EXCLUDES(mu_);
+
+    /** True when the slot accepts new placements (default). */
+    bool chipActive(std::size_t chip) const EXCLUDES(mu_);
+
+    /** Live (un-released) placements currently on one chip. */
+    std::size_t liveModels(std::size_t chip) const EXCLUDES(mu_);
 
     /**
      * Place a weight matrix on a chip chosen by the placement
@@ -242,6 +318,39 @@ class ChipPool
     ModelRef placeLlmInference(u64 key, llm::Encoder enc)
         EXCLUDES(mu_);
 
+    /**
+     * Non-fatal placement variants: identical to placeModel /
+     * placeCnnInference / placeLlmInference except that exhaustion
+     * (no active chip fits, or only the avoided chip does) returns
+     * kNoModel instead of aborting, and PlaceOptions can exclude a
+     * chip and force a fresh placement past the affinity table. A
+     * FleetController migrates and lazily places through these so a
+     * full pool degrades to "migration aborted", never to a crash.
+     */
+    ModelRef tryPlaceModel(u64 key, const MatrixI &m,
+                           int element_bits, int bits_per_cell,
+                           int input_bits = 8,
+                           const PlaceOptions &opts = {})
+        EXCLUDES(mu_);
+    ModelRef tryPlaceCnnInference(u64 key, cnn::TinyCnn net,
+                                  const PlaceOptions &opts = {})
+        EXCLUDES(mu_);
+    ModelRef tryPlaceLlmInference(u64 key, llm::Encoder enc,
+                                  const PlaceOptions &opts = {})
+        EXCLUDES(mu_);
+
+    /**
+     * Release one placement: frees its tiles (draining any queued
+     * work for them) and drops it from the affinity table if it is
+     * still the key's placement. The ModelRef becomes invalid —
+     * every later lookup is fatal. The caller must have finished or
+     * abandoned the model's in-flight requests first; the serving
+     * layer defers this call until a migrated-away or departed
+     * tenant's begun work has drained, which is how "no begun
+     * inference is ever lost" holds by construction.
+     */
+    void releaseModel(ModelRef model) EXCLUDES(mu_);
+
     /** True when the model serves whole inferences, not single MVMs. */
     bool isInference(ModelRef model) const EXCLUDES(mu_);
 
@@ -267,10 +376,15 @@ class ChipPool
     std::size_t advanceInference(StagedInference &inference,
                                  Cycle admitted);
 
-    /** Completion cycle of one submitted stage (fatal for a stage
-     *  not yet submitted). */
+    /** Completion cycle of one submitted stage, in the owning
+     *  chip's cycles (fatal for a stage not yet submitted). */
     Cycle stageDoneCycle(StagedInference &inference,
                          std::size_t stage);
+
+    /** Completion of one submitted stage in wall-clock
+     *  nanoseconds. */
+    WallNs stageDoneNs(StagedInference &inference, std::size_t stage)
+        EXCLUDES(mu_);
 
     /** Collect a finished run's outputs and whole-graph cycle
      *  stamps (fatal unless finished()). */
@@ -298,10 +412,18 @@ class ChipPool
      * the oracle latency of one MVM (worst part, via the owning
      * scheduler's cached oracle); for inference models the
      * whole-inference serialized latency from the mapper cost model.
-     * The nominal service used for weighted-fair charging and load
-     * calibration.
+     * In the owning chip's cycles.
      */
     Cycle nominalServiceCycles(ModelRef model, int input_bits)
+        EXCLUDES(mu_);
+
+    /**
+     * The same nominal service in integer picoseconds of wall time
+     * (nominalServiceCycles times the owning chip's period) — the
+     * clock-independent quantity weighted-fair charging and load
+     * calibration use, exact by construction.
+     */
+    u64 nominalServicePs(ModelRef model, int input_bits)
         EXCLUDES(mu_);
 
     /** Submit one MVM against a single-MVM model through the pool's
@@ -321,12 +443,18 @@ class ChipPool
     /** Scheduler queue depth of one chip (backpressure signal). */
     std::size_t queueDepth(std::size_t chip) const;
 
-    /** Scheduler backlog of one chip in cycles (the CostAware load
-     *  term; see Scheduler::backlogCycles). */
+    /** Scheduler backlog of one chip in cycles (see
+     *  Scheduler::backlogCycles). */
     Cycle backlogCycles(std::size_t chip) const;
 
-    /** Max scheduler makespan over all chips. */
-    Cycle makespan() const;
+    /** Scheduler backlog of one chip in wall-clock nanoseconds (the
+     *  CostAware load term and the FleetController's signal). */
+    WallNs backlogNs(std::size_t chip) const;
+
+    /** Max scheduler makespan over all chips, in wall-clock
+     *  nanoseconds (each chip's makespan converted by its own
+     *  clock). */
+    WallNs makespanNs() const;
 
     /**
      * Attach (or detach, with nullptr) an event journal: every
@@ -359,6 +487,8 @@ class ChipPool
         std::size_t chip = 0;
         runtime::MatrixHandle handle;
         std::unique_ptr<InferenceModel> inference;
+        /** False once releaseModel reclaimed the placement. */
+        bool live = true;
     };
 
     static constexpr std::size_t kUnplaceable = ~std::size_t{0};
@@ -394,9 +524,12 @@ class ChipPool
             std::size_t)> &per_chip);
 
     /** Chip for a fresh placement, by the configured policy
-     *  (touches the round-robin cursor). */
+     *  (touches the round-robin cursor); kNoChip when no active,
+     *  non-avoided chip fits and `fatal` is false, fatal with the
+     *  per-chip diagnosis otherwise. */
     std::size_t pickChip(const PlacementQuote &quote,
-                         const char *what) REQUIRES(mu_);
+                         const char *what, std::size_t avoid_chip,
+                         bool fatal) REQUIRES(mu_);
 
     /** True when chip a beats chip b on the least-loaded order
      *  (most free tiles, then soonest makespan, then index). */
@@ -416,8 +549,21 @@ class ChipPool
                         int input_bits);
 
     /** The CostAware backlog inflation of one chip:
-     *  1 + backlogCycles / backlogWindowCycles. */
+     *  1 + backlogNs / backlogWindowNs. */
     double loadFactor(std::size_t chip) const;
+
+    /** Shared body of placeModel / tryPlaceModel (and the inference
+     *  pair): `fatal` picks the exhaustion behavior. */
+    ModelRef placeModelImpl(u64 key, const MatrixI &m,
+                            int element_bits, int bits_per_cell,
+                            int input_bits, const PlaceOptions &opts,
+                            bool fatal) EXCLUDES(mu_);
+    ModelRef placeCnnImpl(u64 key, cnn::TinyCnn net,
+                          const PlaceOptions &opts, bool fatal)
+        EXCLUDES(mu_);
+    ModelRef placeLlmImpl(u64 key, llm::Encoder enc,
+                          const PlaceOptions &opts, bool fatal)
+        EXCLUDES(mu_);
 
     const Model &modelRef(ModelRef model, const char *what) const
         REQUIRES(mu_);
@@ -449,6 +595,8 @@ class ChipPool
     PoolConfig cfg_;
     /** One resolved spec per slot. */
     std::vector<ChipSpec> specs_;
+    /** Integer-picosecond clock period per slot (frequency bin). */
+    std::vector<u64> periodPs_;
     /** True when the slots were replicated from PoolConfig::chip
      *  (identical silicon by construction: quotes plan once). */
     bool uniform_ = false;
@@ -464,6 +612,8 @@ class ChipPool
     mutable SeqMutex mu_;
 
     std::vector<Model> models_ GUARDED_BY(mu_);
+    /** Per-slot activation mask (see setChipActive). */
+    std::vector<bool> active_ GUARDED_BY(mu_);
     /** key -> ModelRef, consulted under MatrixAffinity/CostAware. */
     std::map<u64, ModelRef> affinity_ GUARDED_BY(mu_);
     std::size_t rrCursor_ GUARDED_BY(mu_) = 0;

@@ -3,11 +3,14 @@
  * Serving-cluster telemetry: per-tenant latency/throughput samples
  * and the report an AdmissionController run produces.
  *
- * Latencies are recorded in cycles relative to each request's
- * open-loop arrival: queueing = start - arrival (admission wait plus
- * scheduler wait), latency = done - arrival (queueing plus service).
- * Percentiles come from the common/Stats nearest-rank helper, so
- * serve_bench JSON and the unit tests agree on the definition.
+ * Latencies are recorded in wall-clock nanoseconds relative to each
+ * request's open-loop arrival: queueing = start - arrival (admission
+ * wait plus scheduler wait), latency = done - arrival (queueing plus
+ * service). Per-chip cycle stamps are converted through the owning
+ * chip's clock at the admission boundary, so every number here is
+ * comparable across a mixed-clock pool. Percentiles come from the
+ * common/Stats nearest-rank helper, so serve_bench JSON and the unit
+ * tests agree on the definition.
  */
 
 #ifndef DARTH_SERVE_SERVESTATS_H
@@ -44,32 +47,34 @@ struct TenantStats
      */
     u64 mvms = 0;
 
-    /** done - arrival per completed request, in completion order. */
+    /** done - arrival per completed request in wall ns, in
+     *  completion order. */
     std::vector<double> latency;
-    /** start - arrival per completed request (time not being
-     *  serviced: admission blocking plus tile contention). */
+    /** start - arrival per completed request in wall ns (time not
+     *  being serviced: admission blocking plus tile contention). */
     std::vector<double> queueing;
-    /** done - start per completed request (pure service). */
+    /** done - start per completed request in wall ns (pure
+     *  service). */
     std::vector<double> service;
-    /** Completion cycle per completed request. */
-    std::vector<double> doneCycle;
+    /** Completion wall time per completed request, ns. */
+    std::vector<double> doneNs;
 
-    /** Total service cycles delivered to this tenant. */
-    double serviceCycles = 0.0;
+    /** Total wall-ns of service delivered to this tenant. */
+    double serviceNs = 0.0;
 
     /** Error-budget burn against the tenant's SLO (inert when the
      *  tenant's spec left the SLO disabled; see serve/Slo.h). */
     SloStats slo;
 
-    /** Completions with done <= cycle (windowed share under
+    /** Completions with done <= ns (windowed share under
      *  saturation, where the end-of-trace drain would otherwise
      *  flatten every class to its submitted count). */
     u64
-    completionsBy(Cycle cycle) const
+    completionsBy(WallNs ns) const
     {
         u64 count = 0;
-        for (double d : doneCycle)
-            count += d <= static_cast<double>(cycle);
+        for (double d : doneNs)
+            count += d <= static_cast<double>(ns);
         return count;
     }
 
@@ -96,10 +101,11 @@ struct ChipStats
 
     u64 completed = 0;
     u64 mvms = 0;
-    /** Total service cycles delivered by this chip. */
-    double serviceCycles = 0.0;
-    /** Max completion cycle on this chip (its local clock). */
-    Cycle makespan = 0;
+    /** Total wall-ns of service delivered by this chip. */
+    double serviceNs = 0.0;
+    /** Max completion on this chip, converted from its local clock
+     *  to wall ns. */
+    WallNs makespanNs = 0;
 
     /**
      * This chip's scheduler counters over the run (deltas, so a
@@ -121,28 +127,53 @@ struct ChipStats
      */
     u64 interleavedStages = 0;
 
-    /** Completed requests per kilocycle of this chip's makespan. */
+    /** Completed requests per microsecond (1000 ns) of this chip's
+     *  makespan. */
     double
-    throughputPerKcycle() const
+    throughputPerKns() const
     {
-        if (makespan == 0)
+        if (makespanNs == 0)
             return 0.0;
         return static_cast<double>(completed) * 1000.0 /
-               static_cast<double>(makespan);
+               static_cast<double>(makespanNs);
     }
 
     /**
-     * Delivered service cycles per makespan cycle. Exceeds 1.0 when
+     * Delivered service ns per makespan ns. Exceeds 1.0 when
      * requests overlap on disjoint tiles (it is a concurrency
      * measure, not a single-resource busy fraction).
      */
     double
     utilization() const
     {
-        if (makespan == 0)
+        if (makespanNs == 0)
             return 0.0;
-        return serviceCycles / static_cast<double>(makespan);
+        return serviceNs / static_cast<double>(makespanNs);
     }
+};
+
+/**
+ * Fleet-lifecycle counters over one run (all zero for a static
+ * fleet): what the FleetController actually did, mirrored by the
+ * journal's lifecycle events. serve_bench's fleet experiment uses
+ * these to prove its churn scenario is non-vacuous (migrations and
+ * scale-downs really happened) before asserting invariance.
+ */
+struct FleetStats
+{
+    /** Tenants whose placement was created lazily mid-run. */
+    u64 arrivals = 0;
+    /** Tenants whose placement was reclaimed after departure. */
+    u64 departures = 0;
+    /** Completed live migrations (placement moved chips). */
+    u64 migrations = 0;
+    /** Migrations abandoned because no other chip could take the
+     *  placement (the old placement keeps serving). */
+    u64 migrationsAborted = 0;
+    /** Chip slots reactivated by the autoscaler. */
+    u64 chipUps = 0;
+    /** Chip slots drained and deactivated by the autoscaler. */
+    u64 chipDowns = 0;
 };
 
 /** Result of running one trace through an AdmissionController. */
@@ -152,11 +183,16 @@ struct ServeReport
     /** Per-chip breakdown (index = chip slot). */
     std::vector<ChipStats> chips;
 
-    /** Max completion cycle over all requests (0 if none ran). */
-    Cycle makespan = 0;
+    /** Max completion wall time over all requests, ns (0 if none
+     *  ran). */
+    WallNs makespanNs = 0;
 
     u64 completed = 0;
     u64 rejected = 0;
+
+    /** What the fleet lifecycle did during the run (all zero
+     *  without a FleetController). */
+    FleetStats fleet;
 
     /** FNV-1a over every completed request's output values, in trace
      *  order — a cheap cross-configuration identity check. */
@@ -165,24 +201,24 @@ struct ServeReport
      *  requests). Filled only when AdmissionConfig::collectOutputs. */
     std::vector<std::vector<i64>> outputs;
 
-    /** Aggregate completed requests per kilocycle of makespan. */
-    double throughputPerKcycle() const
+    /** Aggregate completed requests per microsecond of makespan. */
+    double throughputPerKns() const
     {
-        if (makespan == 0)
+        if (makespanNs == 0)
             return 0.0;
         return static_cast<double>(completed) * 1000.0 /
-               static_cast<double>(makespan);
+               static_cast<double>(makespanNs);
     }
 
-    /** Fraction of delivered service cycles earned by one tenant. */
+    /** Fraction of delivered service time earned by one tenant. */
     double serviceShare(std::size_t tenant) const
     {
         double total = 0.0;
         for (const auto &t : tenants)
-            total += t.serviceCycles;
+            total += t.serviceNs;
         if (total <= 0.0)
             return 0.0;
-        return tenants[tenant].serviceCycles / total;
+        return tenants[tenant].serviceNs / total;
     }
 };
 

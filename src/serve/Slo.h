@@ -4,7 +4,11 @@
  *
  * An SloSpec states a tenant's service-level objective in the
  * serving layer's own terms: "at least `targetAvailability` of
- * requests complete within `latencyTargetCycles` of arrival". The
+ * requests complete within `latencyTargetNs` wall-clock nanoseconds
+ * of arrival". Targets are wall-clock, not cycles, so one SLO means
+ * the same thing on every chip of a frequency-binned heterogeneous
+ * pool (the admission layer converts chip cycles at the boundary;
+ * see common/Types.h WallNs). The
  * complement of the availability target is the tenant's *error
  * budget* — the fraction of requests allowed to miss. SloStats then
  * tracks, over one AdmissionController run, how fast the tenant is
@@ -43,9 +47,9 @@ namespace serve
 /** One tenant's service-level objective. */
 struct SloSpec
 {
-    /** Arrival-to-completion latency target in cycles; 0 disables
-     *  SLO accounting for the tenant. */
-    Cycle latencyTargetCycles = 0;
+    /** Arrival-to-completion latency target in wall-clock
+     *  nanoseconds; 0 disables SLO accounting for the tenant. */
+    WallNs latencyTargetNs = 0;
     /**
      * Fraction of requests that must meet the target, in (0, 1).
      * The error budget is its complement (0.999 -> 0.1% of requests
@@ -53,7 +57,7 @@ struct SloSpec
      */
     double targetAvailability = 0.999;
 
-    bool enabled() const { return latencyTargetCycles > 0; }
+    bool enabled() const { return latencyTargetNs > 0; }
 
     double errorBudget() const { return 1.0 - targetAvailability; }
 };
@@ -69,14 +73,15 @@ struct SloStats
      *  target, or rejected by admission. */
     u64 violations = 0;
 
-    /** Record one completed request's arrival-to-done latency. */
+    /** Record one completed request's arrival-to-done latency
+     *  (wall-clock nanoseconds). */
     void
-    recordLatency(Cycle latency)
+    recordLatency(WallNs latency)
     {
         if (!spec.enabled())
             return;
         eligible += 1;
-        if (latency > spec.latencyTargetCycles)
+        if (latency > spec.latencyTargetNs)
             violations += 1;
     }
 

@@ -102,20 +102,28 @@ TrafficGen::validateSpec(const TenantSpec &spec)
             "TrafficGen: tenant '" + spec.name +
             "' has non-positive QoS weight " +
             std::to_string(spec.weight));
-    if (spec.ratePerKcycle <= 0.0)
+    if (spec.ratePerKns <= 0.0)
         throw std::invalid_argument(
             "TrafficGen: tenant '" + spec.name +
             "' has non-positive arrival rate " +
-            std::to_string(spec.ratePerKcycle));
+            std::to_string(spec.ratePerKns));
     if (spec.burst.enabled() &&
-        (spec.burst.onCycles == 0 || spec.burst.offCycles == 0))
+        (spec.burst.onNs == 0 || spec.burst.offNs == 0))
         throw std::invalid_argument(
             "TrafficGen: tenant '" + spec.name +
             "' has a one-sided BurstSpec (on=" +
-            std::to_string(spec.burst.onCycles) + ", off=" +
-            std::to_string(spec.burst.offCycles) +
-            "); onCycles and offCycles must both be positive, or "
+            std::to_string(spec.burst.onNs) + ", off=" +
+            std::to_string(spec.burst.offNs) +
+            "); onNs and offNs must both be positive, or "
             "both zero to disable bursting");
+    if (spec.departNs != 0 && spec.departNs <= spec.arriveNs)
+        throw std::invalid_argument(
+            "TrafficGen: tenant '" + spec.name +
+            "' departs at " + std::to_string(spec.departNs) +
+            " ns, at or before its arrival at " +
+            std::to_string(spec.arriveNs) +
+            " ns; departNs must exceed arriveNs (or be 0 to never "
+            "depart)");
     if (spec.slo.enabled() && (spec.slo.targetAvailability <= 0.0 ||
                                spec.slo.targetAvailability >= 1.0))
         throw std::invalid_argument(
@@ -200,7 +208,7 @@ TrafficGen::llmInferNet(u64 key) const
 
 std::vector<ServeRequest>
 TrafficGen::trace(const std::vector<TenantSpec> &tenants,
-                  Cycle horizon) const
+                  WallNs horizon) const
 {
     std::vector<ServeRequest> merged;
     for (std::size_t t = 0; t < tenants.size(); ++t) {
@@ -210,7 +218,7 @@ TrafficGen::trace(const std::vector<TenantSpec> &tenants,
         // One stream per tenant, salted by the tenant index: adding
         // or reordering other tenants cannot perturb this stream.
         Rng rng(mixSeed(seed_, /*salt=*/0x7247, t));
-        const double rate_per_cycle = spec.ratePerKcycle / 1000.0;
+        const double rate_per_ns = spec.ratePerKns / 1000.0;
         // Bursty tenants draw arrivals on an *on-time* clock (the
         // Poisson process runs only while the tenant is on) and map
         // each arrival into wall time by inserting the off-phases:
@@ -218,17 +226,26 @@ TrafficGen::trace(const std::vector<TenantSpec> &tenants,
         // T mod on. Disabled bursts keep the wall clock directly,
         // bit-identical to the unmodulated generator.
         const bool bursty = spec.burst.enabled();
-        const double on = static_cast<double>(spec.burst.onCycles);
+        const double on = static_cast<double>(spec.burst.onNs);
         const double period =
-            on + static_cast<double>(spec.burst.offCycles);
+            on + static_cast<double>(spec.burst.offNs);
+        // The tenant's active window. The stream is drawn exactly as
+        // if the tenant were permanent and then *gated*: arrivals
+        // outside [arriveNs, departNs) are dropped, the draws (both
+        // timing and input values) are unchanged, so the surviving
+        // requests are bit-identical to the permanent tenant's and
+        // no other tenant's stream can be perturbed by the window.
+        const WallNs depart =
+            spec.departNs == 0 ? horizon : spec.departNs;
         double at = 0.0;
         for (;;) {
-            // Exponential inter-arrival; at least one cycle apart so
-            // a tenant's own requests have distinct arrivals.
+            // Exponential inter-arrival; at least one nanosecond
+            // apart so a tenant's own requests have distinct
+            // arrivals.
             double u = rng.uniform();
             if (u <= 1e-12)
                 u = 1e-12;
-            at += std::max(1.0, -std::log(u) / rate_per_cycle);
+            at += std::max(1.0, -std::log(u) / rate_per_ns);
             double wall = at;
             if (bursty) {
                 double k = std::floor(at / on);
@@ -242,11 +259,13 @@ TrafficGen::trace(const std::vector<TenantSpec> &tenants,
             if (wall >= static_cast<double>(horizon))
                 break;
             ServeRequest req;
-            req.arrival = static_cast<Cycle>(wall);
+            req.arrival = static_cast<WallNs>(wall);
             req.tenant = t;
             req.input.resize(shape.rows);
             for (auto &v : req.input)
                 v = rng.uniformInt(shape.inputLo, shape.inputHi);
+            if (req.arrival < spec.arriveNs || req.arrival >= depart)
+                continue;
             merged.push_back(std::move(req));
         }
     }

@@ -15,6 +15,16 @@
  * inter-arrival times) and uniformly random inputs, all drawn from
  * seeded common/Random streams so a scenario replays bit-identically
  * regardless of pool size or policy.
+ *
+ * All traffic timing is wall-clock nanoseconds (common/Types.h
+ * WallNs): arrival stamps, burst phases, rates, and the trace
+ * horizon live in the cross-chip time domain, not any one chip's
+ * cycles. Tenants may also be transient: arriveNs/departNs bound a
+ * tenant's active window, so a fleet's tenant population churns
+ * mid-trace — each tenant's arrival stream is drawn exactly as if
+ * it were permanent and then gated to the window, so toggling churn
+ * (or changing another tenant's window) never perturbs the arrivals
+ * a tenant does make.
  */
 
 #ifndef DARTH_SERVE_TRAFFICGEN_H
@@ -68,21 +78,22 @@ const char *workloadKindName(WorkloadKind kind);
 
 /**
  * On/off burst modulation of one tenant's open-loop arrivals:
- * `onCycles` of Poisson arrivals at the tenant's rate, then
- * `offCycles` of silence, repeating. Both zero (the default)
+ * `onNs` wall-clock nanoseconds of Poisson arrivals at the tenant's
+ * rate, then `offNs` of silence, repeating. Both zero (the default)
  * disables bursting; anything else requires both positive
  * (validateSpec throws std::invalid_argument otherwise). Bursty
  * traffic is where stage-granular admission matters most: a burst
  * fills the window with whole inferences under Inference
  * granularity, while Stage granularity recycles slots at stage
- * completions.
+ * completions. Long on/off periods are the diurnal traffic shape
+ * the fleet autoscaler breathes against (serve/FleetController.h).
  */
 struct BurstSpec
 {
-    Cycle onCycles = 0;
-    Cycle offCycles = 0;
+    WallNs onNs = 0;
+    WallNs offNs = 0;
 
-    bool enabled() const { return onCycles > 0 || offCycles > 0; }
+    bool enabled() const { return onNs > 0 || offNs > 0; }
 };
 
 /** One serving tenant, as the traffic generator sees it. */
@@ -92,9 +103,9 @@ struct TenantSpec
     WorkloadKind kind = WorkloadKind::Micro;
     /** Weighted-fair QoS share. */
     double weight = 1.0;
-    /** Mean open-loop arrivals per 1000 cycles (during on-phases
-     *  when `burst` is enabled). */
-    double ratePerKcycle = 1.0;
+    /** Mean open-loop arrivals per 1000 wall-clock nanoseconds
+     *  (during on-phases when `burst` is enabled). */
+    double ratePerKns = 1.0;
     /**
      * Model identity: tenants sharing a non-zero key use the same
      * weight matrix, and under MatrixAffinity placement share the
@@ -106,16 +117,29 @@ struct TenantSpec
     /**
      * Optional latency/availability SLO (disabled by default; see
      * serve/Slo.h). AdmissionController tracks error-budget burn
-     * against it in TenantStats::slo. Last member so positional
-     * aggregate initializers predating it keep their meaning.
+     * against it in TenantStats::slo. Members only accrete at the
+     * tail of the struct so positional aggregate initializers
+     * predating them keep their meaning.
      */
     SloSpec slo;
+    /**
+     * Fleet-lifecycle window: the tenant is active on [arriveNs,
+     * departNs) in wall-clock nanoseconds. arriveNs = 0 means
+     * present from the start; departNs = 0 means never departs.
+     * A non-zero departNs must exceed arriveNs (validateSpec).
+     * trace() emits only arrivals inside the window; under a
+     * FleetController the placement is created lazily at arriveNs
+     * and reclaimed once the departed tenant's begun work drains.
+     */
+    WallNs arriveNs = 0;
+    WallNs departNs = 0;
 };
 
 /** One request of the open-loop trace. */
 struct ServeRequest
 {
-    Cycle arrival = 0;
+    /** Wall-clock arrival stamp. */
+    WallNs arrival = 0;
     /** Index into the tenant list the trace was generated from. */
     std::size_t tenant = 0;
     std::vector<i64> input;
@@ -129,11 +153,11 @@ class TrafficGen
 
     /**
      * Validate a tenant spec: a non-positive QoS `weight` or
-     * open-loop `ratePerKcycle`, or a one-sided BurstSpec (exactly
-     * one of onCycles/offCycles zero), throws
-     * std::invalid_argument. buildTenants() and trace() both call
-     * this, so a bad spec fails at the serving front door rather
-     * than deep in a sweep.
+     * open-loop `ratePerKns`, a one-sided BurstSpec (exactly one
+     * of onNs/offNs zero), or a departNs at or before arriveNs,
+     * throws std::invalid_argument. buildTenants() and trace()
+     * both call this, so a bad spec fails at the serving front
+     * door rather than deep in a sweep.
      */
     static void validateSpec(const TenantSpec &spec);
 
@@ -178,15 +202,18 @@ class TrafficGen
     static llm::EncoderConfig llmInferConfig();
 
     /**
-     * Open-loop arrival trace over [0, horizon): per-tenant Poisson
-     * arrivals at spec.ratePerKcycle, merged and sorted by arrival
-     * cycle (ties keep tenant order). Each request carries a random
-     * input for its tenant's kind. Tenant streams are independent:
-     * adding a tenant never perturbs another tenant's arrivals or
-     * inputs.
+     * Open-loop arrival trace over [0, horizon) wall-clock
+     * nanoseconds: per-tenant Poisson arrivals at spec.ratePerKns,
+     * gated to each tenant's [arriveNs, departNs) window, merged
+     * and sorted by arrival (ties keep tenant order). Each request
+     * carries a random input for its tenant's kind. Tenant streams
+     * are independent: adding a tenant, or changing any window,
+     * never perturbs another tenant's arrivals or inputs — and a
+     * tenant's own surviving arrivals are unchanged by its window.
      */
     std::vector<ServeRequest>
-    trace(const std::vector<TenantSpec> &tenants, Cycle horizon) const;
+    trace(const std::vector<TenantSpec> &tenants,
+          WallNs horizon) const;
 
   private:
     u64 seed_;

@@ -52,18 +52,18 @@ heteroStageSetup()
     setup.tenants[0].name = "cnn_infer";
     setup.tenants[0].kind = WorkloadKind::CnnInfer;
     setup.tenants[0].weight = 2.0;
-    setup.tenants[0].ratePerKcycle = 0.1;
+    setup.tenants[0].ratePerKns = 0.1;
     setup.tenants[0].burst = {6000, 6000};
     setup.tenants[0].slo = {30000, 0.99};
     setup.tenants[1].name = "cnn_mvm";
     setup.tenants[1].kind = WorkloadKind::Cnn;
     setup.tenants[1].weight = 4.0;
-    setup.tenants[1].ratePerKcycle = 2.0;
+    setup.tenants[1].ratePerKns = 2.0;
     setup.tenants[1].slo = {1, 0.9};
     setup.tenants[2].name = "gf_wide";
     setup.tenants[2].kind = WorkloadKind::GfWide;
     setup.tenants[2].weight = 1.0;
-    setup.tenants[2].ratePerKcycle = 1.0;
+    setup.tenants[2].ratePerKns = 1.0;
     return setup;
 }
 
@@ -100,7 +100,7 @@ TEST(ReplayerTest, HeteroStageRunReplaysBitIdentically)
     // output checksum.
     EXPECT_EQ(res.report.completed, rec.report.completed);
     EXPECT_EQ(res.report.rejected, rec.report.rejected);
-    EXPECT_EQ(res.report.makespan, rec.report.makespan);
+    EXPECT_EQ(res.report.makespanNs, rec.report.makespanNs);
     EXPECT_EQ(res.report.outputChecksum, rec.report.outputChecksum);
 }
 
@@ -131,12 +131,12 @@ TEST(ReplayerTest, ParsesSetupAndTraceBack)
         EXPECT_EQ(parsed.tenants[t].name, setup.tenants[t].name);
         EXPECT_EQ(parsed.tenants[t].kind, setup.tenants[t].kind);
         EXPECT_EQ(parsed.tenants[t].weight, setup.tenants[t].weight);
-        EXPECT_EQ(parsed.tenants[t].ratePerKcycle,
-                  setup.tenants[t].ratePerKcycle);
-        EXPECT_EQ(parsed.tenants[t].burst.onCycles,
-                  setup.tenants[t].burst.onCycles);
-        EXPECT_EQ(parsed.tenants[t].slo.latencyTargetCycles,
-                  setup.tenants[t].slo.latencyTargetCycles);
+        EXPECT_EQ(parsed.tenants[t].ratePerKns,
+                  setup.tenants[t].ratePerKns);
+        EXPECT_EQ(parsed.tenants[t].burst.onNs,
+                  setup.tenants[t].burst.onNs);
+        EXPECT_EQ(parsed.tenants[t].slo.latencyTargetNs,
+                  setup.tenants[t].slo.latencyTargetNs);
         EXPECT_EQ(parsed.tenants[t].slo.targetAvailability,
                   setup.tenants[t].slo.targetAvailability);
     }
@@ -162,10 +162,10 @@ TEST(ReplayerTest, UniformPoolRoundTrips)
     setup.tenants.resize(2);
     setup.tenants[0].name = "micro0";
     setup.tenants[0].kind = WorkloadKind::Micro;
-    setup.tenants[0].ratePerKcycle = 3.0;
+    setup.tenants[0].ratePerKns = 3.0;
     setup.tenants[1].name = "micro1";
     setup.tenants[1].kind = WorkloadKind::Micro;
-    setup.tenants[1].ratePerKcycle = 3.0;
+    setup.tenants[1].ratePerKns = 3.0;
 
     const ServeRunRecord rec = recordServeRun(setup);
     ASSERT_GT(rec.report.completed, 0u);
@@ -183,7 +183,7 @@ TEST(ReplayerTest, TamperedArrivalDiverges)
     setup.tenants.resize(1);
     setup.tenants[0].name = "micro";
     setup.tenants[0].kind = WorkloadKind::Micro;
-    setup.tenants[0].ratePerKcycle = 2.0;
+    setup.tenants[0].ratePerKns = 2.0;
     const ServeRunRecord rec = recordServeRun(setup);
 
     // Rebuild the journal with one arrival's input perturbed: the

@@ -59,7 +59,7 @@ microSpecs(const std::vector<double> &weights)
         spec.name = "tenant" + std::to_string(i);
         spec.kind = WorkloadKind::Micro;
         spec.weight = weights[i];
-        spec.ratePerKcycle = 1.0;
+        spec.ratePerKns = 1.0;
         specs.push_back(spec);
     }
     return specs;
@@ -267,7 +267,7 @@ TEST(Admission, PoolRunsBitIdenticallyAcrossSizes)
     const auto specs = microSpecs({1.0, 1.0, 1.0, 1.0});
     std::vector<TenantSpec> rated = specs;
     for (auto &spec : rated)
-        spec.ratePerKcycle = 40.0;
+        spec.ratePerKns = 40.0;
     const auto trace = gen.trace(rated, 20000);
     ASSERT_GT(trace.size(), 100u);
 
@@ -308,7 +308,7 @@ TEST(Admission, ChecksumIsStableAcrossQosPolicies)
     const auto specs = microSpecs({2.0, 1.0});
     std::vector<TenantSpec> rated = specs;
     for (auto &spec : rated)
-        spec.ratePerKcycle = 30.0;
+        spec.ratePerKns = 30.0;
     const auto trace = gen.trace(rated, 10000);
     ASSERT_GT(trace.size(), 50u);
 
@@ -363,23 +363,61 @@ TEST(Admission, InvalidConfigsThrow)
     EXPECT_NO_THROW(AdmissionController(pool, tenants, cfg));
 }
 
-TEST(Admission, MixedClockPoolsAreRejected)
+TEST(Admission, MixedClockPoolsAreAccepted)
 {
-    // ChipSpec clocks feed placement scoring, but the report's
-    // aggregate statistics compare cycle counts across chips — only
-    // meaningful in one clock domain, so admission refuses a
-    // mixed-clock pool outright.
-    TrafficGen gen(53);
-    PoolConfig pcfg;
-    pcfg.chips = {
-        heteroChipSpec(analog::AdcKind::Sar, 1, /*clock_ghz=*/1.0),
-        heteroChipSpec(analog::AdcKind::Sar, 1, /*clock_ghz=*/2.0)};
-    ChipPool pool(pcfg);
-    auto tenants = buildTenants(pool, gen, microSpecs({1.0}));
+    // Frequency-binned heterogeneous pools are legal: every report
+    // statistic, WFQ charge, and journal stamp is wall-clock, so
+    // cross-chip aggregates compare like for like. A 1 GHz + 2 GHz
+    // pool runs the same trace as its all-1 GHz twin and must
+    // produce bit-identical outputs (the clock moves *when*, never
+    // *what*) with wall-clock-consistent per-chip stats.
+    const std::vector<ServeRequest> burst = floodTrace(2, 8, 2);
     AdmissionConfig cfg;
-    cfg.queueDepth = 1;
-    EXPECT_THROW(AdmissionController(pool, tenants, cfg),
-                 std::invalid_argument);
+    cfg.queueDepth = 2;
+
+    u64 mixed_checksum = 0;
+    {
+        TrafficGen gen(53);
+        PoolConfig pcfg;
+        pcfg.chips = {
+            heteroChipSpec(analog::AdcKind::Sar, 1, /*clock_ghz=*/1.0),
+            heteroChipSpec(analog::AdcKind::Sar, 1, /*clock_ghz=*/2.0)};
+        ChipPool pool(pcfg);
+        auto tenants = buildTenants(pool, gen, microSpecs({1.0, 1.0}));
+        ASSERT_NE(pool.modelChip(tenants[0].model),
+                  pool.modelChip(tenants[1].model));
+        AdmissionController ac(pool, tenants, cfg);
+        const ServeReport report = ac.run(burst);
+        EXPECT_EQ(report.completed, burst.size());
+        EXPECT_EQ(report.chips[0].clockGHz, 1.0);
+        EXPECT_EQ(report.chips[1].clockGHz, 2.0);
+        // Wall-clock consistency: each chip's makespan bounds the
+        // run's, and both chips served real wall time.
+        EXPECT_GT(report.makespanNs, 0u);
+        for (const ChipStats &cs : report.chips) {
+            EXPECT_GT(cs.completed, 0u);
+            EXPECT_GT(cs.serviceNs, 0.0);
+            EXPECT_LE(cs.makespanNs, report.makespanNs);
+        }
+        // The 2 GHz chip's wall makespan is its cycle makespan
+        // halved (500 ps period), exactly.
+        const Cycle mk1 = pool.runtime(1).scheduler().makespan();
+        EXPECT_EQ(report.chips[1].makespanNs, mk1 / 2);
+        mixed_checksum = report.outputChecksum;
+    }
+    {
+        TrafficGen gen(53);
+        PoolConfig pcfg;
+        pcfg.chips = {
+            heteroChipSpec(analog::AdcKind::Sar, 1, /*clock_ghz=*/1.0),
+            heteroChipSpec(analog::AdcKind::Sar, 1, /*clock_ghz=*/1.0)};
+        ChipPool pool(pcfg);
+        auto tenants = buildTenants(pool, gen, microSpecs({1.0, 1.0}));
+        AdmissionController ac(pool, tenants, cfg);
+        const ServeReport report = ac.run(burst);
+        EXPECT_EQ(report.completed, burst.size());
+        EXPECT_EQ(report.outputChecksum, mixed_checksum);
+    }
 }
 
 TEST(Admission, PerChipWindowBoundsHoldUnderLoad)
@@ -442,11 +480,11 @@ TEST(Admission, PerChipStatsBreakDownTheReport)
         completed += cs.completed;
         mvms += cs.mvms;
         tenant_count += cs.tenants;
-        EXPECT_LE(cs.makespan, report.makespan);
+        EXPECT_LE(cs.makespanNs, report.makespanNs);
         if (cs.completed > 0) {
-            EXPECT_GT(cs.serviceCycles, 0.0);
+            EXPECT_GT(cs.serviceNs, 0.0);
             EXPECT_GT(cs.utilization(), 0.0);
-            EXPECT_GT(cs.throughputPerKcycle(), 0.0);
+            EXPECT_GT(cs.throughputPerKns(), 0.0);
         }
         // Uniform pools carry the default spec name and the uniform
         // window.
@@ -471,7 +509,7 @@ TEST(Admission, TenantSpecValidationThrows)
     bad_weight.name = "w";
     bad_weight.kind = WorkloadKind::Micro;
     bad_weight.weight = 0.0;
-    bad_weight.ratePerKcycle = 1.0;
+    bad_weight.ratePerKns = 1.0;
     EXPECT_THROW(TrafficGen::validateSpec(bad_weight),
                  std::invalid_argument);
 
@@ -479,7 +517,7 @@ TEST(Admission, TenantSpecValidationThrows)
     bad_rate.name = "r";
     bad_rate.kind = WorkloadKind::Micro;
     bad_rate.weight = 1.0;
-    bad_rate.ratePerKcycle = -2.0;
+    bad_rate.ratePerKns = -2.0;
     EXPECT_THROW(TrafficGen::validateSpec(bad_rate),
                  std::invalid_argument);
 
@@ -494,7 +532,7 @@ TEST(Admission, TenantSpecValidationThrows)
     good.name = "ok";
     good.kind = WorkloadKind::Micro;
     good.weight = 0.5;
-    good.ratePerKcycle = 0.25;
+    good.ratePerKns = 0.25;
     EXPECT_NO_THROW(TrafficGen::validateSpec(good));
 }
 
@@ -528,7 +566,7 @@ TEST(Admission, InferenceRequestsServeWholeForwards)
     std::vector<TenantSpec> specs(1);
     specs[0].name = "cnn_infer";
     specs[0].kind = WorkloadKind::CnnInfer;
-    specs[0].ratePerKcycle = 0.05;
+    specs[0].ratePerKns = 0.05;
     auto tenants = buildTenants(pool, gen, specs);
     EXPECT_TRUE(pool.isInference(tenants[0].model));
     EXPECT_EQ(pool.modelRows(tenants[0].model), 64u);
@@ -581,13 +619,13 @@ TEST(Admission, StageGranularityKeepsOutputsBitIdentical)
     std::vector<TenantSpec> specs(3);
     specs[0].name = "cnn_infer";
     specs[0].kind = WorkloadKind::CnnInfer;
-    specs[0].ratePerKcycle = 0.1;
+    specs[0].ratePerKns = 0.1;
     specs[1].name = "llm_infer";
     specs[1].kind = WorkloadKind::LlmInfer;
-    specs[1].ratePerKcycle = 0.05;
+    specs[1].ratePerKns = 0.05;
     specs[2].name = "micro";
     specs[2].kind = WorkloadKind::Micro;
-    specs[2].ratePerKcycle = 1.0;
+    specs[2].ratePerKns = 1.0;
     const auto trace = gen.trace(specs, 60000);
     ASSERT_GT(trace.size(), 20u);
 
@@ -645,10 +683,10 @@ TEST(Admission, StageSlotsReleaseOnStageCompletion)
     std::vector<TenantSpec> specs(2);
     specs[0].name = "cnn_infer";
     specs[0].kind = WorkloadKind::CnnInfer;
-    specs[0].ratePerKcycle = 0.1;
+    specs[0].ratePerKns = 0.1;
     specs[1].name = "micro";
     specs[1].kind = WorkloadKind::Micro;
-    specs[1].ratePerKcycle = 1.0;
+    specs[1].ratePerKns = 1.0;
 
     std::vector<ServeRequest> trace(2);
     trace[0].arrival = 0;
@@ -677,12 +715,12 @@ TEST(Admission, StageSlotsReleaseOnStageCompletion)
     ASSERT_EQ(whole.completed, 2u);
     ASSERT_EQ(staged.completed, 2u);
 
-    const double whole_infer_done = whole.tenants[0].doneCycle[0];
+    const double whole_infer_done = whole.tenants[0].doneNs[0];
     const double whole_mvm_start =
         1.0 + whole.tenants[1].queueing[0];
     EXPECT_GE(whole_mvm_start, whole_infer_done);
 
-    const double staged_infer_done = staged.tenants[0].doneCycle[0];
+    const double staged_infer_done = staged.tenants[0].doneNs[0];
     const double staged_mvm_start =
         1.0 + staged.tenants[1].queueing[0];
     EXPECT_LT(staged_mvm_start, staged_infer_done);
@@ -701,7 +739,7 @@ TEST(Admission, StageRejectFinishesBegunRequestsAndDropsArrivals)
     std::vector<TenantSpec> specs(1);
     specs[0].name = "cnn_infer";
     specs[0].kind = WorkloadKind::CnnInfer;
-    specs[0].ratePerKcycle = 0.1;
+    specs[0].ratePerKns = 0.1;
 
     const std::size_t rows =
         TrafficGen::inputRows(WorkloadKind::CnnInfer);
@@ -743,7 +781,7 @@ TEST(Admission, BurstSpecValidationThrows)
     TenantSpec one_sided;
     one_sided.name = "b";
     one_sided.kind = WorkloadKind::Micro;
-    one_sided.burst.onCycles = 100;
+    one_sided.burst.onNs = 100;
     EXPECT_THROW(TrafficGen::validateSpec(one_sided),
                  std::invalid_argument);
     one_sided.burst = {0, 100};
@@ -771,15 +809,15 @@ TEST(Admission, BurstyArrivalsStayInOnWindows)
     TenantSpec spec;
     spec.name = "bursty";
     spec.kind = WorkloadKind::Micro;
-    spec.ratePerKcycle = 50.0;
+    spec.ratePerKns = 50.0;
     spec.burst = {500, 1500};
 
     const auto trace = gen.trace({spec}, 20000);
     ASSERT_GT(trace.size(), 50u);
-    const Cycle period = spec.burst.onCycles + spec.burst.offCycles;
+    const Cycle period = spec.burst.onNs + spec.burst.offNs;
     Cycle prev = 0;
     for (const ServeRequest &req : trace) {
-        EXPECT_LT(req.arrival % period, spec.burst.onCycles)
+        EXPECT_LT(req.arrival % period, spec.burst.onNs)
             << "arrival " << req.arrival << " falls in an off-phase";
         EXPECT_GE(req.arrival, prev);
         prev = req.arrival;
@@ -795,7 +833,7 @@ TEST(Admission, BurstyArrivalsStayInOnWindows)
     TenantSpec steady;
     steady.name = "steady";
     steady.kind = WorkloadKind::Micro;
-    steady.ratePerKcycle = 10.0;
+    steady.ratePerKns = 10.0;
     const auto mixed = gen.trace({steady, spec}, 20000);
     const auto solo = gen.trace({steady}, 20000);
     std::vector<Cycle> mixed_arrivals;
@@ -817,7 +855,7 @@ TEST(Admission, InferenceBlocksHonourArrivalOrderAndWindow)
     std::vector<TenantSpec> specs(1);
     specs[0].name = "cnn_infer";
     specs[0].kind = WorkloadKind::CnnInfer;
-    specs[0].ratePerKcycle = 1.0;
+    specs[0].ratePerKns = 1.0;
     auto tenants = buildTenants(pool, gen, specs);
 
     std::vector<ServeRequest> trace(2);
@@ -836,7 +874,7 @@ TEST(Admission, InferenceBlocksHonourArrivalOrderAndWindow)
     // queueing = start - arrival: the second request waited at least
     // the first's service time behind the one-slot window.
     EXPECT_GT(stats.queueing[1], 0.0);
-    EXPECT_GE(stats.doneCycle[1], stats.doneCycle[0]);
+    EXPECT_GE(stats.doneNs[1], stats.doneNs[0]);
 }
 
 } // namespace

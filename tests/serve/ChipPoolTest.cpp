@@ -186,7 +186,7 @@ TEST(ChipPool, SubmitRoutesToOwningChip)
               0u);
     EXPECT_EQ(pool.runtime(pool.modelChip(b)).scheduler().makespan(),
               0u);
-    EXPECT_EQ(pool.makespan(), result.done);
+    EXPECT_EQ(pool.makespanNs(), result.done);
 }
 
 TEST(ChipPool, ZeroChipsIsFatal)
@@ -402,22 +402,25 @@ TEST(ChipPool, StagedInferenceChargesSumToNominal)
     const std::vector<i64> cnn_input(pool.modelRows(cnn_model), 1);
     auto cnn_run = pool.beginInference(cnn_model, cnn_input, 0);
     EXPECT_EQ(cnn_run->stageCount(), 3u);   // conv1, conv2, fc
-    Cycle total = 0;
-    for (const Cycle charge : cnn_run->stageCharges) {
+    u64 total = 0;
+    for (const u64 charge : cnn_run->stageCharges) {
         EXPECT_GT(charge, 0u);
         total += charge;
     }
-    EXPECT_EQ(total, pool.nominalServiceCycles(cnn_model, 8));
+    EXPECT_EQ(total, pool.nominalServicePs(cnn_model, 8));
+    // At the default 1 GHz the picosecond charges are the cycle
+    // nominal scaled by the 1000 ps period, exactly.
+    EXPECT_EQ(total, 1000 * pool.nominalServiceCycles(cnn_model, 8));
 
     const std::vector<i64> llm_input(pool.modelRows(llm_model), 1);
     auto llm_run = pool.beginInference(llm_model, llm_input, 0);
     EXPECT_EQ(llm_run->stageCount(), 4u);   // qkv, attn-wo, ffn1/2
     total = 0;
-    for (const Cycle charge : llm_run->stageCharges) {
+    for (const u64 charge : llm_run->stageCharges) {
         EXPECT_GT(charge, 0u);
         total += charge;
     }
-    EXPECT_EQ(total, pool.nominalServiceCycles(llm_model, 12));
+    EXPECT_EQ(total, pool.nominalServicePs(llm_model, 12));
 
     // beginInference submits nothing: the chip scheduler is idle
     // until the run is advanced.
@@ -442,7 +445,7 @@ TEST(ChipPool, CostAwareBacklogPrefersSlowerIdleChip)
         heteroChipSpec(analog::AdcKind::Sar, 2, /*clock_ghz=*/2.0),
         heteroChipSpec(analog::AdcKind::Sar, 2, /*clock_ghz=*/1.0)};
     cfg.placement = PlacementPolicy::CostAware;
-    cfg.backlogWindowCycles = 200;
+    cfg.backlogWindowNs = 200;
     ChipPool pool(cfg);
     TrafficGen gen(32);
 
@@ -457,7 +460,7 @@ TEST(ChipPool, CostAwareBacklogPrefersSlowerIdleChip)
     EXPECT_EQ(pool.backlogCycles(0), 0u);
     for (int i = 0; i < 8; ++i)
         (void)pool.submit(warm, std::vector<i64>(8, 1), 1);
-    ASSERT_GT(pool.backlogCycles(0), 2 * cfg.backlogWindowCycles);
+    ASSERT_GT(pool.backlogCycles(0), 2 * cfg.backlogWindowNs);
     EXPECT_EQ(pool.backlogCycles(1), 0u);
 
     // score0 = (cost/2)(1 + backlog/window) now exceeds score1 =
@@ -482,7 +485,7 @@ TEST(ChipPool, CostAwareBacklogMakesAssignmentOrderInsensitive)
         cfg.chips = {heteroChipSpec(analog::AdcKind::Sar, 3),
                      heteroChipSpec(analog::AdcKind::Sar, 3)};
         cfg.placement = PlacementPolicy::CostAware;
-        cfg.backlogWindowCycles = 200;
+        cfg.backlogWindowNs = 200;
         ChipPool pool(cfg);
         TrafficGen gen(33);
         const ModelRef warm = pool.placeModel(
@@ -519,16 +522,16 @@ TEST(ChipPool, MixedPoolOutputsBitIdenticalToHomogeneous)
     std::vector<TenantSpec> specs(4);
     specs[0].name = "gf";
     specs[0].kind = WorkloadKind::GfWide;
-    specs[0].ratePerKcycle = 4.0;
+    specs[0].ratePerKns = 4.0;
     specs[1].name = "aes";
     specs[1].kind = WorkloadKind::Aes;
-    specs[1].ratePerKcycle = 4.0;
+    specs[1].ratePerKns = 4.0;
     specs[2].name = "cnn";
     specs[2].kind = WorkloadKind::Cnn;
-    specs[2].ratePerKcycle = 1.0;
+    specs[2].ratePerKns = 1.0;
     specs[3].name = "llm";
     specs[3].kind = WorkloadKind::Llm;
-    specs[3].ratePerKcycle = 1.0;
+    specs[3].ratePerKns = 1.0;
 
     auto run = [&](bool mixed) {
         TrafficGen gen(909);

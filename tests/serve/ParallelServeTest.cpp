@@ -67,14 +67,14 @@ mixedSpecs()
         spec.name = "micro" + std::to_string(i);
         spec.kind = WorkloadKind::Micro;
         spec.weight = 1.0 + static_cast<double>(i);
-        spec.ratePerKcycle = 4.0;
+        spec.ratePerKns = 4.0;
         specs.push_back(spec);
     }
     TenantSpec infer;
     infer.name = "cnninfer";
     infer.kind = WorkloadKind::CnnInfer;
     infer.weight = 2.0;
-    infer.ratePerKcycle = 0.5;
+    infer.ratePerKns = 0.5;
     specs.push_back(infer);
     return specs;
 }
@@ -104,7 +104,7 @@ expectReportsIdentical(const ServeReport &one, const ServeReport &many)
     EXPECT_EQ(one.outputChecksum, many.outputChecksum);
     EXPECT_EQ(one.completed, many.completed);
     EXPECT_EQ(one.rejected, many.rejected);
-    EXPECT_EQ(one.makespan, many.makespan);
+    EXPECT_EQ(one.makespanNs, many.makespanNs);
     EXPECT_EQ(one.outputs, many.outputs);
     ASSERT_EQ(one.tenants.size(), many.tenants.size());
     for (std::size_t t = 0; t < one.tenants.size(); ++t) {
@@ -118,15 +118,15 @@ expectReportsIdentical(const ServeReport &one, const ServeReport &many)
         EXPECT_EQ(a.latency, b.latency) << a.name;
         EXPECT_EQ(a.queueing, b.queueing) << a.name;
         EXPECT_EQ(a.service, b.service) << a.name;
-        EXPECT_EQ(a.doneCycle, b.doneCycle) << a.name;
-        EXPECT_EQ(a.serviceCycles, b.serviceCycles) << a.name;
+        EXPECT_EQ(a.doneNs, b.doneNs) << a.name;
+        EXPECT_EQ(a.serviceNs, b.serviceNs) << a.name;
     }
     ASSERT_EQ(one.chips.size(), many.chips.size());
     for (std::size_t c = 0; c < one.chips.size(); ++c) {
         EXPECT_EQ(one.chips[c].completed, many.chips[c].completed);
         EXPECT_EQ(one.chips[c].mvms, many.chips[c].mvms);
-        EXPECT_EQ(one.chips[c].serviceCycles,
-                  many.chips[c].serviceCycles);
+        EXPECT_EQ(one.chips[c].serviceNs,
+                  many.chips[c].serviceNs);
     }
 }
 
@@ -171,7 +171,7 @@ TEST(ParallelServe, JournalBytesIdenticalAcrossThreadCounts)
         TenantSpec spec;
         spec.name = "micro" + std::to_string(i);
         spec.kind = WorkloadKind::Micro;
-        spec.ratePerKcycle = 3.0;
+        spec.ratePerKns = 3.0;
         specs.push_back(spec);
     }
     setup.tenants = specs;

@@ -28,7 +28,7 @@ namespace
 
 TEST(SloTest, DisabledSpecTracksNothing)
 {
-    SloStats stats;   // latencyTargetCycles 0 = disabled
+    SloStats stats;   // latencyTargetNs 0 = disabled
     EXPECT_FALSE(stats.spec.enabled());
     stats.recordLatency(100);
     stats.recordRejected();
@@ -125,15 +125,15 @@ TEST(SloTest, AdmissionRunTracksPerTenantBurn)
     std::vector<TenantSpec> specs(3);
     specs[0].name = "impossible";
     specs[0].kind = WorkloadKind::Micro;
-    specs[0].ratePerKcycle = 2.0;
+    specs[0].ratePerKns = 2.0;
     specs[0].slo = {1, 0.9};   // every completion misses
     specs[1].name = "unreachable";
     specs[1].kind = WorkloadKind::Micro;
-    specs[1].ratePerKcycle = 2.0;
+    specs[1].ratePerKns = 2.0;
     specs[1].slo = {Cycle{1} << 40, 0.999};   // nothing misses
     specs[2].name = "untracked";
     specs[2].kind = WorkloadKind::Micro;
-    specs[2].ratePerKcycle = 2.0;   // SLO disabled
+    specs[2].ratePerKns = 2.0;   // SLO disabled
 
     auto tenants = buildTenants(pool, gen, specs);
     AdmissionConfig cfg;
@@ -168,7 +168,7 @@ TEST(SloTest, RejectedRequestsBurnBudget)
     std::vector<TenantSpec> specs(1);
     specs[0].name = "hot";
     specs[0].kind = WorkloadKind::Micro;
-    specs[0].ratePerKcycle = 50.0;   // far past one tile's capacity
+    specs[0].ratePerKns = 50.0;   // far past one tile's capacity
     specs[0].slo = {Cycle{1} << 40, 0.9};   // only rejections miss
 
     auto tenants = buildTenants(pool, gen, specs);

@@ -37,7 +37,7 @@ import sys
 # (substring-of-metric-name, bad-direction). Anything else is
 # reported as informational only.
 REGRESSION_METRICS = [
-    ("throughput_per_kcycle", "down"),
+    ("throughput_per_kns", "down"),
     ("latency_p95", "up"),
     ("latency_p99", "up"),
     ("reject_fraction", "up"),

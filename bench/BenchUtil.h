@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "apps/aes/AesPum.h"
 #include "apps/cnn/CnnMapper.h"
 #include "apps/cnn/Resnet20.h"
@@ -265,6 +267,23 @@ class DigitalPumSystem
   private:
     std::size_t clusters_ = 0;
 };
+
+/**
+ * Peak resident set size of this process in MiB (getrusage
+ * ru_maxrss; kilobytes on Linux). Host-side observability only —
+ * like wall_ms it describes the machine, never the simulated
+ * system, and bench_diff.py treats it as informational. Note the
+ * counter is monotone over the process lifetime, so comparative
+ * cells must run their smaller configuration first.
+ */
+inline double
+peakRssMb()
+{
+    struct rusage usage = {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0.0;
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
 
 /** Print one normalized-bar row. */
 inline void

@@ -31,8 +31,9 @@
  * Host-side knobs (never part of the simulated experiment): the
  * `--threads N` setting is recorded in the top-level `threads` field
  * (the single-chip forwards themselves are driven serially), and
- * every network cell carries an informational `wall_ms` host
- * wall-clock field that bench_diff.py never gates on.
+ * every network cell carries informational `wall_ms` host wall-clock
+ * and `max_rss_mb` peak-resident-set fields that bench_diff.py never
+ * gates on.
  *
  *   $ ./infer_bench [--smoke] [--threads N]
  */
@@ -44,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "BenchUtil.h"
 #include "apps/cnn/CnnMapper.h"
 #include "apps/llm/LlmMapper.h"
 #include "runtime/Runtime.h"
@@ -106,7 +108,7 @@ printOutcome(const char *name, const PipelineOutcome &o,
                 "\"sched_issued\": %llu, "
                 "\"sched_pipeline_hits\": %llu, "
                 "\"sched_dependency_stalls\": %llu, "
-                "\"wall_ms\": %.3f}%s\n",
+                "\"wall_ms\": %.3f, \"max_rss_mb\": %.1f}%s\n",
                 name, o.hcts, o.mvmsPerInfer,
                 static_cast<unsigned long long>(o.serialized),
                 o.spacing, o.speedup,
@@ -115,7 +117,8 @@ printOutcome(const char *name, const PipelineOutcome &o,
                 static_cast<unsigned long long>(ctr.issued),
                 static_cast<unsigned long long>(ctr.pipelineHits),
                 static_cast<unsigned long long>(ctr.dependencyStalls),
-                wall_ms, last ? "" : ",");
+                wall_ms, darth::bench::peakRssMb(),
+                last ? "" : ",");
 }
 
 void

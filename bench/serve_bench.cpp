@@ -91,6 +91,29 @@
  *                    observed). `--stress` stretches the trace 4x
  *                    (the sanitizer CI soak).
  *
+ * A ninth experiment runs standalone (never in the default sweep or
+ * the checked-in snapshots) as `serve_bench million [--smoke]`:
+ *
+ *  9. million      — million-request serving at flat memory. A
+ *                    64-chip mixed frequency-bin pool serves a
+ *                    1,000,000-request diurnal single-MVM trace
+ *                    (`--smoke`: 100,000) pulled lazily from a
+ *                    TraceStream, recorded through a non-retaining
+ *                    Journal into rotating on-disk segments
+ *                    (journal/Segment.h), with streaming stats only
+ *                    (AdmissionConfig::retainSamples off).
+ *                    Self-checks, fatal like all the others: every
+ *                    request completes; peak RSS of the full run is
+ *                    <= 1.3x the peak of a 10x-smaller baseline run
+ *                    (measured in-process via getrusage — the
+ *                    smaller run goes first because ru_maxrss is
+ *                    monotone); the segmented recording replays
+ *                    bit-identically (journal/Replayer.h
+ *                    replaySegments), with the replayed output
+ *                    checksum equal to the live one; and the
+ *                    compacted form of the recording replays
+ *                    bit-identically too.
+ *
  * The self-checks are evaluated in every mode and failures are fatal
  * (non-zero exit), so CI's `serve_bench --smoke` enforces the
  * acceptance criteria. `--smoke` shrinks horizons and the sweep, not
@@ -100,10 +123,11 @@
  * `--threads N` runs each cell's per-chip simulation on N worker
  * threads (results are bit-identical to --threads 1 by construction;
  * the `threads` config field records the setting), and every cell
- * carries an informational `wall_ms` host wall-clock field that
- * bench_diff.py never gates on.
+ * carries informational `wall_ms` host wall-clock and `max_rss_mb`
+ * peak-resident-set fields that bench_diff.py never gates on.
  *
  *   $ ./serve_bench [--smoke] [--stress] [--threads N]
+ *   $ ./serve_bench million [--smoke]
  */
 
 #include <algorithm>
@@ -112,14 +136,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "BenchUtil.h"
+#include "common/Stats.h"
 #include "journal/Journal.h"
 #include "journal/Replayer.h"
+#include "journal/Segment.h"
 #include "serve/Admission.h"
 #include "serve/ChipConfig.h"
 #include "serve/ChipPool.h"
@@ -345,13 +375,13 @@ runScalingCell(std::size_t chips, std::size_t tenant_count,
                 "\"load\": %.2f, \"depth\": %zu, \"completed\": %llu, "
                 "\"rejected\": %llu, \"makespan\": %llu, "
                 "\"throughput_per_kns\": %.3f, "
-                "\"wall_ms\": %.3f}",
+                "\"wall_ms\": %.3f, \"max_rss_mb\": %.1f}",
                 first_cell ? "" : ",\n", chips, tenant_count, load,
                 cfg.queueDepth,
                 static_cast<unsigned long long>(report.completed),
                 static_cast<unsigned long long>(report.rejected),
                 static_cast<unsigned long long>(report.makespanNs),
-                throughput, timer.ms());
+                throughput, timer.ms(), bench::peakRssMb());
     return throughput;
 }
 
@@ -404,9 +434,10 @@ runQosSweep(Cycle horizon)
         const ServeReport report = ac.run(gen.trace(specs, horizon));
 
         std::printf("    %s{\"policy\": \"%s\", "
-                    "\"wall_ms\": %.3f, \"classes\": [\n",
+                    "\"wall_ms\": %.3f, \"max_rss_mb\": %.1f, "
+                    "\"classes\": [\n",
                     first ? "" : ",\n    ", qosPolicyName(qos),
-                    timer.ms());
+                    timer.ms(), bench::peakRssMb());
         first = false;
         for (std::size_t t = 0; t < report.tenants.size(); ++t)
             printTenantJson(report.tenants[t],
@@ -447,6 +478,9 @@ runBackpressureSweep(Cycle horizon)
         AdmissionConfig cfg;
         cfg.queueDepth = depth;
         cfg.overflow = OverflowPolicy::Reject;
+        // The aggregate p95 below pools every raw sample across
+        // tenants, which needs the retained vectors.
+        cfg.retainSamples = true;
         cfg.threads = g_threads;
         AdmissionController ac(pool, tenants, cfg);
         const ServeReport report = ac.run(gen.trace(specs, horizon));
@@ -461,7 +495,8 @@ runBackpressureSweep(Cycle horizon)
         std::printf("    %s{\"depth\": %zu, \"offered\": %.0f, "
                     "\"completed\": %llu, \"rejected\": %llu, "
                     "\"reject_fraction\": %.3f, "
-                    "\"latency_p95\": %.0f, \"wall_ms\": %.3f}",
+                    "\"latency_p95\": %.0f, \"wall_ms\": %.3f, "
+                    "\"max_rss_mb\": %.1f}",
                     first ? "" : ",\n    ", depth, offered,
                     static_cast<unsigned long long>(report.completed),
                     static_cast<unsigned long long>(report.rejected),
@@ -469,7 +504,7 @@ runBackpressureSweep(Cycle horizon)
                         ? static_cast<double>(report.rejected) /
                               offered
                         : 0.0,
-                    p95, timer.ms());
+                    p95, timer.ms(), bench::peakRssMb());
         first = false;
     }
 }
@@ -526,7 +561,8 @@ runInferenceSweep(Cycle horizon)
                         t + 1 == report.tenants.size());
     std::printf("     ],\n");
     printCountersJson(poolCounters(pool));
-    std::printf(",\n      \"wall_ms\": %.3f}\n", timer.ms());
+    std::printf(",\n      \"wall_ms\": %.3f, \"max_rss_mb\": %.1f}\n",
+                timer.ms(), bench::peakRssMb());
 
     InferenceOutcomeStats out;
     out.cnnP50 = report.tenants[0].latencySummary().p50;
@@ -625,7 +661,7 @@ runHeteroCell(const char *pool_name,
                 "\"makespan\": %llu, "
                 "\"throughput_per_kns\": %.3f, "
                 "\"checksum\": \"0x%016llx\", "
-                "\"wall_ms\": %.3f,\n",
+                "\"wall_ms\": %.3f, \"max_rss_mb\": %.1f,\n",
                 first_cell ? "" : ",\n    ", pool_name,
                 placementPolicyName(policy), mix_name,
                 static_cast<unsigned long long>(report.completed),
@@ -633,7 +669,7 @@ runHeteroCell(const char *pool_name,
                 report.throughputPerKns(),
                 static_cast<unsigned long long>(
                     report.outputChecksum),
-                timer.ms());
+                timer.ms(), bench::peakRssMb());
     printChipArrayJson(report);
     std::printf("     \"classes\": [\n");
     for (std::size_t t = 0; t < report.tenants.size(); ++t)
@@ -712,6 +748,8 @@ runStageLevelCell(Granularity granularity, Cycle horizon,
     cfg.qos = QosPolicy::WeightedFair;
     cfg.overflow = OverflowPolicy::Block;
     cfg.granularity = granularity;
+    // The aggregate p95 below pools raw samples across tenants.
+    cfg.retainSamples = true;
     cfg.threads = g_threads;
     AdmissionController ac(pool, tenants, cfg);
     const ServeReport report = ac.run(gen.trace(specs, horizon));
@@ -733,7 +771,7 @@ runStageLevelCell(Granularity granularity, Cycle horizon,
                 "\"completed\": %llu, \"makespan\": %llu, "
                 "\"latency_p95\": %.0f, "
                 "\"checksum\": \"0x%016llx\", "
-                "\"wall_ms\": %.3f,\n",
+                "\"wall_ms\": %.3f, \"max_rss_mb\": %.1f,\n",
                 first_cell ? "" : ",\n    ",
                 granularityName(granularity),
                 static_cast<unsigned long long>(report.completed),
@@ -741,7 +779,7 @@ runStageLevelCell(Granularity granularity, Cycle horizon,
                 cell.p95,
                 static_cast<unsigned long long>(
                     report.outputChecksum),
-                timer.ms());
+                timer.ms(), bench::peakRssMb());
     printChipArrayJson(report);
     std::printf("     \"classes\": [\n");
     for (std::size_t t = 0; t < report.tenants.size(); ++t)
@@ -830,7 +868,7 @@ runJournalCell(Cycle horizon)
                 "\"makespan\": %llu, \"checksum\": \"0x%016llx\", "
                 "\"roundtrip_identical\": %s, "
                 "\"replay_identical\": %s, \"replay_events\": %zu, "
-                "\"wall_ms\": %.3f,\n",
+                "\"wall_ms\": %.3f, \"max_rss_mb\": %.1f,\n",
                 rec.journal.size(),
                 static_cast<unsigned long long>(
                     rec.journal.chainChecksum()),
@@ -840,7 +878,8 @@ runJournalCell(Cycle horizon)
                     rec.report.outputChecksum),
                 cell.roundtripIdentical ? "true" : "false",
                 cell.replayIdentical ? "true" : "false",
-                res.journal.size(), timer.ms());
+                res.journal.size(), timer.ms(),
+                bench::peakRssMb());
     if (!res.identical)
         std::printf("     \"replay_mismatch\": \"%s\",\n",
                     res.detail.c_str());
@@ -992,7 +1031,8 @@ runFleetCell(std::size_t sar_chips, std::size_t ramp_chips,
         "\"chip_ups\": %llu, \"chip_downs\": %llu,\n"
         "     \"static_checksum_equal\": %s, "
         "\"replay_identical\": %s, \"none_lost\": %s, "
-        "\"journal_events\": %zu, \"wall_ms\": %.3f}\n",
+        "\"journal_events\": %zu, \"wall_ms\": %.3f, "
+        "\"max_rss_mb\": %.1f}\n",
         sar_chips, ramp_chips, setup.tenants.size(),
         rec.trace.size(), static_cast<unsigned long long>(horizon),
         static_cast<unsigned long long>(rec.report.completed),
@@ -1009,11 +1049,234 @@ runFleetCell(std::size_t sar_chips, std::size_t ramp_chips,
         cell.checksumInvariant ? "true" : "false",
         cell.replayIdentical ? "true" : "false",
         cell.noneLost ? "true" : "false", rec.journal.size(),
-        timer.ms());
+        timer.ms(), bench::peakRssMb());
     if (!res.identical)
         std::printf("     ,\"replay_mismatch\": \"%s\"\n",
                     res.detail.c_str());
     return cell;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 9 (standalone): million-request serving at flat memory.
+// A 64-chip mixed frequency-bin pool serves a million-request diurnal
+// single-MVM trace pulled lazily from a TraceStream, recorded through
+// a non-retaining Journal into rotating on-disk segments, with
+// streaming stats only. The flat-memory self-check runs the
+// 10x-smaller baseline FIRST (ru_maxrss is monotone) and requires the
+// full run's peak RSS within 1.3x of it; the recording must replay
+// bit-identically in both its live and compacted forms.
+// ---------------------------------------------------------------------------
+
+/** The diurnal single-MVM mix. Single-MVM tenants keep every live
+ *  window entry immediately materializable, so the streaming run's
+ *  memory ceiling is the admission window, not the trace. */
+std::vector<TenantSpec>
+millionSpecs()
+{
+    std::vector<TenantSpec> specs;
+    for (std::size_t i = 0; i < 12; ++i) {
+        TenantSpec s;
+        s.name = "m" + std::to_string(specs.size());
+        s.kind = WorkloadKind::Micro;
+        s.weight = 1.0 + static_cast<double>(i % 4);
+        s.ratePerKns = 2.0;
+        specs.push_back(s);
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+        TenantSpec s;
+        s.name = "m" + std::to_string(specs.size());
+        s.kind = WorkloadKind::Micro;
+        s.ratePerKns = 4.0;
+        s.burst = {200000, 300000};
+        specs.push_back(s);
+    }
+    return specs;
+}
+
+journal::ServeRunSetup
+millionSetup()
+{
+    journal::ServeRunSetup setup;
+    setup.uniformPool = false;
+    setup.slots.clear();
+    for (std::size_t c = 0; c < 32; ++c)
+        setup.slots.push_back(
+            {journal::SlotKind::Sar, kHeteroSarHcts, 1.0});
+    for (std::size_t c = 0; c < 32; ++c)
+        setup.slots.push_back(
+            {journal::SlotKind::Ramp, kHeteroSarHcts, 2.0});
+    setup.placement = PlacementPolicy::CostAware;
+    setup.trafficSeed = 9009;
+    // Far more than a million requests are available at the mix's
+    // aggregate rate (~30/kns); the CappedSource ends the run.
+    setup.horizon = 100000000;
+    setup.admission.queueDepth = 2;
+    setup.admission.qos = QosPolicy::WeightedFair;
+    setup.admission.overflow = OverflowPolicy::Block;
+    setup.tenants = millionSpecs();
+    return setup;
+}
+
+struct MillionRun
+{
+    ServeReport report;
+    u64 chain = 0;
+    std::size_t records = 0;
+    std::size_t segments = 0;
+    double rssMb = 0.0;
+    double wallMs = 0.0;
+};
+
+/** One streamed, segment-recorded run of `n` requests into `dir`. */
+MillionRun
+runMillionOnce(const journal::ServeRunSetup &setup, std::size_t n,
+               const std::string &dir)
+{
+    const WallTimer timer;
+    TraceStream stream(setup.trafficSeed, setup.tenants,
+                       setup.horizon);
+    CappedSource source(stream, n);
+    journal::Journal jr;
+    journal::SegmentWriter writer(dir);
+    jr.attachSink(&writer, /*retainEvents*/ false);
+
+    MillionRun run;
+    run.report = journal::recordServeRunStream(setup, source, jr);
+    writer.finish();
+    run.chain = jr.chainChecksum();
+    run.records = jr.size();
+    run.segments = writer.segments();
+    run.rssMb = bench::peakRssMb();
+    run.wallMs = timer.ms();
+    return run;
+}
+
+int
+runMillionExperiment(bool smoke)
+{
+    const std::size_t n = smoke ? 100000 : 1000000;
+    const std::size_t baseline_n = n / 10;
+    namespace fs = std::filesystem;
+    const fs::path root =
+        fs::temp_directory_path() /
+        ("serve_bench_million." + std::to_string(getpid()));
+    fs::remove_all(root);
+    const std::string base_dir = (root / "baseline").string();
+    const std::string full_dir = (root / "full").string();
+    const std::string compact_dir = (root / "compact").string();
+
+    const journal::ServeRunSetup setup = millionSetup();
+
+    std::printf("{\n");
+    std::printf("  \"bench\": \"serve_bench\",\n");
+    std::printf("  \"experiment\": \"million\",\n");
+    std::printf("  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::printf("  \"million\": [\n");
+
+    // Baseline first: ru_maxrss is monotone over the process, so the
+    // smaller run must not inherit the bigger run's peak.
+    const MillionRun base =
+        runMillionOnce(setup, baseline_n, base_dir);
+    const MillionRun full = runMillionOnce(setup, n, full_dir);
+
+    // Replay the segmented recording at flat memory, then compact it
+    // and replay the compacted form too.
+    const journal::SegmentReplayResult rep =
+        journal::replaySegments(full_dir);
+    const journal::CompactResult comp =
+        journal::compactSegments(full_dir, compact_dir);
+    const journal::SegmentReplayResult crep =
+        journal::replaySegments(compact_dir);
+
+    // Aggregate latency percentiles from the streaming histograms
+    // (no retained samples anywhere in this experiment).
+    StreamingHistogram agg;
+    for (const TenantStats &t : full.report.tenants)
+        agg.merge(t.latencyHist);
+
+    std::printf(
+        "    {\"pool\": \"32 sar@1GHz + 32 ramp@2GHz\", "
+        "\"tenants\": %zu, \"requests\": %zu, "
+        "\"baseline_requests\": %zu,\n"
+        "     \"completed\": %llu, \"rejected\": %llu, "
+        "\"makespan\": %llu, \"checksum\": \"0x%016llx\", "
+        "\"throughput_per_kns\": %.3f,\n"
+        "     \"latency_p50\": %.0f, \"latency_p95\": %.0f, "
+        "\"latency_p99\": %.0f, \"latency_bucket_ns\": %.0f,\n"
+        "     \"journal_records\": %zu, \"journal_segments\": %zu, "
+        "\"journal_chain\": \"0x%016llx\",\n"
+        "     \"compacted_records\": %zu, "
+        "\"compacted_segments\": %zu,\n"
+        "     \"replay_identical\": %s, "
+        "\"replay_checksum_equal\": %s, "
+        "\"compacted_replay_identical\": %s,\n"
+        "     \"baseline_max_rss_mb\": %.1f, "
+        "\"baseline_wall_ms\": %.3f, \"rss_ratio\": %.3f, "
+        "\"wall_ms\": %.3f, \"max_rss_mb\": %.1f}\n",
+        setup.tenants.size(), n, baseline_n,
+        static_cast<unsigned long long>(full.report.completed),
+        static_cast<unsigned long long>(full.report.rejected),
+        static_cast<unsigned long long>(full.report.makespanNs),
+        static_cast<unsigned long long>(full.report.outputChecksum),
+        full.report.throughputPerKns(), agg.percentile(50.0),
+        agg.percentile(95.0), agg.percentile(99.0),
+        agg.bucketWidth(), full.records, full.segments,
+        static_cast<unsigned long long>(full.chain),
+        comp.outputRecords, comp.outputSegments,
+        rep.identical ? "true" : "false",
+        rep.report.outputChecksum == full.report.outputChecksum
+            ? "true"
+            : "false",
+        crep.identical ? "true" : "false", base.rssMb, base.wallMs,
+        base.rssMb > 0.0 ? full.rssMb / base.rssMb : 0.0,
+        full.wallMs, bench::peakRssMb());
+    if (!rep.identical)
+        std::printf("    ,{\"replay_mismatch\": \"%s\"}\n",
+                    rep.detail.c_str());
+    if (!crep.identical)
+        std::printf("    ,{\"compacted_replay_mismatch\": \"%s\"}\n",
+                    crep.detail.c_str());
+    std::printf("  ],\n");
+
+    std::error_code cleanup_ec;
+    fs::remove_all(root, cleanup_ec);
+
+    // The acceptance criteria, fatal like every other self-check.
+    std::vector<Check> checks;
+    checks.push_back(
+        {"million_all_completed",
+         static_cast<double>(full.report.completed),
+         full.report.completed == n && full.report.rejected == 0});
+    const double rss_ratio =
+        base.rssMb > 0.0 ? full.rssMb / base.rssMb : 0.0;
+    checks.push_back({"million_flat_memory", rss_ratio,
+                      base.rssMb > 0.0 && rss_ratio <= 1.3});
+    checks.push_back(
+        {"million_replay_identical", rep.identical ? 1.0 : 0.0,
+         rep.identical && rep.report.outputChecksum ==
+                              full.report.outputChecksum});
+    checks.push_back({"million_compacted_replay_identical",
+                      crep.identical ? 1.0 : 0.0, crep.identical});
+    checks.push_back(
+        {"million_compaction_shrinks",
+         full.records > 0 ? static_cast<double>(comp.outputRecords) /
+                                static_cast<double>(full.records)
+                          : 0.0,
+         comp.outputRecords < full.records});
+
+    std::printf("  \"checks\": [\n");
+    bool all_ok = true;
+    for (std::size_t i = 0; i < checks.size(); ++i) {
+        all_ok = all_ok && checks[i].ok;
+        std::printf("    {\"name\": \"%s\", \"value\": %.3f, "
+                    "\"ok\": %s}%s\n",
+                    checks[i].name.c_str(), checks[i].value,
+                    checks[i].ok ? "true" : "false",
+                    i + 1 == checks.size() ? "" : ",");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"ok\": %s\n}\n", all_ok ? "true" : "false");
+    return all_ok ? 0 : 1;
 }
 
 } // namespace
@@ -1023,11 +1286,14 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     bool stress = false;
+    bool million = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
         else if (std::strcmp(argv[i], "--stress") == 0)
             stress = true;
+        else if (std::strcmp(argv[i], "million") == 0)
+            million = true;
         else if (std::strcmp(argv[i], "--threads") == 0 &&
                  i + 1 < argc)
             g_threads = static_cast<std::size_t>(
@@ -1035,6 +1301,12 @@ main(int argc, char **argv)
     }
     if (g_threads == 0)
         g_threads = 1;
+
+    // `serve_bench million` runs experiment 9 standalone: it is a
+    // scale test, never part of the default sweep or the checked-in
+    // snapshots.
+    if (million)
+        return runMillionExperiment(smoke);
 
     const Cycle scaling_horizon = smoke ? 150000 : 600000;
     const Cycle qos_horizon = smoke ? 100000 : 400000;

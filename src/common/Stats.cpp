@@ -45,6 +45,102 @@ percentile(std::vector<double> values, double p)
     return sortedPercentile(values, p);
 }
 
+void
+StreamingHistogram::push(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+    double clamped = std::max(0.0, v);
+    std::size_t idx =
+        static_cast<std::size_t>(std::floor(clamped / width_));
+    while (idx >= maxBuckets_) {
+        coarsen();
+        idx = static_cast<std::size_t>(std::floor(clamped / width_));
+    }
+    if (counts_.size() <= idx)
+        counts_.resize(idx + 1, 0);
+    ++counts_[idx];
+}
+
+void
+StreamingHistogram::coarsen()
+{
+    std::vector<u64> merged((counts_.size() + 1) / 2, 0);
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        merged[i / 2] += counts_[i];
+    counts_ = std::move(merged);
+    width_ *= 2.0;
+}
+
+double
+StreamingHistogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::min(100.0, std::max(0.0, p));
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    if (rank == 0)
+        rank = 1;
+    u64 cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cum += counts_[i];
+        if (cum >= rank)
+            return static_cast<double>(i) * width_;
+    }
+    return static_cast<double>(counts_.size()) * width_;
+}
+
+SampleSummary
+StreamingHistogram::summary() const
+{
+    SampleSummary s;
+    if (count_ == 0)
+        return s;
+    s.count = count_;
+    s.min = min_;
+    s.max = max_;
+    s.mean = mean();
+    s.p50 = percentile(50.0);
+    s.p95 = percentile(95.0);
+    s.p99 = percentile(99.0);
+    return s;
+}
+
+void
+StreamingHistogram::merge(const StreamingHistogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    // Bring both sides onto the coarser grid (all widths are the
+    // initial width times a power of two), then add counts.
+    StreamingHistogram tmp = other;
+    while (width_ < tmp.width_)
+        coarsen();
+    while (tmp.width_ < width_)
+        tmp.coarsen();
+    if (counts_.size() < tmp.counts_.size())
+        counts_.resize(tmp.counts_.size(), 0);
+    for (std::size_t i = 0; i < tmp.counts_.size(); ++i)
+        counts_[i] += tmp.counts_[i];
+}
+
 SampleSummary
 summarize(const std::vector<double> &values)
 {

@@ -170,6 +170,79 @@ struct SampleSummary
 /** Summarize a sample (all-zero summary for empty input). */
 SampleSummary summarize(const std::vector<double> &values);
 
+/**
+ * Fixed-width histogram with exact streaming aggregates, the O(1)
+ * memory replacement for retained per-request sample vectors in the
+ * serving telemetry.
+ *
+ * Buckets are uniform-width over [0, width * maxBuckets); a sample
+ * beyond the top edge doubles the width (merging adjacent bucket
+ * pairs) until it fits, so the memory footprint is a constant
+ * `maxBuckets` counters regardless of sample count or range. All
+ * width growth is by powers of two from the initial width, which
+ * makes histograms mergeable: the finer side collapses exactly onto
+ * the coarser side's bucket grid.
+ *
+ * count/sum/min/max are exact (sum accumulates in push order, so it
+ * is bit-equal to a push-order fold over the retained samples).
+ * percentile() returns the lower edge of the bucket containing the
+ * nearest-rank sample, so it can sit below the true nearest-rank
+ * value by at most one bucket width (and never above it).
+ */
+class StreamingHistogram
+{
+  public:
+    explicit StreamingHistogram(double bucketWidth = 1.0,
+                                std::size_t maxBuckets = 4096)
+        : width_(bucketWidth), maxBuckets_(maxBuckets)
+    {
+    }
+
+    /** Record one sample (negative samples count into bucket 0). */
+    void push(double v);
+
+    std::size_t count() const { return count_; }
+    /** Exact sum in push order (0 when empty). */
+    double sum() const { return sum_; }
+    /** Exact extrema (0 when empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+    /** Current bucket width (the percentile error bound). */
+    double bucketWidth() const { return width_; }
+
+    /**
+     * Lower edge of the bucket holding the nearest-rank sample
+     * (common/Stats percentile definition); `p` clamped to
+     * [0, 100], empty histogram yields 0.
+     */
+    double percentile(double p) const;
+
+    /** Summary with exact count/min/max/mean and bucketed
+     *  percentiles. */
+    SampleSummary summary() const;
+
+    /** Fold another histogram in (exact aggregates merge exactly;
+     *  the finer grid collapses onto the coarser one). Histograms
+     *  must share the same initial width and maxBuckets. */
+    void merge(const StreamingHistogram &other);
+
+  private:
+    /** Double the bucket width, merging adjacent bucket pairs. */
+    void coarsen();
+
+    double width_;
+    std::size_t maxBuckets_;
+    std::vector<u64> counts_;
+    std::size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
 } // namespace darth
 
 #endif // DARTH_COMMON_STATS_H

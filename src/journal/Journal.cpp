@@ -38,13 +38,15 @@ appendLeU64(std::vector<unsigned char> &buf, u64 v)
         buf.push_back(static_cast<unsigned char>((v >> shift) & 0xff));
 }
 
+} // namespace
+
 /**
  * Canonical little-endian encoding of one record — the bytes the
  * chained checksum covers and writeBinary emits. Field order:
  * kind, cycle, a..d, note length + bytes, value count + words.
  */
 std::vector<unsigned char>
-encodeEvent(const JournalEvent &e)
+encodeEventBytes(const JournalEvent &e)
 {
     std::vector<unsigned char> buf;
     buf.reserve(56 + e.note.size() + 8 * e.values.size());
@@ -63,13 +65,66 @@ encodeEvent(const JournalEvent &e)
     return buf;
 }
 
+JournalEvent
+decodeEventBytes(const std::vector<unsigned char> &rec,
+                 const std::string &what)
+{
+    JournalEvent e;
+    std::size_t pos = 0;
+    auto takeU32 = [&rec, &pos, &what]() -> u32 {
+        if (pos + 4 > rec.size())
+            throw std::runtime_error("journal: malformed " + what);
+        u32 v = 0;
+        for (int k = 0; k < 4; ++k)
+            v |= static_cast<u32>(rec[pos + k]) << (8 * k);
+        pos += 4;
+        return v;
+    };
+    auto takeU64 = [&rec, &pos, &what]() -> u64 {
+        if (pos + 8 > rec.size())
+            throw std::runtime_error("journal: malformed " + what);
+        u64 v = 0;
+        for (int k = 0; k < 8; ++k)
+            v |= static_cast<u64>(rec[pos + k]) << (8 * k);
+        pos += 8;
+        return v;
+    };
+    const u32 kindRaw = takeU32();
+    if (kindRaw > static_cast<u32>(EventKind::RequestSummary))
+        throw std::runtime_error("journal: " + what +
+                                 " has unknown event kind " +
+                                 std::to_string(kindRaw));
+    e.kind = static_cast<EventKind>(kindRaw);
+    e.cycle = takeU64();
+    e.a = takeU64();
+    e.b = takeU64();
+    e.c = takeU64();
+    e.d = takeU64();
+    const u32 noteLen = takeU32();
+    if (noteLen > kMaxNoteBytes || pos + noteLen > rec.size())
+        throw std::runtime_error("journal: malformed " + what);
+    e.note.assign(reinterpret_cast<const char *>(rec.data()) + pos,
+                  noteLen);
+    pos += noteLen;
+    const u32 valueCount = takeU32();
+    if (valueCount > kMaxValueWords)
+        throw std::runtime_error("journal: malformed " + what);
+    e.values.reserve(valueCount);
+    for (u32 v = 0; v < valueCount; ++v)
+        e.values.push_back(static_cast<i64>(takeU64()));
+    if (pos != rec.size())
+        throw std::runtime_error("journal: " + what +
+                                 " has trailing bytes");
+    return e;
+}
+
 /**
  * Checksum seed for record 0: FNV over the fixed header prefix
  * (magic + format version). A constant of the format, so append()
  * can chain without any file existing yet.
  */
 u64
-headerBasis()
+journalChainBasis()
 {
     std::vector<unsigned char> buf;
     for (char ch : kMagic)
@@ -77,6 +132,9 @@ headerBasis()
     appendLeU32(buf, Journal::kFormatVersion);
     return fnv1aBytes(buf.data(), buf.size());
 }
+
+namespace
+{
 
 u64
 readLeU64(std::istream &in, const char *what)
@@ -185,6 +243,8 @@ eventKindName(EventKind kind)
         return "chip_up";
     case EventKind::ChipDown:
         return "chip_down";
+    case EventKind::RequestSummary:
+        return "request_summary";
     }
     return "unknown";
 }
@@ -196,18 +256,48 @@ Journal::append(JournalEvent event)
         throw std::runtime_error("journal: event note too long");
     if (event.values.size() > kMaxValueWords)
         throw std::runtime_error("journal: event payload too long");
-    const std::vector<unsigned char> encoded = encodeEvent(event);
-    const u64 prev =
-        checksums_.empty() ? headerBasis() : checksums_.back();
-    checksums_.push_back(
-        fnv1aBytes(encoded.data(), encoded.size(), prev));
-    events_.push_back(std::move(event));
-    return events_.size() - 1;
+    const std::vector<unsigned char> encoded = encodeEventBytes(event);
+    const u64 prev = count_ == 0 ? journalChainBasis() : chainTail_;
+    const u64 checksum =
+        fnv1aBytes(encoded.data(), encoded.size(), prev);
+    chainTail_ = checksum;
+    const std::size_t index = count_++;
+    if (sink_ != nullptr)
+        sink_->onRecord(event, index, checksum, encoded);
+    if (retain_) {
+        checksums_.push_back(checksum);
+        events_.push_back(std::move(event));
+    }
+    return index;
+}
+
+void
+Journal::attachSink(JournalSink *sink, bool retainEvents)
+{
+    if (count_ != 0)
+        throw std::logic_error(
+            "journal: attachSink requires an empty journal");
+    sink_ = sink;
+    retain_ = retainEvents;
+}
+
+const std::vector<JournalEvent> &
+Journal::events() const
+{
+    if (!retain_)
+        throw std::logic_error(
+            "journal: events() requires event retention (this "
+            "journal streams to a sink without retaining records)");
+    return events_;
 }
 
 const JournalEvent &
 Journal::event(std::size_t i) const
 {
+    if (!retain_)
+        throw std::logic_error(
+            "journal: event(i) requires event retention (this "
+            "journal streams to a sink without retaining records)");
     if (i >= events_.size())
         throw std::out_of_range("journal: event index out of range");
     return events_[i];
@@ -216,6 +306,9 @@ Journal::event(std::size_t i) const
 u64
 Journal::recordChecksum(std::size_t i) const
 {
+    if (!retain_)
+        throw std::logic_error(
+            "journal: recordChecksum requires event retention");
     if (i >= checksums_.size())
         throw std::out_of_range("journal: event index out of range");
     return checksums_[i];
@@ -224,7 +317,7 @@ Journal::recordChecksum(std::size_t i) const
 u64
 Journal::chainChecksum() const
 {
-    return checksums_.empty() ? headerBasis() : checksums_.back();
+    return count_ == 0 ? journalChainBasis() : chainTail_;
 }
 
 void
@@ -232,11 +325,28 @@ Journal::clear()
 {
     events_.clear();
     checksums_.clear();
+    count_ = 0;
+    chainTail_ = 0;
+}
+
+bool
+Journal::operator==(const Journal &other) const
+{
+    if (chainChecksum() != other.chainChecksum() ||
+        count_ != other.count_)
+        return false;
+    if (retain_ && other.retain_)
+        return events_ == other.events_;
+    return true;
 }
 
 void
 Journal::writeBinary(std::ostream &out) const
 {
+    if (!retain_)
+        throw std::logic_error(
+            "journal: writeBinary requires event retention (use a "
+            "SegmentWriter sink for streaming durable output)");
     std::vector<unsigned char> buf;
     for (char ch : kMagic)
         buf.push_back(static_cast<unsigned char>(ch));
@@ -244,7 +354,8 @@ Journal::writeBinary(std::ostream &out) const
     appendLeU32(buf, 0); // reserved
     appendLeU64(buf, events_.size());
     for (std::size_t i = 0; i < events_.size(); ++i) {
-        const std::vector<unsigned char> rec = encodeEvent(events_[i]);
+        const std::vector<unsigned char> rec =
+            encodeEventBytes(events_[i]);
         appendLeU32(buf, static_cast<u32>(rec.size()));
         buf.insert(buf.end(), rec.begin(), rec.end());
         appendLeU64(buf, checksums_[i]);
@@ -271,7 +382,7 @@ Journal::readBinary(std::istream &in)
     const u64 count = readLeU64(in, "record count");
 
     Journal out;
-    u64 chain = headerBasis();
+    u64 chain = journalChainBasis();
     for (u64 i = 0; i < count; ++i) {
         const u32 recLen = readLeU32(in, "record length");
         std::vector<unsigned char> rec(recLen);
@@ -288,58 +399,8 @@ Journal::readBinary(std::istream &in)
                 " computed " + hexU64(chain) + ")");
 
         // Decode the verified canonical bytes.
-        JournalEvent e;
-        std::size_t pos = 0;
-        auto takeU32 = [&rec, &pos, i]() -> u32 {
-            if (pos + 4 > rec.size())
-                throw std::runtime_error(
-                    "journal: malformed record " + std::to_string(i));
-            u32 v = 0;
-            for (int k = 0; k < 4; ++k)
-                v |= static_cast<u32>(rec[pos + k]) << (8 * k);
-            pos += 4;
-            return v;
-        };
-        auto takeU64 = [&rec, &pos, i]() -> u64 {
-            if (pos + 8 > rec.size())
-                throw std::runtime_error(
-                    "journal: malformed record " + std::to_string(i));
-            u64 v = 0;
-            for (int k = 0; k < 8; ++k)
-                v |= static_cast<u64>(rec[pos + k]) << (8 * k);
-            pos += 8;
-            return v;
-        };
-        const u32 kindRaw = takeU32();
-        if (kindRaw > static_cast<u32>(EventKind::ChipDown))
-            throw std::runtime_error(
-                "journal: record " + std::to_string(i) +
-                " has unknown event kind " + std::to_string(kindRaw));
-        e.kind = static_cast<EventKind>(kindRaw);
-        e.cycle = takeU64();
-        e.a = takeU64();
-        e.b = takeU64();
-        e.c = takeU64();
-        e.d = takeU64();
-        const u32 noteLen = takeU32();
-        if (noteLen > kMaxNoteBytes || pos + noteLen > rec.size())
-            throw std::runtime_error(
-                "journal: malformed record " + std::to_string(i));
-        e.note.assign(reinterpret_cast<const char *>(rec.data()) + pos,
-                      noteLen);
-        pos += noteLen;
-        const u32 valueCount = takeU32();
-        if (valueCount > kMaxValueWords)
-            throw std::runtime_error(
-                "journal: malformed record " + std::to_string(i));
-        e.values.reserve(valueCount);
-        for (u32 v = 0; v < valueCount; ++v)
-            e.values.push_back(static_cast<i64>(takeU64()));
-        if (pos != rec.size())
-            throw std::runtime_error(
-                "journal: record " + std::to_string(i) +
-                " has trailing bytes");
-        out.append(std::move(e));
+        out.append(
+            decodeEventBytes(rec, "record " + std::to_string(i)));
         // append() re-derives the same chain from the same bytes, so
         // the in-memory chain equals the verified on-disk chain.
     }
@@ -369,29 +430,74 @@ Journal::readBinaryFile(const std::string &path)
     return readBinary(in);
 }
 
+namespace
+{
+
+/** One record as a JSONL line — shared by the retained writeJsonl()
+ *  export and the streaming JsonlSink. */
+void
+jsonlRecordLine(std::ostream &out, std::size_t i,
+                const JournalEvent &e, u64 checksum)
+{
+    out << "{\"i\":" << i << ",\"kind\":\"" << eventKindName(e.kind)
+        << "\",\"cycle\":" << e.cycle << ",\"a\":" << e.a
+        << ",\"b\":" << e.b << ",\"c\":" << e.c << ",\"d\":" << e.d;
+    if (!e.note.empty())
+        out << ",\"note\":\"" << jsonEscape(e.note) << "\"";
+    if (!e.values.empty()) {
+        out << ",\"values\":[";
+        for (std::size_t v = 0; v < e.values.size(); ++v)
+            out << (v ? "," : "") << e.values[v];
+        out << "]";
+    }
+    out << ",\"checksum\":\"" << hexU64(checksum) << "\"}\n";
+}
+
+} // namespace
+
 void
 Journal::writeJsonl(std::ostream &out) const
 {
+    if (!retain_)
+        throw std::logic_error(
+            "journal: writeJsonl requires event retention (attach a "
+            "JsonlSink for streaming JSONL export)");
     out << "{\"format\":\"darth-journal\",\"version\":"
         << kFormatVersion << ",\"events\":" << events_.size()
         << ",\"chain_checksum\":\"" << hexU64(chainChecksum())
         << "\"}\n";
-    for (std::size_t i = 0; i < events_.size(); ++i) {
-        const JournalEvent &e = events_[i];
-        out << "{\"i\":" << i << ",\"kind\":\""
-            << eventKindName(e.kind) << "\",\"cycle\":" << e.cycle
-            << ",\"a\":" << e.a << ",\"b\":" << e.b
-            << ",\"c\":" << e.c << ",\"d\":" << e.d;
-        if (!e.note.empty())
-            out << ",\"note\":\"" << jsonEscape(e.note) << "\"";
-        if (!e.values.empty()) {
-            out << ",\"values\":[";
-            for (std::size_t v = 0; v < e.values.size(); ++v)
-                out << (v ? "," : "") << e.values[v];
-            out << "]";
-        }
-        out << ",\"checksum\":\"" << hexU64(checksums_[i]) << "\"}\n";
-    }
+    for (std::size_t i = 0; i < events_.size(); ++i)
+        jsonlRecordLine(out, i, events_[i], checksums_[i]);
+}
+
+JsonlSink::JsonlSink(std::ostream &out) : out_(out)
+{
+    chain_ = journalChainBasis();
+    out_ << "{\"format\":\"darth-journal\",\"version\":"
+         << Journal::kFormatVersion << ",\"streaming\":true}\n";
+}
+
+void
+JsonlSink::onRecord(const JournalEvent &event, std::size_t index,
+                    u64 checksum,
+                    const std::vector<unsigned char> &encoded)
+{
+    (void)encoded;
+    jsonlRecordLine(out_, index, event, checksum);
+    count_ = index + 1;
+    chain_ = checksum;
+}
+
+void
+JsonlSink::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    out_ << "{\"format\":\"darth-journal-summary\",\"events\":"
+         << count_ << ",\"chain_checksum\":\"" << hexU64(chain_)
+         << "\"}\n";
+    out_.flush();
 }
 
 } // namespace journal

@@ -135,6 +135,19 @@ namespace journal
  *   ChipDown        cycle=instant the slot's last placement was
  *                   released (or the scale-down tick when already
  *                   empty), a=chip.
+ *
+ *  Compaction records (journal/Segment.h Compactor):
+ *   RequestSummary  one record replacing a finished request's whole
+ *                   event group (Arrival, Admit, StageSubmit,
+ *                   StageComplete, Backpressure, Complete):
+ *                   cycle=completion ns (arrival ns when rejected),
+ *                   a=request index, b=tenant, c=chip, d=FNV of the
+ *                   output values (0 when rejected);
+ *                   values={arrival ns, start ns, mvm count,
+ *                   1 completed / 0 rejected, input words...}. The
+ *                   input words keep a compacted journal
+ *                   self-describing: Replayer rebuilds the trace
+ *                   from summaries exactly as from Arrival records.
  */
 enum class EventKind : u32
 {
@@ -159,10 +172,27 @@ enum class EventKind : u32
     MigrationEnd,
     ChipUp,
     ChipDown,
+    RequestSummary,
 };
 
 /** Short lowercase kind name (JSONL "kind" field). */
 const char *eventKindName(EventKind kind);
+
+struct JournalEvent;
+
+/** Canonical little-endian encoding of one record — the bytes the
+ *  chained checksum covers and every durable format stores. */
+std::vector<unsigned char> encodeEventBytes(const JournalEvent &e);
+
+/** Decode canonical record bytes (the inverse of encodeEventBytes);
+ *  throws std::runtime_error naming `what` on malformed input. */
+JournalEvent decodeEventBytes(const std::vector<unsigned char> &rec,
+                              const std::string &what);
+
+/** Checksum seed of record 0: FNV-1a over the fixed format prefix
+ *  (magic + version) — the chain basis shared by the monolithic
+ *  binary format and the segmented one (journal/Segment.h). */
+u64 journalChainBasis();
 
 /** Admit's stage argument for whole-unit admissions. */
 constexpr u64 kNoStage = ~u64{0};
@@ -217,6 +247,26 @@ struct JournalEvent
     }
 };
 
+/**
+ * Observer of appended records: the streaming (flush-on-append)
+ * export path. A sink sees every record exactly once, in append
+ * order, with its chained checksum and canonical encoded bytes —
+ * everything the durable formats store — so exports no longer need
+ * the full in-memory event vector. Segment.h's rotating
+ * SegmentWriter and the JSONL JsonlSink below are the two shipped
+ * sinks.
+ */
+class JournalSink
+{
+  public:
+    virtual ~JournalSink() = default;
+    /** One appended record: decoded form, zero-based index, chained
+     *  checksum, and canonical little-endian encoding. */
+    virtual void onRecord(const JournalEvent &event, std::size_t index,
+                          u64 checksum,
+                          const std::vector<unsigned char> &encoded) = 0;
+};
+
 /** The append-only event log. */
 class Journal
 {
@@ -224,17 +274,30 @@ class Journal
     /** Binary container format version (the file header). */
     static constexpr u32 kFormatVersion = 1;
 
-    /** Append one event; stamps its chained checksum and returns
-     *  its index. */
+    /** Append one event; stamps its chained checksum, forwards it to
+     *  the attached sink (if any), and returns its index. */
     std::size_t append(JournalEvent event);
 
-    const std::vector<JournalEvent> &events() const
-    {
-        return events_;
-    }
+    /**
+     * Stream appended records into `sink` (nullptr detaches). With
+     * `retainEvents` false the journal stops holding decoded
+     * records in memory — it becomes a pure chain accumulator
+     * (size() / chainChecksum() stay exact; events() / event(i) /
+     * recordChecksum(i) / writeBinary / writeJsonl throw
+     * std::logic_error). A million-request run records through a
+     * non-retaining journal + SegmentWriter at flat memory. Must be
+     * called on an empty journal (std::logic_error otherwise).
+     */
+    void attachSink(JournalSink *sink, bool retainEvents = true);
+
+    /** True when decoded records are held in memory (the default). */
+    bool retainsEvents() const { return retain_; }
+
+    /** Decoded records (std::logic_error when retention is off). */
+    const std::vector<JournalEvent> &events() const;
     const JournalEvent &event(std::size_t i) const;
-    std::size_t size() const { return events_.size(); }
-    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
 
     /** Chained checksum of record i (FNV-1a over its canonical
      *  encoding, seeded with record i-1's checksum). */
@@ -249,13 +312,12 @@ class Journal
 
     void clear();
 
-    /** Payload-and-chain equality (a full history compare). */
-    bool
-    operator==(const Journal &other) const
-    {
-        return chainChecksum() == other.chainChecksum() &&
-               events_ == other.events_;
-    }
+    /**
+     * History equality: chain checksum and record count always;
+     * decoded payloads too when both sides retain them (equal
+     * chains already imply byte-identical histories).
+     */
+    bool operator==(const Journal &other) const;
     bool operator!=(const Journal &other) const
     {
         return !(*this == other);
@@ -285,9 +347,43 @@ class Journal
     void writeJsonl(std::ostream &out) const;
 
   private:
+    /** Decoded records (empty when retention is off). */
     std::vector<JournalEvent> events_;
     /** Chained checksum per record (parallel to events_). */
     std::vector<u64> checksums_;
+    /** Appended-record count (valid regardless of retention). */
+    std::size_t count_ = 0;
+    /** Last record's chained checksum (valid when count_ > 0). */
+    u64 chainTail_ = 0;
+    bool retain_ = true;
+    JournalSink *sink_ = nullptr;
+};
+
+/**
+ * Streaming JSONL export: one line per record as it appends, the
+ * flush-on-append counterpart of writeJsonl() (which needs the full
+ * retained event vector). The writeJsonl() header totals are
+ * unknowable up front, so the stream opens with a totals-free
+ * header line and finish() appends a summary line carrying the
+ * final record count and chain checksum.
+ */
+class JsonlSink : public JournalSink
+{
+  public:
+    explicit JsonlSink(std::ostream &out);
+
+    void onRecord(const JournalEvent &event, std::size_t index,
+                  u64 checksum,
+                  const std::vector<unsigned char> &encoded) override;
+
+    /** Write the summary trailer line (idempotent). */
+    void finish();
+
+  private:
+    std::ostream &out_;
+    std::size_t count_ = 0;
+    u64 chain_ = 0;
+    bool finished_ = false;
 };
 
 } // namespace journal

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "journal/Segment.h"
 #include "serve/ChipConfig.h"
 
 namespace darth
@@ -65,19 +66,13 @@ slotSpec(const PoolSlotSetup &slot)
     throw std::invalid_argument("ServeRunSetup: unknown slot kind");
 }
 
-/**
- * Drive setup's scenario once with `jr` attached, in the canonical
- * record order both recordServeRun and Replayer::replay produce:
- * header records (RunBegin, one PoolChip per slot, AdmissionSetup,
- * one TenantSetup per tenant), then the Placement records
- * buildTenants emits, TraceBegin, and the run itself.
- */
-serve::ServeReport
-driveRun(const ServeRunSetup &setup,
-         const std::vector<serve::ServeRequest> &trace, Journal &jr)
+/** Emit the self-describing header: RunBegin, one PoolChip per
+ *  slot, AdmissionSetup, one TenantSetup per tenant, FleetSetup when
+ *  fleet-driven. Shared by the vector and streaming drive paths. */
+void
+emitHeaderRecords(const ServeRunSetup &setup,
+                  const serve::ChipPool &pool, Journal &jr)
 {
-    serve::ChipPool pool(setup.poolConfig());
-
     {
         JournalEvent e;
         e.kind = EventKind::RunBegin;
@@ -169,6 +164,20 @@ driveRun(const ServeRunSetup &setup,
                     static_cast<i64>(fc.migrateHighNs)};
         jr.append(std::move(e));
     }
+}
+
+/**
+ * Drive setup's scenario once with `jr` attached, in the canonical
+ * record order both recordServeRun and Replayer::replay produce:
+ * header records (emitHeaderRecords), then the Placement records
+ * buildTenants emits, TraceBegin, and the run itself.
+ */
+serve::ServeReport
+driveRun(const ServeRunSetup &setup,
+         const std::vector<serve::ServeRequest> &trace, Journal &jr)
+{
+    serve::ChipPool pool(setup.poolConfig());
+    emitHeaderRecords(setup, pool, jr);
 
     pool.setJournal(&jr);
     serve::TrafficGen gen(setup.trafficSeed);
@@ -200,6 +209,194 @@ driveRun(const ServeRunSetup &setup,
     ctrl->setJournal(nullptr);
     pool.setJournal(nullptr);
     return report;
+}
+
+/** driveRun's streaming twin: same record order, but the run pulls
+ *  from `source` through AdmissionController::runStream.
+ *  `traceBeginCount` is normally kStreamedTraceCount;
+ *  replaySegments passes the recorded announcement through so the
+ *  replayed TraceBegin record stays byte-identical. */
+serve::ServeReport
+driveRunStream(const ServeRunSetup &setup,
+               serve::RequestSource &source, Journal &jr,
+               u64 traceBeginCount)
+{
+    serve::ChipPool pool(setup.poolConfig());
+    emitHeaderRecords(setup, pool, jr);
+
+    pool.setJournal(&jr);
+    serve::TrafficGen gen(setup.trafficSeed);
+    std::unique_ptr<serve::FleetController> fleet;
+    std::unique_ptr<serve::AdmissionController> ctrl;
+    if (setup.fleet) {
+        fleet = std::make_unique<serve::FleetController>(
+            pool, gen, setup.tenants, setup.fleetCfg);
+        ctrl = std::make_unique<serve::AdmissionController>(
+            pool, *fleet, setup.admission);
+    } else {
+        ctrl = std::make_unique<serve::AdmissionController>(
+            pool, serve::buildTenants(pool, gen, setup.tenants),
+            setup.admission);
+    }
+
+    {
+        JournalEvent e;
+        e.kind = EventKind::TraceBegin;
+        e.a = traceBeginCount;
+        jr.append(std::move(e));
+    }
+
+    ctrl->setJournal(&jr);
+    serve::ServeReport report = ctrl->runStream(source);
+    ctrl->setJournal(nullptr);
+    pool.setJournal(nullptr);
+    return report;
+}
+
+/**
+ * Parse the self-describing header out of `ev` starting at `i`,
+ * consuming through the TraceBegin record (Placement records in
+ * between are re-derived on replay, not inputs, and are skipped).
+ * Returns TraceBegin's announced request count — possibly
+ * kStreamedTraceCount.
+ */
+u64
+parseHeaderRecords(const std::vector<JournalEvent> &ev,
+                   std::size_t &i, ServeRunSetup &setup)
+{
+    auto need = [&](EventKind kind) -> const JournalEvent & {
+        if (i >= ev.size())
+            throw std::runtime_error(
+                std::string("Replayer: journal ended before its ") +
+                eventKindName(kind) + " record");
+        const JournalEvent &e = ev[i];
+        if (e.kind != kind)
+            throw std::runtime_error(
+                std::string("Replayer: expected ") +
+                eventKindName(kind) + " at record " +
+                std::to_string(i) + ", found " +
+                eventKindName(e.kind));
+        ++i;
+        return e;
+    };
+
+    const JournalEvent &begin = need(EventKind::RunBegin);
+    if (begin.a != ServeRunSetup::kSetupVersion)
+        throw std::runtime_error(
+            "Replayer: unsupported setup version " +
+            std::to_string(begin.a) + " (this build replays version " +
+            std::to_string(ServeRunSetup::kSetupVersion) + ")");
+    if (begin.values.size() < 4 ||
+        begin.c > static_cast<u64>(serve::PlacementPolicy::CostAware))
+        throw std::runtime_error(
+            "Replayer: malformed run_begin record");
+    setup.trafficSeed = begin.b;
+    setup.placement = static_cast<serve::PlacementPolicy>(begin.c);
+    setup.poolSeed = begin.d;
+    setup.backlogWindowNs = static_cast<WallNs>(begin.values[0]);
+    const std::size_t slot_count =
+        static_cast<std::size_t>(begin.values[1]);
+    setup.uniformPool = begin.values[2] != 0;
+    setup.horizon = static_cast<WallNs>(begin.values[3]);
+    if (slot_count == 0)
+        throw std::runtime_error(
+            "Replayer: run_begin announces an empty pool");
+
+    setup.slots.clear();
+    setup.slots.reserve(slot_count);
+    for (std::size_t s = 0; s < slot_count; ++s) {
+        const JournalEvent &e = need(EventKind::PoolChip);
+        if (e.a != s)
+            throw std::runtime_error(
+                "Replayer: pool_chip records out of slot order");
+        if (e.b > static_cast<u64>(SlotKind::Ramp))
+            throw std::runtime_error(
+                "Replayer: pool_chip record names unknown slot kind " +
+                std::to_string(e.b));
+        PoolSlotSetup slot;
+        slot.kind = static_cast<SlotKind>(e.b);
+        slot.hcts = static_cast<std::size_t>(e.c);
+        slot.clockGHz = bitsToDouble(e.d);
+        setup.slots.push_back(slot);
+    }
+
+    const JournalEvent &adm = need(EventKind::AdmissionSetup);
+    if (adm.b > static_cast<u64>(serve::QosPolicy::WeightedFair) ||
+        adm.c > static_cast<u64>(serve::OverflowPolicy::Reject) ||
+        adm.d > static_cast<u64>(serve::Granularity::Stage) ||
+        adm.values.empty())
+        throw std::runtime_error(
+            "Replayer: malformed admission_setup record");
+    setup.admission.queueDepth = static_cast<std::size_t>(adm.a);
+    setup.admission.qos = static_cast<serve::QosPolicy>(adm.b);
+    setup.admission.overflow =
+        static_cast<serve::OverflowPolicy>(adm.c);
+    setup.admission.granularity =
+        static_cast<serve::Granularity>(adm.d);
+    setup.admission.collectOutputs = adm.values[0] != 0;
+    setup.admission.chipQueueDepth.clear();
+    for (std::size_t v = 1; v < adm.values.size(); ++v)
+        setup.admission.chipQueueDepth.push_back(
+            static_cast<std::size_t>(adm.values[v]));
+
+    setup.tenants.clear();
+    while (i < ev.size() && ev[i].kind == EventKind::TenantSetup) {
+        const JournalEvent &e = ev[i];
+        ++i;
+        if (e.a != setup.tenants.size())
+            throw std::runtime_error(
+                "Replayer: tenant_setup records out of index order");
+        if (e.b > static_cast<u64>(serve::WorkloadKind::GfWide) ||
+            e.values.size() < 7)
+            throw std::runtime_error(
+                "Replayer: malformed tenant_setup record " +
+                std::to_string(i - 1));
+        serve::TenantSpec spec;
+        spec.name = e.note;
+        spec.kind = static_cast<serve::WorkloadKind>(e.b);
+        spec.weight = bitsToDouble(e.d);
+        spec.ratePerKns =
+            bitsToDouble(static_cast<u64>(e.values[0]));
+        spec.modelKey = e.c;
+        spec.burst.onNs = static_cast<WallNs>(e.values[1]);
+        spec.burst.offNs = static_cast<WallNs>(e.values[2]);
+        spec.slo.latencyTargetNs = static_cast<WallNs>(e.values[3]);
+        spec.slo.targetAvailability =
+            bitsToDouble(static_cast<u64>(e.values[4]));
+        spec.arriveNs = static_cast<WallNs>(e.values[5]);
+        spec.departNs = static_cast<WallNs>(e.values[6]);
+        setup.tenants.push_back(std::move(spec));
+    }
+    if (setup.tenants.empty())
+        throw std::runtime_error(
+            "Replayer: journal has no tenant_setup records");
+
+    if (i < ev.size() && ev[i].kind == EventKind::FleetSetup) {
+        const JournalEvent &e = ev[i];
+        ++i;
+        if (e.values.size() < 3)
+            throw std::runtime_error(
+                "Replayer: malformed fleet_setup record");
+        setup.fleet = true;
+        setup.fleetCfg.migration = e.a != 0;
+        setup.fleetCfg.autoscale = e.b != 0;
+        setup.fleetCfg.minActive = static_cast<std::size_t>(e.c);
+        setup.fleetCfg.checkIntervalNs = e.d;
+        setup.fleetCfg.backlogHighNs =
+            static_cast<WallNs>(e.values[0]);
+        setup.fleetCfg.backlogLowNs =
+            static_cast<WallNs>(e.values[1]);
+        setup.fleetCfg.migrateHighNs =
+            static_cast<WallNs>(e.values[2]);
+    }
+
+    // The Placement records buildTenants emitted sit between the
+    // tenant table and trace_begin; they are re-derived on replay,
+    // not inputs, so skip to the trace.
+    while (i < ev.size() && ev[i].kind == EventKind::Placement)
+        ++i;
+
+    return need(EventKind::TraceBegin).a;
 }
 
 std::string
@@ -285,160 +482,47 @@ Replayer::Replayer(Journal recorded) : recorded_(std::move(recorded))
 {
     const std::vector<JournalEvent> &ev = recorded_.events();
     std::size_t i = 0;
-    auto need = [&](EventKind kind) -> const JournalEvent & {
-        if (i >= ev.size())
-            throw std::runtime_error(
-                std::string("Replayer: journal ended before its ") +
-                eventKindName(kind) + " record");
-        const JournalEvent &e = ev[i];
-        if (e.kind != kind)
-            throw std::runtime_error(
-                std::string("Replayer: expected ") +
-                eventKindName(kind) + " at record " +
-                std::to_string(i) + ", found " +
-                eventKindName(e.kind));
-        ++i;
-        return e;
-    };
+    const u64 announced = parseHeaderRecords(ev, i, setup_);
+    streamed_ = announced == kStreamedTraceCount;
 
-    const JournalEvent &begin = need(EventKind::RunBegin);
-    if (begin.a != ServeRunSetup::kSetupVersion)
-        throw std::runtime_error(
-            "Replayer: unsupported setup version " +
-            std::to_string(begin.a) + " (this build replays version " +
-            std::to_string(ServeRunSetup::kSetupVersion) + ")");
-    if (begin.values.size() < 4 ||
-        begin.c > static_cast<u64>(serve::PlacementPolicy::CostAware))
-        throw std::runtime_error(
-            "Replayer: malformed run_begin record");
-    setup_.trafficSeed = begin.b;
-    setup_.placement = static_cast<serve::PlacementPolicy>(begin.c);
-    setup_.poolSeed = begin.d;
-    setup_.backlogWindowNs = static_cast<WallNs>(begin.values[0]);
-    const std::size_t slot_count =
-        static_cast<std::size_t>(begin.values[1]);
-    setup_.uniformPool = begin.values[2] != 0;
-    setup_.horizon = static_cast<WallNs>(begin.values[3]);
-    if (slot_count == 0)
-        throw std::runtime_error(
-            "Replayer: run_begin announces an empty pool");
-
-    setup_.slots.clear();
-    setup_.slots.reserve(slot_count);
-    for (std::size_t s = 0; s < slot_count; ++s) {
-        const JournalEvent &e = need(EventKind::PoolChip);
-        if (e.a != s)
-            throw std::runtime_error(
-                "Replayer: pool_chip records out of slot order");
-        if (e.b > static_cast<u64>(SlotKind::Ramp))
-            throw std::runtime_error(
-                "Replayer: pool_chip record names unknown slot kind " +
-                std::to_string(e.b));
-        PoolSlotSetup slot;
-        slot.kind = static_cast<SlotKind>(e.b);
-        slot.hcts = static_cast<std::size_t>(e.c);
-        slot.clockGHz = bitsToDouble(e.d);
-        setup_.slots.push_back(slot);
-    }
-
-    const JournalEvent &adm = need(EventKind::AdmissionSetup);
-    if (adm.b > static_cast<u64>(serve::QosPolicy::WeightedFair) ||
-        adm.c > static_cast<u64>(serve::OverflowPolicy::Reject) ||
-        adm.d > static_cast<u64>(serve::Granularity::Stage) ||
-        adm.values.empty())
-        throw std::runtime_error(
-            "Replayer: malformed admission_setup record");
-    setup_.admission.queueDepth = static_cast<std::size_t>(adm.a);
-    setup_.admission.qos = static_cast<serve::QosPolicy>(adm.b);
-    setup_.admission.overflow =
-        static_cast<serve::OverflowPolicy>(adm.c);
-    setup_.admission.granularity =
-        static_cast<serve::Granularity>(adm.d);
-    setup_.admission.collectOutputs = adm.values[0] != 0;
-    setup_.admission.chipQueueDepth.clear();
-    for (std::size_t v = 1; v < adm.values.size(); ++v)
-        setup_.admission.chipQueueDepth.push_back(
-            static_cast<std::size_t>(adm.values[v]));
-
-    setup_.tenants.clear();
-    while (i < ev.size() && ev[i].kind == EventKind::TenantSetup) {
-        const JournalEvent &e = ev[i];
-        ++i;
-        if (e.a != setup_.tenants.size())
-            throw std::runtime_error(
-                "Replayer: tenant_setup records out of index order");
-        if (e.b > static_cast<u64>(serve::WorkloadKind::GfWide) ||
-            e.values.size() < 7)
-            throw std::runtime_error(
-                "Replayer: malformed tenant_setup record " +
-                std::to_string(i - 1));
-        serve::TenantSpec spec;
-        spec.name = e.note;
-        spec.kind = static_cast<serve::WorkloadKind>(e.b);
-        spec.weight = bitsToDouble(e.d);
-        spec.ratePerKns =
-            bitsToDouble(static_cast<u64>(e.values[0]));
-        spec.modelKey = e.c;
-        spec.burst.onNs = static_cast<WallNs>(e.values[1]);
-        spec.burst.offNs = static_cast<WallNs>(e.values[2]);
-        spec.slo.latencyTargetNs = static_cast<WallNs>(e.values[3]);
-        spec.slo.targetAvailability =
-            bitsToDouble(static_cast<u64>(e.values[4]));
-        spec.arriveNs = static_cast<WallNs>(e.values[5]);
-        spec.departNs = static_cast<WallNs>(e.values[6]);
-        setup_.tenants.push_back(std::move(spec));
-    }
-    if (setup_.tenants.empty())
-        throw std::runtime_error(
-            "Replayer: journal has no tenant_setup records");
-
-    if (i < ev.size() && ev[i].kind == EventKind::FleetSetup) {
-        const JournalEvent &e = ev[i];
-        ++i;
-        if (e.values.size() < 3)
-            throw std::runtime_error(
-                "Replayer: malformed fleet_setup record");
-        setup_.fleet = true;
-        setup_.fleetCfg.migration = e.a != 0;
-        setup_.fleetCfg.autoscale = e.b != 0;
-        setup_.fleetCfg.minActive = static_cast<std::size_t>(e.c);
-        setup_.fleetCfg.checkIntervalNs = e.d;
-        setup_.fleetCfg.backlogHighNs =
-            static_cast<WallNs>(e.values[0]);
-        setup_.fleetCfg.backlogLowNs =
-            static_cast<WallNs>(e.values[1]);
-        setup_.fleetCfg.migrateHighNs =
-            static_cast<WallNs>(e.values[2]);
-    }
-
-    // The Placement records buildTenants emitted sit between the
-    // tenant table and trace_begin; they are re-derived on replay,
-    // not inputs, so skip to the trace.
-    while (i < ev.size() && ev[i].kind == EventKind::Placement)
-        ++i;
-
-    const JournalEvent &tb = need(EventKind::TraceBegin);
-    const std::size_t request_count =
-        static_cast<std::size_t>(tb.a);
     trace_.clear();
-    trace_.reserve(request_count);
+    if (!streamed_)
+        trace_.reserve(static_cast<std::size_t>(announced));
     for (; i < ev.size(); ++i) {
         const JournalEvent &e = ev[i];
-        if (e.kind != EventKind::Arrival)
-            continue;
-        if (e.a != trace_.size())
-            throw std::runtime_error(
-                "Replayer: arrival records out of trace order");
-        serve::ServeRequest req;
-        req.arrival = e.cycle;
-        req.tenant = static_cast<std::size_t>(e.b);
-        req.input = e.values;
-        trace_.push_back(std::move(req));
+        if (e.kind == EventKind::Arrival) {
+            if (e.a != trace_.size())
+                throw std::runtime_error(
+                    "Replayer: arrival records out of trace order");
+            serve::ServeRequest req;
+            req.arrival = e.cycle;
+            req.tenant = static_cast<std::size_t>(e.b);
+            req.input = e.values;
+            trace_.push_back(std::move(req));
+        } else if (e.kind == EventKind::RequestSummary) {
+            // A compacted journal carries one summary per request
+            // instead of its event group; the summary's values open
+            // with {arrival, start, mvms, completed} and carry the
+            // input words after them, so the trace rebuilds all the
+            // same.
+            if (e.a != trace_.size())
+                throw std::runtime_error(
+                    "Replayer: request_summary records out of trace "
+                    "order");
+            if (e.values.size() < 4)
+                throw std::runtime_error(
+                    "Replayer: malformed request_summary record");
+            serve::ServeRequest req;
+            req.arrival = static_cast<WallNs>(e.values[0]);
+            req.tenant = static_cast<std::size_t>(e.b);
+            req.input.assign(e.values.begin() + 4, e.values.end());
+            trace_.push_back(std::move(req));
+        }
     }
-    if (trace_.size() != request_count)
+    if (!streamed_ && trace_.size() != announced)
         throw std::runtime_error(
             "Replayer: trace_begin announces " +
-            std::to_string(request_count) +
+            std::to_string(announced) +
             " requests, journal carries " +
             std::to_string(trace_.size()));
 }
@@ -447,7 +531,20 @@ Replayer::Result
 Replayer::replay() const
 {
     Result result;
-    result.report = driveRun(setup_, trace_, result.journal);
+    if (streamed_) {
+        // Re-drive through the streaming path so the replayed
+        // TraceBegin carries the same sentinel and the two event
+        // streams compare record for record. (A *compacted*
+        // recording replays to the full event stream and mismatches
+        // here by construction; replaySegments() is the compacted
+        // comparison.)
+        serve::VectorSource source(trace_);
+        result.report = driveRunStream(setup_, source,
+                                       result.journal,
+                                       kStreamedTraceCount);
+    } else {
+        result.report = driveRun(setup_, trace_, result.journal);
+    }
 
     const std::vector<JournalEvent> &want = recorded_.events();
     const std::vector<JournalEvent> &got =
@@ -477,6 +574,168 @@ Replayer::replay() const
     }
     result.identical = true;
     result.firstMismatch = want.size();
+    return result;
+}
+
+serve::ServeReport
+recordServeRunStream(const ServeRunSetup &setup,
+                     serve::RequestSource &source, Journal &jr)
+{
+    if (!jr.empty())
+        throw std::invalid_argument(
+            "recordServeRunStream: journal must be empty");
+    return driveRunStream(setup, source, jr, kStreamedTraceCount);
+}
+
+namespace
+{
+
+/**
+ * Pull-based trace over a segment stream: yields one ServeRequest
+ * per Arrival (live recording) or RequestSummary (compacted
+ * recording) record, draining every other record kind on the way —
+ * so when the source is exhausted the reader has verified the whole
+ * chain.
+ */
+class SegmentTraceSource : public serve::RequestSource
+{
+  public:
+    explicit SegmentTraceSource(SegmentReader &reader)
+        : reader_(reader)
+    {
+    }
+
+    bool next(serve::ServeRequest &out) override
+    {
+        JournalEvent e;
+        while (reader_.next(e)) {
+            if (e.kind == EventKind::Arrival) {
+                if (e.a != next_)
+                    throw std::runtime_error(
+                        "replaySegments: arrival records out of "
+                        "trace order");
+                out.arrival = e.cycle;
+                out.tenant = static_cast<std::size_t>(e.b);
+                out.input = std::move(e.values);
+                ++next_;
+                return true;
+            }
+            if (e.kind == EventKind::RequestSummary) {
+                if (e.a != next_)
+                    throw std::runtime_error(
+                        "replaySegments: request_summary records "
+                        "out of trace order");
+                if (e.values.size() < 4)
+                    throw std::runtime_error(
+                        "replaySegments: malformed request_summary "
+                        "record");
+                sawSummary_ = true;
+                out.arrival = static_cast<WallNs>(e.values[0]);
+                out.tenant = static_cast<std::size_t>(e.b);
+                out.input.assign(e.values.begin() + 4,
+                                 e.values.end());
+                ++next_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool sawSummary() const { return sawSummary_; }
+
+  private:
+    SegmentReader &reader_;
+    u64 next_ = 0;
+    bool sawSummary_ = false;
+};
+
+/** JournalSink forwarding every replayed record into a Compactor,
+ *  so the compacted form of the replayed stream builds alongside
+ *  the live form in the same pass. */
+class CompactingTee : public JournalSink
+{
+  public:
+    explicit CompactingTee(Compactor &compactor)
+        : compactor_(compactor)
+    {
+    }
+
+    void onRecord(const JournalEvent &event, std::size_t /*index*/,
+                  u64 /*checksum*/,
+                  const std::vector<unsigned char> & /*encoded*/)
+        override
+    {
+        compactor_.push(event);
+    }
+
+  private:
+    Compactor &compactor_;
+};
+
+} // namespace
+
+SegmentReplayResult
+replaySegments(const std::string &dir)
+{
+    SegmentReader reader(dir);
+
+    // The header is bounded (setup-sized); stream it out of the
+    // segments and parse it like the in-memory replayer does.
+    std::vector<JournalEvent> header;
+    bool saw_trace_begin = false;
+    {
+        JournalEvent e;
+        while (reader.next(e)) {
+            const bool is_tb = e.kind == EventKind::TraceBegin;
+            header.push_back(std::move(e));
+            if (is_tb) {
+                saw_trace_begin = true;
+                break;
+            }
+        }
+    }
+    if (!saw_trace_begin)
+        throw std::runtime_error(
+            "replaySegments: recording has no trace_begin record");
+    ServeRunSetup setup;
+    std::size_t cursor = 0;
+    const u64 announced = parseHeaderRecords(header, cursor, setup);
+
+    // Re-drive with the recorded arrivals streamed back in,
+    // building the live chain and (through the tee) the compacted
+    // chain in one pass — both at flat memory.
+    SegmentTraceSource source(reader);
+    Journal live;
+    Journal compact_out;
+    compact_out.attachSink(nullptr, /*retainEvents=*/false);
+    Compactor compactor(compact_out);
+    CompactingTee tee(compactor);
+    live.attachSink(&tee, /*retainEvents=*/false);
+
+    SegmentReplayResult result;
+    result.report = driveRunStream(setup, source, live, announced);
+    compactor.finish();
+
+    // The source drained the reader to end of stream, so its chain
+    // now covers the whole recording.
+    result.recordedChain = reader.chainChecksum();
+    result.recordedRecords = reader.recordIndex();
+    const bool compacted = source.sawSummary();
+    result.replayedChain = compacted ? compact_out.chainChecksum()
+                                     : live.chainChecksum();
+    const std::size_t replayed_records =
+        compacted ? compact_out.size() : live.size();
+    result.identical =
+        result.replayedChain == result.recordedChain &&
+        replayed_records == result.recordedRecords;
+    if (!result.identical)
+        result.detail =
+            "recorded " + std::to_string(result.recordedRecords) +
+            " records (chain " +
+            std::to_string(result.recordedChain) + "), replayed " +
+            std::to_string(replayed_records) + " (chain " +
+            std::to_string(result.replayedChain) + ", " +
+            (compacted ? "compacted" : "live") + " form)";
     return result;
 }
 

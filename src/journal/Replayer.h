@@ -49,6 +49,16 @@ namespace darth
 namespace journal
 {
 
+/**
+ * TraceBegin `a` sentinel of a streamed recording: the request count
+ * is unknown when the header is written (the source is pull-based),
+ * so the record announces "until end of stream" instead. Replay
+ * accepts either form; the sentinel additionally tells the replayer
+ * to re-drive through AdmissionController::runStream so the replayed
+ * stream carries the same sentinel.
+ */
+constexpr u64 kStreamedTraceCount = ~u64{0};
+
 /** Which factory built a pool slot (PoolChip record `b`). */
 enum class SlotKind : u32
 {
@@ -147,6 +157,53 @@ ServeRunRecord recordServeRun(const ServeRunSetup &setup,
                               const std::vector<serve::ServeRequest> &trace);
 
 /**
+ * Stream-record setup's scenario at flat memory: the same
+ * self-describing record sequence recordServeRun produces — header,
+ * placements, TraceBegin (with kStreamedTraceCount), run events —
+ * appends through `jr` as the run progresses, with requests pulled
+ * one at a time from `source` (which overrides the setup's
+ * trafficSeed/horizon trace) and driven through
+ * AdmissionController::runStream. Attach a SegmentWriter to `jr`
+ * with retention off (Journal::attachSink) and the whole recording
+ * path — trace, run, journal — is O(live window), not O(requests).
+ * `jr` must be empty. Returns the run's report (streaming stats
+ * only; see AdmissionConfig::retainSamples).
+ */
+serve::ServeReport recordServeRunStream(const ServeRunSetup &setup,
+                                        serve::RequestSource &source,
+                                        Journal &jr);
+
+/** Result of replaySegments(). */
+struct SegmentReplayResult
+{
+    serve::ServeReport report;
+    /** Chain checksum of the recorded segment directory. */
+    u64 recordedChain = 0;
+    /** Chain checksum of the replayed stream, in the recording's
+     *  form (compacted when the recording is compacted). */
+    u64 replayedChain = 0;
+    /** Records in the recorded segment directory. */
+    std::size_t recordedRecords = 0;
+    /** True when the replayed stream is bit-identical to the
+     *  recording (chain checksums and record counts match). */
+    bool identical = false;
+    /** Human-readable mismatch description (empty when identical). */
+    std::string detail;
+};
+
+/**
+ * Replay a segmented recording from `dir` at flat memory: stream the
+ * header out of the segments, rebuild the setup, re-drive the run
+ * with the recorded arrivals streamed back in (runStream, matching
+ * the recording path), and prove bit-identity by FNV chain checksum
+ * and record count — of the live stream against a live recording, or
+ * of the Compactor-transformed stream against a compacted recording
+ * (detected by its RequestSummary records). Throws
+ * std::runtime_error on a malformed or unreadable directory.
+ */
+SegmentReplayResult replaySegments(const std::string &dir);
+
+/**
  * Reconstructs a serve run from its journal alone and proves the
  * reconstruction by re-recording it.
  */
@@ -159,11 +216,18 @@ class Replayer
 
     const Journal &recorded() const { return recorded_; }
     const ServeRunSetup &setup() const { return setup_; }
-    /** The arrival sequence, rebuilt from the Arrival records. */
+    /** The arrival sequence, rebuilt from the Arrival records — or,
+     *  on a compacted recording, from its RequestSummary records
+     *  (which carry each request's arrival and input words). */
     const std::vector<serve::ServeRequest> &trace() const
     {
         return trace_;
     }
+
+    /** True when the recording was streamed (TraceBegin carries
+     *  kStreamedTraceCount); replay() then re-drives through
+     *  runStream so the streams compare record for record. */
+    bool streamed() const { return streamed_; }
 
     struct Result
     {
@@ -190,6 +254,7 @@ class Replayer
     Journal recorded_;
     ServeRunSetup setup_;
     std::vector<serve::ServeRequest> trace_;
+    bool streamed_ = false;
 };
 
 } // namespace journal

@@ -167,6 +167,20 @@ ServeReport
 AdmissionController::run(const std::vector<ServeRequest> &trace)
 {
     SeqLock lock(mu_);
+    return runImpl(&trace, nullptr);
+}
+
+ServeReport
+AdmissionController::runStream(RequestSource &source)
+{
+    SeqLock lock(mu_);
+    return runImpl(nullptr, &source);
+}
+
+ServeReport
+AdmissionController::runImpl(const std::vector<ServeRequest> *trace_vec,
+                             RequestSource *source)
+{
     // Local aliases of the guarded members: the lambdas below are
     // analyzed as separate functions by clang's thread-safety pass,
     // so they read these lock-scoped references instead of reaching
@@ -177,6 +191,21 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     journal::Journal *const jr = journal_;
     FleetController *const fleet = fleet_;
     const bool fleet_mode = fleet != nullptr;
+    // Streaming mode pulls requests one at a time from `source` and
+    // keeps them alive only while in flight (the live window below);
+    // vector mode indexes the materialized trace as before. The
+    // empty alias keeps the shared vector-indexed code compiling:
+    // in streaming mode trace.size() is 0, so every O(trace)
+    // allocation below is empty and every trace-indexed loop is a
+    // no-op.
+    const bool streaming = source != nullptr;
+    const std::vector<ServeRequest> empty_trace;
+    const std::vector<ServeRequest> &trace =
+        streaming ? empty_trace : *trace_vec;
+    if (streaming && cfg.collectOutputs)
+        throw std::invalid_argument(
+            "AdmissionController::runStream: collectOutputs needs "
+            "O(requests) memory; use run() for output collection");
 
     const std::size_t num_chips = pool_.numChips();
     const std::size_t num_tenants = tenants.size();
@@ -192,15 +221,17 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     // the single-threaded case so there is exactly one journal-order
     // code path to trust. Fleet runs are sequential (one merged
     // request/lifecycle timeline), so they append directly in
-    // program order instead.
+    // program order instead — and streaming runs, which are also
+    // sequential and must not buffer O(trace) events, do the same.
     const bool journaling = jr != nullptr;
+    const bool direct_journal = fleet_mode || streaming;
     struct BufferedEvent
     {
         u64 segment;
         journal::JournalEvent event;
     };
     std::vector<std::vector<BufferedEvent>> chip_events(
-        journaling && !fleet_mode ? num_chips : 0);
+        journaling && !direct_journal ? num_chips : 0);
     std::vector<u64> cur_segment(num_chips, 0);
     auto emit = [&](std::size_t chip, journal::EventKind kind,
                     WallNs at, u64 a, u64 b, u64 c, u64 d,
@@ -215,7 +246,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         e.c = c;
         e.d = d;
         e.values = std::move(values);
-        if (fleet_mode) {
+        if (direct_journal) {
             jr->append(std::move(e));
             return;
         }
@@ -347,6 +378,77 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         staged ? trace.size() : 0);
     std::vector<u64> lastAdmitSeq(staged ? trace.size() : 0, 0);
 
+    // ---- Streaming live window. ----
+    // Streaming mode holds a request only from its pull to its
+    // resolution (completion or rejection): a deque indexed by
+    // global request index minus `live_base`. Resolved requests at
+    // the window's front fold their outputs into the rolling FNV
+    // checksum — in request-index order, exactly the trace-order
+    // fold vector mode computes at the end — and drop. The window's
+    // size is the run's concurrency (in flight + waiting + the skew
+    // between chips), not the trace length.
+    struct LiveRequest
+    {
+        ServeRequest req;
+        ModelRef model = kNoModel;
+        std::size_t chip = 0;
+        /** Stage-granular in-flight run (streaming counterpart of
+         *  the `runs` array). */
+        std::unique_ptr<StagedInference> run;
+        u64 lastAdmitSeq = 0;
+        /** Completed or rejected: `values` is final and the entry
+         *  may fold out once it reaches the window front. */
+        bool resolved = false;
+        std::vector<i64> values;
+    };
+    std::deque<LiveRequest> live;
+    std::size_t live_base = 0;
+    u64 rolling_hash = kFnvOffsetBasis;
+    auto liveAt = [&](std::size_t i) -> LiveRequest & {
+        return live[i - live_base];
+    };
+    // Request-indexed state, abstracted over the two modes. The
+    // returned references stay valid across window pops: std::deque
+    // never invalidates references to surviving elements.
+    auto reqAt = [&](std::size_t i) -> const ServeRequest & {
+        return streaming ? liveAt(i).req : trace[i];
+    };
+    auto modelOf = [&](std::size_t i) -> ModelRef {
+        return streaming ? liveAt(i).model : reqModel[i];
+    };
+    auto chipOf = [&](std::size_t i) -> std::size_t {
+        return streaming ? liveAt(i).chip : reqChip[i];
+    };
+    auto runFor =
+        [&](std::size_t i) -> std::unique_ptr<StagedInference> & {
+        return streaming ? liveAt(i).run : runs[i];
+    };
+    auto seqFor = [&](std::size_t i) -> u64 & {
+        return streaming ? liveAt(i).lastAdmitSeq : lastAdmitSeq[i];
+    };
+    // Fold resolved requests out of the window front, oldest first.
+    auto foldReady = [&] {
+        while (!live.empty() && live.front().resolved) {
+            rolling_hash =
+                fnv1aWords(live.front().values, rolling_hash);
+            live.pop_front();
+            ++live_base;
+        }
+    };
+    // Deliver request i's outputs (empty for a rejection): vector
+    // mode stores them for the end-of-run fold, streaming mode marks
+    // the entry resolved and folds whatever the window front allows.
+    auto deliver = [&](std::size_t i, std::vector<i64> values) {
+        if (streaming) {
+            LiveRequest &entry = liveAt(i);
+            entry.values = std::move(values);
+            entry.resolved = true;
+            foldReady();
+        } else {
+            report.outputs[i] = std::move(values);
+        }
+    };
+
     // Weighted-fair accounting is start-time fair queueing: each
     // admission of tenant t gets a start tag S = max(chip virtual
     // time, t's finish tag) and advances t's finish tag by its
@@ -445,7 +547,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     auto frontFor = [&](std::size_t t,
                         std::size_t c) -> const WaitingItem * {
         for (const WaitingItem &item : waiting[t])
-            if (reqChip[item.reqIdx] == c)
+            if (chipOf(item.reqIdx) == c)
                 return &item;
         return nullptr;
     };
@@ -459,14 +561,14 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         ChipState &cs = chips[c];
         Pending pending = std::move(cs.notWaited.front());
         cs.notWaited.pop_front();
-        const ServeRequest &req = trace[pending.reqIdx];
-        const ModelRef model = reqModel[pending.reqIdx];
+        const ServeRequest &req = reqAt(pending.reqIdx);
+        const ModelRef model = modelOf(pending.reqIdx);
 
         std::vector<i64> values;
         WallNs start = 0, done = 0;
         u64 mvms = 1;
         if (pending.isStage) {
-            StagedInference &run = *runs[pending.reqIdx];
+            StagedInference &run = *runFor(pending.reqIdx);
             const WallNs stage_done =
                 pool_.stageDoneNs(run, pending.stage);
             cs.occupied.push(stage_done);
@@ -491,7 +593,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                 return;
             }
             InferenceOutcome outcome = pool_.finishInference(run);
-            runs[pending.reqIdx].reset();
+            runFor(pending.reqIdx).reset();
             values = std::move(outcome.values);
             start = pool_.wallNs(c, outcome.start);
             done = pool_.wallNs(c, outcome.done);
@@ -515,13 +617,21 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         TenantStats &stats = report.tenants[req.tenant];
         stats.completed += 1;
         stats.mvms += mvms;
-        stats.latency.push_back(
-            static_cast<double>(done - req.arrival));
-        stats.queueing.push_back(
-            static_cast<double>(start - req.arrival));
-        stats.service.push_back(static_cast<double>(done - start));
-        stats.doneNs.push_back(static_cast<double>(done));
-        stats.serviceNs += static_cast<double>(done - start);
+        const double latency_ns =
+            static_cast<double>(done - req.arrival);
+        const double queueing_ns =
+            static_cast<double>(start - req.arrival);
+        const double service_ns = static_cast<double>(done - start);
+        if (cfg.retainSamples) {
+            stats.latency.push_back(latency_ns);
+            stats.queueing.push_back(queueing_ns);
+            stats.service.push_back(service_ns);
+            stats.doneNs.push_back(static_cast<double>(done));
+        }
+        stats.latencyHist.push(latency_ns);
+        stats.queueingHist.push(queueing_ns);
+        stats.serviceHist.push(service_ns);
+        stats.serviceNs += service_ns;
         stats.slo.recordLatency(done - req.arrival);
 
         // Run-level aggregates (completed, rejected, makespan) are
@@ -536,8 +646,37 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         // completion above; whole units hold it to request done.
         if (!pending.isStage)
             cs.occupied.push(done);
-        report.outputs[pending.reqIdx] = std::move(values);
+        deliver(pending.reqIdx, std::move(values));
         releaseRef(model, done);
+    };
+
+    // Streaming only: bound the live window. A chip whose tenant
+    // goes quiet can leave up to a window's worth of admitted units
+    // unresolved until the next arrival on that chip (or the run's
+    // tail), pinning the window front while other chips stream past
+    // — so when the window overruns, force-materialize the front
+    // chip's submission queue. Forcing a *non-staged* unit is
+    // behavior-neutral (materialization resolves already-determined
+    // timestamps, never admits; acquireSlot materializes the whole
+    // queue anyway before reading a slot) but can reorder journal
+    // records relative to the lazy order, so the bound is far above
+    // any test's concurrency and the reordering is deterministic —
+    // replay streams through this same path. A staged front is never
+    // forced: materializing it parks a continuation that would race
+    // future admissions.
+    constexpr std::size_t kMaxLive = 65536;
+    auto relieveLive = [&] {
+        while (streaming && live.size() > kMaxLive) {
+            if (live.front().resolved) {
+                foldReady();
+                continue;
+            }
+            ChipState &cs = chips[live.front().chip];
+            if (cs.notWaited.empty() || cs.notWaited.front().isStage)
+                break;
+            materializeFront(live.front().chip);
+            foldReady();
+        }
     };
 
     // Claim a submission slot usable by wall instant `up_to`;
@@ -628,7 +767,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                         "tenant on chip ", c);
         auto &room = waiting[t];
         auto sel = room.begin();
-        while (sel != room.end() && reqChip[sel->reqIdx] != c)
+        while (sel != room.end() && chipOf(sel->reqIdx) != c)
             ++sel;
         if (sel == room.end())
             darth_panic("AdmissionController: tenant ", t,
@@ -637,11 +776,11 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
         room.erase(sel);
         cs.waitingCount -= 1;
         const std::size_t req_idx = item.reqIdx;
-        const ModelRef model = reqModel[req_idx];
+        const ModelRef model = modelOf(req_idx);
         const double start_tag =
             std::max(cs.virtualTime, finishTag[t]);
         cs.virtualTime = start_tag;
-        const ServeRequest &req = trace[req_idx];
+        const ServeRequest &req = reqAt(req_idx);
         // A continuation stage starts no earlier than its previous
         // stage's completion (item.ready). The admission instant is
         // wall-clock; the chip works in its own cycles, so the
@@ -664,10 +803,10 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                 // the forward advances one admission-sized step and
                 // re-queues for the next, so stages of different
                 // requests interleave on this chip.
-                if (!runs[req_idx])
-                    runs[req_idx] = pool_.beginInference(
+                if (!runFor(req_idx))
+                    runFor(req_idx) = pool_.beginInference(
                         model, req.input, at_cycle);
-                StagedInference &run = *runs[req_idx];
+                StagedInference &run = *runFor(req_idx);
                 pending.isStage = true;
                 pending.stage = pool_.advanceInference(run, at_cycle);
                 charge = run.stageCharges[pending.stage];
@@ -676,9 +815,9 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                      pending.stage, c, run.stageCount());
                 cs.admitSeq += 1;
                 if (pending.stage > 0 &&
-                    cs.admitSeq != lastAdmitSeq[req_idx] + 1)
+                    cs.admitSeq != seqFor(req_idx) + 1)
                     report.chips[c].interleavedStages += 1;
-                lastAdmitSeq[req_idx] = cs.admitSeq;
+                seqFor(req_idx) = cs.admitSeq;
             } else {
                 // One window slot per inference: the whole forward
                 // is one admitted unit, charged its whole-graph
@@ -739,7 +878,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     // One iteration of the (conceptually sequential) admission loop:
     // request i arriving at its bound chip c.
     auto stepRequest = [&](std::size_t c, std::size_t i) {
-        const ServeRequest &req = trace[i];
+        const ServeRequest &req = reqAt(i);
         cur_segment[c] = i;
         emit(c, journal::EventKind::Arrival, req.arrival, i,
              req.tenant, c, fnv1aWords(req.input), req.input);
@@ -773,7 +912,8 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                 report.tenants[req.tenant].slo.recordRejected();
                 emit(c, journal::EventKind::Backpressure,
                      req.arrival, i, req.tenant, c, /*rejected=*/1);
-                releaseRef(reqModel[i], req.arrival);
+                releaseRef(modelOf(i), req.arrival);
+                deliver(i, {});
             } else {
                 enqueueWaiting(c, req.tenant, i);
                 admit(c, *slot);
@@ -797,7 +937,8 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
                     emit(c, journal::EventKind::Backpressure,
                          req.arrival, i, req.tenant, c,
                          /*rejected=*/1);
-                    releaseRef(reqModel[i], req.arrival);
+                    releaseRef(modelOf(i), req.arrival);
+                    deliver(i, {});
                 }
             }
         }
@@ -981,6 +1122,9 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
             life_end = std::max(life_end, m.at);
 
         std::size_t moment_cur = 0;
+        // (In streaming mode `life_end` so far covers only the
+        // lifecycle moments; the pull loop below raises it to the
+        // last arrival as requests stream in.)
         WallNs next_tick = fleet->config().checkIntervalNs;
         auto processLifecycle = [&](WallNs up_to) {
             for (;;) {
@@ -1003,19 +1147,56 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
             }
         };
 
-        for (std::size_t i = 0; i < trace.size(); ++i) {
-            processLifecycle(trace[i].arrival);
-            const ServeRequest &req = trace[i];
-            const ModelRef m = tenants[req.tenant].model;
-            if (m == kNoModel)
-                darth_fatal("AdmissionController::run: request ", i,
-                            " arrives at ", req.arrival,
-                            " ns but tenant '", tenants[req.tenant].name,
-                            "' has not arrived yet");
-            reqModel[i] = m;
-            reqChip[i] = pool_.modelChip(m);
-            refs[m] += 1;
-            stepRequest(reqChip[i], i);
+        if (streaming) {
+            std::size_t i = 0;
+            WallNs prev_stream_arrival = 0;
+            ServeRequest pulled;
+            while (source->next(pulled)) {
+                if (pulled.tenant >= num_tenants)
+                    darth_fatal("AdmissionController::runStream: "
+                                "request ", i, " names tenant ",
+                                pulled.tenant, " but only ",
+                                num_tenants, " tenants exist");
+                if (pulled.arrival < prev_stream_arrival)
+                    darth_fatal("AdmissionController::runStream: "
+                                "stream is not sorted by arrival "
+                                "(request ", i, ")");
+                prev_stream_arrival = pulled.arrival;
+                processLifecycle(pulled.arrival);
+                const ModelRef m = tenants[pulled.tenant].model;
+                if (m == kNoModel)
+                    darth_fatal("AdmissionController::run: request ",
+                                i, " arrives at ", pulled.arrival,
+                                " ns but tenant '",
+                                tenants[pulled.tenant].name,
+                                "' has not arrived yet");
+                life_end = std::max(life_end, pulled.arrival);
+                LiveRequest entry;
+                entry.req = std::move(pulled);
+                entry.model = m;
+                entry.chip = pool_.modelChip(m);
+                live.push_back(std::move(entry));
+                refs[m] += 1;
+                stepRequest(liveAt(i).chip, i);
+                relieveLive();
+                ++i;
+            }
+        } else {
+            for (std::size_t i = 0; i < trace.size(); ++i) {
+                processLifecycle(trace[i].arrival);
+                const ServeRequest &req = trace[i];
+                const ModelRef m = tenants[req.tenant].model;
+                if (m == kNoModel)
+                    darth_fatal("AdmissionController::run: request ",
+                                i, " arrives at ", req.arrival,
+                                " ns but tenant '",
+                                tenants[req.tenant].name,
+                                "' has not arrived yet");
+                reqModel[i] = m;
+                reqChip[i] = pool_.modelChip(m);
+                refs[m] += 1;
+                stepRequest(reqChip[i], i);
+            }
         }
         // Remaining lifecycle (late departures, wind-down ticks),
         // then drain every chip to completion. Draining finishes
@@ -1032,6 +1213,46 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
             if (!departed[t] && tenants[t].model != kNoModel)
                 report.chips[pool_.modelChip(tenants[t].model)]
                     .tenants += 1;
+    } else if (streaming) {
+        // ---- Static fleet, streaming: one sequential pull loop.
+        // The per-chip work is the same as the parallel path's, but
+        // interleaved in global arrival order so the journal appends
+        // directly in the order the vector path's merge produces and
+        // the live window folds in request order.
+        std::size_t i = 0;
+        WallNs prev_stream_arrival = 0;
+        ServeRequest pulled;
+        while (source->next(pulled)) {
+            if (pulled.tenant >= num_tenants)
+                darth_fatal("AdmissionController::runStream: "
+                            "request ", i, " names tenant ",
+                            pulled.tenant, " but only ", num_tenants,
+                            " tenants exist");
+            if (pulled.arrival < prev_stream_arrival)
+                darth_fatal("AdmissionController::runStream: stream "
+                            "is not sorted by arrival (request ", i,
+                            ")");
+            prev_stream_arrival = pulled.arrival;
+            LiveRequest entry;
+            const std::size_t t = pulled.tenant;
+            entry.req = std::move(pulled);
+            entry.model = tenants[t].model;
+            entry.chip = tenantChip[t];
+            live.push_back(std::move(entry));
+            stepRequest(tenantChip[t], i);
+            relieveLive();
+            ++i;
+        }
+        // Arrivals exhausted: drain every chip's waiting rooms and
+        // submission queue, in chip order — the same order the
+        // vector path's merge flushes per-chip tails.
+        for (std::size_t c = 0; c < num_chips; ++c) {
+            do {
+                drainWaiting(c, kNever);
+                while (!chips[c].notWaited.empty())
+                    materializeFront(c);
+            } while (chips[c].waitingCount > 0);
+        }
     } else {
         // ---- Static fleet: parallel per-chip drains. ----
         // The trace partitions perfectly by chip: every tenant is
@@ -1084,7 +1305,7 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     // events tagged with it (each chip's buffer is already in
     // nondecreasing segment order), then the per-chip tails —
     // reproducing the sequential emission order exactly.
-    if (journaling && !fleet_mode) {
+    if (journaling && !direct_journal) {
         std::vector<std::size_t> cursor(num_chips, 0);
         auto flushSegment = [&](std::size_t c, u64 segment) {
             auto &buffer = chip_events[c];
@@ -1125,11 +1346,21 @@ AdmissionController::run(const std::vector<ServeRequest> &trace)
     // FNV-1a over outputs in trace order (the frozen word-wise
     // scheme of common/Fnv.h): identical traffic must yield an
     // identical checksum whatever the pool size, policy, or fleet
-    // lifecycle.
-    u64 hash = kFnvOffsetBasis;
-    for (const auto &values : report.outputs)
-        hash = fnv1aWords(values, hash);
-    report.outputChecksum = hash;
+    // lifecycle. Streaming runs folded the very same sequence
+    // incrementally as the live window drained.
+    if (streaming) {
+        foldReady();
+        if (!live.empty())
+            darth_panic("AdmissionController::runStream: ",
+                        live.size(), " requests left unresolved "
+                        "after the tail drain");
+        report.outputChecksum = rolling_hash;
+    } else {
+        u64 hash = kFnvOffsetBasis;
+        for (const auto &values : report.outputs)
+            hash = fnv1aWords(values, hash);
+        report.outputChecksum = hash;
+    }
     if (journaling) {
         journal::JournalEvent e;
         e.kind = journal::EventKind::RunEnd;

@@ -164,8 +164,21 @@ struct AdmissionConfig
     OverflowPolicy overflow = OverflowPolicy::Block;
     /** Admission unit for inference tenants (see Granularity). */
     Granularity granularity = Granularity::Inference;
-    /** Keep every request's output vector in the report. */
+    /** Keep every request's output vector in the report. Vector-mode
+     *  run() only: runStream() folds outputs into the rolling
+     *  checksum and drops them (collectOutputs there throws). */
     bool collectOutputs = false;
+    /**
+     * Retain the per-request latency/queueing/service/doneNs sample
+     * vectors in TenantStats (O(requests) memory). Off by default:
+     * the streaming histograms and exact aggregates
+     * (TenantStats::latencyHist etc.) are always filled and are the
+     * O(1)-memory report surface; tests that assert on raw samples
+     * opt back in. Host-only knob — like `threads`, deliberately
+     * NOT recorded in the journal (it changes no event and no exact
+     * quantity).
+     */
+    bool retainSamples = false;
     /**
      * Host worker threads for the per-chip drains (<= 1 runs them
      * inline). Chips are isolated Runtime instances and the trace
@@ -261,6 +274,25 @@ class AdmissionController
         EXCLUDES(mu_);
 
     /**
+     * Run a pull-based request stream to completion at flat memory:
+     * requests are consumed one at a time from `source` (sorted by
+     * arrival, like run()'s trace), held only while in flight, and
+     * their outputs folded into ServeReport::outputChecksum in
+     * arrival order as they resolve — the checksum equals the one a
+     * materialized run() of the same stream reports. Streaming runs
+     * are sequential (AdmissionConfig::threads is inert, as in fleet
+     * mode) and journal events append directly in the same merged
+     * order run() produces; when the live window exceeds an internal
+     * bound, completed-but-unobserved requests are drained eagerly
+     * (this can only reorder journal records relative to run() on
+     * runs of more than 65536 concurrently-live requests, and the
+     * reordering is itself deterministic — Replayer::replaySegments
+     * replays through this same path). collectOutputs is
+     * incompatible with streaming and throws std::invalid_argument.
+     */
+    ServeReport runStream(RequestSource &source) EXCLUDES(mu_);
+
+    /**
      * Attach (or detach, with nullptr) an event journal: run()
      * emits one record per arrival, admission (with the WFQ
      * charge), stage submission/completion, backpressure action,
@@ -271,6 +303,11 @@ class AdmissionController
     void setJournal(journal::Journal *journal) EXCLUDES(mu_);
 
   private:
+    /** Shared engine behind run() and runStream(): exactly one of
+     *  `trace` / `source` is non-null. */
+    ServeReport runImpl(const std::vector<ServeRequest> *trace,
+                        RequestSource *source) REQUIRES(mu_);
+
     /** Guards the tenant table and config
      *  (common/ThreadAnnotations.h; a real mutex since the per-chip
      *  worker threads landed). */

@@ -47,17 +47,34 @@ struct TenantStats
      */
     u64 mvms = 0;
 
-    /** done - arrival per completed request in wall ns, in
-     *  completion order. */
+    /**
+     * Retained per-request samples, filled only when
+     * AdmissionConfig::retainSamples — million-request runs keep
+     * memory flat by relying on the histograms below instead.
+     * done - arrival per completed request in wall ns, in
+     * completion order.
+     */
     std::vector<double> latency;
     /** start - arrival per completed request in wall ns (time not
-     *  being serviced: admission blocking plus tile contention). */
+     *  being serviced: admission blocking plus tile contention).
+     *  Retained-samples only. */
     std::vector<double> queueing;
     /** done - start per completed request in wall ns (pure
-     *  service). */
+     *  service). Retained-samples only. */
     std::vector<double> service;
-    /** Completion wall time per completed request, ns. */
+    /** Completion wall time per completed request, ns.
+     *  Retained-samples only. */
     std::vector<double> doneNs;
+
+    /**
+     * O(1)-memory streaming distributions, always filled (whether or
+     * not samples are retained): exact count/sum/min/max plus
+     * percentiles accurate to one bucket width. Same sample streams
+     * as the vectors above.
+     */
+    StreamingHistogram latencyHist;
+    StreamingHistogram queueingHist;
+    StreamingHistogram serviceHist;
 
     /** Total wall-ns of service delivered to this tenant. */
     double serviceNs = 0.0;
@@ -78,10 +95,17 @@ struct TenantStats
         return count;
     }
 
-    SampleSummary latencySummary() const { return summarize(latency); }
+    /** Exact summary from retained samples when available, else the
+     *  streaming histogram's (percentiles within one bucket). */
+    SampleSummary latencySummary() const
+    {
+        return latency.empty() ? latencyHist.summary()
+                               : summarize(latency);
+    }
     SampleSummary queueingSummary() const
     {
-        return summarize(queueing);
+        return queueing.empty() ? queueingHist.summary()
+                                : summarize(queueing);
     }
 };
 

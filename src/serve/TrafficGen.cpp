@@ -206,73 +206,117 @@ TrafficGen::llmInferNet(u64 key) const
                 static_cast<u64>(WorkloadKind::LlmInfer) ^ (key << 8)));
 }
 
-std::vector<ServeRequest>
-TrafficGen::trace(const std::vector<TenantSpec> &tenants,
-                  WallNs horizon) const
+TraceStream::TraceStream(u64 seed,
+                         const std::vector<TenantSpec> &tenants,
+                         WallNs horizon)
+    : horizon_(horizon)
 {
-    std::vector<ServeRequest> merged;
+    streams_.reserve(tenants.size());
     for (std::size_t t = 0; t < tenants.size(); ++t) {
         const TenantSpec &spec = tenants[t];
-        validateSpec(spec);
+        TrafficGen::validateSpec(spec);
         const Shape shape = shapeOf(spec.kind);
+        TenantState s;
         // One stream per tenant, salted by the tenant index: adding
         // or reordering other tenants cannot perturb this stream.
-        Rng rng(mixSeed(seed_, /*salt=*/0x7247, t));
-        const double rate_per_ns = spec.ratePerKns / 1000.0;
-        // Bursty tenants draw arrivals on an *on-time* clock (the
-        // Poisson process runs only while the tenant is on) and map
-        // each arrival into wall time by inserting the off-phases:
-        // on-time T lands in burst period floor(T/on) at offset
-        // T mod on. Disabled bursts keep the wall clock directly,
-        // bit-identical to the unmodulated generator.
-        const bool bursty = spec.burst.enabled();
-        const double on = static_cast<double>(spec.burst.onNs);
-        const double period =
-            on + static_cast<double>(spec.burst.offNs);
+        s.rng.reseed(mixSeed(seed, /*salt=*/0x7247, t));
+        s.ratePerNs = spec.ratePerKns / 1000.0;
+        s.bursty = spec.burst.enabled();
+        s.onNs = static_cast<double>(spec.burst.onNs);
+        s.periodNs = s.onNs + static_cast<double>(spec.burst.offNs);
         // The tenant's active window. The stream is drawn exactly as
         // if the tenant were permanent and then *gated*: arrivals
         // outside [arriveNs, departNs) are dropped, the draws (both
         // timing and input values) are unchanged, so the surviving
         // requests are bit-identical to the permanent tenant's and
         // no other tenant's stream can be perturbed by the window.
-        const WallNs depart =
-            spec.departNs == 0 ? horizon : spec.departNs;
-        double at = 0.0;
-        for (;;) {
-            // Exponential inter-arrival; at least one nanosecond
-            // apart so a tenant's own requests have distinct
-            // arrivals.
-            double u = rng.uniform();
-            if (u <= 1e-12)
-                u = 1e-12;
-            at += std::max(1.0, -std::log(u) / rate_per_ns);
-            double wall = at;
-            if (bursty) {
-                double k = std::floor(at / on);
-                double within = at - k * on;
-                if (within >= on) {   // float edge of the division
-                    k += 1.0;
-                    within = 0.0;
-                }
-                wall = k * period + within;
-            }
-            if (wall >= static_cast<double>(horizon))
-                break;
-            ServeRequest req;
-            req.arrival = static_cast<WallNs>(wall);
-            req.tenant = t;
-            req.input.resize(shape.rows);
-            for (auto &v : req.input)
-                v = rng.uniformInt(shape.inputLo, shape.inputHi);
-            if (req.arrival < spec.arriveNs || req.arrival >= depart)
-                continue;
-            merged.push_back(std::move(req));
-        }
+        s.arriveNs = spec.arriveNs;
+        s.departNs = spec.departNs == 0 ? horizon : spec.departNs;
+        s.inputRows = shape.rows;
+        s.inputLo = shape.inputLo;
+        s.inputHi = shape.inputHi;
+        streams_.push_back(std::move(s));
     }
-    std::stable_sort(merged.begin(), merged.end(),
-                     [](const ServeRequest &a, const ServeRequest &b) {
-                         return a.arrival < b.arrival;
-                     });
+    for (std::size_t t = 0; t < streams_.size(); ++t)
+        advance(t);
+}
+
+void
+TraceStream::advance(std::size_t t)
+{
+    TenantState &s = streams_[t];
+    s.hasPending = false;
+    for (;;) {
+        // Exponential inter-arrival; at least one nanosecond apart
+        // so a tenant's own requests have distinct arrivals.
+        double u = s.rng.uniform();
+        if (u <= 1e-12)
+            u = 1e-12;
+        s.at += std::max(1.0, -std::log(u) / s.ratePerNs);
+        double wall = s.at;
+        // Bursty tenants draw arrivals on an *on-time* clock (the
+        // Poisson process runs only while the tenant is on) and map
+        // each arrival into wall time by inserting the off-phases:
+        // on-time T lands in burst period floor(T/on) at offset
+        // T mod on. Disabled bursts keep the wall clock directly,
+        // bit-identical to the unmodulated generator.
+        if (s.bursty) {
+            double k = std::floor(s.at / s.onNs);
+            double within = s.at - k * s.onNs;
+            if (within >= s.onNs) {   // float edge of the division
+                k += 1.0;
+                within = 0.0;
+            }
+            wall = k * s.periodNs + within;
+        }
+        if (wall >= static_cast<double>(horizon_))
+            return;
+        ServeRequest req;
+        req.arrival = static_cast<WallNs>(wall);
+        req.tenant = t;
+        req.input.resize(s.inputRows);
+        for (auto &v : req.input)
+            v = s.rng.uniformInt(s.inputLo, s.inputHi);
+        if (req.arrival < s.arriveNs || req.arrival >= s.departNs)
+            continue;
+        s.pending = std::move(req);
+        s.hasPending = true;
+        return;
+    }
+}
+
+bool
+TraceStream::next(ServeRequest &out)
+{
+    // K-way merge by (arrival, tenant index). Per-tenant arrivals
+    // are strictly increasing and the scan prefers the lowest tenant
+    // index on ties, so the emitted order equals the materialized
+    // trace's stable sort by arrival.
+    std::size_t best = streams_.size();
+    for (std::size_t t = 0; t < streams_.size(); ++t) {
+        if (!streams_[t].hasPending)
+            continue;
+        if (best == streams_.size() ||
+            streams_[t].pending.arrival <
+                streams_[best].pending.arrival)
+            best = t;
+    }
+    if (best == streams_.size())
+        return false;
+    out = std::move(streams_[best].pending);
+    advance(best);
+    return true;
+}
+
+std::vector<ServeRequest>
+TrafficGen::trace(const std::vector<TenantSpec> &tenants,
+                  WallNs horizon) const
+{
+    TraceStream stream(seed_, tenants, horizon);
+    std::vector<ServeRequest> merged;
+    ServeRequest req;
+    while (stream.next(req))
+        merged.push_back(std::move(req));
     return merged;
 }
 

@@ -145,6 +145,112 @@ struct ServeRequest
     std::vector<i64> input;
 };
 
+/**
+ * Pull-based request stream: the streaming counterpart of a
+ * materialized trace vector. next() yields requests in nondecreasing
+ * arrival order (the same total order a sorted trace vector has) and
+ * returns false once the stream is exhausted. Consumers
+ * (AdmissionController::runStream, streaming record/replay) never
+ * hold more than a bounded window of pulled requests, which is what
+ * keeps million-request runs at flat memory.
+ */
+class RequestSource
+{
+  public:
+    virtual ~RequestSource() = default;
+    /** Pull the next request; false at end of stream. */
+    virtual bool next(ServeRequest &out) = 0;
+};
+
+/** RequestSource over an already-materialized (sorted) trace. */
+class VectorSource : public RequestSource
+{
+  public:
+    explicit VectorSource(std::vector<ServeRequest> trace)
+        : trace_(std::move(trace))
+    {
+    }
+
+    bool
+    next(ServeRequest &out) override
+    {
+        if (pos_ >= trace_.size())
+            return false;
+        out = trace_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<ServeRequest> trace_;
+    std::size_t pos_ = 0;
+};
+
+/** Caps an underlying source at a fixed request count. */
+class CappedSource : public RequestSource
+{
+  public:
+    CappedSource(RequestSource &source, std::size_t maxRequests)
+        : source_(source), remaining_(maxRequests)
+    {
+    }
+
+    bool
+    next(ServeRequest &out) override
+    {
+        if (remaining_ == 0 || !source_.next(out))
+            return false;
+        --remaining_;
+        return true;
+    }
+
+  private:
+    RequestSource &source_;
+    std::size_t remaining_;
+};
+
+/**
+ * Lazy, O(tenants)-memory generator of the exact trace
+ * TrafficGen::trace() materializes: one independent seeded stream
+ * per tenant (each holding a single pending request), k-way merged
+ * by (arrival, tenant index). Per-tenant arrivals are strictly
+ * increasing integers, so the merge reproduces the sorted vector
+ * bit-identically — trace() is in fact implemented as a drain of
+ * this stream.
+ */
+class TraceStream : public RequestSource
+{
+  public:
+    /** Validates every spec (TrafficGen::validateSpec). */
+    TraceStream(u64 seed, const std::vector<TenantSpec> &tenants,
+                WallNs horizon);
+
+    bool next(ServeRequest &out) override;
+
+  private:
+    struct TenantState
+    {
+        Rng rng;
+        double at = 0.0;
+        double ratePerNs = 0.0;
+        bool bursty = false;
+        double onNs = 0.0;
+        double periodNs = 0.0;
+        WallNs arriveNs = 0;
+        WallNs departNs = 0;
+        std::size_t inputRows = 0;
+        i64 inputLo = 0;
+        i64 inputHi = 0;
+        ServeRequest pending;
+        bool hasPending = false;
+    };
+
+    /** Draw tenant t's next in-window request (or exhaust it). */
+    void advance(std::size_t t);
+
+    std::vector<TenantState> streams_;
+    WallNs horizon_ = 0;
+};
+
 /** Seeded generator of weights, inputs, and arrival traces. */
 class TrafficGen
 {

@@ -96,6 +96,7 @@ TEST(Admission, RejectDropsWhenWindowFullBlockDoesNot)
         burst.push_back(microRequest(0, 0));
 
     AdmissionConfig cfg;
+    cfg.retainSamples = true;
     cfg.queueDepth = 2;
     cfg.overflow = OverflowPolicy::Reject;
     {
@@ -130,6 +131,7 @@ TEST(Admission, FifoAdmitsOldestArrivalFirst)
     ChipPool pool(poolConfig(1, 2));
     auto tenants = buildTenants(pool, gen, microSpecs({1.0, 1.0}));
     AdmissionConfig cfg;
+    cfg.retainSamples = true;
     cfg.queueDepth = 1;
     cfg.qos = QosPolicy::Fifo;
     AdmissionController ac(pool, tenants, cfg);
@@ -158,6 +160,7 @@ TEST(Admission, WeightedFairSharesConvergeToWeights)
     ChipPool pool(poolConfig(1, 2));
     auto tenants = buildTenants(pool, gen, microSpecs({3.0, 1.0}));
     AdmissionConfig cfg;
+    cfg.retainSamples = true;
     cfg.queueDepth = 2;
     cfg.qos = QosPolicy::WeightedFair;
     cfg.overflow = OverflowPolicy::Block;
@@ -192,6 +195,7 @@ TEST(Admission, WeightedFairBanksNoCreditWhileIdle)
     ChipPool pool(poolConfig(1, 2));
     auto tenants = buildTenants(pool, gen, microSpecs({1.0, 1.0}));
     AdmissionConfig cfg;
+    cfg.retainSamples = true;
     cfg.queueDepth = 2;
     cfg.qos = QosPolicy::WeightedFair;
     cfg.overflow = OverflowPolicy::Block;
@@ -238,6 +242,7 @@ TEST(Admission, RoundRobinIsStarvationFree)
         ChipPool pool(poolConfig(1, 2));
         auto tenants = buildTenants(pool, gen, microSpecs({1.0, 1.0}));
         AdmissionConfig cfg;
+        cfg.retainSamples = true;
         cfg.queueDepth = 2;
         cfg.qos = qos;
         cfg.overflow = OverflowPolicy::Block;
@@ -321,6 +326,7 @@ TEST(Admission, ChecksumIsStableAcrossQosPolicies)
         ChipPool pool(poolConfig(1, 2));
         auto tenants = buildTenants(pool, gen, rated);
         AdmissionConfig cfg;
+        cfg.retainSamples = true;
         cfg.queueDepth = 2;
         cfg.qos = qos;
         cfg.overflow = OverflowPolicy::Block;
@@ -577,6 +583,7 @@ TEST(Admission, InferenceRequestsServeWholeForwards)
     EXPECT_GT(nominal, 1000u);
 
     AdmissionConfig cfg;
+    cfg.retainSamples = true;
     cfg.queueDepth = 1;
     cfg.qos = QosPolicy::WeightedFair;
     cfg.overflow = OverflowPolicy::Block;
@@ -702,6 +709,7 @@ TEST(Admission, StageSlotsReleaseOnStageCompletion)
         ChipPool pool(stagePoolConfig());
         auto tenants = buildTenants(pool, gen, specs);
         AdmissionConfig cfg;
+        cfg.retainSamples = true;
         cfg.queueDepth = 1;
         cfg.qos = QosPolicy::RoundRobin;
         cfg.overflow = OverflowPolicy::Block;
@@ -866,6 +874,7 @@ TEST(Admission, InferenceBlocksHonourArrivalOrderAndWindow)
     }
 
     AdmissionConfig cfg;
+    cfg.retainSamples = true;
     cfg.queueDepth = 1;
     AdmissionController ac(pool, tenants, cfg);
     const ServeReport report = ac.run(trace);

@@ -93,6 +93,7 @@ runAt(std::size_t threads)
     cfg.qos = QosPolicy::WeightedFair;
     cfg.overflow = OverflowPolicy::Block;
     cfg.collectOutputs = true;
+    cfg.retainSamples = true;
     cfg.threads = threads;
     AdmissionController ac(pool, tenants, cfg);
     return ac.run(gen.trace(specs, 4000));

@@ -121,7 +121,10 @@ drawSetup(u64 seed)
     bool used_llm = false;
     for (std::size_t t = 0; t < tenants; ++t) {
         TenantSpec spec;
-        spec.name = "t" + std::to_string(t);
+        // Built in two steps: GCC 12's -Wrestrict false-positives on
+        // operator+(const char*, string&&) under -O3.
+        spec.name = "t";
+        spec.name += std::to_string(t);
         spec.weight = static_cast<double>(draw(1, 4));
         const u64 pick = t == 0 ? 5 : draw(0, 5);
         if (pick == 0 && !used_cnn) {

@@ -44,10 +44,11 @@ REGRESSION_METRICS = [
 ]
 
 # Host-side informational fields (wall-clock time, worker-thread
-# count). These describe the machine the bench ran on, not the
-# simulated system, so they are NEVER a regression gate — not on
-# delta, and not when they appear in or disappear from a snapshot.
-HOST_INFO_FIELDS = ("wall_ms", "threads")
+# count, peak resident set). These describe the machine the bench ran
+# on, not the simulated system, so they are NEVER a regression gate —
+# not on delta, and not when they appear in or disappear from a
+# snapshot.
+HOST_INFO_FIELDS = ("wall_ms", "threads", "max_rss_mb")
 
 
 def is_host_info(path):
